@@ -1,0 +1,137 @@
+// E20 — the broadcast-based comparator ([10] family, §1.1).
+//
+// §1.1 compares the paper's convergence-function design against
+// Dolev-Halpern-Simons-Strong-style broadcast algorithms: those need
+// only a majority of correct processors and a connected (not complete)
+// graph, but pay broadcast overhead, react badly to transient delays,
+// and "limit the power of the attacker by assuming it cannot collect too
+// many 'bad' signatures (assumption A4)". We implemented a Srikanth-
+// Toueg-flavoured authenticated broadcast synchronizer and measure all
+// four claims:
+//   (a) resilience: at n = 7 the broadcast engine survives f = 3
+//       two-faced/silent faults (majority), where the trimming protocol
+//       needs n >= 3f+1 and breaks;
+//   (b) topology: the broadcast engine synchronizes a ring (connected,
+//       degree 2) via relays; the convergence engine cannot;
+//   (c) cost: bundle relays make its message bill and its per-round
+//       clock steps (discontinuity) larger;
+//   (d) A4: a signature-replay adversary drags freshly recovered
+//       processors to stale rounds — the artifact-free convergence
+//       protocol has nothing to replay.
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+analysis::RunResult run(const std::string& protocol, int f_actual,
+                        analysis::Scenario::TopologyKind topo,
+                        const std::string& strategy, std::uint64_t seed) {
+  auto s = wan_scenario(seed);
+  s.protocol = protocol;
+  s.topology = topo;
+  s.initial_spread = Dur::millis(100);
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(40);
+  if (topo == analysis::Scenario::TopologyKind::Ring) s.model.n = 10;
+  if (f_actual > 0) {
+    // The engines' fault parameters differ by design legitimacy: the
+    // trimming protocol cannot legally configure f = 3 at n = 7 (needs
+    // n >= 3f+1), so it runs at its maximum f = 2 while 3 processors
+    // actually lie; the broadcast engine needs only n > 2f and is
+    // configured for the real budget.
+    if (protocol == "st-broadcast") {
+      s.model.f = f_actual;
+    } else {
+      s.model.f = std::min(f_actual, core::ModelParams::max_f(s.model.n));
+    }
+    if (f_actual > core::ModelParams::max_f(s.model.n)) {
+      // Static over-a-third attack for the majority row: 3 liars hold
+      // for the middle two hours (f-limited for f = 3, not for f = 2).
+      std::vector<adversary::ControlInterval> ivs;
+      for (net::ProcId p = 0; p < f_actual; ++p)
+        ivs.push_back({p, RealTime(3600.0), RealTime(3 * 3600.0)});
+      s.schedule = adversary::Schedule(ivs);
+      s.strategy = strategy;
+      s.strategy_scale = Dur::seconds(30);
+      return analysis::run_scenario(s);
+    }
+    if (strategy == std::string("sig-replay")) {
+      // Interleaved pairs so every first victim of a pair recovers while
+      // the second is still controlled and replaying (still f-limited).
+      std::vector<adversary::ControlInterval> ivs;
+      double t = 1000.0;
+      int p = 0;
+      while (t + 900.0 < (s.horizon.sec() - 1800.0)) {
+        ivs.push_back({p % s.model.n, RealTime(t), RealTime(t + 600.0)});
+        ivs.push_back(
+            {(p + 3) % s.model.n, RealTime(t + 300.0), RealTime(t + 900.0)});
+        t += 900.0 + s.model.delta_period.sec() + 60.0;
+        ++p;
+      }
+      s.schedule = adversary::Schedule(ivs);
+    } else {
+      s.schedule = adversary::Schedule::random_mobile(
+          s.model.n, f_actual, s.model.delta_period, Dur::minutes(5),
+          Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(seed + 5));
+    }
+    s.strategy = strategy;
+    s.strategy_scale = Dur::seconds(30);
+  }
+  return analysis::run_scenario(s);
+}
+
+}  // namespace
+
+int main() {
+  print_header("E20: broadcast-based comparator ([10]/Srikanth-Toueg, §1.1)",
+               "broadcast: majority resilience + connectivity-only, but "
+               "higher cost, bigger clock steps, and the A4 signature-replay "
+               "exposure; convergence: thirds + full mesh, but artifact-free "
+               "recovery");
+
+  TextTable table({"workload", "engine", "max dev [ms]", "max adj [ms]",
+                   "msgs/h/proc", "recovered", "replays accepted"});
+  struct Case {
+    const char* label;
+    int f_actual;
+    analysis::Scenario::TopologyKind topo;
+    const char* strategy;
+  };
+  using TK = analysis::Scenario::TopologyKind;
+  const Case cases[] = {
+      {"fault-free, mesh n=7", 0, TK::FullMesh, ""},
+      {"f=2 two-faced (budget)", 2, TK::FullMesh, "two-faced"},
+      {"f=3 two-faced (majority)", 3, TK::FullMesh, "two-faced"},
+      {"fault-free RING n=10", 0, TK::Ring, ""},
+      {"f=2 sig-replay", 2, TK::FullMesh, "sig-replay"},
+  };
+  for (const auto& c : cases) {
+    for (const char* engine : {"sync", "st-broadcast"}) {
+      const auto r = run(engine, c.f_actual, c.topo, c.strategy, 20);
+      const double hours = 6.0;
+      const double n = c.topo == TK::Ring ? 10.0 : 7.0;
+      table.row({c.label, engine, ms(r.max_stable_deviation),
+                 ms(r.max_stable_discontinuity),
+                 num(static_cast<double>(r.messages_sent) / hours / n),
+                 r.recoveries.empty() ? "-" : (r.all_recovered() ? "all" : "NO"),
+                 std::to_string(r.replays_accepted)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: at the f=2 budget both engines hold. At f=3 (over\n"
+      "a third, under a half) the trimming engine is overwhelmed while the\n"
+      "broadcast engine stays synchronized — [10]'s majority advantage. On\n"
+      "the ring only the broadcast engine synchronizes (relays propagate\n"
+      "hop by hop) — the connectivity advantage. The prices: per-round\n"
+      "clock steps ~2delta (vs ~eps), a larger message bill, and the\n"
+      "sig-replay row — recovered processors accept stale genuine bundles\n"
+      "(replays > 0, recovery degraded), the A4 exposure. The convergence\n"
+      "engine ignores the same attacker completely.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace czsync::bench {
+
+/// Canonical WAN model used across experiments unless a sweep overrides
+/// it: delta = 50 ms, rho = 1e-4 (stress value), Delta = 1 h, SyncInt =
+/// 60 s => T ~ 60.2 s, K = 59, gamma ~ 0.91 s.
+inline analysis::Scenario wan_scenario(std::uint64_t seed = 1) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(30);
+  s.sample_period = Dur::seconds(15);
+  s.seed = seed;
+  return s;
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string ms(Dur d) {
+  if (!d.is_finite()) return d > Dur::zero() ? "inf" : "-inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", d.ms());
+  return buf;
+}
+
+inline std::string secs(Dur d) {
+  if (!d.is_finite()) return "never";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f", d.sec());
+  return buf;
+}
+
+inline std::string num(double v) { return fmt_num(v); }
+
+}  // namespace czsync::bench

@@ -1,0 +1,90 @@
+// E16 — partial connectivity (§5 open problem).
+//
+// "It would be interesting to show that it is sufficient that the
+// non-faulty processors form a sufficiently connected subgraph. If this
+// holds, it will also justify limiting the clock synchronization links
+// to a limited number of neighbors for each processor, which is one of
+// the practical advantages of convergence based clock synchronization."
+//
+// We run the protocol on random d-regular-ish graphs and G(n, p) graphs,
+// sweeping density, with the full mobile Byzantine budget. The Section-5
+// counterexample shows (3f+1)-connectivity alone is NOT sufficient; this
+// experiment maps where random (expander-like) sparse graphs actually
+// start working — evidence for the conjecture that expansion, not raw
+// connectivity, is the right notion.
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+#include "net/topology.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+int main() {
+  print_header("E16: sparse random topologies (§5 neighbor-limited sync)",
+               "conjecture: sufficiently-connected (expander-like) subgraphs "
+               "suffice; Section 5 proved raw (3f+1)-connectivity does not");
+
+  const int n = 16;
+  const int f = 2;  // trim per node; full mesh would tolerate (n-1)/3 = 5
+
+  std::printf("n = %d, trim f = %d, mobile two-faced adversary (budget f per "
+              "Delta), 8 h horizon\n\n", n, f);
+
+  TextTable table({"topology", "min degree", "vertex conn.", "max dev [ms]",
+                   "gamma [ms]", "bound holds", "all recovered"});
+
+  auto run_on = [&](const std::string& label, net::Topology topo) {
+    auto s = wan_scenario(17);
+    s.model.n = topo.size();  // rows may use their natural sizes
+    s.model.f = f;
+    s.topology = analysis::Scenario::TopologyKind::Custom;
+    s.custom_topology = topo;
+    s.horizon = Dur::hours(8);
+    s.schedule = adversary::Schedule::random_mobile(
+        s.model.n, f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+        RealTime(6.5 * 3600.0), Rng(171));
+    s.strategy = "two-faced";
+    s.strategy_scale = Dur::seconds(30);
+    const auto r = analysis::run_scenario(s);
+    table.row({label, std::to_string(topo.min_degree()),
+               std::to_string(topo.vertex_connectivity()),
+               ms(r.max_stable_deviation), ms(r.bounds.max_deviation),
+               r.max_stable_deviation < r.bounds.max_deviation ? "yes"
+                                                               : "BROKEN",
+               r.all_recovered() ? "all" : "NO"});
+  };
+
+  run_on("full mesh (control)", net::Topology::full_mesh(n));
+  {
+    Rng rng(41);
+    for (int d : {5, 7, 9, 12}) {
+      run_on("random ~" + std::to_string(d) + "-regular",
+             net::Topology::random_regular(n, d, rng));
+    }
+  }
+  {
+    Rng rng(42);
+    for (double p : {0.4, 0.6, 0.8}) {
+      char label[32];
+      std::snprintf(label, sizeof label, "G(n, %.1f)", p);
+      run_on(label, net::Topology::gnp_connected(n, p, rng));
+    }
+  }
+  run_on("ring (degenerate)", net::Topology::ring(n));
+  run_on("two-cliques f=2 (n=14)", net::Topology::two_cliques(2));
+
+  table.print(std::cout);
+
+  std::printf(
+      "\nNOTE: the last two rows use their natural sizes/shapes (ring n=16;\n"
+      "two-cliques n=14 with opposed drift NOT applied here — see E7 for\n"
+      "the drift-driven divergence; under two-faced attack the cliques'\n"
+      "trimming still isolates the single cross edge).\n"
+      "Expected shape: random graphs with min degree >= ~3f+2 behave like\n"
+      "the full mesh (bound holds, everyone recovers); the ring — minimum\n"
+      "degree 2 < f+1 — cannot even tolerate the trimming and free-runs;\n"
+      "structured bottlenecks (two-cliques) fail regardless of degree,\n"
+      "confirming that density without expansion is not enough.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E13 — rate-discipline ablation (§5 future directions).
+//
+// The paper: "practical protocols such as [NTP] involve many mechanisms
+// which may provide better results in typical cases, such as feedback to
+// estimate and compensate for clock drift. Such improvements may be
+// needed to our protocol (while making sure to retain security!)".
+//
+// We run the Sync protocol with and without the RateDiscipline extension
+// across drift magnitudes and under attack. Expected: at large rho the
+// discipline removes the predictable drift between Syncs and cuts the
+// steady-state deviation; under a full Byzantine mobile attack it must
+// not create a new attack surface (its input is the already-trimmed
+// convergence output, and its authority is clamped to rho).
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+analysis::RunResult run(double rho, bool discipline, bool attack,
+                        std::uint64_t seed) {
+  auto s = wan_scenario(seed);
+  s.model.rho = rho;
+  s.rate_discipline = discipline;
+  s.initial_spread = Dur::millis(20);
+  s.horizon = Dur::hours(8);
+  s.warmup = Dur::hours(1);
+  if (attack) {
+    s.schedule = adversary::Schedule::random_mobile(
+        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed + 131));
+    s.strategy = "max-pull";
+  }
+  return analysis::run_scenario(s);
+}
+
+}  // namespace
+
+int main() {
+  print_header("E13: rate-discipline ablation (§5 'compensate for drift')",
+               "frequency feedback shrinks typical-case deviation without "
+               "giving the Byzantine adversary a new lever (authority capped "
+               "at rho)");
+
+  TextTable table({"rho", "attack", "deviation OFF [ms]", "deviation ON [ms]",
+                   "improvement", "ON rate excess", "ON recovered"});
+  for (double rho : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    for (bool attack : {false, true}) {
+      const auto off = run(rho, false, attack, 13);
+      const auto on = run(rho, true, attack, 13);
+      char imp[32];
+      std::snprintf(imp, sizeof imp, "%.2fx",
+                    off.max_stable_deviation /
+                        std::max(on.max_stable_deviation, Dur::micros(1)));
+      table.row({num(rho), attack ? "max-pull" : "-",
+                 ms(off.max_stable_deviation), ms(on.max_stable_deviation),
+                 imp, num(on.max_rate_excess),
+                 on.all_recovered() ? "all" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: at rho <= 1e-5 the reading error dominates and the\n"
+      "discipline changes little; at rho = 1e-3 the drift accumulated over\n"
+      "one SyncInt (~60 ms) is the dominant term and the discipline wins\n"
+      "clearly. The attack columns show no degradation vs. fault-free ON\n"
+      "rows: the estimator only consumes trimmed data and its slew rate is\n"
+      "clamped to rho, so Theorem 5 still applies (with rho' <= 2 rho).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E11 — the clock-estimation procedure (§3.1, Definition 4).
+//
+// Directly exercises the ping estimator between two live nodes under
+// every delay model: distribution of the reported error bound a (must be
+// <= eps = delta(1+rho)) and of the true estimation error |d - true
+// offset| (must be <= a). Also reproduces the §3.1 remark that repeating
+// the ping and keeping the smallest round trip shrinks the error.
+#include "bench_common.h"
+
+#include <memory>
+
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/estimate.h"
+#include "core/params.h"
+#include "net/delay_model.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+struct PingStats {
+  Series err;        // |d - true offset|
+  Series bound;      // a
+  std::size_t violations = 0;  // err > a (must be 0)
+};
+
+/// Simulates `rounds` ping exchanges through a delay model, with the
+/// responder's clock offset by `true_offset` and both clocks drifting.
+PingStats measure(const net::DelayModel& dm, int rounds, int best_of_k,
+                  std::uint64_t seed) {
+  sim::Simulator sim;
+  const double rho = 1e-4;
+  clk::HardwareClock hw_p(sim, clk::make_constant_drift(rho), Rng(seed));
+  clk::HardwareClock hw_q(sim, clk::make_constant_drift(rho), Rng(seed + 1),
+                          ClockTime(3.0));  // true offset ~3 s
+  clk::LogicalClock cp(hw_p), cq(hw_q);
+  Rng rng(seed + 2);
+
+  PingStats out;
+  for (int i = 0; i < rounds; ++i) {
+    core::Estimate best = core::Estimate::timeout();
+    for (int k = 0; k < best_of_k; ++k) {
+      const ClockTime s_local = cp.read();
+      const Dur fwd = dm.sample(rng, 0, 1);
+      sim.run_until(sim.now() + fwd);
+      const ClockTime c_remote = cq.read();
+      const Dur back = dm.sample(rng, 1, 0);
+      sim.run_until(sim.now() + back);
+      const ClockTime r_local = cp.read();
+      const auto e = core::estimate_from_ping(s_local, c_remote, r_local);
+      if (e.a < best.a) best = e;
+    }
+    const double truth = cq.read().sec() - cp.read().sec();
+    const double err = std::abs(best.d.sec() - truth);
+    out.err.add(err * 1e3);
+    out.bound.add(best.a.sec() * 1e3);
+    if (err > best.a.sec() + 1e-9) ++out.violations;
+    sim.run_until(sim.now() + Dur::seconds(rng.uniform(0.5, 2.0)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E11: clock-estimation error (§3.1, Definition 4)",
+               "the ping estimator returns (d, a) with the true offset in "
+               "[d-a, d+a] and a <= eps = delta(1+rho); best-of-k pings "
+               "shrink the error at the cost of timeliness");
+
+  const Dur delta = Dur::millis(50);
+  const Dur eps = core::reading_error_bound(1e-4, delta);
+  std::printf("delta = %s ms, eps = %s ms\n\n", ms(delta).c_str(),
+              ms(eps).c_str());
+
+  struct Model {
+    const char* name;
+    std::unique_ptr<net::DelayModel> dm;
+  };
+  std::vector<Model> models;
+  models.push_back({"fixed (symmetric)", net::make_fixed_delay(delta)});
+  models.push_back({"uniform", net::make_uniform_delay(delta, delta * 0.1)});
+  models.push_back({"asymmetric 9:1", net::make_asymmetric_delay(delta)});
+  models.push_back(
+      {"jitter (exp tail)", net::make_jitter_delay(delta, delta * 0.15, delta * 0.2)});
+
+  TextTable table({"delay model", "k", "mean err [ms]", "p99 err [ms]",
+                   "mean a [ms]", "max a [ms]", "a <= eps", "violations"});
+  for (auto& m : models) {
+    for (int k : {1, 3, 8}) {
+      const auto st = measure(*m.dm, 2000, k, 11);
+      table.row({m.name, std::to_string(k), num(st.err.mean()),
+                 num(st.err.quantile(0.99)), num(st.bound.mean()),
+                 num(st.bound.max()),
+                 st.bound.max() <= eps.ms() + 1e-9 ? "yes" : "NO",
+                 std::to_string(st.violations)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: zero Def.-4 violations everywhere and max a <= eps.\n"
+      "Symmetric fixed delays estimate near-perfectly; the asymmetric model\n"
+      "pushes the true error toward a (the estimator cannot tell which leg\n"
+      "was slow); best-of-k with the jittered model approaches the fixed-\n"
+      "delay error because short round trips dominate, the NTP trick.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E12 — engineering benchmarks (google-benchmark).
+//
+// Simulator throughput, clock-stack overhead, and the end-to-end cost of
+// simulating one hour of protocol time as n grows (message complexity is
+// O(n^2) per SyncInt across the network).
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.h"
+#include "clock/hardware_clock.h"
+#include "core/convergence.h"
+#include "sim/simulator.h"
+
+using namespace czsync;
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long n = 0;
+    std::function<void()> chain = [&] {
+      if (++n < state.range(0)) sim.schedule_after(Dur::millis(1), chain);
+    };
+    sim.schedule_after(Dur::millis(1), chain);
+    sim.run_until(RealTime::infinity());
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(10000)->Arg(100000);
+
+void BM_HardwareClockRead(benchmark::State& state) {
+  sim::Simulator sim;
+  clk::HardwareClock hw(sim, clk::make_constant_drift(1e-4), Rng(1));
+  for (auto _ : state) benchmark::DoNotOptimize(hw.read());
+}
+BENCHMARK(BM_HardwareClockRead);
+
+void BM_ConvergenceFunction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::PeerEstimate> est;
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = rng.uniform(-0.1, 0.1);
+    est.push_back({Dur::seconds(d + 0.05), Dur::seconds(d - 0.05)});
+  }
+  core::BhhnConvergence fn;
+  const int f = (static_cast<int>(n) - 1) / 3;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fn.apply(est, f, Dur::seconds(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConvergenceFunction)->Arg(7)->Arg(31)->Arg(101);
+
+void BM_SimulatedHour(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t events = 0, messages = 0;
+  for (auto _ : state) {
+    analysis::Scenario s;
+    s.model.n = n;
+    s.model.f = core::ModelParams::max_f(n);
+    s.model.rho = 1e-4;
+    s.model.delta = Dur::millis(50);
+    s.model.delta_period = Dur::hours(1);
+    s.sync_int = Dur::minutes(1);
+    s.horizon = Dur::hours(1);
+    s.sample_period = Dur::minutes(1);
+    s.seed = 1;
+    const auto r = analysis::run_scenario(s);
+    events = r.events_executed;
+    messages = r.messages_sent;
+    benchmark::DoNotOptimize(r.max_stable_deviation);
+  }
+  state.counters["sim_events"] = static_cast<double>(events);
+  state.counters["protocol_msgs"] = static_cast<double>(messages);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(events));
+}
+BENCHMARK(BM_SimulatedHour)->Arg(4)->Arg(7)->Arg(16)->Arg(31)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

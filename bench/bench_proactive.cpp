@@ -1,0 +1,122 @@
+// E10 — the motivating application (§1): proactive security needs
+// securely synchronized clocks.
+//
+// A 7-node proactive secret-sharing service refreshes shares once per
+// period Delta, with epochs derived from each node's LOGICAL clock. A
+// round-robin mobile adversary (f = 2 per period) captures the current
+// share at every break-in and also smashes the victim's clock. The
+// secret is lost iff >= f+1 = 3 shares of one epoch are captured.
+//   * with BHHN sync: victims recover their clocks, refreshes stay
+//     aligned, exposure per epoch stays <= f;
+//   * without sync ("none"): smashed clocks fall behind, stale shares
+//     survive across periods, and the adversary assembles 3 shares of
+//     one epoch — exactly the failure mode the paper's introduction
+//     warns about.
+#include "bench_common.h"
+
+#include <memory>
+
+#include "adversary/schedule.h"
+#include "analysis/world.h"
+#include "proactive/audit.h"
+#include "proactive/refresh.h"
+#include "proactive/secret_sharing.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t captures = 0;
+  int worst_exposure = 0;
+  bool compromised = false;
+  std::uint64_t refreshes = 0;
+  Dur max_dev;
+};
+
+Outcome run(const std::string& convergence, Dur smash, std::uint64_t seed) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.convergence = convergence;
+  s.initial_spread = Dur::millis(100);
+  s.horizon = Dur::hours(12);
+  s.seed = seed;
+  s.schedule = adversary::Schedule::round_robin_sweep(
+      7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
+      RealTime(600.0), RealTime(11.0 * 3600.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = smash;
+
+  analysis::World world(s);
+  proactive::ShareStore store(7, 0xfeedULL);
+  proactive::Auditor auditor(store);
+  std::vector<std::unique_ptr<proactive::RefreshProcess>> refreshers;
+  for (int p = 0; p < 7; ++p) {
+    auto& node = world.node(p);
+    refreshers.push_back(std::make_unique<proactive::RefreshProcess>(
+        node.clock(), world.network(), p, store, s.model.delta_period,
+        /*announce=*/false));
+    node.app_suspend = [rp = refreshers.back().get()] { rp->suspend(); };
+    node.app_resume = [rp = refreshers.back().get()] { rp->resume(); };
+  }
+  for (const auto& iv : s.schedule.intervals()) {
+    world.simulator().schedule_at(
+        iv.start, [&auditor, p = iv.proc] { auditor.capture(p); });
+  }
+  for (auto& rp : refreshers) rp->start();
+  world.run();
+
+  Outcome out;
+  out.captures = auditor.captures();
+  out.worst_exposure = auditor.worst_epoch_exposure();
+  out.compromised = auditor.compromised(s.model.f + 1);
+  out.refreshes = store.refresh_count();
+  out.max_dev = world.observer().max_stable_deviation();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E10: proactive secret sharing over the clock service (§1)",
+               "proactive security assumes synchronized clocks; with the Sync "
+               "protocol the mobile adversary never holds f+1 same-epoch "
+               "shares, without it the stale shares of stuck clocks leak the "
+               "secret");
+
+  TextTable table({"clock service", "smash", "captures", "worst epoch exposure",
+                   "f+1 = 3 reached", "refreshes", "secret"});
+  struct Case {
+    const char* label;
+    const char* conv;
+    Dur smash;
+  };
+  for (const Case c :
+       {Case{"BHHN Sync", "bhhn", Dur::minutes(-130)},
+        Case{"BHHN Sync (mild faults)", "bhhn", Dur::minutes(-10)},
+        Case{"no sync", "none", Dur::minutes(-130)},
+        Case{"no sync (mild faults)", "none", Dur::minutes(-10)}}) {
+    const Outcome o = run(c.conv, c.smash, 33);
+    char smash_s[32];
+    std::snprintf(smash_s, sizeof smash_s, "%+.0f min", c.smash.sec() / 60.0);
+    table.row({c.label, smash_s, std::to_string(o.captures),
+               std::to_string(o.worst_exposure), o.compromised ? "YES" : "no",
+               std::to_string(o.refreshes),
+               o.compromised ? "COMPROMISED" : "safe"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: with BHHN the exposure never exceeds f = 2 (safe)\n"
+      "even under -130 min smashes; without synchronization the -130 min\n"
+      "smash freezes victims two epochs back and the adversary assembles 3\n"
+      "shares of a single epoch — the secret is reconstructed. Mild faults\n"
+      "without sync may survive by luck; the guarantee is gone either way.\n");
+  return 0;
+}

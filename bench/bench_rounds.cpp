@@ -1,0 +1,88 @@
+// E17 — "No rounds" ablation (§3.3).
+//
+// The paper's §3.3 singles out the absence of rounds as a key design
+// choice for the mobile-adversary setting: round-based algorithms must
+// recover "the current round number, last round's clock, and the time to
+// begin the next round" after every break-in. We implemented a faithful
+// round-based variant of the same protocol (round-tagged estimates,
+// cross-round replies discarded, an explicit join for stale processors)
+// and compare the two engines on identical workloads.
+//
+// What to look for:
+//   * steady state: identical guarantee (rounds cost nothing when
+//     nothing fails);
+//   * under a mobile adversary: the round engine pays joins (extra
+//     protocol machinery on every recovery) and mismatch discards (a
+//     recovering processor is useless to its peers until it rejoins —
+//     an extra effective fault the no-rounds design simply avoids);
+//   * recovery latency: the join adds up to one full SyncInt before the
+//     recovering clock becomes useful again.
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+struct Row {
+  analysis::RunResult result;
+};
+
+analysis::RunResult run(const std::string& protocol, const std::string& strategy,
+                        bool faults, std::uint64_t seed) {
+  auto s = wan_scenario(seed);
+  s.protocol = protocol;
+  s.horizon = Dur::hours(8);
+  s.initial_spread = Dur::millis(50);
+  if (faults) {
+    s.schedule = adversary::Schedule::random_mobile(
+        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed + 3));
+    s.strategy = strategy;
+    s.strategy_scale = Dur::minutes(5);
+  }
+  return analysis::run_scenario(s);
+}
+
+}  // namespace
+
+int main() {
+  print_header("E17: rounds vs no-rounds (§3.3 design choice)",
+               "round-based algorithms must recover round state after every "
+               "break-in; the paper's no-rounds design answers with the "
+               "current clock and needs no join machinery");
+
+  TextTable table({"workload", "engine", "max dev [ms]", "max recovery [s]",
+                   "joins", "mismatch discards", "recovered"});
+  struct Case {
+    const char* label;
+    const char* strategy;
+    bool faults;
+  };
+  for (const Case c : {Case{"fault-free", "", false},
+                       Case{"mobile clock-smash", "clock-smash-random", true},
+                       Case{"mobile two-faced", "two-faced", true}}) {
+    for (const char* engine : {"sync", "round"}) {
+      const auto r = run(engine, c.strategy, c.faults, 18);
+      table.row({c.label, engine, ms(r.max_stable_deviation),
+                 r.recoveries.empty() ? "-" : secs(r.max_recovery_time()),
+                 std::to_string(r.joins), std::to_string(r.mismatch_discards),
+                 r.recoveries.empty() ? "-"
+                                      : (r.all_recovered() ? "all" : "NO")});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: identical fault-free rows; under the mobile\n"
+      "adversary the round engine reports one join per break-in and a\n"
+      "burst of mismatch discards around each recovery (its replies are\n"
+      "useless to peers until the join lands), and its recovery lags the\n"
+      "no-rounds engine by up to one SyncInt. Deviation stays bounded for\n"
+      "both — the cost of rounds here is machinery and recovery latency,\n"
+      "exactly the implementation burden §3.3 calls out (plus the state\n"
+      "that 'has to be recovered from a break-in').\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E18 — statistical robustness: the headline claims across many seeds.
+//
+// Every other experiment reports one seeded trajectory; this one runs
+// the canonical adversarial workload (n = 7, f = 2, mobile adversary at
+// full budget) across 20 seeds per strategy and reports the across-seed
+// distribution of the Definition-3 metrics. The hard requirements are
+// the rightmost columns: ZERO bound violations and ZERO unrecovered runs.
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+#include "analysis/sweep.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+int main() {
+  print_header("E18: Theorem 5 across 20 seeds per strategy",
+               "the deviation/recovery guarantees are worst-case promises: "
+               "no seed may violate them");
+
+  const int kSeeds = 20;
+  TextTable table({"strategy", "max dev min/mean/max [ms]",
+                   "recovery mean/max [s]", "violations", "unrecovered"});
+  for (const char* strategy :
+       {"silent", "clock-smash-random", "constant-lie", "two-faced",
+        "max-pull", "random-lie"}) {
+    auto make = [strategy](std::uint64_t seed) {
+      auto s = wan_scenario(seed);
+      s.horizon = Dur::hours(8);
+      s.schedule = adversary::Schedule::random_mobile(
+          s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+          Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed * 31 + 7));
+      s.strategy = strategy;
+      s.strategy_scale = Dur::seconds(30);
+      return s;
+    };
+    const auto sweep = analysis::run_sweep(make, 100, kSeeds);
+    char devs[64], recs[64];
+    std::snprintf(devs, sizeof devs, "%.1f / %.1f / %.1f",
+                  sweep.max_deviation.min() * 1e3,
+                  sweep.max_deviation.mean() * 1e3,
+                  sweep.max_deviation.max() * 1e3);
+    std::snprintf(recs, sizeof recs, "%.1f / %.1f", sweep.max_recovery.mean(),
+                  sweep.max_recovery.max());
+    table.row({strategy, devs, recs, std::to_string(sweep.bound_violations),
+               std::to_string(sweep.unrecovered_runs)});
+  }
+  table.print(std::cout);
+
+  const auto bounds = core::TheoremBounds::compute(
+      wan_scenario().model,
+      core::ProtocolParams::derive(wan_scenario().model, Dur::minutes(1)));
+  std::printf(
+      "\ngamma = %.1f ms, Delta = 3600 s. Expected shape: zero violations\n"
+      "and zero unrecovered runs in every row; max-deviation distributions\n"
+      "tightly clustered far below gamma; recovery maxima bounded by a few\n"
+      "SyncInt (the WayOff jump plus sampling granularity).\n",
+      bounds.max_deviation.ms());
+  return 0;
+}

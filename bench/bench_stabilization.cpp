@@ -1,0 +1,101 @@
+// E15 — arbitrary initial states (§5 self-stabilization question).
+//
+// "An alternative way of asking the same question is what happens when
+// the adversary is limited, but the initial clock values of the
+// processors are arbitrary." The paper leaves this open ("it is not
+// clear if our algorithm is self stabilizing"). We probe it empirically:
+// start ALL clocks at arbitrary offsets (spread swept 1 s ... 10^6 s)
+// and measure the time until the ensemble first satisfies the gamma
+// deviation bound, with and without a concurrent mobile adversary.
+//
+// Mechanism to watch: with everyone mutually beyond WayOff, every node's
+// step-10 test fails and each jumps to the midrange of its *trimmed*
+// view — a contraction of the global spread by ~2x per round, i.e.
+// convergence in O(log(spread/gamma)) Syncs from ANY initial state.
+// That is evidence for (not a proof of) self-stabilization.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "adversary/schedule.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+/// First sample time at which the stable deviation drops below gamma and
+/// stays below it to the end of the run.
+Dur settle_time(const analysis::RunResult& r) {
+  const double gamma = r.bounds.max_deviation.sec();
+  double settled_at = -1.0;
+  for (const auto& s : r.series) {
+    if (s.stable_deviation <= gamma) {
+      if (settled_at < 0) settled_at = s.t.sec();
+    } else {
+      settled_at = -1.0;
+    }
+  }
+  return settled_at < 0 ? Dur::infinity() : Dur::seconds(settled_at);
+}
+
+}  // namespace
+
+int main() {
+  print_header("E15: arbitrary initial clocks (§5 self-stabilization probe)",
+               "open question in the paper; measured: convergence in "
+               "O(log(spread)) Sync rounds from any initial state");
+
+  TextTable table({"initial spread", "settle (no faults)", "settle (mobile "
+                   "two-faced)", "rounds to settle", "log2(spread/gamma)"});
+  for (double spread_s : {1.0, 60.0, 3600.0, 86400.0, 1e6}) {
+    Dur settle_plain, settle_attack;
+    std::uint64_t rounds_needed = 0;
+    for (int attack = 0; attack < 2; ++attack) {
+      auto s = wan_scenario(16);
+      s.initial_spread = Dur::seconds(spread_s);
+      s.horizon = Dur::hours(6);
+      s.warmup = Dur::zero();
+      s.sample_period = Dur::seconds(15);
+      s.record_series = true;
+      if (attack) {
+        s.schedule = adversary::Schedule::random_mobile(
+            s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+            Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(161));
+        s.strategy = "two-faced";
+        s.strategy_scale = Dur::seconds(30);
+      }
+      const auto r = analysis::run_scenario(s);
+      const Dur t = settle_time(r);
+      if (attack) {
+        settle_attack = t;
+      } else {
+        settle_plain = t;
+        rounds_needed = t.is_finite()
+                            ? static_cast<std::uint64_t>(
+                                  std::ceil(t.sec() / s.sync_int.sec()))
+                            : 0;
+      }
+    }
+    const double gamma =
+        core::TheoremBounds::compute(
+            wan_scenario().model,
+            core::ProtocolParams::derive(wan_scenario().model, Dur::minutes(1)))
+            .max_deviation.sec();
+    char logr[32];
+    std::snprintf(logr, sizeof logr, "%.1f", std::log2(spread_s / gamma));
+    char sp[32];
+    std::snprintf(sp, sizeof sp, "%g s", spread_s);
+    table.row({sp, secs(settle_plain), secs(settle_attack),
+               std::to_string(rounds_needed), logr});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: settle time grows logarithmically in the initial\n"
+      "spread (rounds ~ log2(spread/gamma) plus a constant), and the mobile\n"
+      "two-faced adversary adds little — empirical support for extending\n"
+      "the protocol's guarantee to arbitrary initial states, the open\n"
+      "problem the paper poses next to [11, 12].\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E7 — Section 5 counterexample: (3f+1)-connectivity is not enough.
+//
+// Two (3f+1)-cliques joined by a perfect matching (vertex connectivity
+// exactly 3f+1), clique A pinned to the fastest legal rate and clique B
+// to the slowest — with ZERO faults. Because each node's single cross-
+// clique estimate is always trimmed by the (f+1)-st order statistic, the
+// cliques free-run apart at ~2rho/(1+rho) per unit time, while a full
+// mesh with the identical drift pattern stays synchronized.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topology.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+struct CliqueTrace {
+  std::vector<double> t_hours;
+  std::vector<double> intra_ms;  // worst intra-clique spread
+  std::vector<double> inter_ms;  // gap between clique hulls
+};
+
+CliqueTrace run(int f, analysis::Scenario::TopologyKind topo) {
+  analysis::Scenario s;
+  s.model.n = 6 * f + 2;
+  s.model.f = f;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.topology = topo;
+  s.drift = analysis::Scenario::DriftKind::OpposedHalves;
+  s.initial_spread = Dur::zero();
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::zero();
+  s.sample_period = Dur::minutes(1);
+  s.record_series = true;
+  s.seed = 7;
+  const auto r = analysis::run_scenario(s);
+
+  CliqueTrace out;
+  const int half = s.model.n / 2;
+  for (const auto& smp : r.series) {
+    const double th = smp.t.sec() / 3600.0;
+    if (std::fmod(th, 1.0) > 1e-9) continue;  // hourly rows
+    double a_lo = 1e18, a_hi = -1e18, b_lo = 1e18, b_hi = -1e18;
+    for (int p = 0; p < half; ++p) {
+      a_lo = std::min(a_lo, smp.bias[static_cast<std::size_t>(p)]);
+      a_hi = std::max(a_hi, smp.bias[static_cast<std::size_t>(p)]);
+    }
+    for (int p = half; p < s.model.n; ++p) {
+      b_lo = std::min(b_lo, smp.bias[static_cast<std::size_t>(p)]);
+      b_hi = std::max(b_hi, smp.bias[static_cast<std::size_t>(p)]);
+    }
+    out.t_hours.push_back(th);
+    out.intra_ms.push_back(std::max(a_hi - a_lo, b_hi - b_lo) * 1e3);
+    // Signed hull gap (positive once the cliques separate).
+    out.inter_ms.push_back((a_lo > b_hi ? a_lo - b_hi : b_lo - a_hi) * 1e3);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E7: two-cliques counterexample (Section 5)",
+               "a (3f+1)-connected graph of two cliques + matching defeats "
+               "the protocol: the cliques' clocks drift apart with no faults "
+               "at all, while a full mesh stays synchronized");
+
+  const int f = 1;
+  const auto kappa = net::Topology::two_cliques(f).vertex_connectivity();
+  std::printf("graph: 2 x K_%d + matching, n = %d, vertex connectivity = %d "
+              "(= 3f+1 = %d)\n\n",
+              3 * f + 1, 6 * f + 2, kappa, 3 * f + 1);
+
+  const auto cliques = run(f, analysis::Scenario::TopologyKind::TwoCliques);
+  const auto mesh = run(f, analysis::Scenario::TopologyKind::FullMesh);
+
+  TextTable table({"t [h]", "two-cliques intra [ms]", "two-cliques gap [ms]",
+                   "full-mesh spread(all) [ms]"});
+  for (std::size_t i = 0; i < cliques.t_hours.size(); ++i) {
+    // For the mesh control, intra(ms) over halves still measures hull
+    // spread; its "gap" stays negative (hulls overlap) — print overall
+    // spread instead.
+    const double mesh_spread =
+        i < mesh.intra_ms.size()
+            ? std::max(mesh.intra_ms[i], std::max(0.0, mesh.inter_ms[i]))
+            : 0.0;
+    table.row({num(cliques.t_hours[i]), num(cliques.intra_ms[i]),
+               num(cliques.inter_ms[i]), num(mesh_spread)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: intra-clique spread ~0 ms throughout; the inter-\n"
+      "clique gap grows linearly at ~2*rho*3600s/h = %.0f ms/h and dwarfs\n"
+      "gamma within the first hour; the full-mesh control stays bounded.\n",
+      2 * 1e-4 * 3600 * 1e3 / (1 + 1e-4));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E21 — WayOff threshold ablation (the §3.2 design constant).
+//
+// The analysis sets WayOff = gamma_hat + eps (Appendix A.2) and requires
+// WayOff >= gamma + eps with gamma > 16 eps. §3.3 claims parameters "may
+// overestimate [the model values] by a multiplicative factor without
+// much harm". This ablation sweeps a multiplier on the derived WayOff:
+//   * below ~eps-scale the step-10 test misfires on healthy rounds
+//     (false escapes: the processor keeps abandoning its own clock);
+//   * at 1x, the paper's behaviour: zero escapes in steady state, one
+//     escape per far-off recovery;
+//   * large multipliers are safe-but-slower: a clock displaced between
+//     gamma and WayOff must walk back by halving instead of jumping, so
+//     recovery time grows with the multiplier — quantifying the "without
+//     much harm" claim (harm = recovery latency only).
+#include "bench_common.h"
+
+#include "adversary/schedule.h"
+
+using namespace czsync;
+using namespace czsync::bench;
+
+namespace {
+
+struct Row {
+  Dur steady_dev;
+  std::uint64_t steady_escapes = 0;
+  Dur recovery_small;  // offset 5 s (inside large WayOffs)
+  Dur recovery_large;  // offset 10 min (beyond every WayOff in the sweep)
+  Dur attack_dev;
+};
+
+Row run_scale(double scale) {
+  Row out{};
+  {  // steady state
+    auto s = wan_scenario(21);
+    s.way_off_scale = scale;
+    s.initial_spread = Dur::millis(20);
+    s.horizon = Dur::hours(6);
+    s.warmup = Dur::hours(1);
+    const auto r = analysis::run_scenario(s);
+    out.steady_dev = r.max_stable_deviation;
+    out.steady_escapes = r.way_off_rounds;
+  }
+  auto recovery = [&](Dur offset) {
+    auto s = wan_scenario(21);
+    s.way_off_scale = scale;
+    s.initial_spread = Dur::millis(20);
+    s.warmup = Dur::zero();
+    s.horizon = Dur::hours(3);
+    s.sample_period = Dur::seconds(5);
+    s.schedule =
+        adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+    s.strategy = "clock-smash";
+    s.strategy_scale = offset;
+    const auto r = analysis::run_scenario(s);
+    return r.all_recovered() ? r.max_recovery_time() : Dur::infinity();
+  };
+  out.recovery_small = recovery(Dur::seconds(5));
+  out.recovery_large = recovery(Dur::minutes(10));
+  {  // full mobile two-faced attack
+    auto s = wan_scenario(21);
+    s.way_off_scale = scale;
+    s.horizon = Dur::hours(6);
+    s.schedule = adversary::Schedule::random_mobile(
+        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+        Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(210));
+    s.strategy = "two-faced";
+    s.strategy_scale = Dur::seconds(30);
+    const auto r = analysis::run_scenario(s);
+    out.attack_dev = r.max_stable_deviation;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("E21: WayOff threshold ablation (§3.2 / Appendix A.2)",
+               "WayOff = gamma_hat + eps; smaller misfires the own-clock "
+               "test, larger only slows mid-range recovery — the 'may "
+               "overestimate without much harm' claim, quantified");
+
+  const auto model = wan_scenario().model;
+  const auto proto = core::ProtocolParams::derive(model, Dur::minutes(1));
+  std::printf("derived WayOff = %.0f ms (eps = %.0f ms, gamma = %.0f ms)\n\n",
+              proto.way_off.ms(),
+              core::reading_error_bound(model.rho, model.delta).ms(),
+              core::TheoremBounds::compute(model, proto).max_deviation.ms());
+
+  TextTable table({"WayOff scale", "WayOff [ms]", "steady dev [ms]",
+                   "steady escapes", "recovery 5 s off [s]",
+                   "recovery 600 s off [s]", "attack dev [ms]"});
+  for (double scale : {0.02, 0.05, 0.25, 1.0, 4.0, 16.0, 64.0}) {
+    const Row r = run_scale(scale);
+    char sc[16];
+    std::snprintf(sc, sizeof sc, "%gx", scale);
+    table.row({sc, ms(proto.way_off * scale), ms(r.steady_dev),
+               std::to_string(r.steady_escapes), secs(r.recovery_small),
+               secs(r.recovery_large), ms(r.attack_dev)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected shape: at 0.02x (19 ms < eps) the escape branch fires\n"
+      "constantly in steady state — the own-clock preservation that the\n"
+      "normal branch provides is lost, and under attack the liars can\n"
+      "steer the midrange jumps. From ~0.25x through 1x: zero steady\n"
+      "escapes and fast recovery. Beyond 1x: still zero escapes and the\n"
+      "600 s recovery stays fast (600 s > WayOff up to 64x? no — at 64x\n"
+      "WayOff ~ 61 s < 600 s, still a jump), but the 5 s offset falls\n"
+      "inside WayOff from 16x on and must halve its way back: recovery\n"
+      "grows logarithmically. 'Overestimating' WayOff is indeed harmless\n"
+      "for safety and costs only mid-range recovery latency.\n");
+  return 0;
+}

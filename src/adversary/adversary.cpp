@@ -1,0 +1,73 @@
+#include "adversary/adversary.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace czsync::adversary {
+
+Adversary::Adversary(sim::Simulator& sim, Schedule schedule,
+                     std::shared_ptr<Strategy> strategy, WorldSpy spy, Rng rng)
+    : sim_(sim),
+      schedule_(std::move(schedule)),
+      strategy_(std::move(strategy)),
+      spy_(std::move(spy)),
+      rng_(rng) {
+  assert(strategy_ != nullptr);
+  // The spy's controlled-query is answered by this engine.
+  spy_.is_controlled = [this](net::ProcId p) { return is_controlled(p); };
+}
+
+void Adversary::attach(std::vector<ControlledProcess*> procs) {
+  assert(procs_.empty() && "attach must be called once");
+  procs_ = std::move(procs);
+  control_depth_.assign(procs_.size(), 0);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    assert(procs_[i] != nullptr && procs_[i]->id() == static_cast<net::ProcId>(i));
+  }
+  for (const auto& iv : schedule_.intervals()) {
+    assert(iv.proc >= 0 && iv.proc < static_cast<net::ProcId>(procs_.size()));
+    sim_.schedule_at(iv.start, [this, p = iv.proc] { break_in(p); });
+    sim_.schedule_at(iv.end, [this, p = iv.proc] { leave(p); });
+  }
+}
+
+bool Adversary::is_controlled(net::ProcId p) const {
+  if (p < 0 || static_cast<std::size_t>(p) >= control_depth_.size()) return false;
+  return control_depth_[static_cast<std::size_t>(p)] > 0;
+}
+
+AdvContext Adversary::context() { return AdvContext{sim_, spy_, rng_}; }
+
+void Adversary::break_in(net::ProcId p) {
+  auto& depth = control_depth_[static_cast<std::size_t>(p)];
+  ++depth;
+  if (depth > 1) return;  // already controlled (overlapping intervals)
+  ++break_ins_;
+  CZ_DEBUG << "adversary breaks into " << p << " at " << sim_.now();
+  auto& proc = *procs_[static_cast<std::size_t>(p)];
+  proc.suspend_protocol();
+  auto ctx = context();
+  strategy_->on_break_in(ctx, proc);
+}
+
+void Adversary::leave(net::ProcId p) {
+  auto& depth = control_depth_[static_cast<std::size_t>(p)];
+  assert(depth > 0);
+  --depth;
+  if (depth > 0) return;
+  CZ_DEBUG << "adversary leaves " << p << " at " << sim_.now();
+  auto& proc = *procs_[static_cast<std::size_t>(p)];
+  auto ctx = context();
+  strategy_->on_leave(ctx, proc);
+  proc.resume_protocol();
+}
+
+void Adversary::deliver_to_strategy(ControlledProcess& proc,
+                                    const net::Message& msg) {
+  assert(is_controlled(proc.id()));
+  auto ctx = context();
+  strategy_->on_message(ctx, proc, msg);
+}
+
+}  // namespace czsync::adversary

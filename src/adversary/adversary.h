@@ -1,0 +1,56 @@
+// The adversary engine: executes a Schedule against live processors.
+//
+// At each break-in it suspends the victim's protocol and hands control to
+// the Strategy; at each leave it restores the correct protocol. Inbound
+// messages for controlled processors are routed to the Strategy by the
+// node dispatch (see analysis::Node), so the uncorrupted network layer
+// never needs to know who is faulty.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/control.h"
+#include "adversary/schedule.h"
+#include "adversary/strategies.h"
+#include "sim/simulator.h"
+
+namespace czsync::adversary {
+
+class Adversary {
+ public:
+  /// `spy` must be fully populated; it is shared with strategies.
+  Adversary(sim::Simulator& sim, Schedule schedule,
+            std::shared_ptr<Strategy> strategy, WorldSpy spy, Rng rng);
+
+  /// Registers the processors and schedules every break-in/leave event.
+  /// `procs[i]` must be processor id i. Call once, before running.
+  void attach(std::vector<ControlledProcess*> procs);
+
+  /// Whether processor p is currently controlled.
+  [[nodiscard]] bool is_controlled(net::ProcId p) const;
+
+  /// Routes a message delivered to a controlled processor to the strategy.
+  void deliver_to_strategy(ControlledProcess& proc, const net::Message& msg);
+
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+  [[nodiscard]] const Strategy& strategy() const { return *strategy_; }
+  [[nodiscard]] const WorldSpy& spy() const { return spy_; }
+  [[nodiscard]] std::uint64_t break_ins() const { return break_ins_; }
+
+ private:
+  void break_in(net::ProcId p);
+  void leave(net::ProcId p);
+  AdvContext context();
+
+  sim::Simulator& sim_;
+  Schedule schedule_;
+  std::shared_ptr<Strategy> strategy_;
+  WorldSpy spy_;
+  Rng rng_;
+  std::vector<ControlledProcess*> procs_;
+  std::vector<int> control_depth_;  // >0 while controlled (overlap-safe)
+  std::uint64_t break_ins_ = 0;
+};
+
+}  // namespace czsync::adversary

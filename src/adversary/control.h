@@ -1,0 +1,67 @@
+// Interfaces between the adversary engine and the processors it corrupts.
+//
+// The adversary of §2.2 can, while controlling processor p:
+//   * read and modify p's entire state, including adj_p;
+//   * send arbitrary messages from p (but not forge other senders);
+//   * suppress p's own protocol (kill its timers/threads).
+// When it leaves, it has no further access, and p resumes the correct
+// protocol from whatever state was left behind — recovery must work with
+// no indication that anything happened.
+#pragma once
+
+#include <functional>
+
+#include "clock/logical_clock.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::adversary {
+
+/// The adversary's handle on a processor it currently controls.
+/// Implemented by the analysis layer's Node.
+class ControlledProcess {
+ public:
+  virtual ~ControlledProcess() = default;
+
+  [[nodiscard]] virtual net::ProcId id() const = 0;
+
+  /// Full access to the logical clock (read, adjust, smash adj).
+  virtual clk::LogicalClock& clock() = 0;
+
+  /// Sends a message from this processor (authenticated as this id).
+  virtual void send(net::ProcId to, net::Body body) = 0;
+
+  /// Peers this processor can talk to (its topology neighbors).
+  [[nodiscard]] virtual const std::vector<net::ProcId>& peers() const = 0;
+
+  /// Kills the processor's protocol activity (sync loop, pending round).
+  virtual void suspend_protocol() = 0;
+
+  /// Restarts the protocol daemon; called when the adversary leaves.
+  /// Models §3.3's note that the alarm must be recovered after a break-in.
+  virtual void resume_protocol() = 0;
+};
+
+/// The adversary is omniscient about the network (it "can see all the
+/// communication", §2.2); we conservatively also let strategies read any
+/// processor's current clock and the public protocol parameters, which
+/// only makes the modelled attacker stronger.
+struct WorldSpy {
+  int n = 0;
+  int f = 0;
+  Dur way_off = Dur::zero();
+  /// Reads processor q's logical clock right now.
+  std::function<ClockTime(net::ProcId)> read_clock;
+  /// Whether q is currently under adversary control.
+  std::function<bool(net::ProcId)> is_controlled;
+};
+
+/// Everything a strategy callback may use.
+struct AdvContext {
+  sim::Simulator& sim;
+  const WorldSpy& spy;
+  Rng& rng;
+};
+
+}  // namespace czsync::adversary

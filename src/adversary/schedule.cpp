@@ -1,0 +1,132 @@
+#include "adversary/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace czsync::adversary {
+
+Schedule::Schedule(std::vector<ControlInterval> intervals)
+    : intervals_(std::move(intervals)) {
+  for (const auto& iv : intervals_) {
+    assert(iv.proc >= 0);
+    assert(iv.end > iv.start);
+  }
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const ControlInterval& a, const ControlInterval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.proc < b.proc;
+            });
+}
+
+bool Schedule::controlled_at(net::ProcId p, RealTime t) const {
+  for (const auto& iv : intervals_) {
+    if (iv.start > t) break;
+    if (iv.proc == p && t >= iv.start && t < iv.end) return true;
+  }
+  return false;
+}
+
+bool Schedule::controlled_within(net::ProcId p, RealTime t1, RealTime t2) const {
+  assert(t1 <= t2);
+  for (const auto& iv : intervals_) {
+    if (iv.start > t2) break;
+    if (iv.proc == p && iv.end > t1 && iv.start <= t2) return true;
+  }
+  return false;
+}
+
+int Schedule::max_overlap(Dur delta_period) const {
+  // The count of distinct controlled processors in a window [tau,
+  // tau+Delta] changes only when the window boundary crosses an interval
+  // endpoint. It suffices to evaluate windows whose *left* edge sits just
+  // after each interval end, plus windows starting at each interval start.
+  // We evaluate at candidate left edges {start_i} and {end_i} directly;
+  // window intersection uses half-open interval semantics so this covers
+  // all maxima.
+  if (intervals_.empty()) return 0;
+  std::vector<double> candidates;
+  candidates.reserve(intervals_.size() * 2);
+  for (const auto& iv : intervals_) {
+    candidates.push_back(iv.start.sec());
+    candidates.push_back(iv.end.sec());
+    // Window ending exactly at this start: left edge = start - Delta.
+    candidates.push_back(iv.start.sec() - delta_period.sec());
+  }
+  int worst = 0;
+  for (double left : candidates) {
+    const RealTime lo(left);
+    const RealTime hi(left + delta_period.sec());
+    std::set<net::ProcId> procs;
+    for (const auto& iv : intervals_) {
+      // Interval [start, end) intersects window [lo, hi] (closed window:
+      // Definition 2 speaks of the closed interval [tau, tau+Delta]).
+      if (iv.start <= hi && iv.end > lo) procs.insert(iv.proc);
+    }
+    worst = std::max(worst, static_cast<int>(procs.size()));
+  }
+  return worst;
+}
+
+bool Schedule::is_f_limited(int f, Dur delta_period) const {
+  return max_overlap(delta_period) <= f;
+}
+
+std::vector<ControlInterval> Schedule::by_end_time() const {
+  auto out = intervals_;
+  std::sort(out.begin(), out.end(),
+            [](const ControlInterval& a, const ControlInterval& b) {
+              return a.end < b.end;
+            });
+  return out;
+}
+
+Schedule Schedule::round_robin_sweep(int n, int f, Dur delta_period, Dur dwell,
+                                     Dur slack, RealTime first_break,
+                                     RealTime horizon) {
+  assert(n >= 1 && f >= 1 && f <= n);
+  assert(dwell > Dur::zero() && slack >= Dur::zero());
+  std::vector<ControlInterval> out;
+  RealTime t = first_break;
+  int next = 0;
+  while (t < horizon) {
+    const RealTime end = t + dwell;
+    for (int k = 0; k < f; ++k) {
+      out.push_back({(next + k) % n, t, end});
+    }
+    next = (next + f) % n;
+    // A new group may only start once every member of the old group has
+    // been out of control for a full Delta (Definition 2's "must leave
+    // ... at least Delta time units before it can break into the new
+    // one"), hence the Delta gap between end and the next start.
+    t = end + delta_period + slack;
+  }
+  return Schedule(std::move(out));
+}
+
+Schedule Schedule::random_mobile(int n, int f, Dur delta_period, Dur min_dwell,
+                                 Dur max_dwell, RealTime horizon, Rng rng) {
+  assert(n >= 1 && f >= 1 && f <= n);
+  assert(Dur::zero() < min_dwell && min_dwell <= max_dwell);
+  std::vector<ControlInterval> out;
+  for (int slot = 0; slot < f; ++slot) {
+    // Stagger slot phases so break-ins are not synchronized.
+    RealTime t = RealTime(rng.uniform(0.0, (max_dwell + delta_period).sec()));
+    while (t < horizon) {
+      const auto victim = static_cast<net::ProcId>(rng.uniform_int(0, n - 1));
+      const Dur dwell =
+          Dur::seconds(rng.uniform(min_dwell.sec(), max_dwell.sec()));
+      const RealTime end = t + dwell;
+      out.push_back({victim, t, end});
+      // Rest a full Delta plus jitter before this slot's next victim.
+      t = end + delta_period + Dur::seconds(rng.uniform(0.0, delta_period.sec() * 0.25));
+    }
+  }
+  return Schedule(std::move(out));
+}
+
+Schedule Schedule::single(net::ProcId p, RealTime start, RealTime end) {
+  return Schedule({ControlInterval{p, start, end}});
+}
+
+}  // namespace czsync::adversary

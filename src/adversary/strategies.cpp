@@ -1,0 +1,149 @@
+#include "adversary/strategies.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace czsync::adversary {
+
+namespace {
+
+/// True replies carry the responder's *current* logical clock; liars call
+/// this with an offset. Clock-bearing requests (sync pings and the
+/// application-level timestamp requests) are both answered; everything
+/// else is ignored.
+void reply_ping(ControlledProcess& self, const net::Message& msg, Dur lie) {
+  if (const auto* req = std::get_if<net::PingReq>(&msg.body)) {
+    self.send(msg.from,
+              net::PingResp{req->nonce, self.clock().read() + lie});
+  } else if (const auto* rreq = std::get_if<net::RoundPingReq>(&msg.body)) {
+    // Round-based comparator: echo the requester's round — the most
+    // plausible tag a liar can pick (it is never discarded).
+    self.send(msg.from, net::RoundPingResp{rreq->nonce, rreq->round,
+                                           self.clock().read() + lie});
+  } else if (const auto* ts = std::get_if<net::TimestampReq>(&msg.body)) {
+    self.send(msg.from,
+              net::TimestampResp{ts->nonce, self.clock().read() + lie});
+  }
+}
+
+}  // namespace
+
+ClockSmashStrategy::ClockSmashStrategy(Dur offset, bool randomize)
+    : offset_(offset), randomize_(randomize) {}
+
+void ClockSmashStrategy::on_break_in(AdvContext& ctx, ControlledProcess& self) {
+  Dur off = offset_;
+  if (randomize_) {
+    const double a = offset_.abs().sec();
+    off = Dur::seconds(ctx.rng.uniform(-a, a));
+  }
+  self.clock().adversary_set_clock(self.clock().read() + off);
+}
+
+void ClockSmashStrategy::on_message(AdvContext&, ControlledProcess& self,
+                                    const net::Message& msg) {
+  reply_ping(self, msg, Dur::zero());  // honest reply from a broken clock
+}
+
+ConstantLieStrategy::ConstantLieStrategy(Dur lie_offset)
+    : lie_offset_(lie_offset) {}
+
+void ConstantLieStrategy::on_message(AdvContext&, ControlledProcess& self,
+                                     const net::Message& msg) {
+  reply_ping(self, msg, lie_offset_);
+}
+
+TwoFacedStrategy::TwoFacedStrategy(Dur spread) : spread_(spread) {}
+
+void TwoFacedStrategy::on_message(AdvContext&, ControlledProcess& self,
+                                  const net::Message& msg) {
+  const Dur lie = (msg.from % 2 == 0) ? spread_ : -spread_;
+  reply_ping(self, msg, lie);
+}
+
+MaxPullStrategy::MaxPullStrategy(double margin) : margin_(margin) {
+  assert(margin > 0.0 && margin < 1.0);
+}
+
+void MaxPullStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
+                                 const net::Message& msg) {
+  const auto* req = std::get_if<net::PingReq>(&msg.body);
+  const auto* rreq = std::get_if<net::RoundPingReq>(&msg.body);
+  if (!req && !rreq) return;
+  // Highest correct clock right now.
+  ClockTime target = self.clock().read();
+  for (net::ProcId q = 0; q < ctx.spy.n; ++q) {
+    if (ctx.spy.is_controlled(q)) continue;
+    target = std::max(target, ctx.spy.read_clock(q));
+  }
+  target += ctx.spy.way_off * margin_;
+  if (req) {
+    self.send(msg.from, net::PingResp{req->nonce, target});
+  } else {
+    self.send(msg.from, net::RoundPingResp{rreq->nonce, rreq->round, target});
+  }
+}
+
+RandomLieStrategy::RandomLieStrategy(Dur spread) : spread_(spread) {}
+
+void RandomLieStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
+                                   const net::Message& msg) {
+  const double s = spread_.sec();
+  reply_ping(self, msg, Dur::seconds(ctx.rng.uniform(-s, s)));
+}
+
+DelayedReplyStrategy::DelayedReplyStrategy(Dur hold_back, Dur lie_offset)
+    : hold_back_(hold_back), lie_offset_(lie_offset) {}
+
+void DelayedReplyStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
+                                      const net::Message& msg) {
+  const auto* req = std::get_if<net::PingReq>(&msg.body);
+  if (!req) return;
+  const net::ProcId requester = msg.from;
+  const std::uint64_t nonce = req->nonce;
+  ControlledProcess* node = &self;
+  // Hold the reply back; the response value is read at *send* time, so
+  // the lie compounds with the elapsed time. The spy outlives the event
+  // (it is owned by the adversary engine); the guard stops the lie if the
+  // adversary has already left the node, preserving the authenticated-
+  // channel semantics of §2.2.
+  const WorldSpy* spy = &ctx.spy;
+  ctx.sim.schedule_after(
+      hold_back_, [node, spy, requester, nonce, lie = lie_offset_] {
+        if (!spy->is_controlled(node->id())) return;
+        node->send(requester, net::PingResp{nonce, node->clock().read() + lie});
+      });
+}
+
+RoundInflationStrategy::RoundInflationStrategy(std::uint64_t round_boost,
+                                               Dur lie_offset)
+    : round_boost_(round_boost), lie_offset_(lie_offset) {}
+
+void RoundInflationStrategy::on_message(AdvContext&, ControlledProcess& self,
+                                        const net::Message& msg) {
+  if (const auto* rreq = std::get_if<net::RoundPingReq>(&msg.body)) {
+    self.send(msg.from,
+              net::RoundPingResp{rreq->nonce, rreq->round + round_boost_,
+                                 self.clock().read() + lie_offset_});
+    return;
+  }
+  reply_ping(self, msg, lie_offset_);
+}
+
+std::shared_ptr<Strategy> make_strategy(const std::string& name, Dur scale) {
+  if (name == "silent") return std::make_shared<SilentStrategy>();
+  if (name == "clock-smash") return std::make_shared<ClockSmashStrategy>(scale);
+  if (name == "clock-smash-random")
+    return std::make_shared<ClockSmashStrategy>(scale, /*randomize=*/true);
+  if (name == "constant-lie") return std::make_shared<ConstantLieStrategy>(scale);
+  if (name == "two-faced") return std::make_shared<TwoFacedStrategy>(scale);
+  if (name == "max-pull") return std::make_shared<MaxPullStrategy>();
+  if (name == "random-lie") return std::make_shared<RandomLieStrategy>(scale);
+  if (name == "delayed-reply")
+    return std::make_shared<DelayedReplyStrategy>(scale, scale);
+  if (name == "round-inflation")
+    return std::make_shared<RoundInflationStrategy>(1000, scale);
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+}  // namespace czsync::adversary

@@ -1,0 +1,154 @@
+// What a controlled processor *does*.
+//
+// The schedule says when the adversary holds a processor; a Strategy says
+// how it behaves while held: how it answers clock-estimation pings, what
+// it does to the clock on break-in, whether it stays silent. Everything
+// here is allowed by §2.2 — arbitrary state changes and arbitrary
+// messages from controlled processors, authenticated sender ids.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "adversary/control.h"
+
+namespace czsync::adversary {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called at the instant of a break-in (after the protocol was
+  /// suspended). Default: leave the state alone.
+  virtual void on_break_in(AdvContext&, ControlledProcess&) {}
+
+  /// Called at the instant the adversary leaves (before the protocol is
+  /// resumed).
+  virtual void on_leave(AdvContext&, ControlledProcess&) {}
+
+  /// A message arrived for a controlled processor. The strategy decides
+  /// whether/what to answer. Default: drop it.
+  virtual void on_message(AdvContext&, ControlledProcess&, const net::Message&) {}
+};
+
+/// Crash-like: smashes nothing, answers nothing. The mildest fault; the
+/// estimation procedure times out on it (a_q = infinity).
+class SilentStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "silent"; }
+};
+
+/// Sets the clock to a configured offset from the truth at break-in, then
+/// behaves *honestly* with the broken clock (answers pings truthfully).
+/// This is the canonical recovery workload: once the adversary leaves,
+/// the processor must pull its clock back on its own.
+class ClockSmashStrategy final : public Strategy {
+ public:
+  /// `offset` may be negative. If `randomize`, each break-in draws
+  /// uniformly from [-|offset|, |offset|] instead.
+  explicit ClockSmashStrategy(Dur offset, bool randomize = false);
+
+  [[nodiscard]] std::string_view name() const override { return "clock-smash"; }
+  void on_break_in(AdvContext&, ControlledProcess&) override;
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  Dur offset_;
+  bool randomize_;
+};
+
+/// Answers every ping with clock + lie_offset (consistent lie).
+class ConstantLieStrategy final : public Strategy {
+ public:
+  explicit ConstantLieStrategy(Dur lie_offset);
+
+  [[nodiscard]] std::string_view name() const override { return "constant-lie"; }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  Dur lie_offset_;
+};
+
+/// Classic two-faced Byzantine behaviour: reports clock + spread to peers
+/// with even ids and clock - spread to odd ids, trying to split the
+/// network.
+class TwoFacedStrategy final : public Strategy {
+ public:
+  explicit TwoFacedStrategy(Dur spread);
+
+  [[nodiscard]] std::string_view name() const override { return "two-faced"; }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  Dur spread_;
+};
+
+/// Adaptive worst-case pull: reads the currently fastest correct clock
+/// via the spy and reports just above it (margin*WayOff), staying
+/// plausible enough to be the (f+1)-st order statistic and drag the whole
+/// system upward as fast as the analysis permits.
+class MaxPullStrategy final : public Strategy {
+ public:
+  explicit MaxPullStrategy(double margin = 0.45);
+
+  [[nodiscard]] std::string_view name() const override { return "max-pull"; }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  double margin_;
+};
+
+/// Uniform random lie in [-spread, spread] per reply (inconsistent noise).
+class RandomLieStrategy final : public Strategy {
+ public:
+  explicit RandomLieStrategy(Dur spread);
+
+  [[nodiscard]] std::string_view name() const override { return "random-lie"; }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  Dur spread_;
+};
+
+/// Replies as late as possible (just inside the requester's MaxWait) with
+/// a skewed value: maximizes the reading-error bound a_q the requester
+/// must tolerate. `hold_back` should be slightly below MaxWait minus the
+/// inbound delay.
+class DelayedReplyStrategy final : public Strategy {
+ public:
+  DelayedReplyStrategy(Dur hold_back, Dur lie_offset);
+
+  [[nodiscard]] std::string_view name() const override { return "delayed-reply"; }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  Dur hold_back_;
+  Dur lie_offset_;
+};
+
+/// Attack specific to round-based protocols (the §3.3 ablation): answers
+/// round-tagged pings with a wildly inflated round number and a lying
+/// clock, trying to poison joining processors' round adoption and to
+/// make its replies maximally confusing. Plain pings get the clock lie.
+class RoundInflationStrategy final : public Strategy {
+ public:
+  RoundInflationStrategy(std::uint64_t round_boost, Dur lie_offset);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "round-inflation";
+  }
+  void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
+
+ private:
+  std::uint64_t round_boost_;
+  Dur lie_offset_;
+};
+
+/// Factory by name (used by scenario configs and benches).
+[[nodiscard]] std::shared_ptr<Strategy> make_strategy(const std::string& name,
+                                                      Dur scale);
+
+}  // namespace czsync::adversary

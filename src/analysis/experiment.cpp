@@ -1,0 +1,55 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+
+#include "analysis/world.h"
+
+namespace czsync::analysis {
+
+Dur RunResult::max_recovery_time() const {
+  Dur worst = Dur::zero();
+  for (const auto& ev : recoveries) {
+    if (ev.preempted || !ev.judgeable) continue;
+    worst = std::max(worst, ev.duration);
+  }
+  return worst;
+}
+
+bool RunResult::all_recovered() const {
+  return std::all_of(recoveries.begin(), recoveries.end(),
+                     [](const RecoveryEvent& ev) {
+                       return ev.preempted || !ev.judgeable || ev.recovered;
+                     });
+}
+
+RunResult run_scenario(const Scenario& scenario) {
+  World world(scenario);
+  world.run();
+
+  RunResult r;
+  r.bounds = world.bounds();
+  auto& obs = world.observer();
+  r.max_stable_deviation = obs.max_stable_deviation();
+  r.mean_stable_deviation = Dur::seconds(obs.deviation_stats().mean());
+  r.final_stable_deviation = obs.last_stable_deviation();
+  r.max_stable_discontinuity = obs.max_stable_discontinuity();
+  r.max_rate_excess = obs.max_rate_excess();
+  r.recoveries = obs.recoveries();
+  r.messages_sent = world.network().stats().sent;
+  r.link_fault_drops = world.network().stats().dropped_link_fault;
+  r.events_executed = world.simulator().executed_events();
+  r.break_ins = world.adversary() ? world.adversary()->break_ins() : 0;
+  r.samples = obs.samples_taken();
+  for (std::size_t p = 0; p < world.node_count(); ++p) {
+    const auto& st = world.node(static_cast<net::ProcId>(p)).sync().stats();
+    r.rounds_completed += st.rounds_completed;
+    r.way_off_rounds += st.way_off_rounds;
+    r.joins += st.joins;
+    r.mismatch_discards += st.round_mismatch_discards;
+    r.replays_accepted += st.replays_accepted;
+  }
+  if (scenario.record_series) r.series = obs.series();
+  return r;
+}
+
+}  // namespace czsync::analysis

@@ -1,0 +1,55 @@
+// One-call experiment runner: Scenario in, metrics out.
+//
+// This is the API the benches, property tests and examples use; it hides
+// the World wiring and copies out everything of interest so the result
+// outlives the simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/observer.h"
+#include "analysis/scenario.h"
+#include "core/params.h"
+
+namespace czsync::analysis {
+
+struct RunResult {
+  // Theory side (what Theorem 5 promises for this configuration).
+  core::TheoremBounds bounds;
+
+  // Measured synchronization (Def. 3 i), over stable processors.
+  Dur max_stable_deviation;
+  Dur mean_stable_deviation;
+  double final_stable_deviation = 0.0;  // seconds, at the last sample
+
+  // Measured accuracy (Def. 3 ii).
+  Dur max_stable_discontinuity;   ///< largest single adjustment (vs psi)
+  double max_rate_excess = 0.0;   ///< worst |segment rate - 1| (vs rho~)
+
+  // Recoveries (Def. 3 iii): one entry per adversary leave event that was
+  // not preempted by a new break-in.
+  std::vector<RecoveryEvent> recoveries;
+  [[nodiscard]] Dur max_recovery_time() const;
+  [[nodiscard]] bool all_recovered() const;
+
+  // Run accounting.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t link_fault_drops = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t way_off_rounds = 0;
+  std::uint64_t joins = 0;              ///< round-engine re-acquisitions
+  std::uint64_t mismatch_discards = 0;  ///< round-engine cross-round drops
+  std::uint64_t replays_accepted = 0;   ///< broadcast-engine replay hits
+  std::uint64_t break_ins = 0;
+  std::size_t samples = 0;
+
+  /// Full trace; non-empty only when Scenario::record_series was set.
+  std::vector<Sample> series;
+};
+
+/// Builds a World from the scenario, runs it, and extracts the metrics.
+[[nodiscard]] RunResult run_scenario(const Scenario& scenario);
+
+}  // namespace czsync::analysis

@@ -1,0 +1,108 @@
+#include "analysis/node.h"
+
+namespace czsync::analysis {
+
+Node::Node(sim::Simulator& sim, net::Network& network,
+           std::shared_ptr<const clk::DriftModel> drift,
+           core::SyncConfig config, net::ProcId id, Rng rng, Dur initial_bias,
+           EngineKind engine, const EngineFactory& factory)
+    : sim_(sim),
+      network_(network),
+      id_(id),
+      hw_(sim, std::move(drift), rng.fork("hw-clock"),
+          ClockTime(sim.now().sec()) + initial_bias),
+      logical_(hw_) {
+  if (factory) {
+    engine_ = factory(sim, network, logical_, id, rng.fork("sync"));
+  } else {
+    switch (engine) {
+      case EngineKind::NoRounds:
+        engine_ = std::make_unique<core::SyncProcess>(
+            sim, network, logical_, id, std::move(config), rng.fork("sync"));
+        break;
+      case EngineKind::Rounds:
+        engine_ = std::make_unique<core::RoundSyncProcess>(
+            sim, network, logical_, id, std::move(config), rng.fork("sync"));
+        break;
+    }
+  }
+  network_.register_handler(id_, [this](const net::Message& m) { on_message(m); });
+}
+
+void Node::start() {
+  engine_->start();
+  if (discipline_) arm_slew();
+}
+
+void Node::enable_rate_discipline(core::DisciplineConfig config) {
+  discipline_ = std::make_unique<core::RateDiscipline>(logical_, config);
+  // Chain in front of whatever metrics hook the Observer will add later.
+  auto prev = std::move(engine_->on_sync_complete);
+  engine_->on_sync_complete = [this, prev = std::move(prev)](
+                               const core::ConvergenceResult& r) {
+    discipline_->observe(r.adjustment);
+    if (prev) prev(r);
+  };
+}
+
+void Node::arm_slew() {
+  slew_alarm_ = hw_.set_alarm_after(discipline_->config().slew_interval, [this] {
+    slew_alarm_ = clk::kNoAlarm;
+    discipline_->slew();
+    arm_slew();
+  });
+}
+
+void Node::send(net::ProcId to, net::Body body) {
+  network_.send(id_, to, std::move(body));
+}
+
+const std::vector<net::ProcId>& Node::peers() const {
+  return network_.topology().neighbors(id_);
+}
+
+void Node::suspend_protocol() {
+  engine_->suspend();
+  if (slew_alarm_ != clk::kNoAlarm) {
+    hw_.cancel_alarm(slew_alarm_);
+    slew_alarm_ = clk::kNoAlarm;
+  }
+  if (app_suspend) app_suspend();
+}
+
+void Node::resume_protocol() {
+  engine_->resume();
+  if (discipline_) {
+    // The adversary may have poisoned the estimator; re-learn from
+    // scratch (a few Syncs) rather than trust it.
+    discipline_->reset();
+    arm_slew();
+  }
+  if (app_resume) app_resume();
+}
+
+bool Node::controlled() const {
+  return adversary_ != nullptr && adversary_->is_controlled(id_);
+}
+
+Dur Node::bias() const {
+  return logical_.read() - ClockTime(sim_.now().sec());
+}
+
+void Node::on_message(const net::Message& msg) {
+  if (controlled()) {
+    adversary_->deliver_to_strategy(*this, msg);
+    return;
+  }
+  if (std::holds_alternative<net::PingReq>(msg.body) ||
+      std::holds_alternative<net::PingResp>(msg.body) ||
+      std::holds_alternative<net::RoundPingReq>(msg.body) ||
+      std::holds_alternative<net::RoundPingResp>(msg.body) ||
+      std::holds_alternative<net::StRoundMsg>(msg.body)) {
+    engine_->handle_message(msg);
+    return;
+  }
+  if (app_handler) app_handler(msg);
+}
+
+}  // namespace czsync::analysis

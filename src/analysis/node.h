@@ -1,0 +1,101 @@
+// Node: one simulated processor — clock + Sync protocol + dispatch.
+//
+// The node is the seam between the correct protocol and the adversary:
+// inbound messages are routed to the adversary's strategy while the node
+// is controlled, to the Sync protocol (and optionally an application
+// handler) otherwise. It implements adversary::ControlledProcess so the
+// engine can suspend/resume its daemons and smash its clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "adversary/adversary.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/discipline.h"
+#include "core/round_protocol.h"
+#include "core/sync_protocol.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::analysis {
+
+/// Which synchronization engine a node runs: the paper's no-rounds
+/// protocol (§3.2) or the round-based comparator (§3.3 ablation).
+enum class EngineKind { NoRounds, Rounds };
+
+/// Custom engine constructor (e.g. the broadcast comparator, which needs
+/// extra collaborators like an Authenticator). When provided, it
+/// overrides EngineKind.
+using EngineFactory = std::function<std::unique_ptr<core::ProtocolEngine>(
+    sim::Simulator&, net::Network&, clk::LogicalClock&, net::ProcId, Rng)>;
+
+class Node final : public adversary::ControlledProcess {
+ public:
+  /// Constructs the node's clock stack and protocol engine and registers
+  /// its network handler. `initial_bias` sets C_p(now) = now +
+  /// initial_bias.
+  Node(sim::Simulator& sim, net::Network& network,
+       std::shared_ptr<const clk::DriftModel> drift, core::SyncConfig config,
+       net::ProcId id, Rng rng, Dur initial_bias,
+       EngineKind engine = EngineKind::NoRounds,
+       const EngineFactory& factory = nullptr);
+
+  // --- adversary::ControlledProcess ---
+  [[nodiscard]] net::ProcId id() const override { return id_; }
+  [[nodiscard]] clk::LogicalClock& clock() override { return logical_; }
+  void send(net::ProcId to, net::Body body) override;
+  [[nodiscard]] const std::vector<net::ProcId>& peers() const override;
+  void suspend_protocol() override;
+  void resume_protocol() override;
+
+  /// Wires the adversary engine in (must happen before messages flow if
+  /// the scenario has faults).
+  void set_adversary(adversary::Adversary* adv) { adversary_ = adv; }
+
+  /// Arms the Sync protocol's first alarm (and the slew loop when rate
+  /// discipline is enabled).
+  void start();
+
+  /// Enables the §5 rate-discipline extension: learns the residual
+  /// frequency error from Sync outcomes and slews it away between Syncs.
+  /// Must be called before start().
+  void enable_rate_discipline(core::DisciplineConfig config);
+
+  /// The discipline, or nullptr when not enabled.
+  [[nodiscard]] core::RateDiscipline* discipline() { return discipline_.get(); }
+
+  /// Application hook: non-sync messages received while correct go here.
+  std::function<void(const net::Message&)> app_handler;
+  /// Application daemons' break-in/recovery hooks (e.g. the proactive
+  /// refresh process), invoked alongside the Sync suspend/resume.
+  std::function<void()> app_suspend;
+  std::function<void()> app_resume;
+
+  [[nodiscard]] core::ProtocolEngine& sync() { return *engine_; }
+  [[nodiscard]] const core::ProtocolEngine& sync() const { return *engine_; }
+  [[nodiscard]] clk::HardwareClock& hardware() { return hw_; }
+  [[nodiscard]] const clk::LogicalClock& logical() const { return logical_; }
+
+  /// Bias B_p(now) = C_p(now) - now (Eq. 4). Analysis-only.
+  [[nodiscard]] Dur bias() const;
+  [[nodiscard]] bool controlled() const;
+
+ private:
+  void on_message(const net::Message& msg);
+  void arm_slew();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  net::ProcId id_;
+  clk::HardwareClock hw_;
+  clk::LogicalClock logical_;
+  std::unique_ptr<core::ProtocolEngine> engine_;
+  adversary::Adversary* adversary_ = nullptr;
+  std::unique_ptr<core::RateDiscipline> discipline_;
+  clk::AlarmId slew_alarm_ = clk::kNoAlarm;
+};
+
+}  // namespace czsync::analysis

@@ -1,0 +1,157 @@
+#include "analysis/observer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace czsync::analysis {
+
+Observer::Observer(sim::Simulator& sim, std::vector<Node*> nodes,
+                   const adversary::Schedule& schedule, Dur delta_period,
+                   Dur sample_period, Dur recovery_threshold,
+                   bool record_series)
+    : sim_(sim),
+      nodes_(std::move(nodes)),
+      schedule_(schedule),
+      delta_period_(delta_period),
+      sample_period_(sample_period),
+      recovery_threshold_(recovery_threshold),
+      record_series_(record_series),
+      min_rate_window_(sample_period * 10.0) {
+  assert(!nodes_.empty());
+  segments_.resize(nodes_.size());
+}
+
+void Observer::start(RealTime horizon) {
+  horizon_ = horizon;
+  // Track discontinuities of *currently correct* processors at the moment
+  // each sync round completes. (A controlled processor's sync never runs,
+  // so any hook invocation while "controlled" cannot happen; we still
+  // guard for clarity.)
+  for (Node* node : nodes_) {
+    // Chain rather than replace: callers (examples, custom metrics) may
+    // have installed their own hook before the run.
+    auto prev = std::move(node->sync().on_sync_complete);
+    node->sync().on_sync_complete = [this, node, prev = std::move(prev)](
+                                        const core::ConvergenceResult& r) {
+      if (prev) prev(r);
+      if (sim_.now() < warmup_) return;
+      if (node->controlled()) return;
+      if (classify(node->id(), sim_.now()) != ProcStatus::Stable) return;
+      max_discontinuity_ = std::max(max_discontinuity_, r.adjustment.abs());
+    };
+  }
+  // Recovery bookkeeping: one pending event per schedule interval end.
+  for (const auto& iv : schedule_.by_end_time()) {
+    RecoveryEvent ev;
+    ev.proc = iv.proc;
+    ev.left_at = iv.end;
+    recoveries_.push_back(ev);
+  }
+  // Sampling chain.
+  sim_.schedule_after(sample_period_, [this] { sample(); });
+}
+
+ProcStatus Observer::classify(net::ProcId p, RealTime t) const {
+  if (schedule_.controlled_at(p, t)) return ProcStatus::Faulty;
+  const RealTime lo =
+      t - delta_period_ < RealTime::zero() ? RealTime::zero() : t - delta_period_;
+  if (schedule_.controlled_within(p, lo, t)) return ProcStatus::Recovering;
+  return ProcStatus::Stable;
+}
+
+void Observer::finalize() {
+  // A processor that the adversary left less than Delta before the end
+  // of the run had no full recovery budget; don't judge it.
+  for (auto& ev : recoveries_) {
+    if (ev.recovered || ev.preempted) continue;
+    if (ev.left_at + delta_period_ > horizon_) ev.judgeable = false;
+  }
+}
+
+void Observer::sample() {
+  const RealTime t = sim_.now();
+  ++samples_;
+
+  Sample s;
+  s.t = t;
+  s.bias.reserve(nodes_.size());
+  s.status.reserve(nodes_.size());
+  double stable_min = std::numeric_limits<double>::infinity();
+  double stable_max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double b = nodes_[i]->bias().sec();
+    const ProcStatus st = classify(static_cast<net::ProcId>(i), t);
+    s.bias.push_back(b);
+    s.status.push_back(st);
+    if (st == ProcStatus::Stable) {
+      stable_min = std::min(stable_min, b);
+      stable_max = std::max(stable_max, b);
+    }
+  }
+
+  const bool have_stable = stable_min <= stable_max;
+  const bool past_warmup = t >= warmup_;
+  if (have_stable) {
+    s.stable_deviation = stable_max - stable_min;
+    if (past_warmup) {
+      deviation_.add(s.stable_deviation);
+      last_deviation_ = s.stable_deviation;
+    }
+  }
+
+  // Rate segments (accuracy, Def. 3 ii): a segment spans consecutive
+  // samples during which the processor stayed Stable; the rate over the
+  // whole prefix is checked each sample.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& seg = segments_[i];
+    if (s.status[i] != ProcStatus::Stable || !past_warmup) {
+      seg.active = false;
+      continue;
+    }
+    const ClockTime c = nodes_[i]->logical().read();
+    if (!seg.active) {
+      seg.active = true;
+      seg.start = t;
+      seg.clock_at_start = c;
+      continue;
+    }
+    const Dur span = t - seg.start;
+    if (span >= min_rate_window_) {
+      const double rate = (c - seg.clock_at_start) / span;
+      max_rate_excess_ =
+          std::max({max_rate_excess_, std::abs(rate - 1.0),
+                    std::abs(1.0 / std::max(rate, 1e-12) - 1.0)});
+    }
+  }
+
+  // Recovery detection: a recovering processor has rejoined once its bias
+  // is within gamma of every stable processor's bias.
+  if (have_stable) {
+    for (auto& ev : recoveries_) {
+      if (ev.recovered || ev.preempted) continue;
+      if (ev.left_at > t) break;  // sorted by leave time
+      const auto p = static_cast<std::size_t>(ev.proc);
+      if (s.status[p] == ProcStatus::Faulty) {
+        ev.preempted = true;
+        continue;
+      }
+      const double b = s.bias[p];
+      const double gamma = recovery_threshold_.sec();
+      if (b >= stable_max - gamma && b <= stable_min + gamma) {
+        ev.recovered = true;
+        ev.duration = t - ev.left_at;
+      }
+    }
+  }
+
+  if (record_series_) series_.push_back(std::move(s));
+
+  const RealTime next = t + sample_period_;
+  if (next <= horizon_) {
+    sim_.schedule_after(sample_period_, [this] { sample(); });
+  }
+}
+
+}  // namespace czsync::analysis

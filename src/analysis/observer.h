@@ -1,0 +1,123 @@
+// Observer: samples the global state and computes the paper's metrics.
+//
+// The observer lives outside the model (it reads true biases, which no
+// processor can). It classifies each processor at each sample per
+// Definition 3's quantifier "not faulty during [tau - Delta, tau]":
+//   Faulty     — currently controlled;
+//   Recovering — correct now, but was controlled within the last Delta;
+//   Stable     — correct throughout [tau - Delta, tau]: the set over
+//                which the deviation guarantee is measured.
+// It also tracks recovery times (per leave event), per-round clock
+// discontinuities of stable processors, and empirical logical-clock rates
+// over maximal stable segments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adversary/schedule.h"
+#include "analysis/node.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/time_types.h"
+
+namespace czsync::analysis {
+
+enum class ProcStatus : std::uint8_t { Stable, Recovering, Faulty };
+
+struct Sample {
+  RealTime t;
+  std::vector<double> bias;        ///< B_p(t) in seconds, all processors
+  std::vector<ProcStatus> status;
+  double stable_deviation = 0.0;   ///< max |B_p - B_q| over stable pairs
+};
+
+/// One adversary leave event and how long the processor took to satisfy
+/// the Definition-3 deviation bound against every stable processor.
+struct RecoveryEvent {
+  net::ProcId proc = -1;
+  RealTime left_at;
+  bool recovered = false;
+  bool preempted = false;  ///< broken into again before recovering
+  /// False when the run ended too soon after the leave to judge the
+  /// recovery either way (left_at + Delta > horizon).
+  bool judgeable = true;
+  Dur duration = Dur::infinity();
+};
+
+class Observer {
+ public:
+  /// `recovery_threshold` is the deviation bound gamma used to decide
+  /// when a recovering clock counts as back in the pack.
+  Observer(sim::Simulator& sim, std::vector<Node*> nodes,
+           const adversary::Schedule& schedule, Dur delta_period,
+           Dur sample_period, Dur recovery_threshold, bool record_series);
+
+  /// Schedules sampling every sample_period up to `horizon` and hooks the
+  /// per-node sync-completion callbacks. Call once before running.
+  void start(RealTime horizon);
+
+  /// Post-run bookkeeping: marks recovery events that the run ended too
+  /// early to judge. Called by World::run().
+  void finalize();
+
+  /// Steady-state metrics ignore samples before `warmup`.
+  void set_warmup(RealTime warmup) { warmup_ = warmup; }
+
+  // --- results (valid after the run) ---
+  [[nodiscard]] Dur max_stable_deviation() const {
+    return Dur::seconds(deviation_.max());
+  }
+  [[nodiscard]] const RunningStats& deviation_stats() const { return deviation_; }
+  [[nodiscard]] double last_stable_deviation() const { return last_deviation_; }
+  [[nodiscard]] Dur max_stable_discontinuity() const {
+    return max_discontinuity_;
+  }
+  /// Worst observed |rate - 1| of a stable processor's logical clock over
+  /// a stable segment at least `min_rate_window` long.
+  [[nodiscard]] double max_rate_excess() const { return max_rate_excess_; }
+  [[nodiscard]] const std::vector<RecoveryEvent>& recoveries() const {
+    return recoveries_;
+  }
+  [[nodiscard]] const std::vector<Sample>& series() const { return series_; }
+  [[nodiscard]] std::size_t samples_taken() const { return samples_; }
+
+  /// Minimum segment length before a rate estimate counts (default 10
+  /// sample periods); avoids quantizing noise on tiny windows.
+  void set_min_rate_window(Dur w) { min_rate_window_ = w; }
+
+ private:
+  void sample();
+  [[nodiscard]] ProcStatus classify(net::ProcId p, RealTime t) const;
+
+  sim::Simulator& sim_;
+  std::vector<Node*> nodes_;
+  const adversary::Schedule& schedule_;
+  Dur delta_period_;
+  Dur sample_period_;
+  Dur recovery_threshold_;
+  bool record_series_;
+  RealTime horizon_;
+  RealTime warmup_ = RealTime::zero();
+
+  RunningStats deviation_;
+  double last_deviation_ = 0.0;
+  Dur max_discontinuity_ = Dur::zero();
+  double max_rate_excess_ = 0.0;
+  Dur min_rate_window_;
+  std::vector<Sample> series_;
+  std::size_t samples_ = 0;
+
+  // Rate segments: start point of the current all-stable stretch.
+  struct Segment {
+    bool active = false;
+    RealTime start;
+    ClockTime clock_at_start;
+  };
+  std::vector<Segment> segments_;
+
+  std::vector<RecoveryEvent> recoveries_;  // pending + resolved, by leave time
+};
+
+}  // namespace czsync::analysis

@@ -1,0 +1,103 @@
+// Scenario: the full description of one simulated experiment.
+//
+// (Scenario, seed) -> deterministic run. Everything the benches and the
+// property tests sweep over is a field here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "adversary/schedule.h"
+#include "core/params.h"
+#include "net/link_faults.h"
+#include "net/topology.h"
+#include "util/time_types.h"
+
+namespace czsync::analysis {
+
+struct Scenario {
+  core::ModelParams model;
+
+  /// Protocol knobs. sync_int feeds ProtocolParams::derive; the rest of
+  /// the protocol parameters (MaxWait, WayOff) are derived per the paper.
+  Dur sync_int = Dur::minutes(1);
+
+  /// Convergence function: "bhhn", "midpoint", "capped-correction", "none".
+  std::string convergence = "bhhn";
+  Dur capped_correction_cap = Dur::millis(100);
+
+  /// Protocol engine: the paper's no-rounds Sync ("sync") or the
+  /// round-based comparator of the §3.3 discussion ("round").
+  std::string protocol = "sync";
+
+  /// §3.1 optimization: pings per peer per round, best (smallest error
+  /// bound) wins. 1 = the plain protocol. Only the "sync" engine uses it.
+  int pings_per_peer = 1;
+
+  /// §3.1 caveat variant: estimation in a background thread, sync()
+  /// consumes cached values without staleness compensation — breaks
+  /// Definition 4 exactly as the paper warns (experiment E19).
+  bool cached_estimation = false;
+  Dur cache_refresh = Dur::seconds(20);
+
+  /// Ablation knob (E21): multiplies the derived WayOff threshold. 1.0 =
+  /// the paper's setting (Appendix A.2). Values != 1 void Theorem 5 —
+  /// that is the point of the ablation.
+  double way_off_scale = 1.0;
+
+  /// §5 extension: per-node frequency-error estimation + slewing (NTP-
+  /// style "feedback to estimate and compensate for clock drift"). The
+  /// compensation is clamped to the model's rho, so the Theorem-5
+  /// analysis still applies with rho' = 2 rho in the worst case.
+  bool rate_discipline = false;
+  double discipline_gain = 0.125;
+  Dur discipline_slew_interval = Dur::seconds(5);
+
+  /// Constant: one random rate per clock. Wander: bounded random walk.
+  /// Sinusoidal: thermal/diurnal cycle, random phase per clock.
+  /// OpposedHalves: processors < n/2 pinned to the fastest legal rate,
+  /// the rest to the slowest — the worst case for the two-cliques
+  /// counterexample (E7), where each clique free-runs at its own rate.
+  enum class DriftKind { Constant, Wander, Sinusoidal, OpposedHalves };
+  DriftKind drift = DriftKind::Constant;
+  Dur wander_interval = Dur::minutes(5);
+  Dur sinusoid_cycle = Dur::hours(2);
+
+  enum class DelayKind { Fixed, Uniform, Asymmetric, Jitter };
+  DelayKind delay = DelayKind::Uniform;
+
+  /// Custom: use `custom_topology` (any graph, e.g. Topology::gnp_connected
+  /// or random_regular) — the §5 partial-connectivity exploration.
+  enum class TopologyKind { FullMesh, TwoCliques, Ring, Custom };
+  TopologyKind topology = TopologyKind::FullMesh;
+  std::optional<net::Topology> custom_topology;
+
+  /// Initial logical-clock biases drawn uniformly from
+  /// [-initial_spread/2, +initial_spread/2].
+  Dur initial_spread = Dur::millis(100);
+
+  Dur horizon = Dur::hours(6);
+  Dur sample_period = Dur::seconds(10);
+  /// Steady-state metrics (deviation, discontinuity, rate) ignore samples
+  /// before this instant, excluding the initial convergence transient
+  /// (the paper's guarantees assume a correctly initialized system).
+  Dur warmup = Dur::zero();
+  std::uint64_t seed = 1;
+
+  /// Link faults (§1.2 probe): messages on a cut link are dropped.
+  net::LinkFaultSet link_faults;
+
+  /// Adversary: empty schedule means a fault-free run.
+  adversary::Schedule schedule;
+  /// Strategy name (see adversary::make_strategy) and its scale knob
+  /// (smash offset / lie magnitude / hold-back, depending on strategy).
+  std::string strategy = "silent";
+  Dur strategy_scale = Dur::seconds(10);
+
+  /// Keep the full per-sample trace in the result (costs memory; benches
+  /// that plot series set this).
+  bool record_series = false;
+};
+
+}  // namespace czsync::analysis

@@ -1,0 +1,28 @@
+#include "analysis/sweep.h"
+
+#include <cassert>
+
+namespace czsync::analysis {
+
+SweepResult run_sweep(const std::function<Scenario(std::uint64_t seed)>& make,
+                      std::uint64_t first_seed, int count) {
+  assert(count >= 1);
+  SweepResult out;
+  for (int i = 0; i < count; ++i) {
+    const auto seed = first_seed + static_cast<std::uint64_t>(i);
+    const RunResult r = run_scenario(make(seed));
+    ++out.runs;
+    out.max_deviation.add(r.max_stable_deviation.sec());
+    out.mean_deviation.add(r.mean_stable_deviation.sec());
+    out.max_discontinuity.add(r.max_stable_discontinuity.sec());
+    out.max_rate_excess.add(r.max_rate_excess);
+    if (r.max_stable_deviation >= r.bounds.max_deviation) ++out.bound_violations;
+    if (!r.all_recovered()) ++out.unrecovered_runs;
+    const Dur rec = r.max_recovery_time();
+    if (rec.is_finite() && rec > Dur::zero()) out.max_recovery.add(rec.sec());
+    out.bound = r.bounds.max_deviation;
+  }
+  return out;
+}
+
+}  // namespace czsync::analysis

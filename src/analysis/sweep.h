@@ -1,0 +1,40 @@
+// Multi-seed sweeps: statistical robustness for experiment results.
+//
+// A single seeded run shows one trajectory; claims like "deviation stays
+// under gamma" deserve distributional evidence. run_sweep executes a
+// scenario family across seeds and aggregates the headline metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/experiment.h"
+#include "util/stats.h"
+
+namespace czsync::analysis {
+
+struct SweepResult {
+  int runs = 0;
+  /// Across-seed distributions (seconds).
+  RunningStats max_deviation;
+  RunningStats mean_deviation;
+  RunningStats max_discontinuity;
+  RunningStats max_rate_excess;
+  /// Across-seed distribution of per-run max recovery time, counting
+  /// only judged, recovered events (seconds).
+  RunningStats max_recovery;
+  /// Hard-failure counters: any nonzero is a reproduction failure.
+  int bound_violations = 0;
+  int unrecovered_runs = 0;
+  /// gamma of the last run (the family normally shares one bound).
+  Dur bound;
+};
+
+/// Runs `count` scenarios produced by `make(seed)` for consecutive seeds
+/// starting at `first_seed`, and aggregates. The factory receives the
+/// seed so schedules and scenario randomness can derive from it.
+[[nodiscard]] SweepResult run_sweep(
+    const std::function<Scenario(std::uint64_t seed)>& make,
+    std::uint64_t first_seed, int count);
+
+}  // namespace czsync::analysis

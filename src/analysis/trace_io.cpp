@@ -1,0 +1,185 @@
+#include "analysis/trace_io.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace czsync::analysis {
+
+namespace {
+
+const char* status_name(ProcStatus s) {
+  switch (s) {
+    case ProcStatus::Stable: return "stable";
+    case ProcStatus::Recovering: return "recovering";
+    case ProcStatus::Faulty: return "faulty";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_series_csv(std::ostream& os, const RunResult& result) {
+  if (result.series.empty()) {
+    os << "t\n";
+    return;
+  }
+  const std::size_t n = result.series.front().bias.size();
+  std::vector<std::string> cols = {"t", "stable_deviation"};
+  for (std::size_t p = 0; p < n; ++p) {
+    cols.push_back("bias_" + std::to_string(p));
+    cols.push_back("status_" + std::to_string(p));
+  }
+  CsvWriter w(os, cols);
+  for (const auto& s : result.series) {
+    std::vector<std::string> row = {fmt_num(s.t.sec()),
+                                    fmt_num(s.stable_deviation)};
+    for (std::size_t p = 0; p < n; ++p) {
+      row.push_back(fmt_num(s.bias[p]));
+      row.push_back(status_name(s.status[p]));
+    }
+    w.row(row);
+  }
+}
+
+void write_recoveries_csv(std::ostream& os, const RunResult& result) {
+  CsvWriter w(os, {"proc", "left_at", "recovered", "preempted", "judgeable",
+                   "duration"});
+  for (const auto& ev : result.recoveries) {
+    w.row({std::to_string(ev.proc), fmt_num(ev.left_at.sec()),
+           ev.recovered ? "1" : "0", ev.preempted ? "1" : "0",
+           ev.judgeable ? "1" : "0", fmt_num(ev.duration.sec())});
+  }
+}
+
+void write_summary_csv(std::ostream& os, const RunResult& result) {
+  CsvWriter w(os,
+              {"gamma_bound_s", "max_deviation_s", "mean_deviation_s",
+               "final_deviation_s", "psi_bound_s", "max_discontinuity_s",
+               "logical_drift_bound", "max_rate_excess", "max_recovery_s",
+               "all_recovered", "break_ins", "messages", "events", "rounds",
+               "way_off_rounds"});
+  w.row({fmt_num(result.bounds.max_deviation.sec()),
+         fmt_num(result.max_stable_deviation.sec()),
+         fmt_num(result.mean_stable_deviation.sec()),
+         fmt_num(result.final_stable_deviation),
+         fmt_num(result.bounds.discontinuity.sec()),
+         fmt_num(result.max_stable_discontinuity.sec()),
+         fmt_num(result.bounds.logical_drift), fmt_num(result.max_rate_excess),
+         fmt_num(result.max_recovery_time().sec()),
+         result.all_recovered() ? "1" : "0", std::to_string(result.break_ins),
+         std::to_string(result.messages_sent),
+         std::to_string(result.events_executed),
+         std::to_string(result.rounds_completed),
+         std::to_string(result.way_off_rounds)});
+}
+
+Scenario scenario_from_config(const Config& c) {
+  Scenario s;
+  s.model.n = static_cast<int>(c.get_int("n", s.model.n));
+  s.model.f = static_cast<int>(c.get_int("f", s.model.f));
+  s.model.rho = c.get_double("rho", s.model.rho);
+  s.model.delta = c.get_duration("delta", s.model.delta);
+  s.model.delta_period = c.get_duration("delta_period", s.model.delta_period);
+  s.sync_int = c.get_duration("sync_int", s.sync_int);
+  s.convergence = c.get_string("convergence", s.convergence);
+  s.protocol = c.get_string("protocol", s.protocol);
+  if (s.protocol != "sync" && s.protocol != "round" &&
+      s.protocol != "st-broadcast") {
+    throw std::invalid_argument("unknown protocol: " + s.protocol);
+  }
+  s.pings_per_peer =
+      static_cast<int>(c.get_int("pings_per_peer", s.pings_per_peer));
+  if (s.pings_per_peer < 1) {
+    throw std::invalid_argument("pings_per_peer must be >= 1");
+  }
+  s.cached_estimation = c.get_bool("cached_estimation", s.cached_estimation);
+  s.cache_refresh = c.get_duration("cache_refresh", s.cache_refresh);
+  s.way_off_scale = c.get_double("way_off_scale", s.way_off_scale);
+  if (s.way_off_scale <= 0.0) {
+    throw std::invalid_argument("way_off_scale must be > 0");
+  }
+  s.capped_correction_cap =
+      c.get_duration("capped_correction_cap", s.capped_correction_cap);
+  s.rate_discipline = c.get_bool("rate_discipline", s.rate_discipline);
+  s.discipline_gain = c.get_double("discipline_gain", s.discipline_gain);
+  s.discipline_slew_interval =
+      c.get_duration("discipline_slew_interval", s.discipline_slew_interval);
+
+  const std::string drift = c.get_string("drift", "constant");
+  if (drift == "constant") {
+    s.drift = Scenario::DriftKind::Constant;
+  } else if (drift == "wander") {
+    s.drift = Scenario::DriftKind::Wander;
+  } else if (drift == "sinusoidal") {
+    s.drift = Scenario::DriftKind::Sinusoidal;
+  } else if (drift == "opposed-halves") {
+    s.drift = Scenario::DriftKind::OpposedHalves;
+  } else {
+    throw std::invalid_argument("unknown drift kind: " + drift);
+  }
+  s.wander_interval = c.get_duration("wander_interval", s.wander_interval);
+  s.sinusoid_cycle = c.get_duration("sinusoid_cycle", s.sinusoid_cycle);
+
+  const std::string delay = c.get_string("delay", "uniform");
+  if (delay == "fixed") {
+    s.delay = Scenario::DelayKind::Fixed;
+  } else if (delay == "uniform") {
+    s.delay = Scenario::DelayKind::Uniform;
+  } else if (delay == "asymmetric") {
+    s.delay = Scenario::DelayKind::Asymmetric;
+  } else if (delay == "jitter") {
+    s.delay = Scenario::DelayKind::Jitter;
+  } else {
+    throw std::invalid_argument("unknown delay kind: " + delay);
+  }
+
+  const std::string topo = c.get_string("topology", "full-mesh");
+  if (topo == "full-mesh") {
+    s.topology = Scenario::TopologyKind::FullMesh;
+  } else if (topo == "two-cliques") {
+    s.topology = Scenario::TopologyKind::TwoCliques;
+  } else if (topo == "ring") {
+    s.topology = Scenario::TopologyKind::Ring;
+  } else {
+    throw std::invalid_argument("unknown topology: " + topo);
+  }
+
+  s.initial_spread = c.get_duration("initial_spread", s.initial_spread);
+  s.horizon = c.get_duration("horizon", s.horizon);
+  s.sample_period = c.get_duration("sample_period", s.sample_period);
+  s.warmup = c.get_duration("warmup", s.warmup);
+  s.seed = static_cast<std::uint64_t>(c.get_int("seed", 1));
+  s.record_series = c.get_bool("record_series", s.record_series);
+
+  // Adversary block: either a single break-in or a random mobile sweep.
+  const std::string adv = c.get_string("adversary", "none");
+  s.strategy = c.get_string("strategy", "silent");
+  s.strategy_scale = c.get_duration("strategy_scale", s.strategy_scale);
+  if (adv == "none") {
+    // no schedule
+  } else if (adv == "single") {
+    s.schedule = adversary::Schedule::single(
+        static_cast<net::ProcId>(c.get_int("victim", 0)),
+        RealTime(c.get_duration("break_at", Dur::hours(1)).sec()),
+        RealTime(c.get_duration("leave_at", Dur::hours(1) + Dur::minutes(10)).sec()));
+  } else if (adv == "mobile") {
+    const Dur sched_end = c.get_duration("schedule_end", s.horizon * 0.8);
+    s.schedule = adversary::Schedule::random_mobile(
+        s.model.n, s.model.f, s.model.delta_period,
+        c.get_duration("min_dwell", Dur::minutes(5)),
+        c.get_duration("max_dwell", Dur::minutes(20)),
+        RealTime(sched_end.sec()), Rng(s.seed ^ 0x5eedULL));
+  } else if (adv == "sweep") {
+    s.schedule = adversary::Schedule::round_robin_sweep(
+        s.model.n, s.model.f, s.model.delta_period,
+        c.get_duration("dwell", Dur::minutes(10)),
+        c.get_duration("slack", Dur::minutes(1)), RealTime(600.0),
+        RealTime((s.horizon * 0.9).sec()));
+  } else {
+    throw std::invalid_argument("unknown adversary kind: " + adv);
+  }
+  return s;
+}
+
+}  // namespace czsync::analysis

@@ -1,0 +1,29 @@
+// CSV emission of run results: plot-ready time series, recovery tables
+// and one-line summaries. Used by the CLI driver and by benches that
+// want machine-readable output next to their ASCII tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "util/config.h"
+
+namespace czsync::analysis {
+
+/// Per-sample series: t, stable deviation, then bias_p / status_p per
+/// processor. Requires the scenario to have been run with record_series.
+void write_series_csv(std::ostream& os, const RunResult& result);
+
+/// One row per adversary leave event.
+void write_recoveries_csv(std::ostream& os, const RunResult& result);
+
+/// Single-row summary: bounds and measured headline metrics.
+void write_summary_csv(std::ostream& os, const RunResult& result);
+
+/// Builds a Scenario from a Config (keys documented in the CLI's
+/// --help / tools/README); throws std::invalid_argument on bad values.
+[[nodiscard]] Scenario scenario_from_config(const Config& config);
+
+}  // namespace czsync::analysis

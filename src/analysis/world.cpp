@@ -1,0 +1,185 @@
+#include "analysis/world.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "adversary/strategies.h"
+#include "broadcast/auth.h"
+#include "broadcast/replay_strategy.h"
+#include "broadcast/st_sync.h"
+#include "core/convergence.h"
+#include "net/delay_model.h"
+#include "net/topology.h"
+
+namespace czsync::analysis {
+
+namespace {
+
+net::Topology build_topology(const Scenario& s) {
+  switch (s.topology) {
+    case Scenario::TopologyKind::FullMesh:
+      return net::Topology::full_mesh(s.model.n);
+    case Scenario::TopologyKind::TwoCliques:
+      // n must match 6f+2 for the Section-5 construction.
+      assert(s.model.n == 6 * s.model.f + 2);
+      return net::Topology::two_cliques(s.model.f);
+    case Scenario::TopologyKind::Ring:
+      return net::Topology::ring(s.model.n);
+    case Scenario::TopologyKind::Custom:
+      assert(s.custom_topology.has_value());
+      assert(s.custom_topology->size() == s.model.n);
+      return *s.custom_topology;
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::unique_ptr<net::DelayModel> build_delay(const Scenario& s) {
+  const Dur d = s.model.delta;
+  switch (s.delay) {
+    case Scenario::DelayKind::Fixed:
+      return net::make_fixed_delay(d);
+    case Scenario::DelayKind::Uniform:
+      return net::make_uniform_delay(d, d * 0.1);
+    case Scenario::DelayKind::Asymmetric:
+      return net::make_asymmetric_delay(d);
+    case Scenario::DelayKind::Jitter:
+      return net::make_jitter_delay(d, d * 0.15, d * 0.2);
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::shared_ptr<const clk::DriftModel> build_drift(const Scenario& s,
+                                                   net::ProcId p) {
+  switch (s.drift) {
+    case Scenario::DriftKind::Constant:
+      return clk::make_constant_drift(s.model.rho);
+    case Scenario::DriftKind::Wander:
+      return clk::make_wander_drift(s.model.rho, s.wander_interval);
+    case Scenario::DriftKind::Sinusoidal:
+      // One instance per node (the model is phase-stateful).
+      return clk::make_sinusoidal_drift(s.model.rho, s.sinusoid_cycle);
+    case Scenario::DriftKind::OpposedHalves: {
+      const bool fast = p < s.model.n / 2;
+      const double rate = fast ? 1.0 + s.model.rho : 1.0 / (1.0 + s.model.rho);
+      return clk::make_pinned_drift(s.model.rho, rate);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace
+
+World::World(Scenario scenario)
+    : scenario_(std::move(scenario)),
+      proto_(core::ProtocolParams::derive(scenario_.model, scenario_.sync_int)),
+      bounds_(core::TheoremBounds::compute(scenario_.model, proto_)) {
+  const auto& s = scenario_;
+  assert(s.way_off_scale > 0.0);
+  proto_.way_off = proto_.way_off * s.way_off_scale;
+  Rng master(s.seed);
+
+  network_ = std::make_unique<net::Network>(sim_, build_topology(s),
+                                            build_delay(s), master.fork("net"));
+  if (!s.link_faults.empty()) network_->set_link_faults(s.link_faults);
+
+  auto convergence =
+      core::make_convergence(s.convergence, s.capped_correction_cap);
+
+  EngineKind engine = EngineKind::NoRounds;
+  EngineFactory factory;
+  if (s.protocol == "round") {
+    engine = EngineKind::Rounds;
+  } else if (s.protocol == "st-broadcast") {
+    // The §1.1 broadcast comparator: a shared signature service plus one
+    // StSyncProcess per node.
+    auto auth = std::make_shared<broadcast::Authenticator>(s.seed ^
+                                                           0x51672a9bULL);
+    broadcast::StConfig st;
+    st.period = s.sync_int;
+    // Compensates the acceptance lag (one-hop delivery of the decisive
+    // signature, ~delta/2 on average): the residual is the systematic
+    // rate bias of the broadcast design; real deployments calibrate it.
+    st.skew_allowance = 0.5 * s.model.delta;
+    st.f = s.model.f;
+    factory = [auth, st](sim::Simulator& sim, net::Network& net,
+                         clk::LogicalClock& clock, net::ProcId id, Rng) {
+      return std::make_unique<broadcast::StSyncProcess>(sim, net, clock, id,
+                                                        st, auth);
+    };
+  } else if (s.protocol != "sync") {
+    throw std::invalid_argument("unknown protocol: " + s.protocol);
+  }
+
+  Rng bias_rng = master.fork("bias");
+  nodes_.reserve(static_cast<std::size_t>(s.model.n));
+  for (int p = 0; p < s.model.n; ++p) {
+    core::SyncConfig cfg;
+    cfg.params = proto_;
+    cfg.f = s.model.f;
+    cfg.convergence = convergence;
+    cfg.pings_per_peer = s.pings_per_peer;
+    cfg.cached_estimation = s.cached_estimation;
+    cfg.cache_refresh = s.cache_refresh;
+    // Entries survive three refresh periods (missed refreshes happen when
+    // peers are faulty) but at least two minutes.
+    cfg.max_cache_age = std::max(s.cache_refresh * 3.0, Dur::minutes(2));
+    const Dur bias = Dur::seconds(bias_rng.uniform(
+        -s.initial_spread.sec() / 2.0, s.initial_spread.sec() / 2.0));
+    nodes_.push_back(std::make_unique<Node>(sim_, *network_, build_drift(s, p),
+                                            cfg, p, master.fork(1000 + p),
+                                            bias, engine, factory));
+    if (s.rate_discipline) {
+      core::DisciplineConfig dc;
+      dc.gain = s.discipline_gain;
+      dc.max_rate = s.model.rho;
+      dc.slew_interval = s.discipline_slew_interval;
+      nodes_.back()->enable_rate_discipline(dc);
+    }
+  }
+
+  if (!s.schedule.empty()) {
+    adversary::WorldSpy spy;
+    spy.n = s.model.n;
+    spy.f = s.model.f;
+    spy.way_off = proto_.way_off;
+    spy.read_clock = [this](net::ProcId q) {
+      return nodes_[static_cast<std::size_t>(q)]->logical().read();
+    };
+    std::shared_ptr<adversary::Strategy> strategy;
+    if (s.strategy == "sig-replay") {
+      strategy = std::make_shared<broadcast::SigReplayStrategy>();
+    } else {
+      strategy = adversary::make_strategy(s.strategy, s.strategy_scale);
+    }
+    adversary_ = std::make_unique<adversary::Adversary>(
+        sim_, s.schedule, std::move(strategy), std::move(spy),
+        master.fork("adversary"));
+    std::vector<adversary::ControlledProcess*> procs;
+    procs.reserve(nodes_.size());
+    for (auto& n : nodes_) {
+      n->set_adversary(adversary_.get());
+      procs.push_back(n.get());
+    }
+    adversary_->attach(std::move(procs));
+  }
+
+  std::vector<Node*> raw;
+  raw.reserve(nodes_.size());
+  for (auto& n : nodes_) raw.push_back(n.get());
+  static const adversary::Schedule kEmptySchedule;
+  const adversary::Schedule& sched =
+      adversary_ ? adversary_->schedule() : kEmptySchedule;
+  observer_ = std::make_unique<Observer>(
+      sim_, std::move(raw), sched, s.model.delta_period, s.sample_period,
+      bounds_.max_deviation, s.record_series);
+}
+
+void World::run() {
+  observer_->set_warmup(RealTime::zero() + scenario_.warmup);
+  observer_->start(RealTime::zero() + scenario_.horizon);
+  for (auto& n : nodes_) n->start();
+  sim_.run_until(RealTime::zero() + scenario_.horizon);
+  observer_->finalize();
+}
+
+}  // namespace czsync::analysis

@@ -1,0 +1,52 @@
+// World: builds a complete simulated deployment from a Scenario.
+//
+// Construction order matters and is encapsulated here:
+//   simulator -> network (topology + delays) -> nodes (clock stacks +
+//   Sync processes) -> adversary (schedule + strategy + spy) -> observer.
+// After build(), run() executes the scenario to its horizon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "analysis/node.h"
+#include "analysis/observer.h"
+#include "analysis/scenario.h"
+#include "core/params.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::analysis {
+
+class World {
+ public:
+  explicit World(Scenario scenario);
+
+  /// Runs the scenario to its horizon (sampling included).
+  void run();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] Node& node(net::ProcId p) { return *nodes_[static_cast<std::size_t>(p)]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Observer& observer() { return *observer_; }
+  [[nodiscard]] adversary::Adversary* adversary() { return adversary_.get(); }
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] const core::ProtocolParams& protocol_params() const {
+    return proto_;
+  }
+  [[nodiscard]] const core::TheoremBounds& bounds() const { return bounds_; }
+
+ private:
+  Scenario scenario_;
+  sim::Simulator sim_;
+  core::ProtocolParams proto_;
+  core::TheoremBounds bounds_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<adversary::Adversary> adversary_;
+  std::unique_ptr<Observer> observer_;
+};
+
+}  // namespace czsync::analysis

@@ -1,0 +1,39 @@
+#include "broadcast/auth.h"
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace czsync::broadcast {
+
+Authenticator::Authenticator(std::uint64_t master_secret)
+    : master_secret_(master_secret) {}
+
+std::uint64_t Authenticator::key_of(net::ProcId p) const {
+  std::uint64_t s = master_secret_ ^
+                    (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(p) + 1));
+  return splitmix64(s);
+}
+
+net::Signature Authenticator::sign(net::ProcId signer,
+                                   std::uint64_t payload) const {
+  std::uint64_t s = key_of(signer) ^ (payload * 0xd1b54a32d192ed03ULL);
+  return net::Signature{signer, splitmix64(s)};
+}
+
+bool Authenticator::verify(const net::Signature& sig,
+                           std::uint64_t payload) const {
+  if (sig.signer < 0) return false;
+  return sign(sig.signer, payload).mac == sig.mac;
+}
+
+int Authenticator::count_valid(const std::vector<net::Signature>& sigs,
+                               std::uint64_t payload) const {
+  std::set<net::ProcId> signers;
+  for (const auto& s : sigs) {
+    if (verify(s, payload)) signers.insert(s.signer);
+  }
+  return static_cast<int>(signers.size());
+}
+
+}  // namespace czsync::broadcast

@@ -1,0 +1,41 @@
+// Toy message authentication for the broadcast comparator.
+//
+// The [10]-family algorithms "rely on signatures rather than
+// authenticated links" (§1.1). We model signatures with per-processor
+// secret keys held by this service: sign(p, payload) is only callable on
+// behalf of p (the simulation's calling discipline stands in for key
+// possession), and verify is public. Within the simulation this makes
+// signatures unforgeable — but, crucially, NOT unreplayable: a genuine
+// old signature verifies forever, which is exactly the exposure behind
+// [10]'s assumption A4 ("the attacker cannot collect too many bad
+// signatures") that experiment E20 demonstrates.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.h"
+
+namespace czsync::broadcast {
+
+class Authenticator {
+ public:
+  explicit Authenticator(std::uint64_t master_secret);
+
+  /// Signs `payload` with processor `signer`'s key.
+  [[nodiscard]] net::Signature sign(net::ProcId signer,
+                                    std::uint64_t payload) const;
+
+  /// True iff `sig` is `signer`'s genuine signature over `payload`.
+  [[nodiscard]] bool verify(const net::Signature& sig,
+                            std::uint64_t payload) const;
+
+  /// Counts distinct signers with valid signatures over `payload`.
+  [[nodiscard]] int count_valid(const std::vector<net::Signature>& sigs,
+                                std::uint64_t payload) const;
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(net::ProcId p) const;
+  std::uint64_t master_secret_;
+};
+
+}  // namespace czsync::broadcast

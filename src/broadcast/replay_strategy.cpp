@@ -1,0 +1,68 @@
+#include "broadcast/replay_strategy.h"
+
+#include <functional>
+#include <memory>
+
+namespace czsync::broadcast {
+
+SigReplayStrategy::SigReplayStrategy(std::size_t max_stored, Dur spam_period)
+    : max_stored_(max_stored), spam_period_(spam_period) {}
+
+void SigReplayStrategy::spam(adversary::ControlledProcess& self, int f) {
+  // The oldest round with a complete (f+1 signer) signature set is the
+  // most damaging replay.
+  for (const auto& [round, sigs] : stored_) {
+    if (static_cast<int>(sigs.size()) < f + 1) continue;
+    net::StRoundMsg bundle;
+    bundle.round = round;
+    bundle.sigs.reserve(sigs.size());
+    for (const auto& [signer, sig] : sigs) bundle.sigs.push_back(sig);
+    for (net::ProcId q : self.peers()) {
+      self.send(q, bundle);
+      ++replays_sent_;
+    }
+    return;
+  }
+}
+
+void SigReplayStrategy::arm_spam(adversary::AdvContext& ctx,
+                                 adversary::ControlledProcess& self) {
+  // Periodic replay while (and only while) this processor is controlled.
+  // The spy outlives the events (it is owned by the adversary engine);
+  // the loop closes over a shared copy of itself so it can re-arm.
+  const adversary::WorldSpy* spy = &ctx.spy;
+  adversary::ControlledProcess* node = &self;
+  sim::Simulator* sim = &ctx.sim;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [this, spy, node, sim, loop] {
+    if (!spy->is_controlled(node->id())) return;  // left: loop dies
+    spam(*node, spy->f);
+    sim->schedule_after(spam_period_, *loop);
+  };
+  sim->schedule_after(spam_period_, *loop);
+}
+
+void SigReplayStrategy::on_break_in(adversary::AdvContext& ctx,
+                                    adversary::ControlledProcess& self) {
+  arm_spam(ctx, self);
+}
+
+void SigReplayStrategy::on_message(adversary::AdvContext& ctx,
+                                   adversary::ControlledProcess& self,
+                                   const net::Message& msg) {
+  const auto* st = std::get_if<net::StRoundMsg>(&msg.body);
+  if (st == nullptr) return;  // only the broadcast protocol is attacked
+  // Harvest: genuine signatures are reusable forever; accumulate the
+  // per-round union (A4's "collected signatures"), preferring to keep
+  // the oldest rounds.
+  if (stored_.size() < max_stored_ || stored_.contains(st->round) ||
+      st->round < stored_.rbegin()->first) {
+    auto& slot = stored_[st->round];
+    for (const auto& sig : st->sigs) slot.emplace(sig.signer, sig);
+    while (stored_.size() > max_stored_) stored_.erase(std::prev(stored_.end()));
+  }
+  // Opportunistic replay on every received message as well.
+  if (stored_.begin()->first != st->round) spam(self, ctx.spy.f);
+}
+
+}  // namespace czsync::broadcast

@@ -1,0 +1,51 @@
+// Signature-replay attack against the broadcast comparator.
+//
+// §1.1: "[10] also limit the power of the attacker by assuming it cannot
+// collect too many 'bad' signatures (assumption A4)". This strategy IS
+// that attacker: it records every signature bundle its controlled
+// processors observe (genuine signatures verify forever) and spams the
+// oldest recorded bundle at the network. Correct processors reject it
+// (round <= last_accepted), but a freshly recovered processor has lost
+// its round state and accepts — its clock snaps to the stale round's
+// time. The convergence-based protocol has no such artifact to replay.
+#pragma once
+
+#include <map>
+
+#include "adversary/strategies.h"
+#include "net/message.h"
+
+namespace czsync::broadcast {
+
+class SigReplayStrategy final : public adversary::Strategy {
+ public:
+  /// Keeps at most `max_stored` of the oldest observed rounds and spams
+  /// the oldest one from every controlled processor every `spam_period`.
+  explicit SigReplayStrategy(std::size_t max_stored = 16,
+                             Dur spam_period = Dur::seconds(2));
+
+  [[nodiscard]] std::string_view name() const override { return "sig-replay"; }
+  void on_break_in(adversary::AdvContext& ctx,
+                   adversary::ControlledProcess& self) override;
+  void on_message(adversary::AdvContext& ctx,
+                  adversary::ControlledProcess& self,
+                  const net::Message& msg) override;
+
+  [[nodiscard]] std::size_t stored_rounds() const { return stored_.size(); }
+  [[nodiscard]] std::uint64_t replays_sent() const { return replays_sent_; }
+
+ private:
+  /// Replays the oldest round for which >= f+1 distinct signatures were
+  /// collected (enough to force acceptance).
+  void spam(adversary::ControlledProcess& self, int f);
+  void arm_spam(adversary::AdvContext& ctx, adversary::ControlledProcess& self);
+
+  std::size_t max_stored_;
+  Dur spam_period_;
+  /// round -> union of observed signatures, deduped by signer: the
+  /// "collected bad signatures" of assumption A4.
+  std::map<std::uint64_t, std::map<net::ProcId, net::Signature>> stored_;
+  std::uint64_t replays_sent_ = 0;
+};
+
+}  // namespace czsync::broadcast

@@ -1,0 +1,156 @@
+#include "broadcast/st_sync.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace czsync::broadcast {
+
+StSyncProcess::StSyncProcess(sim::Simulator& sim, net::Network& network,
+                             clk::LogicalClock& clock, net::ProcId id,
+                             StConfig config,
+                             std::shared_ptr<const Authenticator> auth)
+    : sim_(sim),
+      network_(network),
+      clock_(clock),
+      id_(id),
+      config_(std::move(config)),
+      auth_(std::move(auth)) {
+  assert(auth_ != nullptr);
+  assert(config_.period > Dur::zero());
+  assert(config_.f >= 0);
+}
+
+void StSyncProcess::start() {
+  assert(!started_);
+  started_ = true;
+  arm_ready();
+}
+
+void StSyncProcess::arm_ready() {
+  // Fire when the logical clock reaches T_{last_accepted+1}. The alarm
+  // runs on the hardware clock; on_ready re-validates against the
+  // logical clock (which acceptance may have moved).
+  const std::uint64_t next = last_accepted_ + 1;
+  const ClockTime target(static_cast<double>(next) * config_.period.sec());
+  Dur wait = target - clock_.read();
+  if (wait < Dur::zero()) wait = Dur::zero();
+  ready_alarm_ = clock_.hardware().set_alarm_after(wait, [this] {
+    ready_alarm_ = clk::kNoAlarm;
+    on_ready();
+  });
+}
+
+void StSyncProcess::on_ready() {
+  const std::uint64_t next = last_accepted_ + 1;
+  const ClockTime target(static_cast<double>(next) * config_.period.sec());
+  if (clock_.read() < target) {
+    // The clock was adjusted backwards since arming: not ready yet.
+    arm_ready();
+    return;
+  }
+  if (!signed_rounds_.contains(next)) {
+    signed_rounds_.insert(next);
+    ++stats_.rounds_started;
+    merge_and_maybe_accept(next, {auth_->sign(id_, next)});
+    // Announce our readiness (with every signature gathered so far).
+    // When the merge already accepted, accept() broadcast and erased the
+    // slot; otherwise progress now depends on further signatures — the
+    // ready alarm is NOT re-armed (rounds only advance on acceptance).
+    if (pending_.contains(next)) broadcast_round(next);
+  }
+}
+
+void StSyncProcess::broadcast_round(std::uint64_t round) {
+  auto it = pending_.find(round);
+  std::vector<net::Signature> sigs;
+  if (it != pending_.end()) {
+    sigs.reserve(it->second.size());
+    for (const auto& [signer, sig] : it->second) sigs.push_back(sig);
+  }
+  for (net::ProcId q : network_.topology().neighbors(id_)) {
+    network_.send(id_, q, net::StRoundMsg{round, sigs});
+  }
+}
+
+void StSyncProcess::handle_message(const net::Message& msg) {
+  const auto* st = std::get_if<net::StRoundMsg>(&msg.body);
+  if (st == nullptr) return;
+  if (st->round <= last_accepted_) {
+    ++stats_.responses_stale;  // old round: freshness check rejects it
+    return;
+  }
+  merge_and_maybe_accept(st->round, st->sigs);
+}
+
+void StSyncProcess::merge_and_maybe_accept(
+    std::uint64_t round, const std::vector<net::Signature>& sigs) {
+  auto& slot = pending_[round];
+  for (const auto& sig : sigs) {
+    if (!auth_->verify(sig, round)) continue;  // forged: ignored
+    slot.emplace(sig.signer, sig);
+  }
+  ++stats_.responses_ok;
+  if (static_cast<int>(slot.size()) >= config_.f + 1) accept(round);
+}
+
+void StSyncProcess::accept(std::uint64_t round) {
+  assert(round > last_accepted_);
+  // Detect replay damage: accepting a round whose time target is far
+  // BELOW our current clock means a stale bundle dragged us backwards.
+  const ClockTime target(static_cast<double>(round) * config_.period.sec() +
+                         config_.skew_allowance.sec());
+  const Dur correction = target - clock_.read();
+  if (correction < -1.5 * config_.period) ++stats_.replays_accepted;
+
+  last_accepted_ = round;
+  // Make sure our own signature travels with the final relay.
+  if (!signed_rounds_.contains(round)) {
+    signed_rounds_.insert(round);
+    pending_[round].emplace(id_, auth_->sign(id_, round));
+  }
+  clock_.adjust(correction);
+  ++stats_.rounds_completed;
+  stats_.last_adjustment = correction;
+  stats_.max_abs_adjustment =
+      std::max(stats_.max_abs_adjustment, correction.abs());
+  broadcast_round(round);
+  // Drop bookkeeping for superseded rounds.
+  pending_.erase(pending_.begin(), pending_.upper_bound(round));
+  if (on_sync_complete) {
+    on_sync_complete(core::ConvergenceResult{correction, false});
+  }
+  if (ready_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(ready_alarm_);
+    ready_alarm_ = clk::kNoAlarm;
+  }
+  if (!suspended_) arm_ready();
+  CZ_TRACE << "proc " << id_ << " accepted ST round " << round;
+}
+
+void StSyncProcess::suspend() {
+  suspended_ = true;
+  if (ready_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(ready_alarm_);
+    ready_alarm_ = clk::kNoAlarm;
+  }
+  pending_.clear();
+}
+
+void StSyncProcess::resume() {
+  assert(suspended_);
+  suspended_ = false;
+  // §3.3's recovery problem, broadcast edition: the round state was in
+  // adversary hands. The processor must treat it as lost — and until an
+  // honest bundle for the CURRENT round arrives, any genuine stale
+  // bundle (a replay) passes both the signature check and the
+  // round > last_accepted freshness check.
+  last_accepted_ = 0;
+  signed_rounds_.clear();
+  pending_.clear();
+  arm_ready();
+}
+
+}  // namespace czsync::broadcast

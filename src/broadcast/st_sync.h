@@ -1,0 +1,91 @@
+// Broadcast-based synchronization comparator — the [10] family of §1.1.
+//
+// A Srikanth-Toueg-style authenticated algorithm: logical time is divided
+// into periods P; when a processor's clock reaches T_k = k*P it signs and
+// broadcasts "round k". Any processor holding f+1 distinct valid
+// signatures for round k accepts: it sets its clock to T_k + skew, relays
+// the signature bundle to all neighbors, and waits for T_{k+1}. With
+// unforgeable signatures, f+1 signers include one correct processor, so
+// acceptance implies some correct clock really reached T_k; resilience is
+// a simple majority (n > 2f) and propagation only needs a connected
+// graph — the two advantages §1.1 credits to [10].
+//
+// The costs the paper lists are also faithfully present:
+//   * every acceptance triggers a relay of an O(f)-signature bundle to
+//     every neighbor: O(n^2) bundle transmissions per round network-wide;
+//   * progress per round waits for the broadcast to reach everyone
+//     (sensitivity to transient delays);
+//   * recovery depends on *protocol state* (the last accepted round):
+//     a break-in wipes it, and until the next honest round arrives the
+//     processor will accept ANY genuine bundle — including a replayed
+//     stale one. Signatures verify forever, which is why [10] needs its
+//     assumption A4; experiment E20's replay attack shows the window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "broadcast/auth.h"
+#include "clock/logical_clock.h"
+#include "core/protocol_engine.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::broadcast {
+
+struct StConfig {
+  Dur period = Dur::minutes(1);        ///< P: logical time between rounds
+  Dur skew_allowance = Dur::millis(100);  ///< added to T_k on accept
+  int f = 1;                           ///< tolerated faults (n > 2f)
+};
+
+class StSyncProcess final : public core::ProtocolEngine {
+ public:
+  StSyncProcess(sim::Simulator& sim, net::Network& network,
+                clk::LogicalClock& clock, net::ProcId id, StConfig config,
+                std::shared_ptr<const Authenticator> auth);
+
+  void start() override;
+  void suspend() override;
+  /// Restarts with the round state LOST (the adversary had full state
+  /// access): last_accepted resets to 0 — the replay-vulnerable window.
+  void resume() override;
+  void handle_message(const net::Message& msg) override;
+
+  [[nodiscard]] bool suspended() const override { return suspended_; }
+  [[nodiscard]] const core::SyncStats& stats() const override { return stats_; }
+  [[nodiscard]] std::uint64_t last_accepted() const { return last_accepted_; }
+  [[nodiscard]] std::uint64_t replays_accepted() const {
+    return stats_.replays_accepted;
+  }
+
+ private:
+  void arm_ready();
+  void on_ready();
+  void merge_and_maybe_accept(std::uint64_t round,
+                              const std::vector<net::Signature>& sigs);
+  void accept(std::uint64_t round);
+  void broadcast_round(std::uint64_t round);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  clk::LogicalClock& clock_;
+  net::ProcId id_;
+  StConfig config_;
+  std::shared_ptr<const Authenticator> auth_;
+
+  bool started_ = false;
+  bool suspended_ = false;
+  clk::AlarmId ready_alarm_ = clk::kNoAlarm;
+
+  std::uint64_t last_accepted_ = 0;
+  std::set<std::uint64_t> signed_rounds_;  // own-signature dedupe
+  /// Collected valid signatures per pending round, deduped by signer.
+  std::map<std::uint64_t, std::map<net::ProcId, net::Signature>> pending_;
+  core::SyncStats stats_;
+};
+
+}  // namespace czsync::broadcast

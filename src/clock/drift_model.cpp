@@ -1,0 +1,112 @@
+#include "clock/drift_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace czsync::clk {
+
+DriftModel::DriftModel(double rho) : rho_(rho) { assert(rho >= 0.0); }
+
+double DriftModel::clamp_rate(double r) const {
+  return std::clamp(r, min_rate(), max_rate());
+}
+
+ConstantDrift::ConstantDrift(double rho) : DriftModel(rho) {}
+
+ConstantDrift::ConstantDrift(double rho, double pinned_rate)
+    : DriftModel(rho), pinned_(true), pinned_rate_(pinned_rate) {
+  assert(pinned_rate >= min_rate() && pinned_rate <= max_rate());
+}
+
+double ConstantDrift::initial_rate(Rng& rng) const {
+  if (pinned_) return pinned_rate_;
+  return rng.uniform(min_rate(), max_rate());
+}
+
+Dur ConstantDrift::next_change_after(Rng&) const { return Dur::infinity(); }
+
+double ConstantDrift::next_rate(double current, Rng&) const { return current; }
+
+WanderDrift::WanderDrift(double rho, Dur mean_interval, double step_fraction)
+    : DriftModel(rho),
+      mean_interval_(mean_interval),
+      step_fraction_(step_fraction) {
+  assert(mean_interval > Dur::zero());
+  assert(step_fraction > 0.0);
+}
+
+double WanderDrift::initial_rate(Rng& rng) const {
+  return rng.uniform(min_rate(), max_rate());
+}
+
+Dur WanderDrift::next_change_after(Rng& rng) const {
+  // Exponential with the configured mean; floor keeps event counts sane.
+  const double u = std::max(rng.uniform01(), 1e-12);
+  const double span = -std::log(u) * mean_interval_.sec();
+  return Dur::seconds(std::max(span, mean_interval_.sec() * 0.01));
+}
+
+double WanderDrift::next_rate(double current, Rng& rng) const {
+  const double step = rng.normal(0.0, step_fraction_ * rho());
+  double candidate = current + step;
+  // Reflect at the band edges so the walk does not stick to a boundary.
+  if (candidate > max_rate()) candidate = 2.0 * max_rate() - candidate;
+  if (candidate < min_rate()) candidate = 2.0 * min_rate() - candidate;
+  return clamp_rate(candidate);
+}
+
+SinusoidalDrift::SinusoidalDrift(double rho, Dur cycle, int steps_per_cycle,
+                                 double amplitude_fraction)
+    : DriftModel(rho),
+      cycle_(cycle),
+      steps_per_cycle_(steps_per_cycle),
+      amplitude_fraction_(amplitude_fraction) {
+  assert(cycle > Dur::zero());
+  assert(steps_per_cycle >= 4);
+  assert(amplitude_fraction > 0.0 && amplitude_fraction <= 1.0);
+}
+
+double SinusoidalDrift::rate_at_phase(double phase01) const {
+  // Swing around the band centre with the configured amplitude.
+  const double mid = (min_rate() + max_rate()) / 2.0;
+  const double amp = (max_rate() - min_rate()) / 2.0 * amplitude_fraction_;
+  return clamp_rate(mid + amp * std::sin(2.0 * 3.14159265358979323846 * phase01));
+}
+
+double SinusoidalDrift::initial_rate(Rng& rng) const {
+  phase01_ = rng.uniform01();  // random per-clock phase
+  return rate_at_phase(phase01_);
+}
+
+Dur SinusoidalDrift::next_change_after(Rng&) const {
+  return cycle_ / static_cast<double>(steps_per_cycle_);
+}
+
+double SinusoidalDrift::next_rate(double, Rng&) const {
+  phase01_ += 1.0 / static_cast<double>(steps_per_cycle_);
+  if (phase01_ >= 1.0) phase01_ -= 1.0;
+  return rate_at_phase(phase01_);
+}
+
+std::shared_ptr<const DriftModel> make_constant_drift(double rho) {
+  return std::make_shared<ConstantDrift>(rho);
+}
+
+std::shared_ptr<const DriftModel> make_pinned_drift(double rho, double rate) {
+  return std::make_shared<ConstantDrift>(rho, rate);
+}
+
+std::shared_ptr<const DriftModel> make_wander_drift(double rho,
+                                                    Dur mean_interval,
+                                                    double step_fraction) {
+  return std::make_shared<WanderDrift>(rho, mean_interval, step_fraction);
+}
+
+std::shared_ptr<const DriftModel> make_sinusoidal_drift(
+    double rho, Dur cycle, int steps_per_cycle, double amplitude_fraction) {
+  return std::make_shared<SinusoidalDrift>(rho, cycle, steps_per_cycle,
+                                           amplitude_fraction);
+}
+
+}  // namespace czsync::clk

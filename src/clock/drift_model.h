@@ -1,0 +1,123 @@
+// Hardware-clock drift models.
+//
+// Equation (2) of the paper bounds the hardware clock rate two-sidedly:
+//   (tau2-tau1)/(1+rho) <= H(tau2)-H(tau1) <= (tau2-tau1)*(1+rho).
+// Any model whose *instantaneous* rate stays inside [1/(1+rho), 1+rho]
+// satisfies it. We provide a constant-rate model (one draw per processor)
+// and a bounded-random-walk "wander" model that stresses the analysis
+// harder because a clock can swing between fast and slow inside one
+// synchronization interval.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace czsync::clk {
+
+/// Strategy interface describing how a hardware clock's rate evolves.
+/// The clock pulls an initial rate, then repeatedly asks "when does the
+/// rate change next, and to what".
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+
+  /// Bound rho of Eq. 2. The model guarantees every rate it produces lies
+  /// in [1/(1+rho), 1+rho].
+  [[nodiscard]] double rho() const { return rho_; }
+  [[nodiscard]] double min_rate() const { return 1.0 / (1.0 + rho_); }
+  [[nodiscard]] double max_rate() const { return 1.0 + rho_; }
+
+  /// Rate at time zero for a fresh clock.
+  [[nodiscard]] virtual double initial_rate(Rng& rng) const = 0;
+
+  /// Real-time span until the next rate change; Dur::infinity() means the
+  /// rate never changes again.
+  [[nodiscard]] virtual Dur next_change_after(Rng& rng) const = 0;
+
+  /// The new rate, given the current one. Only called when
+  /// next_change_after returned a finite duration.
+  [[nodiscard]] virtual double next_rate(double current, Rng& rng) const = 0;
+
+ protected:
+  explicit DriftModel(double rho);
+
+  /// Clamps a candidate rate into the legal band.
+  [[nodiscard]] double clamp_rate(double r) const;
+
+ private:
+  double rho_;
+};
+
+/// Constant rate, drawn uniformly from the legal band (or pinned).
+class ConstantDrift final : public DriftModel {
+ public:
+  explicit ConstantDrift(double rho);
+  /// Pins every clock to exactly `rate` (must lie in the band).
+  ConstantDrift(double rho, double pinned_rate);
+
+  [[nodiscard]] double initial_rate(Rng& rng) const override;
+  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] double next_rate(double current, Rng& rng) const override;
+
+ private:
+  bool pinned_ = false;
+  double pinned_rate_ = 1.0;
+};
+
+/// Bounded random walk: every ~`interval` (exponentially distributed) the
+/// rate takes a Gaussian step of relative size `step_fraction * rho`,
+/// reflected into the legal band.
+class WanderDrift final : public DriftModel {
+ public:
+  WanderDrift(double rho, Dur mean_interval, double step_fraction = 0.25);
+
+  [[nodiscard]] double initial_rate(Rng& rng) const override;
+  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] double next_rate(double current, Rng& rng) const override;
+
+ private:
+  Dur mean_interval_;
+  double step_fraction_;
+};
+
+/// Diurnal/thermal cycle: the rate swings sinusoidally between the band
+/// edges with the given period (quartz drift follows temperature; a
+/// machine-room day cycle is the classic shape). Implemented as a
+/// piecewise-constant approximation with `steps_per_cycle` segments; each
+/// clock gets a random phase so the ensemble does not swing coherently.
+/// NOTE: unlike the other models, a SinusoidalDrift instance tracks the
+/// wave phase internally and must serve exactly ONE clock — the factory
+/// below returns a fresh instance per call, and analysis::World builds
+/// one per node. (Sharing one instance would interleave the phases.)
+class SinusoidalDrift final : public DriftModel {
+ public:
+  SinusoidalDrift(double rho, Dur cycle, int steps_per_cycle = 48,
+                  double amplitude_fraction = 1.0);
+
+  [[nodiscard]] double initial_rate(Rng& rng) const override;
+  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] double next_rate(double current, Rng& rng) const override;
+
+ private:
+  [[nodiscard]] double rate_at_phase(double phase01) const;
+
+  Dur cycle_;
+  int steps_per_cycle_;
+  double amplitude_fraction_;
+  mutable double phase01_ = 0.0;  // per-clock wave phase, see NOTE
+};
+
+/// Convenience factories returning shared models (one model object serves
+/// all clocks; per-clock randomness comes from each clock's own Rng).
+[[nodiscard]] std::shared_ptr<const DriftModel> make_constant_drift(double rho);
+[[nodiscard]] std::shared_ptr<const DriftModel> make_pinned_drift(double rho,
+                                                                  double rate);
+[[nodiscard]] std::shared_ptr<const DriftModel> make_wander_drift(
+    double rho, Dur mean_interval, double step_fraction = 0.25);
+[[nodiscard]] std::shared_ptr<const DriftModel> make_sinusoidal_drift(
+    double rho, Dur cycle, int steps_per_cycle = 48,
+    double amplitude_fraction = 1.0);
+
+}  // namespace czsync::clk

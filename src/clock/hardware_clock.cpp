@@ -1,0 +1,99 @@
+#include "clock/hardware_clock.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace czsync::clk {
+
+HardwareClock::HardwareClock(sim::Simulator& sim,
+                             std::shared_ptr<const DriftModel> model, Rng rng,
+                             ClockTime initial)
+    : sim_(sim),
+      model_(std::move(model)),
+      rng_(rng),
+      tau0_(sim.now()),
+      h0_(initial),
+      rate_(model_->initial_rate(rng_)) {
+  assert(rate_ >= model_->min_rate() && rate_ <= model_->max_rate());
+  schedule_drift_change();
+}
+
+HardwareClock::~HardwareClock() {
+  for (auto& [id, alarm] : alarms_) sim_.cancel(alarm.event);
+  if (drift_event_ != sim::kNoEvent) sim_.cancel(drift_event_);
+}
+
+ClockTime HardwareClock::read() const {
+  const Dur elapsed = sim_.now() - tau0_;
+  return h0_ + elapsed * rate_;
+}
+
+void HardwareClock::fold() {
+  h0_ = read();
+  tau0_ = sim_.now();
+}
+
+RealTime HardwareClock::eta(ClockTime target) const {
+  const Dur remaining = target - read();
+  if (remaining <= Dur::zero()) return sim_.now();
+  return sim_.now() + remaining / rate_;
+}
+
+void HardwareClock::schedule_drift_change() {
+  const Dur span = model_->next_change_after(rng_);
+  if (!span.is_finite()) {
+    drift_event_ = sim::kNoEvent;
+    return;
+  }
+  drift_event_ = sim_.schedule_after(span, [this] { apply_drift_change(); });
+}
+
+void HardwareClock::apply_drift_change() {
+  fold();
+  rate_ = model_->next_rate(rate_, rng_);
+  assert(rate_ >= model_->min_rate() && rate_ <= model_->max_rate());
+  ++rate_changes_;
+  // Re-target every pending alarm for the new rate.
+  std::vector<AlarmId> ids;
+  ids.reserve(alarms_.size());
+  for (auto& [id, alarm] : alarms_) {
+    sim_.cancel(alarm.event);
+    ids.push_back(id);
+  }
+  for (AlarmId id : ids) arm(id);
+  schedule_drift_change();
+}
+
+void HardwareClock::arm(AlarmId id) {
+  auto it = alarms_.find(id);
+  assert(it != alarms_.end());
+  it->second.event = sim_.schedule_at(eta(it->second.target), [this, id] { fire(id); });
+}
+
+AlarmId HardwareClock::set_alarm_after(Dur dh, std::function<void()> fn) {
+  assert(dh.is_finite());
+  if (dh < Dur::zero()) dh = Dur::zero();
+  const AlarmId id = next_alarm_++;
+  alarms_.emplace(id, Alarm{read() + dh, std::move(fn), sim::kNoEvent});
+  arm(id);
+  return id;
+}
+
+bool HardwareClock::cancel_alarm(AlarmId id) {
+  auto it = alarms_.find(id);
+  if (it == alarms_.end()) return false;
+  sim_.cancel(it->second.event);
+  alarms_.erase(it);
+  return true;
+}
+
+void HardwareClock::fire(AlarmId id) {
+  auto it = alarms_.find(id);
+  assert(it != alarms_.end());
+  auto fn = std::move(it->second.fn);
+  alarms_.erase(it);
+  fn();
+}
+
+}  // namespace czsync::clk

@@ -1,0 +1,93 @@
+// Hardware clock H_p of Definition 1.
+//
+// Piecewise-linear in real time: the clock stores the fold point
+// (tau0, H0) and its current rate; reads are H0 + rate*(now - tau0).
+// A DriftModel schedules rate changes as simulator events.
+//
+// The clock also provides *hardware alarms* ("fire when H has advanced by
+// dH"), the primitive real systems use for interval timers. Alarms are
+// rate-change aware: when the rate changes, every pending alarm is
+// re-targeted so it still fires exactly when H crosses its target value.
+// The Sync protocol's "every SyncInt time units" loop and the MaxWait
+// timeout are built on these alarms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "clock/drift_model.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace czsync::clk {
+
+/// Handle to a pending hardware alarm. 0 means "none".
+using AlarmId = std::uint64_t;
+inline constexpr AlarmId kNoAlarm = 0;
+
+class HardwareClock {
+ public:
+  /// Creates a clock whose value at the current simulator time is
+  /// `initial`. The clock immediately draws its initial rate and begins
+  /// scheduling drift changes per `model`.
+  HardwareClock(sim::Simulator& sim, std::shared_ptr<const DriftModel> model,
+                Rng rng, ClockTime initial = ClockTime::zero());
+
+  ~HardwareClock();
+  HardwareClock(const HardwareClock&) = delete;
+  HardwareClock& operator=(const HardwareClock&) = delete;
+
+  /// Current hardware time H_p(now). Monotone, smooth, unresettable.
+  [[nodiscard]] ClockTime read() const;
+
+  /// Current instantaneous rate dH/dtau (in [1/(1+rho), 1+rho]).
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double rho() const { return model_->rho(); }
+
+  /// Sets an alarm firing when the hardware clock has advanced by `dh`
+  /// (> 0) from its current reading. One-shot.
+  AlarmId set_alarm_after(Dur dh, std::function<void()> fn);
+
+  /// Cancels a pending alarm; false if it already fired or is unknown.
+  bool cancel_alarm(AlarmId id);
+
+  /// Number of alarms currently pending (for tests).
+  [[nodiscard]] std::size_t pending_alarms() const { return alarms_.size(); }
+
+  /// Number of drift (rate) changes so far (for tests).
+  [[nodiscard]] std::uint64_t rate_changes() const { return rate_changes_; }
+
+ private:
+  struct Alarm {
+    ClockTime target;  // fire when H reaches this value
+    std::function<void()> fn;
+    sim::EventId event;
+  };
+
+  /// Moves the fold point to the current simulator time.
+  void fold();
+  /// Real time at which H will reach `target` at the current rate.
+  [[nodiscard]] RealTime eta(ClockTime target) const;
+  void schedule_drift_change();
+  void apply_drift_change();
+  void arm(AlarmId id);
+  void fire(AlarmId id);
+
+  sim::Simulator& sim_;
+  std::shared_ptr<const DriftModel> model_;
+  Rng rng_;
+
+  RealTime tau0_;   // fold point, real time
+  ClockTime h0_;    // fold point, hardware time
+  double rate_;
+
+  std::map<AlarmId, Alarm> alarms_;
+  AlarmId next_alarm_ = 1;
+  sim::EventId drift_event_ = sim::kNoEvent;
+  std::uint64_t rate_changes_ = 0;
+};
+
+}  // namespace czsync::clk

@@ -1,0 +1,2 @@
+// LogicalClock is header-only; this translation unit anchors the library.
+#include "clock/logical_clock.h"

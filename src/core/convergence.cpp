@@ -1,0 +1,97 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace czsync::core {
+
+Dur select_low(std::span<const PeerEstimate> estimates, int f) {
+  assert(static_cast<int>(estimates.size()) > f);
+  std::vector<Dur> overs;
+  overs.reserve(estimates.size());
+  for (const auto& e : estimates) overs.push_back(e.over);
+  auto nth = overs.begin() + f;
+  std::nth_element(overs.begin(), nth, overs.end());
+  return *nth;
+}
+
+Dur select_high(std::span<const PeerEstimate> estimates, int f) {
+  assert(static_cast<int>(estimates.size()) > f);
+  std::vector<Dur> unders;
+  unders.reserve(estimates.size());
+  for (const auto& e : estimates) unders.push_back(e.under);
+  auto nth = unders.begin() + f;
+  std::nth_element(unders.begin(), nth, unders.end(), std::greater<Dur>());
+  return *nth;
+}
+
+namespace {
+
+/// With at most f liars and at most f timeouts among >= 3f+1 entries both
+/// order statistics are finite; outside the model's budget (breakdown
+/// experiments) they may be infinite — then no information is usable and
+/// the processor keeps its clock.
+bool usable(Dur m, Dur big_m) { return m.is_finite() && big_m.is_finite(); }
+
+}  // namespace
+
+ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates,
+                                         int f, Dur way_off) const {
+  const Dur m = select_low(estimates, f);
+  const Dur big_m = select_high(estimates, f);
+  if (!usable(m, big_m)) return ConvergenceResult{};
+  ConvergenceResult r;
+  // Figure 1, step 10: with at most f liars and at most f timeouts among
+  // >= 3f+1 entries, both m and M are finite; defensive clamp regardless.
+  if (m >= -way_off && big_m <= way_off) {
+    r.adjustment = (std::min(m, Dur::zero()) + std::max(big_m, Dur::zero())) / 2.0;
+    r.way_off_branch = false;
+  } else {
+    r.adjustment = (m + big_m) / 2.0;
+    r.way_off_branch = true;
+  }
+  return r;
+}
+
+ConvergenceResult MidpointConvergence::apply(
+    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/) const {
+  const Dur m = select_low(estimates, f);
+  const Dur big_m = select_high(estimates, f);
+  if (!usable(m, big_m)) return ConvergenceResult{};
+  return ConvergenceResult{(m + big_m) / 2.0, true};
+}
+
+CappedCorrectionConvergence::CappedCorrectionConvergence(Dur cap) : cap_(cap) {
+  assert(cap > Dur::zero());
+}
+
+ConvergenceResult CappedCorrectionConvergence::apply(
+    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/) const {
+  const Dur m = select_low(estimates, f);
+  const Dur big_m = select_high(estimates, f);
+  if (!usable(m, big_m)) return ConvergenceResult{};
+  const Dur raw =
+      (std::min(m, Dur::zero()) + std::max(big_m, Dur::zero())) / 2.0;
+  return ConvergenceResult{std::clamp(raw, -cap_, cap_), false};
+}
+
+ConvergenceResult NullConvergence::apply(std::span<const PeerEstimate>, int,
+                                         Dur) const {
+  return ConvergenceResult{};
+}
+
+std::shared_ptr<const ConvergenceFunction> make_convergence(
+    std::string_view name, Dur cap) {
+  if (name == "bhhn") return std::make_shared<BhhnConvergence>();
+  if (name == "midpoint") return std::make_shared<MidpointConvergence>();
+  if (name == "capped-correction")
+    return std::make_shared<CappedCorrectionConvergence>(cap);
+  if (name == "none") return std::make_shared<NullConvergence>();
+  throw std::invalid_argument("unknown convergence function: " +
+                              std::string(name));
+}
+
+}  // namespace czsync::core

@@ -1,0 +1,114 @@
+// Convergence functions (Schneider's framework, [26]).
+//
+// Given the estimates a processor collected in one Sync round, a
+// convergence function computes the adjustment to apply to its clock.
+// The paper's function (Figure 1, steps 6-12) is BhhnConvergence; the
+// baselines reproduce the design space discussed in §1.1/§3.3:
+//   * MidpointConvergence — Lynch-Welch-flavoured trimmed midpoint with
+//     no own-clock preservation: always jumps to (m+M)/2.
+//   * CappedCorrectionConvergence — Fetzer-Cristian-flavoured: the
+//     paper's "normal" branch, but the per-round correction is clamped to
+//     a small bound (their design goal of minimal clock change). This is
+//     the function whose recovery "may never complete" (§1.1).
+//   * NullConvergence — never adjusts (the unsynchronized baseline).
+//
+// All functions receive one PeerEstimate per processor, self included
+// (the self-estimate is exact: over = under = 0), and the trim count f.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/estimate.h"
+#include "util/time_types.h"
+
+namespace czsync::core {
+
+/// One row of Figure 1 steps 6-7: overestimate and underestimate of the
+/// peer's clock minus ours. Timeouts are (+inf, -inf).
+struct PeerEstimate {
+  Dur over;
+  Dur under;
+
+  [[nodiscard]] static PeerEstimate from(const Estimate& e) {
+    return PeerEstimate{e.over(), e.under()};
+  }
+};
+
+/// Outcome of one convergence evaluation, for metrics: the adjustment and
+/// whether the WayOff escape branch fired (Figure 1, step 12).
+struct ConvergenceResult {
+  Dur adjustment = Dur::zero();
+  bool way_off_branch = false;
+};
+
+class ConvergenceFunction {
+ public:
+  virtual ~ConvergenceFunction() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Computes the clock adjustment from this round's estimates.
+  /// `estimates` holds one entry per reachable processor (self included);
+  /// `f` is the trim depth; `way_off` the Figure-1 threshold.
+  [[nodiscard]] virtual ConvergenceResult apply(
+      std::span<const PeerEstimate> estimates, int f, Dur way_off) const = 0;
+};
+
+/// Figure 1 of the paper, verbatim:
+///   m = (f+1)-st smallest overestimate, M = (f+1)-st largest
+///   underestimate; if both within WayOff of our clock, nudge by
+///   (min(m,0)+max(M,0))/2, else jump by (m+M)/2.
+class BhhnConvergence final : public ConvergenceFunction {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bhhn"; }
+  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
+                                        int f, Dur way_off) const override;
+};
+
+/// Trimmed midpoint without the own-clock branch: always (m+M)/2.
+class MidpointConvergence final : public ConvergenceFunction {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "midpoint"; }
+  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
+                                        int f, Dur way_off) const override;
+};
+
+/// The paper's normal branch with the per-round correction clamped to
+/// [-cap, +cap]; models minimal-correction designs ([9]) whose recovery
+/// from a far-off clock is slow or never completes.
+class CappedCorrectionConvergence final : public ConvergenceFunction {
+ public:
+  explicit CappedCorrectionConvergence(Dur cap);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "capped-correction";
+  }
+  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
+                                        int f, Dur way_off) const override;
+  [[nodiscard]] Dur cap() const { return cap_; }
+
+ private:
+  Dur cap_;
+};
+
+/// Never adjusts: free-running hardware clocks.
+class NullConvergence final : public ConvergenceFunction {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
+                                        int f, Dur way_off) const override;
+};
+
+/// Selection helpers shared by the implementations (exposed for tests).
+/// (f+1)-st smallest overestimate m (Figure 1, step 8).
+[[nodiscard]] Dur select_low(std::span<const PeerEstimate> estimates, int f);
+/// (f+1)-st largest underestimate M (Figure 1, step 9).
+[[nodiscard]] Dur select_high(std::span<const PeerEstimate> estimates, int f);
+
+/// Factory by name: "bhhn", "midpoint", "capped-correction", "none".
+/// `cap` is only used by capped-correction.
+[[nodiscard]] std::shared_ptr<const ConvergenceFunction> make_convergence(
+    std::string_view name, Dur cap = Dur::millis(100));
+
+}  // namespace czsync::core

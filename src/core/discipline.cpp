@@ -1,0 +1,66 @@
+#include "core/discipline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace czsync::core {
+
+RateDiscipline::RateDiscipline(clk::LogicalClock& clock,
+                               DisciplineConfig config)
+    : clock_(clock), config_(config) {
+  assert(config_.gain > 0.0 && config_.gain <= 1.0);
+  assert(config_.max_rate > 0.0);
+  assert(config_.slew_interval > Dur::zero());
+  last_observe_ = clock_.read();
+  last_slew_ = last_observe_;
+}
+
+void RateDiscipline::observe(Dur adjustment) {
+  const ClockTime now = clock_.read();
+  if (!has_last_observe_) {
+    has_last_observe_ = true;
+    last_observe_ = now;
+    return;
+  }
+  const Dur span = now - last_observe_;
+  last_observe_ = now;
+  if (span <= Dur::zero()) return;
+  ++samples_;
+  // Anything the ensemble just corrected must not be slewed again: fold
+  // the slew origin to the post-adjustment reading.
+  last_slew_ = now;
+  if (samples_ <= static_cast<std::uint64_t>(config_.warmup_samples)) return;
+  // A positive adjustment means the ensemble was ahead of us: we ran slow
+  // by adjustment/span — and that is the *residual* error left after the
+  // slewing already active during the span. Integral action (accumulate
+  // the residual, don't average toward it) therefore drives the residual
+  // to zero: at the fixed point the Sync adjustments no longer contain a
+  // systematic rate component.
+  const double sample = adjustment / span;
+  rate_ = std::clamp(rate_ + config_.gain * sample, -config_.max_rate,
+                     config_.max_rate);
+}
+
+void RateDiscipline::slew() {
+  const ClockTime now = clock_.read();
+  const Dur span = now - last_slew_;
+  last_slew_ = now;
+  if (span <= Dur::zero() || rate_ == 0.0) return;
+  const Dur correction = span * rate_;
+  clock_.adjust(correction);
+  total_slewed_ += correction;
+  // The adjust just moved the clock; fold it into the slew origin so the
+  // next span is measured from the post-correction reading.
+  last_slew_ = clock_.read();
+}
+
+void RateDiscipline::reset() {
+  rate_ = 0.0;
+  samples_ = 0;
+  has_last_observe_ = false;
+  last_observe_ = clock_.read();
+  last_slew_ = last_observe_;
+  total_slewed_ = Dur::zero();
+}
+
+}  // namespace czsync::core

@@ -1,0 +1,49 @@
+#include "core/envelope.h"
+
+#include <cassert>
+
+namespace czsync::core {
+
+Envelope::Envelope(RealTime tau0, BiasInterval at_tau0, double rho)
+    : tau0_(tau0), base_(at_tau0), rho_(rho) {
+  assert(at_tau0.lo <= at_tau0.hi);
+  assert(rho >= 0.0);
+}
+
+BiasInterval Envelope::at(RealTime tau) const {
+  assert(tau >= tau0_);
+  const Dur spread = (tau - tau0_) * rho_;
+  return BiasInterval{base_.lo - spread, base_.hi + spread};
+}
+
+bool Envelope::contains(RealTime tau, Dur beta) const {
+  return at(tau).contains(beta);
+}
+
+bool Envelope::not_above(RealTime tau, Dur beta) const {
+  return beta <= at(tau).hi;
+}
+
+bool Envelope::not_below(RealTime tau, Dur beta) const {
+  return beta >= at(tau).lo;
+}
+
+Envelope Envelope::widen(Dur c) const {
+  assert(c >= Dur::zero());
+  return Envelope(tau0_, BiasInterval{base_.lo - c, base_.hi + c}, rho_);
+}
+
+Envelope Envelope::average(const Envelope& e1, const Envelope& e2) {
+  assert(e1.tau0_ == e2.tau0_);
+  assert(e1.rho_ == e2.rho_);
+  return Envelope(e1.tau0_,
+                  BiasInterval{(e1.base_.lo + e2.base_.lo) / 2.0,
+                               (e1.base_.hi + e2.base_.hi) / 2.0},
+                  e1.rho_);
+}
+
+Envelope Envelope::rebase(RealTime tau) const {
+  return Envelope(tau, at(tau), rho_);
+}
+
+}  // namespace czsync::core

@@ -1,0 +1,25 @@
+#include "core/estimate.h"
+
+#include <cassert>
+
+namespace czsync::core {
+
+Estimate estimate_from_ping(ClockTime send_local, ClockTime responder_clock,
+                            ClockTime recv_local) {
+  assert(recv_local >= send_local);
+  // Midpoint of the local send/receive instants; if the path were
+  // symmetric, the responder's clock was read exactly then.
+  const Dur half_rtt = (recv_local - send_local) / 2.0;
+  const ClockTime midpoint = send_local + half_rtt;
+  return Estimate{responder_clock - midpoint, half_rtt};
+}
+
+Estimate best_of(const std::initializer_list<Estimate>& tries) {
+  Estimate best = Estimate::timeout();
+  for (const auto& e : tries) {
+    if (e.a < best.a) best = e;
+  }
+  return best;
+}
+
+}  // namespace czsync::core

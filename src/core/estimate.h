@@ -1,0 +1,46 @@
+// Clock-offset estimation — §3.1 and Definition 4.
+//
+// The arithmetic of the ping estimator, factored out of the protocol
+// engine so it is testable in isolation:
+//   p sends at local time S, q answers with its clock C, p receives at
+//   local time R:   d = C - (R+S)/2,   a = (R-S)/2.
+// If no reply arrives within MaxWait, (d, a) = (0, +infinity).
+// Contract (Def. 4): if both ends stay non-faulty there was an instant
+// tau'' during the exchange with C_q(tau'') - C_p(tau'') in [d-a, d+a].
+#pragma once
+
+#include <initializer_list>
+
+#include "util/time_types.h"
+
+namespace czsync::core {
+
+/// One peer's offset estimate. `d` is the estimated C_q - C_p; `a` the
+/// error bound. A timed-out estimate has a = +infinity.
+struct Estimate {
+  Dur d = Dur::zero();
+  Dur a = Dur::infinity();
+
+  [[nodiscard]] bool timed_out() const { return !a.is_finite(); }
+  /// Overestimate d + a (Figure 1, step 6); +infinity when timed out.
+  [[nodiscard]] Dur over() const { return d + a; }
+  /// Underestimate d - a (Figure 1, step 7); -infinity when timed out.
+  [[nodiscard]] Dur under() const { return d - a; }
+
+  [[nodiscard]] static Estimate timeout() { return Estimate{}; }
+  /// The trivial self-estimate: a processor knows its own clock exactly.
+  [[nodiscard]] static Estimate self() { return Estimate{Dur::zero(), Dur::zero()}; }
+};
+
+/// Computes the estimate from one completed ping exchange.
+/// Preconditions: R >= S (a reply cannot precede its request).
+[[nodiscard]] Estimate estimate_from_ping(ClockTime send_local,
+                                          ClockTime responder_clock,
+                                          ClockTime recv_local);
+
+/// Combines k repeated pings by keeping the one with the smallest error
+/// bound (the NTP trick mentioned in §3.1: choose the estimation from the
+/// ping with the least round-trip time). Empty input yields a timeout.
+[[nodiscard]] Estimate best_of(const std::initializer_list<Estimate>& tries);
+
+}  // namespace czsync::core

@@ -1,0 +1,80 @@
+// Model parameters, protocol parameters and the Theorem-5 calculator.
+//
+// The paper's quantities, with our names:
+//   rho      drift bound (Eq. 2)                      ModelParams::rho
+//   delta    message delivery bound (§2.2)            ModelParams::delta
+//   Delta    adversary time period (Def. 2)           ModelParams::delta_period
+//   f        faulty processors per period (Def. 2)    ModelParams::f
+//   epsilon  clock-estimation reading error (Def. 4)  TheoremBounds::epsilon
+//   SyncInt, MaxWait, WayOff (§3.2)                   ProtocolParams
+//   T = (1+rho)*SyncInt + 2*MaxWait (§4)              TheoremBounds::T
+//   K = floor(Delta / T), K >= 5 (Thm. 5)             TheoremBounds::K
+//   C = (17 eps + 18 rho T) / 2^(K-3)                 TheoremBounds::C
+//   gamma = 16 eps + 18 rho T + 4C  (max deviation)   TheoremBounds::max_deviation
+//   rho~  = rho + C/(2T)            (logical drift)   TheoremBounds::logical_drift
+//   psi   = eps + C/2               (discontinuity)   TheoremBounds::discontinuity
+//   D = 8 eps + 8 rho T + 2C (Appendix A.3 envelope half-width)
+#pragma once
+
+#include <string>
+
+#include "util/time_types.h"
+
+namespace czsync::core {
+
+/// The environment: fixed by nature and by the adversary's budget.
+struct ModelParams {
+  int n = 4;                        ///< number of processors
+  int f = 1;                        ///< faults per period (Def. 2)
+  double rho = 1e-4;                ///< hardware drift bound (Eq. 2)
+  Dur delta = Dur::millis(50);      ///< message delivery bound
+  Dur delta_period = Dur::hours(1); ///< the period Delta of Def. 2
+
+  /// n >= 3f+1 (assumed throughout §2.2).
+  [[nodiscard]] bool byzantine_quorum_ok() const { return n >= 3 * f + 1; }
+  /// Largest f tolerable at this n.
+  [[nodiscard]] static int max_f(int n) { return (n - 1) / 3; }
+};
+
+/// The knobs of Figure 1. §3.3 stresses these may safely *overestimate*
+/// the model values; derive() uses the tight settings from the analysis.
+struct ProtocolParams {
+  Dur sync_int = Dur::minutes(1);  ///< local time between Syncs
+  Dur max_wait = Dur::millis(100); ///< estimation timeout (= 2 delta)
+  Dur way_off = Dur::seconds(1);   ///< "very far" threshold (§3.2)
+
+  /// Derives the paper's settings from the model:
+  ///   MaxWait = 2 delta,  SyncInt as given,
+  ///   WayOff  = 16 eps + 18 rho T + eps   (Appendix A.2: gamma_hat + eps).
+  [[nodiscard]] static ProtocolParams derive(const ModelParams& m, Dur sync_int);
+
+  /// Derives settings that hit a target K = floor(Delta/T): picks SyncInt
+  /// from T = Delta/K (useful for the K-sweep of experiment E4).
+  [[nodiscard]] static ProtocolParams derive_for_k(const ModelParams& m, int k);
+};
+
+/// All quantities of Theorem 5 for a given (model, protocol) pair.
+struct TheoremBounds {
+  Dur T;                  ///< interval length (§4)
+  int K = 0;              ///< floor(Delta / T)
+  Dur epsilon;            ///< reading error bound of the §3.1 estimator
+  Dur C;                  ///< the 2^-(K-3) penalty term
+  Dur envelope_d;         ///< D = 8 eps + 8 rho T + 2C (Appendix A.3)
+  Dur max_deviation;      ///< gamma (Thm. 5 i)
+  double logical_drift = 0.0;  ///< rho~ (Thm. 5 ii)
+  Dur discontinuity;      ///< psi (Thm. 5 ii)
+  bool k_precondition_ok = false;  ///< K >= 5
+
+  [[nodiscard]] static TheoremBounds compute(const ModelParams& m,
+                                             const ProtocolParams& p);
+
+  /// Human-readable one-line summary for bench headers.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Reading error of the ping estimator under (rho, delta): the round trip
+/// takes at most 2*delta real time, i.e. at most 2*delta*(1+rho) on the
+/// requester's clock, so a = (R-S)/2 <= delta*(1+rho).
+[[nodiscard]] Dur reading_error_bound(double rho, Dur delta);
+
+}  // namespace czsync::core

@@ -1,0 +1,57 @@
+// Common interface of clock-synchronization protocol engines.
+//
+// Two engines implement it: SyncProcess (the paper's no-rounds protocol,
+// §3.2) and RoundSyncProcess (a round-based comparator in the style the
+// paper argues against in §3.3). The analysis layer drives either
+// uniformly: arm with start(), kill/revive with suspend()/resume() on
+// break-in/leave, and feed inbound messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/convergence.h"
+#include "net/message.h"
+#include "util/time_types.h"
+
+namespace czsync::core {
+
+struct SyncStats {
+  std::uint64_t rounds_started = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t way_off_rounds = 0;  ///< rounds that took the escape branch
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_stale = 0;
+  std::uint64_t timeouts = 0;        ///< peer estimates that timed out
+  Dur max_abs_adjustment = Dur::zero();
+  Dur last_adjustment = Dur::zero();
+  // Round-protocol extras (zero for the no-rounds engine):
+  std::uint64_t round_mismatch_discards = 0;  ///< replies from other rounds
+  std::uint64_t joins = 0;                    ///< round re-acquisitions
+  // Broadcast-engine extra: accepted bundles that yanked the clock far
+  // backwards — successful signature replays against recovered state.
+  std::uint64_t replays_accepted = 0;
+};
+
+class ProtocolEngine {
+ public:
+  virtual ~ProtocolEngine() = default;
+
+  /// Arms the first alarm. Call once after handlers are wired.
+  virtual void start() = 0;
+  /// Break-in: kills all protocol activity and in-flight state.
+  virtual void suspend() = 0;
+  /// Recovery: the daemon restarts from whatever state survived.
+  virtual void resume() = 0;
+  /// Inbound protocol messages.
+  virtual void handle_message(const net::Message& msg) = 0;
+
+  [[nodiscard]] virtual bool suspended() const = 0;
+  [[nodiscard]] virtual const SyncStats& stats() const = 0;
+
+  /// Metrics hook, invoked after every completed synchronization with
+  /// the result that was applied to the clock.
+  std::function<void(const ConvergenceResult&)> on_sync_complete;
+};
+
+}  // namespace czsync::core

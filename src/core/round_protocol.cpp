@@ -1,0 +1,214 @@
+#include "core/round_protocol.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace czsync::core {
+
+RoundSyncProcess::RoundSyncProcess(sim::Simulator& sim, net::Network& network,
+                                   clk::LogicalClock& clock, net::ProcId id,
+                                   SyncConfig config, Rng rng)
+    : sim_(sim),
+      network_(network),
+      clock_(clock),
+      id_(id),
+      config_(std::move(config)),
+      rng_(rng),
+      peers_(network.topology().neighbors(id)) {
+  assert(config_.convergence != nullptr);
+}
+
+void RoundSyncProcess::start() {
+  assert(!started_);
+  started_ = true;
+  Dur phase = Dur::zero();
+  if (config_.random_phase) {
+    phase = Dur::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
+  }
+  arm_next(phase);
+}
+
+void RoundSyncProcess::arm_next(Dur in_local_time) {
+  sync_alarm_ = clock_.hardware().set_alarm_after(in_local_time, [this] {
+    sync_alarm_ = clk::kNoAlarm;
+    begin_round();
+  });
+}
+
+void RoundSyncProcess::suspend() {
+  suspended_ = true;
+  if (sync_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(sync_alarm_);
+    sync_alarm_ = clk::kNoAlarm;
+  }
+  if (timeout_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(timeout_alarm_);
+    timeout_alarm_ = clk::kNoAlarm;
+  }
+  round_active_ = false;
+  nonce_to_peer_.clear();
+  collected_.clear();
+  pending_ = 0;
+}
+
+void RoundSyncProcess::resume() {
+  assert(suspended_);
+  suspended_ = false;
+  // round_ is whatever survived the break-in — typically several rounds
+  // stale. The first post-recovery round will detect the mismatch and
+  // run the join protocol.
+  arm_next(Dur::zero());
+}
+
+void RoundSyncProcess::begin_round() {
+  assert(!suspended_ && !round_active_);
+  round_active_ = true;
+  ++stats_.rounds_started;
+  nonce_to_peer_.clear();
+  collected_.clear();
+  round_send_time_ = clock_.read();
+  round_send_hw_ = clock_.hardware().read();
+  pending_ = peers_.size();
+  for (net::ProcId q : peers_) {
+    const std::uint64_t nonce = rng_();
+    nonce_to_peer_.emplace(nonce, q);
+    network_.send(id_, q, net::RoundPingReq{nonce, round_});
+  }
+  if (pending_ == 0) {
+    finish_round();
+    return;
+  }
+  timeout_alarm_ =
+      clock_.hardware().set_alarm_after(config_.params.max_wait, [this] {
+        timeout_alarm_ = clk::kNoAlarm;
+        finish_round();
+      });
+}
+
+void RoundSyncProcess::handle_message(const net::Message& msg) {
+  if (const auto* req = std::get_if<net::RoundPingReq>(&msg.body)) {
+    // Round-based semantics: the reply is tagged with OUR round; the
+    // requester decides whether it can use it.
+    network_.send(id_, msg.from,
+                  net::RoundPingResp{req->nonce, round_, clock_.read()});
+    return;
+  }
+  const auto* resp = std::get_if<net::RoundPingResp>(&msg.body);
+  if (resp == nullptr) return;
+  if (!round_active_) {
+    ++stats_.responses_stale;
+    return;
+  }
+  auto it = nonce_to_peer_.find(resp->nonce);
+  if (it == nonce_to_peer_.end() || it->second != msg.from ||
+      collected_.contains(msg.from)) {
+    ++stats_.responses_stale;
+    return;
+  }
+  Reply reply;
+  reply.answered = true;
+  reply.round = resp->round;
+  // A cross-round clock value is unusable for a round-based algorithm
+  // (it refers to a different synchronization state). +-1 tolerance
+  // covers the natural phase skew between unsynchronized round starts.
+  const std::uint64_t lo = round_ > 0 ? round_ - 1 : 0;
+  reply.mismatched = resp->round < lo || resp->round > round_ + 1;
+  // RTT on the (monotone) hardware clock — the logical clock is not.
+  const Dur rtt = clock_.hardware().read() - round_send_hw_;
+  const Estimate fresh = estimate_from_ping(
+      round_send_time_, resp->responder_clock, round_send_time_ + rtt);
+  if (reply.mismatched) {
+    ++stats_.round_mismatch_discards;
+    reply.estimate = Estimate::timeout();
+    // Keep d around for the join path even though it is discarded for
+    // normal convergence.
+    reply.estimate.d = fresh.d;
+  } else {
+    reply.estimate = fresh;
+    ++stats_.responses_ok;
+  }
+  collected_.emplace(msg.from, reply);
+  assert(pending_ > 0);
+  if (--pending_ == 0) finish_round();
+}
+
+void RoundSyncProcess::finish_round() {
+  assert(round_active_);
+  round_active_ = false;
+  if (timeout_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(timeout_alarm_);
+    timeout_alarm_ = clk::kNoAlarm;
+  }
+
+  std::vector<Reply> replies;
+  replies.reserve(peers_.size());
+  std::size_t mismatched = 0;
+  for (net::ProcId q : peers_) {
+    auto it = collected_.find(q);
+    if (it == collected_.end()) {
+      ++stats_.timeouts;
+      replies.push_back(Reply{Estimate::timeout(), 0, false, false});
+    } else {
+      replies.push_back(it->second);
+      if (it->second.mismatched) ++mismatched;
+    }
+  }
+  nonce_to_peer_.clear();
+  collected_.clear();
+
+  if (mismatched > static_cast<std::size_t>(config_.f)) {
+    // Our round counter is the odd one out: rejoin.
+    join(replies);
+  } else {
+    std::vector<PeerEstimate> estimates;
+    estimates.reserve(replies.size() + 1);
+    estimates.push_back(PeerEstimate::from(Estimate::self()));
+    for (const auto& r : replies)
+      estimates.push_back(PeerEstimate::from(r.estimate));
+    const ConvergenceResult result = config_.convergence->apply(
+        estimates, config_.f, config_.params.way_off);
+    clock_.adjust(result.adjustment);
+    ++stats_.rounds_completed;
+    if (result.way_off_branch) ++stats_.way_off_rounds;
+    stats_.last_adjustment = result.adjustment;
+    stats_.max_abs_adjustment =
+        std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+    if (on_sync_complete) on_sync_complete(result);
+  }
+
+  ++round_;
+  arm_next(config_.params.sync_int);
+}
+
+void RoundSyncProcess::join(const std::vector<Reply>& replies) {
+  // Adopt the (f+1)-st largest reported round: f liars cannot inflate
+  // it, and honest processors' rounds agree to +-1.
+  std::vector<std::uint64_t> rounds;
+  std::vector<PeerEstimate> estimates;
+  for (const auto& r : replies) {
+    if (!r.answered) continue;  // true timeout carries no information
+    rounds.push_back(r.round);
+    // The join trusts midpoints even of mismatched-round replies: our own
+    // round tag is known-broken, so the tag filter does not apply.
+    estimates.push_back(PeerEstimate{r.estimate.d, r.estimate.d});
+  }
+  ++stats_.joins;
+  if (rounds.size() < static_cast<std::size_t>(config_.f) + 1) {
+    CZ_DEBUG << "proc " << id_ << " join failed: not enough replies";
+    return;  // retry next round
+  }
+  std::sort(rounds.begin(), rounds.end(), std::greater<>());
+  round_ = rounds[static_cast<std::size_t>(config_.f)];
+
+  const ConvergenceResult result =
+      MidpointConvergence().apply(estimates, config_.f, config_.params.way_off);
+  clock_.adjust(result.adjustment);
+  stats_.last_adjustment = result.adjustment;
+  stats_.max_abs_adjustment =
+      std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  if (on_sync_complete) on_sync_complete(result);
+}
+
+}  // namespace czsync::core

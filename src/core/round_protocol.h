@@ -1,0 +1,97 @@
+// Round-based comparator protocol — the design §3.3 argues against.
+//
+// Many convergence-function algorithms ([8, 9]) proceed in rounds: every
+// processor keeps a round counter, synchronizes once per round, and
+// clock queries are answered relative to a round ("if a processor is
+// asked for a round-i clock when it is already in round i+1, it returns
+// the value as if it didn't do the last synchronization"). The paper's
+// §3.3 argues this is the wrong structure for the mobile-adversary
+// setting, because "variables such as the current round number, last
+// round's clock, and the time to begin the next round have to be
+// recovered from a break-in".
+//
+// This engine makes that cost concrete. It is the same estimation +
+// convergence machinery as SyncProcess, with the round structure added:
+//   * requests and replies are round-tagged; a requester only accepts
+//     replies whose round is within +-1 of its own (cross-round clock
+//     values are meaningless to a round-based algorithm), others are
+//     discarded and count as timeouts;
+//   * a processor whose round counter went stale (a recovering victim)
+//     finds most replies mismatched; when more than f replies in one
+//     round mismatch, it runs a JOIN: adopt the (f+1)-st largest
+//     reported round (robust against f inflating liars) and jump the
+//     clock to the trimmed midrange;
+//   * symmetrically, while stale, its own replies are discarded by the
+//     others — a recovering processor burdens the network like an extra
+//     silent fault until its JOIN completes, which is exactly the
+//     structural weakness the no-rounds design avoids.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "core/protocol_engine.h"
+#include "core/sync_protocol.h"  // SyncConfig
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::core {
+
+class RoundSyncProcess final : public ProtocolEngine {
+ public:
+  RoundSyncProcess(sim::Simulator& sim, net::Network& network,
+                   clk::LogicalClock& clock, net::ProcId id, SyncConfig config,
+                   Rng rng);
+
+  void start() override;
+  void suspend() override;
+  /// Restarts with the *stale* round counter left from before the
+  /// break-in — recovering the counter is the join protocol's job.
+  void resume() override;
+  void handle_message(const net::Message& msg) override;
+
+  [[nodiscard]] bool suspended() const override { return suspended_; }
+  [[nodiscard]] const SyncStats& stats() const override { return stats_; }
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  [[nodiscard]] net::ProcId id() const { return id_; }
+
+ private:
+  struct Reply {
+    Estimate estimate;
+    std::uint64_t round = 0;
+    bool mismatched = false;
+    bool answered = false;  ///< false = never replied (true timeout)
+  };
+
+  void arm_next(Dur in_local_time);
+  void begin_round();
+  void finish_round();
+  void join(const std::vector<Reply>& replies);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  clk::LogicalClock& clock_;
+  net::ProcId id_;
+  SyncConfig config_;
+  Rng rng_;
+  std::vector<net::ProcId> peers_;
+
+  std::uint64_t round_ = 1;
+  bool started_ = false;
+  bool suspended_ = false;
+  clk::AlarmId sync_alarm_ = clk::kNoAlarm;
+  clk::AlarmId timeout_alarm_ = clk::kNoAlarm;
+
+  bool round_active_ = false;
+  ClockTime round_send_time_;  // S on the logical clock
+  ClockTime round_send_hw_;    // send instant on the monotone hw clock
+  std::unordered_map<std::uint64_t, net::ProcId> nonce_to_peer_;
+  std::unordered_map<net::ProcId, Reply> collected_;
+  std::size_t pending_ = 0;
+
+  SyncStats stats_;
+};
+
+}  // namespace czsync::core

@@ -1,0 +1,262 @@
+#include "core/sync_protocol.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace czsync::core {
+
+SyncProcess::SyncProcess(sim::Simulator& sim, net::Network& network,
+                         clk::LogicalClock& clock, net::ProcId id,
+                         SyncConfig config, Rng rng)
+    : sim_(sim),
+      network_(network),
+      clock_(clock),
+      id_(id),
+      config_(std::move(config)),
+      rng_(rng),
+      peers_(network.topology().neighbors(id)) {
+  assert(config_.convergence != nullptr);
+  assert(config_.f >= 0);
+}
+
+void SyncProcess::start() {
+  assert(!started_);
+  started_ = true;
+  Dur phase = Dur::zero();
+  if (config_.random_phase) {
+    phase = Dur::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
+  }
+  arm_next(phase);
+  if (config_.cached_estimation) cache_tick();
+}
+
+void SyncProcess::cache_tick() {
+  // Background estimation thread (§3.1 caveat): ping all peers, remember
+  // when; replies refresh the cache asynchronously.
+  for (net::ProcId q : peers_) {
+    const std::uint64_t nonce = rng_();
+    cache_nonce_to_peer_.emplace(nonce, q);
+    cache_sent_at_[q] = CacheSentAt{clock_.read(), clock_.hardware().read()};
+    network_.send(id_, q, net::PingReq{nonce});
+  }
+  cache_alarm_ =
+      clock_.hardware().set_alarm_after(config_.cache_refresh, [this] {
+        cache_alarm_ = clk::kNoAlarm;
+        cache_tick();
+      });
+}
+
+void SyncProcess::arm_next(Dur in_local_time) {
+  sync_alarm_ = clock_.hardware().set_alarm_after(in_local_time, [this] {
+    sync_alarm_ = clk::kNoAlarm;
+    begin_round();
+  });
+}
+
+void SyncProcess::suspend() {
+  suspended_ = true;
+  if (sync_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(sync_alarm_);
+    sync_alarm_ = clk::kNoAlarm;
+  }
+  if (timeout_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(timeout_alarm_);
+    timeout_alarm_ = clk::kNoAlarm;
+  }
+  if (cache_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(cache_alarm_);
+    cache_alarm_ = clk::kNoAlarm;
+  }
+  round_active_ = false;
+  nonce_to_peer_.clear();
+  collected_.clear();
+  replies_from_.clear();
+  cache_nonce_to_peer_.clear();
+  cache_sent_at_.clear();
+  cache_.clear();
+  pending_ = 0;
+}
+
+void SyncProcess::resume() {
+  assert(suspended_);
+  suspended_ = false;
+  // The recovery daemon starts a fresh Sync at once — the analysis only
+  // needs "at least one full Sync per interval of length T" to begin
+  // counting down the recovery envelope. (The cache restarts empty: its
+  // first few syncs see only timeouts, an extra recovery penalty of the
+  // cached design.)
+  arm_next(Dur::zero());
+  if (config_.cached_estimation) cache_tick();
+}
+
+void SyncProcess::begin_round() {
+  assert(!suspended_);
+  assert(!round_active_);
+  round_active_ = true;
+  ++stats_.rounds_started;
+  if (config_.cached_estimation) {
+    // The §3.1 caveat variant: no fresh pings — consume whatever the
+    // background thread has cached.
+    finish_from_cache();
+    return;
+  }
+  nonce_to_peer_.clear();
+  collected_.clear();
+  replies_from_.clear();
+  round_send_time_ = clock_.read();
+  round_send_hw_ = clock_.hardware().read();
+  const int k = std::max(config_.pings_per_peer, 1);
+  pending_ = peers_.size() * static_cast<std::size_t>(k);
+  for (net::ProcId q : peers_) {
+    for (int i = 0; i < k; ++i) {
+      const std::uint64_t nonce = rng_();
+      nonce_to_peer_.emplace(nonce, q);
+      network_.send(id_, q, net::PingReq{nonce});
+    }
+  }
+  if (pending_ == 0) {
+    finish_round();
+    return;
+  }
+  timeout_alarm_ =
+      clock_.hardware().set_alarm_after(config_.params.max_wait, [this] {
+        timeout_alarm_ = clk::kNoAlarm;
+        finish_round();
+      });
+}
+
+void SyncProcess::handle_message(const net::Message& msg) {
+  if (const auto* req = std::get_if<net::PingReq>(&msg.body)) {
+    // §3.3 "no rounds": always answer with the current clock value.
+    network_.send(id_, msg.from, net::PingResp{req->nonce, clock_.read()});
+    return;
+  }
+  if (const auto* resp = std::get_if<net::PingResp>(&msg.body)) {
+    // Background-cache replies are recognized by their own nonce space.
+    if (auto cit = cache_nonce_to_peer_.find(resp->nonce);
+        cit != cache_nonce_to_peer_.end()) {
+      const net::ProcId peer = cit->second;
+      cache_nonce_to_peer_.erase(cit);
+      if (msg.from != peer) {
+        ++stats_.responses_stale;
+        return;
+      }
+      const ClockTime now = clock_.read();
+      auto sent = cache_sent_at_.find(peer);
+      if (sent == cache_sent_at_.end()) return;
+      // RTT on the (monotone) hardware clock; see round_send_hw_.
+      const Dur rtt = clock_.hardware().read() - sent->second.hw;
+      cache_[peer] = CacheEntry{
+          estimate_from_ping(sent->second.logical, resp->responder_clock,
+                             sent->second.logical + rtt),
+          now};
+      ++stats_.responses_ok;
+      return;
+    }
+    if (!round_active_) {
+      ++stats_.responses_stale;
+      return;
+    }
+    auto it = nonce_to_peer_.find(resp->nonce);
+    // Unknown or already-consumed nonce, or a reply whose authenticated
+    // sender does not match the pinged peer: drop.
+    if (it == nonce_to_peer_.end() || it->second != msg.from) {
+      ++stats_.responses_stale;
+      return;
+    }
+    nonce_to_peer_.erase(it);  // each nonce is redeemable exactly once
+    // RTT on the (monotone) hardware clock; the logical clock may have
+    // been slewed mid-flight.
+    const Dur rtt = clock_.hardware().read() - round_send_hw_;
+    const Estimate e = estimate_from_ping(
+        round_send_time_, resp->responder_clock, round_send_time_ + rtt);
+    // Keep the best (smallest error bound) of this peer's k replies.
+    auto [slot, inserted] = collected_.try_emplace(msg.from, e);
+    if (!inserted && e.a < slot->second.a) slot->second = e;
+    ++replies_from_[msg.from];
+    ++stats_.responses_ok;
+    assert(pending_ > 0);
+    if (--pending_ == 0) finish_round();
+    return;
+  }
+  // Other message kinds belong to other subsystems; ignore.
+}
+
+void SyncProcess::finish_from_cache() {
+  assert(round_active_);
+  round_active_ = false;
+  std::vector<PeerEstimate> estimates;
+  estimates.reserve(peers_.size() + 1);
+  estimates.push_back(PeerEstimate::from(Estimate::self()));
+  const ClockTime now = clock_.read();
+  for (net::ProcId q : peers_) {
+    auto it = cache_.find(q);
+    if (it == cache_.end() ||
+        now - it->second.measured_at > config_.max_cache_age) {
+      ++stats_.timeouts;
+      estimates.push_back(PeerEstimate::from(Estimate::timeout()));
+    } else {
+      // Deliberately NO staleness compensation: the estimate refers to
+      // the clock as it was when measured; any adjustment applied since
+      // (including our own last sync!) silently invalidates it. This is
+      // the exact hazard §3.1 warns about.
+      estimates.push_back(PeerEstimate::from(it->second.estimate));
+    }
+  }
+  const ConvergenceResult result = config_.convergence->apply(
+      estimates, config_.f, config_.params.way_off);
+  clock_.adjust(result.adjustment);
+  ++stats_.rounds_completed;
+  if (result.way_off_branch) ++stats_.way_off_rounds;
+  stats_.last_adjustment = result.adjustment;
+  stats_.max_abs_adjustment =
+      std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  if (on_sync_complete) on_sync_complete(result);
+  arm_next(config_.params.sync_int);
+}
+
+void SyncProcess::finish_round() {
+  assert(round_active_);
+  round_active_ = false;
+  if (timeout_alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(timeout_alarm_);
+    timeout_alarm_ = clk::kNoAlarm;
+  }
+
+  // Build the estimate table: self first (exact), then one entry per
+  // peer; peers that did not answer in time count as timeouts
+  // (d=0, a=infinity), exactly as §3.1 prescribes.
+  std::vector<PeerEstimate> estimates;
+  estimates.reserve(peers_.size() + 1);
+  estimates.push_back(PeerEstimate::from(Estimate::self()));
+  for (net::ProcId q : peers_) {
+    auto it = collected_.find(q);
+    if (it == collected_.end()) {
+      ++stats_.timeouts;
+      estimates.push_back(PeerEstimate::from(Estimate::timeout()));
+    } else {
+      estimates.push_back(PeerEstimate::from(it->second));
+    }
+  }
+  nonce_to_peer_.clear();
+  collected_.clear();
+  replies_from_.clear();
+
+  const ConvergenceResult result = config_.convergence->apply(
+      estimates, config_.f, config_.params.way_off);
+  clock_.adjust(result.adjustment);
+
+  ++stats_.rounds_completed;
+  if (result.way_off_branch) ++stats_.way_off_rounds;
+  stats_.last_adjustment = result.adjustment;
+  stats_.max_abs_adjustment =
+      std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  CZ_TRACE << "proc " << id_ << " sync #" << stats_.rounds_completed
+           << " adj=" << result.adjustment;
+
+  if (on_sync_complete) on_sync_complete(result);
+  arm_next(config_.params.sync_int);
+}
+
+}  // namespace czsync::core

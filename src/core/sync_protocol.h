@@ -1,0 +1,143 @@
+// The Sync protocol of §3.2 (Figure 1), as an event-driven process.
+//
+// Life cycle per round:
+//   alarm fires -> ping every neighbor in parallel, remember the local
+//   send time S; each PingResp yields an estimate via §3.1; when all
+//   neighbors answered or MaxWait elapsed on the local clock, feed the
+//   over/under-estimates (self included, exact) to the convergence
+//   function, adjust the clock, and arm the next alarm SyncInt away.
+//
+// Design notes mirroring §3.3:
+//   * no rounds across processors — a processor always answers pings with
+//     its *current* clock, and peers' Syncs are mutually unsynchronized
+//     (we even randomize the initial phase);
+//   * suspend()/resume() model the break-in/recovery of the protocol
+//     daemon: resume() re-arms the alarm, the "make sure this alarm is
+//     recovered after a break-in" requirement;
+//   * replay/staleness: responses carry a per-(round, peer) nonce; late
+//     or duplicated responses are dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/logical_clock.h"
+#include "core/convergence.h"
+#include "core/estimate.h"
+#include "core/params.h"
+#include "core/protocol_engine.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::core {
+
+struct SyncConfig {
+  ProtocolParams params;
+  int f = 1;  ///< trim depth used by the convergence function
+  std::shared_ptr<const ConvergenceFunction> convergence;
+  /// Randomize the first alarm within [0, SyncInt) so processors do not
+  /// sync in lockstep. Disable for tests that need exact phase control.
+  bool random_phase = true;
+  /// §3.1 optimization: send k pings per peer per round and keep the
+  /// estimate with the smallest error bound (NTP's minimum-round-trip
+  /// trick). All k are sent together; the round still ends at MaxWait.
+  /// 1 = the plain protocol.
+  int pings_per_peer = 1;
+
+  /// §3.1 caveat, implemented to demonstrate it: spread the estimation
+  /// over a background thread and have sync() consume *cached* values.
+  /// The paper warns that "the separate thread may return an old cached
+  /// value which was measured before the call ... the analysis in this
+  /// paper cannot be applied right out of the box". We implement the
+  /// naive version (no staleness compensation) so experiment E19 can
+  /// measure exactly how Definition 4 breaks.
+  bool cached_estimation = false;
+  /// Background refresh cadence (local time) when cached_estimation.
+  Dur cache_refresh = Dur::seconds(20);
+  /// Entries older than this (local time) count as timeouts.
+  Dur max_cache_age = Dur::minutes(2);
+};
+
+class SyncProcess final : public ProtocolEngine {
+ public:
+  SyncProcess(sim::Simulator& sim, net::Network& network,
+              clk::LogicalClock& clock, net::ProcId id, SyncConfig config,
+              Rng rng);
+
+  /// Arms the first sync alarm. Call once after handlers are wired.
+  void start() override;
+
+  /// Kills all protocol activity (alarms, the in-flight round). Called at
+  /// break-in; in-flight responses arriving afterwards are dropped as
+  /// stale.
+  void suspend() override;
+
+  /// Restarts the daemon: begins a fresh round immediately, then resumes
+  /// the SyncInt cadence. Called when the adversary leaves.
+  void resume() override;
+
+  /// Inbound protocol messages. PingReq is answered with the current
+  /// clock (always — even mid-round, §3.3 "no rounds"); PingResp feeds
+  /// the in-flight round.
+  void handle_message(const net::Message& msg) override;
+
+  [[nodiscard]] bool round_active() const { return round_active_; }
+  [[nodiscard]] bool suspended() const override { return suspended_; }
+  [[nodiscard]] const SyncStats& stats() const override { return stats_; }
+  [[nodiscard]] net::ProcId id() const { return id_; }
+
+ private:
+  void begin_round();
+  void finish_round();
+  void arm_next(Dur in_local_time);
+  void cache_tick();
+  void finish_from_cache();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  clk::LogicalClock& clock_;
+  net::ProcId id_;
+  SyncConfig config_;
+  Rng rng_;
+  std::vector<net::ProcId> peers_;
+
+  bool started_ = false;
+  bool suspended_ = false;
+  clk::AlarmId sync_alarm_ = clk::kNoAlarm;
+  clk::AlarmId timeout_alarm_ = clk::kNoAlarm;
+
+  // In-flight round state.
+  bool round_active_ = false;
+  ClockTime round_send_time_;     // S on the logical clock (same for all)
+  ClockTime round_send_hw_;       // send instant on the hardware clock:
+                                  // the RTT is measured on it because the
+                                  // logical clock may be adjusted (e.g. a
+                                  // negative discipline slew) mid-flight
+                                  // and is not monotonic
+  std::unordered_map<std::uint64_t, net::ProcId> nonce_to_peer_;
+  std::unordered_map<net::ProcId, Estimate> collected_;  // best-so-far
+  std::unordered_map<net::ProcId, int> replies_from_;
+  std::size_t pending_ = 0;  // outstanding replies across all peers
+
+  // Cached-estimation mode (§3.1 caveat).
+  struct CacheEntry {
+    Estimate estimate;
+    ClockTime measured_at;  // local clock when the reply landed
+  };
+  struct CacheSentAt {
+    ClockTime logical;
+    ClockTime hw;
+  };
+  clk::AlarmId cache_alarm_ = clk::kNoAlarm;
+  std::unordered_map<std::uint64_t, net::ProcId> cache_nonce_to_peer_;
+  std::unordered_map<net::ProcId, CacheSentAt> cache_sent_at_;
+  std::unordered_map<net::ProcId, CacheEntry> cache_;
+
+  SyncStats stats_;
+};
+
+}  // namespace czsync::core

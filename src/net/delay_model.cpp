@@ -1,0 +1,78 @@
+#include "net/delay_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace czsync::net {
+
+DelayModel::DelayModel(Dur bound) : bound_(bound) {
+  assert(bound > Dur::zero() && bound.is_finite());
+}
+
+Dur DelayModel::clamp(Dur d) const {
+  // Delivery takes strictly positive time and never exceeds the bound.
+  const Dur floor = bound_ * 1e-6;
+  return std::clamp(d, floor, bound_);
+}
+
+FixedDelay::FixedDelay(Dur bound, double fraction)
+    : DelayModel(bound), value_(clamp(bound * fraction)) {
+  assert(fraction > 0.0 && fraction <= 1.0);
+}
+
+Dur FixedDelay::sample(Rng&, ProcId, ProcId) const { return value_; }
+
+UniformDelay::UniformDelay(Dur bound, Dur lo) : DelayModel(bound), lo_(lo) {
+  assert(lo >= Dur::zero() && lo < bound);
+}
+
+Dur UniformDelay::sample(Rng& rng, ProcId, ProcId) const {
+  return clamp(Dur::seconds(rng.uniform(lo_.sec(), bound().sec())));
+}
+
+AsymmetricDelay::AsymmetricDelay(Dur bound, double lo_fraction,
+                                 double hi_fraction, double jitter_fraction)
+    : DelayModel(bound),
+      lo_fraction_(lo_fraction),
+      hi_fraction_(hi_fraction),
+      jitter_fraction_(jitter_fraction) {
+  assert(lo_fraction > 0.0 && hi_fraction <= 1.0 && lo_fraction <= hi_fraction);
+}
+
+Dur AsymmetricDelay::sample(Rng& rng, ProcId from, ProcId to) const {
+  const double base = from < to ? hi_fraction_ : lo_fraction_;
+  const double jitter = rng.uniform(-jitter_fraction_, jitter_fraction_);
+  return clamp(bound() * (base + jitter));
+}
+
+JitterDelay::JitterDelay(Dur bound, Dur base, Dur jitter_mean)
+    : DelayModel(bound), base_(base), jitter_mean_(jitter_mean) {
+  assert(base > Dur::zero() && base < bound);
+  assert(jitter_mean > Dur::zero());
+}
+
+Dur JitterDelay::sample(Rng& rng, ProcId, ProcId) const {
+  const double u = std::max(rng.uniform01(), 1e-12);
+  const Dur jitter = Dur::seconds(-std::log(u) * jitter_mean_.sec());
+  return clamp(base_ + jitter);
+}
+
+std::unique_ptr<DelayModel> make_fixed_delay(Dur bound, double fraction) {
+  return std::make_unique<FixedDelay>(bound, fraction);
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(Dur bound, Dur lo) {
+  return std::make_unique<UniformDelay>(bound, lo);
+}
+
+std::unique_ptr<DelayModel> make_asymmetric_delay(Dur bound) {
+  return std::make_unique<AsymmetricDelay>(bound);
+}
+
+std::unique_ptr<DelayModel> make_jitter_delay(Dur bound, Dur base,
+                                              Dur jitter_mean) {
+  return std::make_unique<JitterDelay>(bound, base, jitter_mean);
+}
+
+}  // namespace czsync::net

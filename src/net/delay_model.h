@@ -1,0 +1,91 @@
+// Message-delay models.
+//
+// The analysis only uses the delivery bound delta (§2.2); the *shape* of
+// the delay inside [0, delta] determines the reading error the estimation
+// procedure actually sees (§3.1): symmetric delays estimate perfectly,
+// asymmetric ones push the estimate toward the bound a = (R-S)/2.
+// Experiment E11 sweeps these models.
+#pragma once
+
+#include <memory>
+
+#include "net/message.h"
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace czsync::net {
+
+/// Strategy interface: per-message one-way delay. Must always return a
+/// value in (0, bound()].
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// The delivery bound delta the model never exceeds.
+  [[nodiscard]] Dur bound() const { return bound_; }
+
+  /// One-way delay for a message from `from` to `to`.
+  [[nodiscard]] virtual Dur sample(Rng& rng, ProcId from, ProcId to) const = 0;
+
+ protected:
+  explicit DelayModel(Dur bound);
+  [[nodiscard]] Dur clamp(Dur d) const;
+
+ private:
+  Dur bound_;
+};
+
+/// Deterministic constant delay (bound * fraction); perfectly symmetric,
+/// so clock estimates are exact up to drift during the round trip.
+class FixedDelay final : public DelayModel {
+ public:
+  FixedDelay(Dur bound, double fraction = 0.5);
+  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+
+ private:
+  Dur value_;
+};
+
+/// Uniform in [lo, bound].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Dur bound, Dur lo = Dur::zero());
+  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+
+ private:
+  Dur lo_;
+};
+
+/// Direction-skewed: messages from lower to higher ids take ~hi_fraction
+/// of the bound, the reverse direction ~lo_fraction (plus small jitter).
+/// Worst case for the midpoint estimator of §3.1.
+class AsymmetricDelay final : public DelayModel {
+ public:
+  AsymmetricDelay(Dur bound, double lo_fraction = 0.1, double hi_fraction = 0.9,
+                  double jitter_fraction = 0.05);
+  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+
+ private:
+  double lo_fraction_, hi_fraction_, jitter_fraction_;
+};
+
+/// base + truncated-exponential jitter: the common WAN shape (most
+/// messages fast, a tail up to the bound).
+class JitterDelay final : public DelayModel {
+ public:
+  JitterDelay(Dur bound, Dur base, Dur jitter_mean);
+  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+
+ private:
+  Dur base_, jitter_mean_;
+};
+
+[[nodiscard]] std::unique_ptr<DelayModel> make_fixed_delay(Dur bound,
+                                                           double fraction = 0.5);
+[[nodiscard]] std::unique_ptr<DelayModel> make_uniform_delay(
+    Dur bound, Dur lo = Dur::zero());
+[[nodiscard]] std::unique_ptr<DelayModel> make_asymmetric_delay(Dur bound);
+[[nodiscard]] std::unique_ptr<DelayModel> make_jitter_delay(Dur bound, Dur base,
+                                                            Dur jitter_mean);
+
+}  // namespace czsync::net

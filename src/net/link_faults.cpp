@@ -1,0 +1,78 @@
+#include "net/link_faults.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace czsync::net {
+
+LinkFaultSet::LinkFaultSet(std::vector<LinkFault> faults)
+    : faults_(std::move(faults)) {
+  for (auto& f : faults_) {
+    assert(f.a >= 0 && f.b >= 0 && f.a != f.b);
+    assert(f.end > f.start);
+    if (f.a > f.b) std::swap(f.a, f.b);
+  }
+  std::sort(faults_.begin(), faults_.end(),
+            [](const LinkFault& x, const LinkFault& y) {
+              return x.start < y.start;
+            });
+}
+
+bool LinkFaultSet::cut_at(ProcId a, ProcId b, RealTime t) const {
+  if (a > b) std::swap(a, b);
+  for (const auto& f : faults_) {
+    if (f.start > t) break;
+    if (f.a == a && f.b == b && t >= f.start && t < f.end) return true;
+  }
+  return false;
+}
+
+int LinkFaultSet::max_cut_degree() const {
+  // Evaluate the cut-degree of every processor at every interval start.
+  int worst = 0;
+  for (const auto& probe : faults_) {
+    std::map<ProcId, std::set<ProcId>> deg;
+    for (const auto& f : faults_) {
+      if (f.start <= probe.start && f.end > probe.start) {
+        deg[f.a].insert(f.b);
+        deg[f.b].insert(f.a);
+      }
+    }
+    for (const auto& [p, peers] : deg)
+      worst = std::max(worst, static_cast<int>(peers.size()));
+  }
+  return worst;
+}
+
+LinkFaultSet LinkFaultSet::isolate_partially(ProcId center,
+                                             const std::vector<ProcId>& peers,
+                                             RealTime start, RealTime end) {
+  std::vector<LinkFault> out;
+  out.reserve(peers.size());
+  for (ProcId q : peers) out.push_back({center, q, start, end});
+  return LinkFaultSet(std::move(out));
+}
+
+LinkFaultSet LinkFaultSet::random_flapping(int n, int concurrent, Dur min_cut,
+                                           Dur max_cut, Dur rest,
+                                           RealTime horizon, Rng rng) {
+  assert(n >= 2 && concurrent >= 1);
+  assert(Dur::zero() < min_cut && min_cut <= max_cut);
+  std::vector<LinkFault> out;
+  for (int slot = 0; slot < concurrent; ++slot) {
+    RealTime t = RealTime(rng.uniform(0.0, (max_cut + rest).sec()));
+    while (t < horizon) {
+      const auto a = static_cast<ProcId>(rng.uniform_int(0, n - 1));
+      auto b = static_cast<ProcId>(rng.uniform_int(0, n - 2));
+      if (b >= a) b = static_cast<ProcId>(b + 1);
+      const Dur cut = Dur::seconds(rng.uniform(min_cut.sec(), max_cut.sec()));
+      out.push_back({a, b, t, t + cut});
+      t = t + cut + rest;
+    }
+  }
+  return LinkFaultSet(std::move(out));
+}
+
+}  // namespace czsync::net

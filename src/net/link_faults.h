@@ -1,0 +1,63 @@
+// Link faults — the §1.2 refinement probe.
+//
+// The paper analyzes processor corruption only, but says: "It may be
+// possible to refine our analysis to show that the same algorithm can be
+// used even if an attacker can corrupt both processors and links, as
+// long as not too many of either are corrupted at the same time." Links
+// are authenticated, so a corrupted link cannot forge — the worst it can
+// do is drop (or arbitrarily delay, which past MaxWait is the same as
+// dropping). We model cut intervals on undirected links; the estimation
+// procedure sees them as timeouts, which the f+1-trimming already
+// absorbs — experiment E13 measures how many cut links per processor the
+// protocol actually tolerates (the conjecture: f).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace czsync::net {
+
+struct LinkFault {
+  ProcId a = -1;
+  ProcId b = -1;  ///< undirected: both directions are cut
+  RealTime start;
+  RealTime end;   ///< exclusive
+};
+
+class LinkFaultSet {
+ public:
+  LinkFaultSet() = default;
+  explicit LinkFaultSet(std::vector<LinkFault> faults);
+
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+  [[nodiscard]] const std::vector<LinkFault>& faults() const { return faults_; }
+
+  /// True when the (undirected) link a-b is cut at time t.
+  [[nodiscard]] bool cut_at(ProcId a, ProcId b, RealTime t) const;
+
+  /// Largest number of cut links incident to any single processor at any
+  /// instant — the quantity the f-trimming must absorb.
+  [[nodiscard]] int max_cut_degree() const;
+
+  /// Cuts the links from `center` to each of `peers` during [start, end).
+  [[nodiscard]] static LinkFaultSet isolate_partially(
+      ProcId center, const std::vector<ProcId>& peers, RealTime start,
+      RealTime end);
+
+  /// Random flapping: `concurrent` independent slots; each slot cuts a
+  /// random link for a duration in [min_cut, max_cut], rests `rest`,
+  /// repeats until `horizon`.
+  [[nodiscard]] static LinkFaultSet random_flapping(int n, int concurrent,
+                                                    Dur min_cut, Dur max_cut,
+                                                    Dur rest, RealTime horizon,
+                                                    Rng rng);
+
+ private:
+  std::vector<LinkFault> faults_;
+};
+
+}  // namespace czsync::net

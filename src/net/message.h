@@ -1,0 +1,94 @@
+// Wire messages.
+//
+// Links are authenticated (§2.2): the `from` field is set by the network
+// layer and cannot be forged, so a Byzantine processor can lie about its
+// clock but not impersonate a peer. All protocol messages used anywhere in
+// the repository are enumerated in one closed variant, which both mirrors
+// a real wire format and lets handlers be exhaustive.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace czsync::net {
+
+/// Processor identifier, 0-based, dense in [0, n).
+using ProcId = int;
+
+/// Clock-estimation request (the "ping" of §3.1). The nonce pairs the
+/// reply with the request; it also defeats cross-round replays.
+struct PingReq {
+  std::uint64_t nonce = 0;
+};
+
+/// Clock-estimation reply: the responder's logical clock at send time.
+struct PingResp {
+  std::uint64_t nonce = 0;
+  ClockTime responder_clock;
+};
+
+/// Round-tagged estimation messages, used only by the round-based
+/// comparator protocol (core::RoundSyncProcess, the §3.3 ablation).
+/// Replies carry the responder's current round so the requester can
+/// discard cross-round values, as round-based algorithms must.
+struct RoundPingReq {
+  std::uint64_t nonce = 0;
+  std::uint64_t round = 0;
+};
+struct RoundPingResp {
+  std::uint64_t nonce = 0;
+  std::uint64_t round = 0;  ///< responder's current round
+  ClockTime responder_clock;
+};
+
+/// A signature over a broadcast payload (src/broadcast). The mac is
+/// produced/verified by broadcast::Authenticator; within the simulation
+/// it is unforgeable because signer secrets never leave that service.
+struct Signature {
+  ProcId signer = -1;
+  std::uint64_t mac = 0;
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Round announcement of the broadcast-based comparator (§1.1's [10]
+/// family, implemented Srikanth-Toueg style): "logical time round*P has
+/// arrived", carrying the signatures supporting the claim. A bundle with
+/// >= f+1 distinct valid signatures is proof that at least one correct
+/// processor's clock reached the round.
+struct StRoundMsg {
+  std::uint64_t round = 0;
+  std::vector<Signature> sigs;
+};
+
+/// Proactive-maintenance message (src/proactive): announces that the
+/// sender performed its refresh for `epoch` carrying a share commitment.
+struct RefreshAnnounce {
+  std::uint64_t epoch = 0;
+  std::uint64_t share_digest = 0;
+};
+
+/// Application-level timestamp request/response pair used by the
+/// timestamping example.
+struct TimestampReq {
+  std::uint64_t nonce = 0;
+};
+struct TimestampResp {
+  std::uint64_t nonce = 0;
+  ClockTime stamp;
+};
+
+using Body = std::variant<PingReq, PingResp, RoundPingReq, RoundPingResp,
+                          StRoundMsg, RefreshAnnounce, TimestampReq,
+                          TimestampResp>;
+
+struct Message {
+  ProcId from = -1;  ///< authenticated sender id (set by the network)
+  ProcId to = -1;
+  Body body;
+};
+
+}  // namespace czsync::net

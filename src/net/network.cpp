@@ -1,0 +1,56 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace czsync::net {
+
+Network::Network(sim::Simulator& sim, Topology topology,
+                 std::unique_ptr<DelayModel> delay, Rng rng)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      delay_(std::move(delay)),
+      rng_(rng),
+      handlers_(static_cast<std::size_t>(topology_.size())) {
+  assert(delay_ != nullptr);
+}
+
+void Network::register_handler(ProcId p, Handler handler) {
+  assert(p >= 0 && p < topology_.size());
+  handlers_[static_cast<std::size_t>(p)] = std::move(handler);
+}
+
+void Network::send(ProcId from, ProcId to, Body body) {
+  assert(from >= 0 && from < topology_.size());
+  assert(to >= 0 && to < topology_.size());
+  assert(from != to && "self-messages are handled locally by the protocol");
+  ++stats_.sent;
+  if (!topology_.has_edge(from, to)) {
+    ++stats_.dropped_no_edge;
+    CZ_DEBUG << "drop (no edge) " << from << "->" << to;
+    return;
+  }
+  if (!link_faults_.empty() && link_faults_.cut_at(from, to, sim_.now())) {
+    ++stats_.dropped_link_fault;
+    CZ_DEBUG << "drop (link fault) " << from << "->" << to;
+    return;
+  }
+  const Dur delay = delay_->sample(rng_, from, to);
+  assert(delay > Dur::zero() && delay <= delay_->bound());
+  Message msg{from, to, std::move(body)};
+  sim_.schedule_after(delay, [this, msg = std::move(msg)] { deliver(msg); });
+}
+
+void Network::deliver(const Message& msg) {
+  auto& handler = handlers_[static_cast<std::size_t>(msg.to)];
+  if (!handler) {
+    ++stats_.dropped_no_handler;
+    return;
+  }
+  ++stats_.delivered;
+  handler(msg);
+}
+
+}  // namespace czsync::net

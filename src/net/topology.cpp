@@ -1,0 +1,222 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace czsync::net {
+
+Topology::Topology(int n) : n_(n), adj_(n), adj_matrix_(n, std::vector<char>(n, 0)) {
+  assert(n >= 1);
+}
+
+void Topology::add_edge(int a, int b) {
+  assert(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
+  if (adj_matrix_[a][b]) return;
+  adj_matrix_[a][b] = adj_matrix_[b][a] = 1;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+Topology Topology::full_mesh(int n) {
+  Topology t(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::ring(int n) {
+  assert(n >= 3);
+  Topology t(n);
+  for (int a = 0; a < n; ++a) t.add_edge(a, (a + 1) % n);
+  return t;
+}
+
+Topology Topology::two_cliques(int f) {
+  assert(f >= 1);
+  const int clique = 3 * f + 1;
+  Topology t(2 * clique);
+  for (int side = 0; side < 2; ++side) {
+    const int base = side * clique;
+    for (int a = 0; a < clique; ++a)
+      for (int b = a + 1; b < clique; ++b) t.add_edge(base + a, base + b);
+  }
+  for (int i = 0; i < clique; ++i) t.add_edge(i, clique + i);
+  return t;
+}
+
+Topology Topology::from_edges(int n,
+                              const std::vector<std::pair<int, int>>& edges) {
+  Topology t(n);
+  for (auto [a, b] : edges) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::gnp_connected(int n, double p, Rng& rng) {
+  assert(n >= 2 && p > 0.0 && p <= 1.0);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Topology t(n);
+    for (int a = 0; a < n; ++a)
+      for (int b = a + 1; b < n; ++b)
+        if (rng.chance(p)) t.add_edge(a, b);
+    if (t.is_connected()) return t;
+  }
+  // Too sparse to ever connect at this p; fall back to a ring plus the
+  // sampled edges so callers still get a usable graph.
+  Topology t = Topology::ring(std::max(n, 3));
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (rng.chance(p)) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::random_regular(int n, int d, Rng& rng) {
+  assert(n >= 3 && d >= 2 && d < n);
+  Topology t = Topology::ring(n);
+  // Add random edges to the lowest-degree vertices until min degree >= d.
+  int guard = n * n * 10;
+  while (t.min_degree() < d && guard-- > 0) {
+    // Pick the first vertex among those with the minimum degree, pair it
+    // with a random non-neighbor.
+    int v = 0;
+    for (int u = 0; u < n; ++u)
+      if (t.degree(u) < t.degree(v)) v = u;
+    const auto w = static_cast<ProcId>(rng.uniform_int(0, n - 1));
+    if (w == v || t.has_edge(v, w)) continue;
+    t.add_edge(v, w);
+  }
+  return t;
+}
+
+bool Topology::has_edge(ProcId a, ProcId b) const {
+  assert(a >= 0 && a < n_ && b >= 0 && b < n_);
+  return adj_matrix_[a][b] != 0;
+}
+
+const std::vector<ProcId>& Topology::neighbors(ProcId p) const {
+  assert(p >= 0 && p < n_);
+  return adj_[p];
+}
+
+int Topology::degree(ProcId p) const {
+  return static_cast<int>(neighbors(p).size());
+}
+
+int Topology::min_degree() const {
+  int d = n_;
+  for (int p = 0; p < n_; ++p) d = std::min(d, degree(p));
+  return d;
+}
+
+std::size_t Topology::edge_count() const {
+  std::size_t twice = 0;
+  for (const auto& nb : adj_) twice += nb.size();
+  return twice / 2;
+}
+
+bool Topology::is_connected() const {
+  if (n_ <= 1) return true;
+  std::vector<char> seen(n_, 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  int visited = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : adj_[u])
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        q.push(v);
+      }
+  }
+  return visited == n_;
+}
+
+namespace {
+
+/// Max-flow on the vertex-split digraph, capacities 1 on "internal" arcs
+/// of intermediate vertices and infinity on edge arcs; BFS augmentation
+/// (Edmonds-Karp). Vertex v splits into v_in = 2v, v_out = 2v+1.
+class SplitFlow {
+ public:
+  explicit SplitFlow(const Topology& g) : g_(g), n_(g.size()) {
+    const int nodes = 2 * n_;
+    cap_.assign(nodes, std::vector<int>(nodes, 0));
+    for (int v = 0; v < n_; ++v) cap_[in(v)][out(v)] = 1;
+    for (int a = 0; a < n_; ++a)
+      for (int b : g.neighbors(a)) cap_[out(a)][in(b)] = kInf;
+  }
+
+  /// Max s->t flow, s and t are original vertex ids (s_out -> t_in).
+  int max_flow(int s, int t) {
+    // Work on a copy so the object can be reused.
+    auto cap = cap_;
+    cap[in(s)][out(s)] = kInf;
+    cap[in(t)][out(t)] = kInf;
+    const int source = out(s), sink = in(t);
+    int flow = 0;
+    for (;;) {
+      std::vector<int> parent(cap.size(), -1);
+      parent[source] = source;
+      std::queue<int> q;
+      q.push(source);
+      while (!q.empty() && parent[sink] < 0) {
+        const int u = q.front();
+        q.pop();
+        for (std::size_t v = 0; v < cap.size(); ++v)
+          if (parent[v] < 0 && cap[u][v] > 0) {
+            parent[v] = u;
+            q.push(static_cast<int>(v));
+          }
+      }
+      if (parent[sink] < 0) break;
+      int aug = kInf;
+      for (int v = sink; v != source; v = parent[v])
+        aug = std::min(aug, cap[parent[v]][v]);
+      for (int v = sink; v != source; v = parent[v]) {
+        cap[parent[v]][v] -= aug;
+        cap[v][parent[v]] += aug;
+      }
+      flow += aug;
+      if (flow >= n_) break;  // connectivity can never exceed n-1
+    }
+    return flow;
+  }
+
+ private:
+  static constexpr int kInf = std::numeric_limits<int>::max() / 4;
+  static int in(int v) { return 2 * v; }
+  static int out(int v) { return 2 * v + 1; }
+
+  const Topology& g_;
+  int n_;
+  std::vector<std::vector<int>> cap_;
+};
+
+}  // namespace
+
+int Topology::vertex_connectivity() const {
+  if (n_ <= 1) return 0;
+  if (!is_connected()) return 0;
+  // Complete graph: kappa = n-1 (no vertex cut exists).
+  if (edge_count() == static_cast<std::size_t>(n_) * (n_ - 1) / 2) return n_ - 1;
+  // kappa(G) = min over one fixed vertex s of min-vertex-cut(s, t) for all
+  // non-neighbors t of s, and cuts between neighbors of s handled by also
+  // trying each neighbor pair start. Standard Even/Tarjan scheme: take
+  // vertex 0 and its neighbors as sources.
+  SplitFlow flow(*this);
+  int best = n_ - 1;
+  auto try_pair = [&](int s, int t) {
+    if (s == t || has_edge(s, t)) return;
+    best = std::min(best, flow.max_flow(s, t));
+  };
+  for (int t = 0; t < n_; ++t) try_pair(0, t);
+  for (int s : neighbors(0))
+    for (int t = 0; t < n_; ++t) try_pair(s, t);
+  return best;
+}
+
+}  // namespace czsync::net

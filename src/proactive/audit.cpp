@@ -1,0 +1,47 @@
+#include "proactive/audit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace czsync::proactive {
+
+void Auditor::capture(int proc) {
+  const Share& s = store_.share(proc);
+  by_epoch_[s.epoch].insert(proc);
+  ++captures_;
+}
+
+int Auditor::worst_epoch_exposure() const {
+  int worst = 0;
+  for (const auto& [epoch, procs] : by_epoch_) {
+    worst = std::max(worst, static_cast<int>(procs.size()));
+  }
+  return worst;
+}
+
+CapturingStrategy::CapturingStrategy(std::shared_ptr<adversary::Strategy> inner,
+                                     Auditor& auditor)
+    : inner_(std::move(inner)), auditor_(auditor) {
+  assert(inner_ != nullptr);
+}
+
+std::string_view CapturingStrategy::name() const { return inner_->name(); }
+
+void CapturingStrategy::on_break_in(adversary::AdvContext& ctx,
+                                    adversary::ControlledProcess& proc) {
+  auditor_.capture(proc.id());
+  inner_->on_break_in(ctx, proc);
+}
+
+void CapturingStrategy::on_leave(adversary::AdvContext& ctx,
+                                 adversary::ControlledProcess& proc) {
+  inner_->on_leave(ctx, proc);
+}
+
+void CapturingStrategy::on_message(adversary::AdvContext& ctx,
+                                   adversary::ControlledProcess& proc,
+                                   const net::Message& msg) {
+  inner_->on_message(ctx, proc, msg);
+}
+
+}  // namespace czsync::proactive

@@ -1,0 +1,67 @@
+// Security audit for the proactive service.
+//
+// Tracks what the adversary captured: every break-in grabs the victim's
+// current share (epoch-tagged). The proactive invariant is violated when
+// some single epoch has >= f+1 captured shares. CapturingStrategy wraps
+// any attack strategy with this bookkeeping so the same schedules and
+// behaviours drive both the clock experiments and the end-to-end
+// security experiment (E10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "adversary/strategies.h"
+#include "proactive/secret_sharing.h"
+
+namespace czsync::proactive {
+
+class Auditor {
+ public:
+  explicit Auditor(const ShareStore& store) : store_(store) {}
+
+  /// Records that the adversary captured processor p's current share.
+  void capture(int proc);
+
+  /// Largest number of distinct processors whose shares of one single
+  /// epoch were captured.
+  [[nodiscard]] int worst_epoch_exposure() const;
+  /// The secret is compromised iff some epoch has >= threshold captures
+  /// (threshold = f+1 for an (f+1)-out-of-n sharing).
+  [[nodiscard]] bool compromised(int threshold) const {
+    return worst_epoch_exposure() >= threshold;
+  }
+  [[nodiscard]] std::uint64_t captures() const { return captures_; }
+  [[nodiscard]] const std::map<std::uint64_t, std::set<int>>& by_epoch() const {
+    return by_epoch_;
+  }
+
+ private:
+  const ShareStore& store_;
+  std::map<std::uint64_t, std::set<int>> by_epoch_;
+  std::uint64_t captures_ = 0;
+};
+
+/// Decorator: delegates all behaviour to `inner`, additionally capturing
+/// the victim's share at each break-in.
+class CapturingStrategy final : public adversary::Strategy {
+ public:
+  CapturingStrategy(std::shared_ptr<adversary::Strategy> inner, Auditor& auditor);
+
+  [[nodiscard]] std::string_view name() const override;
+  void on_break_in(adversary::AdvContext& ctx,
+                   adversary::ControlledProcess& proc) override;
+  void on_leave(adversary::AdvContext& ctx,
+                adversary::ControlledProcess& proc) override;
+  void on_message(adversary::AdvContext& ctx,
+                  adversary::ControlledProcess& proc,
+                  const net::Message& msg) override;
+
+ private:
+  std::shared_ptr<adversary::Strategy> inner_;
+  Auditor& auditor_;
+};
+
+}  // namespace czsync::proactive

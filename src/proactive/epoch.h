@@ -1,0 +1,35 @@
+// Epoch arithmetic for proactive maintenance.
+//
+// Proactive security (§1 of the paper) divides time into fixed periods;
+// every processor must perform its corrective action (share refresh, key
+// rotation) once per period. Processors derive the current epoch from
+// their *logical clock*, so epoch alignment across the network is exactly
+// as good as clock synchronization — that is the dependency the paper
+// exists to provide.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/time_types.h"
+
+namespace czsync::proactive {
+
+/// Epoch index of clock value `c` with period `len`: floor(C / len).
+/// Clock values are nonnegative in our scenarios; negative values (a
+/// badly smashed clock) map to epoch 0 so indices stay unsigned.
+[[nodiscard]] inline std::uint64_t epoch_of(ClockTime c, Dur len) {
+  const double e = std::floor(c.sec() / len.sec());
+  return e <= 0.0 ? 0 : static_cast<std::uint64_t>(e);
+}
+
+/// Local-clock time remaining until the next epoch boundary.
+[[nodiscard]] inline Dur until_next_epoch(ClockTime c, Dur len) {
+  const auto e = epoch_of(c, len);
+  const ClockTime boundary(static_cast<double>(e + 1) * len.sec());
+  Dur left = boundary - c;
+  if (left <= Dur::zero()) left = Dur::seconds(1e-9);
+  return left;
+}
+
+}  // namespace czsync::proactive

@@ -1,0 +1,64 @@
+#include "proactive/refresh.h"
+
+#include <cassert>
+
+namespace czsync::proactive {
+
+RefreshProcess::RefreshProcess(clk::LogicalClock& clock, net::Network& network,
+                               net::ProcId id, ShareStore& store, Dur epoch_len,
+                               bool announce)
+    : clock_(clock),
+      network_(network),
+      id_(id),
+      store_(store),
+      epoch_len_(epoch_len),
+      announce_(announce) {
+  assert(epoch_len > Dur::zero());
+}
+
+void RefreshProcess::start() { arm(); }
+
+void RefreshProcess::arm() {
+  // The alarm runs on the hardware clock; the logical-clock distance to
+  // the boundary equals the hardware distance as long as adj is stable.
+  // on_alarm() re-validates against the logical clock, so Sync
+  // adjustments between now and then merely cause a re-arm.
+  const Dur wait = until_next_epoch(clock_.read(), epoch_len_);
+  alarm_ = clock_.hardware().set_alarm_after(wait, [this] {
+    alarm_ = clk::kNoAlarm;
+    on_alarm();
+  });
+}
+
+void RefreshProcess::on_alarm() {
+  const std::uint64_t now_epoch = epoch_of(clock_.read(), epoch_len_);
+  if (now_epoch > last_epoch_) {
+    last_epoch_ = now_epoch;
+    store_.refresh(id_, now_epoch);
+    ++refreshes_;
+    if (announce_) {
+      const auto digest = store_.share(id_).value;
+      for (net::ProcId q : network_.topology().neighbors(id_)) {
+        network_.send(id_, q, net::RefreshAnnounce{now_epoch, digest});
+      }
+    }
+    if (on_refresh) on_refresh(now_epoch);
+  }
+  arm();
+}
+
+void RefreshProcess::suspend() {
+  suspended_ = true;
+  if (alarm_ != clk::kNoAlarm) {
+    clock_.hardware().cancel_alarm(alarm_);
+    alarm_ = clk::kNoAlarm;
+  }
+}
+
+void RefreshProcess::resume() {
+  assert(suspended_);
+  suspended_ = false;
+  arm();
+}
+
+}  // namespace czsync::proactive

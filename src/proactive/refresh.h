@@ -1,0 +1,61 @@
+// The per-processor refresh daemon.
+//
+// Fires at every epoch boundary *of the local logical clock*, installs a
+// fresh share, and announces the refresh to peers. Because the boundary
+// is a logical-clock target and the Sync protocol keeps adjusting that
+// clock, the alarm re-validates on fire: if the clock was set backwards
+// past the boundary it re-arms, if it jumped forward it refreshes for the
+// epoch the clock now shows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clock/logical_clock.h"
+#include "net/network.h"
+#include "proactive/epoch.h"
+#include "proactive/secret_sharing.h"
+
+namespace czsync::proactive {
+
+class RefreshProcess {
+ public:
+  RefreshProcess(clk::LogicalClock& clock, net::Network& network,
+                 net::ProcId id, ShareStore& store, Dur epoch_len,
+                 bool announce = true);
+
+  /// Arms the first boundary alarm. Call once.
+  void start();
+
+  /// Break-in: the adversary kills the daemon (and may smash the clock).
+  void suspend();
+
+  /// Recovery: the daemon restarts and re-derives its alarm from the
+  /// (possibly corrected) clock.
+  void resume();
+
+  [[nodiscard]] std::uint64_t last_epoch() const { return last_epoch_; }
+  [[nodiscard]] std::uint64_t refreshes_done() const { return refreshes_; }
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+  /// Invoked after each refresh with the new epoch (metrics hook).
+  std::function<void(std::uint64_t)> on_refresh;
+
+ private:
+  void arm();
+  void on_alarm();
+
+  clk::LogicalClock& clock_;
+  net::Network& network_;
+  net::ProcId id_;
+  ShareStore& store_;
+  Dur epoch_len_;
+  bool announce_;
+
+  bool suspended_ = false;
+  clk::AlarmId alarm_ = clk::kNoAlarm;
+  std::uint64_t last_epoch_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace czsync::proactive

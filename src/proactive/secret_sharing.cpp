@@ -1,0 +1,34 @@
+#include "proactive/secret_sharing.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace czsync::proactive {
+
+std::uint64_t derive_share(std::uint64_t secret_seed, int proc,
+                           std::uint64_t epoch) {
+  std::uint64_t s = secret_seed ^ (0x9e3779b97f4a7c15ULL * (epoch + 1)) ^
+                    (0xd1b54a32d192ed03ULL * static_cast<std::uint64_t>(proc + 1));
+  return splitmix64(s);
+}
+
+ShareStore::ShareStore(int n, std::uint64_t secret_seed)
+    : secret_seed_(secret_seed), shares_(static_cast<std::size_t>(n)) {
+  assert(n >= 1);
+  for (int p = 0; p < n; ++p) refresh(p, 0);
+  refreshes_ = 0;
+}
+
+void ShareStore::refresh(int proc, std::uint64_t epoch) {
+  auto& s = shares_[static_cast<std::size_t>(proc)];
+  s.epoch = epoch;
+  s.value = derive_share(secret_seed_, proc, epoch);
+  ++refreshes_;
+}
+
+const Share& ShareStore::share(int proc) const {
+  return shares_[static_cast<std::size_t>(proc)];
+}
+
+}  // namespace czsync::proactive

@@ -1,0 +1,49 @@
+// Toy proactive secret sharing.
+//
+// We model the *lifecycle*, not the cryptography: each processor holds a
+// share tagged with the epoch it was generated in; refreshing replaces it
+// with a fresh share for the new epoch. The security invariant of
+// proactive secret sharing is that an adversary must collect f+1 shares
+// OF THE SAME EPOCH to reconstruct the secret; shares from different
+// epochs are useless together. Hence: synchronized refreshes => at most f
+// captures per epoch => safe; a processor whose clock is stuck never
+// refreshes, its stale share stays valid for capture in later periods,
+// and the invariant can be violated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace czsync::proactive {
+
+struct Share {
+  std::uint64_t epoch = 0;
+  std::uint64_t value = 0;
+};
+
+/// Deterministic share derivation (stands in for the re-randomization of
+/// a real proactive secret sharing protocol).
+[[nodiscard]] std::uint64_t derive_share(std::uint64_t secret_seed, int proc,
+                                         std::uint64_t epoch);
+
+/// The shares currently held by all processors.
+class ShareStore {
+ public:
+  ShareStore(int n, std::uint64_t secret_seed);
+
+  /// Installs the epoch-e share at processor p (called by its refresh).
+  void refresh(int proc, std::uint64_t epoch);
+
+  /// The share processor p currently holds (what a break-in captures).
+  [[nodiscard]] const Share& share(int proc) const;
+
+  [[nodiscard]] int size() const { return static_cast<int>(shares_.size()); }
+  [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
+
+ private:
+  std::uint64_t secret_seed_;
+  std::vector<Share> shares_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace czsync::proactive

@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace czsync::sim {
+
+EventId EventQueue::push(RealTime t, Action fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  actions_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_tombstones() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_tombstones();
+  return heap_.empty();
+}
+
+RealTime EventQueue::next_time() const {
+  skip_tombstones();
+  assert(!heap_.empty());
+  return heap_.top().t;
+}
+
+EventQueue::Action EventQueue::pop(RealTime& t) {
+  skip_tombstones();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  t = e.t;
+  auto it = actions_.find(e.id);
+  assert(it != actions_.end());
+  Action fn = std::move(it->second);
+  actions_.erase(it);
+  --live_;
+  return fn;
+}
+
+}  // namespace czsync::sim

@@ -1,0 +1,73 @@
+// Priority queue of timed events with O(log n) cancellation.
+//
+// Events at equal times fire in scheduling (FIFO) order, which together
+// with seeded RNG makes every simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace czsync::sim {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled. Id 0 is never issued and may be used as "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// Min-heap of (time, sequence) ordered events. Cancellation is lazy:
+/// cancelled ids are tombstoned and skipped on pop.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueues `fn` to fire at time `t`. Returns a cancellable handle.
+  EventId push(RealTime t, Action fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] RealTime next_time() const;
+
+  /// Removes and returns the earliest live event's action, advancing past
+  /// tombstones. Precondition: !empty(). Sets `t` to the event's time.
+  Action pop(RealTime& t);
+
+  /// Number of live events (O(1), maintained incrementally).
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Total events ever pushed (for throughput accounting).
+  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    RealTime t;
+    EventId id;
+    // Heap entries are compared so that the smallest time (then smallest
+    // id, i.e. FIFO) is on top of the max-heap-by-default priority_queue.
+    bool operator<(const Entry& o) const {
+      if (t.sec() != o.t.sec()) return t.sec() > o.t.sec();
+      return id > o.id;
+    }
+  };
+
+  void skip_tombstones() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Action> actions_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace czsync::sim

@@ -1,0 +1,57 @@
+// Deterministic discrete-event simulator.
+//
+// This is the "real time" axis of the paper: every network delay, drift
+// segment and adversary action is an event on this queue. The simulator is
+// single-threaded; concurrency in the modelled system is expressed as
+// interleaved events, which is exactly the asynchronous model of §2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time_types.h"
+
+namespace czsync::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual real time tau.
+  [[nodiscard]] RealTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`; times in the past are clamped to
+  /// `now()` (the event fires after currently-pending events at `now()`).
+  EventId schedule_at(RealTime t, Action fn);
+
+  /// Schedules `fn` to fire `d` from now. `d` must be finite; negative
+  /// delays clamp to zero.
+  EventId schedule_after(Dur d, Action fn);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is exhausted or `limit` is reached;
+  /// `now()` ends at min(limit, last event time). Events exactly at
+  /// `limit` are executed.
+  void run_until(RealTime limit);
+
+  /// Runs for a span of virtual time from the current instant.
+  void run_for(Dur d) { run_until(now_ + d); }
+
+  /// Executes exactly one event if any exists before `limit`.
+  /// Returns false when nothing was executed.
+  bool step(RealTime limit = RealTime::infinity());
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  RealTime now_ = RealTime::zero();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace czsync::sim

@@ -1,0 +1,144 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace czsync {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::optional<Dur> parse_duration(const std::string& text) {
+  const std::string t = trim(text);
+  if (t.empty()) return std::nullopt;
+  // Split number prefix from unit suffix.
+  std::size_t pos = 0;
+  while (pos < t.size() &&
+         (std::isdigit(static_cast<unsigned char>(t[pos])) || t[pos] == '.' ||
+          t[pos] == '-' || t[pos] == '+' || t[pos] == 'e' || t[pos] == 'E' ||
+          (pos > 0 && (t[pos - 1] == 'e' || t[pos - 1] == 'E') &&
+           (t[pos] == '-' || t[pos] == '+')))) {
+    ++pos;
+  }
+  // An 'e'/'E' at the very end is not scientific notation but can't be a
+  // unit either; reject via strtod below.
+  const std::string num = t.substr(0, pos);
+  const std::string unit = trim(t.substr(pos));
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  if (num.empty() || end != num.c_str() + num.size()) return std::nullopt;
+  if (unit.empty() || unit == "s") return Dur::seconds(v);
+  if (unit == "us") return Dur::micros(v);
+  if (unit == "ms") return Dur::millis(v);
+  if (unit == "m" || unit == "min") return Dur::minutes(v);
+  if (unit == "h") return Dur::hours(v);
+  return std::nullopt;
+}
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) +
+                                  ": expected key = value, got '" + t + "'");
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) +
+                                  ": empty key");
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot read config file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+bool Config::has(const std::string& key) const { return values_.contains(key); }
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!read_.contains(k)) out.push_back(k);
+  }
+  return out;
+}
+
+const std::string& Config::raw(const std::string& key) const {
+  read_[key] = true;
+  return values_.at(key);
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return has(key) ? raw(key) : fallback;
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  if (!has(key)) return fallback;
+  const std::string& v = raw(key);
+  char* end = nullptr;
+  const long out = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    throw std::invalid_argument("config key '" + key + "': not an integer: " + v);
+  }
+  return out;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  if (!has(key)) return fallback;
+  const std::string& v = raw(key);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    throw std::invalid_argument("config key '" + key + "': not a number: " + v);
+  }
+  return out;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  const std::string& v = raw(key);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw std::invalid_argument("config key '" + key + "': not a bool: " + v);
+}
+
+Dur Config::get_duration(const std::string& key, Dur fallback) const {
+  if (!has(key)) return fallback;
+  const std::string& v = raw(key);
+  const auto d = parse_duration(v);
+  if (!d) {
+    throw std::invalid_argument("config key '" + key + "': not a duration: " + v);
+  }
+  return *d;
+}
+
+}  // namespace czsync

@@ -1,0 +1,50 @@
+// Minimal key=value configuration files for the CLI driver.
+//
+// Format: one `key = value` per line; `#` starts a comment; whitespace
+// is trimmed; later assignments override earlier ones. Durations accept
+// the suffixes us, ms, s, m, h (e.g. "50ms", "1.5h").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace czsync {
+
+/// Parses "123us" / "50ms" / "2.5s" / "10m" / "1h" / bare seconds.
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Dur> parse_duration(const std::string& text);
+
+class Config {
+ public:
+  /// Parses a config from text. Throws std::invalid_argument with a
+  /// line-numbered message on malformed lines.
+  [[nodiscard]] static Config parse(const std::string& text);
+  /// Loads and parses a file. Throws std::runtime_error if unreadable.
+  [[nodiscard]] static Config load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Keys present in the file but never read through a getter — catches
+  /// typos in config files.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  // Typed getters; each returns `fallback` when the key is absent and
+  // throws std::invalid_argument when present but malformed.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] Dur get_duration(const std::string& key, Dur fallback) const;
+
+ private:
+  const std::string& raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace czsync

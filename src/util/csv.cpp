@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace czsync {
+
+std::string fmt_num(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), width_(columns.size()) {
+  write_row(columns);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  assert(cells.size() == width_);
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(std::initializer_list<double> cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(fmt_num(v));
+  row(out);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace czsync

@@ -1,0 +1,38 @@
+// CSV emission for experiment results (series a plotting tool can ingest).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace czsync {
+
+/// Streams rows of a CSV table to an ostream. Quotes fields when needed.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> columns);
+
+  /// Writes one data row; the number of cells must match the header.
+  void row(std::initializer_list<std::string> cells);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row_numeric(std::initializer_list<double> cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& s);
+
+  std::ostream& os_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly (up to 9 significant digits, no trailing noise).
+[[nodiscard]] std::string fmt_num(double v);
+
+}  // namespace czsync

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace czsync {
+
+const char* to_string(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel lv, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(lv), msg.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel lv, const std::string& msg) {
+  if (enabled(lv)) sink_(lv, msg);
+}
+
+}  // namespace czsync

@@ -1,0 +1,68 @@
+// Minimal leveled logger.
+//
+// Simulations are deterministic, so logs double as debugging traces; the
+// default level is Warn to keep test and bench output clean. The logger is
+// deliberately simple (single-threaded simulator, no locking needed).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace czsync {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global logger; a single sink, defaulting to stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel lv) { level_ = lv; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel lv) const { return lv >= level_; }
+
+  /// Replaces the output sink (e.g. to capture logs in tests).
+  void set_sink(Sink sink);
+  void write(LogLevel lv, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+[[nodiscard]] const char* to_string(LogLevel lv);
+
+namespace log_detail {
+/// Builds a message via operator<< and forwards it to the logger on
+/// destruction. Instantiated only when the level is enabled.
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel lv) : lv_(lv) {}
+  ~LineBuilder() { Logger::instance().write(lv_, os_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lv_;
+  std::ostringstream os_;
+};
+}  // namespace log_detail
+
+}  // namespace czsync
+
+#define CZ_LOG(lv)                                  \
+  if (!::czsync::Logger::instance().enabled(lv)) {} \
+  else ::czsync::log_detail::LineBuilder(lv)
+
+#define CZ_TRACE CZ_LOG(::czsync::LogLevel::Trace)
+#define CZ_DEBUG CZ_LOG(::czsync::LogLevel::Debug)
+#define CZ_INFO CZ_LOG(::czsync::LogLevel::Info)
+#define CZ_WARN CZ_LOG(::czsync::LogLevel::Warn)
+#define CZ_ERROR CZ_LOG(::czsync::LogLevel::Error)

@@ -1,0 +1,116 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace czsync {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Series::add(double x) {
+  xs_.push_back(x);
+  sorted_ = false;
+}
+
+void Series::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Series::min() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Series::max() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Series::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Series::quantile(double q) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  double t = span > 0 ? (x - lo_) / span : 0.0;
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os.setf(std::ios::scientific);
+    os.precision(2);
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    const auto bar = counts_[i] * width / peak;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace czsync

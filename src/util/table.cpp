@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace czsync {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : header_(std::move(columns)) {}
+
+void TextTable::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = header_.empty() ? 0 : 2 * (header_.size() - 1);
+  for (auto w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace czsync

@@ -1,0 +1,30 @@
+// ASCII table rendering for bench output (the "tables" of EXPERIMENTS.md).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace czsync {
+
+/// Collects rows and renders an aligned ASCII table with a rule under the
+/// header. Cells are strings; numeric helpers format via fmt_num.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> columns);
+
+  void row(std::initializer_list<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table; every column is padded to its widest cell.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace czsync

@@ -1,0 +1,119 @@
+// Strong time types used throughout the library.
+//
+// The paper's model has three distinct notions of "time":
+//   * real time tau            -> czsync::RealTime
+//   * a processor's clock C(.) -> czsync::ClockTime (hardware or logical)
+//   * differences of either    -> czsync::Dur
+//
+// All are thin wrappers over double seconds. Keeping them distinct prevents
+// the classic bug family of mixing a local clock reading with a real-time
+// instant (which the protocol, by construction, never has access to).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace czsync {
+
+/// A span of time in seconds. Used for delays, drift-scaled intervals,
+/// clock offsets/biases and error bounds. May be negative (offsets) or
+/// +infinity (estimation timeout, Def. 4).
+class Dur {
+ public:
+  constexpr Dur() = default;
+  constexpr explicit Dur(double seconds) : s_(seconds) {}
+
+  /// Value in seconds.
+  [[nodiscard]] constexpr double sec() const { return s_; }
+  /// Value in milliseconds (convenience for reporting).
+  [[nodiscard]] constexpr double ms() const { return s_ * 1e3; }
+
+  [[nodiscard]] static constexpr Dur seconds(double s) { return Dur(s); }
+  [[nodiscard]] static constexpr Dur millis(double ms) { return Dur(ms * 1e-3); }
+  [[nodiscard]] static constexpr Dur micros(double us) { return Dur(us * 1e-6); }
+  [[nodiscard]] static constexpr Dur minutes(double m) { return Dur(m * 60.0); }
+  [[nodiscard]] static constexpr Dur hours(double h) { return Dur(h * 3600.0); }
+  [[nodiscard]] static constexpr Dur zero() { return Dur(0.0); }
+  [[nodiscard]] static constexpr Dur infinity() {
+    return Dur(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(s_); }
+  [[nodiscard]] constexpr Dur abs() const { return Dur(s_ < 0 ? -s_ : s_); }
+
+  constexpr auto operator<=>(const Dur&) const = default;
+
+  constexpr Dur operator+(Dur o) const { return Dur(s_ + o.s_); }
+  constexpr Dur operator-(Dur o) const { return Dur(s_ - o.s_); }
+  constexpr Dur operator-() const { return Dur(-s_); }
+  constexpr Dur operator*(double k) const { return Dur(s_ * k); }
+  constexpr Dur operator/(double k) const { return Dur(s_ / k); }
+  /// Ratio of two durations (dimensionless).
+  constexpr double operator/(Dur o) const { return s_ / o.s_; }
+  constexpr Dur& operator+=(Dur o) { s_ += o.s_; return *this; }
+  constexpr Dur& operator-=(Dur o) { s_ -= o.s_; return *this; }
+
+ private:
+  double s_ = 0.0;
+};
+
+constexpr Dur operator*(double k, Dur d) { return d * k; }
+
+/// An instant on the simulator's real-time axis (the tau of the paper).
+class RealTime {
+ public:
+  constexpr RealTime() = default;
+  constexpr explicit RealTime(double seconds) : s_(seconds) {}
+
+  [[nodiscard]] constexpr double sec() const { return s_; }
+  [[nodiscard]] static constexpr RealTime zero() { return RealTime(0.0); }
+  [[nodiscard]] static constexpr RealTime infinity() {
+    return RealTime(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr auto operator<=>(const RealTime&) const = default;
+
+  constexpr RealTime operator+(Dur d) const { return RealTime(s_ + d.sec()); }
+  constexpr RealTime operator-(Dur d) const { return RealTime(s_ - d.sec()); }
+  constexpr Dur operator-(RealTime o) const { return Dur(s_ - o.s_); }
+  constexpr RealTime& operator+=(Dur d) { s_ += d.sec(); return *this; }
+
+ private:
+  double s_ = 0.0;
+};
+
+/// A reading of some processor's clock (hardware H_p or logical C_p).
+/// ClockTime minus RealTime (bias, Eq. 4) is expressed by taking .sec()
+/// explicitly in the analysis layer; the protocol layer never does that.
+class ClockTime {
+ public:
+  constexpr ClockTime() = default;
+  constexpr explicit ClockTime(double seconds) : s_(seconds) {}
+
+  [[nodiscard]] constexpr double sec() const { return s_; }
+  [[nodiscard]] static constexpr ClockTime zero() { return ClockTime(0.0); }
+
+  constexpr auto operator<=>(const ClockTime&) const = default;
+
+  constexpr ClockTime operator+(Dur d) const { return ClockTime(s_ + d.sec()); }
+  constexpr ClockTime operator-(Dur d) const { return ClockTime(s_ - d.sec()); }
+  constexpr Dur operator-(ClockTime o) const { return Dur(s_ - o.s_); }
+  constexpr ClockTime& operator+=(Dur d) { s_ += d.sec(); return *this; }
+
+ private:
+  double s_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Dur d) {
+  return os << d.sec() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, RealTime t) {
+  return os << "tau=" << t.sec();
+}
+inline std::ostream& operator<<(std::ostream& os, ClockTime t) {
+  return os << "C=" << t.sec();
+}
+
+}  // namespace czsync

@@ -1,0 +1,307 @@
+// Unit tests for the adversary substrate: schedules (Definition 2),
+// generators, the engine lifecycle and the Byzantine strategies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "adversary/schedule.h"
+#include "adversary/strategies.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::adversary {
+namespace {
+
+RealTime rt(double s) { return RealTime(s); }
+
+// ---------- schedule semantics ----------
+
+TEST(ScheduleTest, EmptySchedule) {
+  Schedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.controlled_at(0, rt(1.0)));
+  EXPECT_EQ(s.max_overlap(Dur::seconds(10)), 0);
+  EXPECT_TRUE(s.is_f_limited(0, Dur::seconds(10)));
+}
+
+TEST(ScheduleTest, ControlledAtHalfOpenSemantics) {
+  const auto s = Schedule::single(2, rt(10.0), rt(20.0));
+  EXPECT_FALSE(s.controlled_at(2, rt(9.999)));
+  EXPECT_TRUE(s.controlled_at(2, rt(10.0)));
+  EXPECT_TRUE(s.controlled_at(2, rt(19.999)));
+  EXPECT_FALSE(s.controlled_at(2, rt(20.0)));  // end is exclusive
+  EXPECT_FALSE(s.controlled_at(1, rt(15.0)));
+}
+
+TEST(ScheduleTest, ControlledWithin) {
+  const auto s = Schedule::single(0, rt(10.0), rt(20.0));
+  EXPECT_TRUE(s.controlled_within(0, rt(5.0), rt(15.0)));
+  EXPECT_TRUE(s.controlled_within(0, rt(15.0), rt(25.0)));
+  EXPECT_TRUE(s.controlled_within(0, rt(0.0), rt(100.0)));
+  EXPECT_FALSE(s.controlled_within(0, rt(0.0), rt(9.0)));
+  EXPECT_FALSE(s.controlled_within(0, rt(20.0), rt(30.0)));  // end exclusive
+  EXPECT_FALSE(s.controlled_within(1, rt(0.0), rt(100.0)));
+}
+
+TEST(ScheduleTest, MaxOverlapSimultaneous) {
+  Schedule s({{0, rt(0.0), rt(10.0)}, {1, rt(5.0), rt(15.0)}});
+  EXPECT_EQ(s.max_overlap(Dur::seconds(1)), 2);
+  EXPECT_FALSE(s.is_f_limited(1, Dur::seconds(1)));
+  EXPECT_TRUE(s.is_f_limited(2, Dur::seconds(1)));
+}
+
+TEST(ScheduleTest, MaxOverlapWindowStraddle) {
+  // Two sequential intervals, 5s apart: a 10s window catches both, a 1s
+  // window catches only one at a time.
+  Schedule s({{0, rt(0.0), rt(10.0)}, {1, rt(15.0), rt(25.0)}});
+  EXPECT_EQ(s.max_overlap(Dur::seconds(1)), 1);
+  EXPECT_EQ(s.max_overlap(Dur::seconds(10)), 2);
+  EXPECT_TRUE(s.is_f_limited(1, Dur::seconds(1)));
+  EXPECT_FALSE(s.is_f_limited(1, Dur::seconds(10)));
+}
+
+TEST(ScheduleTest, SameProcessorTwiceCountsOnce) {
+  Schedule s({{3, rt(0.0), rt(10.0)}, {3, rt(12.0), rt(20.0)}});
+  EXPECT_EQ(s.max_overlap(Dur::seconds(100)), 1);
+  EXPECT_TRUE(s.is_f_limited(1, Dur::seconds(100)));
+}
+
+TEST(ScheduleTest, Definition2GapRule) {
+  // Def. 2 consequence: leaving p and breaking into q less than Delta
+  // later puts both in one Delta-window.
+  Schedule tight({{0, rt(0.0), rt(10.0)}, {1, rt(10.0 + 5.0), rt(30.0)}});
+  EXPECT_FALSE(tight.is_f_limited(1, Dur::seconds(10)));  // gap 5 < Delta 10
+  Schedule ok({{0, rt(0.0), rt(10.0)}, {1, rt(10.0 + 10.5), rt(30.0)}});
+  EXPECT_TRUE(ok.is_f_limited(1, Dur::seconds(10)));  // gap 10.5 > Delta
+}
+
+TEST(ScheduleTest, ByEndTimeSorted) {
+  Schedule s({{0, rt(0.0), rt(50.0)}, {1, rt(10.0), rt(20.0)}});
+  const auto by_end = s.by_end_time();
+  ASSERT_EQ(by_end.size(), 2u);
+  EXPECT_EQ(by_end[0].proc, 1);
+  EXPECT_EQ(by_end[1].proc, 0);
+}
+
+// ---------- generators ----------
+
+TEST(ScheduleGenTest, RoundRobinIsFLimited) {
+  const Dur delta = Dur::minutes(30);
+  const auto s = Schedule::round_robin_sweep(7, 2, delta, Dur::minutes(10),
+                                             Dur::minutes(1), rt(60.0),
+                                             rt(24 * 3600.0));
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.is_f_limited(2, delta));
+  EXPECT_FALSE(s.is_f_limited(1, delta));  // really uses its budget
+}
+
+TEST(ScheduleGenTest, RoundRobinCoversAllProcessors) {
+  const auto s = Schedule::round_robin_sweep(5, 1, Dur::seconds(100),
+                                             Dur::seconds(10), Dur::zero(),
+                                             rt(0.0), rt(2000.0));
+  std::vector<bool> hit(5, false);
+  for (const auto& iv : s.intervals()) hit[static_cast<std::size_t>(iv.proc)] = true;
+  for (int p = 0; p < 5; ++p) EXPECT_TRUE(hit[static_cast<std::size_t>(p)]) << p;
+}
+
+TEST(ScheduleGenTest, RandomMobileIsFLimited) {
+  const Dur delta = Dur::minutes(20);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto s =
+        Schedule::random_mobile(10, 3, delta, Dur::minutes(2), Dur::minutes(15),
+                                rt(12 * 3600.0), Rng(seed));
+    EXPECT_TRUE(s.is_f_limited(3, delta)) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleGenTest, RandomMobileRespectsHorizon) {
+  const auto s = Schedule::random_mobile(5, 2, Dur::minutes(10), Dur::minutes(1),
+                                         Dur::minutes(5), rt(3600.0), Rng(3));
+  for (const auto& iv : s.intervals()) EXPECT_LT(iv.start, rt(3600.0));
+}
+
+// ---------- engine + strategies ----------
+
+/// Minimal ControlledProcess double for engine tests.
+class FakeProc final : public ControlledProcess {
+ public:
+  FakeProc(net::ProcId id, sim::Simulator& sim,
+           std::shared_ptr<const clk::DriftModel> model)
+      : id_(id), hw_(sim, std::move(model), Rng(id + 100)), clock_(hw_) {}
+
+  net::ProcId id() const override { return id_; }
+  clk::LogicalClock& clock() override { return clock_; }
+  void send(net::ProcId to, net::Body body) override {
+    sent.push_back({id_, to, std::move(body)});
+  }
+  const std::vector<net::ProcId>& peers() const override { return peers_; }
+  void suspend_protocol() override { ++suspends; }
+  void resume_protocol() override { ++resumes; }
+
+  std::vector<net::Message> sent;
+  int suspends = 0;
+  int resumes = 0;
+
+ private:
+  net::ProcId id_;
+  clk::HardwareClock hw_;
+  clk::LogicalClock clock_;
+  std::vector<net::ProcId> peers_{};
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void build(Schedule sched, std::shared_ptr<Strategy> strat) {
+    for (int p = 0; p < 3; ++p)
+      procs.push_back(std::make_unique<FakeProc>(p, sim, drift));
+    WorldSpy spy;
+    spy.n = 3;
+    spy.f = 1;
+    spy.way_off = Dur::seconds(1);
+    spy.read_clock = [this](net::ProcId q) {
+      return procs[static_cast<std::size_t>(q)]->clock().read();
+    };
+    adv = std::make_unique<Adversary>(sim, std::move(sched), std::move(strat),
+                                      std::move(spy), Rng(5));
+    std::vector<ControlledProcess*> raw;
+    for (auto& p : procs) raw.push_back(p.get());
+    adv->attach(std::move(raw));
+  }
+
+  sim::Simulator sim;
+  std::shared_ptr<const clk::DriftModel> drift = clk::make_pinned_drift(1e-4, 1.0);
+  std::vector<std::unique_ptr<FakeProc>> procs;
+  std::unique_ptr<Adversary> adv;
+};
+
+TEST_F(EngineTest, LifecycleSuspendResume) {
+  build(Schedule::single(1, rt(10.0), rt(20.0)), std::make_shared<SilentStrategy>());
+  EXPECT_FALSE(adv->is_controlled(1));
+  sim.run_until(rt(15.0));
+  EXPECT_TRUE(adv->is_controlled(1));
+  EXPECT_FALSE(adv->is_controlled(0));
+  EXPECT_EQ(procs[1]->suspends, 1);
+  EXPECT_EQ(procs[1]->resumes, 0);
+  sim.run_until(rt(25.0));
+  EXPECT_FALSE(adv->is_controlled(1));
+  EXPECT_EQ(procs[1]->resumes, 1);
+  EXPECT_EQ(adv->break_ins(), 1u);
+}
+
+TEST_F(EngineTest, OverlappingIntervalsSingleSuspend) {
+  build(Schedule({{1, rt(10.0), rt(30.0)}, {1, rt(20.0), rt(40.0)}}),
+        std::make_shared<SilentStrategy>());
+  sim.run_until(rt(35.0));
+  EXPECT_TRUE(adv->is_controlled(1));   // second interval still active
+  EXPECT_EQ(procs[1]->suspends, 1);     // only one logical break-in
+  sim.run_until(rt(45.0));
+  EXPECT_FALSE(adv->is_controlled(1));
+  EXPECT_EQ(procs[1]->resumes, 1);
+}
+
+TEST_F(EngineTest, SilentStrategyDropsMessages) {
+  build(Schedule::single(0, rt(0.0), rt(100.0)), std::make_shared<SilentStrategy>());
+  sim.run_until(rt(1.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{2, 0, net::PingReq{9}});
+  EXPECT_TRUE(procs[0]->sent.empty());
+}
+
+TEST_F(EngineTest, ClockSmashSetsOffsetAndRepliesHonestly) {
+  build(Schedule::single(0, rt(5.0), rt(50.0)),
+        std::make_shared<ClockSmashStrategy>(Dur::seconds(30)));
+  sim.run_until(rt(6.0));
+  // Clock was +30s at break-in time 5.0.
+  EXPECT_NEAR(procs[0]->clock().read().sec(), 6.0 + 30.0, 1e-6);
+  adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{7}});
+  ASSERT_EQ(procs[0]->sent.size(), 1u);
+  const auto& resp = std::get<net::PingResp>(procs[0]->sent[0].body);
+  EXPECT_EQ(resp.nonce, 7u);
+  EXPECT_NEAR(resp.responder_clock.sec(), 36.0, 1e-6);
+  EXPECT_EQ(procs[0]->sent[0].to, 1);
+}
+
+TEST_F(EngineTest, ConstantLieOffsetsReplies) {
+  build(Schedule::single(0, rt(0.0), rt(50.0)),
+        std::make_shared<ConstantLieStrategy>(Dur::seconds(-5)));
+  sim.run_until(rt(10.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{2, 0, net::PingReq{1}});
+  const auto& resp = std::get<net::PingResp>(procs[0]->sent.at(0).body);
+  EXPECT_NEAR(resp.responder_clock.sec(), 10.0 - 5.0, 1e-6);
+}
+
+TEST_F(EngineTest, TwoFacedLiesByParity) {
+  build(Schedule::single(0, rt(0.0), rt(50.0)),
+        std::make_shared<TwoFacedStrategy>(Dur::seconds(2)));
+  sim.run_until(rt(10.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{2, 0, net::PingReq{1}});
+  adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{2}});
+  const auto& to_even = std::get<net::PingResp>(procs[0]->sent.at(0).body);
+  const auto& to_odd = std::get<net::PingResp>(procs[0]->sent.at(1).body);
+  EXPECT_NEAR(to_even.responder_clock.sec(), 12.0, 1e-6);
+  EXPECT_NEAR(to_odd.responder_clock.sec(), 8.0, 1e-6);
+}
+
+TEST_F(EngineTest, MaxPullReportsAboveHighestCorrectClock) {
+  build(Schedule::single(0, rt(0.0), rt(50.0)),
+        std::make_shared<MaxPullStrategy>(0.5));
+  procs[1]->clock().adjust(Dur::seconds(3));  // highest correct clock
+  sim.run_until(rt(10.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
+  const auto& resp = std::get<net::PingResp>(procs[0]->sent.at(0).body);
+  // target = max correct clock (13.0) + 0.5 * way_off (1s).
+  EXPECT_NEAR(resp.responder_clock.sec(), 13.5, 1e-6);
+}
+
+TEST_F(EngineTest, RandomLieWithinSpread) {
+  build(Schedule::single(0, rt(0.0), rt(50.0)),
+        std::make_shared<RandomLieStrategy>(Dur::seconds(4)));
+  sim.run_until(rt(10.0));
+  for (int i = 0; i < 50; ++i) {
+    adv->deliver_to_strategy(*procs[0],
+                             net::Message{1, 0, net::PingReq{static_cast<std::uint64_t>(i)}});
+  }
+  for (const auto& m : procs[0]->sent) {
+    const auto& resp = std::get<net::PingResp>(m.body);
+    EXPECT_GE(resp.responder_clock.sec(), 6.0 - 1e-9);
+    EXPECT_LE(resp.responder_clock.sec(), 14.0 + 1e-9);
+  }
+}
+
+TEST_F(EngineTest, DelayedReplyHeldBack) {
+  build(Schedule::single(0, rt(0.0), rt(50.0)),
+        std::make_shared<DelayedReplyStrategy>(Dur::seconds(3), Dur::seconds(1)));
+  sim.run_until(rt(10.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
+  EXPECT_TRUE(procs[0]->sent.empty());  // not yet
+  sim.run_until(rt(13.5));
+  ASSERT_EQ(procs[0]->sent.size(), 1u);
+  const auto& resp = std::get<net::PingResp>(procs[0]->sent[0].body);
+  EXPECT_NEAR(resp.responder_clock.sec(), 13.0 + 1.0, 1e-6);
+}
+
+TEST_F(EngineTest, DelayedReplySuppressedAfterLeave) {
+  build(Schedule::single(0, rt(0.0), rt(11.0)),
+        std::make_shared<DelayedReplyStrategy>(Dur::seconds(3), Dur::seconds(1)));
+  sim.run_until(rt(10.0));
+  adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
+  sim.run_until(rt(20.0));  // reply would fire at 13, after leave at 11
+  EXPECT_TRUE(procs[0]->sent.empty());
+}
+
+TEST(StrategyFactoryTest, AllNamesConstruct) {
+  for (const char* name :
+       {"silent", "clock-smash", "clock-smash-random", "constant-lie",
+        "two-faced", "max-pull", "random-lie", "delayed-reply"}) {
+    EXPECT_NE(make_strategy(name, Dur::seconds(1)), nullptr) << name;
+  }
+}
+
+TEST(StrategyFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_strategy("nope", Dur::seconds(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace czsync::adversary

@@ -1,0 +1,158 @@
+// Tests for the §3.1 cached-estimation variant — including the
+// Definition-4 violation it exists to demonstrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/sync_protocol.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::core {
+namespace {
+
+struct CacheNode {
+  CacheNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
+            const SyncConfig& cfg, Dur initial_bias)
+      : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
+           ClockTime(sim.now().sec()) + initial_bias),
+        clock(hw),
+        sync(sim, net, clock, id, cfg, Rng(200 + id)) {
+    net.register_handler(id, [this](const net::Message& m) {
+      sync.handle_message(m);
+    });
+  }
+  clk::HardwareClock hw;
+  clk::LogicalClock clock;
+  SyncProcess sync;
+};
+
+class CachedEstimationTest : public ::testing::Test {
+ protected:
+  void build(const std::vector<double>& biases, Dur refresh, Dur max_age) {
+    const int n = static_cast<int>(biases.size());
+    net = std::make_unique<net::Network>(
+        sim, net::Topology::full_mesh(n),
+        net::make_fixed_delay(Dur::millis(10)), Rng(7));
+    cfg.params.sync_int = Dur::seconds(60);
+    cfg.params.max_wait = Dur::millis(20);
+    cfg.params.way_off = Dur::seconds(1);
+    cfg.f = 0;
+    cfg.convergence = make_convergence("bhhn");
+    cfg.random_phase = false;
+    cfg.cached_estimation = true;
+    cfg.cache_refresh = refresh;
+    cfg.max_cache_age = max_age;
+    for (int p = 0; p < n; ++p) {
+      nodes.push_back(std::make_unique<CacheNode>(
+          sim, *net, p, cfg, Dur::seconds(biases[static_cast<std::size_t>(p)])));
+    }
+    for (auto& nd : nodes) nd->sync.start();
+  }
+
+  sim::Simulator sim;
+  SyncConfig cfg;
+  std::unique_ptr<net::Network> net;
+  std::vector<std::unique_ptr<CacheNode>> nodes;
+};
+
+TEST_F(CachedEstimationTest, FirstRoundSeesEmptyCache) {
+  build({0.0, 0.3}, Dur::seconds(20), Dur::minutes(2));
+  // Sync alarm and the first cache pings both fire at t=0; the cache has
+  // no replies yet, so round 1 is all timeouts and adjusts nothing.
+  sim.run_until(RealTime(0.5));
+  EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
+  EXPECT_GE(nodes[0]->sync.stats().timeouts, 1u);
+  EXPECT_DOUBLE_EQ(nodes[0]->clock.adjustment().sec(), 0.0);
+}
+
+TEST_F(CachedEstimationTest, SecondRoundUsesCache) {
+  build({0.0, 0.3}, Dur::seconds(20), Dur::minutes(2));
+  sim.run_until(RealTime(65.0));  // round 2 at t=60, cache filled at ~0.01
+  EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 2u);
+  // BHHN with estimates {self 0, +0.3}: adjust by ~0.15.
+  EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), 0.15, 0.02);
+}
+
+TEST_F(CachedEstimationTest, StaleCacheNeverConverges) {
+  // Refresh far beyond the horizon: every sync re-applies the ORIGINAL
+  // +-0.3 view. Fresh estimation converges geometrically; the stale
+  // cache oscillates and never settles — the Definition-4 violation.
+  build({-0.15, 0.15}, Dur::hours(10), Dur::hours(20));
+  sim.run_until(RealTime(20 * 60.0));
+  const double offset =
+      nodes[1]->clock.read().sec() - nodes[0]->clock.read().sec();
+  EXPECT_GT(std::abs(nodes[0]->clock.adjustment().sec()) +
+                std::abs(nodes[1]->clock.adjustment().sec()),
+            0.25);                    // they did keep correcting
+  EXPECT_GT(std::abs(offset), 0.05);  // ... yet never converged
+}
+
+TEST_F(CachedEstimationTest, FreshCacheTracksConvergence) {
+  // Refresh faster than SyncInt: close to the fresh protocol.
+  build({-0.15, 0.15}, Dur::seconds(10), Dur::seconds(30));
+  sim.run_until(RealTime(20 * 60.0));
+  const double offset =
+      nodes[1]->clock.read().sec() - nodes[0]->clock.read().sec();
+  EXPECT_LT(std::abs(offset), 0.05);
+}
+
+TEST_F(CachedEstimationTest, EntriesAgeOut) {
+  build({0.0, 0.3}, Dur::hours(10), Dur::seconds(90));
+  // Cache filled at ~0; by t=120 the entries exceed max_cache_age, so
+  // round 3 (t=120) is timeouts again.
+  sim.run_until(RealTime(125.0));
+  EXPECT_GE(nodes[0]->sync.stats().timeouts, 2u);
+}
+
+TEST(CachedScenarioTest, RecoveryOscillatesWhenRefreshExceedsSyncInt) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(50);
+  s.horizon = Dur::hours(3);
+  s.warmup = Dur::zero();
+  s.seed = 19;
+  s.schedule = adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::minutes(10);
+
+  auto fresh = s;
+  const auto rf = analysis::run_scenario(fresh);
+  EXPECT_EQ(rf.way_off_rounds, 1u);  // one clean jump
+
+  s.cached_estimation = true;
+  s.cache_refresh = Dur::seconds(300);
+  const auto rc = analysis::run_scenario(s);
+  EXPECT_GT(rc.way_off_rounds, 2u);  // the stale-cache bounce
+}
+
+TEST(CachedScenarioTest, SteadyStateStillBoundedWithFastRefresh) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.cached_estimation = true;
+  s.cache_refresh = Dur::seconds(15);
+  s.horizon = Dur::hours(4);
+  s.warmup = Dur::minutes(30);
+  s.seed = 20;
+  const auto r = analysis::run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+}
+
+}  // namespace
+}  // namespace czsync::core

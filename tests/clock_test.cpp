@@ -1,0 +1,305 @@
+// Unit tests for the clock substrate: drift models, hardware clocks
+// (Eq. 2 invariant, alarms, rate changes), logical clocks (Def. 1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace czsync::clk {
+namespace {
+
+constexpr double kRho = 1e-4;
+
+// ---------- drift models ----------
+
+TEST(DriftModelTest, RateBand) {
+  ConstantDrift m(kRho);
+  EXPECT_DOUBLE_EQ(m.rho(), kRho);
+  EXPECT_DOUBLE_EQ(m.min_rate(), 1.0 / (1.0 + kRho));
+  EXPECT_DOUBLE_EQ(m.max_rate(), 1.0 + kRho);
+}
+
+TEST(ConstantDriftTest, InitialRateWithinBand) {
+  ConstantDrift m(kRho);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double r = m.initial_rate(rng);
+    EXPECT_GE(r, m.min_rate());
+    EXPECT_LE(r, m.max_rate());
+  }
+}
+
+TEST(ConstantDriftTest, NeverChanges) {
+  ConstantDrift m(kRho);
+  Rng rng(1);
+  EXPECT_FALSE(m.next_change_after(rng).is_finite());
+  EXPECT_DOUBLE_EQ(m.next_rate(1.00005, rng), 1.00005);
+}
+
+TEST(ConstantDriftTest, PinnedRate) {
+  ConstantDrift m(kRho, 1.0 + kRho);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.initial_rate(rng), 1.0 + kRho);
+}
+
+TEST(WanderDriftTest, StepsStayWithinBand) {
+  WanderDrift m(kRho, Dur::minutes(1));
+  Rng rng(3);
+  double r = m.initial_rate(rng);
+  for (int i = 0; i < 5000; ++i) {
+    r = m.next_rate(r, rng);
+    EXPECT_GE(r, m.min_rate());
+    EXPECT_LE(r, m.max_rate());
+  }
+}
+
+TEST(WanderDriftTest, ChangeIntervalsPositiveFinite) {
+  WanderDrift m(kRho, Dur::minutes(1));
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Dur d = m.next_change_after(rng);
+    EXPECT_TRUE(d.is_finite());
+    EXPECT_GT(d, Dur::zero());
+  }
+}
+
+TEST(WanderDriftTest, RatesActuallyMove) {
+  WanderDrift m(kRho, Dur::minutes(1));
+  Rng rng(5);
+  const double r0 = m.initial_rate(rng);
+  double r = r0;
+  bool moved = false;
+  for (int i = 0; i < 10 && !moved; ++i) {
+    r = m.next_rate(r, rng);
+    moved = (r != r0);
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SinusoidalDriftTest, RatesTraceTheBandAndStayLegal) {
+  SinusoidalDrift m(kRho, Dur::hours(1), 48);
+  Rng rng(6);
+  double r = m.initial_rate(rng);
+  double lo = r, hi = r;
+  for (int i = 0; i < 96; ++i) {  // two full cycles
+    r = m.next_rate(r, rng);
+    EXPECT_GE(r, m.min_rate());
+    EXPECT_LE(r, m.max_rate());
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  // Full-amplitude wave: touches (close to) both band edges.
+  EXPECT_LT(lo, m.min_rate() + 0.05 * (m.max_rate() - m.min_rate()));
+  EXPECT_GT(hi, m.max_rate() - 0.05 * (m.max_rate() - m.min_rate()));
+}
+
+TEST(SinusoidalDriftTest, StepCadenceIsCycleFraction) {
+  SinusoidalDrift m(kRho, Dur::hours(1), 48);
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(m.next_change_after(rng).sec(), 3600.0 / 48);
+}
+
+TEST(SinusoidalDriftTest, RandomPhasesDecorrelateClocks) {
+  SinusoidalDrift m(kRho, Dur::hours(1));
+  Rng a(1), b(2);
+  // Separate instances (one per clock) with different rngs start at
+  // different phases almost surely.
+  SinusoidalDrift m2(kRho, Dur::hours(1));
+  EXPECT_NE(m.initial_rate(a), m2.initial_rate(b));
+}
+
+TEST(SinusoidalDriftTest, HardwareClockHonorsEq2) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_sinusoidal_drift(1e-3, Dur::minutes(10)), Rng(8));
+  double prev_h = hw.read().sec(), prev_t = 0.0;
+  for (int i = 1; i <= 120; ++i) {
+    sim.run_until(RealTime(i * 30.0));
+    const double h = hw.read().sec(), t = sim.now().sec();
+    EXPECT_GE(h - prev_h, (t - prev_t) / (1.0 + 1e-3) - 1e-9);
+    EXPECT_LE(h - prev_h, (t - prev_t) * (1.0 + 1e-3) + 1e-9);
+    prev_h = h;
+    prev_t = t;
+  }
+  EXPECT_GT(hw.rate_changes(), 50u);
+}
+
+TEST(DriftFactoriesTest, Construct) {
+  EXPECT_NE(make_constant_drift(kRho), nullptr);
+  EXPECT_NE(make_pinned_drift(kRho, 1.0), nullptr);
+  EXPECT_NE(make_wander_drift(kRho, Dur::minutes(5)), nullptr);
+  EXPECT_NE(make_sinusoidal_drift(kRho, Dur::hours(1)), nullptr);
+}
+
+// ---------- hardware clock ----------
+
+TEST(HardwareClockTest, InitialValue) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(42.0));
+  EXPECT_DOUBLE_EQ(hw.read().sec(), 42.0);
+}
+
+TEST(HardwareClockTest, AdvancesAtPinnedRate) {
+  sim::Simulator sim;
+  const double rate = 1.0 + kRho;
+  HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
+  sim.run_until(RealTime(1000.0));
+  EXPECT_NEAR(hw.read().sec(), 1000.0 * rate, 1e-9);
+  EXPECT_DOUBLE_EQ(hw.rate(), rate);
+}
+
+TEST(HardwareClockTest, Eq2InvariantUnderWander) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_wander_drift(kRho, Dur::seconds(10)), Rng(7));
+  double prev_h = hw.read().sec();
+  double prev_t = 0.0;
+  for (int step = 1; step <= 500; ++step) {
+    sim.run_until(RealTime(step * 5.0));
+    const double h = hw.read().sec();
+    const double t = sim.now().sec();
+    const double dh = h - prev_h;
+    const double dt = t - prev_t;
+    // Eq. 2 with a drop of slack for float rounding.
+    EXPECT_GE(dh, dt / (1.0 + kRho) - 1e-9);
+    EXPECT_LE(dh, dt * (1.0 + kRho) + 1e-9);
+    EXPECT_GT(dh, 0.0);  // monotone
+    prev_h = h;
+    prev_t = t;
+  }
+  EXPECT_GT(hw.rate_changes(), 10u);
+}
+
+TEST(HardwareClockTest, AlarmFiresAtHardwareTarget) {
+  sim::Simulator sim;
+  const double rate = 1.0 / (1.0 + kRho);  // slow clock
+  HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
+  double fired_at = -1.0;
+  hw.set_alarm_after(Dur::seconds(100), [&] { fired_at = sim.now().sec(); });
+  sim.run_until(RealTime(1000.0));
+  // 100 hardware-seconds take 100/rate real seconds.
+  EXPECT_NEAR(fired_at, 100.0 / rate, 1e-6);
+}
+
+TEST(HardwareClockTest, AlarmCancel) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
+  bool fired = false;
+  const AlarmId id = hw.set_alarm_after(Dur::seconds(5), [&] { fired = true; });
+  EXPECT_EQ(hw.pending_alarms(), 1u);
+  EXPECT_TRUE(hw.cancel_alarm(id));
+  EXPECT_EQ(hw.pending_alarms(), 0u);
+  sim.run_until(RealTime(10.0));
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(hw.cancel_alarm(id));
+}
+
+TEST(HardwareClockTest, MultipleAlarmsOrdered) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
+  std::vector<int> order;
+  hw.set_alarm_after(Dur::seconds(3), [&] { order.push_back(3); });
+  hw.set_alarm_after(Dur::seconds(1), [&] { order.push_back(1); });
+  hw.set_alarm_after(Dur::seconds(2), [&] { order.push_back(2); });
+  sim.run_until(RealTime(10.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(HardwareClockTest, AlarmSurvivesRateChanges) {
+  // A wander clock re-targets pending alarms on every rate change; the
+  // alarm must fire when H crosses the target, regardless.
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_wander_drift(kRho, Dur::seconds(2)), Rng(11));
+  const ClockTime target = hw.read() + Dur::seconds(100);
+  double fired_h = -1.0;
+  hw.set_alarm_after(Dur::seconds(100), [&] { fired_h = hw.read().sec(); });
+  sim.run_until(RealTime(200.0));
+  EXPECT_NEAR(fired_h, target.sec(), 1e-6);
+  EXPECT_GT(hw.rate_changes(), 5u);
+}
+
+TEST(HardwareClockTest, ZeroDelayAlarmFiresImmediately) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
+  bool fired = false;
+  hw.set_alarm_after(Dur::zero(), [&] { fired = true; });
+  sim.run_until(RealTime(0.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(HardwareClockTest, AlarmSetInsideAlarm) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
+  std::vector<double> fires;
+  std::function<void()> rearm = [&] {
+    fires.push_back(sim.now().sec());
+    if (fires.size() < 3) hw.set_alarm_after(Dur::seconds(10), rearm);
+  };
+  hw.set_alarm_after(Dur::seconds(10), rearm);
+  sim.run_until(RealTime(100.0));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_NEAR(fires[0], 10.0, 1e-9);
+  EXPECT_NEAR(fires[1], 20.0, 1e-9);
+  EXPECT_NEAR(fires[2], 30.0, 1e-9);
+}
+
+// ---------- logical clock ----------
+
+TEST(LogicalClockTest, ReadIsHardwarePlusAdjustment) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(100.0));
+  LogicalClock lc(hw, Dur::seconds(5));
+  EXPECT_DOUBLE_EQ(lc.read().sec(), 105.0);
+  sim.schedule_after(Dur::seconds(10), [] {});
+  sim.run_until(RealTime(10.0));
+  EXPECT_DOUBLE_EQ(lc.read().sec(), 115.0);
+}
+
+TEST(LogicalClockTest, AdjustAccumulates) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
+  LogicalClock lc(hw);
+  lc.adjust(Dur::seconds(2));
+  lc.adjust(Dur::seconds(-0.5));
+  EXPECT_DOUBLE_EQ(lc.adjustment().sec(), 1.5);
+  EXPECT_DOUBLE_EQ(lc.read().sec(), 1.5);
+  EXPECT_EQ(lc.adjust_count(), 2u);
+  EXPECT_DOUBLE_EQ(lc.last_adjustment().sec(), -0.5);
+}
+
+TEST(LogicalClockTest, AdversarySetClock) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(50.0));
+  LogicalClock lc(hw);
+  lc.adversary_set_clock(ClockTime(1000.0));
+  EXPECT_DOUBLE_EQ(lc.read().sec(), 1000.0);
+  EXPECT_EQ(lc.smash_count(), 1u);
+  // Hardware clock unaffected — only adj moved.
+  EXPECT_DOUBLE_EQ(hw.read().sec(), 50.0);
+}
+
+TEST(LogicalClockTest, AdversarySetAdjustment) {
+  sim::Simulator sim;
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(7.0));
+  LogicalClock lc(hw);
+  lc.adversary_set_adjustment(Dur::seconds(-3));
+  EXPECT_DOUBLE_EQ(lc.read().sec(), 4.0);
+}
+
+TEST(LogicalClockTest, BiasEvolvesWithDriftOnly) {
+  // With rate pinned high and no adjustments, the bias B = C - tau grows
+  // at exactly (rate - 1) per real second.
+  sim::Simulator sim;
+  const double rate = 1.0 + kRho;
+  HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
+  LogicalClock lc(hw);
+  sim.run_until(RealTime(10000.0));
+  const double bias = lc.read().sec() - sim.now().sec();
+  EXPECT_NEAR(bias, 10000.0 * kRho, 1e-6);
+}
+
+}  // namespace
+}  // namespace czsync::clk

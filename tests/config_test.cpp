@@ -1,0 +1,250 @@
+// Tests for the config parser, duration parsing, scenario_from_config
+// and the CSV trace writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/trace_io.h"
+#include "util/config.h"
+
+namespace czsync {
+namespace {
+
+// ---------- parse_duration ----------
+
+TEST(DurationParseTest, Units) {
+  EXPECT_DOUBLE_EQ(parse_duration("50ms")->sec(), 0.05);
+  EXPECT_DOUBLE_EQ(parse_duration("250us")->sec(), 2.5e-4);
+  EXPECT_DOUBLE_EQ(parse_duration("2.5s")->sec(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_duration("10m")->sec(), 600.0);
+  EXPECT_DOUBLE_EQ(parse_duration("10min")->sec(), 600.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1.5h")->sec(), 5400.0);
+  EXPECT_DOUBLE_EQ(parse_duration("42")->sec(), 42.0);  // bare seconds
+}
+
+TEST(DurationParseTest, NegativeAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_duration("-30s")->sec(), -30.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1e-3s")->sec(), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_duration(" 5ms ")->sec(), 0.005);
+}
+
+TEST(DurationParseTest, Malformed) {
+  EXPECT_FALSE(parse_duration("").has_value());
+  EXPECT_FALSE(parse_duration("fast").has_value());
+  EXPECT_FALSE(parse_duration("10 parsecs").has_value());
+  EXPECT_FALSE(parse_duration("10x").has_value());
+}
+
+// ---------- Config ----------
+
+TEST(ConfigTest, ParseBasics) {
+  const auto c = Config::parse(
+      "# comment\n"
+      "n = 7\n"
+      "rho=1e-4   # trailing comment\n"
+      "\n"
+      "  name = hello world \n");
+  EXPECT_TRUE(c.has("n"));
+  EXPECT_EQ(c.get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("rho", 0.0), 1e-4);
+  EXPECT_EQ(c.get_string("name", ""), "hello world");
+  EXPECT_EQ(c.get_int("absent", 42), 42);
+}
+
+TEST(ConfigTest, LaterAssignmentWins) {
+  const auto c = Config::parse("a = 1\na = 2\n");
+  EXPECT_EQ(c.get_int("a", 0), 2);
+}
+
+TEST(ConfigTest, Booleans) {
+  const auto c = Config::parse("t1=true\nt2=yes\nt3=on\nt4=1\nf1=false\nf2=0\n");
+  for (const char* k : {"t1", "t2", "t3", "t4"}) EXPECT_TRUE(c.get_bool(k, false));
+  EXPECT_FALSE(c.get_bool("f1", true));
+  EXPECT_FALSE(c.get_bool("f2", true));
+  EXPECT_TRUE(c.get_bool("absent", true));
+}
+
+TEST(ConfigTest, Durations) {
+  const auto c = Config::parse("horizon = 6h\nsync = 60s\n");
+  EXPECT_DOUBLE_EQ(c.get_duration("horizon", Dur::zero()).sec(), 21600.0);
+  EXPECT_DOUBLE_EQ(c.get_duration("sync", Dur::zero()).sec(), 60.0);
+  EXPECT_DOUBLE_EQ(c.get_duration("absent", Dur::millis(5)).sec(), 0.005);
+}
+
+TEST(ConfigTest, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("just a line\n"), std::invalid_argument);
+  EXPECT_THROW(Config::parse("= value\n"), std::invalid_argument);
+}
+
+TEST(ConfigTest, MalformedValuesThrow) {
+  const auto c = Config::parse("n = seven\nb = maybe\nd = soon\n");
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(c.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW(c.get_duration("d", Dur::zero()), std::invalid_argument);
+}
+
+TEST(ConfigTest, UnusedKeysTracked) {
+  const auto c = Config::parse("used = 1\nunused = 2\n");
+  (void)c.get_int("used", 0);
+  const auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(ConfigTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace czsync
+
+namespace czsync::analysis {
+namespace {
+
+TEST(ScenarioFromConfigTest, Defaults) {
+  const auto s = scenario_from_config(Config::parse(""));
+  EXPECT_EQ(s.model.n, 4);  // ModelParams defaults
+  EXPECT_EQ(s.model.f, 1);
+  EXPECT_TRUE(s.schedule.empty());
+  EXPECT_EQ(s.convergence, "bhhn");
+}
+
+TEST(ScenarioFromConfigTest, FullScenario) {
+  const auto s = scenario_from_config(Config::parse(
+      "n = 10\nf = 3\nrho = 1e-5\ndelta = 20ms\ndelta_period = 30m\n"
+      "sync_int = 30s\nconvergence = midpoint\ndrift = wander\n"
+      "delay = jitter\ntopology = ring\ninitial_spread = 1s\n"
+      "horizon = 2h\nwarmup = 10m\nseed = 99\nrate_discipline = true\n"));
+  EXPECT_EQ(s.model.n, 10);
+  EXPECT_EQ(s.model.f, 3);
+  EXPECT_DOUBLE_EQ(s.model.rho, 1e-5);
+  EXPECT_DOUBLE_EQ(s.model.delta.sec(), 0.02);
+  EXPECT_DOUBLE_EQ(s.model.delta_period.sec(), 1800.0);
+  EXPECT_EQ(s.convergence, "midpoint");
+  EXPECT_EQ(s.drift, Scenario::DriftKind::Wander);
+  EXPECT_EQ(s.delay, Scenario::DelayKind::Jitter);
+  EXPECT_EQ(s.topology, Scenario::TopologyKind::Ring);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_TRUE(s.rate_discipline);
+}
+
+TEST(ScenarioFromConfigTest, SingleAdversary) {
+  const auto s = scenario_from_config(Config::parse(
+      "adversary = single\nvictim = 3\nbreak_at = 1h\nleave_at = 70m\n"
+      "strategy = clock-smash\nstrategy_scale = 5m\n"));
+  ASSERT_EQ(s.schedule.intervals().size(), 1u);
+  EXPECT_EQ(s.schedule.intervals()[0].proc, 3);
+  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].start.sec(), 3600.0);
+  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].end.sec(), 4200.0);
+  EXPECT_EQ(s.strategy, "clock-smash");
+  EXPECT_DOUBLE_EQ(s.strategy_scale.sec(), 300.0);
+}
+
+TEST(ScenarioFromConfigTest, MobileAdversaryIsFLimited) {
+  const auto s = scenario_from_config(
+      Config::parse("adversary = mobile\nhorizon = 8h\nseed = 3\n"));
+  EXPECT_FALSE(s.schedule.empty());
+  EXPECT_TRUE(s.schedule.is_f_limited(s.model.f, s.model.delta_period));
+}
+
+TEST(ScenarioFromConfigTest, BadEnumsThrow) {
+  EXPECT_THROW(scenario_from_config(Config::parse("drift = sideways\n")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario_from_config(Config::parse("delay = warp\n")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario_from_config(Config::parse("topology = torus\n")),
+               std::invalid_argument);
+  EXPECT_THROW(scenario_from_config(Config::parse("adversary = quantum\n")),
+               std::invalid_argument);
+}
+
+// ---------- the shipped config files must keep working ----------
+
+class ShippedConfigTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedConfigTest, ParsesBuildsAndRuns) {
+  const std::string path =
+      std::string(CZSYNC_SOURCE_DIR) + "/tools/configs/" + GetParam();
+  const auto cfg = Config::load(path);
+  auto s = scenario_from_config(cfg);
+  // Keep the regression fast: trim the horizon, keep everything else.
+  s.horizon = Dur::minutes(30);
+  s.warmup = Dur::zero();
+  if (!s.schedule.empty()) {
+    EXPECT_TRUE(s.schedule.is_f_limited(s.model.f, s.model.delta_period))
+        << GetParam();
+  }
+  const auto r = run_scenario(s);
+  EXPECT_GT(r.samples, 0u) << GetParam();
+  EXPECT_TRUE(cfg.unused_keys().empty() ||
+              // `single`-adversary configs legitimately skip mobile keys.
+              cfg.unused_keys().size() <= 1)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, ShippedConfigTest,
+                         ::testing::Values("wan_byzantine.conf",
+                                           "recovery_drill.conf",
+                                           "lan_disciplined.conf"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           return n.substr(0, n.find('.'));
+                         });
+
+// ---------- trace writers ----------
+
+RunResult small_run(bool series) {
+  Scenario s;
+  s.model.n = 4;
+  s.model.f = 1;
+  s.horizon = Dur::minutes(30);
+  s.sample_period = Dur::minutes(1);
+  s.record_series = series;
+  s.schedule = adversary::Schedule::single(1, RealTime(300.0), RealTime(360.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::seconds(5);
+  return run_scenario(s);
+}
+
+TEST(TraceIoTest, SeriesCsvShape) {
+  const auto r = small_run(true);
+  std::ostringstream os;
+  write_series_csv(os, r);
+  const std::string text = os.str();
+  // Header + one line per sample.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            r.series.size() + 1);
+  EXPECT_NE(text.find("bias_3"), std::string::npos);
+  EXPECT_NE(text.find("status_0"), std::string::npos);
+  EXPECT_NE(text.find("faulty"), std::string::npos);     // the break-in shows
+  EXPECT_NE(text.find("recovering"), std::string::npos);
+}
+
+TEST(TraceIoTest, SeriesCsvEmptyWithoutRecording) {
+  const auto r = small_run(false);
+  std::ostringstream os;
+  write_series_csv(os, r);
+  EXPECT_EQ(os.str(), "t\n");
+}
+
+TEST(TraceIoTest, RecoveriesCsv) {
+  const auto r = small_run(false);
+  std::ostringstream os;
+  write_recoveries_csv(os, r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("proc,left_at"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);  // header + 1
+}
+
+TEST(TraceIoTest, SummaryCsvSingleRow) {
+  const auto r = small_run(false);
+  std::ostringstream os;
+  write_summary_csv(os, r);
+  const std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("gamma_bound_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace czsync::analysis

@@ -1,0 +1,400 @@
+// Unit tests for the core library: parameter derivation and the Theorem-5
+// calculator, envelope algebra (Definition 6), the ping estimator
+// (Definition 4 arithmetic) and the convergence functions (Figure 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/convergence.h"
+#include "core/envelope.h"
+#include "core/estimate.h"
+#include "core/params.h"
+
+namespace czsync::core {
+namespace {
+
+// ---------- params / Theorem 5 ----------
+
+TEST(ModelParamsTest, ByzantineQuorum) {
+  ModelParams m;
+  m.n = 4;
+  m.f = 1;
+  EXPECT_TRUE(m.byzantine_quorum_ok());
+  m.n = 3;
+  EXPECT_FALSE(m.byzantine_quorum_ok());
+  EXPECT_EQ(ModelParams::max_f(7), 2);
+  EXPECT_EQ(ModelParams::max_f(9), 2);
+  EXPECT_EQ(ModelParams::max_f(10), 3);
+  EXPECT_EQ(ModelParams::max_f(4), 1);
+}
+
+TEST(ProtocolParamsTest, DeriveMatchesPaperFormulas) {
+  ModelParams m;
+  m.rho = 1e-4;
+  m.delta = Dur::millis(50);
+  m.delta_period = Dur::hours(1);
+  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  EXPECT_DOUBLE_EQ(p.max_wait.sec(), 0.1);  // 2 delta
+  const double T = 60.0 * (1.0 + 1e-4) + 0.2;
+  const double eps = 0.05 * (1.0 + 1e-4);
+  EXPECT_NEAR(p.way_off.sec(), 16 * eps + 18 * 1e-4 * T + eps, 1e-12);
+}
+
+TEST(TheoremBoundsTest, MatchesClosedForms) {
+  ModelParams m;
+  m.rho = 1e-4;
+  m.delta = Dur::millis(50);
+  m.delta_period = Dur::hours(1);
+  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  const auto b = TheoremBounds::compute(m, p);
+
+  const double T = 60.0 * 1.0001 + 0.2;
+  EXPECT_NEAR(b.T.sec(), T, 1e-12);
+  EXPECT_EQ(b.K, static_cast<int>(std::floor(3600.0 / T)));
+  EXPECT_TRUE(b.k_precondition_ok);
+  const double eps = 0.05 * 1.0001;
+  EXPECT_NEAR(b.epsilon.sec(), eps, 1e-12);
+  const double C = (17 * eps + 18 * 1e-4 * T) / std::pow(2.0, b.K - 3);
+  EXPECT_NEAR(b.C.sec(), C, 1e-15);
+  EXPECT_NEAR(b.max_deviation.sec(), 16 * eps + 18 * 1e-4 * T + 4 * C, 1e-12);
+  EXPECT_NEAR(b.envelope_d.sec(), 8 * eps + 8 * 1e-4 * T + 2 * C, 1e-12);
+  EXPECT_NEAR(b.logical_drift, 1e-4 + C / (2 * T), 1e-15);
+  EXPECT_NEAR(b.discontinuity.sec(), eps + C / 2, 1e-15);
+  // gamma = 2D + 2 rho T (Appendix A.3 consistency).
+  EXPECT_NEAR(b.max_deviation.sec(),
+              2 * b.envelope_d.sec() + 2 * 1e-4 * b.T.sec(), 1e-12);
+}
+
+TEST(TheoremBoundsTest, PenaltyVanishesAsKGrows) {
+  ModelParams m;
+  m.rho = 1e-4;
+  m.delta = Dur::millis(50);
+  m.delta_period = Dur::hours(1);
+  double prev_c = 1e18;
+  for (int k : {5, 10, 20, 40}) {
+    const auto p = ProtocolParams::derive_for_k(m, k);
+    const auto b = TheoremBounds::compute(m, p);
+    EXPECT_GE(b.K, k - 1);
+    EXPECT_LT(b.C.sec(), prev_c);
+    prev_c = b.C.sec();
+  }
+  // At K = 40 the logical drift is essentially rho.
+  const auto b40 = TheoremBounds::compute(m, ProtocolParams::derive_for_k(m, 40));
+  EXPECT_NEAR(b40.logical_drift, m.rho, 1e-8);
+}
+
+TEST(TheoremBoundsTest, KPreconditionFlag) {
+  ModelParams m;
+  m.delta_period = Dur::minutes(2);
+  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  const auto b = TheoremBounds::compute(m, p);
+  EXPECT_LT(b.K, 5);
+  EXPECT_FALSE(b.k_precondition_ok);
+  EXPECT_NE(b.summary().find("WARNING"), std::string::npos);
+}
+
+TEST(ReadingErrorTest, Bound) {
+  EXPECT_NEAR(reading_error_bound(1e-4, Dur::millis(50)).sec(),
+              0.05 * 1.0001, 1e-12);
+}
+
+// ---------- envelope (Definition 6) ----------
+
+TEST(EnvelopeTest, WidensWithDrift) {
+  Envelope e(RealTime(100.0), {Dur::seconds(-1), Dur::seconds(1)}, 1e-3);
+  const auto at0 = e.at(RealTime(100.0));
+  EXPECT_DOUBLE_EQ(at0.lo.sec(), -1.0);
+  EXPECT_DOUBLE_EQ(at0.hi.sec(), 1.0);
+  EXPECT_DOUBLE_EQ(at0.width().sec(), 2.0);
+  const auto at1k = e.at(RealTime(1100.0));
+  EXPECT_DOUBLE_EQ(at1k.lo.sec(), -2.0);
+  EXPECT_DOUBLE_EQ(at1k.hi.sec(), 2.0);
+  EXPECT_DOUBLE_EQ(e.width_at(RealTime(1100.0)).sec(), 4.0);
+}
+
+TEST(EnvelopeTest, Membership) {
+  Envelope e(RealTime(0.0), {Dur::seconds(0), Dur::seconds(1)}, 1e-3);
+  EXPECT_TRUE(e.contains(RealTime(0.0), Dur::seconds(0.5)));
+  EXPECT_FALSE(e.contains(RealTime(0.0), Dur::seconds(1.5)));
+  EXPECT_TRUE(e.contains(RealTime(1000.0), Dur::seconds(1.5)));  // widened
+  EXPECT_TRUE(e.not_above(RealTime(0.0), Dur::seconds(-5)));
+  EXPECT_FALSE(e.not_above(RealTime(0.0), Dur::seconds(5)));
+  EXPECT_TRUE(e.not_below(RealTime(0.0), Dur::seconds(5)));
+  EXPECT_FALSE(e.not_below(RealTime(0.0), Dur::seconds(-5)));
+}
+
+TEST(EnvelopeTest, WidenByConstant) {
+  Envelope e(RealTime(0.0), {Dur::seconds(-1), Dur::seconds(1)}, 0.0);
+  const auto w = e.widen(Dur::seconds(0.5));
+  EXPECT_DOUBLE_EQ(w.at(RealTime(0.0)).lo.sec(), -1.5);
+  EXPECT_DOUBLE_EQ(w.at(RealTime(0.0)).hi.sec(), 1.5);
+}
+
+TEST(EnvelopeTest, AverageOfEnvelopes) {
+  Envelope a(RealTime(0.0), {Dur::seconds(0), Dur::seconds(2)}, 1e-3);
+  Envelope b(RealTime(0.0), {Dur::seconds(-2), Dur::seconds(0)}, 1e-3);
+  const auto avg = Envelope::average(a, b);
+  EXPECT_DOUBLE_EQ(avg.at(RealTime(0.0)).lo.sec(), -1.0);
+  EXPECT_DOUBLE_EQ(avg.at(RealTime(0.0)).hi.sec(), 1.0);
+}
+
+TEST(EnvelopeTest, RebaseFreezesWidth) {
+  Envelope e(RealTime(0.0), {Dur::seconds(-1), Dur::seconds(1)}, 1e-3);
+  const auto r = e.rebase(RealTime(1000.0));
+  EXPECT_EQ(r.tau0(), RealTime(1000.0));
+  EXPECT_DOUBLE_EQ(r.width_at(RealTime(1000.0)).sec(),
+                   e.width_at(RealTime(1000.0)).sec());
+}
+
+TEST(EnvelopeTest, DriftBoundPropertyOnClockTrace) {
+  // A bias trajectory with |slope| <= rho starting inside E stays in E.
+  const double rho = 1e-3;
+  Envelope e(RealTime(0.0), {Dur::seconds(-0.5), Dur::seconds(0.5)}, rho);
+  double bias = 0.4;
+  for (int i = 1; i <= 1000; ++i) {
+    bias += ((i % 2) ? rho : -rho) * 0.9;  // wiggle within the drift bound
+    EXPECT_TRUE(e.contains(RealTime(static_cast<double>(i)), Dur::seconds(bias)));
+  }
+}
+
+// ---------- estimation (§3.1 / Definition 4) ----------
+
+TEST(EstimateTest, SymmetricPathExact) {
+  // S = 10, R = 10.1; responder read 20.05 at the midpoint: d = 10.
+  const auto e = estimate_from_ping(ClockTime(10.0), ClockTime(20.05),
+                                    ClockTime(10.1));
+  EXPECT_NEAR(e.d.sec(), 10.0, 1e-12);
+  EXPECT_NEAR(e.a.sec(), 0.05, 1e-12);
+  EXPECT_FALSE(e.timed_out());
+  EXPECT_NEAR(e.over().sec(), 10.05, 1e-12);
+  EXPECT_NEAR(e.under().sec(), 9.95, 1e-12);
+}
+
+TEST(EstimateTest, ErrorBoundIsHalfRtt) {
+  const auto e = estimate_from_ping(ClockTime(0.0), ClockTime(5.0),
+                                    ClockTime(0.08));
+  EXPECT_DOUBLE_EQ(e.a.sec(), 0.04);
+}
+
+TEST(EstimateTest, Definition4Contract) {
+  // Whatever the asymmetry, the true offset at the response instant lies
+  // in [d-a, d+a]. Construct: requester clock runs at 1, responder offset
+  // is `off`; forward delay fd, backward bd.
+  for (double off : {-3.0, 0.0, 2.5}) {
+    for (double fd : {0.01, 0.05}) {
+      for (double bd : {0.01, 0.09}) {
+        const double S = 100.0;
+        const double respond_at = S + fd;           // requester-clock time
+        const double R = respond_at + bd;
+        const double C = respond_at + off;          // responder's clock
+        const auto e = estimate_from_ping(ClockTime(S), ClockTime(C),
+                                          ClockTime(R));
+        EXPECT_LE(e.under().sec(), off + 1e-12);
+        EXPECT_GE(e.over().sec(), off - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EstimateTest, TimeoutSentinel) {
+  const auto t = Estimate::timeout();
+  EXPECT_TRUE(t.timed_out());
+  EXPECT_FALSE(t.over().is_finite());
+  EXPECT_FALSE(t.under().is_finite());
+  EXPECT_GT(t.over(), Dur::zero());
+  EXPECT_LT(t.under(), Dur::zero());
+}
+
+TEST(EstimateTest, SelfEstimateExact) {
+  const auto s = Estimate::self();
+  EXPECT_DOUBLE_EQ(s.d.sec(), 0.0);
+  EXPECT_DOUBLE_EQ(s.a.sec(), 0.0);
+}
+
+TEST(EstimateTest, BestOfPicksSmallestError) {
+  const Estimate e1{Dur::seconds(1.0), Dur::seconds(0.05)};
+  const Estimate e2{Dur::seconds(1.1), Dur::seconds(0.01)};
+  const auto best = best_of({e1, Estimate::timeout(), e2});
+  EXPECT_DOUBLE_EQ(best.d.sec(), 1.1);
+  EXPECT_DOUBLE_EQ(best.a.sec(), 0.01);
+  EXPECT_TRUE(best_of({}).timed_out());
+}
+
+// ---------- convergence functions ----------
+
+std::vector<PeerEstimate> exact(std::initializer_list<double> offsets) {
+  std::vector<PeerEstimate> v;
+  for (double d : offsets) v.push_back({Dur::seconds(d), Dur::seconds(d)});
+  return v;
+}
+
+TEST(SelectionTest, OrderStatistics) {
+  const auto est = exact({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(select_low(est, 0).sec(), 1.0);   // smallest
+  EXPECT_DOUBLE_EQ(select_low(est, 1).sec(), 2.0);   // 2nd smallest
+  EXPECT_DOUBLE_EQ(select_high(est, 0).sec(), 5.0);  // largest
+  EXPECT_DOUBLE_EQ(select_high(est, 1).sec(), 4.0);  // 2nd largest
+  EXPECT_DOUBLE_EQ(select_high(est, 4).sec(), 1.0);
+}
+
+TEST(SelectionTest, TimeoutsSortToExtremes) {
+  std::vector<PeerEstimate> est = exact({1, 2, 3});
+  est.push_back(PeerEstimate::from(Estimate::timeout()));
+  // Overestimate +inf is the largest; with f=1 the low pick skips nothing
+  // at the bottom.
+  EXPECT_DOUBLE_EQ(select_low(est, 1).sec(), 2.0);
+  // Underestimate -inf is the smallest; high pick with f=1 gives 3's
+  // neighbor.
+  EXPECT_DOUBLE_EQ(select_high(est, 1).sec(), 2.0);
+}
+
+TEST(BhhnTest, InsideRangeAveragesTrimmedEndpoints) {
+  // Estimates straddle zero: m = min(...)=-2 (f=0), M = 3.
+  BhhnConvergence fn;
+  const auto r = fn.apply(exact({-2, 0, 3}), 0, Dur::seconds(100));
+  EXPECT_FALSE(r.way_off_branch);
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), (-2.0 + 3.0) / 2);
+}
+
+TEST(BhhnTest, OwnClockPreservedWhenExtreme) {
+  // All peers are ahead (m, M > 0): the clock moves only M/2 toward them
+  // — "half-way" per §3.2 — because min(m,0) = 0.
+  BhhnConvergence fn;
+  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Dur::seconds(100));
+  EXPECT_FALSE(r.way_off_branch);
+  // self-estimate 0 included: m = 0, M = 6 -> (0 + 6)/2 = 3.
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
+}
+
+TEST(BhhnTest, BehindPeersWithoutSelfZero) {
+  BhhnConvergence fn;
+  // All estimates positive (clock behind): m=4 > 0 so min(m,0)=0, M=6.
+  const auto r = fn.apply(exact({4, 5, 6}), 0, Dur::seconds(100));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
+}
+
+TEST(BhhnTest, WayOffBranchJumpsToMidrange) {
+  BhhnConvergence fn;
+  // m = 50 > WayOff triggers... m >= -WayOff holds; M = 60 > WayOff=10
+  // violates step 10 -> escape branch: (m + M) / 2.
+  const auto r = fn.apply(exact({50, 55, 60}), 0, Dur::seconds(10));
+  EXPECT_TRUE(r.way_off_branch);
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 55.0);
+}
+
+TEST(BhhnTest, WayOffBranchNegativeSide) {
+  BhhnConvergence fn;
+  const auto r = fn.apply(exact({-50, -55, -60}), 0, Dur::seconds(10));
+  EXPECT_TRUE(r.way_off_branch);
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), -55.0);
+}
+
+TEST(BhhnTest, TrimsFByzantineExtremes) {
+  BhhnConvergence fn;
+  // Two liars at +/- 1000 among 7 (f=2): both order statistics ignore
+  // them entirely.
+  const auto r =
+      fn.apply(exact({-1000, -0.01, 0, 0.01, 0.02, 0.03, 1000}), 2,
+               Dur::seconds(1));
+  EXPECT_FALSE(r.way_off_branch);
+  // m = 3rd smallest over = 0, M = 3rd largest under = 0.02 (the +1000
+  // liar and the honest 0.03 are both above it).
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), (0.0 + 0.02) / 2);
+}
+
+TEST(BhhnTest, ToleratesFTimeouts) {
+  BhhnConvergence fn;
+  std::vector<PeerEstimate> est = exact({-0.02, 0, 0.02, 0.04});
+  est.push_back(PeerEstimate::from(Estimate::timeout()));
+  const auto r = fn.apply(est, 1, Dur::seconds(1));
+  EXPECT_TRUE(r.adjustment.is_finite());
+  EXPECT_FALSE(r.way_off_branch);
+}
+
+TEST(BhhnTest, TooManyTimeoutsNoAdjustment) {
+  BhhnConvergence fn;
+  std::vector<PeerEstimate> est;
+  est.push_back(PeerEstimate::from(Estimate::self()));
+  for (int i = 0; i < 4; ++i) est.push_back(PeerEstimate::from(Estimate::timeout()));
+  const auto r = fn.apply(est, 1, Dur::seconds(1));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.0);
+}
+
+TEST(BhhnTest, ErrorBoundsWidenSelection) {
+  BhhnConvergence fn;
+  // One estimate with a large error bound: over/under split drags m down
+  // and M up conservatively.
+  std::vector<PeerEstimate> est = {
+      PeerEstimate::from(Estimate::self()),
+      PeerEstimate::from(Estimate{Dur::seconds(1.0), Dur::seconds(0.5)}),
+  };
+  const auto r = fn.apply(est, 0, Dur::seconds(100));
+  // overs = {0, 1.5}, unders = {0, 0.5}: m = 0, M = 0.5.
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.25);
+}
+
+TEST(MidpointTest, AlwaysJumpsToMidrange) {
+  MidpointConvergence fn;
+  const auto r = fn.apply(exact({0, 4, 6}), 0, Dur::seconds(100));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
+}
+
+TEST(CappedTest, ClampsCorrection) {
+  CappedCorrectionConvergence fn(Dur::millis(100));
+  // Raw BHHN normal-branch delta would be 3.0; cap clamps to 0.1.
+  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Dur::seconds(100));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.1);
+  const auto rn = fn.apply(exact({0, -4, -5, -6}), 0, Dur::seconds(100));
+  EXPECT_DOUBLE_EQ(rn.adjustment.sec(), -0.1);
+}
+
+TEST(CappedTest, SmallCorrectionsPassThrough) {
+  CappedCorrectionConvergence fn(Dur::millis(100));
+  const auto r = fn.apply(exact({-0.01, 0, 0.03}), 0, Dur::seconds(100));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.01);
+}
+
+TEST(NullTest, NeverAdjusts) {
+  NullConvergence fn;
+  const auto r = fn.apply(exact({100, 200}), 0, Dur::seconds(1));
+  EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.0);
+  EXPECT_FALSE(r.way_off_branch);
+}
+
+TEST(ConvergenceFactoryTest, Names) {
+  EXPECT_EQ(make_convergence("bhhn")->name(), "bhhn");
+  EXPECT_EQ(make_convergence("midpoint")->name(), "midpoint");
+  EXPECT_EQ(make_convergence("capped-correction")->name(), "capped-correction");
+  EXPECT_EQ(make_convergence("none")->name(), "none");
+  EXPECT_THROW(make_convergence("bogus"), std::invalid_argument);
+}
+
+// The convergence property at the heart of Lemma 7, distilled: applying
+// the function simultaneously at every processor with exact estimates
+// shrinks the bias spread.
+TEST(BhhnTest, SimultaneousApplicationContracts) {
+  std::vector<double> bias = {-1.0, -0.5, 0.0, 0.7, 1.0};
+  const BhhnConvergence fn;
+  double spread = 2.0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> next(bias.size());
+    for (std::size_t p = 0; p < bias.size(); ++p) {
+      std::vector<PeerEstimate> est;
+      for (double bq : bias) {
+        const double d = bq - bias[p];
+        est.push_back({Dur::seconds(d), Dur::seconds(d)});
+      }
+      next[p] = bias[p] + fn.apply(est, 1, Dur::seconds(100)).adjustment.sec();
+    }
+    bias = next;
+    const auto [mn, mx] = std::minmax_element(bias.begin(), bias.end());
+    const double new_spread = *mx - *mn;
+    EXPECT_LE(new_spread, spread + 1e-12);
+    spread = new_spread;
+  }
+  EXPECT_LT(spread, 0.01);  // geometric contraction happened
+}
+
+}  // namespace
+}  // namespace czsync::core

@@ -1,0 +1,204 @@
+// Tests for the §5 rate-discipline extension: estimator convergence,
+// clamping, slewing arithmetic, reset-on-recovery, and end-to-end effect
+// plus safety under attack.
+#include <gtest/gtest.h>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/discipline.h"
+#include "sim/simulator.h"
+
+namespace czsync::core {
+namespace {
+
+class DisciplineTest : public ::testing::Test {
+ protected:
+  DisciplineTest()
+      : hw(sim, clk::make_pinned_drift(1e-3, 1.0 + 1e-3), Rng(1)), clock(hw) {}
+
+  DisciplineConfig config(double max_rate = 1e-3) {
+    DisciplineConfig c;
+    c.gain = 0.25;
+    c.max_rate = max_rate;
+    c.warmup_samples = 1;
+    return c;
+  }
+
+  sim::Simulator sim;
+  clk::HardwareClock hw;  // runs fast by 1e-3
+  clk::LogicalClock clock;
+};
+
+TEST_F(DisciplineTest, StartsNeutral) {
+  RateDiscipline d(clock, config());
+  EXPECT_DOUBLE_EQ(d.rate(), 0.0);
+  EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST_F(DisciplineTest, LearnsConsistentRateError) {
+  RateDiscipline d(clock, config());
+  // Our clock is fast by 1e-3: the ensemble keeps telling us to step
+  // back by 0.06 s per 60 s span. The integral controller accumulates
+  // toward the clamp at -1e-3 (the true error).
+  for (int i = 0; i < 40; ++i) {
+    sim.run_until(RealTime(sim.now().sec() + 60.0));
+    d.observe(Dur::seconds(-0.06));
+  }
+  EXPECT_NEAR(d.rate(), -1e-3, 1e-4);
+}
+
+TEST_F(DisciplineTest, WarmupSamplesSkipped) {
+  auto c = config();
+  c.warmup_samples = 5;
+  RateDiscipline d(clock, c);
+  for (int i = 0; i < 5; ++i) {
+    sim.run_until(RealTime(sim.now().sec() + 60.0));
+    d.observe(Dur::seconds(-0.06));
+  }
+  // First observe only set the baseline; 4 more are inside warmup.
+  EXPECT_DOUBLE_EQ(d.rate(), 0.0);
+}
+
+TEST_F(DisciplineTest, RateClampedToMaxRate) {
+  RateDiscipline d(clock, config(/*max_rate=*/1e-4));
+  for (int i = 0; i < 50; ++i) {
+    sim.run_until(RealTime(sim.now().sec() + 60.0));
+    d.observe(Dur::seconds(-30.0));  // absurd "rate" of -0.5
+  }
+  EXPECT_GE(d.rate(), -1e-4);
+  EXPECT_LE(d.rate(), 1e-4);
+}
+
+TEST_F(DisciplineTest, SlewAppliesRateTimesSpan) {
+  RateDiscipline d(clock, config());
+  // Teach it -1e-3.
+  for (int i = 0; i < 40; ++i) {
+    sim.run_until(RealTime(sim.now().sec() + 60.0));
+    d.observe(Dur::seconds(-0.06));
+  }
+  const double rate = d.rate();
+  const Dur adj_before = clock.adjustment();
+  sim.run_until(RealTime(sim.now().sec() + 10.0));
+  d.slew();
+  const double applied = (clock.adjustment() - adj_before).sec();
+  // 10 s of local time at `rate`; local ~ real here up to 1e-3.
+  EXPECT_NEAR(applied, rate * 10.0, std::abs(rate) * 0.1);
+  EXPECT_NEAR(d.total_slewed().sec(), applied, 1e-12);
+}
+
+TEST_F(DisciplineTest, SlewNoopWhenNeutral) {
+  RateDiscipline d(clock, config());
+  sim.run_until(RealTime(100.0));
+  const Dur before = clock.adjustment();
+  d.slew();
+  EXPECT_EQ(clock.adjustment(), before);
+}
+
+TEST_F(DisciplineTest, ResetForgetsEverything) {
+  RateDiscipline d(clock, config());
+  for (int i = 0; i < 10; ++i) {
+    sim.run_until(RealTime(sim.now().sec() + 60.0));
+    d.observe(Dur::seconds(-0.06));
+  }
+  EXPECT_NE(d.rate(), 0.0);
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.rate(), 0.0);
+  EXPECT_EQ(d.samples(), 0u);
+  EXPECT_EQ(d.total_slewed(), Dur::zero());
+}
+
+TEST_F(DisciplineTest, CompensationCancelsDrift) {
+  // Closed loop: every 60 s the "ensemble" reports our residual bias
+  // (relative to real time) as the adjustment; we also slew every 5 s.
+  // With the discipline the residual converges near zero even though the
+  // hardware runs fast by 1e-3.
+  RateDiscipline d(clock, config());
+  double corrected_total = 0.0;
+  for (int round = 0; round < 60; ++round) {
+    for (int tick = 0; tick < 12; ++tick) {
+      sim.run_until(RealTime(sim.now().sec() + 5.0));
+      d.slew();
+    }
+    const double bias = clock.read().sec() - sim.now().sec();
+    clock.adjust(Dur::seconds(-bias));  // the ensemble pulls us to truth
+    corrected_total += std::abs(bias);
+    d.observe(Dur::seconds(-bias));
+  }
+  // After convergence the per-round correction is tiny compared to the
+  // uncompensated drift of 60 s * 1e-3 = 60 ms.
+  const double bias_final = std::abs(clock.read().sec() - sim.now().sec());
+  EXPECT_LT(bias_final, 0.005);
+  EXPECT_NEAR(d.rate(), -1e-3, 2e-4);
+}
+
+// ---- end-to-end via the scenario runner ----
+
+TEST(DisciplineIntegration, ReducesDeviationAtHighDrift) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-3;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(20);
+  s.horizon = Dur::hours(5);
+  s.warmup = Dur::hours(1);
+  s.seed = 3;
+  const auto off = analysis::run_scenario(s);
+  s.rate_discipline = true;
+  const auto on = analysis::run_scenario(s);
+  EXPECT_LT(on.max_stable_deviation, off.max_stable_deviation * 0.85);
+  EXPECT_LT(on.max_stable_deviation, on.bounds.max_deviation);
+}
+
+TEST(DisciplineIntegration, SafeUnderByzantineAttack) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.rate_discipline = true;
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(30);
+  s.seed = 5;
+  s.schedule = adversary::Schedule::random_mobile(
+      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+      RealTime(4.5 * 3600.0), Rng(55));
+  s.strategy = "max-pull";
+  const auto r = analysis::run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+  EXPECT_TRUE(r.all_recovered());
+  // The clamp bounds the worst-case slew: rate excess stays within
+  // 2 rho + measurement allowance.
+  EXPECT_LT(r.max_rate_excess, 2 * s.model.rho + 4e-4);
+}
+
+TEST(DisciplineIntegration, RecoveryStillFastAfterSmash) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.rate_discipline = true;
+  s.initial_spread = Dur::millis(20);
+  s.horizon = Dur::hours(3);
+  s.warmup = Dur::zero();
+  s.seed = 6;
+  s.schedule = adversary::Schedule::single(2, RealTime(3600.0), RealTime(3660.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::minutes(30);
+  const auto r = analysis::run_scenario(s);
+  EXPECT_TRUE(r.all_recovered());
+  EXPECT_LT(r.max_recovery_time(), Dur::minutes(5));
+}
+
+}  // namespace
+}  // namespace czsync::core

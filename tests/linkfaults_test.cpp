@@ -1,0 +1,153 @@
+// Tests for link faults (§1.2 refinement probe): cut semantics,
+// generators, network integration and protocol behaviour under cuts.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "net/link_faults.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::net {
+namespace {
+
+RealTime rt(double s) { return RealTime(s); }
+
+TEST(LinkFaultSetTest, EmptyCutsNothing) {
+  LinkFaultSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.cut_at(0, 1, rt(5.0)));
+  EXPECT_EQ(s.max_cut_degree(), 0);
+}
+
+TEST(LinkFaultSetTest, CutWindowHalfOpen) {
+  LinkFaultSet s({{0, 1, rt(10.0), rt(20.0)}});
+  EXPECT_FALSE(s.cut_at(0, 1, rt(9.99)));
+  EXPECT_TRUE(s.cut_at(0, 1, rt(10.0)));
+  EXPECT_TRUE(s.cut_at(0, 1, rt(19.99)));
+  EXPECT_FALSE(s.cut_at(0, 1, rt(20.0)));
+}
+
+TEST(LinkFaultSetTest, Undirected) {
+  LinkFaultSet s({{3, 1, rt(0.0), rt(10.0)}});  // given in reverse order
+  EXPECT_TRUE(s.cut_at(1, 3, rt(5.0)));
+  EXPECT_TRUE(s.cut_at(3, 1, rt(5.0)));
+  EXPECT_FALSE(s.cut_at(1, 2, rt(5.0)));
+}
+
+TEST(LinkFaultSetTest, MaxCutDegree) {
+  LinkFaultSet s({{0, 1, rt(0.0), rt(10.0)},
+                  {0, 2, rt(5.0), rt(15.0)},
+                  {0, 3, rt(20.0), rt(30.0)}});
+  // At t=5: links 0-1 and 0-2 are both cut -> degree 2 at vertex 0.
+  EXPECT_EQ(s.max_cut_degree(), 2);
+}
+
+TEST(LinkFaultSetTest, IsolatePartially) {
+  const auto s = LinkFaultSet::isolate_partially(2, {0, 1, 5}, rt(1.0), rt(9.0));
+  EXPECT_EQ(s.faults().size(), 3u);
+  EXPECT_TRUE(s.cut_at(2, 0, rt(5.0)));
+  EXPECT_TRUE(s.cut_at(2, 5, rt(5.0)));
+  EXPECT_FALSE(s.cut_at(2, 3, rt(5.0)));
+  EXPECT_EQ(s.max_cut_degree(), 3);
+}
+
+TEST(LinkFaultSetTest, RandomFlappingBounds) {
+  const auto s = LinkFaultSet::random_flapping(
+      8, 3, Dur::seconds(10), Dur::seconds(60), Dur::seconds(30),
+      rt(3600.0), Rng(5));
+  EXPECT_FALSE(s.empty());
+  for (const auto& f : s.faults()) {
+    EXPECT_GE(f.a, 0);
+    EXPECT_LT(f.b, 8);
+    EXPECT_NE(f.a, f.b);
+    EXPECT_LT(f.start, rt(3600.0));
+    EXPECT_GE((f.end - f.start).sec(), 10.0);
+    EXPECT_LE((f.end - f.start).sec(), 60.0 + 1e-9);
+  }
+}
+
+TEST(LinkFaultNetworkTest, DropsOnlyDuringCut) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(3), make_fixed_delay(Dur::millis(10)),
+              Rng(1));
+  net.set_link_faults(LinkFaultSet({{0, 1, rt(1.0), rt(2.0)}}));
+  int got = 0;
+  net.register_handler(1, [&](const Message&) { ++got; });
+  net.send(0, 1, PingReq{1});  // t=0: delivered
+  sim.run_until(rt(1.5));
+  net.send(0, 1, PingReq{2});  // t=1.5: cut
+  net.send(2, 1, PingReq{3});  // other link unaffected
+  sim.run_until(rt(3.0));
+  net.send(0, 1, PingReq{4});  // cut over: delivered
+  sim.run_until(rt(4.0));
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(net.stats().dropped_link_fault, 1u);
+}
+
+}  // namespace
+}  // namespace czsync::net
+
+namespace czsync::analysis {
+namespace {
+
+Scenario link_scenario(int cut_links) {
+  Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(20);
+  s.horizon = Dur::hours(3);
+  s.warmup = Dur::zero();
+  s.seed = 7;
+  s.record_series = true;
+  std::vector<net::ProcId> peers;
+  for (int q = 1; q <= cut_links; ++q) peers.push_back(q);
+  s.link_faults = net::LinkFaultSet::isolate_partially(
+      0, peers, RealTime(600.0), RealTime(3 * 3600.0));
+  return s;
+}
+
+double victim_error_at_end(const RunResult& r) {
+  const auto& last = r.series.back();
+  std::vector<double> others(last.bias.begin() + 1, last.bias.end());
+  std::sort(others.begin(), others.end());
+  return std::abs(last.bias[0] - others[others.size() / 2]);
+}
+
+TEST(LinkFaultProtocolTest, ToleratesUpToFCutLinks) {
+  for (int k : {1, 2}) {
+    const auto r = run_scenario(link_scenario(k));
+    EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation) << k;
+    EXPECT_LT(victim_error_at_end(r), r.bounds.max_deviation.sec()) << k;
+    EXPECT_GT(r.link_fault_drops, 0u);
+  }
+}
+
+TEST(LinkFaultProtocolTest, FreeRunsWhenTooFewFiniteEstimates) {
+  // k = 5 leaves only self + 1 peer finite: both order statistics are
+  // infinite, the victim stops adjusting and drifts away at ~rho.
+  const auto r = run_scenario(link_scenario(5));
+  EXPECT_GT(victim_error_at_end(r), 0.25);  // >> gamma-scale error
+}
+
+TEST(LinkFaultProtocolTest, FlappingPlusProcessorFaultsWithinBound) {
+  auto s = link_scenario(0);
+  s.horizon = Dur::hours(6);
+  s.link_faults = net::LinkFaultSet::random_flapping(
+      7, 2, Dur::minutes(2), Dur::minutes(10), Dur::minutes(5),
+      RealTime(6 * 3600.0), Rng(9));
+  s.schedule = adversary::Schedule::random_mobile(
+      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+      RealTime(4.5 * 3600.0), Rng(10));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(2);
+  const auto r = run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+  EXPECT_TRUE(r.all_recovered());
+}
+
+}  // namespace
+}  // namespace czsync::analysis

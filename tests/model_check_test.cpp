@@ -1,0 +1,187 @@
+// Model-checking style tests: randomized operation sequences checked
+// against simple reference models, and algebraic properties of the
+// convergence functions that the Lemma-7 proof machinery relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/convergence.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+// ---------- EventQueue vs a reference multimap model ----------
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  sim::EventQueue q;
+  // Reference: (time, id) -> alive, plus the same FIFO-by-id order.
+  std::multimap<std::pair<double, sim::EventId>, int> ref;
+  std::map<sim::EventId, decltype(ref)::iterator> live;
+  std::vector<int> popped_q, popped_ref;
+  int payload = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55) {  // push
+      const double t = rng.uniform(0.0, 100.0);
+      const int value = payload++;
+      const sim::EventId id =
+          q.push(RealTime(t), [&popped_q, value] { popped_q.push_back(value); });
+      live.emplace(id, ref.emplace(std::make_pair(t, id), value));
+    } else if (roll < 0.75) {  // cancel a random live event
+      if (live.empty()) continue;
+      auto it = live.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<long>(live.size()) - 1));
+      EXPECT_TRUE(q.cancel(it->first));
+      ref.erase(it->second);
+      live.erase(it);
+    } else if (roll < 0.8) {  // cancel something dead/unknown
+      EXPECT_FALSE(q.cancel(999999 + static_cast<sim::EventId>(op)));
+    } else {  // pop
+      ASSERT_EQ(q.empty(), ref.empty());
+      if (ref.empty()) continue;
+      RealTime t{};
+      q.pop(t)();
+      auto first = ref.begin();
+      EXPECT_DOUBLE_EQ(t.sec(), first->first.first);
+      popped_ref.push_back(first->second);
+      live.erase(first->first.second);
+      ref.erase(first);
+      ASSERT_EQ(popped_q.size(), popped_ref.size());
+      EXPECT_EQ(popped_q.back(), popped_ref.back());
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  // Drain completely and compare the full pop order.
+  while (!q.empty()) {
+    RealTime t{};
+    q.pop(t)();
+    popped_ref.push_back(ref.begin()->second);
+    ref.erase(ref.begin());
+  }
+  EXPECT_EQ(popped_q, popped_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- convergence-function algebra ----------
+
+std::vector<core::PeerEstimate> shifted(
+    const std::vector<core::PeerEstimate>& est, double c) {
+  auto out = est;
+  for (auto& e : out) {
+    e.over += Dur::seconds(c);
+    e.under += Dur::seconds(c);
+  }
+  return out;
+}
+
+std::vector<core::PeerEstimate> random_estimates(Rng& rng, int n,
+                                                 double spread) {
+  std::vector<core::PeerEstimate> est;
+  est.push_back(core::PeerEstimate::from(core::Estimate::self()));
+  for (int i = 1; i < n; ++i) {
+    const double d = rng.uniform(-spread, spread);
+    const double a = rng.uniform(0.0, spread / 10);
+    est.push_back({Dur::seconds(d + a), Dur::seconds(d - a)});
+  }
+  return est;
+}
+
+class ConvergenceAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Translation equivariance of the order statistics: shifting every
+// estimate by c shifts m and M by c. (The full adjustment is NOT simply
+// shifted because of the min(m,0)/max(M,0) own-clock terms — that
+// nonlinearity is the own-clock preservation feature.)
+TEST_P(ConvergenceAlgebra, SelectionIsTranslationEquivariant) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto est = random_estimates(rng, 7, 1.0);
+    const double c = rng.uniform(-5.0, 5.0);
+    const auto shifted_est = shifted(est, c);
+    EXPECT_NEAR(core::select_low(shifted_est, 2).sec(),
+                core::select_low(est, 2).sec() + c, 1e-12);
+    EXPECT_NEAR(core::select_high(shifted_est, 2).sec(),
+                core::select_high(est, 2).sec() + c, 1e-12);
+  }
+}
+
+// The adjustment never exceeds the extreme estimates: the new clock
+// stays within [min under, max over] of the peer readings (with the own
+// clock counting as 0). This is the containment Lemma 7(i) builds on.
+TEST_P(ConvergenceAlgebra, AdjustmentStaysWithinEstimateHull) {
+  Rng rng(GetParam() + 100);
+  core::BhhnConvergence fn;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto est = random_estimates(rng, 7, 2.0);
+    double lo = 0.0, hi = 0.0;  // self contributes 0
+    for (const auto& e : est) {
+      lo = std::min(lo, e.under.sec());
+      hi = std::max(hi, e.over.sec());
+    }
+    const auto r = fn.apply(est, 2, Dur::seconds(1));
+    EXPECT_GE(r.adjustment.sec(), lo - 1e-12);
+    EXPECT_LE(r.adjustment.sec(), hi + 1e-12);
+  }
+}
+
+// Monotonicity: raising any single estimate never lowers the adjustment.
+TEST_P(ConvergenceAlgebra, MonotoneInEachEstimate) {
+  Rng rng(GetParam() + 200);
+  core::BhhnConvergence fn;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto est = random_estimates(rng, 7, 1.0);
+    const auto base = fn.apply(est, 2, Dur::seconds(100));
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    est[idx].over += Dur::seconds(0.5);
+    est[idx].under += Dur::seconds(0.5);
+    const auto raised = fn.apply(est, 2, Dur::seconds(100));
+    EXPECT_GE(raised.adjustment.sec(), base.adjustment.sec() - 1e-12);
+  }
+}
+
+// The Byzantine-robustness core of Figure 1: whatever values f entries
+// take, the (f+1)-st order statistics stay inside the HONEST hull —
+// m in [min honest over, max honest over] and M in [min honest under,
+// max honest under]. This is the reason f liars cannot drag a correct
+// clock beyond the range spanned by correct estimates.
+TEST_P(ConvergenceAlgebra, FLiarsCannotEscapeHonestHull) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto est = random_estimates(rng, 7, 1.0);
+    // Entries 1 and 2 become the adversary's; 0 and 3..6 remain honest.
+    double over_lo = 1e18, over_hi = -1e18;
+    double under_lo = 1e18, under_hi = -1e18;
+    for (std::size_t i : {0u, 3u, 4u, 5u, 6u}) {
+      over_lo = std::min(over_lo, est[i].over.sec());
+      over_hi = std::max(over_hi, est[i].over.sec());
+      under_lo = std::min(under_lo, est[i].under.sec());
+      under_hi = std::max(under_hi, est[i].under.sec());
+    }
+    for (std::size_t i : {1u, 2u}) {
+      const double a = rng.uniform(-1e6, 1e6);
+      const double b = rng.uniform(-1e6, 1e6);
+      est[i] = {Dur::seconds(std::max(a, b)), Dur::seconds(std::min(a, b))};
+    }
+    const double m = core::select_low(est, 2).sec();
+    const double big_m = core::select_high(est, 2).sec();
+    EXPECT_GE(m, over_lo - 1e-12);
+    EXPECT_LE(m, over_hi + 1e-12);
+    EXPECT_GE(big_m, under_lo - 1e-12);
+    EXPECT_LE(big_m, under_hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceAlgebra,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace czsync

@@ -1,0 +1,239 @@
+// Unit tests for the network substrate: topologies (including the
+// Section-5 two-cliques construction and vertex connectivity), delay
+// models, and the delivery contract of §2.2.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace czsync::net {
+namespace {
+
+// ---------- topology ----------
+
+TEST(TopologyTest, FullMeshProperties) {
+  const auto t = Topology::full_mesh(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.edge_count(), 10u);
+  EXPECT_EQ(t.min_degree(), 4);
+  EXPECT_TRUE(t.is_connected());
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_FALSE(t.has_edge(a, a));
+    for (int b = 0; b < 5; ++b)
+      if (a != b) EXPECT_TRUE(t.has_edge(a, b));
+  }
+}
+
+TEST(TopologyTest, FullMeshConnectivityIsNMinus1) {
+  EXPECT_EQ(Topology::full_mesh(4).vertex_connectivity(), 3);
+  EXPECT_EQ(Topology::full_mesh(7).vertex_connectivity(), 6);
+}
+
+TEST(TopologyTest, RingProperties) {
+  const auto t = Topology::ring(6);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.edge_count(), 6u);
+  EXPECT_EQ(t.min_degree(), 2);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_TRUE(t.has_edge(0, 5));
+  EXPECT_FALSE(t.has_edge(0, 3));
+  EXPECT_EQ(t.vertex_connectivity(), 2);
+}
+
+TEST(TopologyTest, NeighborsSortedAndReflexive) {
+  const auto t = Topology::ring(5);
+  const auto& nb = t.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 1);
+  EXPECT_EQ(nb[1], 4);
+  for (ProcId q : nb) EXPECT_TRUE(t.has_edge(q, 0));
+}
+
+TEST(TopologyTest, FromEdgesDeduplicates) {
+  const auto t = Topology::from_edges(3, {{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_EQ(t.edge_count(), 2u);
+  EXPECT_EQ(t.degree(1), 2);
+}
+
+TEST(TopologyTest, DisconnectedGraph) {
+  const auto t = Topology::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(t.is_connected());
+  EXPECT_EQ(t.vertex_connectivity(), 0);
+}
+
+TEST(TopologyTest, PathGraphConnectivityOne) {
+  const auto t = Topology::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.vertex_connectivity(), 1);
+}
+
+// The Section 5 claim: two (3f+1)-cliques plus a perfect matching form a
+// (3f+1)-connected graph (on which the protocol nonetheless fails).
+TEST(TopologyTest, TwoCliquesF1) {
+  const auto t = Topology::two_cliques(1);
+  EXPECT_EQ(t.size(), 8);  // 6f+2
+  // Each vertex: 3f clique neighbors + 1 matching neighbor.
+  EXPECT_EQ(t.min_degree(), 4);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.vertex_connectivity(), 4);  // 3f+1
+  // Matching edges.
+  EXPECT_TRUE(t.has_edge(0, 4));
+  EXPECT_TRUE(t.has_edge(3, 7));
+  // No other cross edges.
+  EXPECT_FALSE(t.has_edge(0, 5));
+}
+
+TEST(TopologyTest, TwoCliquesF2) {
+  const auto t = Topology::two_cliques(2);
+  EXPECT_EQ(t.size(), 14);
+  EXPECT_EQ(t.min_degree(), 7);         // 3f + 1
+  EXPECT_EQ(t.vertex_connectivity(), 7);  // 3f+1 = 7
+}
+
+TEST(TopologyTest, TwoCliquesEdgeCount) {
+  // 2 * C(3f+1, 2) + (3f+1) edges.
+  const auto t = Topology::two_cliques(1);
+  EXPECT_EQ(t.edge_count(), 2u * 6u + 4u);
+}
+
+// ---------- delay models ----------
+
+TEST(DelayModelTest, FixedDelayIsConstant) {
+  FixedDelay m(Dur::millis(50), 0.4);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(m.sample(rng, 0, 1).sec(), 0.02);
+}
+
+TEST(DelayModelTest, UniformDelayWithinBounds) {
+  UniformDelay m(Dur::millis(50), Dur::millis(5));
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const Dur d = m.sample(rng, 0, 1);
+    EXPECT_GE(d, Dur::millis(5));
+    EXPECT_LE(d, Dur::millis(50));
+  }
+}
+
+TEST(DelayModelTest, AsymmetricDirectionality) {
+  AsymmetricDelay m(Dur::millis(100), 0.1, 0.9, 0.05);
+  Rng rng(3);
+  RunningStats fwd, back;
+  for (int i = 0; i < 1000; ++i) {
+    fwd.add(m.sample(rng, 0, 1).sec());
+    back.add(m.sample(rng, 1, 0).sec());
+  }
+  EXPECT_GT(fwd.mean(), 0.08);
+  EXPECT_LT(back.mean(), 0.02);
+}
+
+TEST(DelayModelTest, JitterDelayBounded) {
+  JitterDelay m(Dur::millis(50), Dur::millis(10), Dur::millis(15));
+  Rng rng(4);
+  RunningStats st;
+  for (int i = 0; i < 5000; ++i) {
+    const Dur d = m.sample(rng, 0, 1);
+    EXPECT_GE(d, Dur::millis(10));
+    EXPECT_LE(d, Dur::millis(50));
+    st.add(d.sec());
+  }
+  // Tail must actually hit the clamp occasionally.
+  EXPECT_GT(st.max(), 0.045);
+}
+
+TEST(DelayModelTest, FactoriesRespectBound) {
+  Rng rng(5);
+  for (auto& m :
+       {make_fixed_delay(Dur::millis(20)), make_uniform_delay(Dur::millis(20)),
+        make_asymmetric_delay(Dur::millis(20)),
+        make_jitter_delay(Dur::millis(20), Dur::millis(2), Dur::millis(5))}) {
+    EXPECT_DOUBLE_EQ(m->bound().sec(), 0.02);
+    for (int i = 0; i < 200; ++i) {
+      const Dur d = m->sample(rng, 0, 1);
+      EXPECT_GT(d, Dur::zero());
+      EXPECT_LE(d, m->bound());
+    }
+  }
+}
+
+// ---------- network ----------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Network net{sim, Topology::full_mesh(3), make_fixed_delay(Dur::millis(10)),
+              Rng(1)};
+};
+
+TEST_F(NetworkTest, DeliversWithinBound) {
+  std::vector<Message> got;
+  net.register_handler(1, [&](const Message& m) { got.push_back(m); });
+  net.send(0, 1, PingReq{42});
+  sim.run_until(RealTime(1.0));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, 0);
+  EXPECT_EQ(got[0].to, 1);
+  EXPECT_EQ(std::get<PingReq>(got[0].body).nonce, 42u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST_F(NetworkTest, DeliveryTimeMatchesDelayModel) {
+  double delivered_at = -1.0;
+  net.register_handler(2, [&](const Message&) { delivered_at = sim.now().sec(); });
+  net.send(0, 2, PingReq{1});
+  sim.run_until(RealTime(1.0));
+  EXPECT_NEAR(delivered_at, 0.005, 1e-12);  // fixed model: bound * 0.5
+}
+
+TEST_F(NetworkTest, AuthenticatedSender) {
+  // The network stamps the true sender; there is no API to forge it.
+  Message got;
+  net.register_handler(2, [&](const Message& m) { got = m; });
+  net.send(1, 2, PingResp{7, ClockTime(3.0)});
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(got.from, 1);
+}
+
+TEST_F(NetworkTest, NoHandlerCountsDrop) {
+  net.send(0, 1, PingReq{1});
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(net.stats().dropped_no_handler, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(NetworkTopologyTest, NonEdgeDrops) {
+  sim::Simulator sim;
+  Network net(sim, Topology::ring(4), make_fixed_delay(Dur::millis(10)), Rng(1));
+  int got = 0;
+  net.register_handler(2, [&](const Message&) { ++got; });
+  net.send(0, 2, PingReq{1});  // 0-2 is not a ring edge
+  net.send(1, 2, PingReq{2});  // 1-2 is
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.stats().dropped_no_edge, 1u);
+  EXPECT_EQ(net.stats().sent, 2u);
+}
+
+TEST(NetworkOrderTest, ConcurrentMessagesAllArrive) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(5),
+              make_uniform_delay(Dur::millis(50)), Rng(9));
+  std::map<int, int> received;
+  for (int p = 0; p < 5; ++p)
+    net.register_handler(p, [&received, p](const Message&) { ++received[p]; });
+  for (int a = 0; a < 5; ++a)
+    for (int b = 0; b < 5; ++b)
+      if (a != b) net.send(a, b, PingReq{static_cast<std::uint64_t>(a * 10 + b)});
+  sim.run_until(RealTime(1.0));
+  for (int p = 0; p < 5; ++p) EXPECT_EQ(received[p], 4) << "proc " << p;
+  EXPECT_EQ(net.stats().delivered, 20u);
+}
+
+}  // namespace
+}  // namespace czsync::net

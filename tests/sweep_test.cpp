@@ -1,0 +1,69 @@
+// Tests for the multi-seed sweep harness.
+#include <gtest/gtest.h>
+
+#include "adversary/schedule.h"
+#include "analysis/sweep.h"
+
+namespace czsync::analysis {
+namespace {
+
+Scenario quick_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.model.n = 4;
+  s.model.f = 1;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.horizon = Dur::hours(1);
+  s.sample_period = Dur::minutes(1);
+  s.seed = seed;
+  return s;
+}
+
+TEST(SweepTest, AggregatesAcrossSeeds) {
+  const auto r = run_sweep(quick_scenario, 1, 5);
+  EXPECT_EQ(r.runs, 5);
+  EXPECT_EQ(r.max_deviation.count(), 5u);
+  EXPECT_GT(r.max_deviation.mean(), 0.0);
+  EXPECT_EQ(r.bound_violations, 0);
+  EXPECT_EQ(r.unrecovered_runs, 0);
+  EXPECT_GT(r.bound.sec(), 0.0);
+  // Different seeds produce different trajectories.
+  EXPECT_GT(r.max_deviation.max(), r.max_deviation.min());
+}
+
+TEST(SweepTest, RecoveryStatsOnlyFromRecoveredRuns) {
+  auto make = [](std::uint64_t seed) {
+    auto s = quick_scenario(seed);
+    s.horizon = Dur::hours(3);
+    s.schedule = adversary::Schedule::single(1, RealTime(1800.0),
+                                             RealTime(1860.0));
+    s.strategy = "clock-smash";
+    s.strategy_scale = Dur::minutes(5);
+    return s;
+  };
+  const auto r = run_sweep(make, 10, 3);
+  EXPECT_EQ(r.unrecovered_runs, 0);
+  EXPECT_EQ(r.max_recovery.count(), 3u);
+  EXPECT_GT(r.max_recovery.mean(), 0.0);
+  EXPECT_LT(r.max_recovery.max(), 3600.0);
+}
+
+TEST(SweepTest, DetectsViolations) {
+  // Force violations: ring topology with f = 1 trimming over degree-2
+  // neighborhoods cannot synchronize against strong drift.
+  auto make = [](std::uint64_t seed) {
+    auto s = quick_scenario(seed);
+    s.model.n = 8;
+    s.model.rho = 1e-3;
+    s.topology = Scenario::TopologyKind::Ring;
+    s.horizon = Dur::hours(6);
+    return s;
+  };
+  const auto r = run_sweep(make, 1, 2);
+  EXPECT_EQ(r.bound_violations, 2);
+}
+
+}  // namespace
+}  // namespace czsync::analysis

@@ -1,0 +1,115 @@
+// Tests for the random-topology generators used by the §5 connectivity
+// study (E16).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "net/topology.h"
+
+namespace czsync::net {
+namespace {
+
+TEST(GnpTest, ConnectedAndWithinEdgeBudget) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto t = Topology::gnp_connected(12, 0.5, rng);
+    EXPECT_EQ(t.size(), 12);
+    EXPECT_TRUE(t.is_connected());
+    EXPECT_LE(t.edge_count(), 66u);
+  }
+}
+
+TEST(GnpTest, DenseApproachesCompleteness) {
+  Rng rng(2);
+  const auto t = Topology::gnp_connected(10, 0.99, rng);
+  EXPECT_GT(t.edge_count(), 38u);  // close to C(10,2) = 45
+}
+
+TEST(GnpTest, SparseFallbackStillConnected) {
+  // p so small the raw sample can't connect: falls back to ring + edges.
+  Rng rng(3);
+  const auto t = Topology::gnp_connected(20, 0.001, rng);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(GnpTest, DeterministicGivenRngState) {
+  Rng a(7), b(7);
+  const auto t1 = Topology::gnp_connected(10, 0.5, a);
+  const auto t2 = Topology::gnp_connected(10, 0.5, b);
+  EXPECT_EQ(t1.edge_count(), t2.edge_count());
+  for (int x = 0; x < 10; ++x)
+    for (int y = x + 1; y < 10; ++y)
+      EXPECT_EQ(t1.has_edge(x, y), t2.has_edge(x, y));
+}
+
+class RandomRegularTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRegularTest, MinDegreeReachedAndConnected) {
+  const int d = GetParam();
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    const auto t = Topology::random_regular(16, d, rng);
+    EXPECT_TRUE(t.is_connected());
+    EXPECT_GE(t.min_degree(), d);
+    // Near-regularity: nobody should have wildly more than d+a few.
+    for (int v = 0; v < 16; ++v) EXPECT_LE(t.degree(v), d + 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RandomRegularTest,
+                         ::testing::Values(3, 5, 7, 10));
+
+TEST(RandomRegularTest2, ConnectivityScalesWithDegree) {
+  Rng rng(13);
+  const auto sparse = Topology::random_regular(16, 3, rng);
+  const auto dense = Topology::random_regular(16, 10, rng);
+  EXPECT_LE(sparse.vertex_connectivity(), dense.vertex_connectivity());
+  EXPECT_GE(dense.vertex_connectivity(), 5);
+}
+
+}  // namespace
+}  // namespace czsync::net
+
+namespace czsync::analysis {
+namespace {
+
+TEST(CustomTopologyScenarioTest, ProtocolRunsOnRandomGraph) {
+  Rng rng(21);
+  Scenario s;
+  s.model.n = 13;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.topology = Scenario::TopologyKind::Custom;
+  s.custom_topology = net::Topology::random_regular(13, 8, rng);
+  s.horizon = Dur::hours(3);
+  s.warmup = Dur::minutes(30);
+  s.seed = 8;
+  const auto r = run_scenario(s);
+  EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
+}
+
+TEST(CustomTopologyScenarioTest, RingTooSparseForTrimming) {
+  // Degree 2 < f+1 = 3 finite peer estimates needed beyond self: with
+  // f = 2 trimming over 3 entries, m/M are the extreme values and the
+  // protocol cannot hold the ring together against drift.
+  Scenario s;
+  s.model.n = 10;
+  s.model.f = 2;
+  s.model.rho = 1e-3;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.topology = Scenario::TopologyKind::Ring;
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::zero();
+  s.seed = 9;
+  const auto r = run_scenario(s);
+  // With only 3 estimates and f=2, select_low picks index 2 (the max!)
+  // and select_high index 2 of descending (the min): no averaging force.
+  EXPECT_GT(r.max_stable_deviation.sec(), r.bounds.max_deviation.sec());
+}
+
+}  // namespace
+}  // namespace czsync::analysis

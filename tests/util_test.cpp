@@ -1,0 +1,362 @@
+// Unit tests for src/util: time types, RNG, statistics, CSV, tables,
+// logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time_types.h"
+
+namespace czsync {
+namespace {
+
+// ---------- time types ----------
+
+TEST(DurTest, ConstructionAndConversions) {
+  EXPECT_DOUBLE_EQ(Dur::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Dur::millis(250).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(Dur::micros(500).sec(), 5e-4);
+  EXPECT_DOUBLE_EQ(Dur::minutes(2).sec(), 120.0);
+  EXPECT_DOUBLE_EQ(Dur::hours(1).sec(), 3600.0);
+  EXPECT_DOUBLE_EQ(Dur::seconds(0.5).ms(), 500.0);
+}
+
+TEST(DurTest, Arithmetic) {
+  const Dur a = Dur::seconds(3), b = Dur::seconds(1);
+  EXPECT_DOUBLE_EQ((a + b).sec(), 4.0);
+  EXPECT_DOUBLE_EQ((a - b).sec(), 2.0);
+  EXPECT_DOUBLE_EQ((-a).sec(), -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).sec(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).sec(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  Dur c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.sec(), 4.0);
+  c -= Dur::seconds(2);
+  EXPECT_DOUBLE_EQ(c.sec(), 2.0);
+}
+
+TEST(DurTest, ComparisonAndAbs) {
+  EXPECT_LT(Dur::seconds(1), Dur::seconds(2));
+  EXPECT_GE(Dur::seconds(2), Dur::seconds(2));
+  EXPECT_EQ(Dur::seconds(-3).abs(), Dur::seconds(3));
+  EXPECT_EQ(Dur::seconds(3).abs(), Dur::seconds(3));
+}
+
+TEST(DurTest, Infinity) {
+  EXPECT_FALSE(Dur::infinity().is_finite());
+  EXPECT_TRUE(Dur::seconds(1e12).is_finite());
+  EXPECT_GT(Dur::infinity(), Dur::seconds(1e300));
+  EXPECT_LT(-Dur::infinity(), Dur::seconds(-1e300));
+}
+
+TEST(RealTimeTest, Arithmetic) {
+  const RealTime t0(100.0);
+  EXPECT_DOUBLE_EQ((t0 + Dur::seconds(5)).sec(), 105.0);
+  EXPECT_DOUBLE_EQ((t0 - Dur::seconds(5)).sec(), 95.0);
+  EXPECT_DOUBLE_EQ((RealTime(130.0) - t0).sec(), 30.0);
+  EXPECT_LT(t0, RealTime(100.5));
+}
+
+TEST(ClockTimeTest, Arithmetic) {
+  const ClockTime c0(50.0);
+  EXPECT_DOUBLE_EQ((c0 + Dur::seconds(2)).sec(), 52.0);
+  EXPECT_DOUBLE_EQ((ClockTime(55.0) - c0).sec(), 5.0);
+}
+
+TEST(TimeTypesTest, StreamOutput) {
+  std::ostringstream os;
+  os << Dur::seconds(2) << " " << RealTime(3.0) << " " << ClockTime(4.0);
+  EXPECT_EQ(os.str(), "2s tau=3 C=4");
+}
+
+// ---------- RNG ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Uniform01Range) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01Mean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(29);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(55);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1() == c2());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkDeterministic) {
+  Rng p1(55), p2(55);
+  Rng a = p1.fork(9), b = p2.fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, ForkByName) {
+  Rng parent(55);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  Rng a2 = parent.fork("alpha");
+  EXPECT_EQ(a(), a2());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMixTest, KnownSequenceDistinct) {
+  std::uint64_t s = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ---------- statistics ----------
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SeriesTest, Quantiles) {
+  Series s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // unsorted insert
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SeriesTest, EmptyAndSingle) {
+  Series s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(SeriesTest, AddAfterQuantileKeepsCorrectness) {
+  Series s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);  // after a sort happened
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(25.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(9), 2u);
+  EXPECT_EQ(h.count_at(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(HistogramTest, AsciiRendersEveryBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+// ---------- CSV ----------
+
+TEST(CsvTest, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.row({"1", "2"});
+  w.row_numeric({3.5, -4.25});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3.5,-4.25\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x"});
+  w.row({"has,comma"});
+  w.row({"has\"quote"});
+  w.row({"plain"});
+  EXPECT_EQ(os.str(), "x\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
+}
+
+TEST(CsvTest, FmtNum) {
+  EXPECT_EQ(fmt_num(1.5), "1.5");
+  EXPECT_EQ(fmt_num(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt_num(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(fmt_num(std::nan("")), "nan");
+  EXPECT_EQ(fmt_num(0.0), "0");
+}
+
+// ---------- tables ----------
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+// ---------- logging ----------
+
+TEST(LoggingTest, LevelFiltering) {
+  auto& lg = Logger::instance();
+  const LogLevel old = lg.level();
+  std::vector<std::string> captured;
+  lg.set_sink([&](LogLevel, const std::string& m) { captured.push_back(m); });
+  lg.set_level(LogLevel::Warn);
+  CZ_INFO << "hidden";
+  CZ_WARN << "shown " << 42;
+  EXPECT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "shown 42");
+  lg.set_level(old);
+  lg.set_sink([](LogLevel, const std::string&) {});
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace czsync

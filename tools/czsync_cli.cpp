@@ -1,0 +1,164 @@
+// czsync_cli — run any scenario from a key=value config file.
+//
+// Usage:
+//   czsync_cli                      # run the built-in demo scenario
+//   czsync_cli scenario.conf       # run a config file
+//   czsync_cli scenario.conf out/  # also write series/recoveries/summary
+//                                  # CSVs into the directory
+//   czsync_cli --help              # list every config key
+//
+// Exit code 0 when the measured deviation stayed within the Theorem-5
+// bound (and every judged recovery completed), 1 otherwise — so the tool
+// doubles as a scriptable checker.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/trace_io.h"
+#include "util/table.h"
+
+using namespace czsync;
+
+namespace {
+
+constexpr const char* kDemoConfig = R"(
+# Demo: n=7/f=2 WAN deployment under a mobile two-faced Byzantine attack.
+n = 7
+f = 2
+rho = 1e-4
+delta = 50ms
+delta_period = 1h
+sync_int = 60s
+horizon = 6h
+warmup = 30m
+initial_spread = 200ms
+adversary = mobile
+strategy = two-faced
+strategy_scale = 30s
+schedule_end = 4.5h
+seed = 1
+)";
+
+constexpr const char* kHelp = R"(czsync_cli [CONFIG_FILE [CSV_OUT_DIR]]
+
+Config keys (all optional; defaults in parentheses):
+  model:      n (7), f (2), rho (1e-4), delta (50ms), delta_period (1h)
+  protocol:   sync_int (60s), convergence (bhhn|midpoint|capped-correction|
+              none), capped_correction_cap (100ms)
+  discipline: rate_discipline (false), discipline_gain (0.125),
+              discipline_slew_interval (5s)
+  clocks:     drift (constant|wander|opposed-halves), wander_interval (5m)
+  network:    delay (fixed|uniform|asymmetric|jitter),
+              topology (full-mesh|two-cliques|ring)
+  run:        initial_spread (100ms), horizon (6h), warmup (0),
+              sample_period (10s), seed (1), record_series (false)
+  adversary:  adversary (none|single|mobile|sweep), strategy (silent|
+              clock-smash|clock-smash-random|constant-lie|two-faced|
+              max-pull|random-lie|delayed-reply), strategy_scale (10s);
+              single: victim (0), break_at (1h), leave_at (1h10m);
+              mobile: min_dwell (5m), max_dwell (20m), schedule_end
+              (0.8*horizon); sweep: dwell (10m), slack (1m)
+
+Durations accept us/ms/s/m/h suffixes. Unknown keys are reported.
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string out_dir;
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
+  if (argc > 1) config_path = argv[1];
+  if (argc > 2) out_dir = argv[2];
+
+  Config cfg;
+  try {
+    cfg = config_path.empty() ? Config::parse(kDemoConfig)
+                              : Config::load(config_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  analysis::Scenario s;
+  try {
+    s = analysis::scenario_from_config(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "config error: %s\n", e.what());
+    return 2;
+  }
+  if (!out_dir.empty()) s.record_series = true;
+  for (const auto& k : cfg.unused_keys()) {
+    std::fprintf(stderr, "warning: unused config key '%s'\n", k.c_str());
+  }
+  if (!s.model.byzantine_quorum_ok()) {
+    std::fprintf(stderr, "warning: n < 3f+1 — outside the model's budget\n");
+  }
+  if (!s.schedule.empty() &&
+      !s.schedule.is_f_limited(s.model.f, s.model.delta_period)) {
+    std::fprintf(stderr,
+                 "warning: adversary schedule is NOT f-limited for Delta\n");
+  }
+
+  const auto r = analysis::run_scenario(s);
+
+  std::printf("%s\n\n", r.bounds.summary().c_str());
+  TextTable t({"metric", "bound", "measured"});
+  char buf[64];
+  auto msr = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", v * 1e3);
+    return std::string(buf);
+  };
+  t.row({"deviation (max, stable)", msr(r.bounds.max_deviation.sec()),
+         msr(r.max_stable_deviation.sec())});
+  t.row({"deviation (mean)", "-", msr(r.mean_stable_deviation.sec())});
+  // A steady-state correction cancels one reading error plus the relative
+  // drift accumulated since the previous Sync (the psi of Theorem 5 is
+  // the *accuracy-envelope* allowance; the per-sync engineering bound
+  // adds the 2 rho SyncInt drift term).
+  const double adj_bound =
+      r.bounds.discontinuity.sec() + 2.0 * s.model.rho * s.sync_int.sec();
+  t.row({"max adjustment (psi + drift)", msr(adj_bound),
+         msr(r.max_stable_discontinuity.sec())});
+  std::snprintf(buf, sizeof buf, "%.3g", r.bounds.logical_drift);
+  std::string drift_bound = buf;
+  std::snprintf(buf, sizeof buf, "%.3g", r.max_rate_excess);
+  t.row({"logical drift (rate excess)", drift_bound, buf});
+  std::snprintf(buf, sizeof buf, "%.1f s", r.max_recovery_time().sec());
+  t.row({"recovery (max)", "<= Delta",
+         r.recoveries.empty() ? "n/a" : std::string(buf)});
+  t.row({"recoveries judged ok", "-", r.all_recovered() ? "yes" : "NO"});
+  t.row({"break-ins", "-", std::to_string(r.break_ins)});
+  t.row({"messages", "-", std::to_string(r.messages_sent)});
+  t.row({"sim events", "-", std::to_string(r.events_executed)});
+  t.print(std::cout);
+
+  if (!out_dir.empty()) {
+    const std::string base =
+        out_dir.back() == '/' ? out_dir : out_dir + "/";
+    {
+      std::ofstream f(base + "series.csv");
+      analysis::write_series_csv(f, r);
+    }
+    {
+      std::ofstream f(base + "recoveries.csv");
+      analysis::write_recoveries_csv(f, r);
+    }
+    {
+      std::ofstream f(base + "summary.csv");
+      analysis::write_summary_csv(f, r);
+    }
+    std::printf("\nwrote %sseries.csv, %srecoveries.csv, %ssummary.csv\n",
+                base.c_str(), base.c_str(), base.c_str());
+  }
+
+  const bool ok =
+      r.max_stable_deviation < r.bounds.max_deviation && r.all_recovered();
+  return ok ? 0 : 1;
+}
