@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deviation.dir/bench_deviation.cpp.o"
+  "CMakeFiles/bench_deviation.dir/bench_deviation.cpp.o.d"
+  "bench_deviation"
+  "bench_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

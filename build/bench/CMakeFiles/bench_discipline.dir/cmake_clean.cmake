@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discipline.dir/bench_discipline.cpp.o"
+  "CMakeFiles/bench_discipline.dir/bench_discipline.cpp.o.d"
+  "bench_discipline"
+  "bench_discipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

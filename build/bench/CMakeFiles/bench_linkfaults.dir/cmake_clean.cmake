@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkfaults.dir/bench_linkfaults.cpp.o"
+  "CMakeFiles/bench_linkfaults.dir/bench_linkfaults.cpp.o.d"
+  "bench_linkfaults"
+  "bench_linkfaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkfaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

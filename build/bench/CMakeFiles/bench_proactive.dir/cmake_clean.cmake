@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proactive.dir/bench_proactive.cpp.o"
+  "CMakeFiles/bench_proactive.dir/bench_proactive.cpp.o.d"
+  "bench_proactive"
+  "bench_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

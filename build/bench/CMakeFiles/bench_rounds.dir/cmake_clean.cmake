@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rounds.dir/bench_rounds.cpp.o"
+  "CMakeFiles/bench_rounds.dir/bench_rounds.cpp.o.d"
+  "bench_rounds"
+  "bench_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_stabilization.cpp" "bench/CMakeFiles/bench_stabilization.dir/bench_stabilization.cpp.o" "gcc" "bench/CMakeFiles/bench_stabilization.dir/bench_stabilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/czsync_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/proactive/CMakeFiles/czsync_proactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/czsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/czsync_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/czsync_broadcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

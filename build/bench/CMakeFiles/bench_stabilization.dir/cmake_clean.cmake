@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stabilization.dir/bench_stabilization.cpp.o"
+  "CMakeFiles/bench_stabilization.dir/bench_stabilization.cpp.o.d"
+  "bench_stabilization"
+  "bench_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

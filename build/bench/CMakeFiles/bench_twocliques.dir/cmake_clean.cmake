@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twocliques.dir/bench_twocliques.cpp.o"
+  "CMakeFiles/bench_twocliques.dir/bench_twocliques.cpp.o.d"
+  "bench_twocliques"
+  "bench_twocliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twocliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

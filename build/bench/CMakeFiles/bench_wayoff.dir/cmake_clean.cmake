@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wayoff.dir/bench_wayoff.cpp.o"
+  "CMakeFiles/bench_wayoff.dir/bench_wayoff.cpp.o.d"
+  "bench_wayoff"
+  "bench_wayoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wayoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_service.dir/proactive_service.cpp.o"
+  "CMakeFiles/proactive_service.dir/proactive_service.cpp.o.d"
+  "proactive_service"
+  "proactive_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_deployment.dir/sparse_deployment.cpp.o"
+  "CMakeFiles/sparse_deployment.dir/sparse_deployment.cpp.o.d"
+  "sparse_deployment"
+  "sparse_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamping_attack.dir/timestamping_attack.cpp.o"
+  "CMakeFiles/timestamping_attack.dir/timestamping_attack.cpp.o.d"
+  "timestamping_attack"
+  "timestamping_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamping_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/adversary.cpp" "src/adversary/CMakeFiles/czsync_adversary.dir/adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/czsync_adversary.dir/adversary.cpp.o.d"
+  "/root/repo/src/adversary/schedule.cpp" "src/adversary/CMakeFiles/czsync_adversary.dir/schedule.cpp.o" "gcc" "src/adversary/CMakeFiles/czsync_adversary.dir/schedule.cpp.o.d"
+  "/root/repo/src/adversary/strategies.cpp" "src/adversary/CMakeFiles/czsync_adversary.dir/strategies.cpp.o" "gcc" "src/adversary/CMakeFiles/czsync_adversary.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

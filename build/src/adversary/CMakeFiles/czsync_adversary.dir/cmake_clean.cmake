@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_adversary.dir/adversary.cpp.o"
+  "CMakeFiles/czsync_adversary.dir/adversary.cpp.o.d"
+  "CMakeFiles/czsync_adversary.dir/schedule.cpp.o"
+  "CMakeFiles/czsync_adversary.dir/schedule.cpp.o.d"
+  "CMakeFiles/czsync_adversary.dir/strategies.cpp.o"
+  "CMakeFiles/czsync_adversary.dir/strategies.cpp.o.d"
+  "libczsync_adversary.a"
+  "libczsync_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/experiment.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/experiment.cpp.o.d"
+  "/root/repo/src/analysis/node.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/node.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/node.cpp.o.d"
+  "/root/repo/src/analysis/observer.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/observer.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/observer.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/sweep.cpp.o.d"
+  "/root/repo/src/analysis/trace_io.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/trace_io.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/trace_io.cpp.o.d"
+  "/root/repo/src/analysis/world.cpp" "src/analysis/CMakeFiles/czsync_analysis.dir/world.cpp.o" "gcc" "src/analysis/CMakeFiles/czsync_analysis.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/czsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/czsync_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/czsync_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

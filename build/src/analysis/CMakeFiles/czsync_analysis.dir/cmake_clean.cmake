@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/czsync_analysis.dir/node.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/node.cpp.o.d"
+  "CMakeFiles/czsync_analysis.dir/observer.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/observer.cpp.o.d"
+  "CMakeFiles/czsync_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/sweep.cpp.o.d"
+  "CMakeFiles/czsync_analysis.dir/trace_io.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/trace_io.cpp.o.d"
+  "CMakeFiles/czsync_analysis.dir/world.cpp.o"
+  "CMakeFiles/czsync_analysis.dir/world.cpp.o.d"
+  "libczsync_analysis.a"
+  "libczsync_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/auth.cpp" "src/broadcast/CMakeFiles/czsync_broadcast.dir/auth.cpp.o" "gcc" "src/broadcast/CMakeFiles/czsync_broadcast.dir/auth.cpp.o.d"
+  "/root/repo/src/broadcast/replay_strategy.cpp" "src/broadcast/CMakeFiles/czsync_broadcast.dir/replay_strategy.cpp.o" "gcc" "src/broadcast/CMakeFiles/czsync_broadcast.dir/replay_strategy.cpp.o.d"
+  "/root/repo/src/broadcast/st_sync.cpp" "src/broadcast/CMakeFiles/czsync_broadcast.dir/st_sync.cpp.o" "gcc" "src/broadcast/CMakeFiles/czsync_broadcast.dir/st_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/czsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/czsync_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

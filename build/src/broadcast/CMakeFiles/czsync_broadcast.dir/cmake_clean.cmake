@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_broadcast.dir/auth.cpp.o"
+  "CMakeFiles/czsync_broadcast.dir/auth.cpp.o.d"
+  "CMakeFiles/czsync_broadcast.dir/replay_strategy.cpp.o"
+  "CMakeFiles/czsync_broadcast.dir/replay_strategy.cpp.o.d"
+  "CMakeFiles/czsync_broadcast.dir/st_sync.cpp.o"
+  "CMakeFiles/czsync_broadcast.dir/st_sync.cpp.o.d"
+  "libczsync_broadcast.a"
+  "libczsync_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

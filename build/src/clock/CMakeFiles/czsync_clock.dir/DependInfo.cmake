@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/drift_model.cpp" "src/clock/CMakeFiles/czsync_clock.dir/drift_model.cpp.o" "gcc" "src/clock/CMakeFiles/czsync_clock.dir/drift_model.cpp.o.d"
+  "/root/repo/src/clock/hardware_clock.cpp" "src/clock/CMakeFiles/czsync_clock.dir/hardware_clock.cpp.o" "gcc" "src/clock/CMakeFiles/czsync_clock.dir/hardware_clock.cpp.o.d"
+  "/root/repo/src/clock/logical_clock.cpp" "src/clock/CMakeFiles/czsync_clock.dir/logical_clock.cpp.o" "gcc" "src/clock/CMakeFiles/czsync_clock.dir/logical_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

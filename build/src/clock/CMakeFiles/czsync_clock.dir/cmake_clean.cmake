@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_clock.dir/drift_model.cpp.o"
+  "CMakeFiles/czsync_clock.dir/drift_model.cpp.o.d"
+  "CMakeFiles/czsync_clock.dir/hardware_clock.cpp.o"
+  "CMakeFiles/czsync_clock.dir/hardware_clock.cpp.o.d"
+  "CMakeFiles/czsync_clock.dir/logical_clock.cpp.o"
+  "CMakeFiles/czsync_clock.dir/logical_clock.cpp.o.d"
+  "libczsync_clock.a"
+  "libczsync_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

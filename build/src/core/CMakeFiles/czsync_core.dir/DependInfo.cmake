@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/czsync_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/discipline.cpp" "src/core/CMakeFiles/czsync_core.dir/discipline.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/discipline.cpp.o.d"
+  "/root/repo/src/core/envelope.cpp" "src/core/CMakeFiles/czsync_core.dir/envelope.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/envelope.cpp.o.d"
+  "/root/repo/src/core/estimate.cpp" "src/core/CMakeFiles/czsync_core.dir/estimate.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/estimate.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/czsync_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/round_protocol.cpp" "src/core/CMakeFiles/czsync_core.dir/round_protocol.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/round_protocol.cpp.o.d"
+  "/root/repo/src/core/sync_protocol.cpp" "src/core/CMakeFiles/czsync_core.dir/sync_protocol.cpp.o" "gcc" "src/core/CMakeFiles/czsync_core.dir/sync_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

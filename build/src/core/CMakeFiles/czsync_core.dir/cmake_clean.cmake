@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_core.dir/convergence.cpp.o"
+  "CMakeFiles/czsync_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/discipline.cpp.o"
+  "CMakeFiles/czsync_core.dir/discipline.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/envelope.cpp.o"
+  "CMakeFiles/czsync_core.dir/envelope.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/estimate.cpp.o"
+  "CMakeFiles/czsync_core.dir/estimate.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/params.cpp.o"
+  "CMakeFiles/czsync_core.dir/params.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/round_protocol.cpp.o"
+  "CMakeFiles/czsync_core.dir/round_protocol.cpp.o.d"
+  "CMakeFiles/czsync_core.dir/sync_protocol.cpp.o"
+  "CMakeFiles/czsync_core.dir/sync_protocol.cpp.o.d"
+  "libczsync_core.a"
+  "libczsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_net.dir/delay_model.cpp.o"
+  "CMakeFiles/czsync_net.dir/delay_model.cpp.o.d"
+  "CMakeFiles/czsync_net.dir/link_faults.cpp.o"
+  "CMakeFiles/czsync_net.dir/link_faults.cpp.o.d"
+  "CMakeFiles/czsync_net.dir/network.cpp.o"
+  "CMakeFiles/czsync_net.dir/network.cpp.o.d"
+  "CMakeFiles/czsync_net.dir/topology.cpp.o"
+  "CMakeFiles/czsync_net.dir/topology.cpp.o.d"
+  "libczsync_net.a"
+  "libczsync_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

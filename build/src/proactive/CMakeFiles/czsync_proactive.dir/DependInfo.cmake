@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proactive/audit.cpp" "src/proactive/CMakeFiles/czsync_proactive.dir/audit.cpp.o" "gcc" "src/proactive/CMakeFiles/czsync_proactive.dir/audit.cpp.o.d"
+  "/root/repo/src/proactive/refresh.cpp" "src/proactive/CMakeFiles/czsync_proactive.dir/refresh.cpp.o" "gcc" "src/proactive/CMakeFiles/czsync_proactive.dir/refresh.cpp.o.d"
+  "/root/repo/src/proactive/secret_sharing.cpp" "src/proactive/CMakeFiles/czsync_proactive.dir/secret_sharing.cpp.o" "gcc" "src/proactive/CMakeFiles/czsync_proactive.dir/secret_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adversary/CMakeFiles/czsync_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/czsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/czsync_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/czsync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/czsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_proactive.dir/audit.cpp.o"
+  "CMakeFiles/czsync_proactive.dir/audit.cpp.o.d"
+  "CMakeFiles/czsync_proactive.dir/refresh.cpp.o"
+  "CMakeFiles/czsync_proactive.dir/refresh.cpp.o.d"
+  "CMakeFiles/czsync_proactive.dir/secret_sharing.cpp.o"
+  "CMakeFiles/czsync_proactive.dir/secret_sharing.cpp.o.d"
+  "libczsync_proactive.a"
+  "libczsync_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

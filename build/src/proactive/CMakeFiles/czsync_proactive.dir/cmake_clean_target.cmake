@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libczsync_proactive.a"
+)

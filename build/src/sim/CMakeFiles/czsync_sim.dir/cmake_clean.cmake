@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/czsync_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/czsync_sim.dir/simulator.cpp.o"
+  "CMakeFiles/czsync_sim.dir/simulator.cpp.o.d"
+  "libczsync_sim.a"
+  "libczsync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_util.dir/config.cpp.o"
+  "CMakeFiles/czsync_util.dir/config.cpp.o.d"
+  "CMakeFiles/czsync_util.dir/csv.cpp.o"
+  "CMakeFiles/czsync_util.dir/csv.cpp.o.d"
+  "CMakeFiles/czsync_util.dir/logging.cpp.o"
+  "CMakeFiles/czsync_util.dir/logging.cpp.o.d"
+  "CMakeFiles/czsync_util.dir/rng.cpp.o"
+  "CMakeFiles/czsync_util.dir/rng.cpp.o.d"
+  "CMakeFiles/czsync_util.dir/stats.cpp.o"
+  "CMakeFiles/czsync_util.dir/stats.cpp.o.d"
+  "CMakeFiles/czsync_util.dir/table.cpp.o"
+  "CMakeFiles/czsync_util.dir/table.cpp.o.d"
+  "libczsync_util.a"
+  "libczsync_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discipline_test.dir/discipline_test.cpp.o"
+  "CMakeFiles/discipline_test.dir/discipline_test.cpp.o.d"
+  "discipline_test"
+  "discipline_test.pdb"
+  "discipline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discipline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

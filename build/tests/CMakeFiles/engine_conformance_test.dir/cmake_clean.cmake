@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_conformance_test.dir/engine_conformance_test.cpp.o"
+  "CMakeFiles/engine_conformance_test.dir/engine_conformance_test.cpp.o.d"
+  "engine_conformance_test"
+  "engine_conformance_test.pdb"
+  "engine_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

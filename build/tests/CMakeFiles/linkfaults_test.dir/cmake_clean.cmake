@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkfaults_test.dir/linkfaults_test.cpp.o"
+  "CMakeFiles/linkfaults_test.dir/linkfaults_test.cpp.o.d"
+  "linkfaults_test"
+  "linkfaults_test.pdb"
+  "linkfaults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkfaults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

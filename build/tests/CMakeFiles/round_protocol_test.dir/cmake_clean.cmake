@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_protocol_test.dir/round_protocol_test.cpp.o"
+  "CMakeFiles/round_protocol_test.dir/round_protocol_test.cpp.o.d"
+  "round_protocol_test"
+  "round_protocol_test.pdb"
+  "round_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_protocol_test.dir/sync_protocol_test.cpp.o"
+  "CMakeFiles/sync_protocol_test.dir/sync_protocol_test.cpp.o.d"
+  "sync_protocol_test"
+  "sync_protocol_test.pdb"
+  "sync_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/czsync_cli.dir/czsync_cli.cpp.o"
+  "CMakeFiles/czsync_cli.dir/czsync_cli.cpp.o.d"
+  "czsync_cli"
+  "czsync_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/czsync_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
