@@ -2,12 +2,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "analysis/experiment.h"
+#include "analysis/sweep.h"
 #include "util/csv.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace czsync::bench {
 
@@ -52,5 +56,29 @@ inline std::string secs(Dur d) {
 }
 
 inline std::string num(double v) { return fmt_num(v); }
+
+/// Worker count for parallel sweeps: `--jobs N` (or `--jobs=N`) on the
+/// command line beats the CZSYNC_JOBS environment variable beats the
+/// hardware default. Parallelism only changes wall-clock — results are
+/// bit-identical at any job count (see analysis::run_sweep_parallel).
+inline int sweep_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      return std::atoi(argv[i] + 7);
+    }
+  }
+  if (const char* env = std::getenv("CZSYNC_JOBS")) return std::atoi(env);
+  return static_cast<int>(ThreadPool::default_jobs());
+}
+
+/// One-line perf footer so every sweep run leaves a throughput record.
+inline void print_sweep_perf(const char* what, int runs, double wall_seconds,
+                             int jobs) {
+  std::printf("%s: %d runs in %.2f s (%.2f runs/s, jobs = %d)\n", what, runs,
+              wall_seconds, wall_seconds > 0 ? runs / wall_seconds : 0.0, jobs);
+}
 
 }  // namespace czsync::bench

@@ -14,13 +14,16 @@
 // connectivity, is the right notion.
 #include "bench_common.h"
 
+#include <chrono>
+#include <vector>
+
 #include "adversary/schedule.h"
 #include "net/topology.h"
 
 using namespace czsync;
 using namespace czsync::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("E16: sparse random topologies (§5 neighbor-limited sync)",
                "conjecture: sufficiently-connected (expander-like) subgraphs "
                "suffice; Section 5 proved raw (3f+1)-connectivity does not");
@@ -34,7 +37,36 @@ int main() {
   TextTable table({"topology", "min degree", "vertex conn.", "max dev [ms]",
                    "gamma [ms]", "bound holds", "all recovered"});
 
-  auto run_on = [&](const std::string& label, net::Topology topo) {
+  // Rows are independent runs: build them all, fan out across the worker
+  // pool, then format in input order so the table is deterministic.
+  std::vector<std::string> labels;
+  std::vector<net::Topology> topos;
+  auto add = [&](const std::string& label, net::Topology topo) {
+    labels.push_back(label);
+    topos.push_back(std::move(topo));
+  };
+
+  add("full mesh (control)", net::Topology::full_mesh(n));
+  {
+    Rng rng(41);
+    for (int d : {5, 7, 9, 12}) {
+      add("random ~" + std::to_string(d) + "-regular",
+          net::Topology::random_regular(n, d, rng));
+    }
+  }
+  {
+    Rng rng(42);
+    for (double p : {0.4, 0.6, 0.8}) {
+      char label[32];
+      std::snprintf(label, sizeof label, "G(n, %.1f)", p);
+      add(label, net::Topology::gnp_connected(n, p, rng));
+    }
+  }
+  add("ring (degenerate)", net::Topology::ring(n));
+  add("two-cliques f=2 (n=14)", net::Topology::two_cliques(2));
+
+  std::vector<analysis::Scenario> scenarios;
+  for (const auto& topo : topos) {
     auto s = wan_scenario(17);
     s.model.n = topo.size();  // rows may use their natural sizes
     s.model.f = f;
@@ -46,35 +78,28 @@ int main() {
         RealTime(6.5 * 3600.0), Rng(171));
     s.strategy = "two-faced";
     s.strategy_scale = Dur::seconds(30);
-    const auto r = analysis::run_scenario(s);
-    table.row({label, std::to_string(topo.min_degree()),
-               std::to_string(topo.vertex_connectivity()),
+    scenarios.push_back(std::move(s));
+  }
+
+  const int jobs = sweep_jobs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = analysis::run_scenarios_parallel(scenarios, jobs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.row({labels[i], std::to_string(topos[i].min_degree()),
+               std::to_string(topos[i].vertex_connectivity()),
                ms(r.max_stable_deviation), ms(r.bounds.max_deviation),
                r.max_stable_deviation < r.bounds.max_deviation ? "yes"
                                                                : "BROKEN",
                r.all_recovered() ? "all" : "NO"});
-  };
-
-  run_on("full mesh (control)", net::Topology::full_mesh(n));
-  {
-    Rng rng(41);
-    for (int d : {5, 7, 9, 12}) {
-      run_on("random ~" + std::to_string(d) + "-regular",
-             net::Topology::random_regular(n, d, rng));
-    }
   }
-  {
-    Rng rng(42);
-    for (double p : {0.4, 0.6, 0.8}) {
-      char label[32];
-      std::snprintf(label, sizeof label, "G(n, %.1f)", p);
-      run_on(label, net::Topology::gnp_connected(n, p, rng));
-    }
-  }
-  run_on("ring (degenerate)", net::Topology::ring(n));
-  run_on("two-cliques f=2 (n=14)", net::Topology::two_cliques(2));
 
   table.print(std::cout);
+  print_sweep_perf("\nruns", static_cast<int>(results.size()), wall, jobs);
 
   std::printf(
       "\nNOTE: the last two rows use their natural sizes/shapes (ring n=16;\n"

@@ -13,12 +13,15 @@
 using namespace czsync;
 using namespace czsync::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("E18: Theorem 5 across 20 seeds per strategy",
                "the deviation/recovery guarantees are worst-case promises: "
                "no seed may violate them");
 
+  const int jobs = sweep_jobs(argc, argv);
   const int kSeeds = 20;
+  int total_runs = 0;
+  double total_wall = 0.0;
   TextTable table({"strategy", "max dev min/mean/max [ms]",
                    "recovery mean/max [s]", "violations", "unrecovered"});
   for (const char* strategy :
@@ -34,7 +37,9 @@ int main() {
       s.strategy_scale = Dur::seconds(30);
       return s;
     };
-    const auto sweep = analysis::run_sweep(make, 100, kSeeds);
+    const auto sweep = analysis::run_sweep_parallel(make, 100, kSeeds, jobs);
+    total_runs += sweep.runs;
+    total_wall += sweep.wall_seconds;
     char devs[64], recs[64];
     std::snprintf(devs, sizeof devs, "%.1f / %.1f / %.1f",
                   sweep.max_deviation.min() * 1e3,
@@ -46,6 +51,7 @@ int main() {
                std::to_string(sweep.unrecovered_runs)});
   }
   table.print(std::cout);
+  print_sweep_perf("\nsweeps", total_runs, total_wall, jobs);
 
   const auto bounds = core::TheoremBounds::compute(
       wan_scenario().model,

@@ -15,7 +15,9 @@
 // That is evidence for (not a proof of) self-stabilization.
 #include "bench_common.h"
 
+#include <chrono>
 #include <cmath>
+#include <vector>
 
 #include "adversary/schedule.h"
 
@@ -41,16 +43,16 @@ Dur settle_time(const analysis::RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("E15: arbitrary initial clocks (§5 self-stabilization probe)",
                "open question in the paper; measured: convergence in "
                "O(log(spread)) Sync rounds from any initial state");
 
-  TextTable table({"initial spread", "settle (no faults)", "settle (mobile "
-                   "two-faced)", "rounds to settle", "log2(spread/gamma)"});
-  for (double spread_s : {1.0, 60.0, 3600.0, 86400.0, 1e6}) {
-    Dur settle_plain, settle_attack;
-    std::uint64_t rounds_needed = 0;
+  // The (spread, attack) grid is 10 independent runs — fan them out and
+  // read the results back in grid order.
+  const std::vector<double> spreads = {1.0, 60.0, 3600.0, 86400.0, 1e6};
+  std::vector<analysis::Scenario> scenarios;
+  for (double spread_s : spreads) {
     for (int attack = 0; attack < 2; ++attack) {
       auto s = wan_scenario(16);
       s.initial_spread = Dur::seconds(spread_s);
@@ -65,18 +67,28 @@ int main() {
         s.strategy = "two-faced";
         s.strategy_scale = Dur::seconds(30);
       }
-      const auto r = analysis::run_scenario(s);
-      const Dur t = settle_time(r);
-      if (attack) {
-        settle_attack = t;
-      } else {
-        settle_plain = t;
-        rounds_needed = t.is_finite()
-                            ? static_cast<std::uint64_t>(
-                                  std::ceil(t.sec() / s.sync_int.sec()))
-                            : 0;
-      }
+      scenarios.push_back(std::move(s));
     }
+  }
+  const int jobs = sweep_jobs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = analysis::run_scenarios_parallel(scenarios, jobs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  TextTable table({"initial spread", "settle (no faults)", "settle (mobile "
+                   "two-faced)", "rounds to settle", "log2(spread/gamma)"});
+  for (std::size_t row = 0; row < spreads.size(); ++row) {
+    const double spread_s = spreads[row];
+    const Dur settle_plain = settle_time(results[2 * row]);
+    const Dur settle_attack = settle_time(results[2 * row + 1]);
+    const Dur sync_int = scenarios[2 * row].sync_int;
+    const std::uint64_t rounds_needed =
+        settle_plain.is_finite()
+            ? static_cast<std::uint64_t>(
+                  std::ceil(settle_plain.sec() / sync_int.sec()))
+            : 0;
     const double gamma =
         core::TheoremBounds::compute(
             wan_scenario().model,
@@ -90,6 +102,7 @@ int main() {
                std::to_string(rounds_needed), logr});
   }
   table.print(std::cout);
+  print_sweep_perf("\nruns", static_cast<int>(results.size()), wall, jobs);
 
   std::printf(
       "\nExpected shape: settle time grows logarithmically in the initial\n"

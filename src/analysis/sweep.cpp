@@ -1,28 +1,112 @@
 #include "analysis/sweep.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace czsync::analysis {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_sec(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Folds one run into the aggregate. Shared by the serial and parallel
+/// paths so their arithmetic — and therefore their output bits — cannot
+/// diverge. MUST be applied in seed order.
+void accumulate(SweepResult& out, const RunResult& r) {
+  if (out.runs == 0) {
+    out.bound = r.bounds.max_deviation;
+  } else if (r.bounds.max_deviation != out.bound) {
+    ++out.bound_mismatches;
+  }
+  ++out.runs;
+  out.max_deviation.add(r.max_stable_deviation.sec());
+  out.mean_deviation.add(r.mean_stable_deviation.sec());
+  out.max_discontinuity.add(r.max_stable_discontinuity.sec());
+  out.max_rate_excess.add(r.max_rate_excess);
+  if (r.max_stable_deviation >= r.bounds.max_deviation) ++out.bound_violations;
+  if (!r.all_recovered()) ++out.unrecovered_runs;
+  const Dur rec = r.max_recovery_time();
+  if (rec.is_finite() && rec > Dur::zero()) out.max_recovery.add(rec.sec());
+}
+
+int resolve_jobs(int jobs) {
+  return jobs > 0 ? jobs : static_cast<int>(ThreadPool::default_jobs());
+}
+
+}  // namespace
 
 SweepResult run_sweep(const std::function<Scenario(std::uint64_t seed)>& make,
                       std::uint64_t first_seed, int count) {
   assert(count >= 1);
+  const auto t0 = Clock::now();
   SweepResult out;
   for (int i = 0; i < count; ++i) {
     const auto seed = first_seed + static_cast<std::uint64_t>(i);
-    const RunResult r = run_scenario(make(seed));
-    ++out.runs;
-    out.max_deviation.add(r.max_stable_deviation.sec());
-    out.mean_deviation.add(r.mean_stable_deviation.sec());
-    out.max_discontinuity.add(r.max_stable_discontinuity.sec());
-    out.max_rate_excess.add(r.max_rate_excess);
-    if (r.max_stable_deviation >= r.bounds.max_deviation) ++out.bound_violations;
-    if (!r.all_recovered()) ++out.unrecovered_runs;
-    const Dur rec = r.max_recovery_time();
-    if (rec.is_finite() && rec > Dur::zero()) out.max_recovery.add(rec.sec());
-    out.bound = r.bounds.max_deviation;
+    accumulate(out, run_scenario(make(seed)));
   }
+  out.wall_seconds = elapsed_sec(t0);
   return out;
+}
+
+SweepResult run_sweep_parallel(
+    const std::function<Scenario(std::uint64_t seed)>& make,
+    std::uint64_t first_seed, int count, int jobs) {
+  assert(count >= 1);
+  jobs = resolve_jobs(jobs);
+  if (jobs <= 1) return run_sweep(make, first_seed, count);
+
+  const auto t0 = Clock::now();
+  // Every run's metrics land in its seed's slot; the fold below walks the
+  // slots in seed order, which is what makes the merge deterministic.
+  std::vector<RunResult> results(static_cast<std::size_t>(count));
+  {
+    ThreadPool pool(static_cast<std::size_t>(std::min(jobs, count)));
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const auto seed = first_seed + static_cast<std::uint64_t>(i);
+      pending.push_back(pool.submit([&make, &results, i, seed] {
+        results[static_cast<std::size_t>(i)] = run_scenario(make(seed));
+      }));
+    }
+    for (auto& f : pending) f.get();  // rethrows any worker exception
+  }
+
+  SweepResult out;
+  for (const auto& r : results) accumulate(out, r);
+  out.wall_seconds = elapsed_sec(t0);
+  return out;
+}
+
+std::vector<RunResult> run_scenarios_parallel(
+    const std::vector<Scenario>& scenarios, int jobs) {
+  jobs = resolve_jobs(jobs);
+  std::vector<RunResult> results(scenarios.size());
+  if (jobs <= 1 || scenarios.size() <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = run_scenario(scenarios[i]);
+    }
+    return results;
+  }
+  ThreadPool pool(std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                        scenarios.size()));
+  std::vector<std::future<void>> pending;
+  pending.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    pending.push_back(pool.submit(
+        [&scenarios, &results, i] { results[i] = run_scenario(scenarios[i]); }));
+  }
+  for (auto& f : pending) f.get();
+  return results;
 }
 
 }  // namespace czsync::analysis

@@ -2,11 +2,14 @@
 //
 // A single seeded run shows one trajectory; claims like "deviation stays
 // under gamma" deserve distributional evidence. run_sweep executes a
-// scenario family across seeds and aggregates the headline metrics.
+// scenario family across seeds and aggregates the headline metrics;
+// run_sweep_parallel fans the seeds out across a util::ThreadPool and
+// produces a bit-identical SweepResult (see the determinism note below).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "analysis/experiment.h"
 #include "util/stats.h"
@@ -26,8 +29,20 @@ struct SweepResult {
   /// Hard-failure counters: any nonzero is a reproduction failure.
   int bound_violations = 0;
   int unrecovered_runs = 0;
-  /// gamma of the last run (the family normally shares one bound).
+  /// gamma of the FIRST run. A scenario family normally shares one
+  /// bound; if make(seed) produces runs with a different gamma, each
+  /// such run increments bound_mismatches instead of silently
+  /// overwriting `bound` (the pre-fix behavior kept only the last
+  /// run's bound, hiding mixed-bound families).
   Dur bound;
+  int bound_mismatches = 0;
+  /// Wall-clock spent inside the sweep call (seconds). Informational
+  /// only — NOT part of the serial/parallel equivalence contract.
+  double wall_seconds = 0.0;
+  /// Per-seed throughput (runs per wall-clock second).
+  [[nodiscard]] double seeds_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
+  }
 };
 
 /// Runs `count` scenarios produced by `make(seed)` for consecutive seeds
@@ -36,5 +51,28 @@ struct SweepResult {
 [[nodiscard]] SweepResult run_sweep(
     const std::function<Scenario(std::uint64_t seed)>& make,
     std::uint64_t first_seed, int count);
+
+/// Parallel variant: fans the `count` seeds out across `jobs` worker
+/// threads (jobs <= 0 means ThreadPool::default_jobs()). Each worker
+/// builds its scenario through make(seed), so simulators, Rngs and
+/// adversary schedules are fully isolated per run; `make` itself must be
+/// safe to call concurrently (pure factories, like every family in this
+/// repo, are).
+///
+/// Determinism: per-seed results are merged in SEED ORDER regardless of
+/// completion order, with the same accumulation arithmetic as run_sweep,
+/// so the returned SweepResult is bit-identical to the serial one
+/// (wall_seconds excepted). A worker exception is rethrown here after
+/// the pool drains.
+[[nodiscard]] SweepResult run_sweep_parallel(
+    const std::function<Scenario(std::uint64_t seed)>& make,
+    std::uint64_t first_seed, int count, int jobs = 0);
+
+/// Ordered parallel map for row-style experiments: runs every scenario
+/// (jobs <= 0 means ThreadPool::default_jobs()) and returns the results
+/// in input order, so tables render deterministically no matter how the
+/// runs interleave.
+[[nodiscard]] std::vector<RunResult> run_scenarios_parallel(
+    const std::vector<Scenario>& scenarios, int jobs = 0);
 
 }  // namespace czsync::analysis

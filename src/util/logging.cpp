@@ -28,11 +28,15 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-  if (sink) sink_ = std::move(sink);
+  if (!sink) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
 }
 
 void Logger::write(LogLevel lv, const std::string& msg) {
-  if (enabled(lv)) sink_(lv, msg);
+  if (!enabled(lv)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_(lv, msg);
 }
 
 }  // namespace czsync

@@ -1,11 +1,15 @@
 // Minimal leveled logger.
 //
 // Simulations are deterministic, so logs double as debugging traces; the
-// default level is Warn to keep test and bench output clean. The logger is
-// deliberately simple (single-threaded simulator, no locking needed).
+// default level is Warn to keep test and bench output clean. Each
+// simulator is single-threaded, but parallel sweeps run several
+// simulators at once against this one global sink, so write/set_sink are
+// serialized by a mutex (the level check stays lock-free).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -20,9 +24,11 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel lv) { level_ = lv; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel lv) const { return lv >= level_; }
+  void set_level(LogLevel lv) { level_.store(lv, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel lv) const { return lv >= level(); }
 
   /// Replaces the output sink (e.g. to capture logs in tests).
   void set_sink(Sink sink);
@@ -30,7 +36,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_ = LogLevel::Warn;
+  std::mutex mu_;
   Sink sink_;
 };
 

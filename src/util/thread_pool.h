@@ -1,0 +1,73 @@
+// Fixed-size worker pool for embarrassingly parallel analysis work.
+//
+// The simulator itself is single-threaded by design (the paper's event
+// model executes one event at a time); parallelism lives strictly ABOVE
+// it: independent (Scenario, seed) runs fan out across workers, each with
+// its own World, Rng and adversary schedule, and results merge after the
+// fact. ThreadPool is the only concurrency primitive in the codebase —
+// keep it boring: a mutex-guarded deque, a condition variable, futures
+// for results and exception propagation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace czsync {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is clamped to 1). Workers start idle.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Clean shutdown: runs every task already submitted, then joins the
+  /// workers. Exceptions from drained tasks stay in their futures.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns a future for its result. An exception
+  /// thrown by the task is captured and rethrown from future::get() in
+  /// the submitting thread. Throws std::runtime_error if the pool is
+  /// already shutting down.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    // packaged_task is move-only and std::function requires copyable
+    // targets, so the task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Worker count to use when the caller does not specify one:
+  /// std::thread::hardware_concurrency, clamped to at least 1.
+  [[nodiscard]] static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace czsync

@@ -1,0 +1,37 @@
+# Driver for the `tsan_concurrency` ctest entry: configure + build a
+# ThreadSanitizer copy of the library and the two concurrency test
+# binaries in a nested build directory, then run them. Any data race
+# makes the binaries exit nonzero, which fails the ctest entry.
+#
+# Expects -DSOURCE_DIR=... and -DBUILD_DIR=... on the cmake -P line.
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "run_tsan_suite.cmake needs SOURCE_DIR and BUILD_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCZSYNC_SANITIZE=thread
+          -DCZSYNC_BUILD_BENCH=OFF
+          -DCZSYNC_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE cfg_result)
+if(NOT cfg_result EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build configure failed (${cfg_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target thread_pool_test sweep_parallel_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "TSan sub-build compile failed (${build_result})")
+endif()
+
+foreach(bin thread_pool_test sweep_parallel_test)
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${bin}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR
+            "${bin} failed under ThreadSanitizer (${run_result})")
+  endif()
+endforeach()

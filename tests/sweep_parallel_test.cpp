@@ -1,0 +1,205 @@
+// Determinism-equivalence suite for the parallel sweep engine.
+//
+// The contract under test: run_sweep_parallel(make, seed, count, jobs)
+// returns a SweepResult BIT-IDENTICAL to serial run_sweep for any job
+// count — every RunningStats field, every counter, and the recorded
+// bound — because per-seed runs are fully isolated and the reduction is
+// applied in seed order regardless of completion order. All double
+// comparisons below are exact (EXPECT_EQ), not approximate: "close
+// enough" would hide reduction-order bugs, which are precisely the bug
+// family this suite exists to catch.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "adversary/schedule.h"
+#include "analysis/sweep.h"
+
+namespace czsync::analysis {
+namespace {
+
+/// WAN-style family (n = 7, f = 2, 50 ms delay) with a per-seed mobile
+/// adversary schedule, so simulator, Rng and adversary isolation are all
+/// exercised. Horizon kept short to keep the suite fast.
+Scenario wan_family(std::uint64_t seed) {
+  Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::hours(2);
+  s.warmup = Dur::minutes(30);
+  s.sample_period = Dur::seconds(30);
+  s.seed = seed;
+  s.schedule = adversary::Schedule::random_mobile(
+      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+      Dur::minutes(20), RealTime(1.5 * 3600.0), Rng(seed * 31 + 7));
+  s.strategy = "two-faced";
+  s.strategy_scale = Dur::seconds(30);
+  return s;
+}
+
+/// Failure family: the adversary smashes processor 2's clock 30 minutes
+/// off and leaves, but every link of processor 2 is cut from the break-in
+/// to the end of the run, so it can never estimate anyone and never
+/// rejoins — the judged recovery fails (unrecovered_runs) and, once the
+/// Delta window expires and it counts as stable again, its offset blows
+/// the deviation bound (bound_violations). Both hard-failure counters
+/// must merge identically too.
+Scenario failing_family(std::uint64_t seed) {
+  Scenario s;
+  s.model.n = 5;
+  s.model.f = 1;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.horizon = Dur::hours(3);
+  s.sample_period = Dur::minutes(1);
+  s.seed = seed;
+  s.schedule =
+      adversary::Schedule::single(2, RealTime(1800.0), RealTime(1860.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::minutes(30);
+  s.link_faults = net::LinkFaultSet::isolate_partially(
+      2, {0, 1, 3, 4}, RealTime(1800.0), RealTime(3600.0 * 3));
+  return s;
+}
+
+void expect_stats_identical(const RunningStats& a, const RunningStats& b,
+                            const char* name) {
+  SCOPED_TRACE(name);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  expect_stats_identical(a.max_deviation, b.max_deviation, "max_deviation");
+  expect_stats_identical(a.mean_deviation, b.mean_deviation, "mean_deviation");
+  expect_stats_identical(a.max_discontinuity, b.max_discontinuity,
+                         "max_discontinuity");
+  expect_stats_identical(a.max_rate_excess, b.max_rate_excess,
+                         "max_rate_excess");
+  expect_stats_identical(a.max_recovery, b.max_recovery, "max_recovery");
+  EXPECT_EQ(a.bound_violations, b.bound_violations);
+  EXPECT_EQ(a.unrecovered_runs, b.unrecovered_runs);
+  EXPECT_EQ(a.bound.sec(), b.bound.sec());
+  EXPECT_EQ(a.bound_mismatches, b.bound_mismatches);
+}
+
+TEST(SweepParallelTest, EquivalentToSerialOnWanFamily) {
+  const auto serial = run_sweep(wan_family, 40, 6);
+  ASSERT_EQ(serial.runs, 6);
+  // Sanity: the family actually produces nontrivial distributions.
+  EXPECT_GT(serial.max_deviation.max(), serial.max_deviation.min());
+  for (int jobs : {1, 2, 7}) {
+    SCOPED_TRACE(jobs);
+    const auto parallel = run_sweep_parallel(wan_family, 40, 6, jobs);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(SweepParallelTest, EquivalentToSerialWithFailureCounters) {
+  const auto serial = run_sweep(failing_family, 3, 4);
+  // The point of this family: both hard-failure counters are exercised.
+  EXPECT_GT(serial.bound_violations, 0);
+  EXPECT_GT(serial.unrecovered_runs, 0);
+  for (int jobs : {2, 7}) {
+    SCOPED_TRACE(jobs);
+    const auto parallel = run_sweep_parallel(failing_family, 3, 4, jobs);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(SweepParallelTest, MixedBoundFamilyCountsMismatches) {
+  // make(seed) alternates SyncInt, so gamma differs between runs; the
+  // sweep must keep the FIRST run's bound and count the others instead
+  // of silently keeping whichever ran last (the pre-fix behavior).
+  auto make = [](std::uint64_t seed) {
+    auto s = wan_family(seed);
+    s.schedule = adversary::Schedule();
+    s.horizon = Dur::hours(1);
+    s.warmup = Dur::zero();
+    s.sync_int = seed % 2 == 0 ? Dur::minutes(1) : Dur::minutes(2);
+    return s;
+  };
+  const auto serial = run_sweep(make, 2, 4);  // seeds 2,3,4,5 -> alternating
+  const Dur first_bound = run_scenario(make(2)).bounds.max_deviation;
+  EXPECT_EQ(serial.bound.sec(), first_bound.sec());
+  EXPECT_EQ(serial.bound_mismatches, 2);
+  const auto parallel = run_sweep_parallel(make, 2, 4, 2);
+  expect_identical(serial, parallel);
+}
+
+TEST(SweepParallelTest, JobsDefaultAndClampBehave) {
+  // jobs <= 0 means "hardware default"; more jobs than seeds is fine.
+  auto make = [](std::uint64_t seed) {
+    auto s = wan_family(seed);
+    s.schedule = adversary::Schedule();
+    s.horizon = Dur::hours(1);
+    s.warmup = Dur::zero();
+    return s;
+  };
+  const auto serial = run_sweep(make, 7, 2);
+  expect_identical(serial, run_sweep_parallel(make, 7, 2, 0));
+  expect_identical(serial, run_sweep_parallel(make, 7, 2, 16));
+}
+
+TEST(SweepParallelTest, PropagatesFactoryExceptions) {
+  auto make = [](std::uint64_t seed) -> Scenario {
+    if (seed == 11) throw std::runtime_error("bad seed");
+    auto s = wan_family(seed);
+    s.schedule = adversary::Schedule();
+    s.horizon = Dur::hours(1);
+    return s;
+  };
+  EXPECT_THROW((void)run_sweep_parallel(make, 10, 4, 2), std::runtime_error);
+}
+
+TEST(SweepParallelTest, ReportsWallClockAndThroughput) {
+  auto make = [](std::uint64_t seed) {
+    auto s = wan_family(seed);
+    s.schedule = adversary::Schedule();
+    s.horizon = Dur::hours(1);
+    s.warmup = Dur::zero();
+    return s;
+  };
+  const auto r = run_sweep_parallel(make, 1, 2, 2);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.seeds_per_sec(), 0.0);
+}
+
+TEST(SweepParallelTest, RunScenariosParallelPreservesInputOrder) {
+  std::vector<Scenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto s = wan_family(seed);
+    s.schedule = adversary::Schedule();
+    s.horizon = Dur::hours(1);
+    s.warmup = Dur::zero();
+    scenarios.push_back(s);
+  }
+  const auto serial = run_scenarios_parallel(scenarios, 1);
+  const auto parallel = run_scenarios_parallel(scenarios, 4);
+  ASSERT_EQ(serial.size(), scenarios.size());
+  ASSERT_EQ(parallel.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].max_stable_deviation.sec(),
+              parallel[i].max_stable_deviation.sec());
+    EXPECT_EQ(serial[i].mean_stable_deviation.sec(),
+              parallel[i].mean_stable_deviation.sec());
+    EXPECT_EQ(serial[i].messages_sent, parallel[i].messages_sent);
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+  }
+}
+
+}  // namespace
+}  // namespace czsync::analysis

@@ -50,6 +50,33 @@ TEST(SweepTest, RecoveryStatsOnlyFromRecoveredRuns) {
   EXPECT_LT(r.max_recovery.max(), 3600.0);
 }
 
+// Regression: SweepResult used to keep only the LAST run's gamma, so a
+// family that mixed bounds was silently mis-reported. It must keep the
+// first run's bound and count the runs that disagree.
+TEST(SweepTest, MixedBoundsAreCountedNotTruncated) {
+  auto make = [](std::uint64_t seed) {
+    auto s = quick_scenario(seed);
+    // Seeds 1..4 -> SyncInt 60 s, 120 s, 180 s, 240 s: four distinct
+    // gammas; the last one differs from the first, which the old
+    // last-wins behavior would have reported as THE bound.
+    s.sync_int = Dur::minutes(static_cast<double>(seed));
+    return s;
+  };
+  const auto r = run_sweep(make, 1, 4);
+  const Dur first = run_scenario(make(1)).bounds.max_deviation;
+  const Dur last = run_scenario(make(4)).bounds.max_deviation;
+  EXPECT_NE(first.sec(), last.sec());
+  EXPECT_EQ(r.bound.sec(), first.sec());
+  EXPECT_EQ(r.bound_mismatches, 3);
+}
+
+TEST(SweepTest, UniformBoundFamilyHasNoMismatches) {
+  const auto r = run_sweep(quick_scenario, 1, 3);
+  EXPECT_EQ(r.bound_mismatches, 0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.seeds_per_sec(), 0.0);
+}
+
 TEST(SweepTest, DetectsViolations) {
   // Force violations: ring topology with f = 1 trimming over degree-2
   // neighborhoods cannot synchronize against strong drift.

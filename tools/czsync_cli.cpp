@@ -5,19 +5,25 @@
 //   czsync_cli scenario.conf       # run a config file
 //   czsync_cli scenario.conf out/  # also write series/recoveries/summary
 //                                  # CSVs into the directory
+//   czsync_cli --sweep 20 scenario.conf   # 20-seed sweep of the scenario
+//   czsync_cli --sweep 20 --jobs 4 ...    # ... across 4 worker threads
 //   czsync_cli --help              # list every config key
 //
 // Exit code 0 when the measured deviation stayed within the Theorem-5
-// bound (and every judged recovery completed), 1 otherwise — so the tool
-// doubles as a scriptable checker.
+// bound (and every judged recovery completed; in sweep mode: in EVERY
+// run), 1 otherwise — so the tool doubles as a scriptable checker.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "analysis/sweep.h"
 #include "analysis/trace_io.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace czsync;
 
@@ -41,7 +47,15 @@ schedule_end = 4.5h
 seed = 1
 )";
 
-constexpr const char* kHelp = R"(czsync_cli [CONFIG_FILE [CSV_OUT_DIR]]
+constexpr const char* kHelp = R"(czsync_cli [OPTIONS] [CONFIG_FILE [CSV_OUT_DIR]]
+
+Options:
+  --sweep N   run an N-seed sweep (seeds seed, seed+1, ..., seed+N-1)
+              instead of a single run, and report across-seed stats
+  --jobs N    worker threads for the sweep (default: all hardware
+              threads; env CZSYNC_JOBS overrides the default). Any job
+              count produces bit-identical sweep results — the merge is
+              seed-order-deterministic.
 
 Config keys (all optional; defaults in parentheses):
   model:      n (7), f (2), rho (1e-4), delta (50ms), delta_period (1h)
@@ -69,13 +83,55 @@ Durations accept us/ms/s/m/h suffixes. Unknown keys are reported.
 int main(int argc, char** argv) {
   std::string config_path;
   std::string out_dir;
-  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
-                   std::strcmp(argv[1], "-h") == 0)) {
-    std::fputs(kHelp, stdout);
-    return 0;
+  int sweep_count = 0;
+  int jobs = 0;
+  if (const char* env = std::getenv("CZSYNC_JOBS")) jobs = std::atoi(env);
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    }
+    // --opt VALUE and --opt=VALUE are both accepted.
+    auto value_of = [&](const char* name, const char** out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg == name) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s needs a value (see --help)\n", name);
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = argv[i] + prefix.size();
+        return true;
+      }
+      return false;
+    };
+    const char* value = nullptr;
+    if (value_of("--sweep", &value)) {
+      sweep_count = std::atoi(value);
+      if (sweep_count < 1) {
+        std::fprintf(stderr, "error: --sweep needs a positive count\n");
+        return 2;
+      }
+      continue;
+    }
+    if (value_of("--jobs", &value)) {
+      jobs = std::atoi(value);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s' (see --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    positional.push_back(arg);
   }
-  if (argc > 1) config_path = argv[1];
-  if (argc > 2) out_dir = argv[2];
+  if (!positional.empty()) config_path = positional[0];
+  if (positional.size() > 1) out_dir = positional[1];
 
   Config cfg;
   try {
@@ -104,6 +160,55 @@ int main(int argc, char** argv) {
       !s.schedule.is_f_limited(s.model.f, s.model.delta_period)) {
     std::fprintf(stderr,
                  "warning: adversary schedule is NOT f-limited for Delta\n");
+  }
+
+  if (sweep_count > 0) {
+    if (!out_dir.empty()) {
+      std::fprintf(stderr,
+                   "warning: CSV output applies to single runs; ignoring "
+                   "'%s' in sweep mode\n",
+                   out_dir.c_str());
+    }
+    auto make = [&s](std::uint64_t seed) {
+      auto c = s;
+      c.seed = seed;
+      c.record_series = false;
+      return c;
+    };
+    const auto sw =
+        analysis::run_sweep_parallel(make, s.seed, sweep_count, jobs);
+
+    std::printf("sweep: %d seeds starting at %llu, jobs = %d\n\n", sw.runs,
+                static_cast<unsigned long long>(s.seed),
+                jobs > 0 ? jobs
+                         : static_cast<int>(ThreadPool::default_jobs()));
+    TextTable t({"metric", "min", "mean", "max"});
+    char lo[32], mid[32], hi[32];
+    auto stat_row = [&](const char* name, const RunningStats& st,
+                        double scale) {
+      std::snprintf(lo, sizeof lo, "%.3f", st.min() * scale);
+      std::snprintf(mid, sizeof mid, "%.3f", st.mean() * scale);
+      std::snprintf(hi, sizeof hi, "%.3f", st.max() * scale);
+      t.row({name, st.count() ? lo : "n/a", st.count() ? mid : "n/a",
+             st.count() ? hi : "n/a"});
+    };
+    stat_row("max deviation [ms]", sw.max_deviation, 1e3);
+    stat_row("mean deviation [ms]", sw.mean_deviation, 1e3);
+    stat_row("max adjustment [ms]", sw.max_discontinuity, 1e3);
+    stat_row("max recovery [s]", sw.max_recovery, 1.0);
+    t.print(std::cout);
+
+    std::printf("\ngamma = %.3f ms%s\n", sw.bound.ms(),
+                sw.bound_mismatches > 0 ? " (MIXED-BOUND FAMILY!)" : "");
+    if (sw.bound_mismatches > 0) {
+      std::printf("bound mismatches: %d of %d runs used a different gamma\n",
+                  sw.bound_mismatches, sw.runs);
+    }
+    std::printf("violations: %d, unrecovered runs: %d\n", sw.bound_violations,
+                sw.unrecovered_runs);
+    std::printf("wall-clock: %.2f s (%.2f seeds/s)\n", sw.wall_seconds,
+                sw.seeds_per_sec());
+    return sw.bound_violations == 0 && sw.unrecovered_runs == 0 ? 0 : 1;
   }
 
   const auto r = analysis::run_scenario(s);
