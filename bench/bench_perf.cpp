@@ -3,31 +3,125 @@
 // Simulator throughput, clock-stack overhead, and the end-to-end cost of
 // simulating one hour of protocol time as n grows (message complexity is
 // O(n^2) per SyncInt across the network).
+//
+// The headline numbers (items/s of the churn benchmarks, wall time of
+// BM_SimulatedHour/16) are tracked across PRs in BENCH_PERF.json at the
+// repository root; when the simulator hot path changes, re-run this
+// binary and append a checkpoint there. Event-pool counters (inline vs.
+// fallback action storage, cancellations, stale skips) are exported as
+// benchmark counters so a pooling regression is visible in the output,
+// not just in the timings.
 #include <benchmark/benchmark.h>
 
 #include "analysis/experiment.h"
+#include "analysis/sweep.h"
 #include "clock/hardware_clock.h"
 #include "core/convergence.h"
+#include "net/network.h"
 #include "sim/simulator.h"
 
 using namespace czsync;
 
 namespace {
 
+// Self-rescheduling chain: the closure-free scheduling idiom the network
+// layer uses (a typed event constructed directly in a pool slot). 24
+// bytes — always inline, so steady-state churn performs no allocations.
+struct ChainEvent {
+  sim::Simulator* sim;
+  long* count;
+  long limit;
+  void operator()() const {
+    if (++*count < limit) sim->schedule_after(Dur::millis(1), *this);
+  }
+};
+
 void BM_EventQueueChurn(benchmark::State& state) {
+  std::uint64_t inline_actions = 0, fallback_allocs = 0;
   for (auto _ : state) {
     sim::Simulator sim;
     long n = 0;
-    std::function<void()> chain = [&] {
-      if (++n < state.range(0)) sim.schedule_after(Dur::millis(1), chain);
-    };
-    sim.schedule_after(Dur::millis(1), chain);
+    sim.schedule_after(Dur::millis(1), ChainEvent{&sim, &n, state.range(0)});
     sim.run_until(RealTime::infinity());
     benchmark::DoNotOptimize(n);
+    inline_actions = sim.queue_stats().inline_actions;
+    fallback_allocs = sim.queue_stats().fallback_allocs;
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["pool_inline"] = static_cast<double>(inline_actions);
+  state.counters["pool_fallback"] = static_cast<double>(fallback_allocs);
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueChurnCancel(benchmark::State& state) {
+  // Timer-reset workload: 64 concurrent "timeouts" that are repeatedly
+  // cancelled and re-armed before firing — the MaxWait/alarm pattern of
+  // the protocol stack. Exercises cancellation, slot reuse and the
+  // generation check that replaces the old tombstone set.
+  const long n = state.range(0);
+  std::uint64_t cancelled = 0, stale_skipped = 0, peak_slots = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::EventId timer[64] = {};
+    long fired = 0;
+    for (long i = 0; i < n; ++i) {
+      auto& slot = timer[i & 63];
+      if (slot != sim::kNoEvent) q.cancel(slot);
+      slot = q.push(RealTime(static_cast<double>(i)),
+                    [&fired] { ++fired; });
+      if ((i & 7) == 0 && !q.empty()) {
+        RealTime t{};
+        q.pop(t)();
+      }
+    }
+    while (!q.empty()) {
+      RealTime t{};
+      q.pop(t)();
+    }
+    benchmark::DoNotOptimize(fired);
+    cancelled = q.stats().cancelled;
+    stale_skipped = q.stats().stale_skipped;
+    peak_slots = q.stats().peak_slots;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["cancelled"] = static_cast<double>(cancelled);
+  state.counters["stale_skipped"] = static_cast<double>(stale_skipped);
+  state.counters["peak_slots"] = static_cast<double>(peak_slots);
+}
+BENCHMARK(BM_EventQueueChurnCancel)->Arg(10000)->Arg(100000);
+
+void BM_MessageFanout(benchmark::State& state) {
+  // One all-pairs exchange per iteration: n(n-1) messages moved through
+  // Network::send into pooled delivery events — the O(n^2)-per-SyncInt
+  // shape of the protocol without the protocol logic on top.
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t inline_actions = 0, fallback_allocs = 0;
+  long delivered = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, net::Topology::full_mesh(n),
+                         net::make_uniform_delay(Dur::millis(50)), Rng(42));
+    for (net::ProcId p = 0; p < n; ++p) {
+      network.register_handler(p, [&delivered](const net::Message&) {
+        ++delivered;
+      });
+    }
+    for (net::ProcId p = 0; p < n; ++p) {
+      for (net::ProcId q = 0; q < n; ++q) {
+        if (p != q) network.send(p, q, net::PingReq{1});
+      }
+    }
+    sim.run_until(RealTime::infinity());
+    benchmark::DoNotOptimize(delivered);
+    inline_actions = sim.queue_stats().inline_actions;
+    fallback_allocs = sim.queue_stats().fallback_allocs;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) *
+                          (n - 1));
+  state.counters["pool_inline"] = static_cast<double>(inline_actions);
+  state.counters["pool_fallback"] = static_cast<double>(fallback_allocs);
+}
+BENCHMARK(BM_MessageFanout)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_HardwareClockRead(benchmark::State& state) {
   sim::Simulator sim;
@@ -77,5 +171,33 @@ void BM_SimulatedHour(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedHour)->Arg(4)->Arg(7)->Arg(16)->Arg(31)
     ->Unit(benchmark::kMillisecond);
+
+void BM_WholeSweep(benchmark::State& state) {
+  // End-to-end sweep cost: `range` seeds of a 30-minute n=7 run, merged
+  // serially (jobs fixed at 1 so the benchmark measures per-run cost, not
+  // the machine's core count).
+  const int seeds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto sweep = analysis::run_sweep(
+        [](std::uint64_t seed) {
+          analysis::Scenario s;
+          s.model.n = 7;
+          s.model.f = 2;
+          s.model.rho = 1e-4;
+          s.model.delta = Dur::millis(50);
+          s.model.delta_period = Dur::hours(1);
+          s.sync_int = Dur::minutes(1);
+          s.horizon = Dur::minutes(30);
+          s.sample_period = Dur::minutes(1);
+          s.seed = seed;
+          return s;
+        },
+        /*first_seed=*/1, seeds);
+    benchmark::DoNotOptimize(sweep.runs);
+  }
+  state.SetItemsProcessed(state.iterations() * seeds);
+  state.SetLabel("runs");
+}
+BENCHMARK(BM_WholeSweep)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace

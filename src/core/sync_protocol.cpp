@@ -1,5 +1,6 @@
 #include "core/sync_protocol.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/logging.h"
@@ -18,6 +19,20 @@ SyncProcess::SyncProcess(sim::Simulator& sim, net::Network& network,
       peers_(network.topology().neighbors(id)) {
   assert(config_.convergence != nullptr);
   assert(config_.f >= 0);
+  peer_slot_.assign(static_cast<std::size_t>(network.size()), -1);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
+  }
+  const auto k = static_cast<std::size_t>(std::max(config_.pings_per_peer, 1));
+  round_nonces_.assign(peers_.size() * k, 0);
+  nonce_live_.assign(peers_.size() * k, 0);
+  collected_.assign(peers_.size(), Estimate{});
+  reply_count_.assign(peers_.size(), 0);
+}
+
+void SyncProcess::clear_round_state() {
+  std::fill(nonce_live_.begin(), nonce_live_.end(), std::uint8_t{0});
+  std::fill(reply_count_.begin(), reply_count_.end(), 0);
 }
 
 void SyncProcess::start() {
@@ -69,9 +84,7 @@ void SyncProcess::suspend() {
     cache_alarm_ = clk::kNoAlarm;
   }
   round_active_ = false;
-  nonce_to_peer_.clear();
-  collected_.clear();
-  replies_from_.clear();
+  clear_round_state();
   cache_nonce_to_peer_.clear();
   cache_sent_at_.clear();
   cache_.clear();
@@ -101,17 +114,19 @@ void SyncProcess::begin_round() {
     finish_from_cache();
     return;
   }
-  nonce_to_peer_.clear();
-  collected_.clear();
-  replies_from_.clear();
+  clear_round_state();
   round_send_time_ = clock_.read();
   round_send_hw_ = clock_.hardware().read();
   const int k = std::max(config_.pings_per_peer, 1);
   pending_ = peers_.size() * static_cast<std::size_t>(k);
-  for (net::ProcId q : peers_) {
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    const net::ProcId q = peers_[slot];
     for (int i = 0; i < k; ++i) {
       const std::uint64_t nonce = rng_();
-      nonce_to_peer_.emplace(nonce, q);
+      const std::size_t at = slot * static_cast<std::size_t>(k) +
+                             static_cast<std::size_t>(i);
+      round_nonces_[at] = nonce;
+      nonce_live_[at] = 1;
       network_.send(id_, q, net::PingReq{nonce});
     }
   }
@@ -158,23 +173,40 @@ void SyncProcess::handle_message(const net::Message& msg) {
       ++stats_.responses_stale;
       return;
     }
-    auto it = nonce_to_peer_.find(resp->nonce);
-    // Unknown or already-consumed nonce, or a reply whose authenticated
-    // sender does not match the pinged peer: drop.
-    if (it == nonce_to_peer_.end() || it->second != msg.from) {
+    // A valid reply must carry a still-live nonce that was pinged to its
+    // authenticated sender; anything else (unknown, already consumed, or
+    // another peer's nonce) drops as stale. Only the sender's own k
+    // nonce entries need checking.
+    const int slot = peer_slot_[static_cast<std::size_t>(msg.from)];
+    if (slot < 0) {
       ++stats_.responses_stale;
       return;
     }
-    nonce_to_peer_.erase(it);  // each nonce is redeemable exactly once
+    const auto k = static_cast<std::size_t>(std::max(config_.pings_per_peer, 1));
+    const std::size_t base = static_cast<std::size_t>(slot) * k;
+    std::size_t hit = base + k;
+    for (std::size_t at = base; at < base + k; ++at) {
+      if (nonce_live_[at] != 0 && round_nonces_[at] == resp->nonce) {
+        hit = at;
+        break;
+      }
+    }
+    if (hit == base + k) {
+      ++stats_.responses_stale;
+      return;
+    }
+    nonce_live_[hit] = 0;  // each nonce is redeemable exactly once
     // RTT on the (monotone) hardware clock; the logical clock may have
     // been slewed mid-flight.
     const Dur rtt = clock_.hardware().read() - round_send_hw_;
     const Estimate e = estimate_from_ping(
         round_send_time_, resp->responder_clock, round_send_time_ + rtt);
     // Keep the best (smallest error bound) of this peer's k replies.
-    auto [slot, inserted] = collected_.try_emplace(msg.from, e);
-    if (!inserted && e.a < slot->second.a) slot->second = e;
-    ++replies_from_[msg.from];
+    auto& best = collected_[static_cast<std::size_t>(slot)];
+    if (reply_count_[static_cast<std::size_t>(slot)] == 0 || e.a < best.a) {
+      best = e;
+    }
+    ++reply_count_[static_cast<std::size_t>(slot)];
     ++stats_.responses_ok;
     assert(pending_ > 0);
     if (--pending_ == 0) finish_round();
@@ -230,18 +262,15 @@ void SyncProcess::finish_round() {
   std::vector<PeerEstimate> estimates;
   estimates.reserve(peers_.size() + 1);
   estimates.push_back(PeerEstimate::from(Estimate::self()));
-  for (net::ProcId q : peers_) {
-    auto it = collected_.find(q);
-    if (it == collected_.end()) {
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
+    if (reply_count_[slot] == 0) {
       ++stats_.timeouts;
       estimates.push_back(PeerEstimate::from(Estimate::timeout()));
     } else {
-      estimates.push_back(PeerEstimate::from(it->second));
+      estimates.push_back(PeerEstimate::from(collected_[slot]));
     }
   }
-  nonce_to_peer_.clear();
-  collected_.clear();
-  replies_from_.clear();
+  clear_round_state();
 
   const ConvergenceResult result = config_.convergence->apply(
       estimates, config_.f, config_.params.way_off);

@@ -93,6 +93,7 @@ class SyncProcess final : public ProtocolEngine {
  private:
   void begin_round();
   void finish_round();
+  void clear_round_state();
   void arm_next(Dur in_local_time);
   void cache_tick();
   void finish_from_cache();
@@ -110,7 +111,13 @@ class SyncProcess final : public ProtocolEngine {
   clk::AlarmId sync_alarm_ = clk::kNoAlarm;
   clk::AlarmId timeout_alarm_ = clk::kNoAlarm;
 
-  // In-flight round state.
+  // In-flight round state. Sized once at construction and reset in place
+  // per round: the steady-state round performs no allocations (the old
+  // nonce/estimate unordered_maps paid a node allocation per ping).
+  // Peers are dense slots 0..peers_.size(): peer_slot_[proc] maps an
+  // authenticated sender to its slot (-1 for non-neighbors), each slot
+  // owns pings_per_peer consecutive entries of round_nonces_/nonce_live_,
+  // and collected_[slot] holds the best estimate iff reply_count_[slot]>0.
   bool round_active_ = false;
   ClockTime round_send_time_;     // S on the logical clock (same for all)
   ClockTime round_send_hw_;       // send instant on the hardware clock:
@@ -118,9 +125,11 @@ class SyncProcess final : public ProtocolEngine {
                                   // logical clock may be adjusted (e.g. a
                                   // negative discipline slew) mid-flight
                                   // and is not monotonic
-  std::unordered_map<std::uint64_t, net::ProcId> nonce_to_peer_;
-  std::unordered_map<net::ProcId, Estimate> collected_;  // best-so-far
-  std::unordered_map<net::ProcId, int> replies_from_;
+  std::vector<int> peer_slot_;
+  std::vector<std::uint64_t> round_nonces_;
+  std::vector<std::uint8_t> nonce_live_;
+  std::vector<Estimate> collected_;   // best-so-far, by peer slot
+  std::vector<int> reply_count_;      // valid replies, by peer slot
   std::size_t pending_ = 0;  // outstanding replies across all peers
 
   // Cached-estimation mode (§3.1 caveat).

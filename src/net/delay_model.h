@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "net/message.h"
 #include "util/rng.h"
@@ -27,6 +28,15 @@ class DelayModel {
   /// One-way delay for a message from `from` to `to`.
   [[nodiscard]] virtual Dur sample(Rng& rng, ProcId from, ProcId to) const = 0;
 
+  /// Deterministic models return their fixed per-message value so the
+  /// network can skip the virtual sample() call on every send. Models
+  /// that draw from the RNG must return nullopt: their per-message draw
+  /// sequence is part of the run's bit-reproducible behaviour and may not
+  /// be batched or skipped.
+  [[nodiscard]] virtual std::optional<Dur> constant_delay() const {
+    return std::nullopt;
+  }
+
  protected:
   explicit DelayModel(Dur bound);
   [[nodiscard]] Dur clamp(Dur d) const;
@@ -41,6 +51,9 @@ class FixedDelay final : public DelayModel {
  public:
   FixedDelay(Dur bound, double fraction = 0.5);
   [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+    return value_;
+  }
 
  private:
   Dur value_;

@@ -7,7 +7,9 @@
 // a real wire format and lets handlers be exhaustive.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <variant>
 #include <vector>
 
@@ -84,6 +86,21 @@ struct TimestampResp {
 using Body = std::variant<PingReq, PingResp, RoundPingReq, RoundPingResp,
                           StRoundMsg, RefreshAnnounce, TimestampReq,
                           TimestampResp>;
+
+/// Number of Body alternatives; indexes NetworkStats::sent_by_body.
+inline constexpr std::size_t kBodyAlternatives = std::variant_size_v<Body>;
+
+/// Display name of the Body alternative at `index` (Body{}.index() order),
+/// for stats reporting.
+[[nodiscard]] constexpr const char* body_name(std::size_t index) {
+  constexpr const char* kNames[] = {"PingReq",         "PingResp",
+                                    "RoundPingReq",    "RoundPingResp",
+                                    "StRoundMsg",      "RefreshAnnounce",
+                                    "TimestampReq",    "TimestampResp"};
+  static_assert(std::size(kNames) == kBodyAlternatives,
+                "keep kNames in sync with the Body variant");
+  return index < kBodyAlternatives ? kNames[index] : "?";
+}
 
 struct Message {
   ProcId from = -1;  ///< authenticated sender id (set by the network)

@@ -1,9 +1,11 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/small_fn.h"
 
 namespace czsync::net {
 
@@ -14,7 +16,13 @@ Network::Network(sim::Simulator& sim, Topology topology,
       delay_(std::move(delay)),
       rng_(rng),
       handlers_(static_cast<std::size_t>(topology_.size())) {
+  // The whole point of DeliverEvent is to keep message delivery out of
+  // the allocator; if the Message ever outgrows the pool slot, this fires
+  // and the capacity (or the message) needs a look.
+  static_assert(SmallFn::fits_inline<DeliverEvent>(),
+                "DeliverEvent must fit a SmallFn pool slot");
   assert(delay_ != nullptr);
+  constant_delay_ = delay_->constant_delay();
 }
 
 void Network::register_handler(ProcId p, Handler handler) {
@@ -27,6 +35,7 @@ void Network::send(ProcId from, ProcId to, Body body) {
   assert(to >= 0 && to < topology_.size());
   assert(from != to && "self-messages are handled locally by the protocol");
   ++stats_.sent;
+  ++stats_.sent_by_body[body.index()];
   if (!topology_.has_edge(from, to)) {
     ++stats_.dropped_no_edge;
     CZ_DEBUG << "drop (no edge) " << from << "->" << to;
@@ -37,10 +46,17 @@ void Network::send(ProcId from, ProcId to, Body body) {
     CZ_DEBUG << "drop (link fault) " << from << "->" << to;
     return;
   }
-  const Dur delay = delay_->sample(rng_, from, to);
-  assert(delay > Dur::zero() && delay <= delay_->bound());
-  Message msg{from, to, std::move(body)};
-  sim_.schedule_after(delay, [this, msg = std::move(msg)] { deliver(msg); });
+  Dur delay =
+      constant_delay_ ? *constant_delay_ : delay_->sample(rng_, from, to);
+  // Enforce the delivery contract in every build type: a misbehaving
+  // model (delay <= 0 or > delta) is clamped back into (0, delta] and
+  // counted, instead of silently skewing the run.
+  const Dur bound = delay_->bound();
+  if (delay <= Dur::zero() || delay > bound) {
+    ++stats_.delay_violations;
+    delay = std::clamp(delay, bound * 1e-6, bound);
+  }
+  sim_.schedule_after(delay, DeliverEvent{this, {from, to, std::move(body)}});
 }
 
 void Network::deliver(const Message& msg) {

@@ -12,9 +12,11 @@
 // paper's model where links themselves are never corrupted.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/delay_model.h"
@@ -32,6 +34,13 @@ struct NetworkStats {
   std::uint64_t dropped_no_edge = 0;
   std::uint64_t dropped_no_handler = 0;
   std::uint64_t dropped_link_fault = 0;
+  /// DelayModel samples outside (0, bound], clamped back into range. A
+  /// correct model never trips this; nonzero means the model violates the
+  /// §2.2 delivery contract and the run's δ-dependent bounds are suspect.
+  std::uint64_t delay_violations = 0;
+  /// Send attempts by Body alternative (body_name(i) labels index i);
+  /// counts every send(), including ones later dropped.
+  std::array<std::uint64_t, kBodyAlternatives> sent_by_body{};
 };
 
 class Network {
@@ -62,11 +71,25 @@ class Network {
   [[nodiscard]] int size() const { return topology_.size(); }
 
  private:
+  /// Typed in-flight message: scheduled directly into the simulator's
+  /// event pool, moving the Message into the pool slot instead of
+  /// capturing it in a std::function (which would heap-allocate per
+  /// message). Sized to stay within SmallFn's inline capacity.
+  struct DeliverEvent {
+    Network* net;
+    Message msg;
+    void operator()() { net->deliver(msg); }
+  };
+
   void deliver(const Message& msg);
 
   sim::Simulator& sim_;
   Topology topology_;
   std::unique_ptr<DelayModel> delay_;
+  /// Cached DelayModel::constant_delay(): deterministic models skip the
+  /// per-message virtual call (provably RNG-sequence-neutral — such
+  /// models never draw).
+  std::optional<Dur> constant_delay_;
   Rng rng_;
   std::vector<Handler> handlers_;
   LinkFaultSet link_faults_;

@@ -4,54 +4,76 @@
 
 namespace czsync::sim {
 
-EventId EventQueue::push(RealTime t, Action fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  actions_.emplace(id, std::move(fn));
-  ++live_;
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kFreeListEnd) {
+    const std::uint32_t index = free_head_;
+    Slot& s = slots_[index];
+    free_head_ = s.next_free;
+    s.next_free = kFreeListEnd;
+    s.occupied = true;
+    return index;
+  }
+  slots_.emplace_back().occupied = true;
+  if (slots_.size() > stats_.peak_slots) stats_.peak_slots = slots_.size();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn.reset();
+  s.occupied = false;
+  ++s.gen;  // invalidates every outstanding EventId / heap entry for it
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t low = static_cast<std::uint32_t>(id);
+  if (low == 0) return false;  // kNoEvent
+  const std::uint32_t index = low - 1;
+  if (index >= slots_.size()) return false;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  Slot& s = slots_[index];
+  if (!s.occupied || s.gen != gen) return false;  // fired, cancelled, stale
+  release_slot(index);  // the heap entry goes stale and is skipped on pop
   --live_;
+  ++stats_.cancelled;
   return true;
 }
 
-void EventQueue::skip_tombstones() const {
+void EventQueue::skip_stale() const {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
+    const Entry& e = heap_.top();
+    const Slot& s = slots_[e.slot];
+    if (s.occupied && s.gen == e.gen) break;
     heap_.pop();
+    ++stats_.stale_skipped;
   }
 }
 
 bool EventQueue::empty() const {
-  skip_tombstones();
+  skip_stale();
   return heap_.empty();
 }
 
 RealTime EventQueue::next_time() const {
-  skip_tombstones();
+  skip_stale();
   assert(!heap_.empty());
   return heap_.top().t;
 }
 
 EventQueue::Action EventQueue::pop(RealTime& t) {
-  skip_tombstones();
+  skip_stale();
   assert(!heap_.empty());
   const Entry e = heap_.top();
   heap_.pop();
   t = e.t;
-  auto it = actions_.find(e.id);
-  assert(it != actions_.end());
-  Action fn = std::move(it->second);
-  actions_.erase(it);
+  Slot& s = slots_[e.slot];
+  assert(s.occupied && s.gen == e.gen);
+  Action fn = std::move(s.fn);
+  release_slot(e.slot);
   --live_;
+  ++stats_.popped;
   return fn;
 }
 

@@ -2,32 +2,73 @@
 //
 // Events at equal times fire in scheduling (FIFO) order, which together
 // with seeded RNG makes every simulation bit-reproducible.
+//
+// Storage is a slab/free-list pool: each event's action lives inline in a
+// pool slot (SmallFn small-buffer storage — typical lambdas never touch
+// the allocator), heap entries carry only (time, seq, slot, generation),
+// and cancellation flips the slot in place. A stale heap entry — its slot
+// was cancelled or already reused — is detected on pop by a generation
+// mismatch, so there are no hash-map lookups or tombstone sets anywhere
+// on the hot path. The steady state of a simulation run performs zero
+// allocations once the slab and heap have reached their high-water marks.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "util/small_fn.h"
 #include "util/time_types.h"
 
 namespace czsync::sim {
 
 /// Opaque handle to a scheduled event; valid until the event fires or is
 /// cancelled. Id 0 is never issued and may be used as "no event".
+/// Internally encodes (slot generation << 32) | (slot index + 1), so a
+/// handle kept past its event's lifetime is rejected even after the slot
+/// has been reused.
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
-/// Min-heap of (time, sequence) ordered events. Cancellation is lazy:
-/// cancelled ids are tombstoned and skipped on pop.
+/// Always-on counters; cheap enough for release builds (plain increments
+/// on paths that already touch the same cache lines).
+struct EventQueueStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t cancelled = 0;
+  /// Heap entries discarded because their slot generation no longer
+  /// matched (the lazy-deletion analogue of the old tombstone set).
+  std::uint64_t stale_skipped = 0;
+  /// Actions stored in-slot vs. oversized captures that fell back to one
+  /// heap allocation (see SmallFn::kInlineCapacity).
+  std::uint64_t inline_actions = 0;
+  std::uint64_t fallback_allocs = 0;
+  /// Slab high-water mark: peak number of concurrently pooled slots.
+  std::size_t peak_slots = 0;
+};
+
+/// Min-heap of (time, sequence) ordered events backed by the slot pool.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFn;
 
-  /// Enqueues `fn` to fire at time `t`. Returns a cancellable handle.
-  EventId push(RealTime t, Action fn);
+  /// Enqueues `fn` (any void() callable) to fire at time `t`; the callable
+  /// is constructed directly in a pool slot. Returns a cancellable handle.
+  template <class F>
+  EventId push(RealTime t, F&& fn) {
+    const std::uint32_t index = acquire_slot();
+    Slot& s = slots_[index];
+    s.fn.emplace(std::forward<F>(fn));
+    heap_.push(Entry{t, next_seq_++, index, s.gen});
+    ++live_;
+    ++stats_.pushed;
+    if (s.fn.is_inline()) {
+      ++stats_.inline_actions;
+    } else {
+      ++stats_.fallback_allocs;
+    }
+    return encode(index, s.gen);
+  }
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was already cancelled, or never existed.
@@ -39,35 +80,69 @@ class EventQueue {
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] RealTime next_time() const;
 
+  /// Time of the earliest live event, or nullptr when the queue is empty.
+  /// One stale-skip pass covering the empty()/next_time()/pop() triple in
+  /// the simulator's step loop.
+  [[nodiscard]] const RealTime* peek_time() const {
+    skip_stale();
+    return heap_.empty() ? nullptr : &heap_.top().t;
+  }
+
   /// Removes and returns the earliest live event's action, advancing past
-  /// tombstones. Precondition: !empty(). Sets `t` to the event's time.
+  /// stale heap entries. The slot is released before returning, so the
+  /// action may re-schedule into it. Precondition: !empty(). Sets `t` to
+  /// the event's time.
   Action pop(RealTime& t);
 
   /// Number of live events (O(1), maintained incrementally).
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Total events ever pushed (for throughput accounting).
-  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return stats_.pushed; }
+
+  [[nodiscard]] const EventQueueStats& stats() const { return stats_; }
 
  private:
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
+
+  struct Slot {
+    Action fn;
+    /// Bumped every time the slot is released; heap entries and EventIds
+    /// carrying an older generation are stale.
+    std::uint32_t gen = 0;
+    bool occupied = false;
+    std::uint32_t next_free = kFreeListEnd;
+  };
+
   struct Entry {
     RealTime t;
-    EventId id;
+    std::uint64_t seq;  ///< global push order: FIFO tie-break at equal t
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Heap entries are compared so that the smallest time (then smallest
-    // id, i.e. FIFO) is on top of the max-heap-by-default priority_queue.
+    // seq, i.e. FIFO) is on top of the max-heap-by-default priority_queue.
+    // Ordering is RealTime's own comparison, not raw double access.
     bool operator<(const Entry& o) const {
-      if (t.sec() != o.t.sec()) return t.sec() > o.t.sec();
-      return id > o.id;
+      if (t != o.t) return o.t < t;
+      return seq > o.seq;
     }
   };
 
-  void skip_tombstones() const;
+  static constexpr EventId encode(std::uint32_t index, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(index) + 1);
+  }
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void skip_stale() const;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kFreeListEnd;
   mutable std::priority_queue<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Action> actions_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  mutable EventQueueStats stats_;
 };
 
 }  // namespace czsync::sim

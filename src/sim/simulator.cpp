@@ -1,23 +1,10 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-
 namespace czsync::sim {
 
-EventId Simulator::schedule_at(RealTime t, Action fn) {
-  if (t < now_) t = now_;
-  return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::schedule_after(Dur d, Action fn) {
-  assert(d.is_finite());
-  if (d < Dur::zero()) d = Dur::zero();
-  return queue_.push(now_ + d, std::move(fn));
-}
-
 bool Simulator::step(RealTime limit) {
-  if (queue_.empty()) return false;
-  if (queue_.next_time() > limit) return false;
+  const RealTime* next = queue_.peek_time();
+  if (next == nullptr || *next > limit) return false;
   RealTime t{};
   auto fn = queue_.pop(t);
   assert(t >= now_);

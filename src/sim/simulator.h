@@ -6,8 +6,9 @@
 // interleaved events, which is exactly the asynchronous model of §2.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "util/time_types.h"
@@ -16,18 +17,27 @@ namespace czsync::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
-
   /// Current virtual real time tau.
   [[nodiscard]] RealTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t`; times in the past are clamped to
-  /// `now()` (the event fires after currently-pending events at `now()`).
-  EventId schedule_at(RealTime t, Action fn);
+  /// Schedules `fn` (any void() callable; constructed directly in the
+  /// event pool, no std::function wrapper) at absolute time `t`; times in
+  /// the past are clamped to `now()` (the event fires after
+  /// currently-pending events at `now()`).
+  template <class F>
+  EventId schedule_at(RealTime t, F&& fn) {
+    if (t < now_) t = now_;
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to fire `d` from now. `d` must be finite; negative
   /// delays clamp to zero.
-  EventId schedule_after(Dur d, Action fn);
+  template <class F>
+  EventId schedule_after(Dur d, F&& fn) {
+    assert(d.is_finite());
+    if (d < Dur::zero()) d = Dur::zero();
+    return queue_.push(now_ + d, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event; false if it already fired or was cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -47,6 +57,12 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Event-pool counters (pushes/pops/cancellations, inline vs. fallback
+  /// action storage) for perf reporting — see EventQueueStats.
+  [[nodiscard]] const EventQueueStats& queue_stats() const {
+    return queue_.stats();
+  }
 
  private:
   EventQueue queue_;

@@ -1,0 +1,128 @@
+// Move-only callable with small-buffer-optimized storage.
+//
+// The simulator schedules millions of short-lived events per run; storing
+// each action in a std::function costs a heap allocation whenever the
+// capture exceeds the library's tiny SSO buffer (16 bytes on libstdc++).
+// SmallFn stores any nothrow-movable callable up to kInlineCapacity bytes
+// directly in-place — sized so every scheduling site in the repository
+// (network delivery carrying a full net::Message included) stays inline —
+// and falls back to a single heap allocation only for oversized captures.
+// is_inline() lets the event pool count hits vs. fallback allocations.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace czsync {
+
+class SmallFn {
+ public:
+  /// Inline storage size. Chosen to fit the largest hot-path event
+  /// (net::Network's delivery event: pointer + Message) with headroom.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  /// True when `Fn` is stored in-place (no allocation on construction).
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  SmallFn() = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` in place —
+  /// the allocation-free way to fill a pooled, reused SmallFn.
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) vt_->relocate(o.buf_, buf_);
+    o.vt_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroys the held callable, if any.
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer.
+  [[nodiscard]] bool is_inline() const {
+    return vt_ != nullptr && vt_->inline_stored;
+  }
+
+  /// Invokes the held callable. Precondition: bool(*this).
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct into `to` and destroy `from` (inline) or steal the
+    // heap pointer (fallback). Both are noexcept by construction.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <class Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* from, void* to) {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      /*inline_stored=*/true};
+
+  template <class Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* from, void* to) { ::new (to) Fn*(*static_cast<Fn**>(from)); },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      /*inline_stored=*/false};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace czsync

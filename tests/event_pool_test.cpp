@@ -1,0 +1,301 @@
+// Tests for the slab/free-list event pool behind sim::EventQueue and the
+// SmallFn small-buffer callable storage it uses.
+//
+// Three layers:
+//   * SmallFn unit tests (inline vs. fallback storage, move semantics);
+//   * pool stress tests — push/cancel/pop churn checked against a
+//     reference model, slot reuse, and generation-checked rejection of
+//     stale EventIds after slot recycling;
+//   * a golden-trace test asserting that a full E1-style run (adversary,
+//     drift, stochastic delays) replays bit-identically to the trace
+//     recorded on the pre-pool implementation (priority_queue +
+//     unordered_map actions + tombstone set). The hash covers every
+//     sample of the run — biases of all processors, status vector,
+//     deviation — plus the headline counters, so any reordering or
+//     numeric divergence in the rewrite trips it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "util/small_fn.h"
+
+namespace czsync::sim {
+namespace {
+
+// ---------- SmallFn ----------
+
+TEST(SmallFnTest, SmallCapturesAreStoredInline) {
+  int x = 0;
+  SmallFn f([&x] { ++x; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(SmallFnTest, OversizedCapturesFallBackToHeap) {
+  std::array<char, SmallFn::kInlineCapacity + 1> big{};
+  big[0] = 5;
+  int x = 0;
+  SmallFn f([&x, big] { x += big[0]; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(x, 5);
+}
+
+TEST(SmallFnTest, MoveTransfersTheCallable) {
+  int x = 0;
+  SmallFn a([&x] { ++x; });
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(x, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(SmallFnTest, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* destructions;
+    Probe(int* d) : destructions(d) {}
+    Probe(Probe&& o) noexcept : destructions(o.destructions) {
+      o.destructions = nullptr;
+    }
+    ~Probe() {
+      if (destructions != nullptr) ++*destructions;
+    }
+    void operator()() const {}
+  };
+  int destructions = 0;
+  {
+    SmallFn f{Probe{&destructions}};
+    SmallFn g{std::move(f)};
+  }
+  EXPECT_EQ(destructions, 1);
+}
+
+TEST(SmallFnTest, QueueCountsInlineVsFallbackStorage) {
+  EventQueue q;
+  q.push(RealTime(1.0), [] {});
+  std::array<char, 2 * SmallFn::kInlineCapacity> big{};
+  q.push(RealTime(2.0), [big] { (void)big; });
+  EXPECT_EQ(q.stats().inline_actions, 1u);
+  EXPECT_EQ(q.stats().fallback_allocs, 1u);
+  RealTime t{};
+  while (!q.empty()) q.pop(t)();
+}
+
+// ---------- pool stress ----------
+
+TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
+  // Random interleaving of push/cancel/pop checked against a reference
+  // model: a multimap keyed by time (equal keys keep insertion order, the
+  // same FIFO contract the queue advertises). Times are drawn from a
+  // small discrete set to force heavy equal-time collisions.
+  EventQueue q;
+  Rng rng(20260805);
+  using RefIt = std::multimap<double, int>::iterator;
+  std::multimap<double, int> ref;         // live events, in fire order
+  std::vector<std::pair<EventId, RefIt>> live;  // cancellable handles
+  std::vector<int> fired, expected;
+  int next_marker = 0;
+
+  const auto pop_one = [&] {
+    RealTime t{};
+    q.pop(t)();
+    ASSERT_FALSE(ref.empty());
+    expected.push_back(ref.begin()->second);
+    EXPECT_EQ(t.sec(), ref.begin()->first);
+    std::erase_if(live, [&](const auto& e) { return e.second == ref.begin(); });
+    ref.erase(ref.begin());
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const double p = rng.uniform01();
+    if (p < 0.5) {
+      const double t = static_cast<double>(rng.uniform_int(0, 9));
+      const int marker = next_marker++;
+      const EventId id =
+          q.push(RealTime(t), [&fired, marker] { fired.push_back(marker); });
+      live.emplace_back(id, ref.emplace(t, marker));
+    } else if (p < 0.7) {
+      if (live.empty()) continue;
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      EXPECT_TRUE(q.cancel(live[at].first));
+      EXPECT_FALSE(q.cancel(live[at].first));  // second cancel must fail
+      ref.erase(live[at].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {
+      if (q.empty()) continue;
+      pop_one();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+    if (!ref.empty()) ASSERT_EQ(q.next_time().sec(), ref.begin()->first);
+  }
+  while (!q.empty()) pop_one();
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(q.stats().pushed, q.stats().popped + q.stats().cancelled);
+}
+
+TEST(EventPoolStressTest, SlotsAreReusedInSteadyState) {
+  EventQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    q.push(RealTime(static_cast<double>(i)), [] {});
+    RealTime t{};
+    q.pop(t)();
+  }
+  // One event in flight at a time -> the pool never grows past one slot.
+  EXPECT_EQ(q.stats().peak_slots, 1u);
+  EXPECT_EQ(q.stats().pushed, 10000u);
+}
+
+TEST(EventPoolStressTest, BoundedConcurrencyBoundsThePool) {
+  EventQueue q;
+  constexpr int kWindow = 37;
+  for (int i = 0; i < 5000; ++i) {
+    q.push(RealTime(static_cast<double>(i)), [] {});
+    if (q.size() > kWindow) {
+      RealTime t{};
+      q.pop(t)();
+    }
+  }
+  EXPECT_LE(q.stats().peak_slots, static_cast<std::size_t>(kWindow) + 1);
+}
+
+TEST(EventPoolStressTest, GenerationCheckRejectsStaleIdsAfterReuse) {
+  EventQueue q;
+  const EventId a = q.push(RealTime(1.0), [] {});
+  RealTime t{};
+  q.pop(t);  // frees a's slot
+  const EventId b = q.push(RealTime(2.0), [] {});  // reuses the slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale handle must not cancel b
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  // Reuse after a cancel-driven free, likewise.
+  const EventId c = q.push(RealTime(3.0), [] {});
+  EXPECT_NE(b, c);
+  EXPECT_FALSE(q.cancel(b));
+  EXPECT_TRUE(q.cancel(c));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventPoolStressTest, CancelledHeadEntriesAreSkippedViaGeneration) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.push(RealTime(1.0 + i), [] {}));
+  }
+  for (int i = 0; i < 99; ++i) EXPECT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), RealTime(100.0));
+  RealTime t{};
+  q.pop(t);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().stale_skipped, 99u);
+}
+
+// ---------- golden trace ----------
+
+// Recorded on the pre-pool EventQueue (priority_queue + unordered_map +
+// tombstone set) at the commit introducing this test; the pooled queue
+// must replay the identical run. If a deliberate semantic change to the
+// simulator/protocol ever invalidates it, re-record with the procedure in
+// DESIGN.md ("Simulator hot path").
+constexpr std::uint64_t kGoldenHash = 0x102562d93ef65dbbULL;
+constexpr std::size_t kGoldenSamples = 240;
+constexpr std::uint64_t kGoldenEvents = 5235;
+constexpr std::uint64_t kGoldenMessages = 4608;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_double(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(h, &bits, sizeof bits);
+}
+
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+analysis::Scenario golden_scenario() {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::hours(1);
+  s.sample_period = Dur::seconds(15);
+  s.seed = 7;
+  s.schedule = adversary::Schedule::random_mobile(
+      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+      Dur::minutes(20), RealTime(0.75 * 3600.0), Rng(1007));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(10);
+  s.record_series = true;
+  return s;
+}
+
+std::uint64_t trace_hash(const analysis::RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& s : r.series) {
+    h = hash_double(h, s.t.sec());
+    for (double b : s.bias) h = hash_double(h, b);
+    for (auto st : s.status) h = hash_u64(h, static_cast<std::uint64_t>(st));
+    h = hash_double(h, s.stable_deviation);
+  }
+  h = hash_double(h, r.max_stable_deviation.sec());
+  h = hash_u64(h, r.messages_sent);
+  h = hash_u64(h, r.events_executed);
+  h = hash_u64(h, r.rounds_completed);
+  h = hash_u64(h, r.break_ins);
+  h = hash_u64(h, r.samples);
+  return h;
+}
+
+TEST(GoldenTraceTest, E1RunReplaysBitIdenticallyOnPooledQueue) {
+  const auto r = analysis::run_scenario(golden_scenario());
+  EXPECT_EQ(r.samples, kGoldenSamples);
+  EXPECT_EQ(r.events_executed, kGoldenEvents);
+  EXPECT_EQ(r.messages_sent, kGoldenMessages);
+  EXPECT_EQ(trace_hash(r), kGoldenHash)
+      << "simulation diverged from the pre-pool golden trace";
+}
+
+TEST(GoldenTraceTest, RepeatedRunsAreBitIdentical) {
+  const auto a = analysis::run_scenario(golden_scenario());
+  const auto b = analysis::run_scenario(golden_scenario());
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+}
+
+}  // namespace
+}  // namespace czsync::sim

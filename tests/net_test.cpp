@@ -220,6 +220,73 @@ TEST(NetworkTopologyTest, NonEdgeDrops) {
   EXPECT_EQ(net.stats().sent, 2u);
 }
 
+// Misbehaving delay model for the clamp regression test: returns whatever
+// it is told, including values outside the (0, bound] contract.
+class BrokenDelay final : public DelayModel {
+ public:
+  BrokenDelay(Dur bound, Dur ret) : DelayModel(bound), ret_(ret) {}
+  [[nodiscard]] Dur sample(Rng&, ProcId, ProcId) const override {
+    return ret_;
+  }
+
+ private:
+  Dur ret_;
+};
+
+TEST(NetworkDelayViolationTest, NonPositiveDelayIsClampedAndCounted) {
+  // Regression: this used to be assert-only, so a model returning
+  // delay <= 0 passed silently in builds without asserts.
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(2),
+              std::make_unique<BrokenDelay>(Dur::millis(50), Dur::zero()),
+              Rng(1));
+  double delivered_at = -1.0;
+  net.register_handler(1,
+                       [&](const Message&) { delivered_at = sim.now().sec(); });
+  net.send(0, 1, PingReq{1});
+  EXPECT_EQ(net.stats().delay_violations, 1u);
+  sim.run_until(RealTime(1.0));
+  // Clamped into (0, bound]: delivery still happens, at a positive time.
+  EXPECT_GT(delivered_at, 0.0);
+  EXPECT_LE(delivered_at, 0.05);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(NetworkDelayViolationTest, OverBoundDelayIsClampedToBound) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(2),
+              std::make_unique<BrokenDelay>(Dur::millis(50), Dur::millis(200)),
+              Rng(1));
+  double delivered_at = -1.0;
+  net.register_handler(1,
+                       [&](const Message&) { delivered_at = sim.now().sec(); });
+  net.send(0, 1, PingReq{1});
+  EXPECT_EQ(net.stats().delay_violations, 1u);
+  sim.run_until(RealTime(1.0));
+  EXPECT_NEAR(delivered_at, 0.05, 1e-12);  // exactly the bound
+}
+
+TEST_F(NetworkTest, WellBehavedModelNeverCountsViolations) {
+  net.register_handler(1, [](const Message&) {});
+  for (int i = 0; i < 100; ++i) net.send(0, 1, PingReq{1});
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(net.stats().delay_violations, 0u);
+}
+
+TEST_F(NetworkTest, CountsSendsByBodyAlternative) {
+  net.send(0, 1, PingReq{1});
+  net.send(0, 1, PingReq{2});
+  net.send(0, 2, PingResp{1, ClockTime(0.0)});
+  net.send(1, 2, RefreshAnnounce{1, 2});
+  const auto& by_body = net.stats().sent_by_body;
+  EXPECT_EQ(by_body[Body{PingReq{}}.index()], 2u);
+  EXPECT_EQ(by_body[Body{PingResp{}}.index()], 1u);
+  EXPECT_EQ(by_body[Body{RefreshAnnounce{}}.index()], 1u);
+  EXPECT_EQ(by_body[Body{StRoundMsg{}}.index()], 0u);
+  EXPECT_STREQ(body_name(Body{PingReq{}}.index()), "PingReq");
+  EXPECT_STREQ(body_name(kBodyAlternatives), "?");
+}
+
 TEST(NetworkOrderTest, ConcurrentMessagesAllArrive) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(5),

@@ -1,0 +1,39 @@
+# Driver for the `asan_suite` ctest entry: configure + build an
+# AddressSanitizer copy of the library and the hot-path test binaries in
+# a nested build directory, then run them. Any heap error (use-after-free
+# of a recycled pool slot, out-of-bounds slab access, leak of a fallback
+# allocation) makes the binaries exit nonzero, which fails the ctest
+# entry.
+#
+# Expects -DSOURCE_DIR=... and -DBUILD_DIR=... on the cmake -P line.
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "run_asan_suite.cmake needs SOURCE_DIR and BUILD_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCZSYNC_SANITIZE=address
+          -DCZSYNC_BUILD_BENCH=OFF
+          -DCZSYNC_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE cfg_result)
+if(NOT cfg_result EQUAL 0)
+  message(FATAL_ERROR "ASan sub-build configure failed (${cfg_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target sim_test net_test event_pool_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "ASan sub-build compile failed (${build_result})")
+endif()
+
+foreach(bin sim_test net_test event_pool_test)
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${bin}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR
+            "${bin} failed under AddressSanitizer (${run_result})")
+  endif()
+endforeach()

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulator substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -77,6 +78,48 @@ TEST(EventQueueTest, CancelledHeadIsSkipped) {
   RealTime t{};
   q.pop(t)();
   EXPECT_EQ(order, std::vector<int>{2});
+}
+
+TEST(EventQueueTest, FifoAtEqualTimesSurvivesInterleavedCancellations) {
+  // FIFO order among equal-time events must hold even when cancellations
+  // and same-time pushes are interleaved with pops (the ordering is
+  // (RealTime, push sequence), not anything dependent on slot indices,
+  // which cancellation recycles).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.push(RealTime(1.0), [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(q.cancel(ids[0]));
+  EXPECT_TRUE(q.cancel(ids[3]));
+  RealTime t{};
+  q.pop(t)();  // fires 1 (0 was cancelled)
+  EXPECT_EQ(t, RealTime(1.0));
+  EXPECT_TRUE(q.cancel(ids[2]));
+  // A same-time push lands after every earlier same-time event, even
+  // though it likely reuses a cancelled event's slot.
+  q.push(RealTime(1.0), [&order] { order.push_back(8); });
+  q.pop(t)();  // fires 4 (2 and 3 cancelled)
+  EXPECT_TRUE(q.cancel(ids[5]));
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 6, 7, 8}));
+}
+
+TEST(EventQueueTest, EqualTimeOrderingIsExactForNegativeAndTinyTimes) {
+  // The comparator goes through RealTime's ordering; exercise exact
+  // equality at a negative instant and distinctness one ulp apart.
+  EventQueue q;
+  std::vector<int> order;
+  const double base = -3.5;
+  q.push(RealTime(std::nextafter(base, 0.0)), [&] { order.push_back(2); });
+  q.push(RealTime(base), [&] { order.push_back(0); });
+  q.push(RealTime(base), [&] { order.push_back(1); });
+  while (!q.empty()) {
+    RealTime t{};
+    q.pop(t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(EventQueueTest, CancelAfterFireFails) {
