@@ -5,63 +5,70 @@
 // stable processor (vs psi = eps + C/2) and (b) the worst logical-clock
 // rate over >= 150 s stable windows (vs rho~ + psi/window). The paper's
 // accuracy requirement is exactly this two-part envelope (Eq. 3).
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E5: accuracy — logical drift and discontinuity (Theorem 5 ii)",
-               "Cp advances at rate within (1+rho~)^{+-1} of real time up to "
-               "discontinuity psi = eps + C/2 per Sync");
+void register_E5(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E5", "accuracy — logical drift and discontinuity (Theorem 5 ii)",
+       "Cp advances at rate within (1+rho~)^{+-1} of real time up to "
+       "discontinuity psi = eps + C/2 per Sync",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"scenario", "psi bound [ms]", "max adjustment [ms]",
+                          "rho~ bound", "rate allowance (150s win)",
+                          "measured rate excess"});
 
-  TextTable table({"scenario", "psi bound [ms]", "max adjustment [ms]",
-                   "rho~ bound", "rate allowance (150s win)",
-                   "measured rate excess"});
+         struct Case {
+           const char* name;
+           bool wander;
+           bool adversary;
+         };
+         for (const Case c :
+              {Case{"constant drift, no faults", false, false},
+               Case{"wander drift, no faults", true, false},
+               Case{"wander drift, mobile smash", true, true}}) {
+           auto s = wan_scenario(5);
+           s.initial_spread = Dur::millis(20);
+           s.horizon = Dur::hours(10);
+           s.warmup = Dur::hours(1);
+           if (c.wander) {
+             s.drift = analysis::Scenario::DriftKind::Wander;
+             s.wander_interval = Dur::minutes(2);
+           }
+           if (c.adversary) {
+             s.schedule = adversary::Schedule::random_mobile(
+                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+                 Dur::minutes(20), RealTime(8.5 * 3600.0), Rng(55));
+             s.strategy = "clock-smash-random";
+             s.strategy_scale = Dur::seconds(30);
+           }
+           const auto r = ctx.run(s, c.name);
 
-  struct Case {
-    const char* name;
-    bool wander;
-    bool adversary;
-  };
-  for (const Case c : {Case{"constant drift, no faults", false, false},
-                       Case{"wander drift, no faults", true, false},
-                       Case{"wander drift, mobile smash", true, true}}) {
-    auto s = wan_scenario(5);
-    s.initial_spread = Dur::millis(20);
-    s.horizon = Dur::hours(10);
-    s.warmup = Dur::hours(1);
-    if (c.wander) {
-      s.drift = analysis::Scenario::DriftKind::Wander;
-      s.wander_interval = Dur::minutes(2);
-    }
-    if (c.adversary) {
-      s.schedule = adversary::Schedule::random_mobile(
-          s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-          Dur::minutes(20), RealTime(8.5 * 3600.0), Rng(55));
-      s.strategy = "clock-smash-random";
-      s.strategy_scale = Dur::seconds(30);
-    }
-    const auto r = analysis::run_scenario(s);
+           // The observer measures rates over windows >= 150 s; a single psi
+           // jump inside such a window adds psi/150 to the apparent rate.
+           const double window = 150.0;
+           const double allowance =
+               r.bounds.logical_drift + r.bounds.discontinuity.sec() / window;
+           table.row({c.name, ms(r.bounds.discontinuity),
+                      ms(r.max_stable_discontinuity),
+                      num(r.bounds.logical_drift), num(allowance),
+                      num(r.max_rate_excess)});
+         }
+         table.print(std::cout);
 
-    // The observer measures rates over windows >= 150 s; a single psi
-    // jump inside such a window adds psi/150 to the apparent rate.
-    const double window = 150.0;
-    const double allowance =
-        r.bounds.logical_drift + r.bounds.discontinuity.sec() / window;
-    table.row({c.name, ms(r.bounds.discontinuity),
-               ms(r.max_stable_discontinuity), num(r.bounds.logical_drift),
-               num(allowance), num(r.max_rate_excess)});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: max adjustment <= ~psi (the steady-state correction\n"
-      "per Sync is one reading error plus drift); measured rate excess below\n"
-      "the rho~ + psi/window allowance. With K = 59 the C/2T penalty in\n"
-      "rho~ is ~0, i.e. the logical drift is the hardware drift, matching\n"
-      "the paper's claim that the penalty vanishes as T << Delta.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: max adjustment <= ~psi (the steady-state "
+             "correction\nper Sync is one reading error plus drift); measured "
+             "rate excess below\nthe rho~ + psi/window allowance. With K = 59 "
+             "the C/2T penalty in\nrho~ is ~0, i.e. the logical drift is the "
+             "hardware drift, matching\nthe paper's claim that the penalty "
+             "vanishes as T << Delta.\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -5,52 +5,61 @@
 // of them: deviation <= gamma for stable processors and recovery after
 // every leave. The interesting signal is *how close* each attack gets to
 // the bound — the adaptive max-pull attack is the strongest.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
+#include <utility>
+#include <vector>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E6: deviation under Byzantine strategies at n=3f+1",
-               "arbitrary (Byzantine) faults are tolerated: deviation stays "
-               "<= gamma and recovery completes, for every attacker behaviour");
+void register_E6(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E6", "deviation under Byzantine strategies at n=3f+1",
+       "arbitrary (Byzantine) faults are tolerated: deviation stays "
+       "<= gamma and recovery completes, for every attacker behaviour",
+       [](analysis::ExperimentContext& ctx) {
+         for (const auto& [n, f] :
+              std::vector<std::pair<int, int>>{{7, 2}, {10, 3}}) {
+           std::printf("\n--- n=%d, f=%d ---\n", n, f);
+           TextTable table({"strategy", "max dev [ms]", "mean dev [ms]",
+                            "% of gamma", "way-off rounds", "recovered"});
+           for (const char* strategy :
+                {"silent", "clock-smash-random", "constant-lie", "two-faced",
+                 "max-pull", "random-lie", "delayed-reply"}) {
+             auto s = wan_scenario(6);
+             s.model.n = n;
+             s.model.f = f;
+             s.horizon = Dur::hours(8);
+             s.schedule = adversary::Schedule::random_mobile(
+                 n, f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
+                 RealTime(6.5 * 3600.0), Rng(600 + n));
+             s.strategy = strategy;
+             s.strategy_scale = std::string(strategy) == "delayed-reply"
+                                    ? Dur::millis(80)
+                                    : Dur::seconds(30);
+             const auto r = ctx.run(
+                 s, "n=" + std::to_string(n) + " " + strategy);
+             char pct[32];
+             std::snprintf(pct, sizeof pct, "%.0f%%",
+                           100.0 * r.max_stable_deviation /
+                               r.bounds.max_deviation);
+             table.row({strategy, ms(r.max_stable_deviation),
+                        ms(r.mean_stable_deviation), pct,
+                        std::to_string(r.way_off_rounds),
+                        r.all_recovered() ? "all" : "NO"});
+           }
+           table.print(std::cout);
+         }
 
-  for (const auto& [n, f] : std::vector<std::pair<int, int>>{{7, 2}, {10, 3}}) {
-    std::printf("\n--- n=%d, f=%d ---\n", n, f);
-    TextTable table({"strategy", "max dev [ms]", "mean dev [ms]",
-                     "% of gamma", "way-off rounds", "recovered"});
-    for (const char* strategy :
-         {"silent", "clock-smash-random", "constant-lie", "two-faced",
-          "max-pull", "random-lie", "delayed-reply"}) {
-      auto s = wan_scenario(6);
-      s.model.n = n;
-      s.model.f = f;
-      s.horizon = Dur::hours(8);
-      s.schedule = adversary::Schedule::random_mobile(
-          n, f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-          RealTime(6.5 * 3600.0), Rng(600 + n));
-      s.strategy = strategy;
-      s.strategy_scale = std::string(strategy) == "delayed-reply"
-                             ? Dur::millis(80)
-                             : Dur::seconds(30);
-      const auto r = analysis::run_scenario(s);
-      char pct[32];
-      std::snprintf(pct, sizeof pct, "%.0f%%",
-                    100.0 * r.max_stable_deviation / r.bounds.max_deviation);
-      table.row({strategy, ms(r.max_stable_deviation),
-                 ms(r.mean_stable_deviation), pct,
-                 std::to_string(r.way_off_rounds),
-                 r.all_recovered() ? "all" : "NO"});
-    }
-    table.print(std::cout);
-  }
-
-  std::printf(
-      "\nExpected shape: every row below 100%% of gamma and fully recovered.\n"
-      "Lying strategies (max-pull, two-faced) push deviation closer to the\n"
-      "bound than crash-like ones (silent); none can cross it while the\n"
-      "adversary is f-limited.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: every row below 100%% of gamma and fully "
+             "recovered.\nLying strategies (max-pull, two-faced) push "
+             "deviation closer to the\nbound than crash-like ones (silent); "
+             "none can cross it while the\nadversary is f-limited.\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -7,13 +7,13 @@
 // but cannot recover; always-jump midpoint recovers but applies larger
 // corrections in steady state (its discontinuity is worse); "none" shows
 // the unsynchronized floor.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
 struct Row {
@@ -24,7 +24,7 @@ struct Row {
   bool attack_recovered;
 };
 
-Row run_all(const std::string& conv) {
+Row run_all(analysis::ExperimentContext& ctx, const std::string& conv) {
   Row out{};
   {  // steady state, no faults
     auto s = wan_scenario(8);
@@ -32,7 +32,7 @@ Row run_all(const std::string& conv) {
     s.initial_spread = Dur::millis(20);
     s.horizon = Dur::hours(6);
     s.warmup = Dur::hours(1);
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, conv + " steady");
     out.steady_dev = r.max_stable_deviation;
     out.steady_max_adj = r.max_stable_discontinuity;
   }
@@ -47,7 +47,7 @@ Row run_all(const std::string& conv) {
         adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
     s.strategy = "clock-smash";
     s.strategy_scale = Dur::minutes(10);
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, conv + " recovery");
     out.recovery = r.all_recovered() ? r.max_recovery_time() : Dur::infinity();
   }
   {  // full mobile two-faced attack
@@ -59,7 +59,7 @@ Row run_all(const std::string& conv) {
         Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(88));
     s.strategy = "two-faced";
     s.strategy_scale = Dur::seconds(30);
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, conv + " attack");
     out.attack_dev = r.max_stable_deviation;
     out.attack_recovered = r.all_recovered();
   }
@@ -68,27 +68,33 @@ Row run_all(const std::string& conv) {
 
 }  // namespace
 
-int main() {
-  print_header("E8: convergence-function ablation",
-               "BHHN trades a larger max correction for fast recovery (§1.1); "
-               "minimal-correction designs may never recover; the always-jump "
-               "midpoint recovers but corrects harder in steady state");
+void register_E8(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E8", "convergence-function ablation",
+       "BHHN trades a larger max correction for fast recovery (§1.1); "
+       "minimal-correction designs may never recover; the always-jump "
+       "midpoint recovers but corrects harder in steady state",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"convergence", "steady dev [ms]",
+                          "steady max adj [ms]", "recovery from 600 s [s]",
+                          "attack dev [ms]", "attack recovered"});
+         for (const char* conv :
+              {"bhhn", "capped-correction", "midpoint", "none"}) {
+           const Row r = run_all(ctx, conv);
+           table.row({conv, ms(r.steady_dev), ms(r.steady_max_adj),
+                      secs(r.recovery), ms(r.attack_dev),
+                      r.attack_recovered ? "all" : "NO"});
+         }
+         table.print(std::cout);
 
-  TextTable table({"convergence", "steady dev [ms]", "steady max adj [ms]",
-                   "recovery from 600 s [s]", "attack dev [ms]",
-                   "attack recovered"});
-  for (const char* conv : {"bhhn", "capped-correction", "midpoint", "none"}) {
-    const Row r = run_all(conv);
-    table.row({conv, ms(r.steady_dev), ms(r.steady_max_adj), secs(r.recovery),
-               ms(r.attack_dev), r.attack_recovered ? "all" : "NO"});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: bhhn and midpoint recover in O(SyncInt); capped-\n"
-      "correction 'never' (needs 6000 rounds for 600 s at 100 ms/round);\n"
-      "'none' drifts unboundedly (steady dev grows with the horizon). In\n"
-      "steady state all synchronized rows look alike — the differences are\n"
-      "recovery and correction magnitude, exactly the paper's trade-off.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: bhhn and midpoint recover in O(SyncInt); "
+             "capped-\ncorrection 'never' (needs 6000 rounds for 600 s at "
+             "100 ms/round);\n'none' drifts unboundedly (steady dev grows "
+             "with the horizon). In\nsteady state all synchronized rows look "
+             "alike — the differences are\nrecovery and correction magnitude, "
+             "exactly the paper's trade-off.\n");
+       }});
 }
+
+}  // namespace czsync::bench

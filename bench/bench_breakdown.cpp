@@ -7,87 +7,100 @@
 //       gaps < Delta, so more than f distinct processors fall in one
 //       Delta-window — stable pairs (per the Def.-3 quantifier) can catch
 //       a not-yet-recovered processor and the measured deviation degrades.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
+#include <vector>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E9: breakdown beyond the adversary budget (Def. 2 necessity)",
-               "the bound needs BOTH f <= (n-1)/3 at a time AND a rest of "
-               "Delta between victim changes");
+void register_E9(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E9", "breakdown beyond the adversary budget (Def. 2 necessity)",
+       "the bound needs BOTH f <= (n-1)/3 at a time AND a rest of "
+       "Delta between victim changes",
+       [](analysis::ExperimentContext& ctx) {
+         {
+           std::printf("\n(a) concurrent two-faced liars at n=7 (trim f=2):\n");
+           TextTable table({"liars", "within budget", "gamma [ms]",
+                            "measured max dev [ms]", "bound holds"});
+           for (int liars = 0; liars <= 4; ++liars) {
+             auto s = wan_scenario(9);
+             s.horizon = Dur::hours(2);
+             s.warmup = Dur::zero();
+             s.initial_spread = Dur::millis(20);
+             std::vector<adversary::ControlInterval> ivs;
+             for (net::ProcId p = 0; p < liars; ++p)
+               ivs.push_back({p, RealTime(600.0), RealTime(2 * 3600.0)});
+             s.schedule = adversary::Schedule(ivs);
+             s.strategy = "two-faced";
+             s.strategy_scale = Dur::seconds(30);
+             const auto r = ctx.run(s, "liars=" + std::to_string(liars));
+             const bool in_budget = liars <= s.model.f;
+             table.row({std::to_string(liars), in_budget ? "yes" : "NO",
+                        ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
+                        r.max_stable_deviation < r.bounds.max_deviation
+                            ? "yes"
+                            : "BROKEN"});
+           }
+           table.print(std::cout);
+         }
 
-  {
-    std::printf("\n(a) concurrent two-faced liars at n=7 (trim f=2):\n");
-    TextTable table({"liars", "within budget", "gamma [ms]",
-                     "measured max dev [ms]", "bound holds"});
-    for (int liars = 0; liars <= 4; ++liars) {
-      auto s = wan_scenario(9);
-      s.horizon = Dur::hours(2);
-      s.warmup = Dur::zero();
-      s.initial_spread = Dur::millis(20);
-      std::vector<adversary::ControlInterval> ivs;
-      for (net::ProcId p = 0; p < liars; ++p)
-        ivs.push_back({p, RealTime(600.0), RealTime(2 * 3600.0)});
-      s.schedule = adversary::Schedule(ivs);
-      s.strategy = "two-faced";
-      s.strategy_scale = Dur::seconds(30);
-      const auto r = analysis::run_scenario(s);
-      const bool in_budget = liars <= s.model.f;
-      table.row({std::to_string(liars), in_budget ? "yes" : "NO",
-                 ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
-                 r.max_stable_deviation < r.bounds.max_deviation ? "yes"
-                                                                 : "BROKEN"});
-    }
-    table.print(std::cout);
-  }
+         {
+           std::printf(
+               "\n(b) mobile smash adversary, rest gap swept (Delta = 3600 "
+               "s):\n");
+           TextTable table({"rest gap [s]", "f-limited (Delta)", "gamma [ms]",
+                            "measured max dev [ms]", "rate excess",
+                            "all recovered"});
+           for (double gap : {4000.0, 3600.0, 1800.0, 600.0, 60.0}) {
+             auto s = wan_scenario(10);
+             s.horizon = Dur::hours(8);
+             s.warmup = Dur::zero();
+             s.initial_spread = Dur::millis(20);
+             // Hand-built sweep: 2 slots, dwell 300 s, rest `gap` between a
+             // slot's leave and its next break-in.
+             std::vector<adversary::ControlInterval> ivs;
+             for (int slot = 0; slot < 2; ++slot) {
+               double t = 600.0 + slot * 150.0;
+               net::ProcId victim = static_cast<net::ProcId>(slot * 3);
+               while (t < 6.5 * 3600.0) {
+                 ivs.push_back({victim, RealTime(t), RealTime(t + 300.0)});
+                 t += 300.0 + gap;
+                 victim = static_cast<net::ProcId>((victim + 1) % s.model.n);
+               }
+             }
+             s.schedule = adversary::Schedule(ivs);
+             s.strategy = "clock-smash";
+             s.strategy_scale = Dur::millis(900);  // just under WayOff: slow halving
+             const auto r = ctx.run(s, "gap=" + num(gap));
+             table.row({num(gap),
+                        s.schedule.is_f_limited(s.model.f,
+                                                s.model.delta_period)
+                            ? "yes"
+                            : "NO",
+                        ms(r.bounds.max_deviation),
+                        ms(r.max_stable_deviation), num(r.max_rate_excess),
+                        r.all_recovered() ? "yes" : "NO"});
+           }
+           table.print(std::cout);
+         }
 
-  {
-    std::printf("\n(b) mobile smash adversary, rest gap swept (Delta = 3600 s):\n");
-    TextTable table({"rest gap [s]", "f-limited (Delta)", "gamma [ms]",
-                     "measured max dev [ms]", "rate excess", "all recovered"});
-    for (double gap : {4000.0, 3600.0, 1800.0, 600.0, 60.0}) {
-      auto s = wan_scenario(10);
-      s.horizon = Dur::hours(8);
-      s.warmup = Dur::zero();
-      s.initial_spread = Dur::millis(20);
-      // Hand-built sweep: 2 slots, dwell 300 s, rest `gap` between a
-      // slot's leave and its next break-in.
-      std::vector<adversary::ControlInterval> ivs;
-      for (int slot = 0; slot < 2; ++slot) {
-        double t = 600.0 + slot * 150.0;
-        net::ProcId victim = static_cast<net::ProcId>(slot * 3);
-        while (t < 6.5 * 3600.0) {
-          ivs.push_back({victim, RealTime(t), RealTime(t + 300.0)});
-          t += 300.0 + gap;
-          victim = static_cast<net::ProcId>((victim + 1) % s.model.n);
-        }
-      }
-      s.schedule = adversary::Schedule(ivs);
-      s.strategy = "clock-smash";
-      s.strategy_scale = Dur::millis(900);  // just under WayOff: slow halving
-      const auto r = analysis::run_scenario(s);
-      table.row({num(gap),
-                 s.schedule.is_f_limited(s.model.f, s.model.delta_period)
-                     ? "yes"
-                     : "NO",
-                 ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
-                 num(r.max_rate_excess), r.all_recovered() ? "yes" : "NO"});
-    }
-    table.print(std::cout);
-  }
-
-  std::printf(
-      "\nExpected shape: (a) holds for 0-2 liars, breaks decisively at 3-4\n"
-      "(the two-faced split drags the three remaining correct clocks apart);\n"
-      "(b) with gap >= Delta everything is nominal; as the gap shrinks the\n"
-      "schedule stops being f-limited: more than f processors carry smashed\n"
-      "or half-recovered clocks at once, the trimming is overwhelmed, and\n"
-      "the damage appears first as accuracy loss (stable clocks dragged off\n"
-      "real time — the rate-excess column climbs past the ~1e-4 drift) and\n"
-      "then as deviation growth at the smallest gaps. BHHN's fast recovery\n"
-      "softens the blow — the failure is graceful, not a cliff like (a).\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: (a) holds for 0-2 liars, breaks decisively at "
+             "3-4\n(the two-faced split drags the three remaining correct "
+             "clocks apart);\n(b) with gap >= Delta everything is nominal; as "
+             "the gap shrinks the\nschedule stops being f-limited: more than f "
+             "processors carry smashed\nor half-recovered clocks at once, the "
+             "trimming is overwhelmed, and\nthe damage appears first as "
+             "accuracy loss (stable clocks dragged off\nreal time — the "
+             "rate-excess column climbs past the ~1e-4 drift) and\nthen as "
+             "deviation growth at the smallest gaps. BHHN's fast recovery\n"
+             "softens the blow — the failure is graceful, not a cliff like "
+             "(a).\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -18,16 +18,19 @@
 //   (d) A4: a signature-replay adversary drags freshly recovered
 //       processors to stale rounds — the artifact-free convergence
 //       protocol has nothing to replay.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
-analysis::RunResult run(const std::string& protocol, int f_actual,
+analysis::RunResult run(analysis::ExperimentContext& ctx,
+                        const std::string& protocol, int f_actual,
                         analysis::Scenario::TopologyKind topo,
                         const std::string& strategy, std::uint64_t seed) {
   auto s = wan_scenario(seed);
@@ -37,6 +40,9 @@ analysis::RunResult run(const std::string& protocol, int f_actual,
   s.horizon = Dur::hours(6);
   s.warmup = Dur::minutes(40);
   if (topo == analysis::Scenario::TopologyKind::Ring) s.model.n = 10;
+  const std::string label =
+      protocol + " f=" + std::to_string(f_actual) +
+      (strategy.empty() ? "" : " " + strategy);
   if (f_actual > 0) {
     // The engines' fault parameters differ by design legitimacy: the
     // trimming protocol cannot legally configure f = 3 at n = 7 (needs
@@ -57,7 +63,7 @@ analysis::RunResult run(const std::string& protocol, int f_actual,
       s.schedule = adversary::Schedule(ivs);
       s.strategy = strategy;
       s.strategy_scale = Dur::seconds(30);
-      return analysis::run_scenario(s);
+      return ctx.run(s, label);
     }
     if (strategy == std::string("sig-replay")) {
       // Interleaved pairs so every first victim of a pair recovers while
@@ -81,57 +87,63 @@ analysis::RunResult run(const std::string& protocol, int f_actual,
     s.strategy = strategy;
     s.strategy_scale = Dur::seconds(30);
   }
-  return analysis::run_scenario(s);
+  return ctx.run(s, label);
 }
 
 }  // namespace
 
-int main() {
-  print_header("E20: broadcast-based comparator ([10]/Srikanth-Toueg, §1.1)",
-               "broadcast: majority resilience + connectivity-only, but "
-               "higher cost, bigger clock steps, and the A4 signature-replay "
-               "exposure; convergence: thirds + full mesh, but artifact-free "
-               "recovery");
+void register_E20(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E20", "broadcast-based comparator ([10]/Srikanth-Toueg, §1.1)",
+       "broadcast: majority resilience + connectivity-only, but "
+       "higher cost, bigger clock steps, and the A4 signature-replay "
+       "exposure; convergence: thirds + full mesh, but artifact-free "
+       "recovery",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"workload", "engine", "max dev [ms]", "max adj [ms]",
+                          "msgs/h/proc", "recovered", "replays accepted"});
+         struct Case {
+           const char* label;
+           int f_actual;
+           analysis::Scenario::TopologyKind topo;
+           const char* strategy;
+         };
+         using TK = analysis::Scenario::TopologyKind;
+         const Case cases[] = {
+             {"fault-free, mesh n=7", 0, TK::FullMesh, ""},
+             {"f=2 two-faced (budget)", 2, TK::FullMesh, "two-faced"},
+             {"f=3 two-faced (majority)", 3, TK::FullMesh, "two-faced"},
+             {"fault-free RING n=10", 0, TK::Ring, ""},
+             {"f=2 sig-replay", 2, TK::FullMesh, "sig-replay"},
+         };
+         for (const auto& c : cases) {
+           for (const char* engine : {"sync", "st-broadcast"}) {
+             const auto r = run(ctx, engine, c.f_actual, c.topo, c.strategy, 20);
+             const double hours = 6.0;
+             const double n = c.topo == TK::Ring ? 10.0 : 7.0;
+             table.row({c.label, engine, ms(r.max_stable_deviation),
+                        ms(r.max_stable_discontinuity),
+                        num(static_cast<double>(r.messages_sent) / hours / n),
+                        r.recoveries.empty()
+                            ? "-"
+                            : (r.all_recovered() ? "all" : "NO"),
+                        std::to_string(r.replays_accepted)});
+           }
+         }
+         table.print(std::cout);
 
-  TextTable table({"workload", "engine", "max dev [ms]", "max adj [ms]",
-                   "msgs/h/proc", "recovered", "replays accepted"});
-  struct Case {
-    const char* label;
-    int f_actual;
-    analysis::Scenario::TopologyKind topo;
-    const char* strategy;
-  };
-  using TK = analysis::Scenario::TopologyKind;
-  const Case cases[] = {
-      {"fault-free, mesh n=7", 0, TK::FullMesh, ""},
-      {"f=2 two-faced (budget)", 2, TK::FullMesh, "two-faced"},
-      {"f=3 two-faced (majority)", 3, TK::FullMesh, "two-faced"},
-      {"fault-free RING n=10", 0, TK::Ring, ""},
-      {"f=2 sig-replay", 2, TK::FullMesh, "sig-replay"},
-  };
-  for (const auto& c : cases) {
-    for (const char* engine : {"sync", "st-broadcast"}) {
-      const auto r = run(engine, c.f_actual, c.topo, c.strategy, 20);
-      const double hours = 6.0;
-      const double n = c.topo == TK::Ring ? 10.0 : 7.0;
-      table.row({c.label, engine, ms(r.max_stable_deviation),
-                 ms(r.max_stable_discontinuity),
-                 num(static_cast<double>(r.messages_sent) / hours / n),
-                 r.recoveries.empty() ? "-" : (r.all_recovered() ? "all" : "NO"),
-                 std::to_string(r.replays_accepted)});
-    }
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: at the f=2 budget both engines hold. At f=3 (over\n"
-      "a third, under a half) the trimming engine is overwhelmed while the\n"
-      "broadcast engine stays synchronized — [10]'s majority advantage. On\n"
-      "the ring only the broadcast engine synchronizes (relays propagate\n"
-      "hop by hop) — the connectivity advantage. The prices: per-round\n"
-      "clock steps ~2delta (vs ~eps), a larger message bill, and the\n"
-      "sig-replay row — recovered processors accept stale genuine bundles\n"
-      "(replays > 0, recovery degraded), the A4 exposure. The convergence\n"
-      "engine ignores the same attacker completely.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: at the f=2 budget both engines hold. At f=3 "
+             "(over\na third, under a half) the trimming engine is "
+             "overwhelmed while the\nbroadcast engine stays synchronized — "
+             "[10]'s majority advantage. On\nthe ring only the broadcast "
+             "engine synchronizes (relays propagate\nhop by hop) — the "
+             "connectivity advantage. The prices: per-round\nclock steps "
+             "~2delta (vs ~eps), a larger message bill, and the\nsig-replay "
+             "row — recovered processors accept stale genuine bundles\n"
+             "(replays > 0, recovery degraded), the A4 exposure. The "
+             "convergence\nengine ignores the same attacker completely.\n");
+       }});
 }
+
+}  // namespace czsync::bench

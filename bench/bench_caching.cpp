@@ -16,17 +16,17 @@
 //     says "you are an hour off", so the clock overshoots and oscillates
 //     until the cache refreshes; with a cache older than SyncInt the
 //     victim can bounce for many rounds.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
-analysis::RunResult run(bool cached, Dur refresh, bool recovery_case,
-                        std::uint64_t seed) {
+analysis::RunResult run(analysis::ExperimentContext& ctx, bool cached,
+                        Dur refresh, bool recovery_case, std::uint64_t seed) {
   auto s = wan_scenario(seed);
   s.cached_estimation = cached;
   s.cache_refresh = refresh;
@@ -43,52 +43,59 @@ analysis::RunResult run(bool cached, Dur refresh, bool recovery_case,
     s.horizon = Dur::hours(6);
     s.warmup = Dur::hours(1);
   }
-  return analysis::run_scenario(s);
+  return ctx.run(s, std::string(cached ? "cached " : "fresh ") +
+                        (recovery_case ? "recovery" : "steady"));
 }
 
 }  // namespace
 
-int main() {
-  print_header("E19: cached estimation breaks Definition 4 (§3.1 caveat)",
-               "a background estimation thread returning cached values "
-               "invalidates the analysis — mildly in steady state, "
-               "catastrophically during recovery");
+void register_E19(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E19", "cached estimation breaks Definition 4 (§3.1 caveat)",
+       "a background estimation thread returning cached values "
+       "invalidates the analysis — mildly in steady state, "
+       "catastrophically during recovery",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"estimation", "steady dev [ms]", "recovery [s]",
+                          "way-off jumps", "recovered"});
+         struct Case {
+           const char* label;
+           bool cached;
+           Dur refresh;
+         };
+         for (const Case c :
+              {Case{"fresh (the paper)", false, Dur::seconds(1)},
+               Case{"cached, refresh 10 s", true, Dur::seconds(10)},
+               Case{"cached, refresh 30 s", true, Dur::seconds(30)},
+               Case{"cached, refresh 150 s", true, Dur::seconds(150)},
+               Case{"cached, refresh 300 s", true, Dur::seconds(300)}}) {
+           const auto steady = run(ctx, c.cached, c.refresh, false, 19);
+           const auto recov = run(ctx, c.cached, c.refresh, true, 19);
+           // Each oscillation bounce is a WayOff-branch jump: with fresh
+           // estimates the recovery takes exactly one; every extra one is a
+           // stale-cache re-application.
+           table.row({c.label, ms(steady.max_stable_deviation),
+                      recov.all_recovered() ? secs(recov.max_recovery_time())
+                                            : "never",
+                      std::to_string(recov.way_off_rounds),
+                      recov.all_recovered() ? "yes" : "NO"});
+         }
+         table.print(std::cout);
 
-  TextTable table({"estimation", "steady dev [ms]", "recovery [s]",
-                   "way-off jumps", "recovered"});
-  struct Case {
-    const char* label;
-    bool cached;
-    Dur refresh;
-  };
-  for (const Case c : {Case{"fresh (the paper)", false, Dur::seconds(1)},
-                       Case{"cached, refresh 10 s", true, Dur::seconds(10)},
-                       Case{"cached, refresh 30 s", true, Dur::seconds(30)},
-                       Case{"cached, refresh 150 s", true, Dur::seconds(150)},
-                       Case{"cached, refresh 300 s", true, Dur::seconds(300)}}) {
-    const auto steady = run(c.cached, c.refresh, false, 19);
-    const auto recov = run(c.cached, c.refresh, true, 19);
-    // Each oscillation bounce is a WayOff-branch jump: with fresh
-    // estimates the recovery takes exactly one; every extra one is a
-    // stale-cache re-application.
-    table.row({c.label, ms(steady.max_stable_deviation),
-               recov.all_recovered() ? secs(recov.max_recovery_time()) : "never",
-               std::to_string(recov.way_off_rounds),
-               recov.all_recovered() ? "yes" : "NO"});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: steady-state deviation degrades gradually with the\n"
-      "cache age (the cached d is stale by up to refresh of drift plus the\n"
-      "node's own adjustments since measurement). Recovery is where Def. 4\n"
-      "really matters: with fresh estimates the WayOff jump lands exactly\n"
-      "once (way-off = 1). Once the refresh period exceeds SyncInt, syncs\n"
-      "consume estimates measured before the previous jump and re-apply\n"
-      "them: the victim bounces back out of the pack (way-off = 3, 6...).\n"
-      "The recovery column shows only the FIRST re-entry — the extra\n"
-      "way-off jumps are the oscillation the paper's caveat predicts; this\n"
-      "is why Definition 4's freshness is a real requirement and not a\n"
-      "technicality.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: steady-state deviation degrades gradually "
+             "with the\ncache age (the cached d is stale by up to refresh of "
+             "drift plus the\nnode's own adjustments since measurement). "
+             "Recovery is where Def. 4\nreally matters: with fresh estimates "
+             "the WayOff jump lands exactly\nonce (way-off = 1). Once the "
+             "refresh period exceeds SyncInt, syncs\nconsume estimates "
+             "measured before the previous jump and re-apply\nthem: the "
+             "victim bounces back out of the pack (way-off = 3, 6...).\nThe "
+             "recovery column shows only the FIRST re-entry — the extra\n"
+             "way-off jumps are the oscillation the paper's caveat predicts; "
+             "this\nis why Definition 4's freshness is a real requirement and "
+             "not a\ntechnicality.\n");
+       }});
 }
+
+}  // namespace czsync::bench

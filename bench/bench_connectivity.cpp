@@ -12,104 +12,110 @@
 // experiment maps where random (expander-like) sparse graphs actually
 // start working — evidence for the conjecture that expansion, not raw
 // connectivity, is the right notion.
-#include "bench_common.h"
+#include "experiments.h"
 
-#include <chrono>
+#include <iostream>
 #include <vector>
 
 #include "adversary/schedule.h"
 #include "net/topology.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main(int argc, char** argv) {
-  print_header("E16: sparse random topologies (§5 neighbor-limited sync)",
-               "conjecture: sufficiently-connected (expander-like) subgraphs "
-               "suffice; Section 5 proved raw (3f+1)-connectivity does not");
+void register_E16(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E16", "sparse random topologies (§5 neighbor-limited sync)",
+       "conjecture: sufficiently-connected (expander-like) subgraphs "
+       "suffice; Section 5 proved raw (3f+1)-connectivity does not",
+       [](analysis::ExperimentContext& ctx) {
+         const int n = 16;
+         const int f = 2;  // trim per node; full mesh would tolerate (n-1)/3 = 5
 
-  const int n = 16;
-  const int f = 2;  // trim per node; full mesh would tolerate (n-1)/3 = 5
+         std::printf(
+             "n = %d, trim f = %d, mobile two-faced adversary (budget f per "
+             "Delta), 8 h horizon\n\n",
+             n, f);
 
-  std::printf("n = %d, trim f = %d, mobile two-faced adversary (budget f per "
-              "Delta), 8 h horizon\n\n", n, f);
+         TextTable table({"topology", "min degree", "vertex conn.",
+                          "max dev [ms]", "gamma [ms]", "bound holds",
+                          "all recovered"});
 
-  TextTable table({"topology", "min degree", "vertex conn.", "max dev [ms]",
-                   "gamma [ms]", "bound holds", "all recovered"});
+         // Rows are independent runs: build them all, fan out across the
+         // worker pool, then format in input order so the table is
+         // deterministic.
+         std::vector<std::string> labels;
+         std::vector<net::Topology> topos;
+         auto add = [&](const std::string& label, net::Topology topo) {
+           labels.push_back(label);
+           topos.push_back(std::move(topo));
+         };
 
-  // Rows are independent runs: build them all, fan out across the worker
-  // pool, then format in input order so the table is deterministic.
-  std::vector<std::string> labels;
-  std::vector<net::Topology> topos;
-  auto add = [&](const std::string& label, net::Topology topo) {
-    labels.push_back(label);
-    topos.push_back(std::move(topo));
-  };
+         add("full mesh (control)", net::Topology::full_mesh(n));
+         {
+           Rng rng(41);
+           for (int d : {5, 7, 9, 12}) {
+             add("random ~" + std::to_string(d) + "-regular",
+                 net::Topology::random_regular(n, d, rng));
+           }
+         }
+         {
+           Rng rng(42);
+           for (double p : {0.4, 0.6, 0.8}) {
+             char label[32];
+             std::snprintf(label, sizeof label, "G(n, %.1f)", p);
+             add(label, net::Topology::gnp_connected(n, p, rng));
+           }
+         }
+         add("ring (degenerate)", net::Topology::ring(n));
+         add("two-cliques f=2 (n=14)", net::Topology::two_cliques(2));
 
-  add("full mesh (control)", net::Topology::full_mesh(n));
-  {
-    Rng rng(41);
-    for (int d : {5, 7, 9, 12}) {
-      add("random ~" + std::to_string(d) + "-regular",
-          net::Topology::random_regular(n, d, rng));
-    }
-  }
-  {
-    Rng rng(42);
-    for (double p : {0.4, 0.6, 0.8}) {
-      char label[32];
-      std::snprintf(label, sizeof label, "G(n, %.1f)", p);
-      add(label, net::Topology::gnp_connected(n, p, rng));
-    }
-  }
-  add("ring (degenerate)", net::Topology::ring(n));
-  add("two-cliques f=2 (n=14)", net::Topology::two_cliques(2));
+         std::vector<analysis::Scenario> scenarios;
+         for (const auto& topo : topos) {
+           auto s = wan_scenario(17);
+           s.model.n = topo.size();  // rows may use their natural sizes
+           s.model.f = f;
+           s.topology = analysis::Scenario::TopologyKind::Custom;
+           s.custom_topology = topo;
+           s.horizon = Dur::hours(8);
+           s.schedule = adversary::Schedule::random_mobile(
+               s.model.n, f, s.model.delta_period, Dur::minutes(5),
+               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(171));
+           s.strategy = "two-faced";
+           s.strategy_scale = Dur::seconds(30);
+           scenarios.push_back(std::move(s));
+         }
 
-  std::vector<analysis::Scenario> scenarios;
-  for (const auto& topo : topos) {
-    auto s = wan_scenario(17);
-    s.model.n = topo.size();  // rows may use their natural sizes
-    s.model.f = f;
-    s.topology = analysis::Scenario::TopologyKind::Custom;
-    s.custom_topology = topo;
-    s.horizon = Dur::hours(8);
-    s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-        RealTime(6.5 * 3600.0), Rng(171));
-    s.strategy = "two-faced";
-    s.strategy_scale = Dur::seconds(30);
-    scenarios.push_back(std::move(s));
-  }
+         const auto batch = ctx.run_parallel(scenarios, "topology-grid");
+         const auto& results = batch.results;
 
-  const int jobs = sweep_jobs(argc, argv);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto results = analysis::run_scenarios_parallel(scenarios, jobs);
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+         for (std::size_t i = 0; i < results.size(); ++i) {
+           const auto& r = results[i];
+           table.row({labels[i], std::to_string(topos[i].min_degree()),
+                      std::to_string(topos[i].vertex_connectivity()),
+                      ms(r.max_stable_deviation), ms(r.bounds.max_deviation),
+                      r.max_stable_deviation < r.bounds.max_deviation
+                          ? "yes"
+                          : "BROKEN",
+                      r.all_recovered() ? "all" : "NO"});
+         }
 
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    table.row({labels[i], std::to_string(topos[i].min_degree()),
-               std::to_string(topos[i].vertex_connectivity()),
-               ms(r.max_stable_deviation), ms(r.bounds.max_deviation),
-               r.max_stable_deviation < r.bounds.max_deviation ? "yes"
-                                                               : "BROKEN",
-               r.all_recovered() ? "all" : "NO"});
-  }
+         table.print(std::cout);
+         analysis::ExperimentContext::print_sweep_perf(
+             "\nruns", static_cast<int>(results.size()), batch.wall_seconds,
+             ctx.jobs());
 
-  table.print(std::cout);
-  print_sweep_perf("\nruns", static_cast<int>(results.size()), wall, jobs);
-
-  std::printf(
-      "\nNOTE: the last two rows use their natural sizes/shapes (ring n=16;\n"
-      "two-cliques n=14 with opposed drift NOT applied here — see E7 for\n"
-      "the drift-driven divergence; under two-faced attack the cliques'\n"
-      "trimming still isolates the single cross edge).\n"
-      "Expected shape: random graphs with min degree >= ~3f+2 behave like\n"
-      "the full mesh (bound holds, everyone recovers); the ring — minimum\n"
-      "degree 2 < f+1 — cannot even tolerate the trimming and free-runs;\n"
-      "structured bottlenecks (two-cliques) fail regardless of degree,\n"
-      "confirming that density without expansion is not enough.\n");
-  return 0;
+         std::printf(
+             "\nNOTE: the last two rows use their natural sizes/shapes (ring "
+             "n=16;\ntwo-cliques n=14 with opposed drift NOT applied here — "
+             "see E7 for\nthe drift-driven divergence; under two-faced attack "
+             "the cliques'\ntrimming still isolates the single cross edge).\n"
+             "Expected shape: random graphs with min degree >= ~3f+2 behave "
+             "like\nthe full mesh (bound holds, everyone recovers); the ring "
+             "— minimum\ndegree 2 < f+1 — cannot even tolerate the trimming "
+             "and free-runs;\nstructured bottlenecks (two-cliques) fail "
+             "regardless of degree,\nconfirming that density without "
+             "expansion is not enough.\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -4,68 +4,73 @@
 // bias spread over time. Lemma 7 predicts the spread contracts by about
 // 7/8 per interval T (plus a 2 eps floor); we print the spread series
 // and the fitted per-T contraction ratio until it hits the noise floor.
-#include "bench_common.h"
+#include "experiments.h"
 
 #include <cmath>
+#include <iostream>
 #include <vector>
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E2: bias-envelope contraction (Lemma 7 ii, Figure 3)",
-               "over one interval T the good-processor envelope shrinks "
-               "2D -> 7D/4 + 2eps (ratio ~7/8 until the eps floor)");
+void register_E2(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E2", "bias-envelope contraction (Lemma 7 ii, Figure 3)",
+       "over one interval T the good-processor envelope shrinks "
+       "2D -> 7D/4 + 2eps (ratio ~7/8 until the eps floor)",
+       [](analysis::ExperimentContext& ctx) {
+         auto s = wan_scenario(2);
+         // D0 just inside WayOff (~0.96 s): every round takes the normal
+         // branch, so the series shows the pure Lemma-7 contraction. (The
+         // escape branch for spreads beyond WayOff is exercised by E3.)
+         s.initial_spread = Dur::millis(800);
+         s.horizon = Dur::hours(2);
+         s.warmup = Dur::zero();
+         s.sample_period = Dur::seconds(15);
+         s.record_series = true;
+         const auto r = ctx.run(s);
 
-  auto s = wan_scenario(2);
-  // D0 just inside WayOff (~0.96 s): every round takes the normal branch,
-  // so the series shows the pure Lemma-7 contraction. (The escape branch
-  // for spreads beyond WayOff is exercised by E3.)
-  s.initial_spread = Dur::millis(800);
-  s.horizon = Dur::hours(2);
-  s.warmup = Dur::zero();
-  s.sample_period = Dur::seconds(15);
-  s.record_series = true;
-  const auto r = analysis::run_scenario(s);
+         const double T = r.bounds.T.sec();
+         TextTable table({"t/T", "spread [ms]", "ratio vs prev T"});
+         double prev = -1.0;
+         std::vector<double> ratios;
+         for (std::size_t k = 0;; ++k) {
+           const double target = static_cast<double>(k) * T;
+           const analysis::Sample* pick = nullptr;
+           for (const auto& smp : r.series) {
+             if (smp.t.sec() >= target) {
+               pick = &smp;
+               break;
+             }
+           }
+           if (!pick) break;
+           const double spread = pick->stable_deviation;
+           std::string ratio = "-";
+           if (prev > 0 && spread > 0) {
+             const double rr = spread / prev;
+             char buf[32];
+             std::snprintf(buf, sizeof buf, "%.3f", rr);
+             ratio = buf;
+             if (spread > 4 * r.bounds.epsilon.sec()) ratios.push_back(rr);
+           }
+           char tt[16];
+           std::snprintf(tt, sizeof tt, "%zu", k);
+           table.row({tt, ms(Dur::seconds(spread)), ratio});
+           prev = spread;
+           if (k >= 20) break;
+         }
+         table.print(std::cout);
 
-  const double T = r.bounds.T.sec();
-  TextTable table({"t/T", "spread [ms]", "ratio vs prev T"});
-  double prev = -1.0;
-  std::vector<double> ratios;
-  for (std::size_t k = 0;; ++k) {
-    const double target = static_cast<double>(k) * T;
-    const analysis::Sample* pick = nullptr;
-    for (const auto& smp : r.series) {
-      if (smp.t.sec() >= target) {
-        pick = &smp;
-        break;
-      }
-    }
-    if (!pick) break;
-    const double spread = pick->stable_deviation;
-    std::string ratio = "-";
-    if (prev > 0 && spread > 0) {
-      const double rr = spread / prev;
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.3f", rr);
-      ratio = buf;
-      if (spread > 4 * r.bounds.epsilon.sec()) ratios.push_back(rr);
-    }
-    char tt[16];
-    std::snprintf(tt, sizeof tt, "%zu", k);
-    table.row({tt, ms(Dur::seconds(spread)), ratio});
-    prev = spread;
-    if (k >= 20) break;
-  }
-  table.print(std::cout);
-
-  double geo = 0.0;
-  for (double rr : ratios) geo += std::log(rr);
-  if (!ratios.empty()) geo = std::exp(geo / static_cast<double>(ratios.size()));
-  std::printf(
-      "\nGeometric-mean contraction per T above the eps floor: %.3f\n"
-      "Paper's proven ratio: 7/8 = 0.875 (ours is typically faster because\n"
-      "the proof is worst-case); floor ~ a few eps = %s ms.\n",
-      geo, ms(r.bounds.epsilon).c_str());
-  return 0;
+         double geo = 0.0;
+         for (double rr : ratios) geo += std::log(rr);
+         if (!ratios.empty()) {
+           geo = std::exp(geo / static_cast<double>(ratios.size()));
+         }
+         std::printf(
+             "\nGeometric-mean contraction per T above the eps floor: %.3f\n"
+             "Paper's proven ratio: 7/8 = 0.875 (ours is typically faster "
+             "because\nthe proof is worst-case); floor ~ a few eps = %s ms.\n",
+             geo, ms(r.bounds.epsilon).c_str());
+       }});
 }
+
+}  // namespace czsync::bench

@@ -6,49 +6,53 @@
 // bound gamma = 16 eps + 18 rho T + 4C. The paper proves the bound; the
 // experiment shows it holds with a comfortable margin and that the
 // steady-state deviation is dominated by the 16 eps term.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E1: max deviation vs n (Theorem 5 i)",
-               "any two processors non-faulty during [tau-Delta, tau] have "
-               "|Cp - Cq| <= gamma = 16eps + 18rhoT + 4C");
+void register_E1(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E1", "max deviation vs n (Theorem 5 i)",
+       "any two processors non-faulty during [tau-Delta, tau] have "
+       "|Cp - Cq| <= gamma = 16eps + 18rhoT + 4C",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"n", "f", "gamma bound [ms]", "measured max [ms]",
+                          "measured mean [ms]", "p99-ish final [ms]", "margin",
+                          "break-ins", "recovered"});
 
-  TextTable table({"n", "f", "gamma bound [ms]", "measured max [ms]",
-                   "measured mean [ms]", "p99-ish final [ms]", "margin",
-                   "break-ins", "recovered"});
+         for (int n : {4, 7, 10, 13, 16, 31}) {
+           auto s = wan_scenario(/*seed=*/n);
+           s.model.n = n;
+           s.model.f = core::ModelParams::max_f(n);
+           s.horizon = Dur::hours(8);
+           s.schedule = adversary::Schedule::random_mobile(
+               n, s.model.f, s.model.delta_period, Dur::minutes(5),
+               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(1000 + n));
+           s.strategy = "clock-smash-random";
+           s.strategy_scale = Dur::minutes(10);
+           const auto r = ctx.run(s, "n=" + std::to_string(n));
 
-  for (int n : {4, 7, 10, 13, 16, 31}) {
-    auto s = wan_scenario(/*seed=*/n);
-    s.model.n = n;
-    s.model.f = core::ModelParams::max_f(n);
-    s.horizon = Dur::hours(8);
-    s.schedule = adversary::Schedule::random_mobile(
-        n, s.model.f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-        RealTime(6.5 * 3600.0), Rng(1000 + n));
-    s.strategy = "clock-smash-random";
-    s.strategy_scale = Dur::minutes(10);
-    const auto r = analysis::run_scenario(s);
+           char margin[32];
+           std::snprintf(margin, sizeof margin, "%.1fx",
+                         r.bounds.max_deviation / r.max_stable_deviation);
+           table.row({std::to_string(n), std::to_string(s.model.f),
+                      ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
+                      ms(r.mean_stable_deviation),
+                      ms(Dur::seconds(r.final_stable_deviation)), margin,
+                      std::to_string(r.break_ins),
+                      r.all_recovered() ? "all" : "NO"});
+         }
+         table.print(std::cout);
 
-    char margin[32];
-    std::snprintf(margin, sizeof margin, "%.1fx",
-                  r.bounds.max_deviation / r.max_stable_deviation);
-    table.row({std::to_string(n), std::to_string(s.model.f),
-               ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
-               ms(r.mean_stable_deviation),
-               ms(Dur::seconds(r.final_stable_deviation)), margin,
-               std::to_string(r.break_ins),
-               r.all_recovered() ? "all" : "NO"});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: measured max well below gamma at every n; the bound\n"
-      "is n-independent (it depends on eps, rho, T only), so rows should be\n"
-      "flat apart from sampling noise.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: measured max well below gamma at every n; the "
+             "bound\nis n-independent (it depends on eps, rho, T only), so "
+             "rows should be\nflat apart from sampling noise.\n");
+       }});
 }
+
+}  // namespace czsync::bench

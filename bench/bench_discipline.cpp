@@ -11,17 +11,18 @@
 // steady-state deviation; under a full Byzantine mobile attack it must
 // not create a new attack surface (its input is the already-trimmed
 // convergence output, and its authority is clamped to rho).
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <algorithm>
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
-analysis::RunResult run(double rho, bool discipline, bool attack,
-                        std::uint64_t seed) {
+analysis::RunResult run(analysis::ExperimentContext& ctx, double rho,
+                        bool discipline, bool attack, std::uint64_t seed) {
   auto s = wan_scenario(seed);
   s.model.rho = rho;
   s.rate_discipline = discipline;
@@ -34,41 +35,50 @@ analysis::RunResult run(double rho, bool discipline, bool attack,
         Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed + 131));
     s.strategy = "max-pull";
   }
-  return analysis::run_scenario(s);
+  return ctx.run(s, "rho=" + num(rho) +
+                        (discipline ? " disciplined" : " raw") +
+                        (attack ? " attacked" : ""));
 }
 
 }  // namespace
 
-int main() {
-  print_header("E13: rate-discipline ablation (§5 'compensate for drift')",
-               "frequency feedback shrinks typical-case deviation without "
-               "giving the Byzantine adversary a new lever (authority capped "
-               "at rho)");
+void register_E13(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E13", "rate-discipline ablation (§5 'compensate for drift')",
+       "frequency feedback shrinks typical-case deviation without "
+       "giving the Byzantine adversary a new lever (authority capped "
+       "at rho)",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"rho", "attack", "deviation OFF [ms]",
+                          "deviation ON [ms]", "improvement",
+                          "ON rate excess", "ON recovered"});
+         for (double rho : {1e-6, 1e-5, 1e-4, 1e-3}) {
+           for (bool attack : {false, true}) {
+             const auto off = run(ctx, rho, false, attack, 13);
+             const auto on = run(ctx, rho, true, attack, 13);
+             char imp[32];
+             std::snprintf(imp, sizeof imp, "%.2fx",
+                           off.max_stable_deviation /
+                               std::max(on.max_stable_deviation,
+                                        Dur::micros(1)));
+             table.row({num(rho), attack ? "max-pull" : "-",
+                        ms(off.max_stable_deviation),
+                        ms(on.max_stable_deviation), imp,
+                        num(on.max_rate_excess),
+                        on.all_recovered() ? "all" : "NO"});
+           }
+         }
+         table.print(std::cout);
 
-  TextTable table({"rho", "attack", "deviation OFF [ms]", "deviation ON [ms]",
-                   "improvement", "ON rate excess", "ON recovered"});
-  for (double rho : {1e-6, 1e-5, 1e-4, 1e-3}) {
-    for (bool attack : {false, true}) {
-      const auto off = run(rho, false, attack, 13);
-      const auto on = run(rho, true, attack, 13);
-      char imp[32];
-      std::snprintf(imp, sizeof imp, "%.2fx",
-                    off.max_stable_deviation /
-                        std::max(on.max_stable_deviation, Dur::micros(1)));
-      table.row({num(rho), attack ? "max-pull" : "-",
-                 ms(off.max_stable_deviation), ms(on.max_stable_deviation),
-                 imp, num(on.max_rate_excess),
-                 on.all_recovered() ? "all" : "NO"});
-    }
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: at rho <= 1e-5 the reading error dominates and the\n"
-      "discipline changes little; at rho = 1e-3 the drift accumulated over\n"
-      "one SyncInt (~60 ms) is the dominant term and the discipline wins\n"
-      "clearly. The attack columns show no degradation vs. fault-free ON\n"
-      "rows: the estimator only consumes trimmed data and its slew rate is\n"
-      "clamped to rho, so Theorem 5 still applies (with rho' <= 2 rho).\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: at rho <= 1e-5 the reading error dominates "
+             "and the\ndiscipline changes little; at rho = 1e-3 the drift "
+             "accumulated over\none SyncInt (~60 ms) is the dominant term and "
+             "the discipline wins\nclearly. The attack columns show no "
+             "degradation vs. fault-free ON\nrows: the estimator only "
+             "consumes trimmed data and its slew rate is\nclamped to rho, so "
+             "Theorem 5 still applies (with rho' <= 2 rho).\n");
+       }});
 }
+
+}  // namespace czsync::bench

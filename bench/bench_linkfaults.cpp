@@ -13,89 +13,104 @@
 // (b) random flapping links across the whole network, concurrency swept,
 //     on top of a full mobile processor adversary — the conjectured
 //     "not too many of either at once" regime.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
 
 #include "adversary/schedule.h"
 #include "net/link_faults.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E14: corrupted (dropping) links (§1.2 refinement probe)",
-               "a cut link is a timeout, and timeouts are trimmed like "
-               "faulty peers: each processor tolerates up to f cut links");
+void register_E14(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E14", "corrupted (dropping) links (§1.2 refinement probe)",
+       "a cut link is a timeout, and timeouts are trimmed like "
+       "faulty peers: each processor tolerates up to f cut links",
+       [](analysis::ExperimentContext& ctx) {
+         {
+           std::printf(
+               "\n(a) cut k links of processor 0 for the whole run (n=7, "
+               "f=2):\n");
+           TextTable table({"k cut links", ">= f+1 finite estimates",
+                            "max dev ALL [ms]", "proc-0 final bias err [ms]",
+                            "bound holds"});
+           for (int k = 0; k <= 6; ++k) {
+             auto s = wan_scenario(14);
+             s.initial_spread = Dur::millis(20);
+             s.horizon = Dur::hours(4);
+             s.warmup = Dur::zero();
+             s.record_series = true;
+             std::vector<net::ProcId> peers;
+             for (int q = 1; q <= k; ++q) peers.push_back(q);
+             s.link_faults = net::LinkFaultSet::isolate_partially(
+                 0, peers, RealTime(600.0), RealTime(4 * 3600.0));
+             const auto r = ctx.run(s, "cut=" + std::to_string(k));
+             // Processor 0's distance from the median of the others at the end.
+             const auto& last = r.series.back();
+             std::vector<double> others(last.bias.begin() + 1,
+                                        last.bias.end());
+             std::sort(others.begin(), others.end());
+             const double med = others[others.size() / 2];
+             const double p0_err = std::abs(last.bias[0] - med);
+             // Proc 0 can still sync while its estimate table retains at least
+             // f+1 finite overestimates: self + (6-k) peers >= f+1  <=>  k <= 4.
+             const bool enough = (s.model.n - 1 - k) + 1 >= s.model.f + 1;
+             table.row({std::to_string(k), enough ? "yes" : "NO",
+                        ms(r.max_stable_deviation), ms(Dur::seconds(p0_err)),
+                        r.max_stable_deviation < r.bounds.max_deviation
+                            ? "yes"
+                            : "BROKEN"});
+           }
+           table.print(std::cout);
+         }
 
-  {
-    std::printf("\n(a) cut k links of processor 0 for the whole run (n=7, f=2):\n");
-    TextTable table({"k cut links", ">= f+1 finite estimates", "max dev ALL [ms]",
-                     "proc-0 final bias err [ms]", "bound holds"});
-    for (int k = 0; k <= 6; ++k) {
-      auto s = wan_scenario(14);
-      s.initial_spread = Dur::millis(20);
-      s.horizon = Dur::hours(4);
-      s.warmup = Dur::zero();
-      s.record_series = true;
-      std::vector<net::ProcId> peers;
-      for (int q = 1; q <= k; ++q) peers.push_back(q);
-      s.link_faults = net::LinkFaultSet::isolate_partially(
-          0, peers, RealTime(600.0), RealTime(4 * 3600.0));
-      const auto r = analysis::run_scenario(s);
-      // Processor 0's distance from the median of the others at the end.
-      const auto& last = r.series.back();
-      std::vector<double> others(last.bias.begin() + 1, last.bias.end());
-      std::sort(others.begin(), others.end());
-      const double med = others[others.size() / 2];
-      const double p0_err = std::abs(last.bias[0] - med);
-      // Proc 0 can still sync while its estimate table retains at least
-      // f+1 finite overestimates: self + (6-k) peers >= f+1  <=>  k <= 4.
-      const bool enough = (s.model.n - 1 - k) + 1 >= s.model.f + 1;
-      table.row({std::to_string(k), enough ? "yes" : "NO",
-                 ms(r.max_stable_deviation), ms(Dur::seconds(p0_err)),
-                 r.max_stable_deviation < r.bounds.max_deviation ? "yes"
-                                                                 : "BROKEN"});
-    }
-    table.print(std::cout);
-  }
+         {
+           std::printf(
+               "\n(b) flapping links + full mobile processor adversary:\n");
+           TextTable table({"concurrent flapping links", "max dev [ms]",
+                            "link drops", "all recovered", "bound holds"});
+           for (int flaps : {0, 1, 2, 4, 8}) {
+             auto s = wan_scenario(15);
+             s.horizon = Dur::hours(8);
+             s.schedule = adversary::Schedule::random_mobile(
+                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+                 Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(151));
+             s.strategy = "clock-smash-random";
+             s.strategy_scale = Dur::minutes(5);
+             if (flaps > 0) {
+               s.link_faults = net::LinkFaultSet::random_flapping(
+                   s.model.n, flaps, Dur::minutes(2), Dur::minutes(10),
+                   Dur::minutes(5), RealTime(8 * 3600.0), Rng(152));
+             }
+             const auto r = ctx.run(s, "flaps=" + std::to_string(flaps));
+             table.row({std::to_string(flaps), ms(r.max_stable_deviation),
+                        std::to_string(r.link_fault_drops),
+                        r.all_recovered() ? "all" : "NO",
+                        r.max_stable_deviation < r.bounds.max_deviation
+                            ? "yes"
+                            : "BROKEN"});
+           }
+           table.print(std::cout);
+         }
 
-  {
-    std::printf("\n(b) flapping links + full mobile processor adversary:\n");
-    TextTable table({"concurrent flapping links", "max dev [ms]",
-                     "link drops", "all recovered", "bound holds"});
-    for (int flaps : {0, 1, 2, 4, 8}) {
-      auto s = wan_scenario(15);
-      s.horizon = Dur::hours(8);
-      s.schedule = adversary::Schedule::random_mobile(
-          s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-          Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(151));
-      s.strategy = "clock-smash-random";
-      s.strategy_scale = Dur::minutes(5);
-      if (flaps > 0) {
-        s.link_faults = net::LinkFaultSet::random_flapping(
-            s.model.n, flaps, Dur::minutes(2), Dur::minutes(10),
-            Dur::minutes(5), RealTime(8 * 3600.0), Rng(152));
-      }
-      const auto r = analysis::run_scenario(s);
-      table.row({std::to_string(flaps), ms(r.max_stable_deviation),
-                 std::to_string(r.link_fault_drops),
-                 r.all_recovered() ? "all" : "NO",
-                 r.max_stable_deviation < r.bounds.max_deviation ? "yes"
-                                                                 : "BROKEN"});
-    }
-    table.print(std::cout);
-  }
-
-  std::printf(
-      "\nExpected shape: (a) the trimming is surprisingly robust to cut\n"
-      "links — a timeout is +inf/-inf in the order statistics and never\n"
-      "displaces honest values from the middle — so processor 0 stays in\n"
-      "the pack while it has >= f+1 finite estimates (k <= 4 at n=7); at\n"
-      "k >= 5 both order statistics hit infinities, it stops adjusting and\n"
-      "free-runs away at rho*t. NOTE the eroded margin: every cut link\n"
-      "spends trimming budget that Byzantine liars could otherwise consume,\n"
-      "which is why the paper's conjecture caps processors AND links\n"
-      "together. (b) a handful of flapping links on top of a full\n"
-      "processor-fault budget leaves the guarantee intact — supporting the\n"
-      "'not too many of either at once' conjecture.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: (a) the trimming is surprisingly robust to "
+             "cut\nlinks — a timeout is +inf/-inf in the order statistics and "
+             "never\ndisplaces honest values from the middle — so processor 0 "
+             "stays in\nthe pack while it has >= f+1 finite estimates (k <= 4 "
+             "at n=7); at\nk >= 5 both order statistics hit infinities, it "
+             "stops adjusting and\nfree-runs away at rho*t. NOTE the eroded "
+             "margin: every cut link\nspends trimming budget that Byzantine "
+             "liars could otherwise consume,\nwhich is why the paper's "
+             "conjecture caps processors AND links\ntogether. (b) a handful "
+             "of flapping links on top of a full\nprocessor-fault budget "
+             "leaves the guarantee intact — supporting the\n'not too many of "
+             "either at once' conjecture.\n");
+       }});
 }
+
+}  // namespace czsync::bench

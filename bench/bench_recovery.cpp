@@ -10,16 +10,17 @@
 //                       i.e. "may never complete" within Delta (§1.1);
 //   midpoint          — always-jump baseline: recovers but gives up the
 //                       own-clock preservation BHHN keeps in steady state.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
-Dur recovery_for(const std::string& convergence, double offset_s) {
+Dur recovery_for(analysis::ExperimentContext& ctx,
+                 const std::string& convergence, double offset_s) {
   auto s = wan_scenario(3);
   s.convergence = convergence;
   s.capped_correction_cap = Dur::millis(100);
@@ -30,42 +31,49 @@ Dur recovery_for(const std::string& convergence, double offset_s) {
   s.schedule = adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
   s.strategy = "clock-smash";
   s.strategy_scale = Dur::seconds(offset_s);
-  const auto r = analysis::run_scenario(s);
+  const auto r = ctx.run(s, convergence + " offset=" + std::to_string(offset_s));
   if (!r.all_recovered()) return Dur::infinity();
   return r.max_recovery_time();
 }
 
 }  // namespace
 
-int main() {
-  print_header("E3: recovery time vs clock offset (Lemma 7 iii)",
-               "a recovering clock halves its distance to the pack each T; "
-               "clocks beyond WayOff jump back in one Sync; minimal-"
-               "correction baselines recover linearly or never");
+void register_E3(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E3", "recovery time vs clock offset (Lemma 7 iii)",
+       "a recovering clock halves its distance to the pack each T; "
+       "clocks beyond WayOff jump back in one Sync; minimal-"
+       "correction baselines recover linearly or never",
+       [](analysis::ExperimentContext& ctx) {
+         const auto bounds = core::TheoremBounds::compute(
+             wan_scenario().model,
+             core::ProtocolParams::derive(wan_scenario().model,
+                                          Dur::minutes(1)));
+         std::printf(
+             "gamma = %s ms, WayOff ~ %s ms, T = %.1f s, Delta = 3600 s\n\n",
+             ms(bounds.max_deviation).c_str(),
+             ms(bounds.max_deviation + bounds.epsilon).c_str(),
+             bounds.T.sec());
 
-  const auto bounds = core::TheoremBounds::compute(
-      wan_scenario().model,
-      core::ProtocolParams::derive(wan_scenario().model, Dur::minutes(1)));
-  std::printf("gamma = %s ms, WayOff ~ %s ms, T = %.1f s, Delta = 3600 s\n\n",
-              ms(bounds.max_deviation).c_str(),
-              ms(bounds.max_deviation + bounds.epsilon).c_str(), bounds.T.sec());
+         TextTable table({"offset [s]", "bhhn [s]", "capped-correction [s]",
+                          "midpoint [s]"});
+         for (double off : {0.001, 0.2, 0.5, 0.8, 2.0, 10.0, 60.0, 600.0,
+                            3600.0, -0.8, -10.0, -600.0}) {
+           char offs[32];
+           std::snprintf(offs, sizeof offs, "%g", off);
+           table.row({offs, secs(recovery_for(ctx, "bhhn", off)),
+                      secs(recovery_for(ctx, "capped-correction", off)),
+                      secs(recovery_for(ctx, "midpoint", off))});
+         }
+         table.print(std::cout);
 
-  TextTable table({"offset [s]", "bhhn [s]", "capped-correction [s]",
-                   "midpoint [s]"});
-  for (double off : {0.001, 0.2, 0.5, 0.8, 2.0, 10.0, 60.0, 600.0, 3600.0,
-                     -0.8, -10.0, -600.0}) {
-    char offs[32];
-    std::snprintf(offs, sizeof offs, "%g", off);
-    table.row({offs, secs(recovery_for("bhhn", off)),
-               secs(recovery_for("capped-correction", off)),
-               secs(recovery_for("midpoint", off))});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: bhhn is O(SyncInt) regardless of offset (the WayOff\n"
-      "branch jumps); capped-correction grows linearly with the offset and\n"
-      "exceeds the 2 h post-fault horizon (\"never\") for offsets >~ 7 s;\n"
-      "midpoint matches bhhn on recovery (its cost is paid elsewhere, E8).\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: bhhn is O(SyncInt) regardless of offset (the "
+             "WayOff\nbranch jumps); capped-correction grows linearly with the "
+             "offset and\nexceeds the 2 h post-fault horizon (\"never\") for "
+             "offsets >~ 7 s;\nmidpoint matches bhhn on recovery (its cost is "
+             "paid elsewhere, E8).\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -17,21 +17,19 @@
 //     an extra effective fault the no-rounds design simply avoids);
 //   * recovery latency: the join adds up to one full SyncInt before the
 //     recovering clock becomes useful again.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
-struct Row {
-  analysis::RunResult result;
-};
-
-analysis::RunResult run(const std::string& protocol, const std::string& strategy,
-                        bool faults, std::uint64_t seed) {
+analysis::RunResult run(analysis::ExperimentContext& ctx,
+                        const std::string& protocol,
+                        const std::string& strategy, bool faults,
+                        std::uint64_t seed) {
   auto s = wan_scenario(seed);
   s.protocol = protocol;
   s.horizon = Dur::hours(8);
@@ -43,46 +41,54 @@ analysis::RunResult run(const std::string& protocol, const std::string& strategy
     s.strategy = strategy;
     s.strategy_scale = Dur::minutes(5);
   }
-  return analysis::run_scenario(s);
+  return ctx.run(s, protocol + (faults ? " " + strategy : " fault-free"));
 }
 
 }  // namespace
 
-int main() {
-  print_header("E17: rounds vs no-rounds (§3.3 design choice)",
-               "round-based algorithms must recover round state after every "
-               "break-in; the paper's no-rounds design answers with the "
-               "current clock and needs no join machinery");
+void register_E17(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E17", "rounds vs no-rounds (§3.3 design choice)",
+       "round-based algorithms must recover round state after every "
+       "break-in; the paper's no-rounds design answers with the "
+       "current clock and needs no join machinery",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"workload", "engine", "max dev [ms]",
+                          "max recovery [s]", "joins", "mismatch discards",
+                          "recovered"});
+         struct Case {
+           const char* label;
+           const char* strategy;
+           bool faults;
+         };
+         for (const Case c :
+              {Case{"fault-free", "", false},
+               Case{"mobile clock-smash", "clock-smash-random", true},
+               Case{"mobile two-faced", "two-faced", true}}) {
+           for (const char* engine : {"sync", "round"}) {
+             const auto r = run(ctx, engine, c.strategy, c.faults, 18);
+             table.row({c.label, engine, ms(r.max_stable_deviation),
+                        r.recoveries.empty() ? "-" : secs(r.max_recovery_time()),
+                        std::to_string(r.joins),
+                        std::to_string(r.mismatch_discards),
+                        r.recoveries.empty()
+                            ? "-"
+                            : (r.all_recovered() ? "all" : "NO")});
+           }
+         }
+         table.print(std::cout);
 
-  TextTable table({"workload", "engine", "max dev [ms]", "max recovery [s]",
-                   "joins", "mismatch discards", "recovered"});
-  struct Case {
-    const char* label;
-    const char* strategy;
-    bool faults;
-  };
-  for (const Case c : {Case{"fault-free", "", false},
-                       Case{"mobile clock-smash", "clock-smash-random", true},
-                       Case{"mobile two-faced", "two-faced", true}}) {
-    for (const char* engine : {"sync", "round"}) {
-      const auto r = run(engine, c.strategy, c.faults, 18);
-      table.row({c.label, engine, ms(r.max_stable_deviation),
-                 r.recoveries.empty() ? "-" : secs(r.max_recovery_time()),
-                 std::to_string(r.joins), std::to_string(r.mismatch_discards),
-                 r.recoveries.empty() ? "-"
-                                      : (r.all_recovered() ? "all" : "NO")});
-    }
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: identical fault-free rows; under the mobile\n"
-      "adversary the round engine reports one join per break-in and a\n"
-      "burst of mismatch discards around each recovery (its replies are\n"
-      "useless to peers until the join lands), and its recovery lags the\n"
-      "no-rounds engine by up to one SyncInt. Deviation stays bounded for\n"
-      "both — the cost of rounds here is machinery and recovery latency,\n"
-      "exactly the implementation burden §3.3 calls out (plus the state\n"
-      "that 'has to be recovered from a break-in').\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: identical fault-free rows; under the mobile\n"
+             "adversary the round engine reports one join per break-in and "
+             "a\nburst of mismatch discards around each recovery (its replies "
+             "are\nuseless to peers until the join lands), and its recovery "
+             "lags the\nno-rounds engine by up to one SyncInt. Deviation "
+             "stays bounded for\nboth — the cost of rounds here is machinery "
+             "and recovery latency,\nexactly the implementation burden §3.3 "
+             "calls out (plus the state\nthat 'has to be recovered from a "
+             "break-in').\n");
+       }});
 }
+
+}  // namespace czsync::bench

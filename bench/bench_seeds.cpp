@@ -5,62 +5,70 @@
 // full budget) across 20 seeds per strategy and reports the across-seed
 // distribution of the Definition-3 metrics. The hard requirements are
 // the rightmost columns: ZERO bound violations and ZERO unrecovered runs.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 #include "analysis/sweep.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main(int argc, char** argv) {
-  print_header("E18: Theorem 5 across 20 seeds per strategy",
-               "the deviation/recovery guarantees are worst-case promises: "
-               "no seed may violate them");
+void register_E18(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E18", "Theorem 5 across 20 seeds per strategy",
+       "the deviation/recovery guarantees are worst-case promises: "
+       "no seed may violate them",
+       [](analysis::ExperimentContext& ctx) {
+         const int kSeeds = 20;
+         int total_runs = 0;
+         double total_wall = 0.0;
+         TextTable table({"strategy", "max dev min/mean/max [ms]",
+                          "recovery mean/max [s]", "violations",
+                          "unrecovered"});
+         for (const char* strategy :
+              {"silent", "clock-smash-random", "constant-lie", "two-faced",
+               "max-pull", "random-lie"}) {
+           auto make = [strategy](std::uint64_t seed) {
+             auto s = wan_scenario(seed);
+             s.horizon = Dur::hours(8);
+             s.schedule = adversary::Schedule::random_mobile(
+                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+                 Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed * 31 + 7));
+             s.strategy = strategy;
+             s.strategy_scale = Dur::seconds(30);
+             return s;
+           };
+           const auto sweep = ctx.sweep(make, 100, kSeeds, strategy);
+           total_runs += sweep.runs;
+           total_wall += sweep.wall_seconds;
+           char devs[64], recs[64];
+           std::snprintf(devs, sizeof devs, "%.1f / %.1f / %.1f",
+                         sweep.max_deviation.min() * 1e3,
+                         sweep.max_deviation.mean() * 1e3,
+                         sweep.max_deviation.max() * 1e3);
+           std::snprintf(recs, sizeof recs, "%.1f / %.1f",
+                         sweep.max_recovery.mean(), sweep.max_recovery.max());
+           table.row({strategy, devs, recs,
+                      std::to_string(sweep.bound_violations),
+                      std::to_string(sweep.unrecovered_runs)});
+         }
+         table.print(std::cout);
+         analysis::ExperimentContext::print_sweep_perf(
+             "\nsweeps", total_runs, total_wall, ctx.jobs());
 
-  const int jobs = sweep_jobs(argc, argv);
-  const int kSeeds = 20;
-  int total_runs = 0;
-  double total_wall = 0.0;
-  TextTable table({"strategy", "max dev min/mean/max [ms]",
-                   "recovery mean/max [s]", "violations", "unrecovered"});
-  for (const char* strategy :
-       {"silent", "clock-smash-random", "constant-lie", "two-faced",
-        "max-pull", "random-lie"}) {
-    auto make = [strategy](std::uint64_t seed) {
-      auto s = wan_scenario(seed);
-      s.horizon = Dur::hours(8);
-      s.schedule = adversary::Schedule::random_mobile(
-          s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-          Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed * 31 + 7));
-      s.strategy = strategy;
-      s.strategy_scale = Dur::seconds(30);
-      return s;
-    };
-    const auto sweep = analysis::run_sweep_parallel(make, 100, kSeeds, jobs);
-    total_runs += sweep.runs;
-    total_wall += sweep.wall_seconds;
-    char devs[64], recs[64];
-    std::snprintf(devs, sizeof devs, "%.1f / %.1f / %.1f",
-                  sweep.max_deviation.min() * 1e3,
-                  sweep.max_deviation.mean() * 1e3,
-                  sweep.max_deviation.max() * 1e3);
-    std::snprintf(recs, sizeof recs, "%.1f / %.1f", sweep.max_recovery.mean(),
-                  sweep.max_recovery.max());
-    table.row({strategy, devs, recs, std::to_string(sweep.bound_violations),
-               std::to_string(sweep.unrecovered_runs)});
-  }
-  table.print(std::cout);
-  print_sweep_perf("\nsweeps", total_runs, total_wall, jobs);
-
-  const auto bounds = core::TheoremBounds::compute(
-      wan_scenario().model,
-      core::ProtocolParams::derive(wan_scenario().model, Dur::minutes(1)));
-  std::printf(
-      "\ngamma = %.1f ms, Delta = 3600 s. Expected shape: zero violations\n"
-      "and zero unrecovered runs in every row; max-deviation distributions\n"
-      "tightly clustered far below gamma; recovery maxima bounded by a few\n"
-      "SyncInt (the WayOff jump plus sampling granularity).\n",
-      bounds.max_deviation.ms());
-  return 0;
+         const auto bounds = core::TheoremBounds::compute(
+             wan_scenario().model,
+             core::ProtocolParams::derive(wan_scenario().model,
+                                          Dur::minutes(1)));
+         std::printf(
+             "\ngamma = %.1f ms, Delta = 3600 s. Expected shape: zero "
+             "violations\nand zero unrecovered runs in every row; "
+             "max-deviation distributions\ntightly clustered far below gamma; "
+             "recovery maxima bounded by a few\nSyncInt (the WayOff jump plus "
+             "sampling granularity).\n",
+             bounds.max_deviation.ms());
+       }});
 }
+
+}  // namespace czsync::bench

@@ -13,17 +13,15 @@
 // view — a contraction of the global spread by ~2x per round, i.e.
 // convergence in O(log(spread/gamma)) Syncs from ANY initial state.
 // That is evidence for (not a proof of) self-stabilization.
-#include "bench_common.h"
+#include "experiments.h"
 
-#include <chrono>
 #include <cmath>
+#include <iostream>
 #include <vector>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
 /// First sample time at which the stable deviation drops below gamma and
@@ -43,72 +41,77 @@ Dur settle_time(const analysis::RunResult& r) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  print_header("E15: arbitrary initial clocks (§5 self-stabilization probe)",
-               "open question in the paper; measured: convergence in "
-               "O(log(spread)) Sync rounds from any initial state");
+void register_E15(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E15", "arbitrary initial clocks (§5 self-stabilization probe)",
+       "open question in the paper; measured: convergence in "
+       "O(log(spread)) Sync rounds from any initial state",
+       [](analysis::ExperimentContext& ctx) {
+         // The (spread, attack) grid is 10 independent runs — fan them out
+         // and read the results back in grid order.
+         const std::vector<double> spreads = {1.0, 60.0, 3600.0, 86400.0, 1e6};
+         std::vector<analysis::Scenario> scenarios;
+         for (double spread_s : spreads) {
+           for (int attack = 0; attack < 2; ++attack) {
+             auto s = wan_scenario(16);
+             s.initial_spread = Dur::seconds(spread_s);
+             s.horizon = Dur::hours(6);
+             s.warmup = Dur::zero();
+             s.sample_period = Dur::seconds(15);
+             s.record_series = true;
+             if (attack) {
+               s.schedule = adversary::Schedule::random_mobile(
+                   s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+                   Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(161));
+               s.strategy = "two-faced";
+               s.strategy_scale = Dur::seconds(30);
+             }
+             scenarios.push_back(std::move(s));
+           }
+         }
+         const auto batch = ctx.run_parallel(scenarios, "spread-grid");
+         const auto& results = batch.results;
 
-  // The (spread, attack) grid is 10 independent runs — fan them out and
-  // read the results back in grid order.
-  const std::vector<double> spreads = {1.0, 60.0, 3600.0, 86400.0, 1e6};
-  std::vector<analysis::Scenario> scenarios;
-  for (double spread_s : spreads) {
-    for (int attack = 0; attack < 2; ++attack) {
-      auto s = wan_scenario(16);
-      s.initial_spread = Dur::seconds(spread_s);
-      s.horizon = Dur::hours(6);
-      s.warmup = Dur::zero();
-      s.sample_period = Dur::seconds(15);
-      s.record_series = true;
-      if (attack) {
-        s.schedule = adversary::Schedule::random_mobile(
-            s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-            Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(161));
-        s.strategy = "two-faced";
-        s.strategy_scale = Dur::seconds(30);
-      }
-      scenarios.push_back(std::move(s));
-    }
-  }
-  const int jobs = sweep_jobs(argc, argv);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto results = analysis::run_scenarios_parallel(scenarios, jobs);
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+         TextTable table({"initial spread", "settle (no faults)",
+                          "settle (mobile two-faced)", "rounds to settle",
+                          "log2(spread/gamma)"});
+         for (std::size_t row = 0; row < spreads.size(); ++row) {
+           const double spread_s = spreads[row];
+           const Dur settle_plain = settle_time(results[2 * row]);
+           const Dur settle_attack = settle_time(results[2 * row + 1]);
+           const Dur sync_int = scenarios[2 * row].sync_int;
+           const std::uint64_t rounds_needed =
+               settle_plain.is_finite()
+                   ? static_cast<std::uint64_t>(
+                         std::ceil(settle_plain.sec() / sync_int.sec()))
+                   : 0;
+           const double gamma =
+               core::TheoremBounds::compute(
+                   wan_scenario().model,
+                   core::ProtocolParams::derive(wan_scenario().model,
+                                                Dur::minutes(1)))
+                   .max_deviation.sec();
+           char logr[32];
+           std::snprintf(logr, sizeof logr, "%.1f",
+                         std::log2(spread_s / gamma));
+           char sp[32];
+           std::snprintf(sp, sizeof sp, "%g s", spread_s);
+           table.row({sp, secs(settle_plain), secs(settle_attack),
+                      std::to_string(rounds_needed), logr});
+         }
+         table.print(std::cout);
+         analysis::ExperimentContext::print_sweep_perf(
+             "\nruns", static_cast<int>(results.size()), batch.wall_seconds,
+             ctx.jobs());
 
-  TextTable table({"initial spread", "settle (no faults)", "settle (mobile "
-                   "two-faced)", "rounds to settle", "log2(spread/gamma)"});
-  for (std::size_t row = 0; row < spreads.size(); ++row) {
-    const double spread_s = spreads[row];
-    const Dur settle_plain = settle_time(results[2 * row]);
-    const Dur settle_attack = settle_time(results[2 * row + 1]);
-    const Dur sync_int = scenarios[2 * row].sync_int;
-    const std::uint64_t rounds_needed =
-        settle_plain.is_finite()
-            ? static_cast<std::uint64_t>(
-                  std::ceil(settle_plain.sec() / sync_int.sec()))
-            : 0;
-    const double gamma =
-        core::TheoremBounds::compute(
-            wan_scenario().model,
-            core::ProtocolParams::derive(wan_scenario().model, Dur::minutes(1)))
-            .max_deviation.sec();
-    char logr[32];
-    std::snprintf(logr, sizeof logr, "%.1f", std::log2(spread_s / gamma));
-    char sp[32];
-    std::snprintf(sp, sizeof sp, "%g s", spread_s);
-    table.row({sp, secs(settle_plain), secs(settle_attack),
-               std::to_string(rounds_needed), logr});
-  }
-  table.print(std::cout);
-  print_sweep_perf("\nruns", static_cast<int>(results.size()), wall, jobs);
-
-  std::printf(
-      "\nExpected shape: settle time grows logarithmically in the initial\n"
-      "spread (rounds ~ log2(spread/gamma) plus a constant), and the mobile\n"
-      "two-faced adversary adds little — empirical support for extending\n"
-      "the protocol's guarantee to arbitrary initial states, the open\n"
-      "problem the paper poses next to [11, 12].\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: settle time grows logarithmically in the "
+             "initial\nspread (rounds ~ log2(spread/gamma) plus a constant), "
+             "and the mobile\ntwo-faced adversary adds little — empirical "
+             "support for extending\nthe protocol's guarantee to arbitrary "
+             "initial states, the open\nproblem the paper poses next to "
+             "[11, 12].\n");
+       }});
 }
+
+}  // namespace czsync::bench

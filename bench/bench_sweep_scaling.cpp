@@ -7,14 +7,16 @@
 // that may change down this table is time; the violation/unrecovered
 // columns double-check that in every row. Expected shape on a k-core
 // host: near-linear speedup up to jobs = k (>= 2x at jobs = 4 on 4+
-// cores), flat beyond.
-#include "bench_common.h"
+// cores), flat beyond. The row job counts are the experiment's subject,
+// so this is the one experiment that ignores --jobs.
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
+#include "util/thread_pool.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
 analysis::Scenario family(std::uint64_t seed) {
@@ -30,35 +32,40 @@ analysis::Scenario family(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  print_header("E22: parallel sweep scaling",
-               "determinism is free: any job count, same bits — only the "
-               "wall-clock moves");
+void register_E22(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E22", "parallel sweep scaling",
+       "determinism is free: any job count, same bits — only the "
+       "wall-clock moves",
+       [](analysis::ExperimentContext& ctx) {
+         const int kSeeds = 16;
+         std::printf("hardware_concurrency = %zu, %d seeds per row\n\n",
+                     ThreadPool::default_jobs(), kSeeds);
 
-  const int kSeeds = 16;
-  std::printf("hardware_concurrency = %zu, %d seeds per row\n\n",
-              ThreadPool::default_jobs(), kSeeds);
+         TextTable table({"jobs", "wall [s]", "runs/s", "speedup",
+                          "violations", "unrecovered"});
+         double serial_wall = 0.0;
+         for (int jobs : {1, 2, 4, 8}) {
+           const auto r = ctx.sweep_with_jobs(
+               family, 500, kSeeds, jobs, "jobs=" + std::to_string(jobs));
+           if (jobs == 1) serial_wall = r.wall_seconds;
+           char wall[32], thr[32], sp[32];
+           std::snprintf(wall, sizeof wall, "%.2f", r.wall_seconds);
+           std::snprintf(thr, sizeof thr, "%.2f", r.seeds_per_sec());
+           std::snprintf(sp, sizeof sp, "%.2fx",
+                         r.wall_seconds > 0 ? serial_wall / r.wall_seconds
+                                            : 0.0);
+           table.row({std::to_string(jobs), wall, thr, sp,
+                      std::to_string(r.bound_violations),
+                      std::to_string(r.unrecovered_runs)});
+         }
+         table.print(std::cout);
 
-  TextTable table({"jobs", "wall [s]", "runs/s", "speedup", "violations",
-                   "unrecovered"});
-  double serial_wall = 0.0;
-  for (int jobs : {1, 2, 4, 8}) {
-    const auto r = analysis::run_sweep_parallel(family, 500, kSeeds, jobs);
-    if (jobs == 1) serial_wall = r.wall_seconds;
-    char wall[32], thr[32], sp[32];
-    std::snprintf(wall, sizeof wall, "%.2f", r.wall_seconds);
-    std::snprintf(thr, sizeof thr, "%.2f", r.seeds_per_sec());
-    std::snprintf(sp, sizeof sp, "%.2fx",
-                  r.wall_seconds > 0 ? serial_wall / r.wall_seconds : 0.0);
-    table.row({std::to_string(jobs), wall, thr, sp,
-               std::to_string(r.bound_violations),
-               std::to_string(r.unrecovered_runs)});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nSpeedup is wall-clock only: per-seed runs are isolated "
-      "simulators,\nso the merged statistics are identical in every row by "
-      "construction.\n");
-  return 0;
+         std::printf(
+             "\nSpeedup is wall-clock only: per-seed runs are isolated "
+             "simulators,\nso the merged statistics are identical in every "
+             "row by construction.\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -8,47 +8,53 @@
 // while the message cost grows linearly with K. The table prints the
 // theoretical curves next to measured deviation under a full-budget
 // mobile adversary.
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
+namespace czsync::bench {
 
-int main() {
-  print_header("E4: deviation/drift penalty vs K = Delta/T (Theorem 5)",
-               "C = (17eps + 18rhoT)/2^(K-3): as K grows, gamma -> 16eps + "
-               "18rhoT and rho~ -> rho; cost: messages/hour grows with K");
+void register_E4(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E4", "deviation/drift penalty vs K = Delta/T (Theorem 5)",
+       "C = (17eps + 18rhoT)/2^(K-3): as K grows, gamma -> 16eps + "
+       "18rhoT and rho~ -> rho; cost: messages/hour grows with K",
+       [](analysis::ExperimentContext& ctx) {
+         TextTable table({"K", "SyncInt [s]", "C bound [ms]",
+                          "gamma bound [ms]", "rho~ bound",
+                          "measured max dev [ms]", "msgs/hour/proc"});
 
-  TextTable table({"K", "SyncInt [s]", "C bound [ms]", "gamma bound [ms]",
-                   "rho~ bound", "measured max dev [ms]", "msgs/hour/proc"});
+         for (int k : {5, 6, 8, 12, 16, 24, 32, 48}) {
+           auto s = wan_scenario(4);
+           const auto proto = core::ProtocolParams::derive_for_k(s.model, k);
+           s.sync_int = proto.sync_int;
+           s.horizon = Dur::hours(8);
+           s.schedule = adversary::Schedule::random_mobile(
+               s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(40 + k));
+           s.strategy = "clock-smash-random";
+           s.strategy_scale = Dur::minutes(2);
+           const auto r = ctx.run(s, "K=" + std::to_string(k));
 
-  for (int k : {5, 6, 8, 12, 16, 24, 32, 48}) {
-    auto s = wan_scenario(4);
-    const auto proto = core::ProtocolParams::derive_for_k(s.model, k);
-    s.sync_int = proto.sync_int;
-    s.horizon = Dur::hours(8);
-    s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(40 + k));
-    s.strategy = "clock-smash-random";
-    s.strategy_scale = Dur::minutes(2);
-    const auto r = analysis::run_scenario(s);
+           const double hours = s.horizon.sec() / 3600.0;
+           const double msgs_per_hour =
+               static_cast<double>(r.messages_sent) / hours / s.model.n;
+           table.row({std::to_string(r.bounds.K), num(s.sync_int.sec()),
+                      ms(r.bounds.C), ms(r.bounds.max_deviation),
+                      num(r.bounds.logical_drift), ms(r.max_stable_deviation),
+                      num(msgs_per_hour)});
+         }
+         table.print(std::cout);
 
-    const double hours = s.horizon.sec() / 3600.0;
-    const double msgs_per_hour =
-        static_cast<double>(r.messages_sent) / hours / s.model.n;
-    table.row({std::to_string(r.bounds.K), num(s.sync_int.sec()),
-               ms(r.bounds.C), ms(r.bounds.max_deviation),
-               num(r.bounds.logical_drift), ms(r.max_stable_deviation),
-               num(msgs_per_hour)});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: the C column halves (at least) per +1 of K and is\n"
-      "negligible by K ~ 15; gamma flattens at 16eps + 18rhoT; measured\n"
-      "deviation stays below gamma everywhere and shrinks slightly with K\n"
-      "(more frequent Syncs); message cost is the price of large K.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: the C column halves (at least) per +1 of K and "
+             "is\nnegligible by K ~ 15; gamma flattens at 16eps + 18rhoT; "
+             "measured\ndeviation stays below gamma everywhere and shrinks "
+             "slightly with K\n(more frequent Syncs); message cost is the "
+             "price of large K.\n");
+       }});
 }
+
+}  // namespace czsync::bench

@@ -6,16 +6,16 @@
 // clique estimate is always trimmed by the (f+1)-st order statistic, the
 // cliques free-run apart at ~2rho/(1+rho) per unit time, while a full
 // mesh with the identical drift pattern stays synchronized.
-#include "bench_common.h"
+#include "experiments.h"
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
+#include <vector>
 
 #include "net/topology.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
 struct CliqueTrace {
@@ -24,7 +24,8 @@ struct CliqueTrace {
   std::vector<double> inter_ms;  // gap between clique hulls
 };
 
-CliqueTrace run(int f, analysis::Scenario::TopologyKind topo) {
+CliqueTrace run(analysis::ExperimentContext& ctx, int f,
+                analysis::Scenario::TopologyKind topo) {
   analysis::Scenario s;
   s.model.n = 6 * f + 2;
   s.model.f = f;
@@ -40,7 +41,9 @@ CliqueTrace run(int f, analysis::Scenario::TopologyKind topo) {
   s.sample_period = Dur::minutes(1);
   s.record_series = true;
   s.seed = 7;
-  const auto r = analysis::run_scenario(s);
+  const auto r = ctx.run(
+      s, topo == analysis::Scenario::TopologyKind::TwoCliques ? "two-cliques"
+                                                              : "full-mesh");
 
   CliqueTrace out;
   const int half = s.model.n / 2;
@@ -66,40 +69,50 @@ CliqueTrace run(int f, analysis::Scenario::TopologyKind topo) {
 
 }  // namespace
 
-int main() {
-  print_header("E7: two-cliques counterexample (Section 5)",
-               "a (3f+1)-connected graph of two cliques + matching defeats "
-               "the protocol: the cliques' clocks drift apart with no faults "
-               "at all, while a full mesh stays synchronized");
+void register_E7(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E7", "two-cliques counterexample (Section 5)",
+       "a (3f+1)-connected graph of two cliques + matching defeats "
+       "the protocol: the cliques' clocks drift apart with no faults "
+       "at all, while a full mesh stays synchronized",
+       [](analysis::ExperimentContext& ctx) {
+         const int f = 1;
+         const auto kappa =
+             net::Topology::two_cliques(f).vertex_connectivity();
+         std::printf(
+             "graph: 2 x K_%d + matching, n = %d, vertex connectivity = %d "
+             "(= 3f+1 = %d)\n\n",
+             3 * f + 1, 6 * f + 2, kappa, 3 * f + 1);
 
-  const int f = 1;
-  const auto kappa = net::Topology::two_cliques(f).vertex_connectivity();
-  std::printf("graph: 2 x K_%d + matching, n = %d, vertex connectivity = %d "
-              "(= 3f+1 = %d)\n\n",
-              3 * f + 1, 6 * f + 2, kappa, 3 * f + 1);
+         const auto cliques =
+             run(ctx, f, analysis::Scenario::TopologyKind::TwoCliques);
+         const auto mesh =
+             run(ctx, f, analysis::Scenario::TopologyKind::FullMesh);
 
-  const auto cliques = run(f, analysis::Scenario::TopologyKind::TwoCliques);
-  const auto mesh = run(f, analysis::Scenario::TopologyKind::FullMesh);
+         TextTable table({"t [h]", "two-cliques intra [ms]",
+                          "two-cliques gap [ms]",
+                          "full-mesh spread(all) [ms]"});
+         for (std::size_t i = 0; i < cliques.t_hours.size(); ++i) {
+           // For the mesh control, intra(ms) over halves still measures hull
+           // spread; its "gap" stays negative (hulls overlap) — print overall
+           // spread instead.
+           const double mesh_spread =
+               i < mesh.intra_ms.size()
+                   ? std::max(mesh.intra_ms[i],
+                              std::max(0.0, mesh.inter_ms[i]))
+                   : 0.0;
+           table.row({num(cliques.t_hours[i]), num(cliques.intra_ms[i]),
+                      num(cliques.inter_ms[i]), num(mesh_spread)});
+         }
+         table.print(std::cout);
 
-  TextTable table({"t [h]", "two-cliques intra [ms]", "two-cliques gap [ms]",
-                   "full-mesh spread(all) [ms]"});
-  for (std::size_t i = 0; i < cliques.t_hours.size(); ++i) {
-    // For the mesh control, intra(ms) over halves still measures hull
-    // spread; its "gap" stays negative (hulls overlap) — print overall
-    // spread instead.
-    const double mesh_spread =
-        i < mesh.intra_ms.size()
-            ? std::max(mesh.intra_ms[i], std::max(0.0, mesh.inter_ms[i]))
-            : 0.0;
-    table.row({num(cliques.t_hours[i]), num(cliques.intra_ms[i]),
-               num(cliques.inter_ms[i]), num(mesh_spread)});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: intra-clique spread ~0 ms throughout; the inter-\n"
-      "clique gap grows linearly at ~2*rho*3600s/h = %.0f ms/h and dwarfs\n"
-      "gamma within the first hour; the full-mesh control stays bounded.\n",
-      2 * 1e-4 * 3600 * 1e3 / (1 + 1e-4));
-  return 0;
+         std::printf(
+             "\nExpected shape: intra-clique spread ~0 ms throughout; the "
+             "inter-\nclique gap grows linearly at ~2*rho*3600s/h = %.0f ms/h "
+             "and dwarfs\ngamma within the first hour; the full-mesh control "
+             "stays bounded.\n",
+             2 * 1e-4 * 3600 * 1e3 / (1 + 1e-4));
+       }});
 }
+
+}  // namespace czsync::bench

@@ -12,13 +12,13 @@
 //     gamma and WayOff must walk back by halving instead of jumping, so
 //     recovery time grows with the multiplier — quantifying the "without
 //     much harm" claim (harm = recovery latency only).
-#include "bench_common.h"
+#include "experiments.h"
+
+#include <iostream>
 
 #include "adversary/schedule.h"
 
-using namespace czsync;
-using namespace czsync::bench;
-
+namespace czsync::bench {
 namespace {
 
 struct Row {
@@ -29,15 +29,16 @@ struct Row {
   Dur attack_dev;
 };
 
-Row run_scale(double scale) {
+Row run_scale(analysis::ExperimentContext& ctx, double scale) {
   Row out{};
+  const std::string tag = "scale=" + num(scale);
   {  // steady state
     auto s = wan_scenario(21);
     s.way_off_scale = scale;
     s.initial_spread = Dur::millis(20);
     s.horizon = Dur::hours(6);
     s.warmup = Dur::hours(1);
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, tag + " steady");
     out.steady_dev = r.max_stable_deviation;
     out.steady_escapes = r.way_off_rounds;
   }
@@ -52,7 +53,7 @@ Row run_scale(double scale) {
         adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
     s.strategy = "clock-smash";
     s.strategy_scale = offset;
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, tag + " recovery " + secs(offset) + "s");
     return r.all_recovered() ? r.max_recovery_time() : Dur::infinity();
   };
   out.recovery_small = recovery(Dur::seconds(5));
@@ -66,7 +67,7 @@ Row run_scale(double scale) {
         Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(210));
     s.strategy = "two-faced";
     s.strategy_scale = Dur::seconds(30);
-    const auto r = analysis::run_scenario(s);
+    const auto r = ctx.run(s, tag + " attack");
     out.attack_dev = r.max_stable_deviation;
   }
   return out;
@@ -74,42 +75,48 @@ Row run_scale(double scale) {
 
 }  // namespace
 
-int main() {
-  print_header("E21: WayOff threshold ablation (§3.2 / Appendix A.2)",
-               "WayOff = gamma_hat + eps; smaller misfires the own-clock "
-               "test, larger only slows mid-range recovery — the 'may "
-               "overestimate without much harm' claim, quantified");
+void register_E21(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E21", "WayOff threshold ablation (§3.2 / Appendix A.2)",
+       "WayOff = gamma_hat + eps; smaller misfires the own-clock "
+       "test, larger only slows mid-range recovery — the 'may "
+       "overestimate without much harm' claim, quantified",
+       [](analysis::ExperimentContext& ctx) {
+         const auto model = wan_scenario().model;
+         const auto proto =
+             core::ProtocolParams::derive(model, Dur::minutes(1));
+         std::printf(
+             "derived WayOff = %.0f ms (eps = %.0f ms, gamma = %.0f ms)\n\n",
+             proto.way_off.ms(),
+             core::reading_error_bound(model.rho, model.delta).ms(),
+             core::TheoremBounds::compute(model, proto).max_deviation.ms());
 
-  const auto model = wan_scenario().model;
-  const auto proto = core::ProtocolParams::derive(model, Dur::minutes(1));
-  std::printf("derived WayOff = %.0f ms (eps = %.0f ms, gamma = %.0f ms)\n\n",
-              proto.way_off.ms(),
-              core::reading_error_bound(model.rho, model.delta).ms(),
-              core::TheoremBounds::compute(model, proto).max_deviation.ms());
+         TextTable table({"WayOff scale", "WayOff [ms]", "steady dev [ms]",
+                          "steady escapes", "recovery 5 s off [s]",
+                          "recovery 600 s off [s]", "attack dev [ms]"});
+         for (double scale : {0.02, 0.05, 0.25, 1.0, 4.0, 16.0, 64.0}) {
+           const Row r = run_scale(ctx, scale);
+           char sc[16];
+           std::snprintf(sc, sizeof sc, "%gx", scale);
+           table.row({sc, ms(proto.way_off * scale), ms(r.steady_dev),
+                      std::to_string(r.steady_escapes), secs(r.recovery_small),
+                      secs(r.recovery_large), ms(r.attack_dev)});
+         }
+         table.print(std::cout);
 
-  TextTable table({"WayOff scale", "WayOff [ms]", "steady dev [ms]",
-                   "steady escapes", "recovery 5 s off [s]",
-                   "recovery 600 s off [s]", "attack dev [ms]"});
-  for (double scale : {0.02, 0.05, 0.25, 1.0, 4.0, 16.0, 64.0}) {
-    const Row r = run_scale(scale);
-    char sc[16];
-    std::snprintf(sc, sizeof sc, "%gx", scale);
-    table.row({sc, ms(proto.way_off * scale), ms(r.steady_dev),
-               std::to_string(r.steady_escapes), secs(r.recovery_small),
-               secs(r.recovery_large), ms(r.attack_dev)});
-  }
-  table.print(std::cout);
-
-  std::printf(
-      "\nExpected shape: at 0.02x (19 ms < eps) the escape branch fires\n"
-      "constantly in steady state — the own-clock preservation that the\n"
-      "normal branch provides is lost, and under attack the liars can\n"
-      "steer the midrange jumps. From ~0.25x through 1x: zero steady\n"
-      "escapes and fast recovery. Beyond 1x: still zero escapes and the\n"
-      "600 s recovery stays fast (600 s > WayOff up to 64x? no — at 64x\n"
-      "WayOff ~ 61 s < 600 s, still a jump), but the 5 s offset falls\n"
-      "inside WayOff from 16x on and must halve its way back: recovery\n"
-      "grows logarithmically. 'Overestimating' WayOff is indeed harmless\n"
-      "for safety and costs only mid-range recovery latency.\n");
-  return 0;
+         std::printf(
+             "\nExpected shape: at 0.02x (19 ms < eps) the escape branch "
+             "fires\nconstantly in steady state — the own-clock preservation "
+             "that the\nnormal branch provides is lost, and under attack the "
+             "liars can\nsteer the midrange jumps. From ~0.25x through 1x: "
+             "zero steady\nescapes and fast recovery. Beyond 1x: still zero "
+             "escapes and the\n600 s recovery stays fast (600 s > WayOff up "
+             "to 64x? no — at 64x\nWayOff ~ 61 s < 600 s, still a jump), but "
+             "the 5 s offset falls\ninside WayOff from 16x on and must halve "
+             "its way back: recovery\ngrows logarithmically. 'Overestimating' "
+             "WayOff is indeed harmless\nfor safety and costs only mid-range "
+             "recovery latency.\n");
+       }});
 }
+
+}  // namespace czsync::bench

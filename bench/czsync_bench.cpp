@@ -1,0 +1,15 @@
+// The single experiment runner: czsync_bench --list | --run E<k> | ...
+// All behaviour lives in analysis::run_harness; this main only builds
+// the registry and forwards argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments.h"
+
+int main(int argc, char** argv) {
+  czsync::analysis::ExperimentRegistry registry;
+  czsync::bench::register_all_experiments(registry);
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return czsync::analysis::run_harness(registry, args, std::cout, std::cerr);
+}

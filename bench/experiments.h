@@ -1,0 +1,82 @@
+// Shared declarations for the experiment registrations (E1..E22).
+//
+// Each bench_*.cpp contributes one register_EXX(ExperimentRegistry&)
+// function; czsync_bench calls register_all_experiments() and hands the
+// registry to analysis::run_harness. Registration is via explicit
+// functions, not static initializers — experiments live in a static
+// library and the linker would happily drop a TU whose only purpose is a
+// global constructor.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/registry.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace czsync::bench {
+
+/// Canonical WAN model used across experiments unless a sweep overrides
+/// it: delta = 50 ms, rho = 1e-4 (stress value), Delta = 1 h, SyncInt =
+/// 60 s => T ~ 60.2 s, K = 59, gamma ~ 0.91 s.
+inline analysis::Scenario wan_scenario(std::uint64_t seed = 1) {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::hours(6);
+  s.warmup = Dur::minutes(30);
+  s.sample_period = Dur::seconds(15);
+  s.seed = seed;
+  return s;
+}
+
+inline std::string ms(Dur d) {
+  if (!d.is_finite()) return d > Dur::zero() ? "inf" : "-inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", d.ms());
+  return buf;
+}
+
+inline std::string secs(Dur d) {
+  if (!d.is_finite()) return "never";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f", d.sec());
+  return buf;
+}
+
+inline std::string num(double v) { return fmt_num(v); }
+
+// One registration per experiment file, invoked by register_all.cpp.
+void register_E1(analysis::ExperimentRegistry& reg);   // bench_deviation
+void register_E2(analysis::ExperimentRegistry& reg);   // bench_convergence
+void register_E3(analysis::ExperimentRegistry& reg);   // bench_recovery
+void register_E4(analysis::ExperimentRegistry& reg);   // bench_tradeoff
+void register_E5(analysis::ExperimentRegistry& reg);   // bench_accuracy
+void register_E6(analysis::ExperimentRegistry& reg);   // bench_adversary
+void register_E7(analysis::ExperimentRegistry& reg);   // bench_twocliques
+void register_E8(analysis::ExperimentRegistry& reg);   // bench_baselines
+void register_E9(analysis::ExperimentRegistry& reg);   // bench_breakdown
+void register_E10(analysis::ExperimentRegistry& reg);  // bench_proactive
+void register_E11(analysis::ExperimentRegistry& reg);  // bench_estimation
+void register_E12(analysis::ExperimentRegistry& reg);  // bench_perf pointer
+void register_E13(analysis::ExperimentRegistry& reg);  // bench_discipline
+void register_E14(analysis::ExperimentRegistry& reg);  // bench_linkfaults
+void register_E15(analysis::ExperimentRegistry& reg);  // bench_stabilization
+void register_E16(analysis::ExperimentRegistry& reg);  // bench_connectivity
+void register_E17(analysis::ExperimentRegistry& reg);  // bench_rounds
+void register_E18(analysis::ExperimentRegistry& reg);  // bench_seeds
+void register_E19(analysis::ExperimentRegistry& reg);  // bench_caching
+void register_E20(analysis::ExperimentRegistry& reg);  // bench_broadcast
+void register_E21(analysis::ExperimentRegistry& reg);  // bench_wayoff
+void register_E22(analysis::ExperimentRegistry& reg);  // bench_sweep_scaling
+
+/// Registers E1..E22 in order.
+void register_all_experiments(analysis::ExperimentRegistry& reg);
+
+}  // namespace czsync::bench

@@ -1,0 +1,49 @@
+// Registration order is the --list / --filter execution order; keep it
+// E1..E22. E12 (micro-benchmarks) stays a separate google-benchmark
+// binary — statistical repetition and perf counters don't fit the
+// scenario-report harness — so its registration just points there.
+#include "experiments.h"
+
+namespace czsync::bench {
+
+void register_E12(analysis::ExperimentRegistry& reg) {
+  reg.add({"E12", "hot-path micro-benchmarks (bench_perf)",
+           "simulator throughput tracked against BENCH_PERF.json; see "
+           "tools/check_bench_regression.py",
+           [](analysis::ExperimentContext&) {
+             std::printf(
+                 "E12 runs as a separate google-benchmark binary:\n"
+                 "  ./build/bench/bench_perf\n"
+                 "It needs statistical repetitions and isolation from the "
+                 "harness's\nown threads; the RunRecord-based regression gate "
+                 "is\n  tools/check_bench_regression.py (ctest: "
+                 "bench_regression).\n");
+           }});
+}
+
+void register_all_experiments(analysis::ExperimentRegistry& reg) {
+  register_E1(reg);
+  register_E2(reg);
+  register_E3(reg);
+  register_E4(reg);
+  register_E5(reg);
+  register_E6(reg);
+  register_E7(reg);
+  register_E8(reg);
+  register_E9(reg);
+  register_E10(reg);
+  register_E11(reg);
+  register_E12(reg);
+  register_E13(reg);
+  register_E14(reg);
+  register_E15(reg);
+  register_E16(reg);
+  register_E17(reg);
+  register_E18(reg);
+  register_E19(reg);
+  register_E20(reg);
+  register_E21(reg);
+  register_E22(reg);
+}
+
+}  // namespace czsync::bench

@@ -49,6 +49,7 @@ RunResult run_scenario(const Scenario& scenario) {
     r.replays_accepted += st.replays_accepted;
   }
   if (scenario.record_series) r.series = obs.series();
+  r.metrics = world.collect_metrics();
   return r;
 }
 

@@ -11,6 +11,7 @@
 #include "analysis/observer.h"
 #include "analysis/scenario.h"
 #include "core/params.h"
+#include "util/metrics.h"
 
 namespace czsync::analysis {
 
@@ -47,6 +48,11 @@ struct RunResult {
 
   /// Full trace; non-empty only when Scenario::record_series was set.
   std::vector<Sample> series;
+
+  /// Unified per-layer snapshot (World::collect_metrics): everything the
+  /// scalar fields above summarize plus the sim/net internals, keyed as
+  /// "sim.*", "net.*", "core.*", "observer.*", "adversary.*".
+  util::MetricRegistry metrics;
 };
 
 /// Builds a World from the scenario, runs it, and extracts the metrics.

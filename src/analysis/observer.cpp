@@ -132,7 +132,7 @@ void Observer::sample() {
     for (auto& ev : recoveries_) {
       if (ev.recovered || ev.preempted) continue;
       if (ev.left_at > t) break;  // sorted by leave time
-      const auto p = static_cast<std::size_t>(ev.proc);
+      const auto p = static_cast<std::size_t>(ev.proc.value());
       if (s.status[p] == ProcStatus::Faulty) {
         ev.preempted = true;
         continue;
@@ -152,6 +152,32 @@ void Observer::sample() {
   if (next <= horizon_) {
     sim_.schedule_after(sample_period_, [this] { sample(); });
   }
+}
+
+void Observer::export_metrics(util::MetricRegistry::Scope scope) const {
+  scope.counter("samples", samples_);
+  scope.gauge("max_stable_deviation_ms", deviation_.max() * 1e3);
+  scope.gauge("mean_stable_deviation_ms", deviation_.mean() * 1e3);
+  scope.gauge("final_stable_deviation_ms", last_deviation_ * 1e3);
+  scope.gauge("max_stable_discontinuity_ms", max_discontinuity_.ms());
+  scope.gauge("max_rate_excess", max_rate_excess_);
+  std::uint64_t recovered = 0, preempted = 0, unjudgeable = 0;
+  Dur worst = Dur::zero();
+  for (const auto& ev : recoveries_) {
+    if (ev.preempted) {
+      ++preempted;
+    } else if (!ev.judgeable) {
+      ++unjudgeable;
+    } else if (ev.recovered) {
+      ++recovered;
+      worst = std::max(worst, ev.duration);
+    }
+  }
+  scope.counter("recovery_events", recoveries_.size());
+  scope.counter("recovered", recovered);
+  scope.counter("preempted", preempted);
+  scope.counter("unjudgeable", unjudgeable);
+  scope.gauge("max_recovery_time_s", worst.sec());
 }
 
 }  // namespace czsync::analysis

@@ -19,6 +19,7 @@
 #include "adversary/schedule.h"
 #include "analysis/node.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/time_types.h"
 
@@ -36,7 +37,10 @@ struct Sample {
 /// One adversary leave event and how long the processor took to satisfy
 /// the Definition-3 deviation bound against every stable processor.
 struct RecoveryEvent {
-  net::ProcId proc = -1;
+  /// Engaged for every event the Observer emits; optional (rather than a
+  /// -1 sentinel) so a default-constructed event can't be cast to an
+  /// index by accident.
+  std::optional<net::ProcId> proc;
   RealTime left_at;
   bool recovered = false;
   bool preempted = false;  ///< broken into again before recovering
@@ -86,6 +90,10 @@ class Observer {
   /// Minimum segment length before a rate estimate counts (default 10
   /// sample periods); avoids quantizing noise on tiny windows.
   void set_min_rate_window(Dur w) { min_rate_window_ = w; }
+
+  /// Snapshot of the observer-layer metrics (deviation, discontinuity,
+  /// rate excess, recovery tallies) into `scope` for RunRecord emission.
+  void export_metrics(util::MetricRegistry::Scope scope) const;
 
  private:
   void sample();

@@ -1,0 +1,438 @@
+#include "analysis/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/jobs.h"
+
+#ifndef CZSYNC_GIT_DESCRIBE
+#define CZSYNC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace czsync::analysis {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+const char* drift_name(Scenario::DriftKind k) {
+  switch (k) {
+    case Scenario::DriftKind::Constant: return "constant";
+    case Scenario::DriftKind::Wander: return "wander";
+    case Scenario::DriftKind::Sinusoidal: return "sinusoidal";
+    case Scenario::DriftKind::OpposedHalves: return "opposed-halves";
+  }
+  return "?";
+}
+
+const char* topology_name(Scenario::TopologyKind k) {
+  switch (k) {
+    case Scenario::TopologyKind::FullMesh: return "full-mesh";
+    case Scenario::TopologyKind::TwoCliques: return "two-cliques";
+    case Scenario::TopologyKind::Ring: return "ring";
+    case Scenario::TopologyKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+void record_sweep_metrics(util::MetricRegistry& m, const SweepResult& r) {
+  m.counter("sweep.runs", static_cast<std::uint64_t>(r.runs));
+  m.counter("sweep.bound_violations",
+            static_cast<std::uint64_t>(r.bound_violations));
+  m.counter("sweep.unrecovered_runs",
+            static_cast<std::uint64_t>(r.unrecovered_runs));
+  m.counter("sweep.bound_mismatches",
+            static_cast<std::uint64_t>(r.bound_mismatches));
+  m.gauge("sweep.wall_seconds", r.wall_seconds);
+  m.gauge("sweep.runs_per_sec", r.seeds_per_sec());
+  m.gauge("sweep.max_deviation_mean_ms", r.max_deviation.mean() * 1e3);
+  m.gauge("sweep.max_deviation_max_ms", r.max_deviation.max() * 1e3);
+  m.gauge("sweep.max_recovery_mean_s", r.max_recovery.mean());
+  m.gauge("sweep.max_recovery_max_s", r.max_recovery.max());
+}
+
+}  // namespace
+
+std::string summarize_scenario(const Scenario& s) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "n=%d f=%d rho=%g delta_ms=%g sync_int_s=%g horizon_s=%g "
+      "protocol=%s convergence=%s strategy=%s drift=%s topology=%s seed=%llu",
+      s.model.n, s.model.f, s.model.rho, s.model.delta.ms(), s.sync_int.sec(),
+      s.horizon.sec(), s.protocol.c_str(), s.convergence.c_str(),
+      s.strategy.c_str(), drift_name(s.drift), topology_name(s.topology),
+      static_cast<unsigned long long>(s.seed));
+  return buf;
+}
+
+RunResult ExperimentContext::run(Scenario s, std::string label) {
+  s.seed += seed_base_;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r = run_scenario(s);
+  RunRecord rec;
+  rec.kind = RunRecord::Kind::Run;
+  rec.label = std::move(label);
+  rec.scenario = summarize_scenario(s);
+  rec.seed = s.seed;
+  rec.runs = 1;
+  rec.wall_seconds = wall_since(t0);
+  rec.metrics = r.metrics;
+  records_.push_back(std::move(rec));
+  return r;
+}
+
+ExperimentContext::ParallelResult ExperimentContext::run_parallel(
+    std::vector<Scenario> scenarios, std::string label) {
+  for (auto& s : scenarios) s.seed += seed_base_;
+  const auto t0 = std::chrono::steady_clock::now();
+  ParallelResult out;
+  out.results = run_scenarios_parallel(scenarios, jobs_);
+  out.wall_seconds = wall_since(t0);
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    RunRecord rec;
+    rec.kind = RunRecord::Kind::Run;
+    rec.label = label.empty() ? label : label + "#" + std::to_string(i);
+    rec.scenario = summarize_scenario(scenarios[i]);
+    rec.seed = scenarios[i].seed;
+    rec.runs = 1;
+    // Batch wall-clock split evenly: per-run timing inside the pool is
+    // not observable from here, and the batch total is what matters.
+    rec.wall_seconds =
+        out.results.empty()
+            ? 0.0
+            : out.wall_seconds / static_cast<double>(out.results.size());
+    rec.metrics = out.results[i].metrics;
+    records_.push_back(std::move(rec));
+  }
+  return out;
+}
+
+SweepResult ExperimentContext::sweep(
+    const std::function<Scenario(std::uint64_t)>& make,
+    std::uint64_t first_seed, int count, std::string label) {
+  return sweep_with_jobs(make, first_seed, count, jobs_, std::move(label));
+}
+
+SweepResult ExperimentContext::sweep_with_jobs(
+    const std::function<Scenario(std::uint64_t)>& make,
+    std::uint64_t first_seed, int count, int jobs, std::string label) {
+  first_seed += seed_base_;
+  SweepResult r = run_sweep_parallel(make, first_seed, count, jobs);
+  RunRecord rec;
+  rec.kind = RunRecord::Kind::Sweep;
+  rec.label = std::move(label);
+  rec.seed = first_seed;
+  rec.runs = r.runs;
+  rec.wall_seconds = r.wall_seconds;
+  record_sweep_metrics(rec.metrics, r);
+  records_.push_back(std::move(rec));
+  return r;
+}
+
+void ExperimentContext::print_sweep_perf(const char* what, int runs,
+                                         double wall_seconds, int jobs) {
+  std::printf("%s: %d runs in %.2f s (%.2f runs/s, jobs = %d)\n", what, runs,
+              wall_seconds, wall_seconds > 0 ? runs / wall_seconds : 0.0,
+              jobs);
+}
+
+void ExperimentRegistry::add(Experiment e) {
+  if (e.id.empty()) throw std::invalid_argument("experiment id is empty");
+  if (!e.body) {
+    throw std::invalid_argument("experiment '" + e.id + "' has no body");
+  }
+  if (find(e.id) != nullptr) {
+    throw std::invalid_argument("duplicate experiment id '" + e.id + "'");
+  }
+  experiments_.push_back(std::move(e));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view id) const {
+  const std::string want = lower(id);
+  for (const auto& e : experiments_) {
+    if (lower(e.id) == want) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::match(
+    std::string_view filter) const {
+  const std::string want = lower(filter);
+  std::vector<const Experiment*> out;
+  for (const auto& e : experiments_) {
+    const std::string hay = lower(e.id + ": " + e.title);
+    if (want.empty() || hay.find(want) != std::string::npos) out.push_back(&e);
+  }
+  return out;
+}
+
+void ExperimentRegistry::print_list(std::ostream& os) const {
+  std::size_t width = 0;
+  for (const auto& e : experiments_) width = std::max(width, e.id.size());
+  for (const auto& e : experiments_) {
+    os << e.id << std::string(width - e.id.size() + 2, ' ') << e.title << "\n";
+  }
+}
+
+void write_metrics_json(util::JsonWriter& w, const util::MetricRegistry& reg) {
+  w.begin_object();
+  for (const auto& [name, entry] : reg.entries()) {
+    w.key(name);
+    if (entry.integral) {
+      w.value(static_cast<std::uint64_t>(entry.value));
+    } else {
+      w.value(entry.value);
+    }
+  }
+  w.end_object();
+}
+
+const char* build_git_describe() { return CZSYNC_GIT_DESCRIBE; }
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: czsync_bench [--list] [--run <id>]... [--filter <substr>]\n"
+        "                    [--jobs <n>] [--json <path>] [--seed-base <n>]\n"
+        "\n"
+        "  --list            list registered experiments and exit\n"
+        "  --run <id>        run one experiment (repeatable), e.g. --run E1\n"
+        "  --filter <s>      run every experiment whose id/title contains <s>\n"
+        "  --jobs <n>        worker threads for parallel sweeps (>= 1;\n"
+        "                    default: CZSYNC_JOBS or the hardware count)\n"
+        "  --json <path>     write the machine-readable RunRecord document\n"
+        "  --seed-base <n>   shift every scenario seed by <n> (default 0 =\n"
+        "                    the canonical published outputs)\n";
+}
+
+struct RanExperiment {
+  const Experiment* exp;
+  double wall_seconds;
+  std::vector<RunRecord> records;
+};
+
+void write_document_json(std::ostream& os, int jobs, std::uint64_t seed_base,
+                         const std::vector<RanExperiment>& ran) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema");
+  w.value("czsync-runrecord-v1");
+  w.key("git_describe");
+  w.value(build_git_describe());
+  w.key("jobs");
+  w.value(jobs);
+  w.key("seed_base");
+  w.value(seed_base);
+  w.key("experiments");
+  w.begin_array();
+  for (const auto& re : ran) {
+    w.begin_object();
+    w.key("id");
+    w.value(re.exp->id);
+    w.key("title");
+    w.value(re.exp->title);
+    w.key("claim");
+    w.value(re.exp->claim);
+    w.key("wall_seconds");
+    w.value(re.wall_seconds);
+    w.key("records");
+    w.begin_array();
+    for (const auto& rec : re.records) {
+      w.begin_object();
+      w.key("kind");
+      w.value(rec.kind == RunRecord::Kind::Run ? "run" : "sweep");
+      if (!rec.label.empty()) {
+        w.key("label");
+        w.value(rec.label);
+      }
+      if (!rec.scenario.empty()) {
+        w.key("scenario");
+        w.value(rec.scenario);
+      }
+      w.key("seed");
+      w.value(rec.seed);
+      w.key("runs");
+      w.value(rec.runs);
+      w.key("wall_seconds");
+      w.value(rec.wall_seconds);
+      w.key("metrics");
+      write_metrics_json(w, rec.metrics);
+      w.end_object();
+    }
+    w.end_array();
+    // Cross-record aggregate: layer counters summed, gauges maximized,
+    // plus the previously bench_perf-only sweep throughput counters.
+    util::MetricRegistry totals;
+    int total_runs = 0;
+    for (const auto& rec : re.records) {
+      totals.merge_from(rec.metrics);
+      total_runs += rec.runs;
+    }
+    totals.counter("sweep.runs", static_cast<std::uint64_t>(total_runs));
+    totals.gauge("sweep.wall_seconds", re.wall_seconds);
+    totals.gauge("sweep.runs_per_sec",
+                 re.wall_seconds > 0 ? total_runs / re.wall_seconds : 0.0);
+    w.key("totals");
+    write_metrics_json(w, totals);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int run_harness(const ExperimentRegistry& registry,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  bool list = false;
+  std::vector<std::string> run_ids;
+  std::vector<std::string> filters;
+  std::string json_path;
+  std::uint64_t seed_base = 0;
+  std::optional<int> jobs_flag;
+
+  const auto fail = [&](const std::string& why) {
+    err << "czsync_bench: " << why << "\n";
+    print_usage(err);
+    return 2;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto take_value = [&](std::string_view flag,
+                                std::string* value) -> bool {
+      if (a == flag) {
+        if (i + 1 >= args.size()) return false;
+        *value = args[++i];
+        return true;
+      }
+      const std::string eq = std::string(flag) + "=";
+      if (a.rfind(eq, 0) == 0) {
+        *value = a.substr(eq.size());
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (a == "--list") {
+      list = true;
+    } else if (a == "--help" || a == "-h") {
+      print_usage(out);
+      return 0;
+    } else if (take_value("--run", &value)) {
+      run_ids.push_back(value);
+    } else if (take_value("--filter", &value)) {
+      filters.push_back(value);
+    } else if (take_value("--json", &value)) {
+      json_path = value;
+    } else if (take_value("--jobs", &value)) {
+      std::string why;
+      const auto jobs = util::parse_jobs(value, &why);
+      if (!jobs) return fail("--jobs: " + why);
+      jobs_flag = *jobs;
+    } else if (take_value("--seed-base", &value)) {
+      try {
+        std::size_t used = 0;
+        seed_base = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        return fail("--seed-base: '" + value + "' is not a non-negative "
+                    "integer");
+      }
+    } else if (a == "--run" || a == "--filter" || a == "--json" ||
+               a == "--jobs" || a == "--seed-base") {
+      return fail("missing value for " + a);
+    } else {
+      return fail("unknown argument '" + a + "'");
+    }
+  }
+
+  if (list) {
+    registry.print_list(out);
+    return 0;
+  }
+
+  // Selection: explicit --run ids first (in the order given), then
+  // --filter matches, deduplicated.
+  std::vector<const Experiment*> selected;
+  const auto select = [&](const Experiment* e) {
+    if (std::find(selected.begin(), selected.end(), e) == selected.end()) {
+      selected.push_back(e);
+    }
+  };
+  for (const auto& id : run_ids) {
+    const Experiment* e = registry.find(id);
+    if (e == nullptr) {
+      return fail("unknown experiment id '" + id + "' (see --list)");
+    }
+    select(e);
+  }
+  for (const auto& f : filters) {
+    const auto matches = registry.match(f);
+    if (matches.empty()) {
+      return fail("--filter '" + f + "' matches no experiment (see --list)");
+    }
+    for (const Experiment* e : matches) select(e);
+  }
+  if (selected.empty()) {
+    return fail("nothing selected: pass --list, --run <id> or --filter <s>");
+  }
+
+  int jobs = 0;
+  if (jobs_flag) {
+    jobs = *jobs_flag;
+  } else {
+    std::string why;
+    const auto env_jobs = util::jobs_from_env_or_default(&why);
+    if (!env_jobs) return fail(why);
+    jobs = *env_jobs;
+  }
+
+  std::vector<RanExperiment> ran;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const Experiment* e = selected[i];
+    if (i > 0) std::printf("\n");
+    std::printf(
+        "================================================================\n");
+    std::printf("%s: %s\n", e->id.c_str(), e->title.c_str());
+    std::printf("Paper claim: %s\n", e->claim.c_str());
+    std::printf(
+        "================================================================\n");
+    ExperimentContext ctx(jobs, seed_base);
+    const auto t0 = std::chrono::steady_clock::now();
+    e->body(ctx);
+    ran.push_back({e, wall_since(t0), ctx.records()});
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      err << "czsync_bench: cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    write_document_json(f, jobs, seed_base, ran);
+  }
+  return 0;
+}
+
+}  // namespace czsync::analysis

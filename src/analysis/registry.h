@@ -1,0 +1,151 @@
+// Registry-driven experiment harness.
+//
+// Every experiment (DESIGN.md §4, E1..E22) is a declarative registration:
+// id, title, paper claim, and a body that builds scenarios and prints its
+// report through an ExperimentContext. One shared runner (czsync_bench)
+// owns argument parsing (--list, --run, --filter, --jobs, --json,
+// --seed-base), job-count resolution, sweep dispatch, and RunRecord
+// collection; adding an experiment is a ~30-line registration instead of
+// a new binary.
+//
+// The context records one RunRecord per scenario run / sweep, each
+// carrying the unified MetricRegistry snapshot (World::collect_metrics),
+// which the harness serializes into machine-readable JSON for the perf
+// trajectory in BENCH_PERF.json and tools/check_bench_regression.py.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "analysis/sweep.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace czsync::analysis {
+
+/// One finished scenario run or multi-seed sweep, in machine-readable
+/// form: what ran (label + scenario summary + seed), how long it took,
+/// and the per-layer MetricRegistry snapshot.
+struct RunRecord {
+  enum class Kind { Run, Sweep };
+  Kind kind = Kind::Run;
+  std::string label;      ///< experiment-chosen row label ("" is fine)
+  std::string scenario;   ///< compact knob summary, runs only
+  std::uint64_t seed = 0; ///< scenario seed (runs) / first seed (sweeps)
+  int runs = 1;           ///< seeds covered (1 for a single run)
+  double wall_seconds = 0.0;
+  util::MetricRegistry metrics;
+};
+
+/// Handed to each experiment body: resolved job count, seed shifting, the
+/// run/sweep entry points (which record RunRecords as a side effect), and
+/// the shared report helpers that used to be copy-pasted per bench.
+class ExperimentContext {
+ public:
+  ExperimentContext(int jobs, std::uint64_t seed_base)
+      : jobs_(jobs), seed_base_(seed_base) {}
+
+  /// Worker count for parallel dispatch (--jobs / CZSYNC_JOBS / default).
+  [[nodiscard]] int jobs() const { return jobs_; }
+  /// --seed-base shift; 0 reproduces the legacy fixed-seed outputs.
+  [[nodiscard]] std::uint64_t seed_base() const { return seed_base_; }
+
+  /// Runs one scenario (scenario.seed += seed_base) and records it.
+  RunResult run(Scenario s, std::string label = "");
+
+  /// Ordered parallel map over independent scenarios (seed shift applied
+  /// to each), one RunRecord per scenario plus the batch wall-clock.
+  struct ParallelResult {
+    std::vector<RunResult> results;
+    double wall_seconds = 0.0;
+  };
+  ParallelResult run_parallel(std::vector<Scenario> scenarios,
+                              std::string label = "");
+
+  /// Multi-seed sweep through run_sweep_parallel at the context's job
+  /// count; first_seed is shifted by seed_base. Records one Sweep record.
+  SweepResult sweep(const std::function<Scenario(std::uint64_t)>& make,
+                    std::uint64_t first_seed, int count,
+                    std::string label = "");
+  /// Same, at an explicit job count (scaling experiments, E22).
+  SweepResult sweep_with_jobs(const std::function<Scenario(std::uint64_t)>& make,
+                              std::uint64_t first_seed, int count, int jobs,
+                              std::string label = "");
+
+  /// One-line throughput footer, shared format across every sweep bench.
+  static void print_sweep_perf(const char* what, int runs, double wall_seconds,
+                               int jobs);
+
+  [[nodiscard]] const std::vector<RunRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  int jobs_;
+  std::uint64_t seed_base_;
+  std::vector<RunRecord> records_;
+};
+
+struct Experiment {
+  std::string id;     ///< "E1" .. "E22"
+  std::string title;  ///< printed as "<id>: <title>" in the header
+  std::string claim;  ///< the paper claim the experiment regenerates
+  std::function<void(ExperimentContext&)> body;
+};
+
+/// Ordered collection of experiments. Registration order is listing and
+/// --filter execution order; ids are unique (duplicates throw).
+class ExperimentRegistry {
+ public:
+  /// Throws std::invalid_argument on an empty id/body or a duplicate id.
+  void add(Experiment e);
+
+  /// Case-insensitive exact id lookup; nullptr when absent.
+  [[nodiscard]] const Experiment* find(std::string_view id) const;
+
+  /// Case-insensitive substring match over "<id>: <title>"; an empty
+  /// filter matches everything. Registration order.
+  [[nodiscard]] std::vector<const Experiment*> match(
+      std::string_view filter) const;
+
+  [[nodiscard]] const std::vector<Experiment>& experiments() const {
+    return experiments_;
+  }
+  [[nodiscard]] std::size_t size() const { return experiments_.size(); }
+
+  /// Two-column "<id>  <title>" listing (--list).
+  void print_list(std::ostream& os) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Compact one-line knob summary of a scenario for RunRecords.
+[[nodiscard]] std::string summarize_scenario(const Scenario& s);
+
+/// Serializes `reg` as a JSON object (each entry one member; counters as
+/// integers, gauges as doubles). Shared by the harness and czsync_cli.
+void write_metrics_json(util::JsonWriter& w, const util::MetricRegistry& reg);
+
+/// `git describe` of the tree this binary was configured from ("unknown"
+/// when git was unavailable at configure time).
+[[nodiscard]] const char* build_git_describe();
+
+/// The czsync_bench driver: parses args, resolves the job count (strict
+/// --jobs / CZSYNC_JOBS validation — garbage is an error, never a silent
+/// hardware-default fallback), runs the selected experiments, and emits
+/// the optional --json RunRecord document. Experiment bodies print their
+/// reports to stdout exactly as the legacy binaries did; `out`/`err` get
+/// the harness's own output (--list, usage, diagnostics). Returns the
+/// process exit code: 0 ok, 2 usage/argument error.
+int run_harness(const ExperimentRegistry& registry,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace czsync::analysis

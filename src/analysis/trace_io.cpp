@@ -46,7 +46,8 @@ void write_recoveries_csv(std::ostream& os, const RunResult& result) {
   CsvWriter w(os, {"proc", "left_at", "recovered", "preempted", "judgeable",
                    "duration"});
   for (const auto& ev : result.recoveries) {
-    w.row({std::to_string(ev.proc), fmt_num(ev.left_at.sec()),
+    w.row({ev.proc ? std::to_string(*ev.proc) : "?",
+           fmt_num(ev.left_at.sec()),
            ev.recovered ? "1" : "0", ev.preempted ? "1" : "0",
            ev.judgeable ? "1" : "0", fmt_num(ev.duration.sec())});
   }

@@ -182,4 +182,15 @@ void World::run() {
   observer_->finalize();
 }
 
+util::MetricRegistry World::collect_metrics() const {
+  util::MetricRegistry reg;
+  sim_.export_metrics(reg.scope("sim"));
+  network_->stats().export_metrics(reg.scope("net"));
+  auto core = reg.scope("core");
+  for (const auto& n : nodes_) n->sync().stats().export_metrics(core);
+  observer_->export_metrics(reg.scope("observer"));
+  reg.counter("adversary.break_ins", adversary_ ? adversary_->break_ins() : 0);
+  return reg;
+}
+
 }  // namespace czsync::analysis

@@ -16,6 +16,7 @@
 #include "core/params.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 
 namespace czsync::analysis {
 
@@ -37,6 +38,13 @@ class World {
     return proto_;
   }
   [[nodiscard]] const core::TheoremBounds& bounds() const { return bounds_; }
+
+  /// One queryable snapshot of every layer's counters after a run:
+  /// "sim.*" (event pool included), "net.*", "core.*" (summed across all
+  /// nodes), "observer.*", and "adversary.break_ins". This is the
+  /// unified-metrics replacement for poking the four per-layer stats
+  /// structs individually.
+  [[nodiscard]] util::MetricRegistry collect_metrics() const;
 
  private:
   Scenario scenario_;

@@ -1,0 +1,18 @@
+#include "core/protocol_engine.h"
+
+namespace czsync::core {
+
+void SyncStats::export_metrics(util::MetricRegistry::Scope scope) const {
+  scope.add("rounds_started", rounds_started);
+  scope.add("rounds_completed", rounds_completed);
+  scope.add("way_off_rounds", way_off_rounds);
+  scope.add("responses_ok", responses_ok);
+  scope.add("responses_stale", responses_stale);
+  scope.add("timeouts", timeouts);
+  scope.add("round_mismatch_discards", round_mismatch_discards);
+  scope.add("joins", joins);
+  scope.add("replays_accepted", replays_accepted);
+  scope.maximize("max_abs_adjustment_ms", max_abs_adjustment.ms());
+}
+
+}  // namespace czsync::core

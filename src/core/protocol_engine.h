@@ -12,6 +12,7 @@
 
 #include "core/convergence.h"
 #include "net/message.h"
+#include "util/metrics.h"
 #include "util/time_types.h"
 
 namespace czsync::core {
@@ -31,6 +32,11 @@ struct SyncStats {
   // Broadcast-engine extra: accepted bundles that yanked the clock far
   // backwards — successful signature replays against recovered state.
   std::uint64_t replays_accepted = 0;
+
+  /// Snapshot into `scope`. Counters accumulate (add) and the adjustment
+  /// gauges take the maximum, so exporting every node's stats into the
+  /// same scope yields ensemble totals/worst-cases.
+  void export_metrics(util::MetricRegistry::Scope scope) const;
 };
 
 class ProtocolEngine {

@@ -9,6 +9,19 @@
 
 namespace czsync::net {
 
+void NetworkStats::export_metrics(util::MetricRegistry::Scope scope) const {
+  scope.counter("sent", sent);
+  scope.counter("delivered", delivered);
+  scope.counter("dropped_no_edge", dropped_no_edge);
+  scope.counter("dropped_no_handler", dropped_no_handler);
+  scope.counter("dropped_link_fault", dropped_link_fault);
+  scope.counter("delay_violations", delay_violations);
+  auto by_body = scope.scope("sent_by_body");
+  for (std::size_t i = 0; i < kBodyAlternatives; ++i) {
+    if (sent_by_body[i] != 0) by_body.counter(body_name(i), sent_by_body[i]);
+  }
+}
+
 Network::Network(sim::Simulator& sim, Topology topology,
                  std::unique_ptr<DelayModel> delay, Rng rng)
     : sim_(sim),

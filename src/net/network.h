@@ -24,6 +24,7 @@
 #include "net/message.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace czsync::net {
@@ -41,6 +42,10 @@ struct NetworkStats {
   /// Send attempts by Body alternative (body_name(i) labels index i);
   /// counts every send(), including ones later dropped.
   std::array<std::uint64_t, kBodyAlternatives> sent_by_body{};
+
+  /// Snapshot into `scope`; per-body counts land under
+  /// "sent_by_body.<Name>" (only alternatives that were actually sent).
+  void export_metrics(util::MetricRegistry::Scope scope) const;
 };
 
 class Network {

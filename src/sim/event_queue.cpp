@@ -4,6 +4,16 @@
 
 namespace czsync::sim {
 
+void EventQueueStats::export_metrics(util::MetricRegistry::Scope scope) const {
+  scope.counter("pushed", pushed);
+  scope.counter("popped", popped);
+  scope.counter("cancelled", cancelled);
+  scope.counter("stale_skipped", stale_skipped);
+  scope.counter("inline_actions", inline_actions);
+  scope.counter("fallback_allocs", fallback_allocs);
+  scope.counter("peak_slots", peak_slots);
+}
+
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kFreeListEnd) {
     const std::uint32_t index = free_head_;

@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/small_fn.h"
 #include "util/time_types.h"
 
@@ -45,6 +46,10 @@ struct EventQueueStats {
   std::uint64_t fallback_allocs = 0;
   /// Slab high-water mark: peak number of concurrently pooled slots.
   std::size_t peak_slots = 0;
+
+  /// Snapshot into `scope` (one entry per counter, same names as the
+  /// fields) for RunRecord emission.
+  void export_metrics(util::MetricRegistry::Scope scope) const;
 };
 
 /// Min-heap of (time, sequence) ordered events backed by the slot pool.

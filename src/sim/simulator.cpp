@@ -20,4 +20,10 @@ void Simulator::run_until(RealTime limit) {
   if (limit > now_ && limit < RealTime::infinity()) now_ = limit;
 }
 
+void Simulator::export_metrics(util::MetricRegistry::Scope scope) const {
+  scope.counter("events_executed", executed_);
+  scope.counter("events_pending", queue_.size());
+  queue_.stats().export_metrics(scope.scope("event_pool"));
+}
+
 }  // namespace czsync::sim

@@ -64,6 +64,10 @@ class Simulator {
     return queue_.stats();
   }
 
+  /// Snapshot of the simulator layer into `scope`: executed/pending event
+  /// counts plus the pool counters under an "event_pool" sub-scope.
+  void export_metrics(util::MetricRegistry::Scope scope) const;
+
  private:
   EventQueue queue_;
   RealTime now_ = RealTime::zero();

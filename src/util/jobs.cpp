@@ -1,0 +1,55 @@
+#include "util/jobs.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/thread_pool.h"
+
+namespace czsync::util {
+
+std::optional<int> parse_jobs(std::string_view text, std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<int> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  if (text.empty()) return fail("job count is empty");
+  // std::from_chars accepts a leading '-'; reject any non-digit up front
+  // so "-3", "+3", " 3" and "3 " all fail loudly.
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return fail("job count '" + std::string(text) +
+                  "' is not a positive integer");
+    }
+  }
+  int jobs = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), jobs);
+  if (ec == std::errc::result_out_of_range) {
+    return fail("job count '" + std::string(text) + "' is out of range");
+  }
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return fail("job count '" + std::string(text) +
+                "' is not a positive integer");
+  }
+  if (jobs <= 0) {
+    return fail("job count must be >= 1, got '" + std::string(text) + "'");
+  }
+  return jobs;
+}
+
+std::optional<int> jobs_from_env_or_default(std::string* error) {
+  const char* env = std::getenv("CZSYNC_JOBS");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(ThreadPool::default_jobs());
+  }
+  std::string why;
+  const auto jobs = parse_jobs(env, &why);
+  if (!jobs) {
+    if (error) *error = "CZSYNC_JOBS: " + why;
+    return std::nullopt;
+  }
+  return jobs;
+}
+
+}  // namespace czsync::util

@@ -1,0 +1,25 @@
+// Strict --jobs / CZSYNC_JOBS parsing shared by czsync_bench and
+// czsync_cli. The old per-bench copies used std::atoi, which silently
+// mapped "abc", "0", and "-3" to the hardware default — a sweep you
+// thought was serialized could quietly run on 8 threads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace czsync::util {
+
+/// Parses a job count: strictly positive decimal integer, whole string
+/// consumed, within int range. Returns nullopt and fills *error (when
+/// non-null) with a human-readable reason otherwise.
+[[nodiscard]] std::optional<int> parse_jobs(std::string_view text,
+                                            std::string* error = nullptr);
+
+/// Job count from the CZSYNC_JOBS environment variable, or
+/// ThreadPool::default_jobs() when unset/empty. A set-but-garbage value
+/// is an error (nullopt + *error), never a silent fallback.
+[[nodiscard]] std::optional<int> jobs_from_env_or_default(
+    std::string* error = nullptr);
+
+}  // namespace czsync::util

@@ -1,0 +1,134 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace czsync::util {
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Ctx::kObject) {
+    assert(key_pending_ && "object members need key() first");
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Ctx::kObject);
+  assert(!key_pending_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Ctx::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Ctx::kObject);
+  assert(!key_pending_);
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  os_ << quote(name) << ": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << quote(s);
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; emit as string so readers see the intent.
+    os_ << (std::isnan(d) ? "\"nan\"" : (d > 0 ? "\"inf\"" : "\"-inf\""));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value();
+  os_ << i;
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  before_value();
+  os_ << u;
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace czsync::util

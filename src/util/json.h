@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer for RunRecord emission — no DOM, no
+// parsing, just correctly escaped, deterministically ordered output.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace czsync::util {
+
+/// Streams a JSON document to an ostream with 2-space indentation.
+/// Usage mirrors the document structure:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("seed"); w.value(std::uint64_t{7});
+///   w.key("metrics"); w.begin_object(); ... w.end_object();
+///   w.end_object();
+///
+/// Misuse (value without key inside an object, unbalanced begin/end) is
+/// caught by asserts, not exceptions: the writer is driver-internal.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Names the next value inside an object.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void null();
+
+  /// Escapes `s` per RFC 8259 (quotes included in the return).
+  [[nodiscard]] static std::string quote(std::string_view s);
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace czsync::util

@@ -1,0 +1,55 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+namespace czsync::util {
+
+void MetricRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name),
+                     Entry{static_cast<double>(delta), /*integral=*/true});
+  } else {
+    it->second.value += static_cast<double>(delta);
+    it->second.integral = true;
+  }
+}
+
+void MetricRegistry::counter(std::string_view name, std::uint64_t v) {
+  entries_[std::string(name)] = Entry{static_cast<double>(v), true};
+}
+
+void MetricRegistry::gauge(std::string_view name, double v) {
+  entries_[std::string(name)] = Entry{v, false};
+}
+
+void MetricRegistry::maximize(std::string_view name, double v) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name), Entry{v, false});
+  } else {
+    it->second.value = std::max(it->second.value, v);
+    it->second.integral = false;
+  }
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    if (entry.integral) {
+      add(name, static_cast<std::uint64_t>(entry.value));
+    } else {
+      maximize(name, entry.value);
+    }
+  }
+}
+
+bool MetricRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+double MetricRegistry::value(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.value;
+}
+
+}  // namespace czsync::util

@@ -1,0 +1,90 @@
+// Unified metrics pipeline: named counters and gauges with hierarchical
+// dot-separated prefixes ("sim.event_pool.pushed", "net.sent", ...).
+//
+// The hot layers (EventQueue, Network, the protocol engines) keep their
+// cheap always-on stats structs — plain increments on cache lines they
+// already touch — and EXPORT into a MetricRegistry snapshot after a run.
+// The registry is therefore a collection format, not a hot-path counter:
+// one queryable, deterministically ordered map that the experiment
+// harness serializes into RunRecord JSON and tools diff across PRs.
+//
+// Counters are integral and sum when exported repeatedly (so exporting
+// every node's SyncStats into one scope aggregates across the ensemble);
+// gauges are doubles and either overwrite (gauge) or keep the maximum
+// (maximize).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace czsync::util {
+
+class MetricRegistry {
+ public:
+  struct Entry {
+    double value = 0.0;
+    /// Counters render as integers in JSON/tables; gauges as doubles.
+    bool integral = true;
+  };
+  using Map = std::map<std::string, Entry, std::less<>>;
+
+  /// Adds `delta` to the counter `name`, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta);
+  /// Sets the counter `name` to `v`.
+  void counter(std::string_view name, std::uint64_t v);
+  /// Sets the gauge `name` to `v`.
+  void gauge(std::string_view name, double v);
+  /// Sets the gauge `name` to max(current, v); missing counts as v.
+  void maximize(std::string_view name, double v);
+
+  /// Accumulates `other` into this registry — counters add, gauges take
+  /// the maximum. The cross-run aggregation used for harness totals.
+  void merge_from(const MetricRegistry& other);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Value of `name`, or 0 when absent (absent counters never fired).
+  [[nodiscard]] double value(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// Name-sorted (deterministic serialization order).
+  [[nodiscard]] const Map& entries() const { return entries_; }
+
+  /// A prefixing view: every write through a Scope lands in the parent
+  /// registry under "prefix.name". Scopes nest ("sim" -> "sim.event_pool").
+  class Scope {
+   public:
+    Scope(MetricRegistry& reg, std::string_view prefix)
+        : reg_(&reg), prefix_(std::string(prefix) + ".") {}
+
+    [[nodiscard]] Scope scope(std::string_view sub) const {
+      return Scope(*reg_, prefix_ + std::string(sub));
+    }
+    void add(std::string_view name, std::uint64_t delta) {
+      reg_->add(prefix_ + std::string(name), delta);
+    }
+    void counter(std::string_view name, std::uint64_t v) {
+      reg_->counter(prefix_ + std::string(name), v);
+    }
+    void gauge(std::string_view name, double v) {
+      reg_->gauge(prefix_ + std::string(name), v);
+    }
+    void maximize(std::string_view name, double v) {
+      reg_->maximize(prefix_ + std::string(name), v);
+    }
+
+   private:
+    MetricRegistry* reg_;
+    std::string prefix_;  ///< includes the trailing '.'
+  };
+  [[nodiscard]] Scope scope(std::string_view prefix) {
+    return Scope(*this, prefix);
+  }
+
+ private:
+  Map entries_;
+};
+
+}  // namespace czsync::util

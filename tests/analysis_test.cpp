@@ -240,5 +240,38 @@ TEST(RunResultTest, MaxRecoverySkipsPreemptedAndUnjudgeable) {
   EXPECT_FALSE(r.all_recovered());
 }
 
+TEST(RecoveryEventTest, ProcDefaultsToEmptyOptional) {
+  RecoveryEvent ev;
+  EXPECT_FALSE(ev.proc.has_value());
+  ev.proc = 3;
+  EXPECT_EQ(ev.proc, 3);
+}
+
+TEST(RunResultTest, CarriesUnifiedMetricsSnapshot) {
+  auto s = small(9);
+  s.schedule =
+      adversary::Schedule::single(1, RealTime(1800.0), RealTime(1860.0));
+  s.strategy = "clock-smash";
+  s.strategy_scale = Dur::minutes(5);
+  const auto r = run_scenario(s);
+  // One snapshot spanning every layer (the four legacy stats structs).
+  for (const char* key :
+       {"sim.events_executed", "sim.event_pool.pushed",
+        "sim.event_pool.popped", "net.sent", "net.delivered",
+        "core.rounds_completed", "core.responses_ok", "observer.samples",
+        "observer.recovery_events", "adversary.break_ins"}) {
+    EXPECT_TRUE(r.metrics.contains(key)) << key;
+  }
+  EXPECT_EQ(r.metrics.value("sim.events_executed"),
+            static_cast<double>(r.events_executed));
+  EXPECT_EQ(r.metrics.value("net.sent"),
+            static_cast<double>(r.messages_sent));
+  EXPECT_EQ(r.metrics.value("adversary.break_ins"),
+            static_cast<double>(r.break_ins));
+  EXPECT_EQ(r.metrics.value("observer.recovery_events"), 1.0);
+  // The pooled queue recycles slots: no fallback heap allocations.
+  EXPECT_EQ(r.metrics.value("sim.event_pool.fallback_allocs"), 0.0);
+}
+
 }  // namespace
 }  // namespace czsync::analysis

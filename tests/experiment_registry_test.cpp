@@ -1,0 +1,269 @@
+// Tests for the registry-driven experiment harness: registration rules,
+// lookup/filtering, run_harness argument handling and JSON emission, and
+// a golden subprocess test pinning `czsync_bench --run E1` to the legacy
+// bench_deviation output byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.h"
+#include "experiments.h"
+
+namespace czsync::analysis {
+namespace {
+
+Scenario tiny(std::uint64_t seed = 1) {
+  Scenario s;
+  s.model.n = 4;
+  s.model.f = 1;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.horizon = Dur::minutes(30);
+  s.sample_period = Dur::minutes(1);
+  s.seed = seed;
+  return s;
+}
+
+Experiment noop(const std::string& id, const std::string& title = "title") {
+  return {id, title, "claim", [](ExperimentContext&) {}};
+}
+
+// ---------- registration ----------
+
+TEST(ExperimentRegistryTest, RegistersInOrderAndFinds) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1", "first"));
+  reg.add(noop("E2", "second"));
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.experiments()[0].id, "E1");
+  EXPECT_EQ(reg.experiments()[1].id, "E2");
+  ASSERT_NE(reg.find("E2"), nullptr);
+  EXPECT_EQ(reg.find("E2")->title, "second");
+  EXPECT_EQ(reg.find("E3"), nullptr);
+}
+
+TEST(ExperimentRegistryTest, FindIsCaseInsensitive) {
+  ExperimentRegistry reg;
+  reg.add(noop("E7"));
+  EXPECT_NE(reg.find("e7"), nullptr);
+  EXPECT_NE(reg.find("E7"), nullptr);
+  EXPECT_EQ(reg.find("e71"), nullptr);  // exact, not prefix
+}
+
+TEST(ExperimentRegistryTest, DuplicateIdThrows) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1"));
+  EXPECT_THROW(reg.add(noop("E1")), std::invalid_argument);
+  EXPECT_THROW(reg.add(noop("e1")), std::invalid_argument);  // same id, case
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ExperimentRegistryTest, EmptyIdOrBodyThrows) {
+  ExperimentRegistry reg;
+  EXPECT_THROW(reg.add(noop("")), std::invalid_argument);
+  EXPECT_THROW(reg.add(Experiment{"E1", "t", "c", nullptr}),
+               std::invalid_argument);
+}
+
+TEST(ExperimentRegistryTest, MatchFiltersIdAndTitleSubstrings) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1", "max deviation vs n"));
+  reg.add(noop("E2", "recovery time"));
+  reg.add(noop("E21", "WayOff ablation"));
+  EXPECT_EQ(reg.match("").size(), 3u);  // empty matches everything
+  EXPECT_EQ(reg.match("DEVIATION").size(), 1u);
+  EXPECT_EQ(reg.match("e2").size(), 2u);  // E2 and E21 by id substring
+  EXPECT_EQ(reg.match("nothing-like-this").size(), 0u);
+}
+
+TEST(ExperimentRegistryTest, PrintListShowsIdAndTitle) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1", "alpha"));
+  reg.add(noop("E10", "beta"));
+  std::ostringstream os;
+  reg.print_list(os);
+  EXPECT_NE(os.str().find("E1"), std::string::npos);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+TEST(ExperimentRegistryTest, AllExperimentsRegistered) {
+  ExperimentRegistry reg;
+  bench::register_all_experiments(reg);
+  ASSERT_EQ(reg.size(), 22u);
+  for (int k = 1; k <= 22; ++k) {
+    const std::string id = "E" + std::to_string(k);
+    ASSERT_NE(reg.find(id), nullptr) << id;
+    EXPECT_FALSE(reg.find(id)->claim.empty()) << id;
+  }
+}
+
+// ---------- context ----------
+
+TEST(ExperimentContextTest, RunRecordsMetricsAndAppliesSeedBase) {
+  ExperimentContext ctx(/*jobs=*/1, /*seed_base=*/100);
+  const auto r = ctx.run(tiny(1), "labelled");
+  ASSERT_EQ(ctx.records().size(), 1u);
+  const auto& rec = ctx.records()[0];
+  EXPECT_EQ(rec.kind, RunRecord::Kind::Run);
+  EXPECT_EQ(rec.label, "labelled");
+  EXPECT_EQ(rec.seed, 101u);  // 1 + seed_base
+  EXPECT_EQ(rec.runs, 1);
+  EXPECT_TRUE(rec.metrics.contains("sim.events_executed"));
+  EXPECT_TRUE(rec.metrics.contains("net.sent"));
+  EXPECT_GT(r.events_executed, 0u);
+  EXPECT_NE(rec.scenario.find("n=4"), std::string::npos);
+  EXPECT_NE(rec.scenario.find("seed=101"), std::string::npos);
+}
+
+TEST(ExperimentContextTest, SeedBaseZeroIsIdentity) {
+  ExperimentContext a(1, 0), b(1, 0);
+  const auto ra = a.run(tiny(7));
+  const auto rb = b.run(tiny(7));
+  EXPECT_EQ(ra.max_stable_deviation.sec(), rb.max_stable_deviation.sec());
+  EXPECT_EQ(a.records()[0].seed, 7u);
+}
+
+// ---------- harness ----------
+
+int harness(const ExperimentRegistry& reg, std::vector<std::string> args,
+            std::string* out_s = nullptr, std::string* err_s = nullptr) {
+  std::ostringstream out, err;
+  const int rc = run_harness(reg, args, out, err);
+  if (out_s) *out_s = out.str();
+  if (err_s) *err_s = err.str();
+  return rc;
+}
+
+TEST(RunHarnessTest, ListPrintsEveryExperiment) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1", "alpha"));
+  reg.add(noop("E2", "beta"));
+  std::string out;
+  EXPECT_EQ(harness(reg, {"--list"}, &out), 0);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(RunHarnessTest, NoSelectionIsAUsageError) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1"));
+  std::string err;
+  EXPECT_EQ(harness(reg, {}, nullptr, &err), 2);
+  EXPECT_NE(err.find("czsync_bench:"), std::string::npos);
+}
+
+TEST(RunHarnessTest, UnknownIdAndEmptyFilterFail) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1"));
+  std::string err;
+  EXPECT_EQ(harness(reg, {"--run", "E99"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("E99"), std::string::npos);
+  err.clear();
+  EXPECT_EQ(harness(reg, {"--filter", "zzz"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("zzz"), std::string::npos);
+}
+
+TEST(RunHarnessTest, BadJobsValuesAreErrors) {
+  ExperimentRegistry reg;
+  reg.add(noop("E1"));
+  for (const char* bad : {"abc", "0", "-3", ""}) {
+    std::string err;
+    EXPECT_EQ(harness(reg, {"--run", "E1", "--jobs", bad}, nullptr, &err), 2)
+        << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(RunHarnessTest, RunExecutesBodyWithResolvedContext) {
+  ExperimentRegistry reg;
+  int calls = 0;
+  int seen_jobs = 0;
+  std::uint64_t seen_base = 0;
+  reg.add({"E1", "t", "c", [&](ExperimentContext& ctx) {
+             ++calls;
+             seen_jobs = ctx.jobs();
+             seen_base = ctx.seed_base();
+           }});
+  // Experiment reports go to the real stdout (byte-compatible with the
+  // legacy binaries), so capture it to see the shared header.
+  ::testing::internal::CaptureStdout();
+  const int rc =
+      harness(reg, {"--run", "E1", "--jobs", "2", "--seed-base", "40"});
+  const std::string stdout_text = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_jobs, 2);
+  EXPECT_EQ(seen_base, 40u);
+  // The shared header replaces the per-bench print_header copies.
+  EXPECT_NE(stdout_text.find("E1: t"), std::string::npos);
+  EXPECT_NE(stdout_text.find("Paper claim: c"), std::string::npos);
+}
+
+TEST(RunHarnessTest, FilterRunsMatchesInRegistrationOrder) {
+  ExperimentRegistry reg;
+  std::vector<std::string> ran;
+  auto body = [&ran](const std::string& id) {
+    return [&ran, id](ExperimentContext&) { ran.push_back(id); };
+  };
+  reg.add({"E1", "alpha test", "c", body("E1")});
+  reg.add({"E2", "beta", "c", body("E2")});
+  reg.add({"E3", "alpha again", "c", body("E3")});
+  EXPECT_EQ(harness(reg, {"--filter", "alpha"}), 0);
+  EXPECT_EQ(ran, (std::vector<std::string>{"E1", "E3"}));
+}
+
+TEST(RunHarnessTest, JsonEmitsRunRecordDocument) {
+  ExperimentRegistry reg;
+  reg.add({"E1", "t", "c",
+           [](ExperimentContext& ctx) { ctx.run(tiny(5), "only"); }});
+  const std::string path = ::testing::TempDir() + "rr.json";
+  EXPECT_EQ(harness(reg, {"--run", "E1", "--json", path}), 0);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  for (const char* needle :
+       {"\"schema\": \"czsync-runrecord-v1\"", "\"git_describe\"",
+        "\"id\": \"E1\"", "\"label\": \"only\"", "\"seed\": 5",
+        "\"sim.event_pool.pushed\"", "\"net.sent\"",
+        "\"core.rounds_completed\"", "\"observer.samples\"",
+        "\"sweep.runs\": 1", "\"sweep.wall_seconds\"",
+        "\"sweep.runs_per_sec\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- golden: the harness reproduces the legacy binary ----------
+
+#if defined(CZSYNC_BENCH_PATH) && defined(CZSYNC_SOURCE_DIR)
+TEST(GoldenTest, RunE1MatchesLegacyBenchDeviation) {
+  const std::string cmd = std::string(CZSYNC_BENCH_PATH) + " --run E1 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string got;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) got.append(buf, n);
+  ASSERT_EQ(::pclose(pipe), 0);
+
+  std::ifstream golden(std::string(CZSYNC_SOURCE_DIR) +
+                       "/tests/golden/e1.txt");
+  ASSERT_TRUE(golden.good());
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(got, want.str());
+}
+#endif
+
+}  // namespace
+}  // namespace czsync::analysis

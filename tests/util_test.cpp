@@ -3,11 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/jobs.h"
+#include "util/json.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -356,6 +361,140 @@ TEST(LoggingTest, LevelFiltering) {
 TEST(LoggingTest, LevelNames) {
   EXPECT_STREQ(to_string(LogLevel::Trace), "TRACE");
   EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+// ---------- metrics ----------
+
+TEST(MetricRegistryTest, CountersAddAndAccumulate) {
+  util::MetricRegistry reg;
+  reg.counter("a", 3);
+  reg.add("a", 4);
+  reg.add("b", 1);
+  EXPECT_EQ(reg.value("a"), 7.0);
+  EXPECT_EQ(reg.value("b"), 1.0);
+  EXPECT_EQ(reg.value("missing"), 0.0);
+  EXPECT_FALSE(reg.contains("missing"));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistryTest, GaugesOverwriteAndMaximize) {
+  util::MetricRegistry reg;
+  reg.gauge("g", 2.5);
+  reg.gauge("g", 1.5);
+  EXPECT_EQ(reg.value("g"), 1.5);
+  reg.maximize("m", 3.0);
+  reg.maximize("m", 1.0);
+  reg.maximize("m", 5.0);
+  EXPECT_EQ(reg.value("m"), 5.0);
+}
+
+TEST(MetricRegistryTest, ScopesPrefixAndNest) {
+  util::MetricRegistry reg;
+  auto sim = reg.scope("sim");
+  sim.counter("events", 10);
+  sim.scope("event_pool").counter("pushed", 4);
+  EXPECT_EQ(reg.value("sim.events"), 10.0);
+  EXPECT_EQ(reg.value("sim.event_pool.pushed"), 4.0);
+}
+
+TEST(MetricRegistryTest, EntriesAreNameSorted) {
+  util::MetricRegistry reg;
+  reg.counter("z", 1);
+  reg.counter("a", 1);
+  reg.counter("m", 1);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : reg.entries()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(MetricRegistryTest, MergeAddsCountersMaximizesGauges) {
+  util::MetricRegistry a, b;
+  a.counter("c", 2);
+  a.gauge("g", 3.0);
+  b.counter("c", 5);
+  b.counter("only_b", 1);
+  b.gauge("g", 2.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.value("c"), 7.0);
+  EXPECT_EQ(a.value("only_b"), 1.0);
+  EXPECT_EQ(a.value("g"), 3.0);  // max, not sum
+}
+
+// ---------- json writer ----------
+
+TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("name");
+  w.value("a \"b\"\n");
+  w.key("n");
+  w.value(std::uint64_t{42});
+  w.key("xs");
+  w.begin_array();
+  w.value(1);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"a \\\"b\\\"\\n\""), std::string::npos);
+  EXPECT_NE(s.find("\"n\": 42"), std::string::npos);
+  EXPECT_NE(s.find("true"), std::string::npos);
+  EXPECT_NE(s.find("null"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeStrings) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"inf\""), std::string::npos);
+  EXPECT_NE(s.find("\"-inf\""), std::string::npos);
+  EXPECT_NE(s.find("\"nan\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(util::JsonWriter::quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(util::JsonWriter::quote(std::string_view("\x01", 1)),
+            "\"\\u0001\"");
+}
+
+// ---------- jobs parsing ----------
+
+TEST(ParseJobsTest, AcceptsPositiveIntegers) {
+  EXPECT_EQ(util::parse_jobs("1"), 1);
+  EXPECT_EQ(util::parse_jobs("8"), 8);
+  EXPECT_EQ(util::parse_jobs("123"), 123);
+}
+
+TEST(ParseJobsTest, RejectsGarbageZeroAndNegative) {
+  std::string why;
+  for (const char* bad : {"", "abc", "0", "-3", "+3", " 3", "3 ", "3x",
+                          "1e2", "99999999999999999999"}) {
+    why.clear();
+    EXPECT_FALSE(util::parse_jobs(bad, &why).has_value()) << bad;
+    EXPECT_FALSE(why.empty()) << bad;
+  }
+}
+
+TEST(ParseJobsTest, EnvGarbageIsAnErrorNotAFallback) {
+  ASSERT_EQ(setenv("CZSYNC_JOBS", "lots", 1), 0);
+  std::string why;
+  EXPECT_FALSE(util::jobs_from_env_or_default(&why).has_value());
+  EXPECT_NE(why.find("CZSYNC_JOBS"), std::string::npos);
+
+  ASSERT_EQ(setenv("CZSYNC_JOBS", "3", 1), 0);
+  EXPECT_EQ(util::jobs_from_env_or_default(), 3);
+
+  ASSERT_EQ(unsetenv("CZSYNC_JOBS"), 0);
+  const auto def = util::jobs_from_env_or_default();
+  ASSERT_TRUE(def.has_value());
+  EXPECT_GE(*def, 1);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over the czsync_bench RunRecord document.
+
+Runs `czsync_bench --run <id> --json <tmp>` and compares the experiment's
+`totals` metrics against the newest BENCH_PERF.json checkpoint that
+carries a `runrecord` block for that id:
+
+  * integral counters (events executed, messages sent, rounds, pool
+    push/pop, ...) must match the baseline exactly — the simulator is
+    deterministic, so any drift is a behaviour change, not noise;
+  * floating-point gauges must match to a relative tolerance;
+  * `sweep.runs_per_sec` must stay above --min-throughput-ratio of the
+    baseline (wall-clock is the only machine-dependent number);
+  * `sim.event_pool.fallback_allocs` must be exactly 0: the pooled event
+    queue never falling back to heap allocation is a hard invariant.
+
+Exit code 0 on pass, 1 on regression, 2 on usage/setup errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Machine-dependent throughput numbers: gated by ratio, never by equality.
+TIMING_KEYS = ("sweep.wall_seconds", "sweep.runs_per_sec")
+FLOAT_REL_TOL = 1e-6
+
+
+def load_baseline(path, run_id):
+    with open(path) as f:
+        doc = json.load(f)
+    for checkpoint in reversed(doc.get("checkpoints", [])):
+        totals = checkpoint.get("runrecord", {}).get(run_id)
+        if totals is not None:
+            return checkpoint, totals
+    raise SystemExit(
+        f"error: no checkpoint in {path} carries a runrecord for {run_id}"
+    )
+
+
+def run_bench(bench, run_id, jobs, json_path):
+    cmd = [bench, "--run", run_id, "--jobs", str(jobs), "--json", json_path]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"error: {' '.join(cmd)} exited {proc.returncode}")
+    with open(json_path) as f:
+        doc = json.load(f)
+    for experiment in doc["experiments"]:
+        if experiment["id"] == run_id:
+            return experiment["totals"]
+    raise SystemExit(f"error: RunRecord document has no experiment {run_id}")
+
+
+def compare(baseline, fresh, min_throughput_ratio):
+    failures = []
+
+    fallback = fresh.get("sim.event_pool.fallback_allocs")
+    if fallback != 0:
+        failures.append(
+            f"sim.event_pool.fallback_allocs = {fallback} (must be 0: the "
+            "event pool must never fall back to heap allocation)"
+        )
+
+    base_rate = baseline.get("sweep.runs_per_sec")
+    fresh_rate = fresh.get("sweep.runs_per_sec")
+    if base_rate and fresh_rate is not None:
+        ratio = fresh_rate / base_rate
+        if ratio < min_throughput_ratio:
+            failures.append(
+                f"sweep.runs_per_sec = {fresh_rate:.2f}, "
+                f"{ratio:.2f}x of baseline {base_rate:.2f} "
+                f"(floor: {min_throughput_ratio}x)"
+            )
+
+    for key, want in sorted(baseline.items()):
+        if key in TIMING_KEYS:
+            continue
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from fresh RunRecord")
+        elif isinstance(want, int) and isinstance(got, int):
+            if got != want:
+                failures.append(f"{key}: {got} != baseline {want}")
+        else:
+            scale = max(abs(want), abs(got), 1e-300)
+            if abs(got - want) / scale > FLOAT_REL_TOL:
+                failures.append(f"{key}: {got!r} !~ baseline {want!r}")
+
+    return failures
+
+
+def main():
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True, help="path to czsync_bench")
+    ap.add_argument(
+        "--baseline", default=os.path.join(repo, "BENCH_PERF.json")
+    )
+    ap.add_argument("--run", default="E1", help="experiment id (default E1)")
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument(
+        "--min-throughput-ratio",
+        type=float,
+        default=0.2,
+        help="fail when runs/s drops below this fraction of the baseline",
+    )
+    ap.add_argument(
+        "--out", default="", help="keep the fresh RunRecord document here"
+    )
+    args = ap.parse_args()
+
+    checkpoint, baseline = load_baseline(args.baseline, args.run)
+    if args.out:
+        json_path = args.out
+    else:
+        fd, json_path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+    try:
+        fresh = run_bench(args.bench, args.run, args.jobs, json_path)
+    finally:
+        if not args.out:
+            os.unlink(json_path)
+
+    failures = compare(baseline, fresh, args.min_throughput_ratio)
+    label = checkpoint.get("label", "?")
+    if failures:
+        print(f"bench_regression: {args.run} vs checkpoint '{label}': FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"bench_regression: {args.run} vs checkpoint '{label}': OK "
+        f"({len(baseline)} metrics, "
+        f"{fresh.get('sweep.runs_per_sec', 0.0):.1f} runs/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/registry.h"
 #include "analysis/sweep.h"
 #include "analysis/trace_io.h"
+#include "util/jobs.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -55,7 +58,10 @@ Options:
   --jobs N    worker threads for the sweep (default: all hardware
               threads; env CZSYNC_JOBS overrides the default). Any job
               count produces bit-identical sweep results — the merge is
-              seed-order-deterministic.
+              seed-order-deterministic. N must be a positive integer;
+              anything else is an error, not a silent default.
+  --json FILE write the single run's unified MetricRegistry snapshot
+              (sim/net/core/observer) as JSON to FILE
 
 Config keys (all optional; defaults in parentheses):
   model:      n (7), f (2), rho (1e-4), delta (50ms), delta_period (1h)
@@ -85,7 +91,8 @@ int main(int argc, char** argv) {
   std::string out_dir;
   int sweep_count = 0;
   int jobs = 0;
-  if (const char* env = std::getenv("CZSYNC_JOBS")) jobs = std::atoi(env);
+  std::string json_path;
+  bool jobs_from_flag = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,7 +127,18 @@ int main(int argc, char** argv) {
       continue;
     }
     if (value_of("--jobs", &value)) {
-      jobs = std::atoi(value);
+      std::string why;
+      const auto parsed = util::parse_jobs(value, &why);
+      if (!parsed) {
+        std::fprintf(stderr, "error: --jobs %s\n", why.c_str());
+        return 2;
+      }
+      jobs = *parsed;
+      jobs_from_flag = true;
+      continue;
+    }
+    if (value_of("--json", &value)) {
+      json_path = value;
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -132,6 +150,16 @@ int main(int argc, char** argv) {
   }
   if (!positional.empty()) config_path = positional[0];
   if (positional.size() > 1) out_dir = positional[1];
+
+  if (!jobs_from_flag) {
+    std::string why;
+    const auto env_jobs = util::jobs_from_env_or_default(&why);
+    if (!env_jobs) {
+      std::fprintf(stderr, "error: %s\n", why.c_str());
+      return 2;
+    }
+    jobs = *env_jobs;
+  }
 
   Config cfg;
   try {
@@ -163,6 +191,12 @@ int main(int argc, char** argv) {
   }
 
   if (sweep_count > 0) {
+    if (!json_path.empty()) {
+      std::fprintf(stderr,
+                   "warning: --json applies to single runs; ignoring "
+                   "'%s' in sweep mode\n",
+                   json_path.c_str());
+    }
     if (!out_dir.empty()) {
       std::fprintf(stderr,
                    "warning: CSV output applies to single runs; ignoring "
@@ -261,6 +295,30 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %sseries.csv, %srecoveries.csv, %ssummary.csv\n",
                 base.c_str(), base.c_str(), base.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 2;
+    }
+    util::JsonWriter w(f);
+    w.begin_object();
+    w.key("schema");
+    w.value("czsync-runrecord-v1");
+    w.key("git_describe");
+    w.value(analysis::build_git_describe());
+    w.key("scenario");
+    w.value(analysis::summarize_scenario(s));
+    w.key("seed");
+    w.value(s.seed);
+    w.key("metrics");
+    analysis::write_metrics_json(w, r.metrics);
+    w.end_object();
+    f << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   const bool ok =
