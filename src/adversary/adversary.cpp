@@ -46,9 +46,23 @@ void Adversary::break_in(net::ProcId p) {
   ++break_ins_;
   CZ_DEBUG << "adversary breaks into " << p << " at " << sim_.now();
   auto& proc = *procs_[static_cast<std::size_t>(p)];
+  trace::TraceSink* ts = sim_.trace_sink();
+  if (ts != nullptr) ts->record(trace::adv_break_in(sim_.now().sec(), p));
   proc.suspend_protocol();
+  const Dur adj_before = proc.clock().adjustment();
   auto ctx = context();
   strategy_->on_break_in(ctx, proc);
+  // Strategies smash adj_p through their ControlledProcess handle; the
+  // engine observes the before/after delta so the trace shows what the
+  // break-in actually did to the clock.
+  if (ts != nullptr) {
+    const Dur adj_after = proc.clock().adjustment();
+    if (adj_after != adj_before) {
+      ts->record(trace::adj_write(sim_.now().sec(), p, trace::AdjKind::Smash,
+                                  (adj_after - adj_before).sec(),
+                                  adj_after.sec()));
+    }
+  }
 }
 
 void Adversary::leave(net::ProcId p) {
@@ -58,8 +72,19 @@ void Adversary::leave(net::ProcId p) {
   if (depth > 0) return;
   CZ_DEBUG << "adversary leaves " << p << " at " << sim_.now();
   auto& proc = *procs_[static_cast<std::size_t>(p)];
+  trace::TraceSink* ts = sim_.trace_sink();
+  const Dur adj_before = proc.clock().adjustment();
   auto ctx = context();
   strategy_->on_leave(ctx, proc);
+  if (ts != nullptr) {
+    const Dur adj_after = proc.clock().adjustment();
+    if (adj_after != adj_before) {
+      ts->record(trace::adj_write(sim_.now().sec(), p, trace::AdjKind::Smash,
+                                  (adj_after - adj_before).sec(),
+                                  adj_after.sec()));
+    }
+    ts->record(trace::adv_leave(sim_.now().sec(), p));
+  }
   proc.resume_protocol();
 }
 

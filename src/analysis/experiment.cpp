@@ -23,7 +23,12 @@ bool RunResult::all_recovered() const {
 }
 
 RunResult run_scenario(const Scenario& scenario) {
+  return run_scenario(scenario, nullptr);
+}
+
+RunResult run_scenario(const Scenario& scenario, trace::TraceSink* sink) {
   World world(scenario);
+  world.set_trace_sink(sink);
   world.run();
 
   RunResult r;

@@ -11,6 +11,7 @@
 #include "analysis/observer.h"
 #include "analysis/scenario.h"
 #include "core/params.h"
+#include "trace/sink.h"
 #include "util/metrics.h"
 
 namespace czsync::analysis {
@@ -57,5 +58,11 @@ struct RunResult {
 
 /// Builds a World from the scenario, runs it, and extracts the metrics.
 [[nodiscard]] RunResult run_scenario(const Scenario& scenario);
+
+/// Same, with a trace sink attached for the duration of the run (may be
+/// nullptr, which is identical to the overload above). The sink is pure
+/// observation — traced and untraced runs are bit-identical.
+[[nodiscard]] RunResult run_scenario(const Scenario& scenario,
+                                     trace::TraceSink* sink);
 
 }  // namespace czsync::analysis

@@ -80,18 +80,25 @@ void Observer::sample() {
   s.status.reserve(nodes_.size());
   double stable_min = std::numeric_limits<double>::infinity();
   double stable_max = -std::numeric_limits<double>::infinity();
+  std::uint64_t stable_count = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const double b = nodes_[i]->bias().sec();
     const ProcStatus st = classify(static_cast<net::ProcId>(i), t);
     s.bias.push_back(b);
     s.status.push_back(st);
     if (st == ProcStatus::Stable) {
+      ++stable_count;
       stable_min = std::min(stable_min, b);
       stable_max = std::max(stable_max, b);
     }
   }
 
   const bool have_stable = stable_min <= stable_max;
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    ts->record(trace::invariant_sample(
+        t.sec(), stable_count, have_stable,
+        have_stable ? stable_max - stable_min : 0.0));
+  }
   const bool past_warmup = t >= warmup_;
   if (have_stable) {
     s.stable_deviation = stable_max - stable_min;

@@ -9,6 +9,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "trace/format.h"
+#include "trace/sink.h"
 #include "util/jobs.h"
 
 #ifndef CZSYNC_GIT_DESCRIBE
@@ -86,7 +88,16 @@ std::string summarize_scenario(const Scenario& s) {
 RunResult ExperimentContext::run(Scenario s, std::string label) {
   s.seed += seed_base_;
   const auto t0 = std::chrono::steady_clock::now();
-  RunResult r = run_scenario(s);
+  RunResult r;
+  if (trace_prefix_.empty()) {
+    r = run_scenario(s);
+  } else {
+    trace::TraceSink sink;  // full capture: --trace asked for this run
+    r = run_scenario(s, &sink);
+    trace::write_trace_file(
+        trace_prefix_ + "run" + std::to_string(trace_runs_++) + ".cztrace",
+        sink);
+  }
   RunRecord rec;
   rec.kind = RunRecord::Kind::Run;
   rec.label = std::move(label);
@@ -135,7 +146,14 @@ SweepResult ExperimentContext::sweep_with_jobs(
     const std::function<Scenario(std::uint64_t)>& make,
     std::uint64_t first_seed, int count, int jobs, std::string label) {
   first_seed += seed_base_;
-  SweepResult r = run_sweep_parallel(make, first_seed, count, jobs);
+  SweepTraceConfig trace_cfg;
+  if (!trace_prefix_.empty()) {
+    trace_cfg.path_prefix =
+        trace_prefix_ + "sweep" + std::to_string(trace_sweeps_++) + "_";
+  }
+  SweepResult r =
+      run_sweep_parallel(make, first_seed, count, jobs,
+                         trace_cfg.enabled() ? &trace_cfg : nullptr);
   RunRecord rec;
   rec.kind = RunRecord::Kind::Sweep;
   rec.label = std::move(label);
@@ -212,6 +230,7 @@ namespace {
 void print_usage(std::ostream& os) {
   os << "usage: czsync_bench [--list] [--run <id>]... [--filter <substr>]\n"
         "                    [--jobs <n>] [--json <path>] [--seed-base <n>]\n"
+        "                    [--trace <prefix>]\n"
         "\n"
         "  --list            list registered experiments and exit\n"
         "  --run <id>        run one experiment (repeatable), e.g. --run E1\n"
@@ -220,7 +239,13 @@ void print_usage(std::ostream& os) {
         "                    default: CZSYNC_JOBS or the hardware count)\n"
         "  --json <path>     write the machine-readable RunRecord document\n"
         "  --seed-base <n>   shift every scenario seed by <n> (default 0 =\n"
-        "                    the canonical published outputs)\n";
+        "                    the canonical published outputs)\n"
+        "  --trace <prefix>  event tracing: single runs dump full\n"
+        "                    czsync-trace-v1 traces to <prefix>run<k>.cztrace;\n"
+        "                    sweep seeds run under a flight recorder that\n"
+        "                    dumps failing seeds to\n"
+        "                    <prefix>sweep<k>_seed<s>.cztrace (inspect with\n"
+        "                    czsync_trace)\n";
 }
 
 struct RanExperiment {
@@ -308,6 +333,7 @@ int run_harness(const ExperimentRegistry& registry,
   std::vector<std::string> run_ids;
   std::vector<std::string> filters;
   std::string json_path;
+  std::string trace_prefix;
   std::uint64_t seed_base = 0;
   std::optional<int> jobs_flag;
 
@@ -345,6 +371,8 @@ int run_harness(const ExperimentRegistry& registry,
       filters.push_back(value);
     } else if (take_value("--json", &value)) {
       json_path = value;
+    } else if (take_value("--trace", &value)) {
+      trace_prefix = value;
     } else if (take_value("--jobs", &value)) {
       std::string why;
       const auto jobs = util::parse_jobs(value, &why);
@@ -360,7 +388,7 @@ int run_harness(const ExperimentRegistry& registry,
                     "integer");
       }
     } else if (a == "--run" || a == "--filter" || a == "--json" ||
-               a == "--jobs" || a == "--seed-base") {
+               a == "--jobs" || a == "--seed-base" || a == "--trace") {
       return fail("missing value for " + a);
     } else {
       return fail("unknown argument '" + a + "'");
@@ -419,6 +447,11 @@ int run_harness(const ExperimentRegistry& registry,
     std::printf(
         "================================================================\n");
     ExperimentContext ctx(jobs, seed_base);
+    if (!trace_prefix.empty()) {
+      // Prefix traces per experiment so two selected experiments cannot
+      // clobber each other's run<k> files.
+      ctx.set_trace_prefix(trace_prefix + e->id + "_");
+    }
     const auto t0 = std::chrono::steady_clock::now();
     e->body(ctx);
     ran.push_back({e, wall_since(t0), ctx.records()});

@@ -56,6 +56,14 @@ class ExperimentContext {
   /// --seed-base shift; 0 reproduces the legacy fixed-seed outputs.
   [[nodiscard]] std::uint64_t seed_base() const { return seed_base_; }
 
+  /// Enables event tracing (--trace): single runs via run() dump their
+  /// full trace to "<prefix>run<k>.cztrace"; sweeps run under a per-seed
+  /// flight recorder that auto-dumps failing seeds to
+  /// "<prefix>sweep<k>_seed<seed>.cztrace". Empty disables (default).
+  void set_trace_prefix(std::string prefix) {
+    trace_prefix_ = std::move(prefix);
+  }
+
   /// Runs one scenario (scenario.seed += seed_base) and records it.
   RunResult run(Scenario s, std::string label = "");
 
@@ -89,6 +97,9 @@ class ExperimentContext {
  private:
   int jobs_;
   std::uint64_t seed_base_;
+  std::string trace_prefix_;
+  int trace_runs_ = 0;
+  int trace_sweeps_ = 0;
   std::vector<RunRecord> records_;
 };
 

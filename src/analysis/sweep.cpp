@@ -6,6 +6,8 @@
 #include <future>
 #include <vector>
 
+#include "trace/format.h"
+#include "trace/sink.h"
 #include "util/thread_pool.h"
 
 namespace czsync::analysis {
@@ -42,16 +44,46 @@ int resolve_jobs(int jobs) {
   return jobs > 0 ? jobs : static_cast<int>(ThreadPool::default_jobs());
 }
 
+/// run_scenario with the sweep's flight recorder attached. Dumps the
+/// trace on a bound violation, an unrecovered run, an exception (then
+/// rethrows), or always under dump_all. Each call owns its sink and dump
+/// file, so the parallel path needs no synchronization.
+RunResult run_traced(const Scenario& scenario, std::uint64_t seed,
+                     const SweepTraceConfig* trace) {
+  if (trace == nullptr || !trace->enabled()) return run_scenario(scenario);
+  trace::TraceSink sink =
+      trace->flight_capacity > 0
+          ? trace::TraceSink::flight_recorder(trace->flight_capacity)
+          : trace::TraceSink{};
+  const std::string path = trace->path_for_seed(seed);
+  RunResult r;
+  try {
+    r = run_scenario(scenario, &sink);
+  } catch (...) {
+    trace::write_trace_file(path, sink);  // post-mortem for the failure
+    throw;
+  }
+  const bool failed = r.max_stable_deviation >= r.bounds.max_deviation ||
+                      !r.all_recovered();
+  if (trace->dump_all || failed) trace::write_trace_file(path, sink);
+  return r;
+}
+
 }  // namespace
 
+std::string SweepTraceConfig::path_for_seed(std::uint64_t seed) const {
+  return path_prefix + "seed" + std::to_string(seed) + ".cztrace";
+}
+
 SweepResult run_sweep(const std::function<Scenario(std::uint64_t seed)>& make,
-                      std::uint64_t first_seed, int count) {
+                      std::uint64_t first_seed, int count,
+                      const SweepTraceConfig* trace) {
   assert(count >= 1);
   const auto t0 = Clock::now();
   SweepResult out;
   for (int i = 0; i < count; ++i) {
     const auto seed = first_seed + static_cast<std::uint64_t>(i);
-    accumulate(out, run_scenario(make(seed)));
+    accumulate(out, run_traced(make(seed), seed, trace));
   }
   out.wall_seconds = elapsed_sec(t0);
   return out;
@@ -59,10 +91,11 @@ SweepResult run_sweep(const std::function<Scenario(std::uint64_t seed)>& make,
 
 SweepResult run_sweep_parallel(
     const std::function<Scenario(std::uint64_t seed)>& make,
-    std::uint64_t first_seed, int count, int jobs) {
+    std::uint64_t first_seed, int count, int jobs,
+    const SweepTraceConfig* trace) {
   assert(count >= 1);
   jobs = resolve_jobs(jobs);
-  if (jobs <= 1) return run_sweep(make, first_seed, count);
+  if (jobs <= 1) return run_sweep(make, first_seed, count, trace);
 
   const auto t0 = Clock::now();
   // Every run's metrics land in its seed's slot; the fold below walks the
@@ -74,8 +107,9 @@ SweepResult run_sweep_parallel(
     pending.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
       const auto seed = first_seed + static_cast<std::uint64_t>(i);
-      pending.push_back(pool.submit([&make, &results, i, seed] {
-        results[static_cast<std::size_t>(i)] = run_scenario(make(seed));
+      pending.push_back(pool.submit([&make, &results, trace, i, seed] {
+        results[static_cast<std::size_t>(i)] =
+            run_traced(make(seed), seed, trace);
       }));
     }
     for (auto& f : pending) f.get();  // rethrows any worker exception

@@ -45,12 +45,35 @@ struct SweepResult {
   }
 };
 
+/// Per-sweep flight-recorder configuration. When enabled, every run gets
+/// its own TraceSink; a seed's trace is dumped to
+/// `<path_prefix>seed<seed>.cztrace` when the run violates its deviation
+/// bound, fails to recover, or throws (post-mortem dump before the
+/// rethrow) — or unconditionally with dump_all, which is what the trace
+/// determinism tests use to byte-compare sweeps across job counts.
+struct SweepTraceConfig {
+  /// Dump-path prefix (use a trailing '/' for a directory); empty
+  /// disables tracing entirely — the hot path sees a null sink.
+  std::string path_prefix;
+  /// Ring capacity per run: keep the last N records (flight recorder).
+  /// 0 means unbounded full-stream capture.
+  std::size_t flight_capacity = 1u << 16;
+  /// Dump every seed, not just failing ones.
+  bool dump_all = false;
+
+  [[nodiscard]] bool enabled() const { return !path_prefix.empty(); }
+  /// The dump path for one seed's run.
+  [[nodiscard]] std::string path_for_seed(std::uint64_t seed) const;
+};
+
 /// Runs `count` scenarios produced by `make(seed)` for consecutive seeds
 /// starting at `first_seed`, and aggregates. The factory receives the
 /// seed so schedules and scenario randomness can derive from it.
+/// `trace` (optional) enables the per-run flight recorder.
 [[nodiscard]] SweepResult run_sweep(
     const std::function<Scenario(std::uint64_t seed)>& make,
-    std::uint64_t first_seed, int count);
+    std::uint64_t first_seed, int count,
+    const SweepTraceConfig* trace = nullptr);
 
 /// Parallel variant: fans the `count` seeds out across `jobs` worker
 /// threads (jobs <= 0 means ThreadPool::default_jobs()). Each worker
@@ -64,9 +87,13 @@ struct SweepResult {
 /// so the returned SweepResult is bit-identical to the serial one
 /// (wall_seconds excepted). A worker exception is rethrown here after
 /// the pool drains.
+/// Tracing composes with parallelism: every worker owns its run's sink
+/// and dump file (paths are distinct per seed), so traced sweeps stay
+/// lock-free and produce byte-identical dumps at any job count.
 [[nodiscard]] SweepResult run_sweep_parallel(
     const std::function<Scenario(std::uint64_t seed)>& make,
-    std::uint64_t first_seed, int count, int jobs = 0);
+    std::uint64_t first_seed, int count, int jobs = 0,
+    const SweepTraceConfig* trace = nullptr);
 
 /// Ordered parallel map for row-style experiments: runs every scenario
 /// (jobs <= 0 means ThreadPool::default_jobs()) and returns the results

@@ -21,8 +21,9 @@ const char* status_name(ProcStatus s) {
 
 void write_series_csv(std::ostream& os, const RunResult& result) {
   if (result.series.empty()) {
-    os << "t\n";
-    return;
+    throw std::invalid_argument(
+        "write_series_csv: result has no samples; run the scenario with "
+        "record_series = true");
   }
   const std::size_t n = result.series.front().bias.size();
   std::vector<std::string> cols = {"t", "stable_deviation"};

@@ -13,7 +13,9 @@
 namespace czsync::analysis {
 
 /// Per-sample series: t, stable deviation, then bias_p / status_p per
-/// processor. Requires the scenario to have been run with record_series.
+/// processor. The scenario must have been run with record_series;
+/// throws std::invalid_argument if the result carries no samples (a
+/// silent empty CSV here has historically meant a mis-set config).
 void write_series_csv(std::ostream& os, const RunResult& result);
 
 /// One row per adversary leave event.

@@ -39,6 +39,13 @@ class World {
   }
   [[nodiscard]] const core::TheoremBounds& bounds() const { return bounds_; }
 
+  /// Attaches a trace sink for this run (nullptr detaches — the default).
+  /// Every layer reads the sink through the simulator, so one call covers
+  /// sim event fires, net send/deliver/drop, core rounds and adj writes,
+  /// adversary break-in/leave and observer invariant samples. Attach
+  /// before run(); the sink only observes, it never perturbs the run.
+  void set_trace_sink(trace::TraceSink* sink) { sim_.set_trace_sink(sink); }
+
   /// One queryable snapshot of every layer's counters after a run:
   /// "sim.*" (event pool included), "net.*", "core.*" (summed across all
   /// nodes), "observer.*", and "adversary.break_ins". This is the

@@ -66,6 +66,9 @@ void RoundSyncProcess::begin_round() {
   assert(!suspended_ && !round_active_);
   round_active_ = true;
   ++stats_.rounds_started;
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    ts->record(trace::round_open(sim_.now().sec(), id_, round_));
+  }
   nonce_to_peer_.clear();
   collected_.clear();
   round_send_time_ = clock_.read();
@@ -175,6 +178,14 @@ void RoundSyncProcess::finish_round() {
     stats_.last_adjustment = result.adjustment;
     stats_.max_abs_adjustment =
         std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+    if (trace::TraceSink* ts = sim_.trace_sink()) {
+      const double t = sim_.now().sec();
+      ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
+                                  result.adjustment.sec(),
+                                  clock_.adjustment().sec()));
+      ts->record(trace::round_close(
+          t, id_, round_, result.way_off_branch ? trace::kRoundWayOff : 0u));
+    }
     if (on_sync_complete) on_sync_complete(result);
   }
 
@@ -208,6 +219,13 @@ void RoundSyncProcess::join(const std::vector<Reply>& replies) {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    const double t = sim_.now().sec();
+    ts->record(trace::adj_write(t, id_, trace::AdjKind::Join,
+                                result.adjustment.sec(),
+                                clock_.adjustment().sec()));
+    ts->record(trace::round_close(t, id_, round_, trace::kRoundJoin));
+  }
   if (on_sync_complete) on_sync_complete(result);
 }
 

@@ -108,6 +108,10 @@ void SyncProcess::begin_round() {
   assert(!round_active_);
   round_active_ = true;
   ++stats_.rounds_started;
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    ts->record(
+        trace::round_open(sim_.now().sec(), id_, stats_.rounds_started));
+  }
   if (config_.cached_estimation) {
     // The §3.1 caveat variant: no fresh pings — consume whatever the
     // background thread has cached.
@@ -244,6 +248,15 @@ void SyncProcess::finish_from_cache() {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    const double t = sim_.now().sec();
+    ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
+                                result.adjustment.sec(),
+                                clock_.adjustment().sec()));
+    std::uint32_t flags = trace::kRoundFromCache;
+    if (result.way_off_branch) flags |= trace::kRoundWayOff;
+    ts->record(trace::round_close(t, id_, stats_.rounds_completed, flags));
+  }
   if (on_sync_complete) on_sync_complete(result);
   arm_next(config_.params.sync_int);
 }
@@ -281,6 +294,15 @@ void SyncProcess::finish_round() {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
+  if (trace::TraceSink* ts = sim_.trace_sink()) {
+    const double t = sim_.now().sec();
+    ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
+                                result.adjustment.sec(),
+                                clock_.adjustment().sec()));
+    ts->record(trace::round_close(
+        t, id_, stats_.rounds_completed,
+        result.way_off_branch ? trace::kRoundWayOff : 0u));
+  }
   CZ_TRACE << "proc " << id_ << " sync #" << stats_.rounds_completed
            << " adj=" << result.adjustment;
 

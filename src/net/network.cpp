@@ -49,13 +49,26 @@ void Network::send(ProcId from, ProcId to, Body body) {
   assert(from != to && "self-messages are handled locally by the protocol");
   ++stats_.sent;
   ++stats_.sent_by_body[body.index()];
+  trace::TraceSink* ts = sim_.trace_sink();
+  if (ts != nullptr) {
+    ts->record(
+        trace::msg_send(sim_.now().sec(), from, to, body.index()));
+  }
   if (!topology_.has_edge(from, to)) {
     ++stats_.dropped_no_edge;
+    if (ts != nullptr) {
+      ts->record(trace::msg_drop(sim_.now().sec(), from, to, body.index(),
+                                 trace::DropReason::NoEdge));
+    }
     CZ_DEBUG << "drop (no edge) " << from << "->" << to;
     return;
   }
   if (!link_faults_.empty() && link_faults_.cut_at(from, to, sim_.now())) {
     ++stats_.dropped_link_fault;
+    if (ts != nullptr) {
+      ts->record(trace::msg_drop(sim_.now().sec(), from, to, body.index(),
+                                 trace::DropReason::LinkFault));
+    }
     CZ_DEBUG << "drop (link fault) " << from << "->" << to;
     return;
   }
@@ -73,12 +86,22 @@ void Network::send(ProcId from, ProcId to, Body body) {
 }
 
 void Network::deliver(const Message& msg) {
+  trace::TraceSink* ts = sim_.trace_sink();
   auto& handler = handlers_[static_cast<std::size_t>(msg.to)];
   if (!handler) {
     ++stats_.dropped_no_handler;
+    if (ts != nullptr) {
+      ts->record(trace::msg_drop(sim_.now().sec(), msg.from, msg.to,
+                                 msg.body.index(),
+                                 trace::DropReason::NoHandler));
+    }
     return;
   }
   ++stats_.delivered;
+  if (ts != nullptr) {
+    ts->record(trace::msg_deliver(sim_.now().sec(), msg.from, msg.to,
+                                  msg.body.index()));
+  }
   handler(msg);
 }
 

@@ -10,6 +10,9 @@ bool Simulator::step(RealTime limit) {
   assert(t >= now_);
   now_ = t;
   ++executed_;
+  if (trace_ != nullptr) {
+    trace_->record(trace::event_fire(t.sec(), executed_));
+  }
   fn();
   return true;
 }

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "trace/record.h"
+#include "trace/sink.h"
 #include "util/time_types.h"
 
 namespace czsync::sim {
@@ -68,10 +70,17 @@ class Simulator {
   /// counts plus the pool counters under an "event_pool" sub-scope.
   void export_metrics(util::MetricRegistry::Scope scope) const;
 
+  /// Attaches a trace sink (nullptr detaches — the default). The sink is
+  /// pure observation: it records each event fire but never perturbs
+  /// scheduling, so traced and untraced runs are bit-identical.
+  void set_trace_sink(trace::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] trace::TraceSink* trace_sink() const { return trace_; }
+
  private:
   EventQueue queue_;
   RealTime now_ = RealTime::zero();
   std::uint64_t executed_ = 0;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace czsync::sim

@@ -1,0 +1,58 @@
+#include "trace/diff.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace czsync::trace {
+
+TraceDiff diff_traces(const TraceData& a, const TraceData& b) {
+  TraceDiff d;
+  const std::size_t n = std::min(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.records[i] == b.records[i])) {
+      d.identical = false;
+      d.first_divergence = i;
+      return d;
+    }
+  }
+  if (a.records.size() != b.records.size()) {
+    d.identical = false;
+    d.first_divergence = n;
+  }
+  return d;
+}
+
+bool print_diff(std::ostream& os, const TraceData& a, const TraceData& b,
+                std::size_t context, const char* (*body_name)(std::size_t)) {
+  const TraceDiff d = diff_traces(a, b);
+  if (d.identical) {
+    os << "traces identical (" << a.records.size() << " records)\n";
+    return true;
+  }
+  const std::size_t i = d.first_divergence;
+  os << "first divergence at record " << i << " (A: " << a.records.size()
+     << " records, B: " << b.records.size() << " records)\n";
+  if (a.truncated || b.truncated) {
+    os << "note: flight-recorder capture"
+       << (a.truncated ? " (A dropped " + std::to_string(a.dropped) + ")" : "")
+       << (b.truncated ? " (B dropped " + std::to_string(b.dropped) + ")" : "")
+       << " — indices are relative to the retained window\n";
+  }
+  const std::size_t lo = i > context ? i - context : 0;
+  for (std::size_t k = lo; k < i; ++k) {
+    os << "    = " << record_to_string(a.records[k], body_name) << "\n";
+  }
+  if (i < a.records.size()) {
+    os << "    A " << record_to_string(a.records[i], body_name) << "\n";
+  } else {
+    os << "    A <end of trace>\n";
+  }
+  if (i < b.records.size()) {
+    os << "    B " << record_to_string(b.records[i], body_name) << "\n";
+  } else {
+    os << "    B <end of trace>\n";
+  }
+  return false;
+}
+
+}  // namespace czsync::trace

@@ -1,0 +1,36 @@
+// First-divergence diffing of two traces.
+//
+// Two runs of the same (Scenario, seed) produce byte-identical traces;
+// the first record where two traces disagree is therefore the first
+// observable event at which the runs diverged — usually orders of
+// magnitude more useful than "the final deviation differs". Used by
+// `czsync_trace diff` and the determinism tests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "trace/format.h"
+
+namespace czsync::trace {
+
+struct TraceDiff {
+  bool identical = true;
+  /// Index of the first divergent record (== min(size) when one trace is
+  /// a strict prefix of the other). Valid only when !identical.
+  std::size_t first_divergence = 0;
+};
+
+/// Compares record streams positionally. Header differences (truncated /
+/// dropped) do not count as divergence — a flight-recorder capture of
+/// the same run is compared by its retained records.
+[[nodiscard]] TraceDiff diff_traces(const TraceData& a, const TraceData& b);
+
+/// Human-readable report: "traces identical" or the first divergent
+/// record of each side with up to `context` preceding (shared) records.
+/// `body_name` is forwarded to record_to_string. Returns diff.identical.
+bool print_diff(std::ostream& os, const TraceData& a, const TraceData& b,
+                std::size_t context = 3,
+                const char* (*body_name)(std::size_t) = nullptr);
+
+}  // namespace czsync::trace

@@ -1,0 +1,265 @@
+#include "trace/format.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace czsync::trace {
+
+namespace {
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  // LEB128: 7 value bits per byte, high bit = continuation.
+  unsigned char buf[10];
+  std::size_t n = 0;
+  do {
+    unsigned char byte = v & 0x7fu;
+    v >>= 7;
+    if (v != 0) byte |= 0x80u;
+    buf[n++] = byte;
+  } while (v != 0);
+  os.write(reinterpret_cast<const char*>(buf), static_cast<std::streamsize>(n));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw std::runtime_error("czsync-trace-v1: truncated varint");
+    }
+    const auto byte = static_cast<unsigned char>(c);
+    if (shift >= 63 && byte > 1) {
+      throw std::runtime_error("czsync-trace-v1: varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+    shift += 7;
+  }
+}
+
+void put_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(bits >> (8 * i));
+  }
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+double get_f64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (is.gcount() != 8) {
+    throw std::runtime_error("czsync-trace-v1: truncated double");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void put_proc(std::ostream& os, std::int32_t p) {
+  // Processor ids are dense non-negative ints by the net layer's
+  // contract; a negative id in a serialized record is a programming
+  // error upstream, not a format feature.
+  if (p < 0) {
+    throw std::invalid_argument(
+        "czsync-trace-v1: negative processor id in record");
+  }
+  put_varint(os, static_cast<std::uint64_t>(p));
+}
+
+std::int32_t get_proc(std::istream& is) {
+  const std::uint64_t v = get_varint(is);
+  if (v > 0x7fffffffu) {
+    throw std::runtime_error("czsync-trace-v1: processor id out of range");
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+void put_record(std::ostream& os, const TraceRecord& r) {
+  const auto kind = static_cast<std::uint8_t>(r.kind);
+  if (kind == 0 || kind > kMaxRecordKind) {
+    throw std::invalid_argument("czsync-trace-v1: invalid record kind");
+  }
+  put_varint(os, kind);
+  put_f64(os, r.t);
+  switch (r.kind) {
+    case RecordKind::EventFire:
+      put_varint(os, r.u);
+      break;
+    case RecordKind::MsgSend:
+    case RecordKind::MsgDeliver:
+      put_proc(os, r.p);
+      put_proc(os, r.q);
+      put_varint(os, r.u);
+      break;
+    case RecordKind::MsgDrop:
+      put_proc(os, r.p);
+      put_proc(os, r.q);
+      put_varint(os, r.aux);
+      put_varint(os, r.u);
+      break;
+    case RecordKind::AdvBreakIn:
+    case RecordKind::AdvLeave:
+      put_proc(os, r.p);
+      break;
+    case RecordKind::AdjWrite:
+      put_proc(os, r.p);
+      put_varint(os, r.aux);
+      put_f64(os, r.x);
+      put_f64(os, r.y);
+      break;
+    case RecordKind::RoundOpen:
+      put_proc(os, r.p);
+      put_varint(os, r.u);
+      break;
+    case RecordKind::RoundClose:
+      put_proc(os, r.p);
+      put_varint(os, r.aux);
+      put_varint(os, r.u);
+      break;
+    case RecordKind::InvariantSample:
+      put_varint(os, r.aux);
+      put_varint(os, r.u);
+      put_f64(os, r.x);
+      break;
+    case RecordKind::Invalid:
+      break;  // unreachable: rejected above
+  }
+}
+
+TraceRecord get_record(std::istream& is) {
+  const std::uint64_t kind = get_varint(is);
+  if (kind == 0 || kind > kMaxRecordKind) {
+    throw std::runtime_error("czsync-trace-v1: unknown record kind " +
+                             std::to_string(kind));
+  }
+  TraceRecord r;
+  r.kind = static_cast<RecordKind>(kind);
+  r.t = get_f64(is);
+  switch (r.kind) {
+    case RecordKind::EventFire:
+      r.u = get_varint(is);
+      break;
+    case RecordKind::MsgSend:
+    case RecordKind::MsgDeliver:
+      r.p = get_proc(is);
+      r.q = get_proc(is);
+      r.u = get_varint(is);
+      break;
+    case RecordKind::MsgDrop:
+      r.p = get_proc(is);
+      r.q = get_proc(is);
+      r.aux = static_cast<std::uint32_t>(get_varint(is));
+      r.u = get_varint(is);
+      break;
+    case RecordKind::AdvBreakIn:
+    case RecordKind::AdvLeave:
+      r.p = get_proc(is);
+      break;
+    case RecordKind::AdjWrite:
+      r.p = get_proc(is);
+      r.aux = static_cast<std::uint32_t>(get_varint(is));
+      r.x = get_f64(is);
+      r.y = get_f64(is);
+      break;
+    case RecordKind::RoundOpen:
+      r.p = get_proc(is);
+      r.u = get_varint(is);
+      break;
+    case RecordKind::RoundClose:
+      r.p = get_proc(is);
+      r.aux = static_cast<std::uint32_t>(get_varint(is));
+      r.u = get_varint(is);
+      break;
+    case RecordKind::InvariantSample:
+      r.aux = static_cast<std::uint32_t>(get_varint(is));
+      r.u = get_varint(is);
+      r.x = get_f64(is);
+      break;
+    case RecordKind::Invalid:
+      break;  // unreachable: rejected above
+  }
+  return r;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const TraceData& data) {
+  os.write(kTraceMagic, sizeof kTraceMagic);
+  put_varint(os, kTraceVersion);
+  put_varint(os, data.truncated ? kFlagTruncated : 0);
+  put_varint(os, data.dropped);
+  put_varint(os, data.records.size());
+  for (const auto& r : data.records) put_record(os, r);
+}
+
+void write_trace(std::ostream& os, const TraceSink& sink) {
+  TraceData data;
+  data.truncated = sink.truncated();
+  data.dropped = sink.dropped();
+  data.records = sink.snapshot();
+  write_trace(os, data);
+}
+
+TraceData read_trace(std::istream& is) {
+  char magic[sizeof kTraceMagic];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic ||
+      std::memcmp(magic, kTraceMagic, sizeof magic) != 0) {
+    throw std::runtime_error("czsync-trace-v1: bad magic (not a .cztrace?)");
+  }
+  const std::uint64_t version = get_varint(is);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("czsync-trace-v1: unsupported version " +
+                             std::to_string(version));
+  }
+  TraceData data;
+  const std::uint64_t flags = get_varint(is);
+  data.truncated = (flags & kFlagTruncated) != 0;
+  data.dropped = get_varint(is);
+  const std::uint64_t count = get_varint(is);
+  data.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    data.records.push_back(get_record(is));
+  }
+  return data;
+}
+
+void write_trace_file(const std::string& path, const TraceSink& sink) {
+  TraceData data;
+  data.truncated = sink.truncated();
+  data.dropped = sink.dropped();
+  data.records = sink.snapshot();
+  write_trace_file(path, data);
+}
+
+void write_trace_file(const std::string& path, const TraceData& data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  write_trace(f, data);
+  if (!f) {
+    throw std::runtime_error("write to '" + path + "' failed");
+  }
+}
+
+TraceData read_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  return read_trace(f);
+}
+
+}  // namespace czsync::trace

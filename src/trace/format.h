@@ -1,0 +1,61 @@
+// czsync-trace-v1: the compact binary trace format.
+//
+// Layout (all integers LEB128 varints, all doubles raw IEEE-754 bits in
+// 8 little-endian bytes — bit-exact by construction):
+//
+//   magic   "CZTRACE1"                      (8 bytes)
+//   varint  version (= 1)
+//   varint  flags   (bit 0: truncated — flight recorder wrapped and the
+//                    stream is missing its prefix)
+//   varint  dropped (records lost before the first retained one)
+//   varint  count   (records following)
+//   count × record
+//
+// Each record is `varint kind` followed by the kind's fixed field list
+// (see trace/record.h for which TraceRecord fields a kind uses); fields
+// are written in declaration order t, p, q, aux, u, x, y, skipping the
+// unused ones. Processor ids are written as varints (they are dense
+// non-negative ints). Readers reject unknown kinds — v1 is a closed
+// schema, bumping it means a new version byte.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "trace/sink.h"
+
+namespace czsync::trace {
+
+inline constexpr char kTraceMagic[8] = {'C', 'Z', 'T', 'R',
+                                        'A', 'C', 'E', '1'};
+inline constexpr std::uint64_t kTraceVersion = 1;
+inline constexpr std::uint64_t kFlagTruncated = 1u << 0;
+
+/// A deserialized trace: the records plus the flight-recorder header.
+struct TraceData {
+  bool truncated = false;
+  std::uint64_t dropped = 0;
+  std::vector<TraceRecord> records;
+};
+
+/// Serializes `data` as czsync-trace-v1. Throws std::invalid_argument on
+/// a record with an Invalid/unknown kind.
+void write_trace(std::ostream& os, const TraceData& data);
+
+/// Snapshot-and-serialize a sink (the usual way a run ends up on disk).
+void write_trace(std::ostream& os, const TraceSink& sink);
+
+/// Parses a czsync-trace-v1 stream. Throws std::runtime_error on a bad
+/// magic/version, a truncated stream, or an unknown record kind.
+[[nodiscard]] TraceData read_trace(std::istream& is);
+
+/// File helpers; throw std::runtime_error when the file cannot be
+/// opened (write) or read/parsed (read).
+void write_trace_file(const std::string& path, const TraceSink& sink);
+void write_trace_file(const std::string& path, const TraceData& data);
+[[nodiscard]] TraceData read_trace_file(const std::string& path);
+
+}  // namespace czsync::trace

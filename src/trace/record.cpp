@@ -1,0 +1,120 @@
+#include "trace/record.h"
+
+#include <cstdio>
+
+namespace czsync::trace {
+
+namespace {
+
+const char* kKindNames[] = {
+    "Invalid",    "EventFire", "MsgSend",  "MsgDeliver",
+    "MsgDrop",    "AdvBreakIn", "AdvLeave", "AdjWrite",
+    "RoundOpen",  "RoundClose", "InvariantSample",
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
+                  kMaxRecordKind + 1,
+              "keep kKindNames in sync with RecordKind");
+
+const char* drop_reason_name(std::uint32_t reason) {
+  switch (static_cast<DropReason>(reason)) {
+    case DropReason::NoEdge: return "no-edge";
+    case DropReason::LinkFault: return "link-fault";
+    case DropReason::NoHandler: return "no-handler";
+  }
+  return "?";
+}
+
+const char* adj_kind_name(std::uint32_t kind) {
+  switch (static_cast<AdjKind>(kind)) {
+    case AdjKind::Sync: return "sync";
+    case AdjKind::Join: return "join";
+    case AdjKind::Smash: return "smash";
+  }
+  return "?";
+}
+
+std::string body_label(std::uint64_t index,
+                       const char* (*body_name)(std::size_t)) {
+  if (body_name != nullptr) return body_name(static_cast<std::size_t>(index));
+  return "body#" + std::to_string(index);
+}
+
+}  // namespace
+
+const char* record_kind_name(RecordKind kind) {
+  const auto k = static_cast<std::uint8_t>(kind);
+  return k <= kMaxRecordKind ? kKindNames[k] : "?";
+}
+
+RecordKind record_kind_from_name(const std::string& name) {
+  for (std::uint8_t k = 1; k <= kMaxRecordKind; ++k) {
+    if (name == kKindNames[k]) return static_cast<RecordKind>(k);
+  }
+  return RecordKind::Invalid;
+}
+
+std::string record_to_string(const TraceRecord& r,
+                             const char* (*body_name)(std::size_t)) {
+  char head[64];
+  std::snprintf(head, sizeof head, "%-15s t=%.9f  ", record_kind_name(r.kind),
+                r.t);
+  std::string out = head;
+  char buf[128];
+  switch (r.kind) {
+    case RecordKind::EventFire:
+      std::snprintf(buf, sizeof buf, "#%llu",
+                    static_cast<unsigned long long>(r.u));
+      out += buf;
+      break;
+    case RecordKind::MsgSend:
+    case RecordKind::MsgDeliver:
+      std::snprintf(buf, sizeof buf, "%d -> %d  %s", r.p, r.q,
+                    body_label(r.u, body_name).c_str());
+      out += buf;
+      break;
+    case RecordKind::MsgDrop:
+      std::snprintf(buf, sizeof buf, "%d -> %d  %s  (%s)", r.p, r.q,
+                    body_label(r.u, body_name).c_str(),
+                    drop_reason_name(r.aux));
+      out += buf;
+      break;
+    case RecordKind::AdvBreakIn:
+    case RecordKind::AdvLeave:
+      std::snprintf(buf, sizeof buf, "proc %d", r.p);
+      out += buf;
+      break;
+    case RecordKind::AdjWrite:
+      std::snprintf(buf, sizeof buf, "proc %d  %s  delta=%+.9f  adj=%+.9f",
+                    r.p, adj_kind_name(r.aux), r.x, r.y);
+      out += buf;
+      break;
+    case RecordKind::RoundOpen:
+      std::snprintf(buf, sizeof buf, "proc %d  round %llu", r.p,
+                    static_cast<unsigned long long>(r.u));
+      out += buf;
+      break;
+    case RecordKind::RoundClose:
+      std::snprintf(buf, sizeof buf, "proc %d  round %llu%s%s%s", r.p,
+                    static_cast<unsigned long long>(r.u),
+                    (r.aux & kRoundWayOff) != 0 ? "  way-off" : "",
+                    (r.aux & kRoundJoin) != 0 ? "  join" : "",
+                    (r.aux & kRoundFromCache) != 0 ? "  from-cache" : "");
+      out += buf;
+      break;
+    case RecordKind::InvariantSample:
+      if (r.aux != 0) {
+        std::snprintf(buf, sizeof buf, "stable=%llu  deviation=%.9f",
+                      static_cast<unsigned long long>(r.u), r.x);
+      } else {
+        std::snprintf(buf, sizeof buf, "stable=0  (no stable pair)");
+      }
+      out += buf;
+      break;
+    case RecordKind::Invalid:
+      out += "?";
+      break;
+  }
+  return out;
+}
+
+}  // namespace czsync::trace

@@ -1,0 +1,185 @@
+// Structured event-trace records (DESIGN.md §4.8).
+//
+// One fixed POD record shape covers every traced event kind; the binary
+// czsync-trace-v1 format (trace/format.h) serializes only the fields a
+// kind actually uses, and the factory helpers below construct records
+// with every unused field left at its default — which is what makes the
+// writer→reader round trip bit-exact and record equality meaningful for
+// first-divergence diffing.
+//
+// Field usage by kind (unused fields stay at their defaults):
+//   EventFire        t, u=executed-event ordinal
+//   MsgSend/Deliver  t, p=from, q=to, u=Body alternative index
+//   MsgDrop          t, p=from, q=to, u=Body index, aux=DropReason
+//   AdvBreakIn/Leave t, p=victim
+//   AdjWrite         t, p=proc, aux=AdjKind, x=delta (s), y=adj after (s)
+//   RoundOpen        t, p=proc, u=round ordinal
+//   RoundClose       t, p=proc, u=round ordinal, aux=RoundFlags
+//   InvariantSample  t, u=stable-processor count, aux=1 iff any stable,
+//                    x=stable deviation (s)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace czsync::trace {
+
+enum class RecordKind : std::uint8_t {
+  Invalid = 0,
+  EventFire = 1,
+  MsgSend = 2,
+  MsgDeliver = 3,
+  MsgDrop = 4,
+  AdvBreakIn = 5,
+  AdvLeave = 6,
+  AdjWrite = 7,
+  RoundOpen = 8,
+  RoundClose = 9,
+  InvariantSample = 10,
+};
+inline constexpr std::uint8_t kMaxRecordKind = 10;
+
+/// Why the network dropped a message (MsgDrop.aux).
+enum class DropReason : std::uint8_t { NoEdge = 1, LinkFault = 2, NoHandler = 3 };
+
+/// What wrote adj_p (AdjWrite.aux): the protocol's convergence step, a
+/// rate-discipline slew, or an adversary smash at break-in.
+enum class AdjKind : std::uint8_t { Sync = 1, Join = 2, Smash = 3 };
+
+/// RoundClose.aux flag bits.
+inline constexpr std::uint32_t kRoundWayOff = 1u << 0;
+inline constexpr std::uint32_t kRoundJoin = 1u << 1;
+inline constexpr std::uint32_t kRoundFromCache = 1u << 2;
+
+struct TraceRecord {
+  RecordKind kind = RecordKind::Invalid;
+  double t = 0.0;           ///< simulator real time tau (seconds)
+  std::int32_t p = -1;      ///< primary processor (sender / victim)
+  std::int32_t q = -1;      ///< secondary processor (receiver)
+  std::uint32_t aux = 0;    ///< DropReason / AdjKind / flag bits
+  std::uint64_t u = 0;      ///< ordinal / Body index / round / count
+  double x = 0.0;           ///< delta / deviation (seconds)
+  double y = 0.0;           ///< adj after the write (seconds)
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+// --- factory helpers (keep unused fields defaulted) ---
+
+inline TraceRecord event_fire(double t, std::uint64_t ordinal) {
+  TraceRecord r;
+  r.kind = RecordKind::EventFire;
+  r.t = t;
+  r.u = ordinal;
+  return r;
+}
+
+inline TraceRecord msg_send(double t, std::int32_t from, std::int32_t to,
+                            std::uint64_t body_index) {
+  TraceRecord r;
+  r.kind = RecordKind::MsgSend;
+  r.t = t;
+  r.p = from;
+  r.q = to;
+  r.u = body_index;
+  return r;
+}
+
+inline TraceRecord msg_deliver(double t, std::int32_t from, std::int32_t to,
+                               std::uint64_t body_index) {
+  TraceRecord r;
+  r.kind = RecordKind::MsgDeliver;
+  r.t = t;
+  r.p = from;
+  r.q = to;
+  r.u = body_index;
+  return r;
+}
+
+inline TraceRecord msg_drop(double t, std::int32_t from, std::int32_t to,
+                            std::uint64_t body_index, DropReason reason) {
+  TraceRecord r;
+  r.kind = RecordKind::MsgDrop;
+  r.t = t;
+  r.p = from;
+  r.q = to;
+  r.u = body_index;
+  r.aux = static_cast<std::uint32_t>(reason);
+  return r;
+}
+
+inline TraceRecord adv_break_in(double t, std::int32_t proc) {
+  TraceRecord r;
+  r.kind = RecordKind::AdvBreakIn;
+  r.t = t;
+  r.p = proc;
+  return r;
+}
+
+inline TraceRecord adv_leave(double t, std::int32_t proc) {
+  TraceRecord r;
+  r.kind = RecordKind::AdvLeave;
+  r.t = t;
+  r.p = proc;
+  return r;
+}
+
+inline TraceRecord adj_write(double t, std::int32_t proc, AdjKind kind,
+                             double delta, double adj_after) {
+  TraceRecord r;
+  r.kind = RecordKind::AdjWrite;
+  r.t = t;
+  r.p = proc;
+  r.aux = static_cast<std::uint32_t>(kind);
+  r.x = delta;
+  r.y = adj_after;
+  return r;
+}
+
+inline TraceRecord round_open(double t, std::int32_t proc,
+                              std::uint64_t round) {
+  TraceRecord r;
+  r.kind = RecordKind::RoundOpen;
+  r.t = t;
+  r.p = proc;
+  r.u = round;
+  return r;
+}
+
+inline TraceRecord round_close(double t, std::int32_t proc,
+                               std::uint64_t round, std::uint32_t flags) {
+  TraceRecord r;
+  r.kind = RecordKind::RoundClose;
+  r.t = t;
+  r.p = proc;
+  r.u = round;
+  r.aux = flags;
+  return r;
+}
+
+inline TraceRecord invariant_sample(double t, std::uint64_t stable_count,
+                                    bool have_stable, double deviation) {
+  TraceRecord r;
+  r.kind = RecordKind::InvariantSample;
+  r.t = t;
+  r.u = stable_count;
+  r.aux = have_stable ? 1u : 0u;
+  r.x = deviation;
+  return r;
+}
+
+/// Display name of a record kind ("EventFire", ...; "?" when invalid).
+[[nodiscard]] const char* record_kind_name(RecordKind kind);
+
+/// Parses a kind name as printed by record_kind_name (case-sensitive);
+/// RecordKind::Invalid when unknown. Used by `czsync_trace filter`.
+[[nodiscard]] RecordKind record_kind_from_name(const std::string& name);
+
+/// One-line human-readable rendering, e.g.
+/// "MsgSend     t=120.004117  2 -> 5  PingReq". `body_name` labels the
+/// Body alternative index of message records (pass net::body_name;
+/// nullptr prints "body#<n>" — the trace layer itself stays below net).
+[[nodiscard]] std::string record_to_string(
+    const TraceRecord& r, const char* (*body_name)(std::size_t) = nullptr);
+
+}  // namespace czsync::trace

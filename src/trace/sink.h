@@ -1,0 +1,76 @@
+// TraceSink: the per-run event-trace buffer.
+//
+// Every instrumented layer holds a `TraceSink*` that is nullptr by
+// default, so an untraced run never evaluates record arguments beyond a
+// single well-predicted branch and never allocates for tracing. A run is
+// single-threaded by construction (the simulator owns the only thread
+// touching its World), so the sink needs no locks: "lock-free per run"
+// falls out of the sweep engine giving each seed its own sink.
+//
+// Two capture modes share one type:
+//   * full-stream (default): an append-only vector, everything kept;
+//   * flight recorder: a bounded ring that keeps the newest `capacity`
+//     records and counts what it overwrote — cheap enough to leave on
+//     for every seed of a sweep, dumped only when a run fails.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace czsync::trace {
+
+class TraceSink {
+ public:
+  /// Full-stream capture: keeps every record.
+  TraceSink() = default;
+
+  /// Bounded flight recorder keeping the newest `capacity` records.
+  [[nodiscard]] static TraceSink flight_recorder(std::size_t capacity) {
+    TraceSink s;
+    s.capacity_ = capacity == 0 ? 1 : capacity;
+    s.buf_.reserve(s.capacity_);
+    return s;
+  }
+
+  void record(const TraceRecord& r) {
+    ++total_;
+    if (capacity_ == 0 || buf_.size() < capacity_) {
+      buf_.push_back(r);
+      return;
+    }
+    buf_[head_] = r;
+    if (++head_ == capacity_) head_ = 0;
+    ++dropped_;
+  }
+
+  /// Records ever offered to the sink.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Records overwritten by the ring (0 in full-stream mode).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// True when the ring wrapped, i.e. the capture is missing its prefix.
+  [[nodiscard]] bool truncated() const { return dropped_ > 0; }
+  /// Records currently held.
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// In-order copy, oldest first (unwraps the ring).
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(buf_.size());
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buf_.end());
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    return out;
+  }
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded full-stream capture
+  std::size_t head_ = 0;      ///< next overwrite position once wrapped
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace czsync::trace

@@ -2,7 +2,11 @@
 // metrics, node dispatch, world construction, RunResult helpers.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "analysis/experiment.h"
+#include "analysis/trace_io.h"
 #include "analysis/world.h"
 
 namespace czsync::analysis {
@@ -271,6 +275,33 @@ TEST(RunResultTest, CarriesUnifiedMetricsSnapshot) {
   EXPECT_EQ(r.metrics.value("observer.recovery_events"), 1.0);
   // The pooled queue recycles slots: no fallback heap allocations.
   EXPECT_EQ(r.metrics.value("sim.event_pool.fallback_allocs"), 0.0);
+}
+
+// ---------- series CSV precondition ----------
+
+TEST(SeriesCsvTest, ThrowsInvalidArgumentWithoutRecordSeries) {
+  auto s = small(3);
+  s.record_series = false;
+  const auto r = run_scenario(s);
+  ASSERT_TRUE(r.series.empty());
+  std::ostringstream os;
+  EXPECT_THROW(write_series_csv(os, r), std::invalid_argument);
+  EXPECT_TRUE(os.str().empty());
+  try {
+    write_series_csv(os, r);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Actionable message: names the fix, not just the symptom.
+    EXPECT_NE(std::string(e.what()).find("record_series"), std::string::npos);
+  }
+}
+
+TEST(SeriesCsvTest, SucceedsWithRecordSeries) {
+  const auto r = run_scenario(small(3));
+  ASSERT_FALSE(r.series.empty());
+  std::ostringstream os;
+  EXPECT_NO_THROW(write_series_csv(os, r));
+  EXPECT_NE(os.str().find("stable_deviation"), std::string::npos);
 }
 
 }  // namespace

@@ -221,11 +221,11 @@ TEST(TraceIoTest, SeriesCsvShape) {
   EXPECT_NE(text.find("recovering"), std::string::npos);
 }
 
-TEST(TraceIoTest, SeriesCsvEmptyWithoutRecording) {
+TEST(TraceIoTest, SeriesCsvThrowsWithoutRecording) {
   const auto r = small_run(false);
   std::ostringstream os;
-  write_series_csv(os, r);
-  EXPECT_EQ(os.str(), "t\n");
+  EXPECT_THROW(write_series_csv(os, r), std::invalid_argument);
+  EXPECT_TRUE(os.str().empty());  // nothing written before the throw
 }
 
 TEST(TraceIoTest, RecoveriesCsv) {

@@ -1,0 +1,39 @@
+# Driver for the `ubsan_suite` ctest entry: configure + build an
+# UndefinedBehaviorSanitizer copy of the library and the hot-path test
+# binaries in a nested build directory, then run them. The build uses
+# -fno-sanitize-recover=undefined, so any UB report (signed overflow in
+# the varint shifts, misaligned pool-slot access, bad enum load from a
+# deserialized trace record) aborts the binary and fails the entry.
+#
+# Expects -DSOURCE_DIR=... and -DBUILD_DIR=... on the cmake -P line.
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "run_ubsan_suite.cmake needs SOURCE_DIR and BUILD_DIR")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCZSYNC_SANITIZE=undefined
+          -DCZSYNC_BUILD_BENCH=OFF
+          -DCZSYNC_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE cfg_result)
+if(NOT cfg_result EQUAL 0)
+  message(FATAL_ERROR "UBSan sub-build configure failed (${cfg_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel
+          --target sim_test net_test event_pool_test trace_test
+  RESULT_VARIABLE build_result)
+if(NOT build_result EQUAL 0)
+  message(FATAL_ERROR "UBSan sub-build compile failed (${build_result})")
+endif()
+
+foreach(bin sim_test net_test event_pool_test trace_test)
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${bin}
+    RESULT_VARIABLE run_result)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR
+            "${bin} failed under UndefinedBehaviorSanitizer (${run_result})")
+  endif()
+endforeach()

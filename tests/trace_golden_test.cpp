@@ -1,0 +1,123 @@
+// Golden-trace regression gate.
+//
+// Runs the E1-style golden scenario (n=7/f=2, mobile clock-smash-random
+// adversary, stochastic delays, drift) with a full-capture TraceSink and
+// compares the serialized czsync-trace-v1 bytes against the committed
+// tests/golden/e1.cztrace. This supersedes the old FNV-hash golden test
+// in event_pool_test.cpp: the trace covers every event fire, message
+// send/deliver/drop, adversary action, adj write, round and invariant
+// sample of the run, so ANY behavioral divergence — event reordering,
+// RNG-sequence drift, a numeric change in the convergence function —
+// trips it, and `czsync_trace diff` on the two files then pinpoints the
+// exact first divergent record instead of leaving a bare hash mismatch.
+//
+// Re-recording after a DELIBERATE semantic change:
+//   CZSYNC_REGEN_GOLDEN=1 ./trace_golden_test
+// then commit the rewritten tests/golden/e1.cztrace and explain the
+// divergence in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "trace/diff.h"
+#include "trace/format.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+const char* golden_path() {
+  return CZSYNC_SOURCE_DIR "/tests/golden/e1.cztrace";
+}
+
+// Identical to the scenario the retired FNV-hash golden test used, so
+// this gate covers the same run the hash covered since the pool rewrite.
+analysis::Scenario golden_scenario() {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::hours(1);
+  s.sample_period = Dur::seconds(15);
+  s.seed = 7;
+  s.schedule = adversary::Schedule::random_mobile(
+      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
+      Dur::minutes(20), RealTime(0.75 * 3600.0), Rng(1007));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(10);
+  s.record_series = true;
+  return s;
+}
+
+std::string serialize(const trace::TraceSink& sink) {
+  std::ostringstream os(std::ios::binary);
+  trace::write_trace(os, sink);
+  return std::move(os).str();
+}
+
+TEST(TraceGoldenTest, E1RunMatchesCommittedGoldenTrace) {
+  trace::TraceSink sink;
+  const auto r = analysis::run_scenario(golden_scenario(), &sink);
+  // Structural sanity first: the trace must agree with the run's own
+  // counters, independent of the golden file.
+  ASSERT_EQ(sink.total(), sink.size());
+  EXPECT_EQ(sink.dropped(), 0u);
+  std::uint64_t fires = 0, sends = 0;
+  for (const auto& rec : sink.snapshot()) {
+    if (rec.kind == trace::RecordKind::EventFire) ++fires;
+    if (rec.kind == trace::RecordKind::MsgSend) ++sends;
+  }
+  EXPECT_EQ(fires, r.events_executed);
+  EXPECT_EQ(sends, r.messages_sent);
+
+  const std::string fresh = serialize(sink);
+  if (std::getenv("CZSYNC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream f(golden_path(), std::ios::binary);
+    ASSERT_TRUE(f) << "cannot write " << golden_path();
+    f.write(fresh.data(), static_cast<std::streamsize>(fresh.size()));
+    GTEST_SKIP() << "re-recorded " << golden_path() << " (" << fresh.size()
+                 << " bytes); commit it";
+  }
+
+  std::ifstream f(golden_path(), std::ios::binary);
+  ASSERT_TRUE(f) << "missing " << golden_path()
+                 << " — record it with CZSYNC_REGEN_GOLDEN=1";
+  std::ostringstream buf(std::ios::binary);
+  buf << f.rdbuf();
+  const std::string golden = std::move(buf).str();
+
+  if (fresh != golden) {
+    // Byte mismatch: decode both and report the first divergent record —
+    // the actionable version of the old hash-mismatch failure.
+    std::istringstream fs(fresh, std::ios::binary);
+    std::istringstream gs(golden, std::ios::binary);
+    const auto a = trace::read_trace(fs);
+    const auto b = trace::read_trace(gs);
+    std::ostringstream report;
+    trace::print_diff(report, a, b, 3);
+    FAIL() << "run diverged from tests/golden/e1.cztrace (fresh=A, "
+              "golden=B):\n"
+           << report.str();
+  }
+}
+
+TEST(TraceGoldenTest, RepeatedRunsProduceIdenticalTraces) {
+  trace::TraceSink a, b;
+  (void)analysis::run_scenario(golden_scenario(), &a);
+  (void)analysis::run_scenario(golden_scenario(), &b);
+  EXPECT_EQ(serialize(a), serialize(b));
+}
+
+}  // namespace
+}  // namespace czsync

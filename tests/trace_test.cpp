@@ -1,0 +1,346 @@
+// Tests for the src/trace subsystem: record round-trips through the
+// czsync-trace-v1 binary format, flight-recorder ring semantics, first-
+// divergence diffing, and end-to-end determinism of sweep dumps across
+// job counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "analysis/sweep.h"
+#include "trace/diff.h"
+#include "trace/format.h"
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace czsync::trace {
+namespace {
+
+std::vector<TraceRecord> one_of_each() {
+  return {
+      event_fire(0.25, 17),
+      msg_send(1.5, 0, 3, 1),
+      msg_deliver(1.5 + 0.017, 0, 3, 1),
+      msg_drop(2.0, 4, 2, 0, DropReason::LinkFault),
+      adv_break_in(3600.0, 5),
+      adv_leave(4200.0, 5),
+      adj_write(4200.5, 5, AdjKind::Smash, -1.25, 9.5),
+      round_open(4260.0, 1, 71),
+      round_close(4260.1, 1, 71, kRoundWayOff | kRoundJoin),
+      invariant_sample(4270.0, 5, true, 3.125e-3),
+  };
+}
+
+std::string to_bytes(const TraceData& data) {
+  std::ostringstream os(std::ios::binary);
+  write_trace(os, data);
+  return std::move(os).str();
+}
+
+TraceData from_bytes(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_trace(is);
+}
+
+TEST(TraceFormatTest, EveryRecordKindRoundTripsExactly) {
+  TraceData data;
+  data.records = one_of_each();
+  const TraceData back = from_bytes(to_bytes(data));
+  ASSERT_EQ(back.records.size(), data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    EXPECT_EQ(back.records[i], data.records[i]) << "record " << i;
+  }
+  EXPECT_FALSE(back.truncated);
+  EXPECT_EQ(back.dropped, 0u);
+}
+
+TEST(TraceFormatTest, DoublesAreBitExact) {
+  // Doubles ride as raw IEEE-754 bits, so awkward values must survive:
+  // denormals, negative zero, values with no short decimal expansion.
+  const double uglies[] = {0.1,
+                           -0.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::epsilon(),
+                           1.0 / 3.0,
+                           -987654.321e-13,
+                           std::numeric_limits<double>::max()};
+  TraceData data;
+  for (double v : uglies) {
+    data.records.push_back(adj_write(v, 0, AdjKind::Sync, v, -v));
+  }
+  const TraceData back = from_bytes(to_bytes(data));
+  ASSERT_EQ(back.records.size(), data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    EXPECT_EQ(back.records[i], data.records[i]) << "double case " << i;
+  }
+}
+
+TEST(TraceFormatTest, VarintBoundaryValuesRoundTrip) {
+  TraceData data;
+  for (std::uint64_t u :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{0xffffffffULL},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    data.records.push_back(event_fire(0.0, u));
+  }
+  const TraceData back = from_bytes(to_bytes(data));
+  ASSERT_EQ(back.records.size(), data.records.size());
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].u, data.records[i].u) << "varint case " << i;
+  }
+}
+
+TEST(TraceFormatTest, RejectsBadMagicAndTruncation) {
+  EXPECT_THROW(from_bytes("definitely not a trace"), std::runtime_error);
+  const std::string good = [] {
+    TraceData d;
+    d.records = one_of_each();
+    return to_bytes(d);
+  }();
+  // Chopping the stream anywhere inside the record section must throw,
+  // not fabricate records.
+  EXPECT_THROW(from_bytes(good.substr(0, good.size() - 3)),
+               std::runtime_error);
+  EXPECT_THROW(from_bytes(good.substr(0, 15)), std::runtime_error);
+}
+
+TEST(TraceSinkTest, UnboundedSinkKeepsEverything) {
+  TraceSink sink;
+  for (int i = 0; i < 1000; ++i) {
+    sink.record(event_fire(static_cast<double>(i),
+                           static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(sink.total(), 1000u);
+  EXPECT_EQ(sink.size(), 1000u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_FALSE(sink.truncated());
+  const auto records = sink.snapshot();
+  ASSERT_EQ(records.size(), 1000u);
+  EXPECT_EQ(records.front().u, 0u);
+  EXPECT_EQ(records.back().u, 999u);
+}
+
+TEST(TraceSinkTest, FlightRecorderWrapsAndReportsTruncation) {
+  TraceSink sink = TraceSink::flight_recorder(16);
+  for (int i = 0; i < 100; ++i) {
+    sink.record(event_fire(static_cast<double>(i),
+                           static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(sink.total(), 100u);
+  EXPECT_EQ(sink.size(), 16u);
+  EXPECT_EQ(sink.dropped(), 84u);
+  EXPECT_TRUE(sink.truncated());
+  // Snapshot unwraps the ring oldest-first: the LAST 16 records in order.
+  const auto records = sink.snapshot();
+  ASSERT_EQ(records.size(), 16u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].u, 84u + i);
+  }
+  // The truncation survives serialization.
+  std::ostringstream os(std::ios::binary);
+  write_trace(os, sink);
+  const TraceData back = from_bytes(std::move(os).str());
+  EXPECT_TRUE(back.truncated);
+  EXPECT_EQ(back.dropped, 84u);
+  ASSERT_EQ(back.records.size(), 16u);
+  EXPECT_EQ(back.records.front().u, 84u);
+}
+
+TEST(TraceSinkTest, FlightRecorderBelowCapacityIsNotTruncated) {
+  TraceSink sink = TraceSink::flight_recorder(64);
+  for (int i = 0; i < 10; ++i) sink.record(event_fire(0.0, 1));
+  EXPECT_FALSE(sink.truncated());
+  EXPECT_EQ(sink.snapshot().size(), 10u);
+}
+
+TEST(TraceDiffTest, IdenticalAndPrefixAndDivergent) {
+  TraceData a;
+  a.records = one_of_each();
+  TraceData b = a;
+  EXPECT_TRUE(diff_traces(a, b).identical);
+
+  b.records.pop_back();  // strict prefix: diverges at min(size)
+  auto d = diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, b.records.size());
+
+  b = a;
+  b.records[4] = adv_break_in(3600.0, 6);  // same kind, different proc
+  d = diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 4u);
+
+  std::ostringstream report;
+  EXPECT_FALSE(print_diff(report, a, b, 2));
+  EXPECT_NE(report.str().find("first divergence at record 4"),
+            std::string::npos);
+  EXPECT_NE(report.str().find("AdvBreakIn"), std::string::npos);
+}
+
+// ---------- end-to-end: runs, perturbation, sweep dumps ----------
+
+analysis::Scenario small_scenario(std::uint64_t seed, net::ProcId victim = 0) {
+  analysis::Scenario s;
+  s.model.n = 5;
+  s.model.f = 1;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::minutes(10);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(100);
+  s.horizon = Dur::minutes(40);
+  s.sample_period = Dur::seconds(30);
+  s.seed = seed;
+  // One pinned break-in: tests perturb the schedule by moving the victim.
+  s.schedule = adversary::Schedule::single(victim, RealTime(600.0),
+                                           RealTime(900.0));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(5);
+  return s;
+}
+
+std::string trace_bytes_of_run(const analysis::Scenario& s) {
+  TraceSink sink;
+  (void)analysis::run_scenario(s, &sink);
+  std::ostringstream os(std::ios::binary);
+  write_trace(os, sink);
+  return std::move(os).str();
+}
+
+TEST(TraceEndToEndTest, TracedAndUntracedRunsAgreeOnAllCounters) {
+  const auto s = small_scenario(3);
+  const auto plain = analysis::run_scenario(s);
+  TraceSink sink;
+  const auto traced = analysis::run_scenario(s, &sink);
+  // The sink must be pure observation: bit-identical results.
+  EXPECT_EQ(plain.events_executed, traced.events_executed);
+  EXPECT_EQ(plain.messages_sent, traced.messages_sent);
+  EXPECT_EQ(plain.rounds_completed, traced.rounds_completed);
+  EXPECT_EQ(plain.max_stable_deviation.sec(),
+            traced.max_stable_deviation.sec());
+}
+
+TEST(TraceEndToEndTest, PerturbedAdversaryScheduleDivergesAtFirstBreakIn) {
+  // Same scenario and seed; the only difference is ONE adversary schedule
+  // entry (victim 0 vs victim 1).
+  const std::string a = trace_bytes_of_run(small_scenario(3, /*victim=*/0));
+  const std::string b = trace_bytes_of_run(small_scenario(3, /*victim=*/1));
+  ASSERT_NE(a, b);
+  const TraceData ta = from_bytes(a);
+  const TraceData tb = from_bytes(b);
+  const TraceDiff d = diff_traces(ta, tb);
+  ASSERT_FALSE(d.identical);
+  // Until the break-in fires the two runs are the same system, so the
+  // divergence cannot be at record 0; at the divergence point the records
+  // must be the two AdvBreakIn entries naming the two victims.
+  EXPECT_GT(d.first_divergence, 0u);
+  ASSERT_LT(d.first_divergence, ta.records.size());
+  ASSERT_LT(d.first_divergence, tb.records.size());
+  const TraceRecord& ra = ta.records[d.first_divergence];
+  const TraceRecord& rb = tb.records[d.first_divergence];
+  EXPECT_EQ(ra.kind, RecordKind::AdvBreakIn);
+  EXPECT_EQ(rb.kind, RecordKind::AdvBreakIn);
+  EXPECT_EQ(ra.p, 0);
+  EXPECT_EQ(rb.p, 1);
+}
+
+TEST(TraceEndToEndTest, SameScenarioTwiceIsByteIdentical) {
+  const auto s = small_scenario(9);
+  EXPECT_EQ(trace_bytes_of_run(s), trace_bytes_of_run(s));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f) << path;
+  std::ostringstream os(std::ios::binary);
+  os << f.rdbuf();
+  return std::move(os).str();
+}
+
+TEST(TraceSweepTest, DumpsAreByteIdenticalAcrossJobCounts) {
+  const auto make = [](std::uint64_t seed) { return small_scenario(seed); };
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "czsync_trace_sweep_test";
+  std::filesystem::remove_all(dir);
+
+  constexpr int kSeeds = 4;
+  std::vector<std::string> baseline;
+  for (int jobs : {1, 2, 7}) {
+    const auto sub = dir / ("jobs" + std::to_string(jobs));
+    std::filesystem::create_directories(sub);
+    analysis::SweepTraceConfig cfg;
+    cfg.path_prefix = sub.string() + "/";
+    cfg.flight_capacity = 0;  // full capture so the whole run is compared
+    cfg.dump_all = true;
+    (void)analysis::run_sweep_parallel(make, 1, kSeeds, jobs, &cfg);
+    std::vector<std::string> dumps;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      dumps.push_back(slurp(cfg.path_for_seed(seed)));
+      EXPECT_FALSE(dumps.back().empty());
+    }
+    if (baseline.empty()) {
+      baseline = std::move(dumps);
+    } else {
+      for (int i = 0; i < kSeeds; ++i) {
+        EXPECT_EQ(dumps[static_cast<std::size_t>(i)],
+                  baseline[static_cast<std::size_t>(i)])
+            << "seed " << (i + 1) << " dump differs at jobs=" << jobs;
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceSweepTest, FlightRecorderDumpsOnlyFailingSeeds) {
+  // convergence "none" never adjusts clocks, so the deviation bound is
+  // violated deterministically — the auto-dump (failure-only) path.
+  const auto make = [](std::uint64_t seed) {
+    auto s = small_scenario(seed);
+    s.convergence = "none";
+    return s;
+  };
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "czsync_trace_flight_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  analysis::SweepTraceConfig cfg;
+  cfg.path_prefix = dir.string() + "/";
+  cfg.flight_capacity = 256;
+  const auto sw = analysis::run_sweep_parallel(make, 1, 2, 2, &cfg);
+  ASSERT_GT(sw.bound_violations, 0);
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const auto path = cfg.path_for_seed(seed);
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    const TraceData dump = read_trace_file(path);
+    EXPECT_TRUE(dump.truncated);      // long run through a 256-slot ring
+    EXPECT_LE(dump.records.size(), 256u);
+    EXPECT_GT(dump.dropped, 0u);
+  }
+
+  // A healthy sweep through the same config must dump nothing.
+  const auto healthy_dir = dir / "healthy";
+  std::filesystem::create_directories(healthy_dir);
+  analysis::SweepTraceConfig healthy;
+  healthy.path_prefix = healthy_dir.string() + "/";
+  healthy.flight_capacity = 256;
+  const auto make_ok = [](std::uint64_t seed) { return small_scenario(seed); };
+  const auto sw_ok = analysis::run_sweep_parallel(make_ok, 1, 2, 2, &healthy);
+  EXPECT_EQ(sw_ok.bound_violations, 0);
+  EXPECT_EQ(sw_ok.unrecovered_runs, 0);
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    EXPECT_FALSE(std::filesystem::exists(healthy.path_for_seed(seed)));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace czsync::trace

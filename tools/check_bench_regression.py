@@ -11,6 +11,11 @@ carries a `runrecord` block for that id:
   * floating-point gauges must match to a relative tolerance;
   * `sweep.runs_per_sec` must stay above --min-throughput-ratio of the
     baseline (wall-clock is the only machine-dependent number);
+  * sim throughput (`sim.events_executed` / `sweep.wall_seconds`) must
+    stay above --min-sim-throughput-ratio of the baseline — czsync_bench
+    runs with tracing disabled (null TraceSink), so this catches the
+    trace instrumentation's per-event hook cost creeping into the
+    untraced hot path;
   * `sim.event_pool.fallback_allocs` must be exactly 0: the pooled event
     queue never falling back to heap allocation is a hard invariant.
 
@@ -57,7 +62,15 @@ def run_bench(bench, run_id, jobs, json_path):
     raise SystemExit(f"error: RunRecord document has no experiment {run_id}")
 
 
-def compare(baseline, fresh, min_throughput_ratio):
+def sim_events_per_sec(totals):
+    events = totals.get("sim.events_executed")
+    wall = totals.get("sweep.wall_seconds")
+    if not events or not wall:
+        return None
+    return events / wall
+
+
+def compare(baseline, fresh, min_throughput_ratio, min_sim_throughput_ratio):
     failures = []
 
     fallback = fresh.get("sim.event_pool.fallback_allocs")
@@ -76,6 +89,21 @@ def compare(baseline, fresh, min_throughput_ratio):
                 f"sweep.runs_per_sec = {fresh_rate:.2f}, "
                 f"{ratio:.2f}x of baseline {base_rate:.2f} "
                 f"(floor: {min_throughput_ratio}x)"
+            )
+
+    # Tracing-disabled sim throughput: the bench never attaches a
+    # TraceSink, so a drop here means the null-sink hot path itself got
+    # slower (e.g. the per-event trace hook stopped being a single
+    # predictable branch).
+    base_eps = sim_events_per_sec(baseline)
+    fresh_eps = sim_events_per_sec(fresh)
+    if base_eps and fresh_eps is not None:
+        ratio = fresh_eps / base_eps
+        if ratio < min_sim_throughput_ratio:
+            failures.append(
+                f"sim events/sec = {fresh_eps:.3g}, "
+                f"{ratio:.2f}x of baseline {base_eps:.3g} "
+                f"(floor: {min_sim_throughput_ratio}x; tracing disabled)"
             )
 
     for key, want in sorted(baseline.items()):
@@ -111,6 +139,13 @@ def main():
         help="fail when runs/s drops below this fraction of the baseline",
     )
     ap.add_argument(
+        "--min-sim-throughput-ratio",
+        type=float,
+        default=0.2,
+        help="fail when untraced sim events/s drops below this fraction "
+        "of the baseline",
+    )
+    ap.add_argument(
         "--out", default="", help="keep the fresh RunRecord document here"
     )
     args = ap.parse_args()
@@ -127,7 +162,10 @@ def main():
         if not args.out:
             os.unlink(json_path)
 
-    failures = compare(baseline, fresh, args.min_throughput_ratio)
+    failures = compare(
+        baseline, fresh, args.min_throughput_ratio,
+        args.min_sim_throughput_ratio
+    )
     label = checkpoint.get("label", "?")
     if failures:
         print(f"bench_regression: {args.run} vs checkpoint '{label}': FAIL")

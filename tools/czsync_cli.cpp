@@ -23,6 +23,8 @@
 #include "analysis/registry.h"
 #include "analysis/sweep.h"
 #include "analysis/trace_io.h"
+#include "trace/format.h"
+#include "trace/sink.h"
 #include "util/jobs.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -62,6 +64,11 @@ Options:
               anything else is an error, not a silent default.
   --json FILE write the single run's unified MetricRegistry snapshot
               (sim/net/core/observer) as JSON to FILE
+  --trace P   single run: write the full czsync-trace-v1 event trace to
+              file P (inspect with czsync_trace). Sweep: run every seed
+              under a flight recorder and auto-dump failing seeds to
+              Pseed<seed>.cztrace (P is a path prefix; use a trailing /
+              for a directory)
 
 Config keys (all optional; defaults in parentheses):
   model:      n (7), f (2), rho (1e-4), delta (50ms), delta_period (1h)
@@ -92,6 +99,7 @@ int main(int argc, char** argv) {
   int sweep_count = 0;
   int jobs = 0;
   std::string json_path;
+  std::string trace_path;
   bool jobs_from_flag = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +147,10 @@ int main(int argc, char** argv) {
     }
     if (value_of("--json", &value)) {
       json_path = value;
+      continue;
+    }
+    if (value_of("--trace", &value)) {
+      trace_path = value;
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -209,8 +221,11 @@ int main(int argc, char** argv) {
       c.record_series = false;
       return c;
     };
-    const auto sw =
-        analysis::run_sweep_parallel(make, s.seed, sweep_count, jobs);
+    analysis::SweepTraceConfig trace_cfg;
+    trace_cfg.path_prefix = trace_path;
+    const auto sw = analysis::run_sweep_parallel(
+        make, s.seed, sweep_count, jobs,
+        trace_cfg.enabled() ? &trace_cfg : nullptr);
 
     std::printf("sweep: %d seeds starting at %llu, jobs = %d\n\n", sw.runs,
                 static_cast<unsigned long long>(s.seed),
@@ -240,12 +255,30 @@ int main(int argc, char** argv) {
     }
     std::printf("violations: %d, unrecovered runs: %d\n", sw.bound_violations,
                 sw.unrecovered_runs);
+    if (trace_cfg.enabled() &&
+        (sw.bound_violations > 0 || sw.unrecovered_runs > 0)) {
+      std::printf("flight-recorder dumps: %sseed<seed>.cztrace (failing "
+                  "seeds)\n",
+                  trace_path.c_str());
+    }
     std::printf("wall-clock: %.2f s (%.2f seeds/s)\n", sw.wall_seconds,
                 sw.seeds_per_sec());
     return sw.bound_violations == 0 && sw.unrecovered_runs == 0 ? 0 : 1;
   }
 
-  const auto r = analysis::run_scenario(s);
+  trace::TraceSink sink;  // unbounded full capture for a single run
+  const auto r =
+      analysis::run_scenario(s, trace_path.empty() ? nullptr : &sink);
+  if (!trace_path.empty()) {
+    try {
+      trace::write_trace_file(trace_path, sink);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("wrote %s (%llu records)\n\n", trace_path.c_str(),
+                static_cast<unsigned long long>(sink.total()));
+  }
 
   std::printf("%s\n\n", r.bounds.summary().c_str());
   TextTable t({"metric", "bound", "measured"});

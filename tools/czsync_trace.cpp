@@ -1,0 +1,195 @@
+// czsync_trace — inspect czsync-trace-v1 event traces (.cztrace).
+//
+// Usage:
+//   czsync_trace dump FILE                 # print every record
+//   czsync_trace dump --kind K FILE        # only records of kind K
+//   czsync_trace filter --proc P FILE      # records touching processor P
+//   czsync_trace stats FILE                # per-kind counts + time span
+//   czsync_trace diff A B                  # first divergent record + context
+//
+// `diff` exits 0 when the traces are identical and 1 at the first
+// divergence, so it doubles as a determinism checker in scripts: two runs
+// of the same (scenario, seed) must produce byte-identical traces, and
+// the first differing record pinpoints where two variants part ways.
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "trace/diff.h"
+#include "trace/format.h"
+#include "trace/record.h"
+
+using namespace czsync;
+
+namespace {
+
+constexpr const char* kHelp = R"(czsync_trace COMMAND [OPTIONS] FILE...
+
+Commands:
+  dump FILE             print every record, one per line
+  filter FILE           like dump, with the filters below applied
+  stats FILE            per-kind record counts, drop header, time span
+  diff A B              report the first divergent record with context;
+                        exit 0 when identical, 1 when not
+
+Options (dump/filter):
+  --kind K     keep only records of kind K (EventFire, MsgSend,
+               MsgDeliver, MsgDrop, AdvBreakIn, AdvLeave, AdjWrite,
+               RoundOpen, RoundClose, InvariantSample)
+  --proc P     keep only records whose p or q field is processor P
+  --from T     keep only records with t >= T (seconds)
+  --to T       keep only records with t <= T (seconds)
+
+Options (diff):
+  --context N  shared records printed before the divergence (default 3)
+
+Traces are produced by `czsync_cli --trace`, `czsync_bench --trace`, or
+the sweep flight recorder (failing seeds auto-dump).
+)";
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "czsync_trace: %s\n", why.c_str());
+  std::fputs("run `czsync_trace --help` for usage\n", stderr);
+  return 2;
+}
+
+struct Filter {
+  trace::RecordKind kind = trace::RecordKind::Invalid;  // Invalid = any
+  int proc = -1;                                        // -1 = any
+  double from = -std::numeric_limits<double>::infinity();
+  double to = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool pass(const trace::TraceRecord& r) const {
+    if (kind != trace::RecordKind::Invalid && r.kind != kind) return false;
+    if (proc >= 0 && r.p != proc && r.q != proc) return false;
+    return r.t >= from && r.t <= to;
+  }
+};
+
+int cmd_dump(const std::string& path, const Filter& filter) {
+  const trace::TraceData data = trace::read_trace_file(path);
+  if (data.truncated) {
+    std::printf("# flight recorder: %llu earlier records dropped\n",
+                static_cast<unsigned long long>(data.dropped));
+  }
+  for (const auto& r : data.records) {
+    if (!filter.pass(r)) continue;
+    std::printf("%s\n", trace::record_to_string(r, net::body_name).c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  const trace::TraceData data = trace::read_trace_file(path);
+  std::array<std::uint64_t, trace::kMaxRecordKind + 1> counts{};
+  for (const auto& r : data.records) {
+    counts[static_cast<std::size_t>(r.kind)]++;
+  }
+  std::printf("records: %zu%s\n", data.records.size(),
+              data.truncated ? " (truncated flight-recorder window)" : "");
+  if (data.truncated) {
+    std::printf("dropped before window: %llu\n",
+                static_cast<unsigned long long>(data.dropped));
+  }
+  if (!data.records.empty()) {
+    std::printf("time span: %.6f .. %.6f s\n", data.records.front().t,
+                data.records.back().t);
+  }
+  for (std::size_t k = 1; k <= trace::kMaxRecordKind; ++k) {
+    if (counts[k] == 0) continue;
+    std::printf("  %-15s %llu\n",
+                trace::record_kind_name(static_cast<trace::RecordKind>(k)),
+                static_cast<unsigned long long>(counts[k]));
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path,
+             std::size_t context) {
+  const trace::TraceData a = trace::read_trace_file(a_path);
+  const trace::TraceData b = trace::read_trace_file(b_path);
+  std::printf("A: %s\nB: %s\n", a_path.c_str(), b_path.c_str());
+  return trace::print_diff(std::cout, a, b, context, net::body_name) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::fputs(kHelp, stdout);
+    return args.empty() ? 2 : 0;
+  }
+  const std::string cmd = args[0];
+
+  Filter filter;
+  std::size_t context = 3;
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto take_value = [&](const char* flag, std::string* out) -> bool {
+      if (a == flag) {
+        if (i + 1 >= args.size()) {
+          std::exit(fail(std::string("missing value for ") + flag));
+        }
+        *out = args[++i];
+        return true;
+      }
+      const std::string eq = std::string(flag) + "=";
+      if (a.rfind(eq, 0) == 0) {
+        *out = a.substr(eq.size());
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    try {
+      if (take_value("--kind", &value)) {
+        filter.kind = trace::record_kind_from_name(value);
+        if (filter.kind == trace::RecordKind::Invalid) {
+          return fail("unknown record kind '" + value + "'");
+        }
+      } else if (take_value("--proc", &value)) {
+        filter.proc = std::stoi(value);
+      } else if (take_value("--from", &value)) {
+        filter.from = std::stod(value);
+      } else if (take_value("--to", &value)) {
+        filter.to = std::stod(value);
+      } else if (take_value("--context", &value)) {
+        context = static_cast<std::size_t>(std::stoul(value));
+      } else if (a.rfind("--", 0) == 0) {
+        return fail("unknown option '" + a + "'");
+      } else {
+        files.push_back(a);
+      }
+    } catch (const std::exception&) {
+      return fail("bad value '" + value + "' for " + a);
+    }
+  }
+
+  try {
+    if (cmd == "dump" || cmd == "filter") {
+      if (files.size() != 1) return fail(cmd + " needs exactly one FILE");
+      return cmd_dump(files[0], filter);
+    }
+    if (cmd == "stats") {
+      if (files.size() != 1) return fail("stats needs exactly one FILE");
+      return cmd_stats(files[0]);
+    }
+    if (cmd == "diff") {
+      if (files.size() != 2) return fail("diff needs exactly two files: A B");
+      return cmd_diff(files[0], files[1], context);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "czsync_trace: %s\n", e.what());
+    return 2;
+  }
+  return fail("unknown command '" + cmd + "'");
+}
