@@ -1,0 +1,29 @@
+#include "adversary/capture.h"
+
+#include <cassert>
+
+namespace czsync::adversary {
+
+CapturingStrategy::CapturingStrategy(std::shared_ptr<Strategy> inner,
+                                     proactive::Auditor& auditor)
+    : inner_(std::move(inner)), auditor_(auditor) {
+  assert(inner_ != nullptr);
+}
+
+std::string_view CapturingStrategy::name() const { return inner_->name(); }
+
+void CapturingStrategy::on_break_in(AdvContext& ctx, ControlledProcess& proc) {
+  auditor_.capture(proc.id());
+  inner_->on_break_in(ctx, proc);
+}
+
+void CapturingStrategy::on_leave(AdvContext& ctx, ControlledProcess& proc) {
+  inner_->on_leave(ctx, proc);
+}
+
+void CapturingStrategy::on_message(AdvContext& ctx, ControlledProcess& proc,
+                                   const net::Message& msg) {
+  inner_->on_message(ctx, proc, msg);
+}
+
+}  // namespace czsync::adversary

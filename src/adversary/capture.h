@@ -1,0 +1,34 @@
+// Share-capturing strategy decorator for the proactive-security audit.
+//
+// Delegates all behaviour to `inner`, additionally recording in the
+// Auditor that the victim's current share was captured at each break-in
+// (§4: the adversary reads the full state of a processor it controls).
+// Lives in adversary/ — it subclasses Strategy, and the layering DAG
+// (DESIGN.md §4.9) places proactive/ below adversary/, so the proactive
+// module itself must not depend on the attack machinery.
+#pragma once
+
+#include <memory>
+
+#include "adversary/strategies.h"
+#include "proactive/audit.h"
+
+namespace czsync::adversary {
+
+class CapturingStrategy final : public Strategy {
+ public:
+  CapturingStrategy(std::shared_ptr<Strategy> inner,
+                    proactive::Auditor& auditor);
+
+  [[nodiscard]] std::string_view name() const override;
+  void on_break_in(AdvContext& ctx, ControlledProcess& proc) override;
+  void on_leave(AdvContext& ctx, ControlledProcess& proc) override;
+  void on_message(AdvContext& ctx, ControlledProcess& proc,
+                  const net::Message& msg) override;
+
+ private:
+  std::shared_ptr<Strategy> inner_;
+  proactive::Auditor& auditor_;
+};
+
+}  // namespace czsync::adversary

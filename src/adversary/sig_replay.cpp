@@ -1,14 +1,14 @@
-#include "broadcast/replay_strategy.h"
+#include "adversary/sig_replay.h"
 
 #include <functional>
 #include <memory>
 
-namespace czsync::broadcast {
+namespace czsync::adversary {
 
 SigReplayStrategy::SigReplayStrategy(std::size_t max_stored, Dur spam_period)
     : max_stored_(max_stored), spam_period_(spam_period) {}
 
-void SigReplayStrategy::spam(adversary::ControlledProcess& self, int f) {
+void SigReplayStrategy::spam(ControlledProcess& self, int f) {
   // The oldest round with a complete (f+1 signer) signature set is the
   // most damaging replay.
   for (const auto& [round, sigs] : stored_) {
@@ -25,13 +25,13 @@ void SigReplayStrategy::spam(adversary::ControlledProcess& self, int f) {
   }
 }
 
-void SigReplayStrategy::arm_spam(adversary::AdvContext& ctx,
-                                 adversary::ControlledProcess& self) {
+void SigReplayStrategy::arm_spam(AdvContext& ctx,
+                                 ControlledProcess& self) {
   // Periodic replay while (and only while) this processor is controlled.
   // The spy outlives the events (it is owned by the adversary engine);
   // the loop closes over a shared copy of itself so it can re-arm.
-  const adversary::WorldSpy* spy = &ctx.spy;
-  adversary::ControlledProcess* node = &self;
+  const WorldSpy* spy = &ctx.spy;
+  ControlledProcess* node = &self;
   sim::Simulator* sim = &ctx.sim;
   auto loop = std::make_shared<std::function<void()>>();
   *loop = [this, spy, node, sim, loop] {
@@ -42,13 +42,13 @@ void SigReplayStrategy::arm_spam(adversary::AdvContext& ctx,
   sim->schedule_after(spam_period_, *loop);
 }
 
-void SigReplayStrategy::on_break_in(adversary::AdvContext& ctx,
-                                    adversary::ControlledProcess& self) {
+void SigReplayStrategy::on_break_in(AdvContext& ctx,
+                                    ControlledProcess& self) {
   arm_spam(ctx, self);
 }
 
-void SigReplayStrategy::on_message(adversary::AdvContext& ctx,
-                                   adversary::ControlledProcess& self,
+void SigReplayStrategy::on_message(AdvContext& ctx,
+                                   ControlledProcess& self,
                                    const net::Message& msg) {
   const auto* st = std::get_if<net::StRoundMsg>(&msg.body);
   if (st == nullptr) return;  // only the broadcast protocol is attacked
@@ -65,4 +65,4 @@ void SigReplayStrategy::on_message(adversary::AdvContext& ctx,
   if (stored_.begin()->first != st->round) spam(self, ctx.spy.f);
 }
 
-}  // namespace czsync::broadcast
+}  // namespace czsync::adversary

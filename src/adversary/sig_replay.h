@@ -15,9 +15,9 @@
 #include "adversary/strategies.h"
 #include "net/message.h"
 
-namespace czsync::broadcast {
+namespace czsync::adversary {
 
-class SigReplayStrategy final : public adversary::Strategy {
+class SigReplayStrategy final : public Strategy {
  public:
   /// Keeps at most `max_stored` of the oldest observed rounds and spams
   /// the oldest one from every controlled processor every `spam_period`.
@@ -25,10 +25,10 @@ class SigReplayStrategy final : public adversary::Strategy {
                              Dur spam_period = Dur::seconds(2));
 
   [[nodiscard]] std::string_view name() const override { return "sig-replay"; }
-  void on_break_in(adversary::AdvContext& ctx,
-                   adversary::ControlledProcess& self) override;
-  void on_message(adversary::AdvContext& ctx,
-                  adversary::ControlledProcess& self,
+  void on_break_in(AdvContext& ctx,
+                   ControlledProcess& self) override;
+  void on_message(AdvContext& ctx,
+                  ControlledProcess& self,
                   const net::Message& msg) override;
 
   [[nodiscard]] std::size_t stored_rounds() const { return stored_.size(); }
@@ -37,8 +37,8 @@ class SigReplayStrategy final : public adversary::Strategy {
  private:
   /// Replays the oldest round for which >= f+1 distinct signatures were
   /// collected (enough to force acceptance).
-  void spam(adversary::ControlledProcess& self, int f);
-  void arm_spam(adversary::AdvContext& ctx, adversary::ControlledProcess& self);
+  void spam(ControlledProcess& self, int f);
+  void arm_spam(AdvContext& ctx, ControlledProcess& self);
 
   std::size_t max_stored_;
   Dur spam_period_;
@@ -48,4 +48,4 @@ class SigReplayStrategy final : public adversary::Strategy {
   std::uint64_t replays_sent_ = 0;
 };
 
-}  // namespace czsync::broadcast
+}  // namespace czsync::adversary

@@ -18,11 +18,13 @@ Node::Node(sim::Simulator& sim, net::Network& network,
     switch (engine) {
       case EngineKind::NoRounds:
         engine_ = std::make_unique<core::SyncProcess>(
-            sim, network, logical_, id, std::move(config), rng.fork("sync"));
+            sim.trace_port(), network, logical_, id, std::move(config),
+            rng.fork("sync"));
         break;
       case EngineKind::Rounds:
         engine_ = std::make_unique<core::RoundSyncProcess>(
-            sim, network, logical_, id, std::move(config), rng.fork("sync"));
+            sim.trace_port(), network, logical_, id, std::move(config),
+            rng.fork("sync"));
         break;
     }
   }

@@ -29,8 +29,13 @@ std::string lower(std::string_view s) {
   return out;
 }
 
-double wall_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+// Wall-clock throughput metrics (sweep.wall_seconds / runs_per_sec) are
+// the one sanctioned nondeterminism: they report machine speed, never
+// feed back into simulation behaviour.
+double wall_since(
+    std::chrono::steady_clock::time_point t0) {  // lint: wall-clock
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - t0)  // lint: wall-clock
       .count();
 }
 
@@ -87,7 +92,7 @@ std::string summarize_scenario(const Scenario& s) {
 
 RunResult ExperimentContext::run(Scenario s, std::string label) {
   s.seed += seed_base_;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock
   RunResult r;
   if (trace_prefix_.empty()) {
     r = run_scenario(s);
@@ -113,7 +118,7 @@ RunResult ExperimentContext::run(Scenario s, std::string label) {
 ExperimentContext::ParallelResult ExperimentContext::run_parallel(
     std::vector<Scenario> scenarios, std::string label) {
   for (auto& s : scenarios) s.seed += seed_base_;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock
   ParallelResult out;
   out.results = run_scenarios_parallel(scenarios, jobs_);
   out.wall_seconds = wall_since(t0);
@@ -452,7 +457,7 @@ int run_harness(const ExperimentRegistry& registry,
       // clobber each other's run<k> files.
       ctx.set_trace_prefix(trace_prefix + e->id + "_");
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock  // lint: wall-clock
     e->body(ctx);
     ran.push_back({e, wall_since(t0), ctx.records()});
   }

@@ -14,7 +14,9 @@ namespace czsync::analysis {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Wall-clock timing for throughput metrics only; simulation behaviour
+// never reads it.
+using Clock = std::chrono::steady_clock;  // lint: wall-clock
 
 double elapsed_sec(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();

@@ -5,7 +5,7 @@
 
 #include "adversary/strategies.h"
 #include "broadcast/auth.h"
-#include "broadcast/replay_strategy.h"
+#include "adversary/sig_replay.h"
 #include "broadcast/st_sync.h"
 #include "core/convergence.h"
 #include "net/delay_model.h"
@@ -101,10 +101,10 @@ World::World(Scenario scenario)
     // rate bias of the broadcast design; real deployments calibrate it.
     st.skew_allowance = 0.5 * s.model.delta;
     st.f = s.model.f;
-    factory = [auth, st](sim::Simulator& sim, net::Network& net,
+    factory = [auth, st](sim::Simulator&, net::Network& net,
                          clk::LogicalClock& clock, net::ProcId id, Rng) {
-      return std::make_unique<broadcast::StSyncProcess>(sim, net, clock, id,
-                                                        st, auth);
+      return std::make_unique<broadcast::StSyncProcess>(net, clock, id, st,
+                                                        auth);
     };
   } else if (s.protocol != "sync") {
     throw std::invalid_argument("unknown protocol: " + s.protocol);
@@ -147,7 +147,7 @@ World::World(Scenario scenario)
     };
     std::shared_ptr<adversary::Strategy> strategy;
     if (s.strategy == "sig-replay") {
-      strategy = std::make_shared<broadcast::SigReplayStrategy>();
+      strategy = std::make_shared<adversary::SigReplayStrategy>();
     } else {
       strategy = adversary::make_strategy(s.strategy, s.strategy_scale);
     }

@@ -8,12 +8,11 @@
 
 namespace czsync::broadcast {
 
-StSyncProcess::StSyncProcess(sim::Simulator& sim, net::Network& network,
+StSyncProcess::StSyncProcess(net::Network& network,
                              clk::LogicalClock& clock, net::ProcId id,
                              StConfig config,
                              std::shared_ptr<const Authenticator> auth)
-    : sim_(sim),
-      network_(network),
+    : network_(network),
       clock_(clock),
       id_(id),
       config_(std::move(config)),

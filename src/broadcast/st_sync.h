@@ -31,7 +31,6 @@
 #include "clock/logical_clock.h"
 #include "core/protocol_engine.h"
 #include "net/network.h"
-#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace czsync::broadcast {
@@ -44,8 +43,8 @@ struct StConfig {
 
 class StSyncProcess final : public core::ProtocolEngine {
  public:
-  StSyncProcess(sim::Simulator& sim, net::Network& network,
-                clk::LogicalClock& clock, net::ProcId id, StConfig config,
+  StSyncProcess(net::Network& network, clk::LogicalClock& clock,
+                net::ProcId id, StConfig config,
                 std::shared_ptr<const Authenticator> auth);
 
   void start() override;
@@ -70,7 +69,6 @@ class StSyncProcess final : public core::ProtocolEngine {
   void accept(std::uint64_t round);
   void broadcast_round(std::uint64_t round);
 
-  sim::Simulator& sim_;
   net::Network& network_;
   clk::LogicalClock& clock_;
   net::ProcId id_;

@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/record.h"
 #include "util/logging.h"
 
 namespace czsync::core {
 
-RoundSyncProcess::RoundSyncProcess(sim::Simulator& sim, net::Network& network,
+RoundSyncProcess::RoundSyncProcess(trace::TracePort trace, net::Network& network,
                                    clk::LogicalClock& clock, net::ProcId id,
                                    SyncConfig config, Rng rng)
-    : sim_(sim),
+    : trace_(trace),
       network_(network),
       clock_(clock),
       id_(id),
@@ -18,6 +19,10 @@ RoundSyncProcess::RoundSyncProcess(sim::Simulator& sim, net::Network& network,
       rng_(rng),
       peers_(network.topology().neighbors(id)) {
   assert(config_.convergence != nullptr);
+  if (config_.debug_bucket_reserve > 0) {
+    nonce_to_peer_.reserve(config_.debug_bucket_reserve);
+    collected_.reserve(config_.debug_bucket_reserve);
+  }
 }
 
 void RoundSyncProcess::start() {
@@ -66,8 +71,8 @@ void RoundSyncProcess::begin_round() {
   assert(!suspended_ && !round_active_);
   round_active_ = true;
   ++stats_.rounds_started;
-  if (trace::TraceSink* ts = sim_.trace_sink()) {
-    ts->record(trace::round_open(sim_.now().sec(), id_, round_));
+  if (trace::TraceSink* ts = trace_.sink()) {
+    ts->record(trace::round_open(trace_.now_sec(), id_, round_));
   }
   nonce_to_peer_.clear();
   collected_.clear();
@@ -178,8 +183,8 @@ void RoundSyncProcess::finish_round() {
     stats_.last_adjustment = result.adjustment;
     stats_.max_abs_adjustment =
         std::max(stats_.max_abs_adjustment, result.adjustment.abs());
-    if (trace::TraceSink* ts = sim_.trace_sink()) {
-      const double t = sim_.now().sec();
+    if (trace::TraceSink* ts = trace_.sink()) {
+      const double t = trace_.now_sec();
       ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
                                   result.adjustment.sec(),
                                   clock_.adjustment().sec()));
@@ -219,8 +224,8 @@ void RoundSyncProcess::join(const std::vector<Reply>& replies) {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
-  if (trace::TraceSink* ts = sim_.trace_sink()) {
-    const double t = sim_.now().sec();
+  if (trace::TraceSink* ts = trace_.sink()) {
+    const double t = trace_.now_sec();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Join,
                                 result.adjustment.sec(),
                                 clock_.adjustment().sec()));

@@ -34,14 +34,14 @@
 #include "core/protocol_engine.h"
 #include "core/sync_protocol.h"  // SyncConfig
 #include "net/network.h"
-#include "sim/simulator.h"
+#include "trace/port.h"
 #include "util/rng.h"
 
 namespace czsync::core {
 
 class RoundSyncProcess final : public ProtocolEngine {
  public:
-  RoundSyncProcess(sim::Simulator& sim, net::Network& network,
+  RoundSyncProcess(trace::TracePort trace, net::Network& network,
                    clk::LogicalClock& clock, net::ProcId id, SyncConfig config,
                    Rng rng);
 
@@ -70,7 +70,7 @@ class RoundSyncProcess final : public ProtocolEngine {
   void finish_round();
   void join(const std::vector<Reply>& replies);
 
-  sim::Simulator& sim_;
+  trace::TracePort trace_;
   net::Network& network_;
   clk::LogicalClock& clock_;
   net::ProcId id_;

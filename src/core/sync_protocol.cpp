@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/record.h"
 #include "util/logging.h"
 
 namespace czsync::core {
 
-SyncProcess::SyncProcess(sim::Simulator& sim, net::Network& network,
+SyncProcess::SyncProcess(trace::TracePort trace, net::Network& network,
                          clk::LogicalClock& clock, net::ProcId id,
                          SyncConfig config, Rng rng)
-    : sim_(sim),
+    : trace_(trace),
       network_(network),
       clock_(clock),
       id_(id),
@@ -28,6 +29,11 @@ SyncProcess::SyncProcess(sim::Simulator& sim, net::Network& network,
   nonce_live_.assign(peers_.size() * k, 0);
   collected_.assign(peers_.size(), Estimate{});
   reply_count_.assign(peers_.size(), 0);
+  if (config_.debug_bucket_reserve > 0) {
+    cache_nonce_to_peer_.reserve(config_.debug_bucket_reserve);
+    cache_sent_at_.reserve(config_.debug_bucket_reserve);
+    cache_.reserve(config_.debug_bucket_reserve);
+  }
 }
 
 void SyncProcess::clear_round_state() {
@@ -108,9 +114,8 @@ void SyncProcess::begin_round() {
   assert(!round_active_);
   round_active_ = true;
   ++stats_.rounds_started;
-  if (trace::TraceSink* ts = sim_.trace_sink()) {
-    ts->record(
-        trace::round_open(sim_.now().sec(), id_, stats_.rounds_started));
+  if (trace::TraceSink* ts = trace_.sink()) {
+    ts->record(trace::round_open(trace_.now_sec(), id_, stats_.rounds_started));
   }
   if (config_.cached_estimation) {
     // The §3.1 caveat variant: no fresh pings — consume whatever the
@@ -248,8 +253,8 @@ void SyncProcess::finish_from_cache() {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
-  if (trace::TraceSink* ts = sim_.trace_sink()) {
-    const double t = sim_.now().sec();
+  if (trace::TraceSink* ts = trace_.sink()) {
+    const double t = trace_.now_sec();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
                                 result.adjustment.sec(),
                                 clock_.adjustment().sec()));
@@ -294,8 +299,8 @@ void SyncProcess::finish_round() {
   stats_.last_adjustment = result.adjustment;
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
-  if (trace::TraceSink* ts = sim_.trace_sink()) {
-    const double t = sim_.now().sec();
+  if (trace::TraceSink* ts = trace_.sink()) {
+    const double t = trace_.now_sec();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
                                 result.adjustment.sec(),
                                 clock_.adjustment().sec()));

@@ -30,7 +30,7 @@
 #include "core/params.h"
 #include "core/protocol_engine.h"
 #include "net/network.h"
-#include "sim/simulator.h"
+#include "trace/port.h"
 #include "util/rng.h"
 
 namespace czsync::core {
@@ -60,11 +60,18 @@ struct SyncConfig {
   Dur cache_refresh = Dur::seconds(20);
   /// Entries older than this (local time) count as timeouts.
   Dur max_cache_age = Dur::minutes(2);
+
+  /// Test-only: pre-reserve the unordered nonce/cache tables to this many
+  /// buckets. Perturbs hash-table geometry — and thus the iteration order
+  /// any accidental walk over them would see — without changing protocol
+  /// behaviour; the hash_perturb regression test asserts traces stay
+  /// byte-identical across values. 0 = library default geometry.
+  std::size_t debug_bucket_reserve = 0;
 };
 
 class SyncProcess final : public ProtocolEngine {
  public:
-  SyncProcess(sim::Simulator& sim, net::Network& network,
+  SyncProcess(trace::TracePort trace, net::Network& network,
               clk::LogicalClock& clock, net::ProcId id, SyncConfig config,
               Rng rng);
 
@@ -98,7 +105,7 @@ class SyncProcess final : public ProtocolEngine {
   void cache_tick();
   void finish_from_cache();
 
-  sim::Simulator& sim_;
+  trace::TracePort trace_;
   net::Network& network_;
   clk::LogicalClock& clock_;
   net::ProcId id_;

@@ -19,29 +19,4 @@ int Auditor::worst_epoch_exposure() const {
   return worst;
 }
 
-CapturingStrategy::CapturingStrategy(std::shared_ptr<adversary::Strategy> inner,
-                                     Auditor& auditor)
-    : inner_(std::move(inner)), auditor_(auditor) {
-  assert(inner_ != nullptr);
-}
-
-std::string_view CapturingStrategy::name() const { return inner_->name(); }
-
-void CapturingStrategy::on_break_in(adversary::AdvContext& ctx,
-                                    adversary::ControlledProcess& proc) {
-  auditor_.capture(proc.id());
-  inner_->on_break_in(ctx, proc);
-}
-
-void CapturingStrategy::on_leave(adversary::AdvContext& ctx,
-                                 adversary::ControlledProcess& proc) {
-  inner_->on_leave(ctx, proc);
-}
-
-void CapturingStrategy::on_message(adversary::AdvContext& ctx,
-                                   adversary::ControlledProcess& proc,
-                                   const net::Message& msg) {
-  inner_->on_message(ctx, proc, msg);
-}
-
 }  // namespace czsync::proactive

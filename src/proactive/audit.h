@@ -2,18 +2,16 @@
 //
 // Tracks what the adversary captured: every break-in grabs the victim's
 // current share (epoch-tagged). The proactive invariant is violated when
-// some single epoch has >= f+1 captured shares. CapturingStrategy wraps
-// any attack strategy with this bookkeeping so the same schedules and
-// behaviours drive both the clock experiments and the end-to-end
-// security experiment (E10).
+// some single epoch has >= f+1 captured shares. The Strategy decorator
+// that feeds this bookkeeping (adversary::CapturingStrategy) lives in
+// adversary/ — proactive/ sits below the attack machinery in the
+// layering DAG and must not include it.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <set>
 
-#include "adversary/strategies.h"
 #include "proactive/secret_sharing.h"
 
 namespace czsync::proactive {
@@ -42,26 +40,6 @@ class Auditor {
   const ShareStore& store_;
   std::map<std::uint64_t, std::set<int>> by_epoch_;
   std::uint64_t captures_ = 0;
-};
-
-/// Decorator: delegates all behaviour to `inner`, additionally capturing
-/// the victim's share at each break-in.
-class CapturingStrategy final : public adversary::Strategy {
- public:
-  CapturingStrategy(std::shared_ptr<adversary::Strategy> inner, Auditor& auditor);
-
-  [[nodiscard]] std::string_view name() const override;
-  void on_break_in(adversary::AdvContext& ctx,
-                   adversary::ControlledProcess& proc) override;
-  void on_leave(adversary::AdvContext& ctx,
-                adversary::ControlledProcess& proc) override;
-  void on_message(adversary::AdvContext& ctx,
-                  adversary::ControlledProcess& proc,
-                  const net::Message& msg) override;
-
- private:
-  std::shared_ptr<adversary::Strategy> inner_;
-  Auditor& auditor_;
 };
 
 }  // namespace czsync::proactive

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "sim/event_queue.h"
+#include "trace/port.h"
 #include "trace/record.h"
 #include "trace/sink.h"
 #include "util/time_types.h"
@@ -75,6 +76,13 @@ class Simulator {
   /// scheduling, so traced and untraced runs are bit-identical.
   void set_trace_sink(trace::TraceSink* sink) { trace_ = sink; }
   [[nodiscard]] trace::TraceSink* trace_sink() const { return trace_; }
+
+  /// Borrowed window for protocol engines (core/, broadcast/): they sit
+  /// below sim/ in the layering DAG and must not include this header, yet
+  /// need the installed sink and the current real time to stamp records.
+  [[nodiscard]] trace::TracePort trace_port() const {
+    return trace::TracePort(&trace_, &now_);
+  }
 
  private:
   EventQueue queue_;

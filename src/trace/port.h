@@ -1,0 +1,35 @@
+// TracePort: the window through which protocol engines emit trace
+// records without depending on the simulator.
+//
+// The layering DAG (DESIGN.md §4.9) places core/ and broadcast/ below
+// sim/: an engine may read hardware time only via clock/ and must not
+// include sim/ internals. Engines still need two things from the run's
+// host to emit trace records — the installed sink (nullptr when the run
+// is untraced) and the current real time for stamping. TracePort borrows
+// exactly those two slots. It is a copyable value; the host (the
+// simulator) must outlive every engine holding a port onto it.
+#pragma once
+
+#include "trace/sink.h"
+#include "util/time_types.h"
+
+namespace czsync::trace {
+
+class TracePort {
+ public:
+  TracePort(TraceSink* const* sink_slot, const RealTime* now)
+      : sink_slot_(sink_slot), now_(now) {}
+
+  /// Installed sink, nullptr when the run is untraced. Re-read on every
+  /// call: the host may attach or detach a sink mid-run.
+  [[nodiscard]] TraceSink* sink() const { return *sink_slot_; }
+
+  /// Current real time in seconds, used only to stamp trace records.
+  [[nodiscard]] double now_sec() const { return now_->sec(); }
+
+ private:
+  TraceSink* const* sink_slot_;
+  const RealTime* now_;
+};
+
+}  // namespace czsync::trace

@@ -8,7 +8,7 @@
 #include "adversary/schedule.h"
 #include "analysis/experiment.h"
 #include "broadcast/auth.h"
-#include "broadcast/replay_strategy.h"
+#include "adversary/sig_replay.h"
 #include "broadcast/st_sync.h"
 #include "clock/drift_model.h"
 #include "clock/hardware_clock.h"
@@ -70,7 +70,7 @@ struct StNode {
       : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
            ClockTime(sim.now().sec()) + initial_bias),
         clock(hw),
-        proto(sim, net, clock, id, cfg, std::move(auth)) {
+        proto(net, clock, id, cfg, std::move(auth)) {
     net.register_handler(id, [this](const net::Message& m) {
       proto.handle_message(m);
     });
@@ -200,7 +200,7 @@ TEST_F(StSyncTest, RecoveredProcessorAcceptsReplay) {
 // ---------- replay strategy ----------
 
 TEST(SigReplayStrategyTest, HarvestsAndReplaysOldest) {
-  SigReplayStrategy strat(4);
+  adversary::SigReplayStrategy strat(4);
   EXPECT_EQ(strat.stored_rounds(), 0u);
   EXPECT_EQ(strat.name(), "sig-replay");
 }

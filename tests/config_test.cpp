@@ -78,9 +78,9 @@ TEST(ConfigTest, MalformedLineThrows) {
 
 TEST(ConfigTest, MalformedValuesThrow) {
   const auto c = Config::parse("n = seven\nb = maybe\nd = soon\n");
-  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
-  EXPECT_THROW(c.get_bool("b", false), std::invalid_argument);
-  EXPECT_THROW(c.get_duration("d", Dur::zero()), std::invalid_argument);
+  EXPECT_THROW((void)c.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW((void)c.get_duration("d", Dur::zero()), std::invalid_argument);
 }
 
 TEST(ConfigTest, UnusedKeysTracked) {

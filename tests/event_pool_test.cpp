@@ -143,7 +143,9 @@ TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
     }
     ASSERT_EQ(q.size(), ref.size());
     ASSERT_EQ(q.empty(), ref.empty());
-    if (!ref.empty()) ASSERT_EQ(q.next_time().sec(), ref.begin()->first);
+    if (!ref.empty()) {
+      ASSERT_EQ(q.next_time().sec(), ref.begin()->first);
+    }
   }
   while (!q.empty()) pop_one();
   EXPECT_EQ(fired, expected);

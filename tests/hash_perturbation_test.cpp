@@ -1,0 +1,226 @@
+// Hash-geometry perturbation regression (DESIGN.md §4.9, satellite of
+// the determinism lint).
+//
+// The protocol layer keeps unordered_map/set members (nonce routing,
+// reply collection, the §3.1 estimate cache). The lint's static claim is
+// that no bucket-order iteration reaches messages, adjustments or
+// traces; this test proves it dynamically: pre-reserving the tables via
+// SyncConfig::debug_bucket_reserve forces a completely different bucket
+// geometry (and so a different iteration order, were anything iterating),
+// and the full serialized trace of the run must still be byte-identical.
+//
+// Also covers adversary::CapturingStrategy after its move out of
+// proactive/ — the decorator must delegate faithfully and record one
+// capture per break-in.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "adversary/capture.h"
+#include "adversary/schedule.h"
+#include "adversary/strategies.h"
+#include "clock/drift_model.h"
+#include "clock/hardware_clock.h"
+#include "clock/logical_clock.h"
+#include "core/round_protocol.h"
+#include "core/sync_protocol.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "proactive/audit.h"
+#include "proactive/secret_sharing.h"
+#include "sim/simulator.h"
+#include "trace/format.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+std::string serialize(const trace::TraceSink& sink) {
+  std::ostringstream os(std::ios::binary);
+  trace::write_trace(os, sink);
+  return std::move(os).str();
+}
+
+core::SyncConfig base_config(int f, std::size_t reserve) {
+  core::SyncConfig cfg;
+  cfg.params.sync_int = Dur::seconds(60);
+  cfg.params.max_wait = Dur::millis(30);
+  cfg.params.way_off = Dur::seconds(1);
+  cfg.f = f;
+  cfg.convergence = core::make_convergence("bhhn");
+  cfg.random_phase = false;
+  cfg.debug_bucket_reserve = reserve;
+  return cfg;
+}
+
+// Runs n cached-estimation SyncProcesses (all three unordered tables in
+// play: nonce->peer, nonce->send-time, peer->estimate cache) under a
+// stochastic delay model and returns the serialized trace bytes.
+std::string run_cached_sync(std::size_t reserve) {
+  sim::Simulator sim;
+  trace::TraceSink sink;
+  sim.set_trace_sink(&sink);
+  const int n = 5;
+  net::Network net(sim, net::Topology::full_mesh(n),
+                   net::make_uniform_delay(Dur::millis(40), Dur::millis(5)),
+                   Rng(7));
+  core::SyncConfig cfg = base_config(/*f=*/1, reserve);
+  cfg.cached_estimation = true;
+  cfg.cache_refresh = Dur::seconds(20);
+  cfg.max_cache_age = Dur::minutes(2);
+
+  struct Node {
+    Node(sim::Simulator& sim, net::Network& net, net::ProcId id,
+         const core::SyncConfig& cfg, Dur bias)
+        : hw(sim, clk::make_pinned_drift(1e-5, 1.0), Rng(100 + id),
+             ClockTime(sim.now().sec()) + bias),
+          clock(hw),
+          sync(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
+      net.register_handler(id, [this](const net::Message& m) {
+        sync.handle_message(m);
+      });
+    }
+    clk::HardwareClock hw;
+    clk::LogicalClock clock;
+    core::SyncProcess sync;
+  };
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<Node>(sim, net, p, cfg,
+                                           Dur::millis(37 * (p + 1))));
+  }
+  for (auto& nd : nodes) nd->sync.start();
+  sim.run_until(RealTime(300.0));
+  return serialize(sink);
+}
+
+// Same shape for the round-based comparator (nonce_to_peer_ and
+// collected_ are its unordered tables).
+std::string run_round_sync(std::size_t reserve) {
+  sim::Simulator sim;
+  trace::TraceSink sink;
+  sim.set_trace_sink(&sink);
+  const int n = 5;
+  net::Network net(sim, net::Topology::full_mesh(n),
+                   net::make_uniform_delay(Dur::millis(40), Dur::millis(5)),
+                   Rng(11));
+  const core::SyncConfig cfg = base_config(/*f=*/1, reserve);
+
+  struct Node {
+    Node(sim::Simulator& sim, net::Network& net, net::ProcId id,
+         const core::SyncConfig& cfg, Dur bias)
+        : hw(sim, clk::make_pinned_drift(1e-5, 1.0), Rng(100 + id),
+             ClockTime(sim.now().sec()) + bias),
+          clock(hw),
+          proto(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
+      net.register_handler(id, [this](const net::Message& m) {
+        proto.handle_message(m);
+      });
+    }
+    clk::HardwareClock hw;
+    clk::LogicalClock clock;
+    core::RoundSyncProcess proto;
+  };
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int p = 0; p < n; ++p) {
+    nodes.push_back(std::make_unique<Node>(sim, net, p, cfg,
+                                           Dur::millis(53 * (p + 1))));
+  }
+  for (auto& nd : nodes) nd->proto.start();
+  sim.run_until(RealTime(300.0));
+  return serialize(sink);
+}
+
+TEST(HashPerturbationTest, CachedSyncTraceUnchangedByBucketGeometry) {
+  const std::string baseline = run_cached_sync(0);
+  ASSERT_FALSE(baseline.empty());
+  // 4096 pre-reserved buckets vs the libstdc++ default growth sequence:
+  // every modulo-bucket assignment differs, so any bucket-order walk
+  // reaching the trace would flip bytes here.
+  EXPECT_EQ(baseline, run_cached_sync(4096));
+  // A second, prime-sized geometry for good measure.
+  EXPECT_EQ(baseline, run_cached_sync(1009));
+}
+
+TEST(HashPerturbationTest, RoundSyncTraceUnchangedByBucketGeometry) {
+  const std::string baseline = run_round_sync(0);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, run_round_sync(4096));
+  EXPECT_EQ(baseline, run_round_sync(1009));
+}
+
+// ---------- adversary::CapturingStrategy ----------
+
+class FakeProc final : public adversary::ControlledProcess {
+ public:
+  FakeProc(net::ProcId id, sim::Simulator& sim,
+           std::shared_ptr<const clk::DriftModel> model)
+      : id_(id), hw_(sim, std::move(model), Rng(id + 100)), clock_(hw_) {}
+
+  [[nodiscard]] net::ProcId id() const override { return id_; }
+  clk::LogicalClock& clock() override { return clock_; }
+  void send(net::ProcId, net::Body) override {}
+  [[nodiscard]] const std::vector<net::ProcId>& peers() const override {
+    return peers_;
+  }
+  void suspend_protocol() override { ++suspends; }
+  void resume_protocol() override { ++resumes; }
+
+  int suspends = 0;
+  int resumes = 0;
+
+ private:
+  net::ProcId id_;
+  clk::HardwareClock hw_;
+  clk::LogicalClock clock_;
+  std::vector<net::ProcId> peers_{};
+};
+
+TEST(CapturingStrategyTest, RecordsOneCapturePerBreakInAndDelegates) {
+  sim::Simulator sim;
+  proactive::ShareStore store(3, 0xfeedULL);
+  proactive::Auditor auditor(store);
+
+  auto inner = std::make_shared<adversary::SilentStrategy>();
+  auto capturing =
+      std::make_shared<adversary::CapturingStrategy>(inner, auditor);
+  EXPECT_EQ(capturing->name(), inner->name());  // pure decorator
+
+  auto drift = clk::make_pinned_drift(1e-4, 1.0);
+  std::vector<std::unique_ptr<FakeProc>> procs;
+  for (int p = 0; p < 3; ++p)
+    procs.push_back(std::make_unique<FakeProc>(p, sim, drift));
+  adversary::WorldSpy spy;
+  spy.n = 3;
+  spy.f = 1;
+  spy.way_off = Dur::seconds(1);
+  spy.read_clock = [&procs](net::ProcId q) {
+    return procs[static_cast<std::size_t>(q)]->clock().read();
+  };
+  adversary::Adversary adv(
+      sim,
+      adversary::Schedule({{1, RealTime(10.0), RealTime(20.0)},
+                           {2, RealTime(30.0), RealTime(40.0)}}),
+      capturing, std::move(spy), Rng(5));
+  std::vector<adversary::ControlledProcess*> raw;
+  for (auto& p : procs) raw.push_back(p.get());
+  adv.attach(std::move(raw));
+
+  sim.run_until(RealTime(50.0));
+  // One capture per break-in, attributed to the right victims.
+  EXPECT_EQ(auditor.captures(), 2u);
+  EXPECT_EQ(auditor.worst_epoch_exposure(), 2);
+  // Engine lifecycle still reached the processors through the decorator.
+  EXPECT_EQ(procs[1]->suspends, 1);
+  EXPECT_EQ(procs[1]->resumes, 1);
+  EXPECT_EQ(procs[2]->suspends, 1);
+  EXPECT_EQ(procs[2]->resumes, 1);
+}
+
+}  // namespace
+}  // namespace czsync

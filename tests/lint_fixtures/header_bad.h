@@ -1,0 +1,6 @@
+// Fixture: no include guard, namespace leak.
+#include <vector>
+
+using namespace std;
+
+inline int three() { return 3; }

@@ -1,0 +1,6 @@
+// Fixture: hygienic header.
+#pragma once
+
+#include <vector>
+
+inline int three() { return 3; }

@@ -1,0 +1,15 @@
+// Fixture: every banned nondeterminism token, no justification.
+#include <chrono>
+#include <cstdlib>
+
+double wall() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  auto w = std::chrono::system_clock::now();
+  (void)w;
+  std::random_device rd;
+  (void)std::rand();
+  const char* home = std::getenv("HOME");
+  (void)home;
+  return 0.0;
+}

@@ -1,0 +1,11 @@
+// Fixture: the same reads, each with its documented justification.
+#include <chrono>
+#include <cstdlib>
+
+double wall() {
+  auto t = std::chrono::steady_clock::now();  // lint: wall-clock
+  const char* knob = std::getenv("FIXTURE_KNOB");  // lint: ambient-env
+  (void)knob;
+  (void)t;
+  return 0.0;
+}

@@ -1,0 +1,5 @@
+"""Fixture: clean python."""
+
+
+def fine():
+    return 1

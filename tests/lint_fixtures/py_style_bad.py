@@ -1,0 +1,8 @@
+"""Fixture: style findings (still byte-compiles)."""
+
+
+def risky():
+    try:
+        return 1
+    except:
+        return 0

@@ -1,0 +1,4 @@
+"""Fixture: does not byte-compile."""
+
+def broken(:
+    pass

@@ -1,0 +1,7 @@
+// Fixture: exact equality on time-typed expressions.
+struct Dur {
+  double v;
+  double sec() const { return v; }
+};
+
+bool same(Dur a, Dur b) { return a.sec() == b.sec(); }

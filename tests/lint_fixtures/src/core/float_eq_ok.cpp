@@ -1,0 +1,12 @@
+// Fixture: tolerance compare, and a justified exact compare.
+#include <cmath>
+
+struct Dur {
+  double v;
+  double sec() const { return v; }
+};
+
+bool close(Dur a, Dur b) { return std::abs(a.sec() - b.sec()) < 1e-9; }
+bool zero(Dur a) {
+  return a.sec() == 0.0;  // lint: exact-time
+}

@@ -1,0 +1,5 @@
+// Fixture: core/ reaching up into sim/ and analysis/.
+#pragma once
+
+#include "analysis/world.h"
+#include "sim/simulator.h"

@@ -1,0 +1,7 @@
+// Fixture: core/ sticking to its allowed lower layers.
+#pragma once
+
+#include "clock/logical_clock.h"
+#include "net/network.h"
+#include "trace/port.h"
+#include "util/rng.h"

@@ -1,0 +1,10 @@
+// Fixture: bucket-order iteration over an unordered container.
+#include <unordered_map>
+
+int sum() {
+  std::unordered_map<int, int> cache;
+  int s = 0;
+  for (const auto& [k, v] : cache) s += v;
+  for (auto it = cache.begin(); it != cache.end(); ++it) s += it->second;
+  return s;
+}

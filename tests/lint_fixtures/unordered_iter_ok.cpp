@@ -1,0 +1,15 @@
+// Fixture: sorted snapshot, plus the escape hatch for a commutative walk.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+int sum() {
+  std::unordered_map<int, int> cache;
+  std::vector<std::pair<int, int>> snapshot(cache.begin(), cache.end());
+  std::sort(snapshot.begin(), snapshot.end());
+  int s = 0;
+  for (const auto& [k, v] : snapshot) s += v;
+  // Pure commutative accumulation; order cannot reach any output.
+  for (const auto& [k, v] : cache) s += v;  // lint: order-insensitive
+  return s;
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Self-test for tools/czsync_lint.py.
+
+Drives the linter as a subprocess against the fixture corpus in
+tests/lint_fixtures/: every rule class has one violating fixture that
+must produce a finding with the right rule id and file:line, and one
+clean fixture (including the justification-comment escape hatches) that
+must pass. Also pins the exit-code contract: 0 clean, 1 findings,
+2 usage error.
+
+Run directly (python3 tests/lint_test.py) or via ctest -R lint_selftest.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "tools", "czsync_lint.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+_failures = []
+
+
+def run_lint(*args):
+    """Run the linter; returns (exit_code, combined_output)."""
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {name}" + (f" -- {detail}" if detail and not cond else ""))
+    if not cond:
+        _failures.append(name)
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def expect_findings(name, path, rule, lines):
+    """Bad fixture: exit 1, and each expected line carries the rule id."""
+    code, out = run_lint(path)
+    check(f"{name}: exit 1", code == 1, f"exit={code}\n{out}")
+    rel = os.path.relpath(path, REPO)
+    for line_no in lines:
+        pat = re.escape(rel) + rf":{line_no}: \[{re.escape(rule)}\]"
+        check(
+            f"{name}: finding [{rule}] at {rel}:{line_no}",
+            re.search(pat, out) is not None,
+            out,
+        )
+
+
+def expect_clean(name, path):
+    code, out = run_lint(path)
+    check(f"{name}: exit 0", code == 0, f"exit={code}\n{out}")
+
+
+def main():
+    print("== bad fixtures: each rule fires with file:line ==")
+    expect_findings(
+        "nondet-token",
+        fixture("nondet_token_bad.cpp"),
+        "nondet-token",
+        [6, 8, 10, 11, 12],
+    )
+    expect_findings(
+        "unordered-iter",
+        fixture("unordered_iter_bad.cpp"),
+        "unordered-iter",
+        [7, 8],
+    )
+    expect_findings(
+        "layering",
+        fixture("src", "core", "layering_bad.h"),
+        "layering",
+        [4, 5],
+    )
+    expect_findings(
+        "float-time-eq",
+        fixture("src", "core", "float_eq_bad.cpp"),
+        "float-time-eq",
+        [7],
+    )
+    expect_findings(
+        "header-hygiene",
+        fixture("header_bad.h"),
+        "header-hygiene",
+        [1, 4],
+    )
+    expect_findings(
+        "py-style", fixture("py_style_bad.py"), "py-style", [7]
+    )
+    code, out = run_lint(fixture("py_syntax_bad.py"))
+    check("py-compile: exit 1", code == 1, out)
+    check("py-compile: rule id present", "[py-compile]" in out, out)
+
+    print("== clean fixtures: escape hatches and sorted snapshots pass ==")
+    expect_clean("nondet-token justified (// lint: wall-clock, ambient-env)",
+                 fixture("nondet_token_ok.cpp"))
+    expect_clean("unordered-iter sorted snapshot + // lint: order-insensitive",
+                 fixture("unordered_iter_ok.cpp"))
+    expect_clean("layering within allowed layers",
+                 fixture("src", "core", "layering_ok.h"))
+    expect_clean("float compare with tolerance / // lint: exact-time",
+                 fixture("src", "core", "float_eq_ok.cpp"))
+    expect_clean("hygienic header", fixture("header_ok.h"))
+    expect_clean("clean python", fixture("py_ok.py"))
+
+    print("== exit-code contract ==")
+    code, out = run_lint("--no-such-flag")
+    check("unknown flag: exit 2", code == 2, f"exit={code}\n{out}")
+    code, out = run_lint(os.path.join(REPO, "no", "such", "file.cpp"))
+    check("nonexistent path: exit 2", code == 2, f"exit={code}\n{out}")
+
+    print("== whole tree is lint-clean ==")
+    code, out = run_lint("--root", REPO, "--py")
+    check("tree run: exit 0", code == 0, f"exit={code}\n{out}")
+    check("tree run: reports clean", "clean" in out, out)
+
+    if _failures:
+        print(f"\nlint_test: {len(_failures)} check(s) FAILED")
+        return 1
+    print("\nlint_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,11 @@ TEST(TopologyTest, FullMeshProperties) {
   EXPECT_TRUE(t.is_connected());
   for (int a = 0; a < 5; ++a) {
     EXPECT_FALSE(t.has_edge(a, a));
-    for (int b = 0; b < 5; ++b)
-      if (a != b) EXPECT_TRUE(t.has_edge(a, b));
+    for (int b = 0; b < 5; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(t.has_edge(a, b));
+      }
+    }
   }
 }
 

@@ -23,7 +23,7 @@ struct RoundNode {
       : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
            ClockTime(sim.now().sec()) + initial_bias),
         clock(hw),
-        proto(sim, net, clock, id, cfg, Rng(200 + id)) {
+        proto(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
     net.register_handler(id, [this](const net::Message& m) {
       proto.handle_message(m);
     });

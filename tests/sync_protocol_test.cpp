@@ -28,7 +28,7 @@ struct TestNode {
       : hw(sim, clk::make_pinned_drift(kRho, 1.0), Rng(100 + id),
            ClockTime(sim.now().sec()) + initial_bias),
         clock(hw),
-        sync(sim, net, clock, id, cfg, Rng(200 + id)) {
+        sync(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
     net.register_handler(id, [this](const net::Message& m) {
       if (drop_all) return;
       sync.handle_message(m);

@@ -34,32 +34,66 @@ TIMING_KEYS = ("sweep.wall_seconds", "sweep.runs_per_sec")
 FLOAT_REL_TOL = 1e-6
 
 
+def die(msg):
+    """Setup/usage error: clear one-line message on stderr, exit 2.
+
+    Never lets a malformed input surface as a traceback — a truncated
+    BENCH_PERF.json must read as "fix your baseline", not as a crash in
+    the gate itself.
+    """
+    sys.stderr.write(f"check_bench_regression: error: {msg}\n")
+    sys.exit(2)
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        die(f"cannot read {what} {path}: {e.strerror or e}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        die(f"{what} {path} is not valid JSON (truncated?): {e}")
+
+
 def load_baseline(path, run_id):
-    with open(path) as f:
-        doc = json.load(f)
-    for checkpoint in reversed(doc.get("checkpoints", [])):
-        totals = checkpoint.get("runrecord", {}).get(run_id)
-        if totals is not None:
+    doc = load_json(path, "baseline")
+    checkpoints = doc.get("checkpoints") if isinstance(doc, dict) else None
+    if not isinstance(checkpoints, list):
+        die(f"baseline {path} has no 'checkpoints' list")
+    for checkpoint in reversed(checkpoints):
+        if not isinstance(checkpoint, dict):
+            continue
+        runrecord = checkpoint.get("runrecord")
+        if not isinstance(runrecord, dict):
+            continue
+        totals = runrecord.get(run_id)
+        if isinstance(totals, dict):
             return checkpoint, totals
-    raise SystemExit(
-        f"error: no checkpoint in {path} carries a runrecord for {run_id}"
-    )
+    die(f"no checkpoint in {path} carries a runrecord for {run_id}")
 
 
 def run_bench(bench, run_id, jobs, json_path):
     cmd = [bench, "--run", run_id, "--jobs", str(jobs), "--json", json_path]
-    proc = subprocess.run(
-        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
-    )
+    try:
+        proc = subprocess.run(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+        )
+    except OSError as e:
+        die(f"cannot execute {bench}: {e.strerror or e}")
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
-        raise SystemExit(f"error: {' '.join(cmd)} exited {proc.returncode}")
-    with open(json_path) as f:
-        doc = json.load(f)
-    for experiment in doc["experiments"]:
-        if experiment["id"] == run_id:
-            return experiment["totals"]
-    raise SystemExit(f"error: RunRecord document has no experiment {run_id}")
+        die(f"{' '.join(cmd)} exited {proc.returncode}")
+    doc = load_json(json_path, "RunRecord document")
+    experiments = doc.get("experiments") if isinstance(doc, dict) else None
+    if not isinstance(experiments, list):
+        die(f"RunRecord document {json_path} has no 'experiments' list")
+    for experiment in experiments:
+        if isinstance(experiment, dict) and experiment.get("id") == run_id:
+            totals = experiment.get("totals")
+            if not isinstance(totals, dict):
+                die(f"experiment {run_id} carries no 'totals' block")
+            return totals
+    die(f"RunRecord document has no experiment {run_id}")
 
 
 def sim_events_per_sec(totals):

@@ -1,0 +1,458 @@
+#!/usr/bin/env python3
+"""czsync-lint: project-specific determinism & layering static analysis.
+
+The repo's headline guarantees (bit-identical serial/parallel sweeps,
+traced == untraced runs) rest on invariants that sanitizers only catch
+dynamically and only when a seed happens to trip them. This pass enforces
+them statically, before runtime:
+
+  nondet-token     banned nondeterminism sources (wall clocks, ambient
+                   randomness, environment reads outside util/, pointer-
+                   value ordering/hashing). Deliberate wall-clock metric
+                   reads carry a `// lint: wall-clock` justification.
+  unordered-iter   range-for / iterator loops over std::unordered_map or
+                   std::unordered_set: bucket order is not part of the
+                   contract and must never reach message emission,
+                   metrics, or trace records. Loops whose body is truly
+                   order-insensitive carry `// lint: order-insensitive`
+                   (same line or the line above).
+  layering         #include edges must follow the module DAG documented
+                   in DESIGN.md section 4.9 (LAYERS below is the
+                   authoritative copy; new modules must be added to both).
+  float-time-eq    == / != on time-typed expressions (Dur, RealTime,
+                   ClockTime, .sec()) inside src/. Exact comparisons that
+                   are intentional carry `// lint: exact-time`.
+  header-hygiene   every header has `#pragma once`; no `using namespace`
+                   at header scope.
+  py-compile,      (--py) the repo's Python tools must byte-compile and
+  py-style         pass a small flake-style check (no bare except, no
+                   tab indentation, no trailing whitespace).
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+Findings print as `path:line: [rule] message`, one per line.
+"""
+
+import argparse
+import os
+import py_compile
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# Layering DAG. Key: module directory under src/. Value: the modules whose
+# headers it may #include (besides its own). The full rationale, including
+# why sim/ sits below clock/net (hardware alarms and message deliveries ARE
+# simulator events) while core/broadcast/proactive must NOT see sim/ (they
+# read time only via clock/ and trace only via trace::TracePort), lives in
+# DESIGN.md section 4.9. Keep the two in sync; new modules must be added to
+# both before they can be included from anywhere.
+# --------------------------------------------------------------------------
+LAYERS = {
+    "util": set(),
+    "trace": {"util"},
+    "sim": {"trace", "util"},
+    "clock": {"sim", "util"},
+    "net": {"clock", "sim", "util"},
+    "core": {"clock", "net", "trace", "util"},
+    "broadcast": {"clock", "core", "net", "trace", "util"},
+    "proactive": {"clock", "net", "trace", "util"},
+    "adversary": {
+        "broadcast", "clock", "core", "net", "proactive", "sim", "trace",
+        "util",
+    },
+    "analysis": {
+        "adversary", "broadcast", "clock", "core", "net", "proactive", "sim",
+        "trace", "util",
+    },
+}
+
+# Trees scanned by default (relative to --root). tools/bench/tests/examples
+# sit above every src/ module and may include anything; they are still
+# subject to every non-layering rule.
+DEFAULT_TREES = ("src", "tools", "tests", "bench", "examples")
+
+# Directory names skipped during tree walks. Explicitly-listed files are
+# always linted (that is how the fixture self-tests exercise the rules).
+SKIP_DIRS = {"build", ".git", "golden", "lint_fixtures", "__pycache__"}
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# (regex, message) pairs for rule nondet-token, matched against code with
+# comments and string/char literals stripped.
+NONDET_TOKENS = [
+    (re.compile(r"std::rand\b|(?<![\w:])srand\s*\("),
+     "std::rand/srand: use util::Rng, seeded from the scenario"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic: seed util::Rng explicitly"),
+    (re.compile(r"\bsystem_clock\b"),
+     "wall clock read: simulation time must come from sim/clock layers"),
+    (re.compile(r"\b(?:steady_clock|high_resolution_clock)\b"),
+     "wall clock read: allowed only for throughput metrics with a "
+     "`// lint: wall-clock` justification"),
+    (re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get)\b"),
+     "OS clock read: simulation time must come from sim/clock layers"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|\))"),
+     "time(): wall clock read"),
+    (re.compile(r"\bgetenv\b"),
+     "environment read: ambient configuration is allowed only in "
+     "src/util/ or with a `// lint: ambient-env` justification"),
+    (re.compile(r"reinterpret_cast<\s*(?:std::)?uintptr_t"),
+     "pointer-value arithmetic: pointer values vary across runs; key on "
+     "ProcId or another stable identity"),
+    (re.compile(r"std::hash<[^>]*\*\s*>"),
+     "hashing pointer values: bucket placement varies across runs; hash "
+     "a stable identity instead"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:multi)?(?:map|set)\s*<")
+RANGE_FOR = re.compile(r"for\s*\([^;()]*:\s*&?(\w+)\s*\)")
+ITER_FOR = re.compile(r"for\s*\([^;]*=\s*(\w+)\s*\.\s*(?:c?begin)\s*\(")
+TIME_EQ = re.compile(r"(?<![=!<>])(==|!=)(?!=)")
+TIME_TYPED = re.compile(r"\.sec\s*\(\s*\)|\bDur\b|\bRealTime\b|\bClockTime\b")
+
+
+def time_typed_comparison(line):
+    """True when some ==/!= on the line has a time-typed operand.
+
+    Operands are scoped to the nearest enclosing bracket/logical-operator
+    boundary so `ts != nullptr` on a line that also stamps `.sec()` does
+    not trip the rule.
+    """
+    for m in TIME_EQ.finditer(line):
+        left_stop = max(line.rfind(b, 0, m.start())
+                        for b in ("(", "||", "&&", ",", ";", "{", "?"))
+        right = line[m.end():]
+        cut = len(right)
+        depth = 0
+        for i, c in enumerate(right):
+            if c == "(":
+                depth += 1
+            elif depth > 0 and c == ")":
+                depth -= 1
+            elif depth == 0 and (c in "),;{}?" or right.startswith(("||", "&&"), i)):
+                cut = i
+                break
+        operands = line[left_stop + 1:m.start()] + " " + right[:cut]
+        if TIME_TYPED.search(operands):
+            return True
+    return False
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+PY_BARE_EXCEPT = re.compile(r"^\s*except\s*:")
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        self.items.append((path, line, rule, message))
+
+    def report(self, out):
+        for path, line, rule, message in sorted(self.items):
+            out.write(f"{path}:{line}: [{rule}] {message}\n")
+        return len(self.items)
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals removed.
+
+    Good enough for token scanning: handles // and /* */ comments and
+    skips over quoted literals so tokens inside them never match. Raw
+    strings are treated like plain strings (fine for this codebase).
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        code = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < n and line[i] != quote:
+                    i += 2 if line[i] == "\\" else 1
+                i += 1
+                code.append(quote + quote)  # keep a token boundary
+                continue
+            code.append(c)
+            i += 1
+        out.append("".join(code))
+    return out
+
+
+def has_justification(lines, idx, tag):
+    """True when line idx (0-based) or the line above carries the tag."""
+    here = lines[idx]
+    above = lines[idx - 1] if idx > 0 else ""
+    return tag in here or tag in above
+
+
+def module_of(path):
+    """Module name for layering purposes, or None for top-layer files."""
+    parts = os.path.normpath(path).split(os.sep)
+    for i, part in enumerate(parts[:-1]):
+        if part == "src" and i + 1 < len(parts) - 0:
+            nxt = parts[i + 1]
+            if nxt != parts[-1]:
+                return nxt
+    return None
+
+
+def unordered_names(lines):
+    """Names of variables/members declared with an unordered container."""
+    names = set()
+    text = "\n".join(lines)
+    for m in UNORDERED_DECL.finditer(text):
+        # Balance the template angle brackets, then take the next
+        # identifier as the declared name.
+        i = m.end()
+        depth = 1
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        tail = text[i:i + 120]
+        dm = re.match(r"\s*&?\s*(\w+)\s*[;,={(]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def project_includes(lines):
+    incs = []
+    for idx, line in enumerate(lines):
+        m = INCLUDE_RE.search(line)
+        if m:
+            incs.append((idx + 1, m.group(1)))
+    return incs
+
+
+def resolve_header(root, inc):
+    cand = os.path.join(root, "src", inc)
+    return cand if os.path.isfile(cand) else None
+
+
+def lint_cxx_file(path, root, findings, header_cache):
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        findings.add(path, 0, "io", f"unreadable: {e}")
+        return
+    code = strip_code(raw)
+    rel = os.path.relpath(path, root)
+    in_src = module_of(rel) is not None or f"{os.sep}src{os.sep}" in rel
+
+    # ---- nondet-token ----
+    for idx, line in enumerate(code):
+        for pattern, message in NONDET_TOKENS:
+            if not pattern.search(line):
+                continue
+            if "getenv" in pattern.pattern:
+                if f"src{os.sep}util" in rel:
+                    continue  # util/ owns ambient-environment access
+                if has_justification(raw, idx, "lint: ambient-env"):
+                    continue
+            if has_justification(raw, idx, "lint: wall-clock"):
+                continue
+            findings.add(rel, idx + 1, "nondet-token", message)
+
+    # ---- unordered-iter ----
+    names = set(unordered_names(code))
+    for _, inc in project_includes(raw):
+        hdr = resolve_header(root, inc)
+        if hdr is None:
+            continue
+        if hdr not in header_cache:
+            try:
+                with open(hdr, encoding="utf-8") as f:
+                    header_cache[hdr] = unordered_names(
+                        strip_code(f.read().splitlines()))
+            except OSError:
+                header_cache[hdr] = set()
+        names |= header_cache[hdr]
+    if names:
+        for idx, line in enumerate(code):
+            for pattern in (RANGE_FOR, ITER_FOR):
+                m = pattern.search(line)
+                if m and m.group(1) in names:
+                    if has_justification(raw, idx, "lint: order-insensitive"):
+                        continue
+                    findings.add(
+                        rel, idx + 1, "unordered-iter",
+                        f"iteration over unordered container "
+                        f"'{m.group(1)}': bucket order may reach messages/"
+                        f"metrics/traces; iterate a sorted snapshot or "
+                        f"justify with `// lint: order-insensitive`")
+
+    # ---- layering ----
+    mod = module_of(rel)
+    if mod is not None:
+        allowed = LAYERS.get(mod)
+        if allowed is None:
+            findings.add(
+                rel, 1, "layering",
+                f"module '{mod}' is not in the layering map; add it to "
+                f"LAYERS in tools/czsync_lint.py and DESIGN.md section 4.9")
+        else:
+            for lineno, inc in project_includes(raw):
+                dep = inc.split("/")[0]
+                if "/" not in inc or dep not in LAYERS:
+                    continue  # system or non-module header
+                if dep != mod and dep not in allowed:
+                    findings.add(
+                        rel, lineno, "layering",
+                        f"{mod}/ must not include {dep}/ "
+                        f"(allowed: {', '.join(sorted(allowed)) or 'none'})")
+
+    # ---- float-time-eq ----
+    if in_src:
+        for idx, line in enumerate(code):
+            if "operator" in line or "static_assert" in line:
+                continue
+            if time_typed_comparison(line):
+                if has_justification(raw, idx, "lint: exact-time"):
+                    continue
+                findings.add(
+                    rel, idx + 1, "float-time-eq",
+                    "==/!= on a time-typed expression: compare with a "
+                    "tolerance, or justify with `// lint: exact-time`")
+
+    # ---- header-hygiene ----
+    if path.endswith((".h", ".hpp")):
+        if not any("#pragma once" in l for l in raw[:40]):
+            findings.add(rel, 1, "header-hygiene", "missing #pragma once")
+        for idx, line in enumerate(code):
+            if re.search(r"\busing\s+namespace\b", line):
+                findings.add(
+                    rel, idx + 1, "header-hygiene",
+                    "using-namespace at header scope leaks into every "
+                    "includer")
+
+
+def lint_py_file(path, root, findings):
+    rel = os.path.relpath(path, root)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            py_compile.compile(
+                path, cfile=os.path.join(tmp, "lint.pyc"), doraise=True)
+    except py_compile.PyCompileError as e:
+        lineno = e.exc_value.lineno if hasattr(e.exc_value, "lineno") else 0
+        findings.add(rel, lineno or 0, "py-compile", e.msg.strip())
+        return
+    except OSError as e:
+        findings.add(rel, 0, "py-compile", str(e))
+        return
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for idx, line in enumerate(lines):
+        if PY_BARE_EXCEPT.match(line):
+            findings.add(rel, idx + 1, "py-style",
+                         "bare `except:` swallows SystemExit and typos; "
+                         "catch a concrete exception type")
+        if line.startswith("\t") or line.lstrip(" ").startswith("\t"):
+            findings.add(rel, idx + 1, "py-style", "tab indentation")
+        if line != line.rstrip():
+            findings.add(rel, idx + 1, "py-style", "trailing whitespace")
+
+
+def collect_files(root, paths, want_py):
+    cxx, py = [], []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            if full.endswith(CXX_EXTENSIONS):
+                cxx.append(full)
+            elif full.endswith(".py"):
+                py.append(full)
+            continue
+        if not os.path.isdir(full):
+            raise SystemExit2(f"error: no such file or directory: {p}")
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            for name in sorted(filenames):
+                f = os.path.join(dirpath, name)
+                if name.endswith(CXX_EXTENSIONS):
+                    cxx.append(f)
+                elif name.endswith(".py") and want_py:
+                    py.append(f)
+    return cxx, py
+
+
+class SystemExit2(Exception):
+    """Usage error: reported on stderr, exit code 2."""
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="czsync_lint.py",
+        description=__doc__.splitlines()[0],
+        epilog="exit codes: 0 clean, 1 findings, 2 usage error")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--py", action="store_true",
+                    help="also lint Python tools (py_compile + style)")
+    ap.add_argument("paths", nargs="*",
+                    help=f"files or directories to lint "
+                         f"(default: {' '.join(DEFAULT_TREES)})")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        # argparse exits 2 on bad flags and 0 on --help; keep both.
+        return int(e.code or 0)
+
+    root = os.path.abspath(
+        args.root
+        or os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(root):
+        sys.stderr.write(f"error: --root {root} is not a directory\n")
+        return 2
+
+    paths = args.paths or [t for t in DEFAULT_TREES
+                           if os.path.isdir(os.path.join(root, t))]
+    try:
+        cxx, py = collect_files(root, paths, want_py=args.py)
+    except SystemExit2 as e:
+        sys.stderr.write(str(e) + "\n")
+        return 2
+
+    findings = Findings()
+    header_cache = {}
+    for f in cxx:
+        lint_cxx_file(f, root, findings, header_cache)
+    for f in py:
+        lint_py_file(f, root, findings)
+
+    count = findings.report(sys.stdout)
+    if count:
+        print(f"czsync-lint: {count} finding(s) in "
+              f"{len(cxx) + len(py)} file(s)")
+        return 1
+    print(f"czsync-lint: clean ({len(cxx)} C++ file(s)"
+          + (f", {len(py)} Python file(s)" if args.py else "") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
