@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "clock/drift_model.h"
 #include "sim/simulator.h"
@@ -56,6 +57,18 @@ class HardwareClock {
 
   /// Number of alarms currently pending (for tests).
   [[nodiscard]] std::size_t pending_alarms() const { return alarms_.size(); }
+
+  /// Remaining hardware time until each pending alarm fires, in
+  /// creation order. Together with read(), rate() and the logical
+  /// adjustment this pins down the clock stack's entire future-relevant
+  /// state; the model checker hashes it to deduplicate barrier states.
+  [[nodiscard]] std::vector<Dur> pending_alarm_offsets() const {
+    std::vector<Dur> out;
+    out.reserve(alarms_.size());
+    const ClockTime h = read();
+    for (const auto& [id, a] : alarms_) out.push_back(a.target - h);
+    return out;
+  }
 
   /// Number of drift (rate) changes so far (for tests).
   [[nodiscard]] std::uint64_t rate_changes() const { return rate_changes_; }

@@ -55,6 +55,12 @@ class ProtocolEngine {
   [[nodiscard]] virtual bool suspended() const = 0;
   [[nodiscard]] virtual const SyncStats& stats() const = 0;
 
+  /// Whether a synchronization round is currently in flight. Engines
+  /// without an in-flight round notion (e.g. the broadcast comparator)
+  /// report false. The model checker uses this to detect quiescent
+  /// "barrier" states between round batches.
+  [[nodiscard]] virtual bool round_active() const { return false; }
+
   /// Metrics hook, invoked after every completed synchronization with
   /// the result that was applied to the clock.
   std::function<void(const ConvergenceResult&)> on_sync_complete;

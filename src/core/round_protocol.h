@@ -52,6 +52,7 @@ class RoundSyncProcess final : public ProtocolEngine {
   void resume() override;
   void handle_message(const net::Message& msg) override;
 
+  [[nodiscard]] bool round_active() const override { return round_active_; }
   [[nodiscard]] bool suspended() const override { return suspended_; }
   [[nodiscard]] const SyncStats& stats() const override { return stats_; }
   [[nodiscard]] std::uint64_t round() const { return round_; }

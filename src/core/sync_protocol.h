@@ -92,7 +92,7 @@ class SyncProcess final : public ProtocolEngine {
   /// the in-flight round.
   void handle_message(const net::Message& msg) override;
 
-  [[nodiscard]] bool round_active() const { return round_active_; }
+  [[nodiscard]] bool round_active() const override { return round_active_; }
   [[nodiscard]] bool suspended() const override { return suspended_; }
   [[nodiscard]] const SyncStats& stats() const override { return stats_; }
   [[nodiscard]] net::ProcId id() const { return id_; }

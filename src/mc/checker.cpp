@@ -1,0 +1,152 @@
+#include "mc/checker.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "mc/world.h"
+
+namespace czsync::mc {
+
+Checker::Checker(McOptions opt)
+    : opt_(std::move(opt)),
+      proto_(core::ProtocolParams::derive(opt_.model(), opt_.sync_int)),
+      cases_(enumerate_adversary_cases(opt_, proto_)) {}
+
+Checker::RunOutcome Checker::run_one(ChoiceTrail& trail,
+                                     trace::TraceSink* sink, bool allow_prune,
+                                     McStats* stats) {
+  McWorld world(opt_, cases_, trail);
+  if (sink != nullptr) world.sim().set_trace_sink(sink);
+  InvariantMonitor mon(world, opt_);
+
+  // Containment fires from inside finish_round, after the adjustment
+  // was applied — exactly the instant Lemma 7 talks about.
+  for (int p = 0; p < world.n(); ++p) {
+    world.node(p).sync().on_sync_complete =
+        [&mon, p](const core::ConvergenceResult&) { mon.on_round_complete(p); };
+  }
+
+  world.start();
+
+  RunOutcome out;
+  const int n = world.n();
+  std::vector<bool> was_active(static_cast<std::size_t>(n), false);
+
+  // The pre-start state (alarms armed, nothing in flight) is itself a
+  // barrier: hashing it merges translation-equivalent initial-bias
+  // combinations before a single delay choice is spent on them.
+  auto barrier = [&]() -> bool {
+    mon.at_barrier();
+    if (mon.pending()) return false;
+    if (!allow_prune) return false;
+    const std::uint64_t h = world.state_hash();
+    if (seen_.count(h) != 0) {
+      if (stats != nullptr) ++stats->dedup_hits;
+      return true;  // continuation subtree already fully explored
+    }
+    // A pending hit is the current prefix revisiting its own earlier
+    // barrier (deterministic replay passes through the same states):
+    // its subtree is still being explored, so neither prune nor
+    // re-record it.
+    if (pending_hashes_.insert(h).second) {
+      pending_.push_back(PendingState{h, trail.depth()});
+      if (stats != nullptr) ++stats->states;
+    }
+    return false;
+  };
+
+  const RealTime limit = RealTime::zero() + opt_.horizon;
+  bool pruned = world.at_barrier() && barrier();
+
+  while (!pruned && !mon.pending()) {
+    if (!world.sim().step(limit)) break;
+    if (stats != nullptr) ++stats->transitions;
+    // Poll for round openings. The opening event (an alarm firing
+    // begin_round) sends pings but never moves a clock, so sampling the
+    // biases right after it equals sampling at the open instant.
+    for (int p = 0; p < n; ++p) {
+      const bool active = world.round_active(p);
+      if (active && !was_active[static_cast<std::size_t>(p)]) {
+        mon.note_round_open(p);
+      }
+      was_active[static_cast<std::size_t>(p)] = active;
+    }
+    mon.after_event();
+    if (mon.pending()) break;
+    if (world.at_barrier()) pruned = barrier();
+  }
+
+  if (stats != nullptr) {
+    for (int p = 0; p < n; ++p) {
+      const core::SyncStats& s = world.node(p).sync().stats();
+      stats->rounds_completed += s.rounds_completed;
+      stats->way_off_rounds += s.way_off_rounds;
+      stats->responses_ok += s.responses_ok;
+      stats->timeouts += s.timeouts;
+    }
+  }
+  out.violation = mon.pending();
+  out.pruned = pruned;
+  return out;
+}
+
+void Checker::promote(std::size_t live_prefix) {
+  // A pending state reached after consuming k choices is defined by the
+  // k-prefix that led to it; once only `live_prefix` leading choices
+  // remain unchanged, every state with k > live_prefix has had its full
+  // continuation subtree enumerated and becomes prunable.
+  while (!pending_.empty() && pending_.back().depth > live_prefix) {
+    seen_.insert(pending_.back().hash);
+    pending_hashes_.erase(pending_.back().hash);
+    pending_.pop_back();
+  }
+}
+
+McResult Checker::run() {
+  seen_.clear();
+  pending_.clear();
+  pending_hashes_.clear();
+  stats_ = McStats{};
+  McResult result;
+  ChoiceTrail trail;
+  while (true) {
+    if (stats_.paths >= opt_.max_paths) {
+      stats_.budget_exhausted = true;
+      break;
+    }
+    const RunOutcome out = run_one(trail, nullptr, /*allow_prune=*/true,
+                                   &stats_);
+    ++stats_.paths;
+    if (trail.depth() > stats_.max_depth) stats_.max_depth = trail.depth();
+    if (out.violation) {
+      // Keep exactly the choices this run consumed (a violation can
+      // fire before a replayed prefix is exhausted): the minimal
+      // vector that reproduces the execution.
+      std::vector<Choice> vec(
+          trail.choices().begin(),
+          trail.choices().begin() + static_cast<std::ptrdiff_t>(trail.depth()));
+      result.counterexample = Counterexample{std::move(vec), *out.violation};
+      break;
+    }
+    if (!trail.advance()) break;
+    // The bumped choice sits at index depth-1, so exactly depth-1
+    // leading choices survived; complete every deeper barrier state.
+    promote(trail.choices().size() - 1);
+  }
+  result.stats = stats_;
+  return result;
+}
+
+trace::TraceData Checker::capture(const std::vector<Choice>& choices) {
+  ChoiceTrail trail = ChoiceTrail::fixed(choices);
+  trace::TraceSink sink;  // full-stream: counterexamples keep everything
+  (void)run_one(trail, &sink, /*allow_prune=*/false, /*stats=*/nullptr);
+  trace::TraceData data;
+  data.truncated = sink.truncated();
+  data.dropped = sink.dropped();
+  data.records = sink.snapshot();
+  return data;
+}
+
+}  // namespace czsync::mc

@@ -1,0 +1,105 @@
+// The bounded model checker's DFS driver.
+//
+// Stateless-search architecture (the CHESS recipe): the checker never
+// snapshots a simulator; it re-executes a fresh McWorld per path under
+// a ChoiceTrail and lets ChoiceTrail::advance() walk the choice tree
+// in DFS order. On top of that it layers *stateful* pruning: at every
+// barrier (quiescent) state it hashes the canonical world state, and a
+// previously-seen hash proves the entire continuation subtree was
+// already enumerated from the first visit — DFS finishes a subtree
+// before the prefix that led to it changes — so the path is cut there.
+//
+// A violation terminates the search and is returned with the recorded
+// choice vector; capture() re-executes that vector with a full
+// TraceSink attached, turning the counterexample into a czsync-trace-v1
+// stream. Two captures of the same vector must serialize byte-
+// identically — the differential-replay contract the CLI enforces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/choice.h"
+#include "mc/invariants.h"
+#include "mc/options.h"
+#include "mc/schedule_enum.h"
+#include "trace/format.h"
+#include "trace/sink.h"
+
+namespace czsync::mc {
+
+struct McStats {
+  std::uint64_t paths = 0;        ///< executions (complete or pruned)
+  std::uint64_t transitions = 0;  ///< simulator events executed
+  std::uint64_t states = 0;       ///< distinct canonical barrier states
+  std::uint64_t dedup_hits = 0;   ///< subtrees pruned at a seen state
+  std::uint64_t rounds_completed = 0;  ///< across all paths and processors
+  std::uint64_t way_off_rounds = 0;    ///< escape-branch rounds observed
+  std::uint64_t responses_ok = 0;      ///< ping replies accepted
+  std::uint64_t timeouts = 0;          ///< peer estimates that timed out
+  std::size_t max_depth = 0;           ///< longest choice vector
+  bool budget_exhausted = false;       ///< max_paths hit: NOT exhaustive
+};
+
+struct Counterexample {
+  std::vector<Choice> choices;
+  Violation violation;
+};
+
+struct McResult {
+  McStats stats;
+  std::optional<Counterexample> counterexample;
+};
+
+class Checker {
+ public:
+  explicit Checker(McOptions opt);
+
+  [[nodiscard]] const McOptions& options() const { return opt_; }
+  [[nodiscard]] const std::vector<AdvCase>& cases() const { return cases_; }
+  [[nodiscard]] const core::ProtocolParams& proto() const { return proto_; }
+
+  /// Exhaustively explores the bounded space (or up to max_paths).
+  /// Stops at the first invariant violation.
+  McResult run();
+
+  /// Replays one recorded choice vector with a full-stream TraceSink
+  /// attached and returns the captured trace. Deterministic: calling it
+  /// twice must yield byte-identical serializations.
+  [[nodiscard]] trace::TraceData capture(const std::vector<Choice>& choices);
+
+ private:
+  struct RunOutcome {
+    std::optional<Violation> violation;
+    bool pruned = false;
+  };
+
+  RunOutcome run_one(ChoiceTrail& trail, trace::TraceSink* sink,
+                     bool allow_prune, McStats* stats);
+
+  McOptions opt_;
+  core::ProtocolParams proto_;
+  std::vector<AdvCase> cases_;
+
+  // Sound state caching for re-execution DFS: a barrier state's
+  // continuation subtree is fully explored only once advance() changes
+  // the choice prefix that led to it. Until then the state sits on the
+  // pending stack (ordered by choice depth — barriers within a run are
+  // visited at increasing depth); replaying a shared prefix revisits
+  // pending states without pruning. promote() moves entries whose
+  // prefix just changed into seen_, the only set pruning consults.
+  struct PendingState {
+    std::uint64_t hash = 0;
+    std::size_t depth = 0;  ///< choices consumed when first reached
+  };
+  void promote(std::size_t live_prefix);
+
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<PendingState> pending_;
+  std::unordered_set<std::uint64_t> pending_hashes_;
+  McStats stats_;
+};
+
+}  // namespace czsync::mc

@@ -1,0 +1,96 @@
+// The choice trail: the model checker's nondeterminism oracle.
+//
+// Execution-based bounded model checking (in the CHESS style) re-runs a
+// fully deterministic simulation once per *choice vector*: every source
+// of nondeterminism in the modelled world — which delay grid point a
+// message takes, which adversary case is in force, which initial bias a
+// clock starts from — asks the trail via choose(arity) instead of an
+// RNG. During a run the trail replays its recorded prefix and extends
+// fresh positions with choice 0; advance() then bumps the deepest
+// non-exhausted choice and truncates everything after it, so repeated
+// run/advance cycles enumerate the whole choice tree in DFS order
+// without ever storing simulator states.
+//
+// A recorded choice vector doubles as a counterexample: replaying it
+// through a fixed() trail reproduces the violating execution exactly.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace czsync::mc {
+
+struct Choice {
+  int chosen = 0;
+  int arity = 1;
+
+  bool operator==(const Choice&) const = default;
+};
+
+class ChoiceTrail {
+ public:
+  ChoiceTrail() = default;
+
+  /// Replay mode: consume exactly `choices`; any run that asks for more
+  /// (or different arities) throws — the execution being replayed was
+  /// not deterministic, which is itself a bug.
+  [[nodiscard]] static ChoiceTrail fixed(std::vector<Choice> choices) {
+    ChoiceTrail t;
+    t.choices_ = std::move(choices);
+    t.fixed_ = true;
+    return t;
+  }
+
+  /// The next nondeterministic choice in [0, arity). Replays the
+  /// recorded decision when one exists, otherwise records and returns
+  /// the first branch (0).
+  int choose(int arity) {
+    if (arity <= 0) throw std::logic_error("ChoiceTrail: arity must be >= 1");
+    if (cursor_ < choices_.size()) {
+      const Choice& c = choices_[cursor_++];
+      if (c.arity != arity) {
+        throw std::logic_error(
+            "ChoiceTrail: arity mismatch on replay — execution is not a "
+            "deterministic function of the choice vector");
+      }
+      return c.chosen;
+    }
+    if (fixed_) {
+      throw std::logic_error(
+          "ChoiceTrail: replay ran past the recorded choice vector");
+    }
+    choices_.push_back(Choice{0, arity});
+    ++cursor_;
+    return 0;
+  }
+
+  /// Moves to the next path in DFS order: pops exhausted tail choices,
+  /// bumps the deepest live one, and rewinds the cursor. Returns false
+  /// when the whole tree has been enumerated.
+  bool advance() {
+    while (!choices_.empty() &&
+           choices_.back().chosen + 1 >= choices_.back().arity) {
+      choices_.pop_back();
+    }
+    if (choices_.empty()) return false;
+    ++choices_.back().chosen;
+    cursor_ = 0;
+    return true;
+  }
+
+  /// Rewinds the replay cursor without touching the recorded choices
+  /// (used before re-executing the same path, e.g. for trace capture).
+  void rewind() { cursor_ = 0; }
+
+  /// Choices consumed by the current run so far.
+  [[nodiscard]] std::size_t depth() const { return cursor_; }
+  [[nodiscard]] const std::vector<Choice>& choices() const { return choices_; }
+
+ private:
+  std::vector<Choice> choices_;
+  std::size_t cursor_ = 0;
+  bool fixed_ = false;
+};
+
+}  // namespace czsync::mc

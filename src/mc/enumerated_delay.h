@@ -1,0 +1,56 @@
+// Message delays as explicit model-checker choices.
+//
+// The §2.2 contract only bounds delays to (0, delta]; for k >= 2 the
+// checker discretizes that interval into the k-point grid delta*(i+1)/k
+// and asks the ChoiceTrail which point each message takes. The model
+// never draws from the network's RNG (sample() ignores it), so swapping
+// it in is RNG-sequence-neutral: the rest of the world behaves
+// bit-identically to a FixedDelay run with the same choices.
+//
+// The endpoint delta is deliberately part of the k >= 2 grid: a reply
+// whose hops both take the full delta arrives exactly when the
+// responder's 2*delta round timeout fires, and with a rate-1.0 hardware
+// clock the (earlier-armed) alarm wins the FIFO tie — the grid's
+// deepest point explores the legal all-timeouts degenerate round.
+//
+// k = 1 degenerates to the deterministic midpoint delta/2 — following
+// the same one-point-grid-means-midpoint convention as the bias and
+// rate grids, so single-delay runs exercise completed rounds rather
+// than the timeout race above. It is reported via constant_delay(),
+// letting the network skip the per-message virtual call (and keeping
+// the choice vector free of arity-1 noise).
+#pragma once
+
+#include "mc/choice.h"
+#include "net/delay_model.h"
+
+namespace czsync::mc {
+
+class EnumeratedDelay final : public net::DelayModel {
+ public:
+  EnumeratedDelay(Dur bound, int k, ChoiceTrail* trail)
+      : net::DelayModel(bound), k_(k < 1 ? 1 : k), trail_(trail) {}
+
+  [[nodiscard]] Dur sample(Rng& /*rng*/, net::ProcId /*from*/,
+                           net::ProcId /*to*/) const override {
+    const int i = trail_->choose(k_);
+    return grid_point(i);
+  }
+
+  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+    if (k_ == 1) return grid_point(0);
+    return std::nullopt;
+  }
+
+  [[nodiscard]] int points() const { return k_; }
+  [[nodiscard]] Dur grid_point(int i) const {
+    if (k_ == 1) return bound() * 0.5;
+    return bound() * (static_cast<double>(i + 1) / static_cast<double>(k_));
+  }
+
+ private:
+  int k_;
+  ChoiceTrail* trail_;  // not owned; outlives the network
+};
+
+}  // namespace czsync::mc

@@ -1,0 +1,210 @@
+#include "mc/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "trace/record.h"
+#include "trace/sink.h"
+
+namespace czsync::mc {
+
+namespace {
+
+// Strict floating-point comparisons would flag exact-equality corners
+// (e.g. a zero-width hull with exact estimates); a femtosecond of
+// absolute slack is far below every modelled time scale.
+constexpr double kTiny = 1e-12;
+
+std::string describe(const char* fmt, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::Envelope:
+      return "envelope";
+    case Violation::Kind::Containment:
+      return "containment";
+    case Violation::Kind::Contraction:
+      return "contraction";
+  }
+  return "?";
+}
+
+InvariantMonitor::InvariantMonitor(McWorld& world, const McOptions& opt)
+    : w_(world),
+      eps_(core::reading_error_bound(opt.rho, opt.delta)),
+      envelope_(world.bounds().max_deviation),
+      check_containment_(opt.protocol == "sync"),
+      delta_period_(opt.delta_period),
+      rho_(opt.rho),
+      open_(static_cast<std::size_t>(world.n())) {}
+
+bool InvariantMonitor::controlled_within(int p, RealTime t1, RealTime t2) const {
+  return w_.adv_case().schedule.controlled_within(p, t1, t2);
+}
+
+bool InvariantMonitor::stable(int p, RealTime t) const {
+  // The paper's guarantee covers processors non-faulty for a full
+  // Delta-period; same classification as analysis::Observer.
+  return !controlled_within(p, t - delta_period_, t);
+}
+
+void InvariantMonitor::note_round_open(int p) {
+  OpenRound& o = open_[static_cast<std::size_t>(p)];
+  o.open = true;
+  o.t = w_.sim().now();
+  o.biases.resize(static_cast<std::size_t>(w_.n()));
+  for (int q = 0; q < w_.n(); ++q) {
+    o.biases[static_cast<std::size_t>(q)] = w_.bias(q);
+  }
+}
+
+void InvariantMonitor::on_round_complete(int p) {
+  if (pending_ || !check_containment_) return;
+  OpenRound& o = open_[static_cast<std::size_t>(p)];
+  if (!o.open) return;  // e.g. completed before the poll ever saw it open
+  o.open = false;
+  const RealTime now = w_.sim().now();
+  // The trim argument needs p correct for the whole round and at most f
+  // faulty participants; outside that precondition Lemma 7 says nothing.
+  if (controlled_within(p, o.t, now)) return;
+  int faulty = 0;
+  double hull_lo = 0.0, hull_hi = 0.0;
+  bool first = true;
+  for (int q = 0; q < w_.n(); ++q) {
+    if (controlled_within(q, o.t, now)) {
+      ++faulty;
+      continue;
+    }
+    const double at_open = o.biases[static_cast<std::size_t>(q)];
+    // A peer's value as read mid-round lies between its open and close
+    // samples (one adjustment at most per batch, drift in the slack).
+    // p's own close sample is excluded: it is the post-adjustment value
+    // under test, and counting it would make the hull inescapable.
+    const double at_close = q == p ? at_open : w_.bias(q);
+    const double lo = std::min(at_open, at_close);
+    const double hi = std::max(at_open, at_close);
+    hull_lo = first ? lo : std::min(hull_lo, lo);
+    hull_hi = first ? hi : std::max(hull_hi, hi);
+    first = false;
+  }
+  if (faulty > w_.f()) return;
+  // WayOff branch: adjustment (m+M)/2 with both statistics within the
+  // honest hull +- 2*eps of estimation error; normal branch is tighter.
+  // In-round drift moves the sampled hull by at most 2*rho*duration.
+  const double slack =
+      2.0 * eps_.sec() + 2.0 * rho_ * (now - o.t).sec() + kTiny;
+  const double b = w_.bias(p);
+  if (b < hull_lo - slack || b > hull_hi + slack) {
+    Violation v;
+    v.kind = Violation::Kind::Containment;
+    v.t = now.sec();
+    v.proc = p;
+    v.observed = b;
+    v.bound = b < hull_lo - slack ? hull_lo - slack : hull_hi + slack;
+    v.detail = describe("new bias outside correct hull [%g, %g] + slack",
+                        hull_lo, hull_hi);
+    pending_ = v;
+  }
+}
+
+void InvariantMonitor::after_event() {
+  if (pending_) return;
+  const RealTime now = w_.sim().now();
+  for (int p = 0; p < w_.n(); ++p) {
+    if (!stable(p, now)) continue;
+    for (int q = p + 1; q < w_.n(); ++q) {
+      if (!stable(q, now)) continue;
+      const double dev = std::abs(w_.bias(p) - w_.bias(q));
+      if (dev > envelope_.sec() + kTiny) {
+        Violation v;
+        v.kind = Violation::Kind::Envelope;
+        v.t = now.sec();
+        v.proc = p;
+        v.observed = dev;
+        v.bound = envelope_.sec();
+        v.detail = describe("stable pair deviates %g > gamma = %g", dev,
+                            envelope_.sec());
+        pending_ = v;
+        return;
+      }
+    }
+  }
+}
+
+void InvariantMonitor::at_barrier() {
+  const RealTime now = w_.sim().now();
+
+  // Trace hook: one InvariantSample per barrier so captured
+  // counterexamples carry the checker's own observations.
+  if (trace::TraceSink* ts = w_.sim().trace_sink()) {
+    int stable_count = 0;
+    double max_dev = 0.0;
+    for (int p = 0; p < w_.n(); ++p) {
+      if (!stable(p, now)) continue;
+      ++stable_count;
+      for (int q = p + 1; q < w_.n(); ++q) {
+        if (!stable(q, now)) continue;
+        max_dev = std::max(max_dev, std::abs(w_.bias(p) - w_.bias(q)));
+      }
+    }
+    ts->record(trace::invariant_sample(now.sec(),
+                                       static_cast<std::uint64_t>(stable_count),
+                                       stable_count > 0, max_dev));
+  }
+
+  if (pending_) return;
+
+  double lo = w_.bias(0), hi = w_.bias(0);
+  for (int p = 1; p < w_.n(); ++p) {
+    lo = std::min(lo, w_.bias(p));
+    hi = std::max(hi, w_.bias(p));
+  }
+  const double width = hi - lo;
+
+  if (have_ref_) {
+    bool eligible = true;
+    for (int p = 0; p < w_.n() && eligible; ++p) {
+      if (w_.node(p).sync().stats().rounds_completed <=
+          ref_rounds_[static_cast<std::size_t>(p)]) {
+        eligible = false;  // someone did not synchronize since the ref
+      }
+      if (controlled_within(p, ref_t_, now) || !stable(p, now)) {
+        eligible = false;
+      }
+    }
+    if (eligible) {
+      const double bound = ref_width_ / 2.0 + 4.0 * eps_.sec() +
+                           2.0 * rho_ * (now - ref_t_).sec() + kTiny;
+      if (width > bound) {
+        Violation v;
+        v.kind = Violation::Kind::Contraction;
+        v.t = now.sec();
+        v.observed = width;
+        v.bound = bound;
+        v.detail = describe("width %g exceeds half the previous barrier's "
+                            "%g plus slack",
+                            width, ref_width_);
+        pending_ = v;
+        return;
+      }
+    }
+  }
+
+  have_ref_ = true;
+  ref_t_ = now;
+  ref_width_ = width;
+  ref_rounds_.resize(static_cast<std::size_t>(w_.n()));
+  for (int p = 0; p < w_.n(); ++p) {
+    ref_rounds_[static_cast<std::size_t>(p)] =
+        w_.node(p).sync().stats().rounds_completed;
+  }
+}
+
+}  // namespace czsync::mc

@@ -1,0 +1,103 @@
+// The properties each explored path is checked against.
+//
+// Three invariants, each a mechanized reading of the paper:
+//
+//  * Envelope (Theorem 5 i): any two processors that were non-faulty
+//    throughout the trailing Delta-window deviate by at most gamma =
+//    TheoremBounds::max_deviation. Checked after every event — biases
+//    are piecewise linear between events, so endpoints cover the
+//    continuous-time claim.
+//
+//  * Containment (Lemma 7's hull step): when a processor completes a
+//    Sync, its new bias lies inside the hull of the biases (sampled at
+//    round open and close) of the processors correct throughout that
+//    round, widened by the reading error and in-round drift. With at
+//    most f liars the (f+1)-st order statistics cannot escape the
+//    honest hull (tests/model_check_test.cpp proves the algebra); the
+//    trim-depth mutant of mc/mutation.h violates exactly this.
+//    Only meaningful for the no-rounds engine (a RoundSyncProcess JOIN
+//    deliberately jumps by a different rule), so it is enabled for
+//    protocol == "sync".
+//
+//  * Contraction (Lemma 7's halving step): between consecutive barrier
+//    states in which every processor completed a round and nobody was
+//    controlled, the bias width halves up to estimation-error and
+//    drift slack.
+//
+// The monitor's cross-event state (round-open snapshots, the previous
+// barrier reference) is a pure function of the current barrier state,
+// which is what keeps hash-based subtree pruning sound: two paths that
+// reach the same canonical barrier state also agree on every future
+// invariant verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/options.h"
+#include "mc/world.h"
+
+namespace czsync::mc {
+
+struct Violation {
+  enum class Kind { Envelope, Containment, Contraction };
+  Kind kind = Kind::Envelope;
+  double t = 0.0;       ///< simulator real time of the check
+  int proc = -1;        ///< offending processor (-1 for pairwise/global)
+  double observed = 0.0;
+  double bound = 0.0;
+  std::string detail;
+};
+
+[[nodiscard]] const char* violation_kind_name(Violation::Kind kind);
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(McWorld& world, const McOptions& opt);
+
+  /// Processor p's engine just opened a round (poll-detected).
+  void note_round_open(int p);
+  /// Processor p's engine completed a Sync (on_sync_complete hook,
+  /// fired after the clock adjustment). Runs the containment check.
+  void on_round_complete(int p);
+  /// Envelope check; call after every executed event.
+  void after_event();
+  /// Contraction check against the previous barrier, then re-anchor
+  /// the reference to this barrier. Also emits an InvariantSample
+  /// record when a trace sink is attached.
+  void at_barrier();
+
+  /// First violation found on this path, if any. Once set, the checker
+  /// stops the path; later checks are skipped.
+  [[nodiscard]] const std::optional<Violation>& pending() const {
+    return pending_;
+  }
+
+ private:
+  [[nodiscard]] bool stable(int p, RealTime t) const;
+  [[nodiscard]] bool controlled_within(int p, RealTime t1, RealTime t2) const;
+
+  McWorld& w_;
+  Dur eps_;
+  Dur envelope_;
+  bool check_containment_;
+  Dur delta_period_;
+  double rho_;
+
+  struct OpenRound {
+    bool open = false;
+    RealTime t;
+    std::vector<double> biases;  ///< all processors' biases at open
+  };
+  std::vector<OpenRound> open_;
+
+  bool have_ref_ = false;
+  RealTime ref_t_;
+  double ref_width_ = 0.0;
+  std::vector<std::uint64_t> ref_rounds_;
+
+  std::optional<Violation> pending_;
+};
+
+}  // namespace czsync::mc

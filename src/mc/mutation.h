@@ -1,0 +1,36 @@
+// The mutation self-test's broken convergence function.
+//
+// Figure 1's Byzantine robustness hinges on one line: m and M are the
+// (f+1)-st order statistics, so f liars can never all survive the trim.
+// This mutant flips that line to the f-th order statistic (trim depth
+// f-1) — a classic off-by-one that type-checks, passes fault-free runs
+// and even tolerates f-1 liars, but lets the f-th liar's value through
+// as m or M and drag a correct clock outside the honest hull.
+//
+// czsync_mc --mutation-selftest swaps this in for the real function and
+// asserts the checker produces a Lemma-7 containment counterexample,
+// proving the harness would catch exactly this class of regression.
+#pragma once
+
+#include "core/convergence.h"
+
+namespace czsync::mc {
+
+class MutatedBhhnConvergence final : public core::ConvergenceFunction {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "bhhn-mutant-trim";
+  }
+
+  [[nodiscard]] core::ConvergenceResult apply(
+      std::span<const core::PeerEstimate> estimates, int f,
+      Dur way_off) const override {
+    const int mutated_f = f > 0 ? f - 1 : 0;
+    return inner_.apply(estimates, mutated_f, way_off);
+  }
+
+ private:
+  core::BhhnConvergence inner_;
+};
+
+}  // namespace czsync::mc

@@ -1,0 +1,94 @@
+// Configuration of one bounded model-checking problem.
+//
+// The checker explores a finite tree of choices: one adversary case
+// (who is broken into, when, with what behaviour and magnitude), one
+// initial-bias and drift-rate grid point per processor, and one delay
+// grid point per message. McOptions fixes the grids; everything else in
+// a run is deterministic, so (McOptions, choice vector) identifies an
+// execution exactly — which is what makes counterexamples replayable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/schedule.h"
+#include "core/convergence.h"
+#include "core/params.h"
+#include "util/time_types.h"
+
+namespace czsync::mc {
+
+/// One enumerated adversary alternative: a Definition-2 schedule plus
+/// the strategy executed while in control. Index 0 of the enumeration
+/// is always the fault-free case (empty schedule).
+struct AdvCase {
+  adversary::Schedule schedule;  ///< empty = fault-free
+  std::string strategy = "silent";
+  Dur scale = Dur::zero();
+  std::string label = "fault-free";
+};
+
+struct McOptions {
+  int n = 3;
+  /// Trim depth / fault budget; -1 = ModelParams::max_f(n).
+  int f = -1;
+  double rho = 1e-4;
+  Dur delta = Dur::millis(50);        ///< delivery bound delta
+  Dur delta_period = Dur::hours(1);   ///< Definition-2 period Delta
+  Dur sync_int = Dur::minutes(1);
+  Dur horizon = Dur::seconds(45);     ///< explored real-time window
+  Dur initial_spread = Dur::millis(20);
+
+  /// Grid sizes. delay_choices discretizes (0, delta] per message;
+  /// bias_choices spans [-spread/2, +spread/2] per processor;
+  /// rate_choices spans the legal drift band [1/(1+rho), 1+rho].
+  int delay_choices = 2;
+  int bias_choices = 2;
+  int rate_choices = 1;
+
+  std::string protocol = "sync";  ///< "sync" or "round"
+
+  enum class AdversaryMode { None, Silent, Smash, Lie };
+  AdversaryMode adversary = AdversaryMode::None;
+  /// Break-in instants: horizon * j / adv_start_choices (j = 0 puts the
+  /// break-in before the first round). Recovery instants: leave after
+  /// (horizon - start) * (l+1) / (adv_dwell_choices+1), always strictly
+  /// inside the horizon so every explored schedule exercises recovery.
+  int adv_start_choices = 2;
+  int adv_dwell_choices = 2;
+  /// Strategy magnitudes as multiples of WayOff (smash offsets / lie
+  /// offsets). The defaults bracket the WayOff boundary from both sides
+  /// — the branch the proof machinery hinges on.
+  std::vector<double> adv_scales = {0.9, 1.1};
+
+  /// Override the convergence function (nullptr = the paper's Figure 1).
+  /// The mutation self-test injects MutatedBhhnConvergence here.
+  std::shared_ptr<const core::ConvergenceFunction> convergence;
+
+  /// Hard cap on explored paths; exceeding it aborts the run as
+  /// incomplete (exit 2 in the CLI) rather than reporting a hollow pass.
+  std::uint64_t max_paths = 20'000'000;
+
+  /// Master seed for the world's RNG streams. No modelled behaviour
+  /// draws from them (delays and structure come from the choice trail),
+  /// so this only names the streams; it is part of the replay identity.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int resolved_f() const {
+    return f >= 0 ? f : core::ModelParams::max_f(n);
+  }
+
+  [[nodiscard]] core::ModelParams model() const {
+    core::ModelParams m;
+    m.n = n;
+    m.f = resolved_f();
+    m.rho = rho;
+    m.delta = delta;
+    m.delta_period = delta_period;
+    return m;
+  }
+};
+
+}  // namespace czsync::mc

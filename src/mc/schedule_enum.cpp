@@ -1,0 +1,71 @@
+#include "mc/schedule_enum.h"
+
+#include <cstdio>
+
+namespace czsync::mc {
+
+namespace {
+
+const char* strategy_name(McOptions::AdversaryMode mode) {
+  switch (mode) {
+    case McOptions::AdversaryMode::None:
+      return "";
+    case McOptions::AdversaryMode::Silent:
+      return "silent";
+    case McOptions::AdversaryMode::Smash:
+      return "clock-smash";
+    case McOptions::AdversaryMode::Lie:
+      return "constant-lie";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<AdvCase> enumerate_adversary_cases(
+    const McOptions& opt, const core::ProtocolParams& proto) {
+  std::vector<AdvCase> cases;
+  cases.push_back(AdvCase{});  // index 0: fault-free
+  if (opt.adversary == McOptions::AdversaryMode::None || opt.resolved_f() < 1) {
+    return cases;
+  }
+  const char* strat = strategy_name(opt.adversary);
+  // Silent faults have no magnitude; collapse the scale grid to one
+  // point so the enumeration does not multiply identical cases.
+  std::vector<double> scales = opt.adv_scales;
+  if (opt.adversary == McOptions::AdversaryMode::Silent || scales.empty()) {
+    scales = {0.0};
+  }
+  const int starts = opt.adv_start_choices < 1 ? 1 : opt.adv_start_choices;
+  const int dwells = opt.adv_dwell_choices < 1 ? 1 : opt.adv_dwell_choices;
+  for (int victim = 0; victim < opt.n; ++victim) {
+    for (int j = 0; j < starts; ++j) {
+      const RealTime start =
+          RealTime::zero() + opt.horizon * (static_cast<double>(j) / starts);
+      for (int l = 0; l < dwells; ++l) {
+        // Leave strictly inside the horizon: every schedule exercises a
+        // recovery, and the enumeration over l is the enumeration of
+        // recovery timings the tentpole calls for.
+        const Dur dwell = (opt.horizon - (start - RealTime::zero())) *
+                          (static_cast<double>(l + 1) / (dwells + 1));
+        for (double s : scales) {
+          AdvCase c;
+          c.schedule = adversary::Schedule::single(victim, start, start + dwell);
+          if (!c.schedule.is_f_limited(opt.resolved_f(), opt.delta_period)) {
+            continue;
+          }
+          c.strategy = strat;
+          c.scale = proto.way_off * s;
+          char label[96];
+          std::snprintf(label, sizeof(label), "%s p%d @%.3fs..%.3fs %+.2fxWayOff",
+                        strat, victim, start.sec(), (start + dwell).sec(), s);
+          c.label = label;
+          cases.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+}  // namespace czsync::mc

@@ -1,0 +1,19 @@
+// Enumeration of the bounded adversary-case space.
+//
+// Produces every (victim, break-in instant, recovery instant, strategy
+// magnitude) combination allowed by McOptions, each validated against
+// the Definition-2 budget, with the fault-free case always first. The
+// checker treats the case index as choice #0 of every path.
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+#include "mc/options.h"
+
+namespace czsync::mc {
+
+[[nodiscard]] std::vector<AdvCase> enumerate_adversary_cases(
+    const McOptions& opt, const core::ProtocolParams& proto);
+
+}  // namespace czsync::mc

@@ -1,0 +1,167 @@
+#include "mc/world.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "adversary/strategies.h"
+#include "clock/drift_model.h"
+#include "core/round_protocol.h"
+#include "mc/enumerated_delay.h"
+#include "net/topology.h"
+
+namespace czsync::mc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+double grid_value(int idx, int k, double lo, double hi) {
+  if (k <= 1) return (lo + hi) / 2.0;
+  return lo + (hi - lo) * (static_cast<double>(idx) / (k - 1));
+}
+
+}  // namespace
+
+McWorld::McWorld(const McOptions& opt, const std::vector<AdvCase>& cases,
+                 ChoiceTrail& trail)
+    : opt_(opt),
+      model_(opt.model()),
+      proto_(core::ProtocolParams::derive(model_, opt.sync_int)),
+      bounds_(core::TheoremBounds::compute(model_, proto_)) {
+  if (cases.empty()) throw std::invalid_argument("McWorld: no adversary cases");
+  case_idx_ = static_cast<std::size_t>(
+      trail.choose(static_cast<int>(cases.size())));
+  case_ = &cases[case_idx_];
+
+  Rng master(opt_.seed);
+  network_ = std::make_unique<net::Network>(
+      sim_, net::Topology::full_mesh(opt_.n),
+      std::make_unique<EnumeratedDelay>(model_.delta, opt_.delay_choices,
+                                        &trail),
+      master.fork("net"));
+
+  convergence_ = opt_.convergence
+                     ? opt_.convergence
+                     : std::make_shared<const core::BhhnConvergence>();
+
+  analysis::EngineKind engine = analysis::EngineKind::NoRounds;
+  if (opt_.protocol == "round") {
+    engine = analysis::EngineKind::Rounds;
+  } else if (opt_.protocol != "sync") {
+    throw std::invalid_argument("McWorld: unknown protocol " + opt_.protocol);
+  }
+
+  const int bias_k = opt_.bias_choices < 1 ? 1 : opt_.bias_choices;
+  const int rate_k = opt_.rate_choices < 1 ? 1 : opt_.rate_choices;
+  const double spread = opt_.initial_spread.sec();
+  nodes_.reserve(static_cast<std::size_t>(opt_.n));
+  for (int p = 0; p < opt_.n; ++p) {
+    const int bi = bias_k > 1 ? trail.choose(bias_k) : 0;
+    const Dur bias =
+        Dur::seconds(grid_value(bi, bias_k, -spread / 2.0, spread / 2.0));
+    const int ri = rate_k > 1 ? trail.choose(rate_k) : 0;
+    const double rate = rate_k > 1
+                            ? grid_value(ri, rate_k, 1.0 / (1.0 + model_.rho),
+                                         1.0 + model_.rho)
+                            : 1.0;
+    core::SyncConfig cfg;
+    cfg.params = proto_;
+    cfg.f = model_.f;
+    cfg.convergence = convergence_;
+    cfg.random_phase = false;  // phase 0: rounds align into barrier batches
+    nodes_.push_back(std::make_unique<analysis::Node>(
+        sim_, *network_, clk::make_pinned_drift(model_.rho, rate), cfg, p,
+        master.fork(1000 + p), bias, engine));
+  }
+
+  if (!case_->schedule.empty()) {
+    adversary::WorldSpy spy;
+    spy.n = opt_.n;
+    spy.f = model_.f;
+    spy.way_off = proto_.way_off;
+    spy.read_clock = [this](net::ProcId q) {
+      return nodes_[static_cast<std::size_t>(q)]->logical().read();
+    };
+    adversary_ = std::make_unique<adversary::Adversary>(
+        sim_, case_->schedule,
+        adversary::make_strategy(case_->strategy, case_->scale), std::move(spy),
+        master.fork("adversary"));
+    std::vector<adversary::ControlledProcess*> procs;
+    procs.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+      node->set_adversary(adversary_.get());
+      procs.push_back(node.get());
+    }
+    adversary_->attach(std::move(procs));
+  }
+}
+
+void McWorld::start() {
+  for (auto& node : nodes_) node->start();
+}
+
+double McWorld::bias(int p) const {
+  return nodes_[static_cast<std::size_t>(p)]->bias().sec();
+}
+
+bool McWorld::round_active(int p) const {
+  return nodes_[static_cast<std::size_t>(p)]->sync().round_active();
+}
+
+std::uint64_t McWorld::in_flight() const {
+  const net::NetworkStats& s = network_->stats();
+  return s.sent - s.delivered - s.dropped_no_edge - s.dropped_no_handler -
+         s.dropped_link_fault;
+}
+
+bool McWorld::at_barrier() const {
+  if (in_flight() != 0) return false;
+  for (const auto& node : nodes_) {
+    if (node->sync().round_active()) return false;
+  }
+  return true;
+}
+
+std::uint64_t McWorld::state_hash() const {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(case_idx_));
+  mix(h, sim_.now().sec());
+  double bias_min = bias(0);
+  for (int p = 1; p < opt_.n; ++p) {
+    if (bias(p) < bias_min) bias_min = bias(p);
+  }
+  for (int p = 0; p < opt_.n; ++p) {
+    analysis::Node& node = *nodes_[static_cast<std::size_t>(p)];
+    // Clock translation is a symmetry of the protocol (it only ever
+    // compares clocks), so hash biases relative to the minimum.
+    mix(h, bias(p) - bias_min);
+    mix(h, node.hardware().rate());
+    const core::ProtocolEngine& eng = node.sync();
+    mix(h, static_cast<std::uint64_t>(eng.suspended() ? 1 : 0));
+    // rounds_started pins the engine RNG's draw count (one nonce per
+    // ping, all drawn at round open); rounds_completed feeds the
+    // contraction reference the monitor derives from barrier states.
+    mix(h, eng.stats().rounds_started);
+    mix(h, eng.stats().rounds_completed);
+    if (const auto* rounds = dynamic_cast<const core::RoundSyncProcess*>(&eng)) {
+      mix(h, rounds->round());
+    }
+    for (Dur off : node.hardware().pending_alarm_offsets()) {
+      mix(h, off.sec());
+    }
+    mix(h, std::uint64_t{0x5eed});  // per-processor separator
+  }
+  return h;
+}
+
+}  // namespace czsync::mc

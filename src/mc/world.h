@@ -1,0 +1,83 @@
+// McWorld: one deterministic execution of the real protocol stack,
+// parameterized entirely by a ChoiceTrail.
+//
+// This is the third backend behind trace::TracePort (after czsync_cli's
+// World and the sweep engine): the *same* SyncProcess/RoundSyncProcess
+// code runs unmodified on the same Simulator/Network/clock stack; what
+// differs is where nondeterminism comes from. Structural choices (the
+// adversary case, each processor's initial bias and pinned drift rate)
+// are consumed from the trail at construction; per-message delays are
+// consumed during the run through EnumeratedDelay. Nothing else draws
+// randomness that affects behaviour (random_phase is off, drift is
+// pinned, the delay model never touches the network RNG), so the run
+// is a deterministic function of (McOptions, choice vector).
+//
+// Barrier states and canonicalization: a state with no in-flight
+// messages and no in-flight round is fully described by the simulator
+// time, the adversary case, and per-processor (bias, rate, pending
+// alarm offsets, suspension flag, round counters). The protocol only
+// ever compares clocks, so translating every clock by a constant is a
+// symmetry; state_hash() canonicalizes by hashing biases relative to
+// their minimum, which lets the checker merge translated states.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/node.h"
+#include "core/params.h"
+#include "mc/choice.h"
+#include "mc/options.h"
+#include "mc/schedule_enum.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace czsync::mc {
+
+class McWorld {
+ public:
+  /// Consumes the structural choices (case index, biases, rates) from
+  /// `trail`; delay choices follow during the run. `cases` must be
+  /// non-empty and outlive the world.
+  McWorld(const McOptions& opt, const std::vector<AdvCase>& cases,
+          ChoiceTrail& trail);
+
+  /// Arms every node's protocol. Call once, then drive sim().step().
+  void start();
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] int n() const { return opt_.n; }
+  [[nodiscard]] int f() const { return opt_.resolved_f(); }
+  [[nodiscard]] const core::ProtocolParams& proto() const { return proto_; }
+  [[nodiscard]] const core::TheoremBounds& bounds() const { return bounds_; }
+  [[nodiscard]] const AdvCase& adv_case() const { return *case_; }
+  [[nodiscard]] std::size_t case_index() const { return case_idx_; }
+  [[nodiscard]] analysis::Node& node(int p) {
+    return *nodes_[static_cast<std::size_t>(p)];
+  }
+
+  /// Bias B_p(now) in seconds (Eq. 4).
+  [[nodiscard]] double bias(int p) const;
+  [[nodiscard]] bool round_active(int p) const;
+  [[nodiscard]] std::uint64_t in_flight() const;
+  /// Quiescent between round batches: nothing in flight anywhere.
+  [[nodiscard]] bool at_barrier() const;
+  /// Canonical FNV-1a hash of the barrier state (see file comment).
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+ private:
+  McOptions opt_;
+  core::ModelParams model_;
+  core::ProtocolParams proto_;
+  core::TheoremBounds bounds_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::shared_ptr<const core::ConvergenceFunction> convergence_;
+  std::vector<std::unique_ptr<analysis::Node>> nodes_;
+  std::unique_ptr<adversary::Adversary> adversary_;
+  const AdvCase* case_ = nullptr;
+  std::size_t case_idx_ = 0;
+};
+
+}  // namespace czsync::mc

@@ -1,5 +1,6 @@
 #include "trace/format.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -228,7 +229,14 @@ TraceData read_trace(std::istream& is) {
   data.truncated = (flags & kFlagTruncated) != 0;
   data.dropped = get_varint(is);
   const std::uint64_t count = get_varint(is);
-  data.records.reserve(static_cast<std::size_t>(count));
+  // `count` is attacker-controlled: a corrupt header can claim 2^60
+  // records and a naive reserve would throw bad_alloc (or OOM) before
+  // the record loop ever notices the stream is short. Pre-reserve only
+  // what a plausible stream can hold (a record is >= 2 bytes on the
+  // wire); beyond that, let push_back grow geometrically and the loop
+  // fail on the actual truncated read.
+  constexpr std::uint64_t kReserveCap = 1u << 20;
+  data.records.reserve(static_cast<std::size_t>(std::min(count, kReserveCap)));
   for (std::uint64_t i = 0; i < count; ++i) {
     data.records.push_back(get_record(is));
   }

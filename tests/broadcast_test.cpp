@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <vector>
 
+#include "adversary/adversary.h"
+#include "adversary/capture.h"
 #include "adversary/schedule.h"
+#include "adversary/sig_replay.h"
 #include "analysis/experiment.h"
 #include "broadcast/auth.h"
-#include "adversary/sig_replay.h"
+#include "proactive/audit.h"
+#include "proactive/secret_sharing.h"
 #include "broadcast/st_sync.h"
 #include "clock/drift_model.h"
 #include "clock/hardware_clock.h"
@@ -203,6 +209,130 @@ TEST(SigReplayStrategyTest, HarvestsAndReplaysOldest) {
   adversary::SigReplayStrategy strat(4);
   EXPECT_EQ(strat.stored_rounds(), 0u);
   EXPECT_EQ(strat.name(), "sig-replay");
+}
+
+// ---------- capture + replay through recovery ----------
+
+// An StNode the adversary engine can hold: inbound messages are routed
+// to the strategy while controlled, exactly the analysis::Node dispatch,
+// but over the broadcast engine so the replay harvest is live.
+class ControlledStNode final : public adversary::ControlledProcess {
+ public:
+  ControlledStNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
+                   const StConfig& cfg,
+                   std::shared_ptr<const Authenticator> auth)
+      : net_(net),
+        id_(id),
+        hw_(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
+            ClockTime(sim.now().sec())),
+        clock_(hw_),
+        proto(net, clock_, id, cfg, std::move(auth)) {
+    net.register_handler(id, [this](const net::Message& m) {
+      if (adv != nullptr && adv->is_controlled(id_)) {
+        adv->deliver_to_strategy(*this, m);
+      } else {
+        proto.handle_message(m);
+      }
+    });
+  }
+
+  [[nodiscard]] net::ProcId id() const override { return id_; }
+  clk::LogicalClock& clock() override { return clock_; }
+  void send(net::ProcId to, net::Body body) override {
+    net_.send(id_, to, std::move(body));
+  }
+  [[nodiscard]] const std::vector<net::ProcId>& peers() const override {
+    return net_.topology().neighbors(id_);
+  }
+  void suspend_protocol() override { proto.suspend(); }
+  void resume_protocol() override { proto.resume(); }
+
+  adversary::Adversary* adv = nullptr;
+
+ private:
+  net::Network& net_;
+  net::ProcId id_;
+  clk::HardwareClock hw_;
+  clk::LogicalClock clock_;
+
+ public:
+  StSyncProcess proto;  // last: construction needs the members above
+};
+
+// The CapturingStrategy decorator composed with SigReplayStrategy over a
+// live run: every break-in both grabs the victim's share (audit) and
+// arms the spam loop (inner strategy), including the re-break-in that
+// lands inside the victim's own recovery window.
+TEST(CaptureReplayRecoveryTest, RecoveryWindowCaptureFeedsAuditAndReplay) {
+  sim::Simulator sim;
+  net::Network net(sim, net::Topology::full_mesh(4),
+                   net::make_fixed_delay(Dur::millis(10)), Rng(7));
+  auto auth = std::make_shared<Authenticator>(99);
+  StConfig cfg;
+  cfg.period = Dur::seconds(60);
+  cfg.skew_allowance = Dur::millis(100);
+  cfg.f = 1;
+  std::vector<std::unique_ptr<ControlledStNode>> nodes;
+  for (int p = 0; p < 4; ++p) {
+    nodes.push_back(
+        std::make_unique<ControlledStNode>(sim, net, p, cfg, auth));
+  }
+
+  proactive::ShareStore store(4, 0xfeedULL);
+  proactive::Auditor auditor(store);
+  auto replayer = std::make_shared<adversary::SigReplayStrategy>();
+  auto capturing =
+      std::make_shared<adversary::CapturingStrategy>(replayer, auditor);
+  EXPECT_EQ(capturing->name(), "sig-replay");  // pure decorator
+
+  adversary::WorldSpy spy;
+  spy.n = 4;
+  spy.f = 1;
+  spy.way_off = Dur::seconds(1);
+  spy.read_clock = [&nodes](net::ProcId q) {
+    return nodes[static_cast<std::size_t>(q)]->clock().read();
+  };
+  // The A4 attacker: processor 3 harvests round-1 bundles and spams them
+  // past processor 1's recovery at t=190, then breaks into 1 AGAIN at
+  // t=205 — while 1 is still inside the replay-poisoned recovery window.
+  // Holding two processors at once deliberately exceeds the f=1 budget;
+  // that is the attack class assumption A4 exists to rule out.
+  adversary::Adversary adv(
+      sim,
+      adversary::Schedule({{3, RealTime(50.0), RealTime(200.0)},
+                           {1, RealTime(130.0), RealTime(190.0)},
+                           {1, RealTime(205.0), RealTime(235.0)}}),
+      capturing, std::move(spy), Rng(5));
+  std::vector<adversary::ControlledProcess*> raw;
+  for (auto& nd : nodes) {
+    nd->adv = &adv;
+    raw.push_back(nd.get());
+  }
+  adv.attach(std::move(raw));
+  for (auto& nd : nodes) nd->proto.start();
+  sim.run_until(RealTime(500.0));
+
+  // Delegation reached the inner strategy: bundles were harvested while
+  // controlled and the freshly recovered processor 1 accepted a stale
+  // round-1 replay (its clock yanked back ~130s).
+  EXPECT_GE(replayer->stored_rounds(), 1u);
+  EXPECT_GT(replayer->replays_sent(), 0u);
+  EXPECT_GE(nodes[1]->proto.replays_accepted(), 1u);
+
+  // Audit bookkeeping across the same run: three break-ins, three
+  // captures; the recovery-window capture grabs the SAME epoch-0 share
+  // of processor 1 (no refresh happened), so exposure counts it once —
+  // yet two distinct epoch-0 shares is already f+1 = secret compromised.
+  EXPECT_EQ(adv.break_ins(), 3u);
+  EXPECT_EQ(auditor.captures(), 3u);
+  ASSERT_TRUE(auditor.by_epoch().contains(0));
+  EXPECT_EQ(auditor.by_epoch().at(0), (std::set<int>{1, 3}));
+  EXPECT_EQ(auditor.worst_epoch_exposure(), 2);
+  EXPECT_TRUE(auditor.compromised(cfg.f + 1));
+
+  // Recovery still completes: once honest rounds resume, processor 1 is
+  // pulled forward again and tracks the live round number.
+  EXPECT_GT(nodes[1]->proto.last_accepted(), 3u);
 }
 
 // ---------- end-to-end scenarios ----------

@@ -297,5 +297,62 @@ TEST_F(SyncProtocolTest, TwoNodesMutualConvergence) {
   EXPECT_LT(dev, 0.03);
 }
 
+TEST_F(SyncProtocolTest, WayOffBoundaryJustInsideStaysNormal) {
+  // Node 0 is 0.9s ahead with WayOff = 1s: after the f-trim both order
+  // statistics sit at ~-0.9 >= -WayOff, so Figure 1 stays on the normal
+  // branch and moves only halfway (min(m,0)+max(M,0))/2 ~ -0.45.
+  build({0.9, 0.0, 0.0, 0.0}, 1);
+  start_all();
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
+  EXPECT_EQ(nodes[0]->sync.stats().way_off_rounds, 0u);
+  EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), -0.45, 0.05);
+}
+
+TEST_F(SyncProtocolTest, WayOffBoundaryJustOutsideTakesEscapeBranch) {
+  // Same setup pushed past the boundary: m ~ -1.1 < -WayOff flips the
+  // escape branch, which jumps the whole (m+M)/2 ~ -1.1 at once. The
+  // correct nodes trim the outlier and stay put either way.
+  build({1.1, 0.0, 0.0, 0.0}, 1);
+  start_all();
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(nodes[0]->sync.stats().way_off_rounds, 1u);
+  EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), -1.1, 0.05);
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_LT(nodes[static_cast<std::size_t>(p)]->clock.adjustment().abs().sec(),
+              0.01);
+    EXPECT_EQ(nodes[static_cast<std::size_t>(p)]->sync.stats().way_off_rounds,
+              0u);
+  }
+}
+
+TEST_F(SyncProtocolTest, SimultaneousRecoveryRoundsAnswerEachOther) {
+  // Two processors recover at the same instant: both resume() calls
+  // land at the same simulator time, both fire their fresh Sync round
+  // immediately, and the interleaved rounds must serve each other's
+  // pings — neither sees a timeout, both complete, and their recovery
+  // adjustments stay bounded by the honest spread.
+  build({0.0, 0.0, 0.0, 0.0}, 1);
+  start_all();
+  sim.run_until(RealTime(10.0));
+  nodes[0]->sync.suspend();
+  nodes[1]->sync.suspend();
+  sim.run_until(RealTime(30.0));
+  const std::uint64_t done0 = nodes[0]->sync.stats().rounds_completed;
+  const std::uint64_t done1 = nodes[1]->sync.stats().rounds_completed;
+  nodes[0]->sync.resume();
+  nodes[1]->sync.resume();
+  sim.run_until(RealTime(31.0));
+  for (int p : {0, 1}) {
+    auto& node = *nodes[static_cast<std::size_t>(p)];
+    EXPECT_FALSE(node.sync.suspended());
+    EXPECT_FALSE(node.sync.round_active());
+    EXPECT_EQ(node.sync.stats().rounds_completed,
+              (p == 0 ? done0 : done1) + 1);
+    EXPECT_EQ(node.sync.stats().timeouts, 0u);
+    EXPECT_LT(node.clock.adjustment().abs().sec(), 0.02);
+  }
+}
+
 }  // namespace
 }  // namespace czsync::core

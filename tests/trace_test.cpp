@@ -114,6 +114,35 @@ TEST(TraceFormatTest, RejectsBadMagicAndTruncation) {
   EXPECT_THROW(from_bytes(good.substr(0, 15)), std::runtime_error);
 }
 
+TEST(TraceFormatTest, EmptyTraceRoundTripsAndDiffsIdentical) {
+  const TraceData empty;
+  const TraceData back = from_bytes(to_bytes(empty));
+  EXPECT_TRUE(back.records.empty());
+  EXPECT_FALSE(back.truncated);
+  EXPECT_EQ(back.dropped, 0u);
+  // Zero-record traces must compare as identical, not as a degenerate
+  // divergence at record 0.
+  const auto d = diff_traces(empty, back);
+  EXPECT_TRUE(d.identical);
+}
+
+TEST(TraceFormatTest, HostileRecordCountDoesNotPreallocate) {
+  // Forge a header claiming ~2^60 records with an empty record section.
+  // The reader must fail on the short read, not pre-reserve petabytes
+  // (which would raise bad_alloc — not a runtime_error — or OOM first).
+  std::string bytes(kTraceMagic, sizeof kTraceMagic);
+  bytes.push_back('\x01');  // version
+  bytes.push_back('\x00');  // flags
+  bytes.push_back('\x00');  // dropped
+  std::uint64_t count = std::uint64_t{1} << 60;
+  while (count >= 0x80) {
+    bytes.push_back(static_cast<char>(0x80 | (count & 0x7f)));
+    count >>= 7;
+  }
+  bytes.push_back(static_cast<char>(count));
+  EXPECT_THROW(from_bytes(bytes), std::runtime_error);
+}
+
 TEST(TraceSinkTest, UnboundedSinkKeepsEverything) {
   TraceSink sink;
   for (int i = 0; i < 1000; ++i) {

@@ -65,6 +65,10 @@ LAYERS = {
         "adversary", "broadcast", "clock", "core", "net", "proactive", "sim",
         "trace", "util",
     },
+    "mc": {
+        "adversary", "analysis", "broadcast", "clock", "core", "net",
+        "proactive", "sim", "trace", "util",
+    },
 }
 
 # Trees scanned by default (relative to --root). tools/bench/tests/examples

@@ -1,0 +1,348 @@
+// czsync_mc — exhaustive bounded model checking of the real protocol
+// stack (no forked checker model: the same SyncProcess/RoundSyncProcess
+// code czsync_cli runs, driven through enumerated choice vectors).
+//
+// Exit codes:
+//   0  space exhausted, no violation (or --mutation-selftest passed)
+//   1  invariant violation found, counterexample replayed byte-identically
+//      (or --mutation-selftest failed to catch the mutant)
+//   2  usage error, path budget exceeded (NOT an exhaustive pass), or a
+//      counterexample that fails to replay deterministically
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/checker.h"
+#include "mc/mutation.h"
+#include "trace/diff.h"
+#include "trace/format.h"
+
+using namespace czsync;
+
+namespace {
+
+constexpr const char* kHelp = R"(czsync_mc [OPTIONS]
+
+Exhaustively explores every combination of discretized message delays,
+initial clock biases/rates and adversary break-in/recovery schedules of
+a bounded protocol instance, checking the paper's Theorem 5 deviation
+envelope and Lemma 7 containment/contraction on every path.
+
+Model:
+  --n N              processors (default 3)
+  --f F              fault budget / trim depth (default: (n-1)/3)
+  --rho R            drift bound (default 1e-4)
+  --delta S          delivery bound in seconds (default 0.05)
+  --sync-int S       sync interval in seconds (default 60)
+  --horizon S        explored real-time window in seconds (default 45)
+  --spread S         initial bias spread in seconds (default 0.02)
+  --protocol P       sync | round (default sync)
+
+Choice grids:
+  --delays K         delay grid points per message in (0, delta] (default 2)
+  --biases K         initial-bias grid points per processor (default 2)
+  --rates K          drift-rate grid points per processor (default 1)
+
+Adversary enumeration:
+  --adversary M      none | silent | smash | lie (default none)
+  --adv-starts K     break-in instants: horizon*j/K, j=0..K-1 (default 2)
+  --adv-dwells K     recovery instants per start, inside horizon (default 2)
+  --adv-scales CSV   strategy magnitudes as multiples of WayOff
+                     (default 0.9,1.1 — brackets the escape branch)
+
+Search:
+  --max-paths N      abort as incomplete beyond N paths (default 20000000)
+  --seed N           RNG stream label, part of the replay identity (default 1)
+  --emit FILE        write the counterexample trace as czsync-trace-v1
+
+Self-test:
+  --mutation-selftest  flip Figure 1's trim depth to f-1 and assert the
+                       checker produces a containment counterexample that
+                       replays byte-identically (exit 0 iff it does)
+)";
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "czsync_mc: %s\n", why.c_str());
+  std::fputs("run `czsync_mc --help` for usage\n", stderr);
+  return 2;
+}
+
+std::string serialize(const trace::TraceData& data) {
+  std::ostringstream os;
+  trace::write_trace(os, data);
+  return std::move(os).str();
+}
+
+void print_stats(const mc::McStats& s) {
+  std::printf("paths explored:    %llu\n",
+              static_cast<unsigned long long>(s.paths));
+  std::printf("transitions:       %llu\n",
+              static_cast<unsigned long long>(s.transitions));
+  std::printf("distinct states:   %llu\n",
+              static_cast<unsigned long long>(s.states));
+  std::printf("dedup prune hits:  %llu\n",
+              static_cast<unsigned long long>(s.dedup_hits));
+  std::printf("rounds completed:  %llu\n",
+              static_cast<unsigned long long>(s.rounds_completed));
+  std::printf("way-off rounds:    %llu\n",
+              static_cast<unsigned long long>(s.way_off_rounds));
+  std::printf("responses ok:      %llu\n",
+              static_cast<unsigned long long>(s.responses_ok));
+  std::printf("estimate timeouts: %llu\n",
+              static_cast<unsigned long long>(s.timeouts));
+  std::printf("max choice depth:  %zu\n", s.max_depth);
+}
+
+void print_violation(const mc::Checker& ck, const mc::Counterexample& cex) {
+  const mc::Violation& v = cex.violation;
+  std::size_t case_idx = 0;
+  if (!cex.choices.empty()) {
+    case_idx = static_cast<std::size_t>(cex.choices[0].chosen);
+  }
+  std::printf("counterexample: %s invariant violated\n",
+              mc::violation_kind_name(v.kind));
+  std::printf("  case:     %s\n", ck.cases()[case_idx].label.c_str());
+  std::printf("  at:       t=%.9f proc=%d\n", v.t, v.proc);
+  std::printf("  observed: %.9g  bound: %.9g\n", v.observed, v.bound);
+  std::printf("  detail:   %s\n", v.detail.c_str());
+  std::printf("  choices (%zu):", cex.choices.size());
+  std::size_t shown = 0;
+  for (const mc::Choice& c : cex.choices) {
+    if (shown++ == 48) {
+      std::printf(" ...");
+      break;
+    }
+    std::printf(" %d/%d", c.chosen, c.arity);
+  }
+  std::printf("\n");
+}
+
+/// Replays the counterexample twice through fresh worlds and demands
+/// byte-identical czsync-trace-v1 serializations — the differential-
+/// replay contract. Returns false (and reports) on any divergence.
+bool verify_replay(mc::Checker& ck, const mc::Counterexample& cex,
+                   const std::string& emit_path) {
+  const trace::TraceData a = ck.capture(cex.choices);
+  const trace::TraceData b = ck.capture(cex.choices);
+  const std::string bytes_a = serialize(a);
+  const std::string bytes_b = serialize(b);
+  if (bytes_a != bytes_b) {
+    const trace::TraceDiff d = trace::diff_traces(a, b);
+    std::fprintf(stderr,
+                 "czsync_mc: counterexample replay NOT deterministic "
+                 "(diverges at record %llu)\n",
+                 static_cast<unsigned long long>(d.first_divergence));
+    return false;
+  }
+  std::printf("replay: byte-identical across two captures (%zu records, "
+              "%zu bytes)\n",
+              a.records.size(), bytes_a.size());
+  if (!emit_path.empty()) {
+    trace::write_trace_file(emit_path, a);
+    std::printf("counterexample trace written to %s\n", emit_path.c_str());
+  }
+  return true;
+}
+
+int run_explore(const mc::McOptions& opt, const std::string& emit_path) {
+  mc::Checker ck(opt);
+  std::printf("czsync_mc: n=%d f=%d horizon=%.3fs protocol=%s "
+              "delays=%d biases=%d rates=%d cases=%zu\n",
+              opt.n, opt.resolved_f(), opt.horizon.sec(),
+              opt.protocol.c_str(), opt.delay_choices, opt.bias_choices,
+              opt.rate_choices, ck.cases().size());
+  const mc::McResult result = ck.run();
+  print_stats(result.stats);
+  if (result.stats.budget_exhausted) {
+    std::fprintf(stderr,
+                 "czsync_mc: path budget exceeded — exploration is NOT "
+                 "exhaustive, refusing to report a pass\n");
+    return 2;
+  }
+  if (!result.counterexample) {
+    std::printf("exhaustive: yes — no violation of envelope/containment/"
+                "contraction\n");
+    return 0;
+  }
+  print_violation(ck, *result.counterexample);
+  if (!verify_replay(ck, *result.counterexample, emit_path)) return 2;
+  return 1;
+}
+
+int run_mutation_selftest(const std::string& emit_path) {
+  // Pinned scenario: n=4, f=1, one constant-lie adversary breaking in at
+  // t=0 (before round 1) and recovering at t=15s, lying by -12 x WayOff.
+  // The real Figure 1 trims the liar (m, M are the (f+1)-st order
+  // statistics); the f-1 mutant lets the lie through as m, fires the
+  // escape branch and yanks every honest clock ~6 s below the honest
+  // hull — a Lemma 7 containment violation the checker must find.
+  mc::McOptions opt;
+  opt.n = 4;
+  opt.f = 1;
+  opt.horizon = Dur::seconds(30);
+  opt.delay_choices = 1;
+  opt.bias_choices = 1;
+  opt.adversary = mc::McOptions::AdversaryMode::Lie;
+  opt.adv_start_choices = 1;
+  opt.adv_dwell_choices = 1;
+  opt.adv_scales = {-12.0};
+
+  std::printf("czsync_mc: mutation self-test (trim depth f -> f-1)\n");
+
+  mc::Checker control(opt);
+  const mc::McResult sane = control.run();
+  if (sane.stats.budget_exhausted) {
+    return fail("mutation self-test: control run exceeded the path budget");
+  }
+  if (sane.counterexample) {
+    print_violation(control, *sane.counterexample);
+    std::fprintf(stderr,
+                 "czsync_mc: FAIL — the unmutated protocol violated an "
+                 "invariant; the harness is unsound\n");
+    return 1;
+  }
+  std::printf("control: %llu paths, clean (correct trim survives the liar)\n",
+              static_cast<unsigned long long>(sane.stats.paths));
+
+  opt.convergence = std::make_shared<const mc::MutatedBhhnConvergence>();
+  mc::Checker mutant(opt);
+  const mc::McResult broken = mutant.run();
+  print_stats(broken.stats);
+  if (!broken.counterexample) {
+    std::fprintf(stderr,
+                 "czsync_mc: FAIL — mutant (trim f-1) survived the search; "
+                 "the checker missed an injected bug\n");
+    return 1;
+  }
+  print_violation(mutant, *broken.counterexample);
+  if (broken.counterexample->violation.kind !=
+      mc::Violation::Kind::Containment) {
+    std::fprintf(stderr,
+                 "czsync_mc: FAIL — expected a containment counterexample, "
+                 "got %s\n",
+                 mc::violation_kind_name(broken.counterexample->violation.kind));
+    return 1;
+  }
+  if (!verify_replay(mutant, *broken.counterexample, emit_path)) return 2;
+  std::printf("mutation self-test: PASS — checker caught the trim mutant\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  mc::McOptions opt;
+  std::string emit_path;
+  bool selftest = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto take_value = [&](const char* flag, std::string* out) -> bool {
+      if (a == flag) {
+        if (i + 1 >= args.size()) {
+          std::exit(fail(std::string("missing value for ") + flag));
+        }
+        *out = args[++i];
+        return true;
+      }
+      const std::string eq = std::string(flag) + "=";
+      if (a.rfind(eq, 0) == 0) {
+        *out = a.substr(eq.size());
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    try {
+      if (a == "--help" || a == "-h") {
+        std::fputs(kHelp, stdout);
+        return 0;
+      } else if (a == "--mutation-selftest") {
+        selftest = true;
+      } else if (take_value("--n", &value)) {
+        opt.n = std::stoi(value);
+      } else if (take_value("--f", &value)) {
+        opt.f = std::stoi(value);
+      } else if (take_value("--rho", &value)) {
+        opt.rho = std::stod(value);
+      } else if (take_value("--delta", &value)) {
+        opt.delta = Dur::seconds(std::stod(value));
+      } else if (take_value("--sync-int", &value)) {
+        opt.sync_int = Dur::seconds(std::stod(value));
+      } else if (take_value("--horizon", &value)) {
+        opt.horizon = Dur::seconds(std::stod(value));
+      } else if (take_value("--spread", &value)) {
+        opt.initial_spread = Dur::seconds(std::stod(value));
+      } else if (take_value("--protocol", &value)) {
+        opt.protocol = value;
+      } else if (take_value("--delays", &value)) {
+        opt.delay_choices = std::stoi(value);
+      } else if (take_value("--biases", &value)) {
+        opt.bias_choices = std::stoi(value);
+      } else if (take_value("--rates", &value)) {
+        opt.rate_choices = std::stoi(value);
+      } else if (take_value("--adversary", &value)) {
+        if (value == "none") {
+          opt.adversary = mc::McOptions::AdversaryMode::None;
+        } else if (value == "silent") {
+          opt.adversary = mc::McOptions::AdversaryMode::Silent;
+        } else if (value == "smash") {
+          opt.adversary = mc::McOptions::AdversaryMode::Smash;
+        } else if (value == "lie") {
+          opt.adversary = mc::McOptions::AdversaryMode::Lie;
+        } else {
+          return fail("unknown adversary mode '" + value + "'");
+        }
+      } else if (take_value("--adv-starts", &value)) {
+        opt.adv_start_choices = std::stoi(value);
+      } else if (take_value("--adv-dwells", &value)) {
+        opt.adv_dwell_choices = std::stoi(value);
+      } else if (take_value("--adv-scales", &value)) {
+        opt.adv_scales.clear();
+        std::size_t pos = 0;
+        while (pos <= value.size()) {
+          const std::size_t comma = value.find(',', pos);
+          const std::string item = value.substr(
+              pos, comma == std::string::npos ? std::string::npos
+                                              : comma - pos);
+          if (!item.empty()) opt.adv_scales.push_back(std::stod(item));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        if (opt.adv_scales.empty()) {
+          return fail("--adv-scales needs at least one value");
+        }
+      } else if (take_value("--max-paths", &value)) {
+        opt.max_paths = std::stoull(value);
+      } else if (take_value("--seed", &value)) {
+        opt.seed = std::stoull(value);
+      } else if (take_value("--emit", &value)) {
+        emit_path = value;
+      } else {
+        return fail("unknown option '" + a + "'");
+      }
+    } catch (const std::exception&) {
+      return fail("bad value '" + value + "' for " + a);
+    }
+  }
+
+  if (opt.n < 2) return fail("--n must be at least 2");
+  if (opt.delay_choices < 1 || opt.bias_choices < 1 || opt.rate_choices < 1) {
+    return fail("grid sizes must be at least 1");
+  }
+  if (opt.protocol != "sync" && opt.protocol != "round") {
+    return fail("unknown protocol '" + opt.protocol + "'");
+  }
+
+  try {
+    if (selftest) return run_mutation_selftest(emit_path);
+    return run_explore(opt, emit_path);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
