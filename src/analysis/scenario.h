@@ -98,6 +98,12 @@ struct Scenario {
   /// Keep the full per-sample trace in the result (costs memory; benches
   /// that plot series set this).
   bool record_series = false;
+
+  /// Deliver round fanouts as one pooled train event instead of one
+  /// simulator event per message. Observable behaviour (trace bytes,
+  /// protocol counters) is identical either way; the off switch exists
+  /// for the equivalence regression test.
+  bool batched_fanout = true;
 };
 
 }  // namespace czsync::analysis

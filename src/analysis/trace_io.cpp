@@ -97,6 +97,7 @@ Scenario scenario_from_config(const Config& c) {
   }
   s.cached_estimation = c.get_bool("cached_estimation", s.cached_estimation);
   s.cache_refresh = c.get_duration("cache_refresh", s.cache_refresh);
+  s.batched_fanout = c.get_bool("batched_fanout", s.batched_fanout);
   s.way_off_scale = c.get_double("way_off_scale", s.way_off_scale);
   if (s.way_off_scale <= 0.0) {
     throw std::invalid_argument("way_off_scale must be > 0");

@@ -81,6 +81,7 @@ World::World(Scenario scenario)
   network_ = std::make_unique<net::Network>(sim_, build_topology(s),
                                             build_delay(s), master.fork("net"));
   if (!s.link_faults.empty()) network_->set_link_faults(s.link_faults);
+  network_->set_batched_fanout(s.batched_fanout);
 
   auto convergence =
       core::make_convergence(s.convergence, s.capped_correction_cap);

@@ -69,9 +69,11 @@ void StSyncProcess::broadcast_round(std::uint64_t round) {
     sigs.reserve(it->second.size());
     for (const auto& [signer, sig] : it->second) sigs.push_back(sig);
   }
+  auto fo = network_.fanout(id_);
   for (net::ProcId q : network_.topology().neighbors(id_)) {
-    network_.send(id_, q, net::StRoundMsg{round, sigs});
+    fo.add(q, net::StRoundMsg{round, sigs});
   }
+  fo.commit();
 }
 
 void StSyncProcess::handle_message(const net::Message& msg) {

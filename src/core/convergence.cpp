@@ -2,33 +2,55 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace czsync::core {
 
-Dur select_low(std::span<const PeerEstimate> estimates, int f) {
-  assert(static_cast<int>(estimates.size()) > f);
-  std::vector<Dur> overs;
-  overs.reserve(estimates.size());
-  for (const auto& e : estimates) overs.push_back(e.over);
-  auto nth = overs.begin() + f;
-  std::nth_element(overs.begin(), nth, overs.end());
-  return *nth;
-}
-
-Dur select_high(std::span<const PeerEstimate> estimates, int f) {
-  assert(static_cast<int>(estimates.size()) > f);
-  std::vector<Dur> unders;
-  unders.reserve(estimates.size());
-  for (const auto& e : estimates) unders.push_back(e.under);
-  auto nth = unders.begin() + f;
-  std::nth_element(unders.begin(), nth, unders.end(), std::greater<Dur>());
-  return *nth;
-}
-
 namespace {
+
+/// (f+1)-st smallest overestimate, via an nth_element pass over a flat
+/// double buffer (the SoA form of Figure 1 step 8). `buf` is reused
+/// capacity; contents are overwritten.
+double nth_over(std::span<const PeerEstimate> estimates, int f,
+                std::vector<double>& buf) {
+  assert(static_cast<int>(estimates.size()) > f);
+  buf.clear();
+  buf.reserve(estimates.size());
+  for (const auto& e : estimates) buf.push_back(e.over.sec());
+  auto nth = buf.begin() + f;
+  std::nth_element(buf.begin(), nth, buf.end());
+  return *nth;
+}
+
+/// (f+1)-st largest underestimate (Figure 1 step 9), same flat pass.
+double nth_under(std::span<const PeerEstimate> estimates, int f,
+                 std::vector<double>& buf) {
+  assert(static_cast<int>(estimates.size()) > f);
+  buf.clear();
+  buf.reserve(estimates.size());
+  for (const auto& e : estimates) buf.push_back(e.under.sec());
+  auto nth = buf.begin() + f;
+  std::nth_element(buf.begin(), nth, buf.end(), std::greater<double>());
+  return *nth;
+}
+
+/// Both order statistics through the caller's scratch (or a throwaway
+/// local when none was provided — identical bits either way).
+struct Selected {
+  Dur m;
+  Dur big_m;
+};
+
+Selected select(std::span<const PeerEstimate> estimates, int f,
+                ConvergenceScratch* scratch) {
+  ConvergenceScratch local;
+  ConvergenceScratch& s = scratch != nullptr ? *scratch : local;
+  return Selected{Dur::seconds(nth_over(estimates, f, s.overs)),
+                  Dur::seconds(nth_under(estimates, f, s.unders))};
+}
 
 /// With at most f liars and at most f timeouts among >= 3f+1 entries both
 /// order statistics are finite; outside the model's budget (breakdown
@@ -38,10 +60,20 @@ bool usable(Dur m, Dur big_m) { return m.is_finite() && big_m.is_finite(); }
 
 }  // namespace
 
+Dur select_low(std::span<const PeerEstimate> estimates, int f) {
+  std::vector<double> buf;
+  return Dur::seconds(nth_over(estimates, f, buf));
+}
+
+Dur select_high(std::span<const PeerEstimate> estimates, int f) {
+  std::vector<double> buf;
+  return Dur::seconds(nth_under(estimates, f, buf));
+}
+
 ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates,
-                                         int f, Dur way_off) const {
-  const Dur m = select_low(estimates, f);
-  const Dur big_m = select_high(estimates, f);
+                                         int f, Dur way_off,
+                                         ConvergenceScratch* scratch) const {
+  const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
   ConvergenceResult r;
   // Figure 1, step 10: with at most f liars and at most f timeouts among
@@ -57,9 +89,9 @@ ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates
 }
 
 ConvergenceResult MidpointConvergence::apply(
-    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/) const {
-  const Dur m = select_low(estimates, f);
-  const Dur big_m = select_high(estimates, f);
+    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/,
+    ConvergenceScratch* scratch) const {
+  const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
   return ConvergenceResult{(m + big_m) / 2.0, true};
 }
@@ -69,9 +101,9 @@ CappedCorrectionConvergence::CappedCorrectionConvergence(Dur cap) : cap_(cap) {
 }
 
 ConvergenceResult CappedCorrectionConvergence::apply(
-    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/) const {
-  const Dur m = select_low(estimates, f);
-  const Dur big_m = select_high(estimates, f);
+    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/,
+    ConvergenceScratch* scratch) const {
+  const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
   const Dur raw =
       (std::min(m, Dur::zero()) + std::max(big_m, Dur::zero())) / 2.0;
@@ -79,7 +111,7 @@ ConvergenceResult CappedCorrectionConvergence::apply(
 }
 
 ConvergenceResult NullConvergence::apply(std::span<const PeerEstimate>, int,
-                                         Dur) const {
+                                         Dur, ConvergenceScratch*) const {
   return ConvergenceResult{};
 }
 

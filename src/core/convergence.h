@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/estimate.h"
 #include "util/time_types.h"
@@ -43,6 +44,16 @@ struct ConvergenceResult {
   bool way_off_branch = false;
 };
 
+/// Reusable flat buffers for the (f+1)-trim order statistics: the
+/// selection runs nth_element over plain double arrays (SoA, no Dur
+/// wrappers, no per-round vector allocation). Protocol engines keep one
+/// per process and pass it to apply(); steady-state rounds then allocate
+/// nothing. Purely scratch — carries no state between calls.
+struct ConvergenceScratch {
+  std::vector<double> overs;
+  std::vector<double> unders;
+};
+
 class ConvergenceFunction {
  public:
   virtual ~ConvergenceFunction() = default;
@@ -50,9 +61,12 @@ class ConvergenceFunction {
 
   /// Computes the clock adjustment from this round's estimates.
   /// `estimates` holds one entry per reachable processor (self included);
-  /// `f` is the trim depth; `way_off` the Figure-1 threshold.
+  /// `f` is the trim depth; `way_off` the Figure-1 threshold. `scratch`
+  /// (optional) makes the call allocation-free in steady state; the
+  /// result is bit-identical with or without it.
   [[nodiscard]] virtual ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off) const = 0;
+      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      ConvergenceScratch* scratch = nullptr) const = 0;
 };
 
 /// Figure 1 of the paper, verbatim:
@@ -62,16 +76,18 @@ class ConvergenceFunction {
 class BhhnConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "bhhn"; }
-  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
-                                        int f, Dur way_off) const override;
+  [[nodiscard]] ConvergenceResult apply(
+      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      ConvergenceScratch* scratch = nullptr) const override;
 };
 
 /// Trimmed midpoint without the own-clock branch: always (m+M)/2.
 class MidpointConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "midpoint"; }
-  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
-                                        int f, Dur way_off) const override;
+  [[nodiscard]] ConvergenceResult apply(
+      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      ConvergenceScratch* scratch = nullptr) const override;
 };
 
 /// The paper's normal branch with the per-round correction clamped to
@@ -84,8 +100,9 @@ class CappedCorrectionConvergence final : public ConvergenceFunction {
   [[nodiscard]] std::string_view name() const override {
     return "capped-correction";
   }
-  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
-                                        int f, Dur way_off) const override;
+  [[nodiscard]] ConvergenceResult apply(
+      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      ConvergenceScratch* scratch = nullptr) const override;
   [[nodiscard]] Dur cap() const { return cap_; }
 
  private:
@@ -96,8 +113,9 @@ class CappedCorrectionConvergence final : public ConvergenceFunction {
 class NullConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "none"; }
-  [[nodiscard]] ConvergenceResult apply(std::span<const PeerEstimate> estimates,
-                                        int f, Dur way_off) const override;
+  [[nodiscard]] ConvergenceResult apply(
+      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      ConvergenceScratch* scratch = nullptr) const override;
 };
 
 /// Selection helpers shared by the implementations (exposed for tests).

@@ -19,10 +19,13 @@ RoundSyncProcess::RoundSyncProcess(trace::TracePort trace, net::Network& network
       rng_(rng),
       peers_(network.topology().neighbors(id)) {
   assert(config_.convergence != nullptr);
-  if (config_.debug_bucket_reserve > 0) {
-    nonce_to_peer_.reserve(config_.debug_bucket_reserve);
-    collected_.reserve(config_.debug_bucket_reserve);
+  peer_slot_.assign(static_cast<std::size_t>(network.size()), -1);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
   }
+  round_nonces_.assign(peers_.size(), 0);
+  replies_.assign(peers_.size(), Reply{});
+  estimates_.reserve(peers_.size() + 1);
 }
 
 void RoundSyncProcess::start() {
@@ -53,8 +56,7 @@ void RoundSyncProcess::suspend() {
     timeout_alarm_ = clk::kNoAlarm;
   }
   round_active_ = false;
-  nonce_to_peer_.clear();
-  collected_.clear();
+  std::fill(replies_.begin(), replies_.end(), Reply{});
   pending_ = 0;
 }
 
@@ -74,16 +76,19 @@ void RoundSyncProcess::begin_round() {
   if (trace::TraceSink* ts = trace_.sink()) {
     ts->record(trace::round_open(trace_.now_sec(), id_, round_));
   }
-  nonce_to_peer_.clear();
-  collected_.clear();
+  std::fill(replies_.begin(), replies_.end(), Reply{});
   round_send_time_ = clock_.read();
   round_send_hw_ = clock_.hardware().read();
   pending_ = peers_.size();
-  for (net::ProcId q : peers_) {
+  // One batched fanout train for the whole round; nonce and delay draws
+  // happen in add() order, matching the per-message sends draw for draw.
+  auto fo = network_.fanout(id_);
+  for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
     const std::uint64_t nonce = rng_();
-    nonce_to_peer_.emplace(nonce, q);
-    network_.send(id_, q, net::RoundPingReq{nonce, round_});
+    round_nonces_[slot] = nonce;
+    fo.add(peers_[slot], net::RoundPingReq{nonce, round_});
   }
+  fo.commit();
   if (pending_ == 0) {
     finish_round();
     return;
@@ -109,13 +114,17 @@ void RoundSyncProcess::handle_message(const net::Message& msg) {
     ++stats_.responses_stale;
     return;
   }
-  auto it = nonce_to_peer_.find(resp->nonce);
-  if (it == nonce_to_peer_.end() || it->second != msg.from ||
-      collected_.contains(msg.from)) {
+  // A valid reply must carry this round's nonce for its authenticated
+  // sender, at most once; anything else (unknown nonce, another peer's
+  // nonce, a duplicate) drops as stale — the dense-slot equivalent of
+  // the old nonce-map lookup + collected-set check.
+  const int slot = peer_slot_[static_cast<std::size_t>(msg.from)];
+  if (slot < 0 || round_nonces_[static_cast<std::size_t>(slot)] != resp->nonce ||
+      replies_[static_cast<std::size_t>(slot)].answered) {
     ++stats_.responses_stale;
     return;
   }
-  Reply reply;
+  Reply& reply = replies_[static_cast<std::size_t>(slot)];
   reply.answered = true;
   reply.round = resp->round;
   // A cross-round clock value is unusable for a round-based algorithm
@@ -137,7 +146,6 @@ void RoundSyncProcess::handle_message(const net::Message& msg) {
     reply.estimate = fresh;
     ++stats_.responses_ok;
   }
-  collected_.emplace(msg.from, reply);
   assert(pending_ > 0);
   if (--pending_ == 0) finish_round();
 }
@@ -150,33 +158,28 @@ void RoundSyncProcess::finish_round() {
     timeout_alarm_ = clk::kNoAlarm;
   }
 
-  std::vector<Reply> replies;
-  replies.reserve(peers_.size());
+  // Materialize timeouts in place and count mismatches — replies_ is
+  // already in peer order; no per-round reply table is built.
   std::size_t mismatched = 0;
-  for (net::ProcId q : peers_) {
-    auto it = collected_.find(q);
-    if (it == collected_.end()) {
+  for (Reply& r : replies_) {
+    if (!r.answered) {
       ++stats_.timeouts;
-      replies.push_back(Reply{Estimate::timeout(), 0, false, false});
-    } else {
-      replies.push_back(it->second);
-      if (it->second.mismatched) ++mismatched;
+      r = Reply{Estimate::timeout(), 0, false, false};
+    } else if (r.mismatched) {
+      ++mismatched;
     }
   }
-  nonce_to_peer_.clear();
-  collected_.clear();
 
   if (mismatched > static_cast<std::size_t>(config_.f)) {
     // Our round counter is the odd one out: rejoin.
-    join(replies);
+    join(replies_);
   } else {
-    std::vector<PeerEstimate> estimates;
-    estimates.reserve(replies.size() + 1);
-    estimates.push_back(PeerEstimate::from(Estimate::self()));
-    for (const auto& r : replies)
-      estimates.push_back(PeerEstimate::from(r.estimate));
+    estimates_.clear();
+    estimates_.push_back(PeerEstimate::from(Estimate::self()));
+    for (const auto& r : replies_)
+      estimates_.push_back(PeerEstimate::from(r.estimate));
     const ConvergenceResult result = config_.convergence->apply(
-        estimates, config_.f, config_.params.way_off);
+        estimates_, config_.f, config_.params.way_off, &conv_scratch_);
     clock_.adjust(result.adjustment);
     ++stats_.rounds_completed;
     if (result.way_off_branch) ++stats_.way_off_rounds;

@@ -27,7 +27,7 @@
 //     structural weakness the no-rounds design avoids.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "clock/logical_clock.h"
@@ -88,9 +88,23 @@ class RoundSyncProcess final : public ProtocolEngine {
   bool round_active_ = false;
   ClockTime round_send_time_;  // S on the logical clock
   ClockTime round_send_hw_;    // send instant on the monotone hw clock
-  std::unordered_map<std::uint64_t, net::ProcId> nonce_to_peer_;
-  std::unordered_map<net::ProcId, Reply> collected_;
+
+  // In-flight round state, SoA like SyncProcess's: dense per-peer-slot
+  // arrays sized once at construction and reset in place per round, so
+  // the steady-state round allocates nothing (the old per-round
+  // unordered_maps paid a node allocation per ping and reply).
+  // peer_slot_[proc] maps an authenticated sender to its slot (-1 for
+  // non-neighbors); round_nonces_[slot] is this round's nonce for that
+  // peer; replies_[slot].answered doubles as the "already collected"
+  // guard the old map's contains() provided.
+  std::vector<int> peer_slot_;
+  std::vector<std::uint64_t> round_nonces_;
+  std::vector<Reply> replies_;
   std::size_t pending_ = 0;
+
+  // Round-close scratch, reused every round (see SyncProcess).
+  std::vector<PeerEstimate> estimates_;
+  ConvergenceScratch conv_scratch_;
 
   SyncStats stats_;
 };

@@ -29,6 +29,7 @@ SyncProcess::SyncProcess(trace::TracePort trace, net::Network& network,
   nonce_live_.assign(peers_.size() * k, 0);
   collected_.assign(peers_.size(), Estimate{});
   reply_count_.assign(peers_.size(), 0);
+  estimates_.reserve(peers_.size() + 1);
   if (config_.debug_bucket_reserve > 0) {
     cache_nonce_to_peer_.reserve(config_.debug_bucket_reserve);
     cache_sent_at_.reserve(config_.debug_bucket_reserve);
@@ -54,13 +55,16 @@ void SyncProcess::start() {
 
 void SyncProcess::cache_tick() {
   // Background estimation thread (§3.1 caveat): ping all peers, remember
-  // when; replies refresh the cache asynchronously.
+  // when; replies refresh the cache asynchronously. The burst goes out
+  // as one batched fanout train.
+  auto fo = network_.fanout(id_);
   for (net::ProcId q : peers_) {
     const std::uint64_t nonce = rng_();
     cache_nonce_to_peer_.emplace(nonce, q);
     cache_sent_at_[q] = CacheSentAt{clock_.read(), clock_.hardware().read()};
-    network_.send(id_, q, net::PingReq{nonce});
+    fo.add(q, net::PingReq{nonce});
   }
+  fo.commit();
   cache_alarm_ =
       clock_.hardware().set_alarm_after(config_.cache_refresh, [this] {
         cache_alarm_ = clk::kNoAlarm;
@@ -128,6 +132,10 @@ void SyncProcess::begin_round() {
   round_send_hw_ = clock_.hardware().read();
   const int k = std::max(config_.pings_per_peer, 1);
   pending_ = peers_.size() * static_cast<std::size_t>(k);
+  // The round's whole fanout is one batched train: per-ping nonce draws
+  // and per-message delay draws happen in add() order, exactly as the
+  // per-message sends drew them.
+  auto fo = network_.fanout(id_);
   for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
     const net::ProcId q = peers_[slot];
     for (int i = 0; i < k; ++i) {
@@ -136,9 +144,10 @@ void SyncProcess::begin_round() {
                              static_cast<std::size_t>(i);
       round_nonces_[at] = nonce;
       nonce_live_[at] = 1;
-      network_.send(id_, q, net::PingReq{nonce});
+      fo.add(q, net::PingReq{nonce});
     }
   }
+  fo.commit();
   if (pending_ == 0) {
     finish_round();
     return;
@@ -227,26 +236,25 @@ void SyncProcess::handle_message(const net::Message& msg) {
 void SyncProcess::finish_from_cache() {
   assert(round_active_);
   round_active_ = false;
-  std::vector<PeerEstimate> estimates;
-  estimates.reserve(peers_.size() + 1);
-  estimates.push_back(PeerEstimate::from(Estimate::self()));
+  estimates_.clear();
+  estimates_.push_back(PeerEstimate::from(Estimate::self()));
   const ClockTime now = clock_.read();
   for (net::ProcId q : peers_) {
     auto it = cache_.find(q);
     if (it == cache_.end() ||
         now - it->second.measured_at > config_.max_cache_age) {
       ++stats_.timeouts;
-      estimates.push_back(PeerEstimate::from(Estimate::timeout()));
+      estimates_.push_back(PeerEstimate::from(Estimate::timeout()));
     } else {
       // Deliberately NO staleness compensation: the estimate refers to
       // the clock as it was when measured; any adjustment applied since
       // (including our own last sync!) silently invalidates it. This is
       // the exact hazard §3.1 warns about.
-      estimates.push_back(PeerEstimate::from(it->second.estimate));
+      estimates_.push_back(PeerEstimate::from(it->second.estimate));
     }
   }
   const ConvergenceResult result = config_.convergence->apply(
-      estimates, config_.f, config_.params.way_off);
+      estimates_, config_.f, config_.params.way_off, &conv_scratch_);
   clock_.adjust(result.adjustment);
   ++stats_.rounds_completed;
   if (result.way_off_branch) ++stats_.way_off_rounds;
@@ -277,21 +285,20 @@ void SyncProcess::finish_round() {
   // Build the estimate table: self first (exact), then one entry per
   // peer; peers that did not answer in time count as timeouts
   // (d=0, a=infinity), exactly as §3.1 prescribes.
-  std::vector<PeerEstimate> estimates;
-  estimates.reserve(peers_.size() + 1);
-  estimates.push_back(PeerEstimate::from(Estimate::self()));
+  estimates_.clear();
+  estimates_.push_back(PeerEstimate::from(Estimate::self()));
   for (std::size_t slot = 0; slot < peers_.size(); ++slot) {
     if (reply_count_[slot] == 0) {
       ++stats_.timeouts;
-      estimates.push_back(PeerEstimate::from(Estimate::timeout()));
+      estimates_.push_back(PeerEstimate::from(Estimate::timeout()));
     } else {
-      estimates.push_back(PeerEstimate::from(collected_[slot]));
+      estimates_.push_back(PeerEstimate::from(collected_[slot]));
     }
   }
   clear_round_state();
 
   const ConvergenceResult result = config_.convergence->apply(
-      estimates, config_.f, config_.params.way_off);
+      estimates_, config_.f, config_.params.way_off, &conv_scratch_);
   clock_.adjust(result.adjustment);
 
   ++stats_.rounds_completed;

@@ -139,6 +139,12 @@ class SyncProcess final : public ProtocolEngine {
   std::vector<int> reply_count_;      // valid replies, by peer slot
   std::size_t pending_ = 0;  // outstanding replies across all peers
 
+  // Round-close scratch, reused every round (allocation-free once at
+  // capacity): the estimate table fed to the convergence function and
+  // the flat buffers its (f+1)-trim selection runs over.
+  std::vector<PeerEstimate> estimates_;
+  ConvergenceScratch conv_scratch_;
+
   // Cached-estimation mode (§3.1 caveat).
   struct CacheEntry {
     Estimate estimate;

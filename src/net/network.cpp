@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
@@ -8,6 +9,14 @@
 #include "util/small_fn.h"
 
 namespace czsync::net {
+
+namespace {
+
+constexpr FanoutId encode_fanout(std::uint32_t index, std::uint32_t gen) {
+  return (static_cast<FanoutId>(gen) << 32) | (static_cast<FanoutId>(index) + 1);
+}
+
+}  // namespace
 
 void NetworkStats::export_metrics(util::MetricRegistry::Scope scope) const {
   scope.counter("sent", sent);
@@ -34,8 +43,21 @@ Network::Network(sim::Simulator& sim, Topology topology,
   // and the capacity (or the message) needs a look.
   static_assert(SmallFn::fits_inline<DeliverEvent>(),
                 "DeliverEvent must fit a SmallFn pool slot");
+  static_assert(SmallFn::fits_inline<FanoutStep>(),
+                "FanoutStep must fit a SmallFn pool slot");
   assert(delay_ != nullptr);
   constant_delay_ = delay_->constant_delay();
+  if (constant_delay_) {
+    // Enforce the delivery contract once, here, instead of re-checking
+    // the same constant on every send: a misbehaving model is clamped
+    // back into (0, delta] and the verdict cached so the per-message
+    // delay_violations accounting matches the sampled path exactly.
+    const Dur bound = delay_->bound();
+    if (*constant_delay_ <= Dur::zero() || *constant_delay_ > bound) {
+      constant_violation_ = true;
+      constant_delay_ = std::clamp(*constant_delay_, bound * 1e-6, bound);
+    }
+  }
 }
 
 void Network::register_handler(ProcId p, Handler handler) {
@@ -43,7 +65,7 @@ void Network::register_handler(ProcId p, Handler handler) {
   handlers_[static_cast<std::size_t>(p)] = std::move(handler);
 }
 
-void Network::send(ProcId from, ProcId to, Body body) {
+bool Network::send_precheck(ProcId from, ProcId to, const Body& body) {
   assert(from >= 0 && from < topology_.size());
   assert(to >= 0 && to < topology_.size());
   assert(from != to && "self-messages are handled locally by the protocol");
@@ -51,8 +73,7 @@ void Network::send(ProcId from, ProcId to, Body body) {
   ++stats_.sent_by_body[body.index()];
   trace::TraceSink* ts = sim_.trace_sink();
   if (ts != nullptr) {
-    ts->record(
-        trace::msg_send(sim_.now().sec(), from, to, body.index()));
+    ts->record(trace::msg_send(sim_.now().sec(), from, to, body.index()));
   }
   if (!topology_.has_edge(from, to)) {
     ++stats_.dropped_no_edge;
@@ -61,7 +82,7 @@ void Network::send(ProcId from, ProcId to, Body body) {
                                  trace::DropReason::NoEdge));
     }
     CZ_DEBUG << "drop (no edge) " << from << "->" << to;
-    return;
+    return false;
   }
   if (!link_faults_.empty() && link_faults_.cut_at(from, to, sim_.now())) {
     ++stats_.dropped_link_fault;
@@ -70,10 +91,17 @@ void Network::send(ProcId from, ProcId to, Body body) {
                                  trace::DropReason::LinkFault));
     }
     CZ_DEBUG << "drop (link fault) " << from << "->" << to;
-    return;
+    return false;
   }
-  Dur delay =
-      constant_delay_ ? *constant_delay_ : delay_->sample(rng_, from, to);
+  return true;
+}
+
+Dur Network::sample_delay(ProcId from, ProcId to) {
+  if (constant_delay_) {
+    if (constant_violation_) ++stats_.delay_violations;
+    return *constant_delay_;
+  }
+  Dur delay = delay_->sample(rng_, from, to);
   // Enforce the delivery contract in every build type: a misbehaving
   // model (delay <= 0 or > delta) is clamped back into (0, delta] and
   // counted, instead of silently skewing the run.
@@ -82,7 +110,128 @@ void Network::send(ProcId from, ProcId to, Body body) {
     ++stats_.delay_violations;
     delay = std::clamp(delay, bound * 1e-6, bound);
   }
+  return delay;
+}
+
+void Network::send(ProcId from, ProcId to, Body body) {
+  if (!send_precheck(from, to, body)) return;
+  const Dur delay = sample_delay(from, to);
   sim_.schedule_after(delay, DeliverEvent{this, {from, to, std::move(body)}});
+}
+
+void Network::fanout_add(Fanout& fo, ProcId to, Body body) {
+  assert(!fo.committed_);
+  if (!send_precheck(fo.from_, to, body)) return;
+  const Dur delay = sample_delay(fo.from_, to);
+  if (!batched_fanout_) {
+    sim_.schedule_after(delay,
+                        DeliverEvent{this, {fo.from_, to, std::move(body)}});
+    return;
+  }
+  if (fo.batch_ == kNoBatch) fo.batch_ = acquire_batch();
+  // The stamp is now() + delay — the same instant schedule_after would
+  // compute — and the FIFO rank is reserved here, at the moment the
+  // unbatched code would have pushed, so the committed train interleaves
+  // with every other event exactly as per-message sends would.
+  batches_[fo.batch_].pending.push_back(PendingSend{
+      sim_.now() + delay, sim_.reserve_event_seq(),
+      Message{fo.from_, to, std::move(body)}});
+}
+
+FanoutId Network::fanout_commit(Fanout& fo) {
+  assert(!fo.committed_);
+  fo.committed_ = true;
+  if (fo.batch_ == kNoBatch) return kNoFanout;
+  const std::uint32_t index = fo.batch_;
+  FanoutBatch& fb = batches_[index];
+  assert(!fb.pending.empty());
+  // Delay-sort into fire order, leaving the messages where add() put
+  // them. The sort runs over flat 16-byte integer keys (see FanoutKey) —
+  // several times cheaper than an index permutation whose comparator
+  // gathers from the wide PendingSend records. Seqs are handed out in
+  // add() order, so idx breaks time ties exactly as seq would and
+  // (t, seq) stays a strict total order.
+  const auto count = static_cast<std::uint32_t>(fb.pending.size());
+  fb.keys.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const double sec = fb.pending[i].t.sec();
+    assert(sec >= 0.0);
+    fb.keys[i] = FanoutKey{std::bit_cast<std::uint64_t>(sec), i};
+  }
+  std::sort(fb.keys.begin(), fb.keys.end());
+  fb.order.resize(count);
+  fb.stamps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t idx = fb.keys[i].idx;
+    const PendingSend& p = fb.pending[idx];
+    fb.order[i] = idx;
+    fb.stamps.push_back(sim::BatchStamp{p.t, p.seq});
+  }
+  fb.train = sim_.schedule_train(
+      fb.stamps.data(), static_cast<std::uint32_t>(fb.stamps.size()),
+      FanoutStep{this, index});
+  return encode_fanout(index, fb.gen);
+}
+
+void Network::fanout_step(std::uint32_t batch) {
+  FanoutBatch& fb = batches_[batch];
+  assert(fb.live && fb.cursor < fb.pending.size());
+  const std::size_t cur = fb.cursor++;
+  const bool last = fb.cursor == fb.pending.size();
+  // Deliver from a local: the handler may start new fanouts (growing or
+  // reusing batches_) or cancel this train; neither may invalidate the
+  // message mid-delivery.
+  const Message msg = std::move(fb.pending[fb.order[cur]].msg);
+  deliver(msg);
+  if (last) {
+    // Re-fetch — batches_ may have grown during deliver. A cancel from
+    // inside the last delivery is a no-op (the train's simulator slot is
+    // already gone), so the batch is still ours to release.
+    FanoutBatch& done = batches_[batch];
+    if (done.live) release_batch(batch);
+  }
+}
+
+bool Network::cancel_fanout(FanoutId id) {
+  const std::uint32_t low = static_cast<std::uint32_t>(id);
+  if (low == 0) return false;  // kNoFanout
+  const std::uint32_t index = low - 1;
+  if (index >= batches_.size()) return false;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  FanoutBatch& fb = batches_[index];
+  if (!fb.live || fb.gen != gen) return false;  // done, cancelled, reused
+  // The simulator-side cancel is the authority: it fails iff the train
+  // fully delivered (or is firing its final entry right now), in which
+  // case fanout_step still owns the batch.
+  if (!sim_.cancel(fb.train)) return false;
+  release_batch(index);
+  return true;
+}
+
+std::uint32_t Network::acquire_batch() {
+  std::uint32_t index;
+  if (!free_batches_.empty()) {
+    index = free_batches_.back();
+    free_batches_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(batches_.size());
+    batches_.emplace_back();
+  }
+  FanoutBatch& fb = batches_[index];
+  fb.pending.clear();
+  fb.order.clear();
+  fb.stamps.clear();
+  fb.cursor = 0;
+  fb.live = true;
+  fb.train = sim::kNoEvent;
+  return index;
+}
+
+void Network::release_batch(std::uint32_t index) {
+  FanoutBatch& fb = batches_[index];
+  fb.live = false;
+  ++fb.gen;  // invalidates outstanding FanoutIds for this slot
+  free_batches_.push_back(index);
 }
 
 void Network::deliver(const Message& msg) {

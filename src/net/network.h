@@ -10,6 +10,17 @@
 // protocol is replaced by the adversary's strategy at dispatch time (see
 // src/adversary), not by tampering with the channel. This matches the
 // paper's model where links themselves are never corrupted.
+//
+// Fanout batching: a round's all-neighbor fanout is the simulator's
+// dominant workload (O(n²) messages per sync wave). The Fanout builder
+// collects one sender's burst, then commits it as a single pooled event
+// train (sim::BatchStamp entries sorted by delivery time) instead of n
+// independent pool events: one slot and one live heap entry per burst.
+// Per-message FIFO sequence numbers are reserved at add() time and each
+// delivery fires as its own simulator event, so traces and metrics are
+// byte-identical to unbatched sends — set_batched_fanout(false) switches
+// to per-message scheduling and the fanout_equivalence test proves the
+// two modes produce identical czsync-trace-v1 bytes.
 #pragma once
 
 #include <array>
@@ -38,6 +49,8 @@ struct NetworkStats {
   /// DelayModel samples outside (0, bound], clamped back into range. A
   /// correct model never trips this; nonzero means the model violates the
   /// §2.2 delivery contract and the run's δ-dependent bounds are suspect.
+  /// Counted per message on the constant-delay fast path too (the
+  /// constant is validated once at construction and the verdict cached).
   std::uint64_t delay_violations = 0;
   /// Send attempts by Body alternative (body_name(i) labels index i);
   /// counts every send(), including ones later dropped.
@@ -47,6 +60,11 @@ struct NetworkStats {
   /// "sent_by_body.<Name>" (only alternatives that were actually sent).
   void export_metrics(util::MetricRegistry::Scope scope) const;
 };
+
+/// Handle to a committed in-flight fanout train, for cancellation. 0 is
+/// never issued ("no fanout"); generation-checked like sim::EventId.
+using FanoutId = std::uint64_t;
+inline constexpr FanoutId kNoFanout = 0;
 
 class Network {
  public:
@@ -70,12 +88,63 @@ class Network {
   /// mesh where every pair is an edge.
   void send(ProcId from, ProcId to, Body body);
 
+  /// Builder for one sender's fanout burst. add() performs exactly the
+  /// checks, counters, trace records and RNG draws of send(), in call
+  /// order; commit() schedules the surviving messages as one pooled
+  /// event train (or had scheduled them individually in unbatched mode).
+  /// One Fanout must be fully built and committed before the simulator
+  /// runs again (the builder holds pre-reserved FIFO ranks).
+  class Fanout {
+   public:
+    Fanout(const Fanout&) = delete;
+    Fanout& operator=(const Fanout&) = delete;
+    ~Fanout() {
+      if (!committed_) commit();
+    }
+
+    /// Queues one message of the burst; identical observable semantics
+    /// to Network::send(from, to, body).
+    void add(ProcId to, Body body) { net_->fanout_add(*this, to, std::move(body)); }
+
+    /// Schedules the burst. Returns a cancellable handle, or kNoFanout
+    /// when nothing survived the drop checks (or batching is off —
+    /// unbatched sends are cancelled per-event, not per-burst).
+    FanoutId commit() { return net_->fanout_commit(*this); }
+
+   private:
+    friend class Network;
+    Fanout(Network& net, ProcId from) : net_(&net), from_(from) {}
+
+    Network* net_;
+    ProcId from_;
+    std::uint32_t batch_ = 0xffffffffu;  // acquired on first surviving add
+    bool committed_ = false;
+  };
+
+  /// Starts a fanout burst from `from`.
+  [[nodiscard]] Fanout fanout(ProcId from) { return Fanout(*this, from); }
+
+  /// Cancels every undelivered message of a committed fanout train.
+  /// False if the train already fully delivered, was cancelled, or never
+  /// existed; entries delivered before cancellation stay delivered.
+  bool cancel_fanout(FanoutId id);
+
+  /// Batched fanout on/off (default on). Off = Fanout::add schedules one
+  /// pool event per message, the pre-batching behaviour. Observable run
+  /// behaviour (traces, delivery order, RNG sequence) is identical in
+  /// both modes; only event-pool accounting differs. Takes effect for
+  /// subsequently started fanouts.
+  void set_batched_fanout(bool on) { batched_fanout_ = on; }
+  [[nodiscard]] bool batched_fanout() const { return batched_fanout_; }
+
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] Dur delay_bound() const { return delay_->bound(); }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] int size() const { return topology_.size(); }
 
  private:
+  static constexpr std::uint32_t kNoBatch = 0xffffffffu;
+
   /// Typed in-flight message: scheduled directly into the simulator's
   /// event pool, moving the Message into the pool slot instead of
   /// capturing it in a std::function (which would heap-allocate per
@@ -86,18 +155,88 @@ class Network {
     void operator()() { net->deliver(msg); }
   };
 
+  /// Train action for one committed fanout burst: each simulator event
+  /// of the train delivers the next message of the batch.
+  struct FanoutStep {
+    Network* net;
+    std::uint32_t batch;
+    void operator()() { net->fanout_step(batch); }
+  };
+
+  /// One queued message of a burst: its delivery instant, the FIFO rank
+  /// reserved at add() time, and the payload.
+  struct PendingSend {
+    RealTime t;
+    std::uint64_t seq = 0;
+    Message msg;
+  };
+
+  /// Pooled per-burst storage. Lives in batches_ (reused via free list,
+  /// generation-checked like event-pool slots); `stamps` mirrors
+  /// `pending` post-sort and is what the simulator train points into, so
+  /// it must not be touched while the train is live.
+  /// Flat sort key for fanout_commit's delay sort: 16 bytes, compared
+  /// without touching the (much larger) PendingSend records. `bits` is
+  /// the delivery time's IEEE-754 bit pattern — delivery times are
+  /// non-negative finite doubles, whose bit patterns order exactly like
+  /// their values, so the sort runs on integer compares. Seqs are
+  /// assigned in add() order, so idx breaks time ties identically to
+  /// the (t, seq) fire order the stamps need.
+  struct FanoutKey {
+    std::uint64_t bits;
+    std::uint32_t idx;
+
+    bool operator<(const FanoutKey& o) const {
+      if (bits != o.bits) return bits < o.bits;
+      return idx < o.idx;
+    }
+  };
+
+  struct FanoutBatch {
+    std::vector<PendingSend> pending;  ///< in add() order (never reordered)
+    std::vector<std::uint32_t> order;  ///< delivery order -> pending index
+    std::vector<FanoutKey> keys;       ///< commit-time sort scratch
+    std::vector<sim::BatchStamp> stamps;
+    std::size_t cursor = 0;
+    std::uint32_t gen = 0;
+    bool live = false;
+    sim::EventId train = sim::kNoEvent;
+  };
+
+  /// Drop checks + send accounting shared by send() and Fanout::add():
+  /// counters, msg_send/msg_drop trace records. False = dropped.
+  bool send_precheck(ProcId from, ProcId to, const Body& body);
+
+  /// Per-message delay draw: the validated constant on the fast path
+  /// (violation verdict cached from construction, accounting identical
+  /// to the sampled path), else one RNG sample clamped into (0, bound].
+  Dur sample_delay(ProcId from, ProcId to);
+
+  void fanout_add(Fanout& fo, ProcId to, Body body);
+  FanoutId fanout_commit(Fanout& fo);
+  void fanout_step(std::uint32_t batch);
+  std::uint32_t acquire_batch();
+  void release_batch(std::uint32_t index);
+
   void deliver(const Message& msg);
 
   sim::Simulator& sim_;
   Topology topology_;
   std::unique_ptr<DelayModel> delay_;
-  /// Cached DelayModel::constant_delay(): deterministic models skip the
-  /// per-message virtual call (provably RNG-sequence-neutral — such
-  /// models never draw).
+  /// Cached DelayModel::constant_delay(), validated against the bound
+  /// once at construction: deterministic models skip the per-message
+  /// virtual call AND the per-message range check (provably
+  /// RNG-sequence-neutral — such models never draw).
   std::optional<Dur> constant_delay_;
+  /// The cached constant violated (0, bound] and was clamped; every send
+  /// still counts one delay_violation, like the sampled path would.
+  bool constant_violation_ = false;
   Rng rng_;
   std::vector<Handler> handlers_;
   LinkFaultSet link_faults_;
+  bool batched_fanout_ = true;
+  std::vector<FanoutBatch> batches_;
+  std::vector<std::uint32_t> free_batches_;
   NetworkStats stats_;
 };
 

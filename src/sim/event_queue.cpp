@@ -12,29 +12,9 @@ void EventQueueStats::export_metrics(util::MetricRegistry::Scope scope) const {
   scope.counter("inline_actions", inline_actions);
   scope.counter("fallback_allocs", fallback_allocs);
   scope.counter("peak_slots", peak_slots);
-}
-
-std::uint32_t EventQueue::acquire_slot() {
-  if (free_head_ != kFreeListEnd) {
-    const std::uint32_t index = free_head_;
-    Slot& s = slots_[index];
-    free_head_ = s.next_free;
-    s.next_free = kFreeListEnd;
-    s.occupied = true;
-    return index;
-  }
-  slots_.emplace_back().occupied = true;
-  if (slots_.size() > stats_.peak_slots) stats_.peak_slots = slots_.size();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
-void EventQueue::release_slot(std::uint32_t index) {
-  Slot& s = slots_[index];
-  s.fn.reset();
-  s.occupied = false;
-  ++s.gen;  // invalidates every outstanding EventId / heap entry for it
-  s.next_free = free_head_;
-  free_head_ = index;
+  scope.counter("fanout_batches", fanout_batches);
+  scope.counter("fanout_entries", fanout_entries);
+  scope.counter("fanout_cancelled", fanout_cancelled);
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -45,46 +25,61 @@ bool EventQueue::cancel(EventId id) {
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   Slot& s = slots_[index];
   if (!s.occupied || s.gen != gen) return false;  // fired, cancelled, stale
-  release_slot(index);  // the heap entry goes stale and is skipped on pop
+  if (s.stamps != nullptr) ++stats_.fanout_cancelled;
+  if (has_cached_ && cached_.slot == index) {
+    // Cancelling the earliest event: invalidate the cached-min entry
+    // eagerly. This keeps the invariant that the cache is never stale,
+    // which is what lets peek_time() skip the slot probe entirely.
+    assert(cached_.gen == gen);
+    has_cached_ = false;
+  }
+  release_slot(index);  // any heap entry goes stale and is skipped lazily
   --live_;
   ++stats_.cancelled;
   return true;
 }
 
-void EventQueue::skip_stale() const {
-  while (!heap_.empty()) {
-    const Entry& e = heap_.top();
-    const Slot& s = slots_[e.slot];
-    if (s.occupied && s.gen == e.gen) break;
-    heap_.pop();
-    ++stats_.stale_skipped;
-  }
-}
-
-bool EventQueue::empty() const {
-  skip_stale();
-  return heap_.empty();
-}
-
-RealTime EventQueue::next_time() const {
-  skip_stale();
-  assert(!heap_.empty());
-  return heap_.top().t;
-}
-
 EventQueue::Action EventQueue::pop(RealTime& t) {
   skip_stale();
-  assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
+  assert(has_cached_);
+  const Entry e = cached_;
+  has_cached_ = false;
   t = e.t;
   Slot& s = slots_[e.slot];
   assert(s.occupied && s.gen == e.gen);
+  assert(s.stamps == nullptr && "fanout trains fire via fire_top()");
   Action fn = std::move(s.fn);
   release_slot(e.slot);
   --live_;
   ++stats_.popped;
   return fn;
+}
+
+void EventQueue::fire_train_entry(const Entry& e, Slot& s) {
+  // Train entry. Re-arm the next stamp (same generation) BEFORE invoking:
+  // if the action cancels its own train, the just-armed entry goes stale
+  // via the generation bump, exactly like any cancelled event. The action
+  // is moved out for the call — a cancel() from inside it resets the
+  // slot's fn, which must not destroy the currently-running callable —
+  // and moved back afterwards iff the train is still live.
+  ++stats_.fanout_entries;
+  const std::uint32_t next = s.stamp_next + 1;
+  if (next < s.stamp_count) {
+    s.stamp_next = next;
+    insert_entry(Entry{s.stamps[next].t, s.stamps[next].seq, e.slot, e.gen});
+    Action fn = std::move(s.fn);
+    fn();
+    Slot& again = slots_[e.slot];  // re-fetch: fn may have grown the slab
+    if (again.occupied && again.gen == e.gen) again.fn = std::move(fn);
+    return;
+  }
+  // Final entry: the train completes and its slot is released like a
+  // plain event's.
+  Action fn = std::move(s.fn);
+  release_slot(e.slot);
+  --live_;
+  ++stats_.popped;
+  fn();
 }
 
 }  // namespace czsync::sim

@@ -11,10 +11,31 @@
 // mismatch, so there are no hash-map lookups or tombstone sets anywhere
 // on the hot path. The steady state of a simulation run performs zero
 // allocations once the slab and heap have reached their high-water marks.
+//
+// Two batching layers sit on top of the plain pool:
+//
+//   * Cached-min entry. The earliest live entry is held outside the
+//     binary heap in `cached_`. The dominant simulation pattern —
+//     pop the earliest event, which immediately schedules the next
+//     earliest — then never touches the heap at all: the new entry
+//     replaces the cache in O(1) and the sift-up/sift-down pairs that
+//     used to dominate the churn profile disappear.
+//
+//   * Fanout trains (push_train). A round's n-message fanout occupies
+//     ONE pool slot whose heap entry is re-armed once per delivery from
+//     a caller-owned, (time, seq)-sorted stamp array. Each stamp's seq
+//     is pre-reserved via reserve_seq() at the moment the unbatched code
+//     would have pushed, so the train's entries interleave with every
+//     other event exactly as n independent pushes would have: global
+//     fire order — and therefore czsync-trace-v1 bytes — are unchanged
+//     by batching. What changes is the cost: one slot + one live heap
+//     entry per round instead of n, and no per-message SmallFn
+//     construct/destroy.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/metrics.h"
@@ -31,6 +52,15 @@ namespace czsync::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
+/// One entry of a fanout train: the absolute fire time plus the global
+/// sequence number (from reserve_seq()) that fixes its FIFO rank among
+/// all events at equal times. Stamp arrays handed to push_train must be
+/// sorted by fire order and outlive the train.
+struct BatchStamp {
+  RealTime t;
+  std::uint64_t seq = 0;
+};
+
 /// Always-on counters; cheap enough for release builds (plain increments
 /// on paths that already touch the same cache lines).
 struct EventQueueStats {
@@ -39,6 +69,9 @@ struct EventQueueStats {
   std::uint64_t cancelled = 0;
   /// Heap entries discarded because their slot generation no longer
   /// matched (the lazy-deletion analogue of the old tombstone set).
+  /// Cancelling the *earliest* event does not count here: the cached-min
+  /// entry is invalidated eagerly by cancel() and never reaches the
+  /// stale-skip pass.
   std::uint64_t stale_skipped = 0;
   /// Actions stored in-slot vs. oversized captures that fell back to one
   /// heap allocation (see SmallFn::kInlineCapacity).
@@ -46,6 +79,14 @@ struct EventQueueStats {
   std::uint64_t fallback_allocs = 0;
   /// Slab high-water mark: peak number of concurrently pooled slots.
   std::size_t peak_slots = 0;
+  /// Fanout trains issued via push_train (each counts once in `pushed`).
+  std::uint64_t fanout_batches = 0;
+  /// Individual train entries fired (n per fully-delivered n-message
+  /// train; the per-message analogue of `popped` for batched fanout).
+  std::uint64_t fanout_entries = 0;
+  /// Trains cancelled mid-flight (each also counts once in `cancelled`;
+  /// the entries never delivered are simply dropped with the slot).
+  std::uint64_t fanout_cancelled = 0;
 
   /// Snapshot into `scope` (one entry per counter, same names as the
   /// fields) for RunRecord emission.
@@ -64,7 +105,7 @@ class EventQueue {
     const std::uint32_t index = acquire_slot();
     Slot& s = slots_[index];
     s.fn.emplace(std::forward<F>(fn));
-    heap_.push(Entry{t, next_seq_++, index, s.gen});
+    insert_entry(Entry{t, next_seq_++, index, s.gen});
     ++live_;
     ++stats_.pushed;
     if (s.fn.is_inline()) {
@@ -75,31 +116,111 @@ class EventQueue {
     return encode(index, s.gen);
   }
 
-  /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or never existed.
+  /// Reserves the next global sequence number without scheduling
+  /// anything. A fanout batcher calls this once per message at the
+  /// instant the unbatched code would have pushed, then hands the
+  /// (time, seq) stamps to push_train — preserving the FIFO rank every
+  /// message would have had as an independent event.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Enqueues one pooled fanout train: `fn` fires once per stamp, at the
+  /// stamp's (time, seq) position in the global fire order. `stamps`
+  /// must be non-empty, sorted by fire order (time, then seq, with seqs
+  /// from reserve_seq()), and must stay valid until the train fully
+  /// fires or is cancelled. Returns one cancellable handle covering all
+  /// undelivered entries.
+  template <class F>
+  EventId push_train(const BatchStamp* stamps, std::uint32_t count, F&& fn) {
+    assert(stamps != nullptr && count > 0);
+    const std::uint32_t index = acquire_slot();
+    Slot& s = slots_[index];
+    s.fn.emplace(std::forward<F>(fn));
+    s.stamps = stamps;
+    s.stamp_next = 0;
+    s.stamp_count = count;
+    insert_entry(Entry{stamps[0].t, stamps[0].seq, index, s.gen});
+    ++live_;
+    ++stats_.pushed;
+    ++stats_.fanout_batches;
+    if (s.fn.is_inline()) {
+      ++stats_.inline_actions;
+    } else {
+      ++stats_.fallback_allocs;
+    }
+    return encode(index, s.gen);
+  }
+
+  /// Cancels a pending event (or a whole train's undelivered remainder).
+  /// Returns false if the event already fired, was already cancelled, or
+  /// never existed.
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const {
+    skip_stale();
+    return !has_cached_;
+  }
 
   /// Time of the earliest live event. Precondition: !empty().
-  [[nodiscard]] RealTime next_time() const;
+  [[nodiscard]] RealTime next_time() const {
+    skip_stale();
+    assert(has_cached_);
+    return cached_.t;
+  }
 
   /// Time of the earliest live event, or nullptr when the queue is empty.
-  /// One stale-skip pass covering the empty()/next_time()/pop() triple in
-  /// the simulator's step loop.
+  /// One stale-skip pass covering the empty()/next_time()/fire_top()
+  /// triple in the simulator's step loop.
   [[nodiscard]] const RealTime* peek_time() const {
     skip_stale();
-    return heap_.empty() ? nullptr : &heap_.top().t;
+    return has_cached_ ? &cached_.t : nullptr;
   }
 
   /// Removes and returns the earliest live event's action, advancing past
   /// stale heap entries. The slot is released before returning, so the
-  /// action may re-schedule into it. Precondition: !empty(). Sets `t` to
-  /// the event's time.
+  /// action may re-schedule into it. Precondition: !empty() and the
+  /// earliest event is not a fanout train (trains are fired in place via
+  /// fire_top()). Sets `t` to the event's time.
   Action pop(RealTime& t);
 
-  /// Number of live events (O(1), maintained incrementally).
+  /// Fires the earliest live event in place: invokes the action after
+  /// releasing (plain event) or re-arming (train entry) its slot, fusing
+  /// the pop + invoke that pop()-based loops split across a SmallFn
+  /// relocation. Precondition: a preceding peek_time() returned non-null
+  /// with no intervening mutation. Defined inline: this is the body of
+  /// the simulator's step loop, and inlining it next to peek_time() lets
+  /// the compiler share the slot load between the two.
+  void fire_top() {
+    assert(has_cached_);
+    const Entry e = cached_;
+    has_cached_ = false;
+    Slot& s = slots_[e.slot];
+    assert(s.occupied && s.gen == e.gen);
+    if (s.stamps == nullptr) {
+      // Plain event: release the slot before invoking so the action may
+      // re-schedule into it, then run the action from the stack.
+      Action fn = std::move(s.fn);
+      release_slot(e.slot);
+      --live_;
+      ++stats_.popped;
+      fn();
+      return;
+    }
+    fire_train_entry(e, s);
+  }
+
+  /// Convenience for drains outside the simulator: fires the earliest
+  /// live event (if any) and reports its time. False when empty.
+  bool fire_next(RealTime* t = nullptr) {
+    const RealTime* next = peek_time();
+    if (next == nullptr) return false;
+    if (t != nullptr) *t = *next;
+    fire_top();
+    return true;
+  }
+
+  /// Number of live events (O(1), maintained incrementally). A fanout
+  /// train counts as one event regardless of undelivered entries.
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Total events ever pushed (for throughput accounting).
@@ -117,6 +238,11 @@ class EventQueue {
     std::uint32_t gen = 0;
     bool occupied = false;
     std::uint32_t next_free = kFreeListEnd;
+    /// Train state: non-null while the slot holds a fanout train;
+    /// stamps[stamp_next] is the next undelivered entry.
+    const BatchStamp* stamps = nullptr;
+    std::uint32_t stamp_next = 0;
+    std::uint32_t stamp_count = 0;
   };
 
   struct Entry {
@@ -133,18 +259,170 @@ class EventQueue {
     }
   };
 
+  /// True when `a` fires strictly before `b` (min-order; the inverse
+  /// orientation of Entry::operator<, which is max-heap flavoured).
+  static bool fires_before(const Entry& a, const Entry& b) {
+    return b < a;
+  }
+
+  /// Flat 4-ary min-heap of entries in fire order. Four children per
+  /// node quarters the sift depth of a binary heap — the heap holds one
+  /// entry per live *event or train* (not per message), so it is small
+  /// and the wide nodes keep comparisons within one or two cache lines.
+  /// (t, seq) keys are unique, so the pop sequence is a strict total
+  /// order: swapping the container never reorders anything observable.
+  class EntryHeap {
+   public:
+    [[nodiscard]] bool empty() const { return v_.empty(); }
+    [[nodiscard]] const Entry& top() const { return v_[0]; }
+
+    void push(const Entry& e) {
+      std::size_t i = v_.size();
+      v_.push_back(e);  // placeholder; holes shift down below
+      while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!fires_before(e, v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = e;
+    }
+
+    void pop() {
+      const std::size_t n = v_.size() - 1;
+      const Entry last = v_[n];
+      v_.pop_back();
+      if (n == 0) return;
+      sift_down(last, n);
+    }
+
+    /// Replaces the top entry with `e` in one sift-down — the fused form
+    /// of push(e) + pop() for callers that already consumed top(). The
+    /// fire/re-arm cycle of a fanout train hits this once per message.
+    void replace_top(const Entry& e) { sift_down(e, v_.size()); }
+
+   private:
+    void sift_down(const Entry& e, std::size_t n) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n) break;
+        const std::size_t end = std::min(first + 4, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (fires_before(v_[c], v_[best])) best = c;
+        }
+        if (!fires_before(v_[best], e)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = e;
+    }
+
+    std::vector<Entry> v_;
+  };
+
   static constexpr EventId encode(std::uint32_t index, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) |
            (static_cast<EventId>(index) + 1);
   }
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t index);
-  void skip_stale() const;
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kFreeListEnd) {
+      const std::uint32_t index = free_head_;
+      Slot& s = slots_[index];
+      free_head_ = s.next_free;
+      s.next_free = kFreeListEnd;
+      s.occupied = true;
+      return index;
+    }
+    slots_.emplace_back().occupied = true;
+    if (slots_.size() > stats_.peak_slots) stats_.peak_slots = slots_.size();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t index) {
+    Slot& s = slots_[index];
+    s.fn.reset();
+    s.occupied = false;
+    ++s.gen;  // invalidates every outstanding EventId / heap entry for it
+    s.stamps = nullptr;
+    s.stamp_next = 0;
+    s.stamp_count = 0;
+    s.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  /// Refills the cache from the heap, discarding stale heap entries.
+  /// The cached entry itself is never stale: cancel() invalidates it
+  /// directly, so the hot peek path is a single flag test with no slot
+  /// probe. Only entries surfacing from the heap need validation.
+  void skip_stale() const {
+    while (!has_cached_ && !heap_.empty()) {
+      const Entry e = heap_.top();
+      heap_.pop();
+      const Slot& s = slots_[e.slot];
+      if (s.occupied && s.gen == e.gen) {
+        cached_ = e;
+        has_cached_ = true;
+      } else {
+        ++stats_.stale_skipped;
+      }
+    }
+  }
+
+  void fire_train_entry(const Entry& e, Slot& s);
+
+  /// Routes a new entry to the cache or the heap, preserving the
+  /// invariant: while has_cached_, cached_ fires before every heap entry
+  /// (stale ones included — staleness only ever delays, never reorders).
+  void insert_entry(Entry e) {
+    if (has_cached_) {
+      if (fires_before(e, cached_)) {
+        heap_.push(cached_);
+        cached_ = e;
+      } else {
+        heap_.push(e);
+      }
+      return;
+    }
+    // Cache empty (we are mid-fire, or the queue was drained): refill it
+    // with the earliest of `e` and the validated heap top. When the heap
+    // top wins, `e` takes its place via one sift-down — fusing the heap
+    // push the old code did here with the pop the next peek would have
+    // paid. The ping-pong churn case (empty heap) stays allocation- and
+    // heap-free.
+    for (;;) {
+      if (heap_.empty()) {
+        cached_ = e;
+        has_cached_ = true;
+        return;
+      }
+      const Entry& top = heap_.top();
+      const Slot& s = slots_[top.slot];
+      if (s.occupied && s.gen == top.gen) break;
+      ++stats_.stale_skipped;
+      heap_.pop();
+    }
+    if (fires_before(e, heap_.top())) {
+      cached_ = e;
+      has_cached_ = true;
+      return;
+    }
+    cached_ = heap_.top();
+    has_cached_ = true;
+    heap_.replace_top(e);
+  }
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kFreeListEnd;
-  mutable std::priority_queue<Entry> heap_;
+  mutable EntryHeap heap_;
+  /// Cached minimum: the earliest entry, held out of the heap (see file
+  /// comment). Valid iff has_cached_, and never stale — every path that
+  /// could invalidate it (cancel of its event) clears has_cached_ on the
+  /// spot, so peek/fire trust it without probing the slot.
+  mutable Entry cached_{};
+  mutable bool has_cached_ = false;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   mutable EventQueueStats stats_;

@@ -45,6 +45,23 @@ class Simulator {
   /// Cancels a pending event; false if it already fired or was cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Reserves the global FIFO sequence number the next scheduled event
+  /// would get, without scheduling. Fanout batchers (net::Network) call
+  /// this once per message so a batched train fires in exactly the order
+  /// the unbatched per-message pushes would have.
+  std::uint64_t reserve_event_seq() { return queue_.reserve_seq(); }
+
+  /// Schedules one pooled fanout train: `fn` fires once per stamp at the
+  /// stamp's (time, seq) global-order position. `stamps` must be sorted
+  /// by fire order, lie at or after now(), and stay valid until the
+  /// train fully fires or is cancelled — see EventQueue::push_train.
+  template <class F>
+  EventId schedule_train(const BatchStamp* stamps, std::uint32_t count,
+                         F&& fn) {
+    assert(count > 0 && !(stamps[0].t < now_));
+    return queue_.push_train(stamps, count, std::forward<F>(fn));
+  }
+
   /// Runs events until the queue is exhausted or `limit` is reached;
   /// `now()` ends at min(limit, last event time). Events exactly at
   /// `limit` are executed.
@@ -56,6 +73,21 @@ class Simulator {
   /// Executes exactly one event if any exists before `limit`.
   /// Returns false when nothing was executed.
   bool step(RealTime limit = RealTime::infinity());
+
+  /// Time of the earliest pending event, or RealTime::infinity() when
+  /// idle. The peek shares the step loop's stale-skip pass, so calling
+  /// it between steps costs O(1).
+  [[nodiscard]] RealTime next_event_time() const;
+
+  /// Quiet-interval batch-step: advances now() straight to `t` iff no
+  /// event is due at or before `t` — one comparison, no per-event heap
+  /// traffic however long the idle gap. Returns false (now() unchanged)
+  /// when an event is due first; the caller step()s to drain it and
+  /// retries. Times at or before now() trivially succeed. `t` must be
+  /// finite. Time-driven drivers (fixed-tick loops, the MC stepper, a
+  /// future daemon loop) use this to skip idle regions in O(1) instead
+  /// of spinning the event loop.
+  bool advance_to(RealTime t);
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }

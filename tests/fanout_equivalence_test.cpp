@@ -1,0 +1,132 @@
+// Batched-vs-unbatched fanout equivalence (DESIGN.md §4.11).
+//
+// The batched fanout path replaces n per-message simulator events with
+// one pooled train that re-arms itself through the same (time, seq)
+// stamps the unbatched path would have pushed. The design claim is that
+// this is a pure mechanical optimization: trace bytes, protocol
+// counters, clock trajectories — everything observable — must be
+// bit-identical with batching forced on and off. This test proves it
+// dynamically, in the style of hash_perturbation_test: run the same
+// scenario both ways and compare the serialized czsync-trace-v1 stream
+// plus the full metric registry.
+//
+// The only legitimate divergences are the pool's own bookkeeping
+// (sim.event_pool.*: a train occupies one slot where n events occupied
+// n, and the batch counters only fire on the batched path) and the
+// events_pending gauge (a mid-run train counts as one pending event).
+// Everything else — sim.events_executed included, because each train
+// entry still fires as its own simulator event — must match exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "net/link_faults.h"
+#include "trace/format.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+struct Captured {
+  std::string trace;
+  analysis::RunResult result;
+};
+
+Captured run(const analysis::Scenario& base, bool batched) {
+  analysis::Scenario s = base;
+  s.batched_fanout = batched;
+  trace::TraceSink sink;
+  Captured c;
+  c.result = analysis::run_scenario(s, &sink);
+  std::ostringstream os(std::ios::binary);
+  trace::write_trace(os, sink);
+  c.trace = std::move(os).str();
+  return c;
+}
+
+// Pool-internal keys that legitimately differ between the two modes.
+bool exempt(const std::string& key) {
+  return key.rfind("sim.event_pool.", 0) == 0 || key == "sim.events_pending";
+}
+
+void expect_equivalent(const analysis::Scenario& base) {
+  const Captured on = run(base, /*batched=*/true);
+  const Captured off = run(base, /*batched=*/false);
+
+  EXPECT_EQ(on.trace, off.trace) << "trace bytes diverged under batching";
+  EXPECT_GT(on.result.metrics.value("sim.event_pool.fanout_batches"), 0.0);
+  EXPECT_EQ(off.result.metrics.value("sim.event_pool.fanout_batches"), 0.0);
+
+  const auto& a = on.result.metrics.entries();
+  const auto& b = off.result.metrics.entries();
+  for (const auto& [key, entry] : a) {
+    if (exempt(key)) continue;
+    ASSERT_TRUE(b.contains(key)) << "metric only in batched run: " << key;
+    EXPECT_EQ(entry.value, b.at(key).value) << "metric diverged: " << key;
+  }
+  for (const auto& [key, entry] : b) {
+    if (exempt(key)) continue;
+    EXPECT_TRUE(a.contains(key)) << "metric only in unbatched run: " << key;
+  }
+}
+
+analysis::Scenario base_scenario() {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::minutes(10);
+  s.sample_period = Dur::seconds(15);
+  s.seed = 21;
+  return s;
+}
+
+TEST(FanoutEquivalence, NoRoundsEngine) { expect_equivalent(base_scenario()); }
+
+TEST(FanoutEquivalence, NoRoundsEngineUnderAdversary) {
+  analysis::Scenario s = base_scenario();
+  s.schedule = adversary::Schedule::random_mobile(
+      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(1),
+      Dur::minutes(3), RealTime(0.75 * 600.0), Rng(1007));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(10);
+  expect_equivalent(s);
+}
+
+TEST(FanoutEquivalence, RoundEngine) {
+  analysis::Scenario s = base_scenario();
+  s.protocol = "round";
+  s.seed = 22;
+  expect_equivalent(s);
+}
+
+TEST(FanoutEquivalence, BroadcastEngine) {
+  analysis::Scenario s = base_scenario();
+  s.protocol = "st-broadcast";
+  s.seed = 23;
+  expect_equivalent(s);
+}
+
+TEST(FanoutEquivalence, MultiPingWithLinkFaults) {
+  // pings_per_peer widens each train; link faults exercise the per-add
+  // precheck drops inside a batch.
+  analysis::Scenario s = base_scenario();
+  s.pings_per_peer = 3;
+  s.link_faults = net::LinkFaultSet(
+      {{0, 1, RealTime(0.0), RealTime(300.0)},
+       {2, 3, RealTime(120.0), RealTime(480.0)}});
+  s.seed = 24;
+  expect_equivalent(s);
+}
+
+}  // namespace
+}  // namespace czsync

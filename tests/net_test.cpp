@@ -269,6 +269,111 @@ TEST(NetworkDelayViolationTest, OverBoundDelayIsClampedToBound) {
   EXPECT_NEAR(delivered_at, 0.05, 1e-12);  // exactly the bound
 }
 
+// ---------- batched fanout ----------
+
+TEST(NetworkFanoutTest, FanoutDeliversLikeIndependentSends) {
+  // Same topology, delay model and seed: a committed fanout must deliver
+  // the same messages at the same instants as per-message send() calls.
+  const auto run = [](bool use_fanout) {
+    sim::Simulator sim;
+    Network net(sim, Topology::full_mesh(4),
+                make_uniform_delay(Dur::millis(40), Dur::millis(5)), Rng(9));
+    std::vector<std::pair<double, ProcId>> deliveries;
+    for (ProcId p = 1; p < 4; ++p) {
+      net.register_handler(p, [&deliveries, p, &sim](const Message&) {
+        deliveries.emplace_back(sim.now().sec(), p);
+      });
+    }
+    if (use_fanout) {
+      auto fo = net.fanout(0);
+      for (ProcId p = 1; p < 4; ++p) fo.add(p, PingReq{7});
+      fo.commit();
+    } else {
+      for (ProcId p = 1; p < 4; ++p) net.send(0, p, PingReq{7});
+    }
+    sim.run_until(RealTime(1.0));
+    return deliveries;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(NetworkFanoutTest, CancelFanoutDropsUndeliveredMessages) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(4),
+              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(9));
+  int delivered = 0;
+  for (ProcId p = 1; p < 4; ++p) {
+    net.register_handler(p, [&delivered](const Message&) { ++delivered; });
+  }
+  auto fo = net.fanout(0);
+  for (ProcId p = 1; p < 4; ++p) fo.add(p, PingReq{7});
+  const FanoutId id = fo.commit();
+  ASSERT_NE(id, kNoFanout);
+  EXPECT_TRUE(net.cancel_fanout(id));
+  EXPECT_FALSE(net.cancel_fanout(id));  // second cancel must fail
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().sent, 3u);  // counted at add() time, like send()
+  EXPECT_EQ(sim.queue_stats().fanout_cancelled, 1u);
+}
+
+TEST(NetworkFanoutTest, EmptyFanoutCommitsToNothing) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(2),
+              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(9));
+  auto fo = net.fanout(0);
+  EXPECT_EQ(fo.commit(), kNoFanout);
+  EXPECT_FALSE(net.cancel_fanout(kNoFanout));
+  EXPECT_EQ(sim.queue_stats().fanout_batches, 0u);
+}
+
+// A deterministic model whose advertised constant is broken: exercises
+// the constant-delay fast path's violation accounting.
+class BrokenConstantDelay final : public DelayModel {
+ public:
+  BrokenConstantDelay(Dur bound, Dur ret) : DelayModel(bound), ret_(ret) {}
+  [[nodiscard]] Dur sample(Rng&, ProcId, ProcId) const override {
+    return ret_;
+  }
+  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+    return ret_;
+  }
+
+ private:
+  Dur ret_;
+};
+
+TEST(NetworkDelayViolationTest, ConstantFastPathCountsPerMessageViolations) {
+  // Regression: the fast path used to validate the constant once at
+  // construction and never touch delay_violations, so a broken
+  // deterministic model looked clean in the stats while the sampled path
+  // counted every send. Both paths must now account identically.
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(2),
+              std::make_unique<BrokenConstantDelay>(Dur::millis(50),
+                                                    Dur::millis(200)),
+              Rng(1));
+  double delivered_at = -1.0;
+  net.register_handler(1,
+                       [&](const Message&) { delivered_at = sim.now().sec(); });
+  for (int i = 0; i < 3; ++i) net.send(0, 1, PingReq{1});
+  EXPECT_EQ(net.stats().delay_violations, 3u);  // one per message
+  sim.run_until(RealTime(1.0));
+  EXPECT_NEAR(delivered_at, 0.05, 1e-12);  // clamped to the bound
+  EXPECT_EQ(net.stats().delivered, 3u);
+}
+
+TEST(NetworkDelayViolationTest, ConformingConstantFastPathCountsNone) {
+  sim::Simulator sim;
+  Network net(sim, Topology::full_mesh(2),
+              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(1));
+  net.register_handler(1, [](const Message&) {});
+  for (int i = 0; i < 100; ++i) net.send(0, 1, PingReq{1});
+  sim.run_until(RealTime(1.0));
+  EXPECT_EQ(net.stats().delay_violations, 0u);
+  EXPECT_EQ(net.stats().delivered, 100u);
+}
+
 TEST_F(NetworkTest, WellBehavedModelNeverCountsViolations) {
   net.register_handler(1, [](const Message&) {});
   for (int i = 0; i < 100; ++i) net.send(0, 1, PingReq{1});

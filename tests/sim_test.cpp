@@ -257,6 +257,51 @@ TEST(SimulatorTest, MillionEventsThroughput) {
   EXPECT_EQ(counter, 200000);
 }
 
+TEST(SimulatorTest, NextEventTimeReportsEarliestDueEvent) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), RealTime::infinity());
+  sim.schedule_after(Dur::seconds(5), [] {});
+  const EventId early = sim.schedule_after(Dur::seconds(2), [] {});
+  EXPECT_EQ(sim.next_event_time(), RealTime(2.0));
+  sim.cancel(early);
+  EXPECT_EQ(sim.next_event_time(), RealTime(5.0));
+}
+
+TEST(SimulatorTest, AdvanceToSkipsQuietIntervalsInOneStep) {
+  // The quiet-interval batch-step: a time-driven caller jumps straight
+  // over an eventless stretch without per-event heap traffic, but is
+  // refused (time and events untouched) whenever an event is due first.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Dur::seconds(10), [&fired] { ++fired; });
+
+  EXPECT_TRUE(sim.advance_to(RealTime(7.5)));  // quiet: jump succeeds
+  EXPECT_EQ(sim.now(), RealTime(7.5));
+  EXPECT_EQ(fired, 0);
+
+  EXPECT_FALSE(sim.advance_to(RealTime(30.0)));  // event at 10 is due first
+  EXPECT_EQ(sim.now(), RealTime(7.5));           // refused: now unchanged
+  EXPECT_EQ(fired, 0);
+
+  EXPECT_TRUE(sim.step(RealTime(30.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.advance_to(RealTime(30.0)));  // queue empty: always quiet
+  EXPECT_EQ(sim.now(), RealTime(30.0));
+  EXPECT_TRUE(sim.advance_to(RealTime(30.0)));  // t <= now trivially succeeds
+  EXPECT_TRUE(sim.advance_to(RealTime(5.0)));
+  EXPECT_EQ(sim.now(), RealTime(30.0));  // never moves backwards
+}
+
+TEST(SimulatorTest, AdvanceToBoundaryEventCounts) {
+  // An event exactly at the target instant blocks the jump: "no due
+  // events <= t" is inclusive, so the caller steps it first and retries.
+  Simulator sim;
+  sim.schedule_after(Dur::seconds(3), [] {});
+  EXPECT_FALSE(sim.advance_to(RealTime(3.0)));
+  EXPECT_TRUE(sim.step(RealTime::infinity()));
+  EXPECT_TRUE(sim.advance_to(RealTime(3.0)));
+}
+
 TEST(SimulatorTest, DeterministicInterleaving) {
   // Two identical simulations must execute identical schedules.
   auto run = [] {

@@ -19,6 +19,24 @@ carries a `runrecord` block for that id:
   * `sim.event_pool.fallback_allocs` must be exactly 0: the pooled event
     queue never falling back to heap allocation is a hard invariant.
 
+Additionally the newest checkpoint carrying a
+`message_fanout_items_per_second` table is validated statically:
+
+  * all four fanout widths (8, 16, 32, 64) must be present — a missing
+    key is a malformed baseline and exits 2 with a diagnostic naming it;
+  * every width must clear --min-fanout-items-per-sec;
+  * the curve must stay near-flat within tolerance: no wider fanout may
+    run more than --max-fanout-drop slower than any narrower one. The
+    batched delivery path itself is width-independent (measured flat
+    under a constant-delay model, where trains never interleave), but
+    the benchmark's uniform delays make the queue k-way-merge k
+    concurrently live trains, which costs one extra heap level per
+    doubling of k — an irreducible Theta(log k) for any comparison-based
+    queue. The default tolerance (35% across the full 8->64 span, i.e.
+    three doublings) allows exactly that merge term plus noise; the
+    pre-batching curve fell 39% from fanout=8 to fanout=32 *alone*
+    (n^2 live heap entries instead of n) and fails this gate.
+
 Exit code 0 on pass, 1 on regression, 2 on usage/setup errors.
 """
 
@@ -70,6 +88,79 @@ def load_baseline(path, run_id):
         if isinstance(totals, dict):
             return checkpoint, totals
     die(f"no checkpoint in {path} carries a runrecord for {run_id}")
+
+
+FANOUT_WIDTHS = ("8", "16", "32", "64")
+
+
+def load_fanout_curve(path):
+    """Newest checkpoint's message_fanout_items_per_second table.
+
+    Returns (label, {width: items_per_sec}). Missing or malformed keys
+    are setup errors (exit 2): the baseline itself is broken, which must
+    read differently from a performance regression (exit 1).
+    """
+    doc = load_json(path, "baseline")
+    checkpoints = doc.get("checkpoints") if isinstance(doc, dict) else None
+    if not isinstance(checkpoints, list):
+        die(f"baseline {path} has no 'checkpoints' list")
+    for checkpoint in reversed(checkpoints):
+        if not isinstance(checkpoint, dict):
+            continue
+        curve = checkpoint.get("message_fanout_items_per_second")
+        if curve is None:
+            continue
+        label = checkpoint.get("label", "?")
+        if not isinstance(curve, dict):
+            die(
+                f"checkpoint '{label}': message_fanout_items_per_second "
+                f"is {type(curve).__name__}, expected an object keyed by "
+                "fanout width"
+            )
+        missing = [w for w in FANOUT_WIDTHS if w not in curve]
+        if missing:
+            die(
+                f"checkpoint '{label}': message_fanout_items_per_second "
+                f"missing fanout width(s) {', '.join(missing)} "
+                f"(required: {', '.join(FANOUT_WIDTHS)})"
+            )
+        bad = [
+            w
+            for w in FANOUT_WIDTHS
+            if not isinstance(curve[w], (int, float)) or curve[w] <= 0
+        ]
+        if bad:
+            die(
+                f"checkpoint '{label}': message_fanout_items_per_second "
+                f"non-numeric/non-positive at width(s) {', '.join(bad)}"
+            )
+        return label, {w: float(curve[w]) for w in FANOUT_WIDTHS}
+    return None, None  # no checkpoint records the curve: nothing to gate
+
+
+def check_fanout_curve(label, curve, min_items_per_sec, max_drop):
+    failures = []
+    for width in FANOUT_WIDTHS:
+        if curve[width] < min_items_per_sec:
+            failures.append(
+                f"message_fanout[{width}] = {curve[width]:.3g} items/s, "
+                f"below the {min_items_per_sec:.3g} floor"
+            )
+    # Near-flat: every wider fanout vs every narrower one, so a dip
+    # that recovers (8 -> 32 slow, 64 fast again) is still caught.
+    for i, narrow in enumerate(FANOUT_WIDTHS):
+        for wide in FANOUT_WIDTHS[i + 1 :]:
+            ratio = curve[wide] / curve[narrow]
+            if ratio < 1.0 - max_drop:
+                failures.append(
+                    f"message_fanout[{wide}] = {curve[wide]:.3g} items/s "
+                    f"is {(1.0 - ratio) * 100:.0f}% below "
+                    f"message_fanout[{narrow}] = {curve[narrow]:.3g} "
+                    f"(max drop: {max_drop * 100:.0f}%; the fanout curve "
+                    "must stay near-flat — see the log-k merge note in "
+                    "the module docstring)"
+                )
+    return failures
 
 
 def run_bench(bench, run_id, jobs, json_path):
@@ -180,6 +271,22 @@ def main():
         "of the baseline",
     )
     ap.add_argument(
+        "--min-fanout-items-per-sec",
+        type=float,
+        default=1e6,
+        help="absolute floor for every message_fanout_items_per_second "
+        "entry in the newest checkpoint that records the curve",
+    )
+    ap.add_argument(
+        "--max-fanout-drop",
+        type=float,
+        default=0.35,
+        help="maximum fraction a wider fanout may run slower than any "
+        "narrower one (default 0.35: the Theta(log k) k-way merge of "
+        "concurrently live trains costs ~10%% per fanout doubling; see "
+        "module docstring)",
+    )
+    ap.add_argument(
         "--out", default="", help="keep the fresh RunRecord document here"
     )
     args = ap.parse_args()
@@ -201,15 +308,33 @@ def main():
         args.min_sim_throughput_ratio
     )
     label = checkpoint.get("label", "?")
+
+    fanout_label, curve = load_fanout_curve(args.baseline)
+    if curve is not None:
+        fanout_failures = check_fanout_curve(
+            fanout_label, curve, args.min_fanout_items_per_sec,
+            args.max_fanout_drop
+        )
+        if fanout_failures:
+            failures.append(
+                f"fanout curve (checkpoint '{fanout_label}') violations:"
+            )
+            failures.extend(f"  {f}" for f in fanout_failures)
+
     if failures:
         print(f"bench_regression: {args.run} vs checkpoint '{label}': FAIL")
         for f in failures:
             print(f"  {f}")
         return 1
+    curve_note = (
+        f", fanout curve '{fanout_label}' flat within tolerance"
+        if curve is not None
+        else ""
+    )
     print(
         f"bench_regression: {args.run} vs checkpoint '{label}': OK "
         f"({len(baseline)} metrics, "
-        f"{fresh.get('sweep.runs_per_sec', 0.0):.1f} runs/s)"
+        f"{fresh.get('sweep.runs_per_sec', 0.0):.1f} runs/s{curve_note})"
     )
     return 0
 

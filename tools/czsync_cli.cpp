@@ -78,7 +78,9 @@ Config keys (all optional; defaults in parentheses):
               discipline_slew_interval (5s)
   clocks:     drift (constant|wander|opposed-halves), wander_interval (5m)
   network:    delay (fixed|uniform|asymmetric|jitter),
-              topology (full-mesh|two-cliques|ring)
+              topology (full-mesh|two-cliques|ring),
+              batched_fanout (true; false = per-message events —
+              identical traces, different event-pool accounting)
   run:        initial_spread (100ms), horizon (6h), warmup (0),
               sample_period (10s), seed (1), record_series (false)
   adversary:  adversary (none|single|mobile|sweep), strategy (silent|
