@@ -1,0 +1,142 @@
+// E23 — sparse-topology scale curve (events/s and bytes/proc vs n).
+//
+// The CSR topology, degree-sized protocol state and sharded event pool
+// exist so an ensemble costs O(n * degree), not O(n^2): a ring of 10^5
+// processors must fit and run. This experiment measures exactly that —
+// simulator throughput and peak RSS per processor across n in {10^3,
+// 10^4, 10^5} on the sparse topology family (ring, random-regular d=4
+// and d=16, connected G(n, p) at the connectivity threshold) — and
+// stamps the results as scale.* gauges for the regression gate:
+//
+//   scale.events_per_sec.<topo>_n<k>   per-config throughput (floored
+//                                      against BENCH_PERF.json by ratio)
+//   scale.rss_per_proc_bytes_n10000 /  peak-RSS-per-processor ceilings;
+//   scale.rss_per_proc_bytes_n100000   an O(n^2) structure anywhere
+//                                      (adjacency matrix, n-sized
+//                                      per-peer tables) blows the
+//                                      absolute ceiling immediately
+//                                      (bool matrix alone = 10^5 bytes
+//                                      per proc at n = 10^5).
+//
+// Configs run sequentially in increasing n so getrusage's cumulative
+// peak RSS is attributable to the largest-n run finished so far.
+#include "experiments.h"
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace czsync::bench {
+
+namespace {
+
+/// Process peak RSS in bytes (0 where getrusage is unavailable).
+/// ru_maxrss is KiB on Linux, bytes on macOS.
+double peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss);
+#else
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+struct Topo {
+  const char* key;  ///< metric-key fragment: [a-z0-9]+ only
+  const char* label;
+  analysis::Scenario::TopologyKind kind;
+  int degree = 0;  ///< RandomRegular only
+};
+
+}  // namespace
+
+void register_E23(analysis::ExperimentRegistry& reg) {
+  reg.add(
+      {"E23", "sparse-topology scale curve (10^5 processors, O(n*deg) memory)",
+       "the protocol is practical on neighbor-limited topologies (§5): "
+       "cost per processor is bounded by its degree, independent of n",
+       [](analysis::ExperimentContext& ctx) {
+         const std::vector<int> sizes = {1000, 10000, 100000};
+         const std::vector<Topo> topos = {
+             {"ring", "ring (d=2)", analysis::Scenario::TopologyKind::Ring},
+             {"rr4", "random-regular d=4",
+              analysis::Scenario::TopologyKind::RandomRegular, 4},
+             {"rr16", "random-regular d=16",
+              analysis::Scenario::TopologyKind::RandomRegular, 16},
+             {"gnp", "G(n, 2 ln n / n)",
+              analysis::Scenario::TopologyKind::Gnp},
+         };
+
+         std::printf(
+             "fault-free scale runs, sync_int = 60 s, horizon = 150 s "
+             "(~2.5 rounds),\nfixed 50 ms delay, event pool sharded 8 ways "
+             "(bit-identical to 1; see\nshard_determinism test). Sequential "
+             "by increasing n for RSS attribution.\n\n");
+
+         TextTable table({"topology", "n", "events", "wall [s]", "events/s",
+                          "peak RSS/proc [B]"});
+
+         for (const int n : sizes) {
+           for (const Topo& t : topos) {
+             analysis::Scenario s;
+             s.model.n = n;
+             s.model.f = 0;  // scale runs are fault-free: cost, not accuracy
+             s.model.rho = 1e-4;
+             s.model.delta = Dur::millis(50);
+             s.sync_int = Dur::minutes(1);
+             s.horizon = Dur::seconds(150);
+             s.sample_period = Dur::seconds(30);
+             s.delay = analysis::Scenario::DelayKind::Fixed;
+             s.drift = analysis::Scenario::DriftKind::Constant;
+             s.topology = t.kind;
+             s.topology_degree = t.degree;
+             // Connectivity threshold is ln(n)/n; 2x clears the retry
+             // loop with overwhelming probability at these sizes.
+             s.topology_p = 2.0 * std::log(static_cast<double>(n)) /
+                            static_cast<double>(n);
+             s.event_shards = 8;
+             s.seed = 23;
+
+             const std::string label =
+                 std::string(t.key) + "_n" + std::to_string(n);
+             const auto r = ctx.run(s, label);
+             const double wall = ctx.records().back().wall_seconds;
+             const double events = r.metrics.value("sim.events_executed");
+             const double evps = wall > 0 ? events / wall : 0.0;
+             ctx.annotate_gauge("scale.events_per_sec." + label, evps);
+
+             const double rss_pp = peak_rss_bytes() / n;
+             table.row({t.label, std::to_string(n), num(events),
+                        num(wall), num(evps), num(rss_pp)});
+           }
+           // Peak RSS after every config of this size has run: dominated
+           // by the largest allocation so far, i.e. this n.
+           ctx.annotate_gauge(
+               "scale.rss_per_proc_bytes_n" + std::to_string(n),
+               peak_rss_bytes() / n);
+         }
+
+         table.print(std::cout);
+         std::printf(
+             "\nExpected shape: events/s roughly flat in n for fixed degree "
+             "(the\npool is O(live events), peek is O(shards)); RSS/proc "
+             "FALLS as n grows\nbecause fixed overheads amortize — any "
+             "O(n^2) structure would make it\nRISE linearly and trip the "
+             "gate's absolute ceiling.\n");
+       }});
+}
+
+}  // namespace czsync::bench

@@ -75,8 +75,9 @@ void register_E19(analysis::ExperimentRegistry& reg);  // bench_caching
 void register_E20(analysis::ExperimentRegistry& reg);  // bench_broadcast
 void register_E21(analysis::ExperimentRegistry& reg);  // bench_wayoff
 void register_E22(analysis::ExperimentRegistry& reg);  // bench_sweep_scaling
+void register_E23(analysis::ExperimentRegistry& reg);  // bench_scale
 
-/// Registers E1..E22 in order.
+/// Registers E1..E23 in order.
 void register_all_experiments(analysis::ExperimentRegistry& reg);
 
 }  // namespace czsync::bench

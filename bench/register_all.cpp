@@ -44,6 +44,7 @@ void register_all_experiments(analysis::ExperimentRegistry& reg) {
   register_E20(reg);
   register_E21(reg);
   register_E22(reg);
+  register_E23(reg);
 }
 
 }  // namespace czsync::bench

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "clock/logical_clock.h"
 #include "net/message.h"
@@ -32,8 +33,10 @@ class ControlledProcess {
   /// Sends a message from this processor (authenticated as this id).
   virtual void send(net::ProcId to, net::Body body) = 0;
 
-  /// Peers this processor can talk to (its topology neighbors).
-  [[nodiscard]] virtual const std::vector<net::ProcId>& peers() const = 0;
+  /// Peers this processor can talk to (its topology neighbors). A view
+  /// into degree-sized storage (the topology's CSR arrays) — O(deg), not
+  /// O(n), however large the ensemble.
+  [[nodiscard]] virtual std::span<const net::ProcId> peers() const = 0;
 
   /// Kills the processor's protocol activity (sync loop, pending round).
   virtual void suspend_protocol() = 0;

@@ -10,7 +10,7 @@ Node::Node(sim::Simulator& sim, net::Network& network,
       network_(network),
       id_(id),
       hw_(sim, std::move(drift), rng.fork("hw-clock"),
-          ClockTime(sim.now().sec()) + initial_bias),
+          ClockTime(sim.now().sec()) + initial_bias, sim.shard_of(id)),
       logical_(hw_) {
   if (factory) {
     engine_ = factory(sim, network, logical_, id, rng.fork("sync"));
@@ -59,7 +59,7 @@ void Node::send(net::ProcId to, net::Body body) {
   network_.send(id_, to, std::move(body));
 }
 
-const std::vector<net::ProcId>& Node::peers() const {
+std::span<const net::ProcId> Node::peers() const {
   return network_.topology().neighbors(id_);
 }
 

@@ -47,7 +47,7 @@ class Node final : public adversary::ControlledProcess {
   [[nodiscard]] net::ProcId id() const override { return id_; }
   [[nodiscard]] clk::LogicalClock& clock() override { return logical_; }
   void send(net::ProcId to, net::Body body) override;
-  [[nodiscard]] const std::vector<net::ProcId>& peers() const override;
+  [[nodiscard]] std::span<const net::ProcId> peers() const override;
   void suspend_protocol() override;
   void resume_protocol() override;
 

@@ -1,6 +1,7 @@
 #include "analysis/registry.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -55,6 +56,8 @@ const char* topology_name(Scenario::TopologyKind k) {
     case Scenario::TopologyKind::TwoCliques: return "two-cliques";
     case Scenario::TopologyKind::Ring: return "ring";
     case Scenario::TopologyKind::Custom: return "custom";
+    case Scenario::TopologyKind::RandomRegular: return "random-regular";
+    case Scenario::TopologyKind::Gnp: return "gnp";
   }
   return "?";
 }
@@ -168,6 +171,11 @@ SweepResult ExperimentContext::sweep_with_jobs(
   record_sweep_metrics(rec.metrics, r);
   records_.push_back(std::move(rec));
   return r;
+}
+
+void ExperimentContext::annotate_gauge(const std::string& key, double value) {
+  assert(!records_.empty() && "annotate_gauge needs a preceding run/sweep");
+  records_.back().metrics.gauge(key, value);
 }
 
 void ExperimentContext::print_sweep_perf(const char* what, int runs,

@@ -90,6 +90,13 @@ class ExperimentContext {
   static void print_sweep_perf(const char* what, int runs, double wall_seconds,
                                int jobs);
 
+  /// Attaches a derived gauge to the most recent record's metrics —
+  /// for experiment-computed values the layered collectors cannot know
+  /// (E23 stamps scale.events_per_sec.* and scale.rss_per_proc_bytes_*
+  /// this way, which the regression gate reads from the totals).
+  /// Precondition: at least one run/sweep has been recorded.
+  void annotate_gauge(const std::string& key, double value);
+
   [[nodiscard]] const std::vector<RunRecord>& records() const {
     return records_;
   }

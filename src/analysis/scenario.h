@@ -67,11 +67,29 @@ struct Scenario {
   enum class DelayKind { Fixed, Uniform, Asymmetric, Jitter };
   DelayKind delay = DelayKind::Uniform;
 
-  /// Custom: use `custom_topology` (any graph, e.g. Topology::gnp_connected
-  /// or random_regular) — the §5 partial-connectivity exploration.
-  enum class TopologyKind { FullMesh, TwoCliques, Ring, Custom };
+  /// Custom: use `custom_topology` (any pre-built graph).
+  /// RandomRegular: degree-`topology_degree` random regular graph, built
+  /// from the run's own seed (master fork "topology").
+  /// Gnp: Erdos-Renyi G(n, topology_p) resampled until connected (see
+  /// Topology::gnp_connected; net.gnp_retries / net.gnp_fallback report
+  /// how hard that was) — the §5 partial-connectivity exploration at
+  /// scale without materializing an n x n structure anywhere.
+  enum class TopologyKind {
+    FullMesh,
+    TwoCliques,
+    Ring,
+    Custom,
+    RandomRegular,
+    Gnp,
+  };
   TopologyKind topology = TopologyKind::FullMesh;
   std::optional<net::Topology> custom_topology;
+  /// RandomRegular only: target degree (>= 2).
+  int topology_degree = 4;
+  /// Gnp only: edge probability. Keep >= ~2 ln(n)/n or the connectivity
+  /// resampling will exhaust its retries and fall back (see
+  /// Topology::gnp_connected).
+  double topology_p = 0.5;
 
   /// Initial logical-clock biases drawn uniformly from
   /// [-initial_spread/2, +initial_spread/2].
@@ -104,6 +122,13 @@ struct Scenario {
   /// protocol counters) is identical either way; the off switch exists
   /// for the equivalence regression test.
   bool batched_fanout = true;
+
+  /// Shard the simulator's event pool into this many partitions keyed by
+  /// processor id (0 = off: the single-queue code path). Pure pool
+  /// bookkeeping — fire order, traces and protocol counters are
+  /// bit-identical at every value (the shard_determinism test proves
+  /// it); a cache-locality knob for n >= 1e5 ensembles.
+  int event_shards = 0;
 };
 
 }  // namespace czsync::analysis

@@ -144,8 +144,18 @@ Scenario scenario_from_config(const Config& c) {
     s.topology = Scenario::TopologyKind::TwoCliques;
   } else if (topo == "ring") {
     s.topology = Scenario::TopologyKind::Ring;
+  } else if (topo == "random-regular") {
+    s.topology = Scenario::TopologyKind::RandomRegular;
+  } else if (topo == "gnp") {
+    s.topology = Scenario::TopologyKind::Gnp;
   } else {
     throw std::invalid_argument("unknown topology: " + topo);
+  }
+  s.topology_degree = c.get_int("topology_degree", s.topology_degree);
+  s.topology_p = c.get_double("topology_p", s.topology_p);
+  s.event_shards = c.get_int("event_shards", s.event_shards);
+  if (s.event_shards < 0) {
+    throw std::invalid_argument("event_shards must be >= 0");
   }
 
   s.initial_spread = c.get_duration("initial_spread", s.initial_spread);

@@ -15,7 +15,7 @@ namespace czsync::analysis {
 
 namespace {
 
-net::Topology build_topology(const Scenario& s) {
+net::Topology build_topology(const Scenario& s, const Rng& master) {
   switch (s.topology) {
     case Scenario::TopologyKind::FullMesh:
       return net::Topology::full_mesh(s.model.n);
@@ -29,6 +29,18 @@ net::Topology build_topology(const Scenario& s) {
       assert(s.custom_topology.has_value());
       assert(s.custom_topology->size() == s.model.n);
       return *s.custom_topology;
+    case Scenario::TopologyKind::RandomRegular: {
+      // A dedicated fork keeps the graph draw off every pre-existing
+      // stream ("net", "bias", per-node, "adversary"), so adding the
+      // kind perturbs no legacy scenario.
+      Rng topo = master.fork("topology");
+      return net::Topology::random_regular(s.model.n, s.topology_degree,
+                                           topo);
+    }
+    case Scenario::TopologyKind::Gnp: {
+      Rng topo = master.fork("topology");
+      return net::Topology::gnp_connected(s.model.n, s.topology_p, topo);
+    }
   }
   throw std::logic_error("unreachable");
 }
@@ -78,7 +90,14 @@ World::World(Scenario scenario)
   proto_.way_off = proto_.way_off * s.way_off_scale;
   Rng master(s.seed);
 
-  network_ = std::make_unique<net::Network>(sim_, build_topology(s),
+  // Sharding must be configured before ANY event is scheduled — the
+  // first HardwareClock schedules its drift event at construction.
+  if (s.event_shards > 0) {
+    sim_.configure_shards(static_cast<std::uint32_t>(s.event_shards),
+                          s.model.n);
+  }
+
+  network_ = std::make_unique<net::Network>(sim_, build_topology(s, master),
                                             build_delay(s), master.fork("net"));
   if (!s.link_faults.empty()) network_->set_link_faults(s.link_faults);
   network_->set_batched_fanout(s.batched_fanout);
@@ -187,6 +206,12 @@ util::MetricRegistry World::collect_metrics() const {
   util::MetricRegistry reg;
   sim_.export_metrics(reg.scope("sim"));
   network_->stats().export_metrics(reg.scope("net"));
+  // Topology provenance for the randomized kinds: how many G(n,p) draws
+  // the connectivity filter rejected, and whether it gave up (ring
+  // augmentation) — a run whose gnp_fallback is 1 is NOT a G(n,p) run.
+  reg.counter("net.gnp_retries", network_->topology().gnp_retries());
+  reg.counter("net.gnp_fallback",
+              network_->topology().gnp_fell_back() ? 1 : 0);
   auto core = reg.scope("core");
   for (const auto& n : nodes_) n->sync().stats().export_metrics(core);
   observer_->export_metrics(reg.scope("observer"));

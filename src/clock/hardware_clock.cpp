@@ -8,13 +8,14 @@ namespace czsync::clk {
 
 HardwareClock::HardwareClock(sim::Simulator& sim,
                              std::shared_ptr<const DriftModel> model, Rng rng,
-                             ClockTime initial)
+                             ClockTime initial, std::uint32_t event_shard)
     : sim_(sim),
       model_(std::move(model)),
       rng_(rng),
       tau0_(sim.now()),
       h0_(initial),
-      rate_(model_->initial_rate(rng_)) {
+      rate_(model_->initial_rate(rng_)),
+      event_shard_(event_shard) {
   assert(rate_ >= model_->min_rate() && rate_ <= model_->max_rate());
   schedule_drift_change();
 }
@@ -46,7 +47,8 @@ void HardwareClock::schedule_drift_change() {
     drift_event_ = sim::kNoEvent;
     return;
   }
-  drift_event_ = sim_.schedule_after(span, [this] { apply_drift_change(); });
+  drift_event_ =
+      sim_.schedule_after(span, [this] { apply_drift_change(); }, event_shard_);
 }
 
 void HardwareClock::apply_drift_change() {
@@ -68,7 +70,8 @@ void HardwareClock::apply_drift_change() {
 void HardwareClock::arm(AlarmId id) {
   auto it = alarms_.find(id);
   assert(it != alarms_.end());
-  it->second.event = sim_.schedule_at(eta(it->second.target), [this, id] { fire(id); });
+  it->second.event = sim_.schedule_at(
+      eta(it->second.target), [this, id] { fire(id); }, event_shard_);
 }
 
 AlarmId HardwareClock::set_alarm_after(Dur dh, std::function<void()> fn) {

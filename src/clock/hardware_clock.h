@@ -33,9 +33,13 @@ class HardwareClock {
  public:
   /// Creates a clock whose value at the current simulator time is
   /// `initial`. The clock immediately draws its initial rate and begins
-  /// scheduling drift changes per `model`.
+  /// scheduling drift changes per `model`. `event_shard` routes the
+  /// clock's simulator events (drift changes, alarms) to the owning
+  /// processor's pool partition when sharding is configured — pass
+  /// Simulator::shard_of(owner); 0 is always valid.
   HardwareClock(sim::Simulator& sim, std::shared_ptr<const DriftModel> model,
-                Rng rng, ClockTime initial = ClockTime::zero());
+                Rng rng, ClockTime initial = ClockTime::zero(),
+                std::uint32_t event_shard = 0);
 
   ~HardwareClock();
   HardwareClock(const HardwareClock&) = delete;
@@ -101,6 +105,7 @@ class HardwareClock {
   AlarmId next_alarm_ = 1;
   sim::EventId drift_event_ = sim::kNoEvent;
   std::uint64_t rate_changes_ = 0;
+  std::uint32_t event_shard_ = 0;
 };
 
 }  // namespace czsync::clk

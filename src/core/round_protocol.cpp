@@ -16,13 +16,10 @@ RoundSyncProcess::RoundSyncProcess(trace::TracePort trace, net::Network& network
       clock_(clock),
       id_(id),
       config_(std::move(config)),
-      rng_(rng),
-      peers_(network.topology().neighbors(id)) {
+      rng_(rng) {
   assert(config_.convergence != nullptr);
-  peer_slot_.assign(static_cast<std::size_t>(network.size()), -1);
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
-  }
+  const auto nb = network.topology().neighbors(id);
+  peers_.assign(nb.begin(), nb.end());
   round_nonces_.assign(peers_.size(), 0);
   replies_.assign(peers_.size(), Reply{});
   estimates_.reserve(peers_.size() + 1);
@@ -118,7 +115,7 @@ void RoundSyncProcess::handle_message(const net::Message& msg) {
   // sender, at most once; anything else (unknown nonce, another peer's
   // nonce, a duplicate) drops as stale — the dense-slot equivalent of
   // the old nonce-map lookup + collected-set check.
-  const int slot = peer_slot_[static_cast<std::size_t>(msg.from)];
+  const int slot = slot_of(msg.from);
   if (slot < 0 || round_nonces_[static_cast<std::size_t>(slot)] != resp->nonce ||
       replies_[static_cast<std::size_t>(slot)].answered) {
     ++stats_.responses_stale;

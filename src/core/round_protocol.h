@@ -27,6 +27,7 @@
 //     structural weakness the no-rounds design avoids.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -89,15 +90,23 @@ class RoundSyncProcess final : public ProtocolEngine {
   ClockTime round_send_time_;  // S on the logical clock
   ClockTime round_send_hw_;    // send instant on the monotone hw clock
 
+  /// Sender -> dense peer slot via binary search over the sorted,
+  /// degree-sized peers_ list (-1 for non-neighbors). Keeps per-process
+  /// state O(deg) rather than O(n); see SyncProcess::slot_of.
+  [[nodiscard]] int slot_of(net::ProcId from) const {
+    const auto it = std::lower_bound(peers_.begin(), peers_.end(), from);
+    if (it == peers_.end() || *it != from) return -1;
+    return static_cast<int>(it - peers_.begin());
+  }
+
   // In-flight round state, SoA like SyncProcess's: dense per-peer-slot
   // arrays sized once at construction and reset in place per round, so
   // the steady-state round allocates nothing (the old per-round
   // unordered_maps paid a node allocation per ping and reply).
-  // peer_slot_[proc] maps an authenticated sender to its slot (-1 for
+  // slot_of(proc) maps an authenticated sender to its slot (-1 for
   // non-neighbors); round_nonces_[slot] is this round's nonce for that
   // peer; replies_[slot].answered doubles as the "already collected"
   // guard the old map's contains() provided.
-  std::vector<int> peer_slot_;
   std::vector<std::uint64_t> round_nonces_;
   std::vector<Reply> replies_;
   std::size_t pending_ = 0;

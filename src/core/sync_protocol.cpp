@@ -16,14 +16,11 @@ SyncProcess::SyncProcess(trace::TracePort trace, net::Network& network,
       clock_(clock),
       id_(id),
       config_(std::move(config)),
-      rng_(rng),
-      peers_(network.topology().neighbors(id)) {
+      rng_(rng) {
   assert(config_.convergence != nullptr);
   assert(config_.f >= 0);
-  peer_slot_.assign(static_cast<std::size_t>(network.size()), -1);
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    peer_slot_[static_cast<std::size_t>(peers_[i])] = static_cast<int>(i);
-  }
+  const auto nb = network.topology().neighbors(id);
+  peers_.assign(nb.begin(), nb.end());
   const auto k = static_cast<std::size_t>(std::max(config_.pings_per_peer, 1));
   round_nonces_.assign(peers_.size() * k, 0);
   nonce_live_.assign(peers_.size() * k, 0);
@@ -195,7 +192,7 @@ void SyncProcess::handle_message(const net::Message& msg) {
     // authenticated sender; anything else (unknown, already consumed, or
     // another peer's nonce) drops as stale. Only the sender's own k
     // nonce entries need checking.
-    const int slot = peer_slot_[static_cast<std::size_t>(msg.from)];
+    const int slot = slot_of(msg.from);
     if (slot < 0) {
       ++stats_.responses_stale;
       return;

@@ -18,6 +18,7 @@
 //     or duplicated responses are dropped.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -118,10 +119,21 @@ class SyncProcess final : public ProtocolEngine {
   clk::AlarmId sync_alarm_ = clk::kNoAlarm;
   clk::AlarmId timeout_alarm_ = clk::kNoAlarm;
 
+  /// Maps an authenticated sender to its dense peer slot via binary
+  /// search over the (sorted, degree-sized) peers_ list; -1 for
+  /// non-neighbors. Every per-peer array is sized by degree, so a
+  /// process costs O(deg) memory however large the ensemble — the old
+  /// n-sized peer_slot_ lookup table made the ensemble O(n^2) total.
+  [[nodiscard]] int slot_of(net::ProcId from) const {
+    const auto it = std::lower_bound(peers_.begin(), peers_.end(), from);
+    if (it == peers_.end() || *it != from) return -1;
+    return static_cast<int>(it - peers_.begin());
+  }
+
   // In-flight round state. Sized once at construction and reset in place
   // per round: the steady-state round performs no allocations (the old
   // nonce/estimate unordered_maps paid a node allocation per ping).
-  // Peers are dense slots 0..peers_.size(): peer_slot_[proc] maps an
+  // Peers are dense slots 0..peers_.size(): slot_of(proc) maps an
   // authenticated sender to its slot (-1 for non-neighbors), each slot
   // owns pings_per_peer consecutive entries of round_nonces_/nonce_live_,
   // and collected_[slot] holds the best estimate iff reply_count_[slot]>0.
@@ -132,7 +144,6 @@ class SyncProcess final : public ProtocolEngine {
                                   // logical clock may be adjusted (e.g. a
                                   // negative discipline slew) mid-flight
                                   // and is not monotonic
-  std::vector<int> peer_slot_;
   std::vector<std::uint64_t> round_nonces_;
   std::vector<std::uint8_t> nonce_live_;
   std::vector<Estimate> collected_;   // best-so-far, by peer slot

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,6 +16,15 @@ namespace {
 
 constexpr FanoutId encode_fanout(std::uint32_t index, std::uint32_t gen) {
   return (static_cast<FanoutId>(gen) << 32) | (static_cast<FanoutId>(index) + 1);
+}
+
+/// Bounds violations throw in EVERY build type: a bad ProcId reaching
+/// the handler table or the topology is a caller bug that would
+/// otherwise be silent out-of-bounds UB under NDEBUG. The cold throw
+/// lives out of line so the checks inline to a compare+jump.
+[[noreturn]] void throw_bad_proc(const char* what, ProcId p, int n) {
+  throw std::out_of_range(std::string(what) + ": proc " + std::to_string(p) +
+                          " outside [0, " + std::to_string(n) + ")");
 }
 
 }  // namespace
@@ -61,14 +72,24 @@ Network::Network(sim::Simulator& sim, Topology topology,
 }
 
 void Network::register_handler(ProcId p, Handler handler) {
-  assert(p >= 0 && p < topology_.size());
+  if (p < 0 || p >= topology_.size()) {
+    throw_bad_proc("Network::register_handler", p, topology_.size());
+  }
   handlers_[static_cast<std::size_t>(p)] = std::move(handler);
 }
 
 bool Network::send_precheck(ProcId from, ProcId to, const Body& body) {
-  assert(from >= 0 && from < topology_.size());
-  assert(to >= 0 && to < topology_.size());
-  assert(from != to && "self-messages are handled locally by the protocol");
+  if (from < 0 || from >= topology_.size()) {
+    throw_bad_proc("Network::send from", from, topology_.size());
+  }
+  if (to < 0 || to >= topology_.size()) {
+    throw_bad_proc("Network::send to", to, topology_.size());
+  }
+  if (from == to) {
+    throw std::invalid_argument(
+        "Network::send: proc " + std::to_string(from) +
+        " sent to itself (self-estimates are computed locally)");
+  }
   ++stats_.sent;
   ++stats_.sent_by_body[body.index()];
   trace::TraceSink* ts = sim_.trace_sink();
@@ -116,7 +137,10 @@ Dur Network::sample_delay(ProcId from, ProcId to) {
 void Network::send(ProcId from, ProcId to, Body body) {
   if (!send_precheck(from, to, body)) return;
   const Dur delay = sample_delay(from, to);
-  sim_.schedule_after(delay, DeliverEvent{this, {from, to, std::move(body)}});
+  // Deliveries shard by receiver: the handler runs on the receiver's
+  // state, so its events belong to the receiver's pool partition.
+  sim_.schedule_after(delay, DeliverEvent{this, {from, to, std::move(body)}},
+                      sim_.shard_of(to));
 }
 
 void Network::fanout_add(Fanout& fo, ProcId to, Body body) {
@@ -125,7 +149,8 @@ void Network::fanout_add(Fanout& fo, ProcId to, Body body) {
   const Dur delay = sample_delay(fo.from_, to);
   if (!batched_fanout_) {
     sim_.schedule_after(delay,
-                        DeliverEvent{this, {fo.from_, to, std::move(body)}});
+                        DeliverEvent{this, {fo.from_, to, std::move(body)}},
+                        sim_.shard_of(to));
     return;
   }
   if (fo.batch_ == kNoBatch) fo.batch_ = acquire_batch();
@@ -167,9 +192,12 @@ FanoutId Network::fanout_commit(Fanout& fo) {
     fb.order[i] = idx;
     fb.stamps.push_back(sim::BatchStamp{p.t, p.seq});
   }
+  // A train is one pool slot; it shards by SENDER (the batch is the
+  // sender's burst — its entries cross shard boundaries to receivers on
+  // other partitions, which the min-merge peek handles by construction).
   fb.train = sim_.schedule_train(
       fb.stamps.data(), static_cast<std::uint32_t>(fb.stamps.size()),
-      FanoutStep{this, index});
+      FanoutStep{this, index}, sim_.shard_of(fo.from_));
   return encode_fanout(index, fb.gen);
 }
 

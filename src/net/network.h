@@ -73,7 +73,9 @@ class Network {
   Network(sim::Simulator& sim, Topology topology,
           std::unique_ptr<DelayModel> delay, Rng rng);
 
-  /// Installs the inbound-message handler for processor `p`.
+  /// Installs the inbound-message handler for processor `p`. Throws
+  /// std::out_of_range for ids outside [0, size()) — in every build
+  /// type, not just with asserts on.
   void register_handler(ProcId p, Handler handler);
 
   /// Installs link faults (§1.2 probe): messages sent while their link
@@ -82,10 +84,11 @@ class Network {
   void set_link_faults(LinkFaultSet faults) { link_faults_ = std::move(faults); }
   [[nodiscard]] const LinkFaultSet& link_faults() const { return link_faults_; }
 
-  /// Sends `body` from `from` to `to`. Messages to self are rejected
-  /// (the protocol estimates its own clock locally). Non-edges drop the
-  /// message and count it; per §2.1 the standard configuration is a full
-  /// mesh where every pair is an edge.
+  /// Sends `body` from `from` to `to`. Out-of-range ids throw
+  /// std::out_of_range and self-sends throw std::invalid_argument (the
+  /// protocol estimates its own clock locally) — enforced in every
+  /// build type. Non-edges drop the message and count it; per §2.1 the
+  /// standard configuration is a full mesh where every pair is an edge.
   void send(ProcId from, ProcId to, Body body);
 
   /// Builder for one sender's fanout burst. add() performs exactly the

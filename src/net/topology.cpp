@@ -2,105 +2,207 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <queue>
+#include <set>
 
 namespace czsync::net {
 
-Topology::Topology(int n) : n_(n), adj_(n), adj_matrix_(n, std::vector<char>(n, 0)) {
-  assert(n >= 1);
+namespace {
+
+/// Maps a linearized upper-triangle index in [0, n(n-1)/2) back to the
+/// lexicographic pair (a, b), a < b. Row a holds n-1-a entries; counting
+/// from the END, the remaining entries form triangular numbers, so the
+/// row is recovered with one sqrt plus an integer fix-up (the sqrt is
+/// only a guess — doubles lose exactness near 2^53, the fix-up loop is
+/// what makes the mapping correct).
+std::pair<ProcId, ProcId> unrank_pair(std::uint64_t idx, std::uint64_t pairs,
+                                      int n) {
+  const std::uint64_t rem = pairs - idx;  // >= 1
+  auto tri = [](std::uint64_t t) { return t * (t + 1) / 2; };
+  auto t = static_cast<std::uint64_t>(
+      std::ceil((std::sqrt(8.0 * static_cast<double>(rem) + 1.0) - 1.0) / 2.0));
+  while (t > 0 && tri(t - 1) >= rem) --t;
+  while (tri(t) < rem) ++t;
+  const auto a = static_cast<std::uint64_t>(n) - 1 - t;
+  const std::uint64_t row_start =
+      a * (2 * static_cast<std::uint64_t>(n) - a - 1) / 2;
+  return {static_cast<ProcId>(a),
+          static_cast<ProcId>(a + 1 + (idx - row_start))};
 }
 
-void Topology::add_edge(int a, int b) {
-  assert(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
-  if (adj_matrix_[a][b]) return;
-  adj_matrix_[a][b] = adj_matrix_[b][a] = 1;
-  adj_[a].push_back(b);
-  adj_[b].push_back(a);
+/// One G(n, p) sample as an edge list, via geometric skip-sampling over
+/// the linearized upper triangle: each uniform draw jumps straight to the
+/// next present edge, so the expected cost is O(1 + p n^2) draws instead
+/// of the n(n-1)/2 per-pair Bernoulli trials of the naive loop.
+void sample_gnp_edges(int n, double p, Rng& rng,
+                      std::vector<std::pair<ProcId, ProcId>>& edges) {
+  edges.clear();
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  if (p >= 1.0) {
+    for (int a = 0; a < n; ++a)
+      for (int b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+    return;
+  }
+  const double log1mp = std::log1p(-p);  // < 0 for p in (0, 1)
+  std::uint64_t idx = 0;
+  bool first = true;
+  for (;;) {
+    // Geometric skip: floor(log(1-u)/log(1-p)) pairs are absent before
+    // the next present one. u < 1 strictly, so the logs are finite.
+    const double u = rng.uniform01();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    if (skip >= static_cast<double>(pairs)) break;  // past the end
+    idx += static_cast<std::uint64_t>(skip) + (first ? 0 : 1);
+    first = false;
+    if (idx >= pairs) break;
+    edges.push_back(unrank_pair(idx, pairs, n));
+  }
+}
+
+}  // namespace
+
+Topology::Topology(int n, std::vector<Edge> edges) : n_(n) {
+  assert(n >= 1);
+  for (auto& [a, b] : edges) {
+    assert(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b);
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  assert(edges.size() * 2 < std::numeric_limits<std::uint32_t>::max());
+
+  // Counting sort into CSR. Filling in (a, b)-sorted edge order leaves
+  // every row already ascending: a vertex's smaller neighbors arrive via
+  // the b-side writes of edges (a', v) — which the sort visits in a'
+  // order, all before any (v, b') edge — and its larger neighbors via the
+  // a-side writes of (v, b') in b' order.
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [a, b] : edges) {
+    ++offsets_[static_cast<std::size_t>(a) + 1];
+    ++offsets_[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.resize(edges.size() * 2);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    neighbors_[cursor[static_cast<std::size_t>(a)]++] = b;
+    neighbors_[cursor[static_cast<std::size_t>(b)]++] = a;
+  }
 }
 
 Topology Topology::full_mesh(int n) {
-  Topology t(n);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (int a = 0; a < n; ++a)
-    for (int b = a + 1; b < n; ++b) t.add_edge(a, b);
-  return t;
+    for (int b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  return Topology(n, std::move(edges));
 }
 
 Topology Topology::ring(int n) {
   assert(n >= 3);
-  Topology t(n);
-  for (int a = 0; a < n; ++a) t.add_edge(a, (a + 1) % n);
-  return t;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) edges.emplace_back(a, (a + 1) % n);
+  return Topology(n, std::move(edges));
 }
 
 Topology Topology::two_cliques(int f) {
   assert(f >= 1);
   const int clique = 3 * f + 1;
-  Topology t(2 * clique);
+  std::vector<Edge> edges;
   for (int side = 0; side < 2; ++side) {
     const int base = side * clique;
     for (int a = 0; a < clique; ++a)
-      for (int b = a + 1; b < clique; ++b) t.add_edge(base + a, base + b);
+      for (int b = a + 1; b < clique; ++b) edges.emplace_back(base + a, base + b);
   }
-  for (int i = 0; i < clique; ++i) t.add_edge(i, clique + i);
-  return t;
+  for (int i = 0; i < clique; ++i) edges.emplace_back(i, clique + i);
+  return Topology(2 * clique, std::move(edges));
 }
 
 Topology Topology::from_edges(int n,
                               const std::vector<std::pair<int, int>>& edges) {
-  Topology t(n);
-  for (auto [a, b] : edges) t.add_edge(a, b);
-  return t;
+  return Topology(n, edges);
 }
 
-Topology Topology::gnp_connected(int n, double p, Rng& rng) {
+Topology Topology::gnp_connected(int n, double p, Rng& rng, int max_attempts) {
   assert(n >= 2 && p > 0.0 && p <= 1.0);
-  for (int attempt = 0; attempt < 1000; ++attempt) {
-    Topology t(n);
-    for (int a = 0; a < n; ++a)
-      for (int b = a + 1; b < n; ++b)
-        if (rng.chance(p)) t.add_edge(a, b);
-    if (t.is_connected()) return t;
+  assert(max_attempts >= 1);
+  std::vector<Edge> edges;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    sample_gnp_edges(n, p, rng, edges);
+    Topology t(n, std::move(edges));
+    if (t.is_connected()) {
+      t.gnp_retries_ = static_cast<std::uint32_t>(attempt);
+      return t;
+    }
+    edges.clear();
   }
-  // Too sparse to ever connect at this p; fall back to a ring plus the
-  // sampled edges so callers still get a usable graph.
-  Topology t = Topology::ring(std::max(n, 3));
-  for (int a = 0; a < n; ++a)
-    for (int b = a + 1; b < n; ++b)
-      if (rng.chance(p)) t.add_edge(a, b);
+  // Every attempt was disconnected — p is below the connectivity
+  // threshold for this n. Final fallback (documented in the header): a
+  // ring plus one last edge sample, so callers still get a connected
+  // graph; gnp_fell_back() reports that conditioning failed.
+  sample_gnp_edges(n, p, rng, edges);
+  if (n == 2) {
+    edges.emplace_back(0, 1);
+  } else {
+    for (int a = 0; a < n; ++a) edges.emplace_back(a, (a + 1) % n);
+  }
+  Topology t(n, std::move(edges));
+  t.gnp_retries_ = static_cast<std::uint32_t>(max_attempts);
+  t.gnp_fallback_ = true;
   return t;
 }
 
 Topology Topology::random_regular(int n, int d, Rng& rng) {
   assert(n >= 3 && d >= 2 && d < n);
-  Topology t = Topology::ring(n);
-  // Add random edges to the lowest-degree vertices until min degree >= d.
-  int guard = n * n * 10;
-  while (t.min_degree() < d && guard-- > 0) {
-    // Pick the first vertex among those with the minimum degree, pair it
-    // with a random non-neighbor.
-    int v = 0;
-    for (int u = 0; u < n; ++u)
-      if (t.degree(u) < t.degree(v)) v = u;
+  // Hamiltonian cycle first (connectivity), then random matchings onto
+  // the argmin-degree vertex until min degree >= d. The ordered set keyed
+  // by (degree, vertex) makes the argmin O(log n) while selecting exactly
+  // the vertex the historical linear scan picked (smallest index among
+  // the minimum-degree vertices), so the RNG draw sequence — and hence
+  // the generated graph — is unchanged.
+  std::vector<std::vector<ProcId>> adj(static_cast<std::size_t>(n));
+  auto add = [&adj](ProcId a, ProcId b) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  };
+  for (int a = 0; a < n; ++a) add(a, (a + 1) % n);
+  std::set<std::pair<int, ProcId>> by_degree;
+  for (int v = 0; v < n; ++v) by_degree.emplace(2, v);
+  auto bump = [&by_degree, &adj](ProcId v) {
+    const int deg = static_cast<int>(adj[static_cast<std::size_t>(v)].size());
+    by_degree.erase({deg - 1, v});
+    by_degree.emplace(deg, v);
+  };
+  long long guard = static_cast<long long>(n) * n * 10;
+  while (by_degree.begin()->first < d && guard-- > 0) {
+    const ProcId v = by_degree.begin()->second;
     const auto w = static_cast<ProcId>(rng.uniform_int(0, n - 1));
-    if (w == v || t.has_edge(v, w)) continue;
-    t.add_edge(v, w);
+    const auto& nb = adj[static_cast<std::size_t>(v)];
+    if (w == v || std::find(nb.begin(), nb.end(), w) != nb.end()) continue;
+    add(v, w);
+    bump(v);
+    bump(w);
   }
-  return t;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d) / 2 +
+                static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    for (ProcId w : adj[static_cast<std::size_t>(v)])
+      if (w > v) edges.emplace_back(v, w);
+  return Topology(n, std::move(edges));
 }
 
 bool Topology::has_edge(ProcId a, ProcId b) const {
-  assert(a >= 0 && a < n_ && b >= 0 && b < n_);
-  return adj_matrix_[a][b] != 0;
-}
-
-const std::vector<ProcId>& Topology::neighbors(ProcId p) const {
-  assert(p >= 0 && p < n_);
-  return adj_[p];
-}
-
-int Topology::degree(ProcId p) const {
-  return static_cast<int>(neighbors(p).size());
+  assert_valid(a);
+  assert_valid(b);
+  // Binary-search the smaller endpoint's (sorted) adjacency list.
+  if (degree(a) > degree(b)) std::swap(a, b);
+  const auto nb = neighbors(a);
+  return std::binary_search(nb.begin(), nb.end(), b);
 }
 
 int Topology::min_degree() const {
@@ -109,15 +211,9 @@ int Topology::min_degree() const {
   return d;
 }
 
-std::size_t Topology::edge_count() const {
-  std::size_t twice = 0;
-  for (const auto& nb : adj_) twice += nb.size();
-  return twice / 2;
-}
-
 bool Topology::is_connected() const {
   if (n_ <= 1) return true;
-  std::vector<char> seen(n_, 0);
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
   std::queue<int> q;
   q.push(0);
   seen[0] = 1;
@@ -125,9 +221,9 @@ bool Topology::is_connected() const {
   while (!q.empty()) {
     const int u = q.front();
     q.pop();
-    for (int v : adj_[u])
-      if (!seen[v]) {
-        seen[v] = 1;
+    for (ProcId v : neighbors(u))
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
         ++visited;
         q.push(v);
       }
@@ -140,6 +236,8 @@ namespace {
 /// Max-flow on the vertex-split digraph, capacities 1 on "internal" arcs
 /// of intermediate vertices and infinity on edge arcs; BFS augmentation
 /// (Edmonds-Karp). Vertex v splits into v_in = 2v, v_out = 2v+1.
+/// Allocates an O(n^2) capacity matrix — analysis/test-only (see header),
+/// never constructed on the simulation run path.
 class SplitFlow {
  public:
   explicit SplitFlow(const Topology& g) : g_(g), n_(g.size()) {

@@ -26,12 +26,13 @@ bool EventQueue::cancel(EventId id) {
   Slot& s = slots_[index];
   if (!s.occupied || s.gen != gen) return false;  // fired, cancelled, stale
   if (s.stamps != nullptr) ++stats_.fanout_cancelled;
-  if (has_cached_ && cached_.slot == index) {
-    // Cancelling the earliest event: invalidate the cached-min entry
-    // eagerly. This keeps the invariant that the cache is never stale,
-    // which is what lets peek_time() skip the slot probe entirely.
-    assert(cached_.gen == gen);
-    has_cached_ = false;
+  ShardState& sh = shards_[s.shard];
+  if (sh.has_cached && sh.cached.slot == index) {
+    // Cancelling the shard's earliest event: invalidate its cached-min
+    // entry eagerly. This keeps the invariant that caches are never
+    // stale, which is what lets peek skip the slot probe entirely.
+    assert(sh.cached.gen == gen);
+    sh.has_cached = false;
   }
   release_slot(index);  // any heap entry goes stale and is skipped lazily
   --live_;
@@ -40,10 +41,11 @@ bool EventQueue::cancel(EventId id) {
 }
 
 EventQueue::Action EventQueue::pop(RealTime& t) {
-  skip_stale();
-  assert(has_cached_);
-  const Entry e = cached_;
-  has_cached_ = false;
+  [[maybe_unused]] const Entry* top = peek_entry();
+  assert(top != nullptr);
+  ShardState& sh = shards_[min_shard_];
+  const Entry e = sh.cached;
+  sh.has_cached = false;
   t = e.t;
   Slot& s = slots_[e.slot];
   assert(s.occupied && s.gen == e.gen);

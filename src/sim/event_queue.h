@@ -31,6 +31,12 @@
 //     by batching. What changes is the cost: one slot + one live heap
 //     entry per round instead of n, and no per-message SmallFn
 //     construct/destroy.
+//
+// Sharding (set_shard_count): the heap + cached-min pair replicated
+// K ways, events routed to a shard at push time (the simulator keys
+// shards by processor id). Seqs stay GLOBAL and every peek min-merges
+// the shards' validated cached-mins on the unique (t, seq) key — fire
+// order and trace bytes are bit-identical at any shard count.
 #pragma once
 
 #include <algorithm>
@@ -100,11 +106,14 @@ class EventQueue {
 
   /// Enqueues `fn` (any void() callable) to fire at time `t`; the callable
   /// is constructed directly in a pool slot. Returns a cancellable handle.
+  /// `shard` picks the heap partition (out-of-range routes to shard 0);
+  /// shard choice never affects fire order, only pool bookkeeping.
   template <class F>
-  EventId push(RealTime t, F&& fn) {
+  EventId push(RealTime t, F&& fn, std::uint32_t shard = 0) {
     const std::uint32_t index = acquire_slot();
     Slot& s = slots_[index];
     s.fn.emplace(std::forward<F>(fn));
+    s.shard = shard < shards_.size() ? shard : 0;
     insert_entry(Entry{t, next_seq_++, index, s.gen});
     ++live_;
     ++stats_.pushed;
@@ -130,11 +139,13 @@ class EventQueue {
   /// fires or is cancelled. Returns one cancellable handle covering all
   /// undelivered entries.
   template <class F>
-  EventId push_train(const BatchStamp* stamps, std::uint32_t count, F&& fn) {
+  EventId push_train(const BatchStamp* stamps, std::uint32_t count, F&& fn,
+                     std::uint32_t shard = 0) {
     assert(stamps != nullptr && count > 0);
     const std::uint32_t index = acquire_slot();
     Slot& s = slots_[index];
     s.fn.emplace(std::forward<F>(fn));
+    s.shard = shard < shards_.size() ? shard : 0;
     s.stamps = stamps;
     s.stamp_next = 0;
     s.stamp_count = count;
@@ -155,25 +166,36 @@ class EventQueue {
   /// never existed.
   bool cancel(EventId id);
 
-  /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const {
-    skip_stale();
-    return !has_cached_;
+  /// Repartitions the pool into `count` (>= 1, clamped) independent
+  /// shards, each with its own heap + cached-min pair. Must be called
+  /// while the queue holds no live events — World configures sharding
+  /// before anything schedules. Fire order is bit-identical at any
+  /// count: peek min-merges shards on the global (t, seq) order.
+  void set_shard_count(std::uint32_t count) {
+    assert(live_ == 0 && "reshard only while the queue is empty");
+    shards_.assign(count < 1 ? 1 : count, ShardState{});
+    min_shard_ = 0;
   }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return peek_entry() == nullptr; }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] RealTime next_time() const {
-    skip_stale();
-    assert(has_cached_);
-    return cached_.t;
+    const Entry* e = peek_entry();
+    assert(e != nullptr);
+    return e->t;
   }
 
   /// Time of the earliest live event, or nullptr when the queue is empty.
   /// One stale-skip pass covering the empty()/next_time()/fire_top()
   /// triple in the simulator's step loop.
   [[nodiscard]] const RealTime* peek_time() const {
-    skip_stale();
-    return has_cached_ ? &cached_.t : nullptr;
+    const Entry* e = peek_entry();
+    return e == nullptr ? nullptr : &e->t;
   }
 
   /// Removes and returns the earliest live event's action, advancing past
@@ -191,9 +213,10 @@ class EventQueue {
   /// the simulator's step loop, and inlining it next to peek_time() lets
   /// the compiler share the slot load between the two.
   void fire_top() {
-    assert(has_cached_);
-    const Entry e = cached_;
-    has_cached_ = false;
+    ShardState& sh = shards_[min_shard_];
+    assert(sh.has_cached);
+    const Entry e = sh.cached;
+    sh.has_cached = false;
     Slot& s = slots_[e.slot];
     assert(s.occupied && s.gen == e.gen);
     if (s.stamps == nullptr) {
@@ -238,6 +261,9 @@ class EventQueue {
     std::uint32_t gen = 0;
     bool occupied = false;
     std::uint32_t next_free = kFreeListEnd;
+    /// Heap partition this slot's entries live in; a train's re-armed
+    /// entries stay on the shard chosen at push time.
+    std::uint32_t shard = 0;
     /// Train state: non-null while the slot holds a fanout train;
     /// stamps[stamp_next] is the next undelivered entry.
     const BatchStamp* stamps = nullptr;
@@ -353,76 +379,107 @@ class EventQueue {
     free_head_ = index;
   }
 
-  /// Refills the cache from the heap, discarding stale heap entries.
-  /// The cached entry itself is never stale: cancel() invalidates it
-  /// directly, so the hot peek path is a single flag test with no slot
-  /// probe. Only entries surfacing from the heap need validation.
-  void skip_stale() const {
-    while (!has_cached_ && !heap_.empty()) {
-      const Entry e = heap_.top();
-      heap_.pop();
+  /// One heap partition: a 4-ary heap plus the cached-min entry held
+  /// outside it. `cached` is valid iff has_cached, and never stale —
+  /// every path that could invalidate it (cancel of its event) clears
+  /// has_cached on the spot, so peek/fire trust it without probing the
+  /// slot.
+  struct ShardState {
+    EntryHeap heap;
+    Entry cached{};
+    bool has_cached = false;
+  };
+
+  /// Refills one shard's cache from its heap, discarding stale entries.
+  /// Only entries surfacing from the heap need validation (see
+  /// ShardState::cached).
+  void skip_stale(ShardState& sh) const {
+    while (!sh.has_cached && !sh.heap.empty()) {
+      const Entry e = sh.heap.top();
+      sh.heap.pop();
       const Slot& s = slots_[e.slot];
       if (s.occupied && s.gen == e.gen) {
-        cached_ = e;
-        has_cached_ = true;
+        sh.cached = e;
+        sh.has_cached = true;
       } else {
         ++stats_.stale_skipped;
       }
     }
   }
 
+  /// Validates every shard's cached-min and returns the global earliest
+  /// entry — (t, seq) keys are unique, so the winner is a deterministic
+  /// K-way merge independent of shard layout. Remembers the winning
+  /// shard for the fire_top()/pop() that follows. Null when drained.
+  /// O(shard_count) per call; shard_count is 1 unless configured.
+  const Entry* peek_entry() const {
+    const Entry* best = nullptr;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ShardState& sh = shards_[k];
+      skip_stale(sh);
+      if (!sh.has_cached) continue;
+      if (best == nullptr || fires_before(sh.cached, *best)) {
+        best = &sh.cached;
+        min_shard_ = static_cast<std::uint32_t>(k);
+      }
+    }
+    return best;
+  }
+
   void fire_train_entry(const Entry& e, Slot& s);
 
-  /// Routes a new entry to the cache or the heap, preserving the
-  /// invariant: while has_cached_, cached_ fires before every heap entry
-  /// (stale ones included — staleness only ever delays, never reorders).
+  /// Routes a new entry to its slot's shard — cache or heap — preserving
+  /// the per-shard invariant: while has_cached, cached fires before every
+  /// heap entry (stale ones included — staleness only ever delays, never
+  /// reorders).
   void insert_entry(Entry e) {
-    if (has_cached_) {
-      if (fires_before(e, cached_)) {
-        heap_.push(cached_);
-        cached_ = e;
+    ShardState& sh = shards_[slots_[e.slot].shard];
+    if (sh.has_cached) {
+      if (fires_before(e, sh.cached)) {
+        sh.heap.push(sh.cached);
+        sh.cached = e;
       } else {
-        heap_.push(e);
+        sh.heap.push(e);
       }
       return;
     }
-    // Cache empty (we are mid-fire, or the queue was drained): refill it
+    // Cache empty (we are mid-fire, or the shard was drained): refill it
     // with the earliest of `e` and the validated heap top. When the heap
     // top wins, `e` takes its place via one sift-down — fusing the heap
     // push the old code did here with the pop the next peek would have
     // paid. The ping-pong churn case (empty heap) stays allocation- and
     // heap-free.
     for (;;) {
-      if (heap_.empty()) {
-        cached_ = e;
-        has_cached_ = true;
+      if (sh.heap.empty()) {
+        sh.cached = e;
+        sh.has_cached = true;
         return;
       }
-      const Entry& top = heap_.top();
+      const Entry& top = sh.heap.top();
       const Slot& s = slots_[top.slot];
       if (s.occupied && s.gen == top.gen) break;
       ++stats_.stale_skipped;
-      heap_.pop();
+      sh.heap.pop();
     }
-    if (fires_before(e, heap_.top())) {
-      cached_ = e;
-      has_cached_ = true;
+    if (fires_before(e, sh.heap.top())) {
+      sh.cached = e;
+      sh.has_cached = true;
       return;
     }
-    cached_ = heap_.top();
-    has_cached_ = true;
-    heap_.replace_top(e);
+    sh.cached = sh.heap.top();
+    sh.has_cached = true;
+    sh.heap.replace_top(e);
   }
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kFreeListEnd;
-  mutable EntryHeap heap_;
-  /// Cached minimum: the earliest entry, held out of the heap (see file
-  /// comment). Valid iff has_cached_, and never stale — every path that
-  /// could invalidate it (cancel of its event) clears has_cached_ on the
-  /// spot, so peek/fire trust it without probing the slot.
-  mutable Entry cached_{};
-  mutable bool has_cached_ = false;
+  /// Heap partitions (>= 1; exactly one unless set_shard_count was
+  /// called). Mutable because peek/skip_stale lazily validate caches
+  /// from const observers, same as the single heap they replaced.
+  mutable std::vector<ShardState> shards_ = std::vector<ShardState>(1);
+  /// Shard whose cached entry won the last peek_entry(); what fire_top
+  /// and pop consume. Only meaningful right after a non-null peek.
+  mutable std::uint32_t min_shard_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   mutable EventQueueStats stats_;

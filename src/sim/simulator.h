@@ -23,23 +23,50 @@ class Simulator {
   /// Current virtual real time tau.
   [[nodiscard]] RealTime now() const { return now_; }
 
+  /// Partitions the event pool into `count` shards keyed by processor id
+  /// (see EventQueue::set_shard_count). Call once, before anything
+  /// schedules; `num_procs` sizes the contiguous id -> shard map.
+  /// Bit-exact at any count: sharding changes pool bookkeeping, never
+  /// fire order.
+  void configure_shards(std::uint32_t count, int num_procs) {
+    assert(num_procs > 0);
+    num_procs_ = num_procs;
+    queue_.set_shard_count(count);
+  }
+
+  /// Shard owning processor `p`'s events: contiguous id blocks of
+  /// ~num_procs/shard_count. Shard 0 (always present) for out-of-range
+  /// ids and unconfigured simulators — callers that predate sharding
+  /// simply never pass a shard and everything lands there.
+  [[nodiscard]] std::uint32_t shard_of(int p) const {
+    const std::uint32_t k = queue_.shard_count();
+    if (k == 1 || p < 0 || p >= num_procs_) return 0;
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) * k /
+                                      static_cast<std::uint64_t>(num_procs_));
+  }
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return queue_.shard_count();
+  }
+
   /// Schedules `fn` (any void() callable; constructed directly in the
   /// event pool, no std::function wrapper) at absolute time `t`; times in
   /// the past are clamped to `now()` (the event fires after
-  /// currently-pending events at `now()`).
+  /// currently-pending events at `now()`). `shard` picks the pool
+  /// partition (use shard_of(owner) when sharding is configured).
   template <class F>
-  EventId schedule_at(RealTime t, F&& fn) {
+  EventId schedule_at(RealTime t, F&& fn, std::uint32_t shard = 0) {
     if (t < now_) t = now_;
-    return queue_.push(t, std::forward<F>(fn));
+    return queue_.push(t, std::forward<F>(fn), shard);
   }
 
   /// Schedules `fn` to fire `d` from now. `d` must be finite; negative
   /// delays clamp to zero.
   template <class F>
-  EventId schedule_after(Dur d, F&& fn) {
+  EventId schedule_after(Dur d, F&& fn, std::uint32_t shard = 0) {
     assert(d.is_finite());
     if (d < Dur::zero()) d = Dur::zero();
-    return queue_.push(now_ + d, std::forward<F>(fn));
+    return queue_.push(now_ + d, std::forward<F>(fn), shard);
   }
 
   /// Cancels a pending event; false if it already fired or was cancelled.
@@ -57,9 +84,9 @@ class Simulator {
   /// train fully fires or is cancelled — see EventQueue::push_train.
   template <class F>
   EventId schedule_train(const BatchStamp* stamps, std::uint32_t count,
-                         F&& fn) {
+                         F&& fn, std::uint32_t shard = 0) {
     assert(count > 0 && !(stamps[0].t < now_));
-    return queue_.push_train(stamps, count, std::forward<F>(fn));
+    return queue_.push_train(stamps, count, std::forward<F>(fn), shard);
   }
 
   /// Runs events until the queue is exhausted or `limit` is reached;
@@ -120,6 +147,7 @@ class Simulator {
   EventQueue queue_;
   RealTime now_ = RealTime::zero();
   std::uint64_t executed_ = 0;
+  int num_procs_ = 0;  ///< ensemble size behind shard_of (0 = unconfigured)
   trace::TraceSink* trace_ = nullptr;
 };
 

@@ -137,7 +137,7 @@ class FakeProc final : public ControlledProcess {
   void send(net::ProcId to, net::Body body) override {
     sent.push_back({id_, to, std::move(body)});
   }
-  const std::vector<net::ProcId>& peers() const override { return peers_; }
+  std::span<const net::ProcId> peers() const override { return peers_; }
   void suspend_protocol() override { ++suspends; }
   void resume_protocol() override { ++resumes; }
 

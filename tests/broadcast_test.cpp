@@ -241,7 +241,7 @@ class ControlledStNode final : public adversary::ControlledProcess {
   void send(net::ProcId to, net::Body body) override {
     net_.send(id_, to, std::move(body));
   }
-  [[nodiscard]] const std::vector<net::ProcId>& peers() const override {
+  [[nodiscard]] std::span<const net::ProcId> peers() const override {
     return net_.topology().neighbors(id_);
   }
   void suspend_protocol() override { proto.suspend(); }

@@ -97,8 +97,8 @@ TEST(ExperimentRegistryTest, PrintListShowsIdAndTitle) {
 TEST(ExperimentRegistryTest, AllExperimentsRegistered) {
   ExperimentRegistry reg;
   bench::register_all_experiments(reg);
-  ASSERT_EQ(reg.size(), 22u);
-  for (int k = 1; k <= 22; ++k) {
+  ASSERT_EQ(reg.size(), 23u);
+  for (int k = 1; k <= 23; ++k) {
     const std::string id = "E" + std::to_string(k);
     ASSERT_NE(reg.find(id), nullptr) << id;
     EXPECT_FALSE(reg.find(id)->claim.empty()) << id;

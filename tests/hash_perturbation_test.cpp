@@ -165,7 +165,7 @@ class FakeProc final : public adversary::ControlledProcess {
   [[nodiscard]] net::ProcId id() const override { return id_; }
   clk::LogicalClock& clock() override { return clock_; }
   void send(net::ProcId, net::Body) override {}
-  [[nodiscard]] const std::vector<net::ProcId>& peers() const override {
+  [[nodiscard]] std::span<const net::ProcId> peers() const override {
     return peers_;
   }
   void suspend_protocol() override { ++suspends; }

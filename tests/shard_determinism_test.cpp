@@ -1,0 +1,157 @@
+// Sharded-vs-single-queue equivalence (DESIGN.md §4.12).
+//
+// The sharded event pool replicates the heap + cached-min pair K ways
+// and min-merges the shards' validated minima on every peek. The design
+// claim is that sharding is pure pool bookkeeping: sequence numbers stay
+// global and (t, seq) keys are unique, so the merged fire order — and
+// with it trace bytes, protocol counters and clock trajectories — is
+// bit-identical at EVERY shard count, including the unsharded (K = 1)
+// legacy path. This test proves it dynamically, in the style of
+// fanout_equivalence_test: run the same scenario at event_shards in
+// {0 (off), 1, 2, 7} and compare the serialized czsync-trace-v1 stream
+// plus the full metric registry against the unsharded baseline.
+//
+// The scenarios are chosen to cross shard boundaries in every way the
+// pool can be exercised: batched fanout trains whose stamps deliver to
+// receivers on other shards (a train lives on the SENDER's shard),
+// unbatched per-message events (receiver's shard), adversary break-ins
+// that cancel alarms and in-flight trains mid-run, and the round engine
+// whose JOIN path reschedules aggressively.
+//
+// The only legitimate divergence is the pool's own bookkeeping
+// (sim.event_pool.*): stale heap entries surface in a different
+// interleaving when heaps are partitioned, so stale_skipped may differ;
+// events_pending is exempt for the same reason as in the fanout test.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "adversary/schedule.h"
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "net/link_faults.h"
+#include "trace/format.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+struct Captured {
+  std::string trace;
+  analysis::RunResult result;
+};
+
+Captured run(const analysis::Scenario& base, int shards) {
+  analysis::Scenario s = base;
+  s.event_shards = shards;
+  trace::TraceSink sink;
+  Captured c;
+  c.result = analysis::run_scenario(s, &sink);
+  std::ostringstream os(std::ios::binary);
+  trace::write_trace(os, sink);
+  c.trace = std::move(os).str();
+  return c;
+}
+
+// Pool-internal keys that legitimately differ across shard layouts.
+bool exempt(const std::string& key) {
+  return key.rfind("sim.event_pool.", 0) == 0 || key == "sim.events_pending";
+}
+
+void expect_shard_invariant(const analysis::Scenario& base) {
+  const Captured baseline = run(base, /*shards=*/0);
+  ASSERT_FALSE(baseline.trace.empty());
+  for (const int shards : {1, 2, 7}) {
+    const Captured sharded = run(base, shards);
+    EXPECT_EQ(baseline.trace, sharded.trace)
+        << "trace bytes diverged at event_shards=" << shards;
+
+    const auto& a = baseline.result.metrics.entries();
+    const auto& b = sharded.result.metrics.entries();
+    for (const auto& [key, entry] : a) {
+      if (exempt(key)) continue;
+      ASSERT_TRUE(b.contains(key))
+          << "metric only in unsharded run: " << key;
+      EXPECT_EQ(entry.value, b.at(key).value)
+          << "metric diverged at event_shards=" << shards << ": " << key;
+    }
+    for (const auto& [key, entry] : b) {
+      if (exempt(key)) continue;
+      EXPECT_TRUE(a.contains(key))
+          << "metric only at event_shards=" << shards << ": " << key;
+    }
+  }
+}
+
+analysis::Scenario base_scenario() {
+  analysis::Scenario s;
+  s.model.n = 7;
+  s.model.f = 2;
+  s.model.rho = 1e-4;
+  s.model.delta = Dur::millis(50);
+  s.model.delta_period = Dur::hours(1);
+  s.sync_int = Dur::minutes(1);
+  s.initial_spread = Dur::millis(200);
+  s.horizon = Dur::minutes(10);
+  s.sample_period = Dur::seconds(15);
+  s.seed = 31;
+  return s;
+}
+
+// Batched fanout trains: every round is one train on the sender's shard
+// whose deliveries land on all other shards. With 7 nodes and 7 shards
+// every processor owns its own partition — the maximal-crossing case.
+TEST(ShardDeterminism, FanoutTrainsCrossShards) {
+  expect_shard_invariant(base_scenario());
+}
+
+// Unbatched per-message path: every delivery is its own pool event on
+// the receiver's shard.
+TEST(ShardDeterminism, UnbatchedSends) {
+  analysis::Scenario s = base_scenario();
+  s.batched_fanout = false;
+  s.seed = 32;
+  expect_shard_invariant(s);
+}
+
+// Adversary break-ins cancel sync/timeout alarms and in-flight trains
+// mid-run: exercises cancel()'s per-shard cached-min invalidation and
+// stale-entry skipping on partitioned heaps.
+TEST(ShardDeterminism, AdversaryCancellations) {
+  analysis::Scenario s = base_scenario();
+  s.schedule = adversary::Schedule::random_mobile(
+      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(1),
+      Dur::minutes(3), RealTime(0.75 * 600.0), Rng(2027));
+  s.strategy = "clock-smash-random";
+  s.strategy_scale = Dur::minutes(10);
+  s.seed = 33;
+  expect_shard_invariant(s);
+}
+
+// Round engine: round-tagged replies plus the JOIN path's rescheduling.
+TEST(ShardDeterminism, RoundEngine) {
+  analysis::Scenario s = base_scenario();
+  s.protocol = "round";
+  s.seed = 34;
+  expect_shard_invariant(s);
+}
+
+// Sparse random topology at a node count that does not divide the shard
+// counts evenly, with link faults dropping part of each fanout burst.
+TEST(ShardDeterminism, SparseTopologyWithLinkFaults) {
+  analysis::Scenario s = base_scenario();
+  s.model.n = 12;
+  s.topology = analysis::Scenario::TopologyKind::RandomRegular;
+  s.topology_degree = 5;
+  s.pings_per_peer = 2;
+  s.link_faults = net::LinkFaultSet(
+      {{0, 1, RealTime(0.0), RealTime(300.0)},
+       {2, 3, RealTime(120.0), RealTime(480.0)}});
+  s.seed = 35;
+  expect_shard_invariant(s);
+}
+
+}  // namespace
+}  // namespace czsync

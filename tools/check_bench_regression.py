@@ -17,7 +17,14 @@ carries a `runrecord` block for that id:
     trace instrumentation's per-event hook cost creeping into the
     untraced hot path;
   * `sim.event_pool.fallback_allocs` must be exactly 0: the pooled event
-    queue never falling back to heap allocation is a hard invariant.
+    queue never falling back to heap allocation is a hard invariant;
+  * `scale.*` gauges (stamped by E23) are machine-dependent and excluded
+    from the exact compare. Instead every `scale.events_per_sec.*` entry
+    must stay above --min-scale-throughput-ratio of its baseline, and
+    `scale.rss_per_proc_bytes_n10000` / `..._n100000` must stay under the
+    absolute --max-rss-per-proc-bytes ceiling — the memory gate that an
+    O(n^2) structure (adjacency matrix, n-sized per-peer tables) trips
+    immediately at n = 10^5.
 
 Additionally the newest checkpoint carrying a
 `message_fanout_items_per_second` table is validated statically:
@@ -49,6 +56,8 @@ import tempfile
 
 # Machine-dependent throughput numbers: gated by ratio, never by equality.
 TIMING_KEYS = ("sweep.wall_seconds", "sweep.runs_per_sec")
+# Machine-dependent scale gauges (E23): ratio floors / absolute ceilings.
+SCALE_PREFIX = "scale."
 FLOAT_REL_TOL = 1e-6
 
 
@@ -232,7 +241,7 @@ def compare(baseline, fresh, min_throughput_ratio, min_sim_throughput_ratio):
             )
 
     for key, want in sorted(baseline.items()):
-        if key in TIMING_KEYS:
+        if key in TIMING_KEYS or key.startswith(SCALE_PREFIX):
             continue
         got = fresh.get(key)
         if got is None:
@@ -245,6 +254,55 @@ def compare(baseline, fresh, min_throughput_ratio, min_sim_throughput_ratio):
             if abs(got - want) / scale > FLOAT_REL_TOL:
                 failures.append(f"{key}: {got!r} !~ baseline {want!r}")
 
+    return failures
+
+
+# scale.rss_per_proc_bytes_* keys gated by the absolute ceiling. Only the
+# large sizes: at n = 10^3 fixed process overhead (binary, allocator
+# arenas, gtest/json machinery) dominates and the per-processor quotient
+# says nothing about the data structures.
+RSS_GATE_KEYS = (
+    "scale.rss_per_proc_bytes_n10000",
+    "scale.rss_per_proc_bytes_n100000",
+)
+
+
+def check_scale(baseline, fresh, min_ratio, max_rss_per_proc):
+    """Gate the machine-dependent scale.* gauges (E23).
+
+    Throughput entries are ratio-floored against the baseline like
+    sweep.runs_per_sec; RSS-per-processor gets an *absolute* ceiling —
+    the point of the gate is catching an O(n^2) structure creeping back
+    in (at n = 10^5 even a bool adjacency matrix alone costs 10^5 bytes
+    per processor, ~30x the ceiling), and that bound is a property of
+    the code, not the machine.
+    """
+    failures = []
+    for key, want in sorted(baseline.items()):
+        if not key.startswith("scale.events_per_sec."):
+            continue
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from fresh RunRecord")
+            continue
+        ratio = got / want if want else float("inf")
+        if ratio < min_ratio:
+            failures.append(
+                f"{key} = {got:.3g} events/s, {ratio:.2f}x of baseline "
+                f"{want:.3g} (floor: {min_ratio}x)"
+            )
+    for key in RSS_GATE_KEYS:
+        if key not in baseline:
+            continue  # baseline predates the RSS gauges: nothing to gate
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from fresh RunRecord")
+        elif got > max_rss_per_proc:
+            failures.append(
+                f"{key} = {got:.4g} B/proc, above the absolute "
+                f"{max_rss_per_proc:.4g} B ceiling (O(n*degree) memory "
+                "violated — look for an n-sized per-processor structure)"
+            )
     return failures
 
 
@@ -287,6 +345,20 @@ def main():
         "module docstring)",
     )
     ap.add_argument(
+        "--min-scale-throughput-ratio",
+        type=float,
+        default=0.2,
+        help="fail when any scale.events_per_sec.* entry drops below "
+        "this fraction of its baseline",
+    )
+    ap.add_argument(
+        "--max-rss-per-proc-bytes",
+        type=float,
+        default=16384,
+        help="absolute ceiling for scale.rss_per_proc_bytes_n10000/"
+        "n100000 (catches O(n^2) memory; machine-independent by design)",
+    )
+    ap.add_argument(
         "--out", default="", help="keep the fresh RunRecord document here"
     )
     args = ap.parse_args()
@@ -306,6 +378,12 @@ def main():
     failures = compare(
         baseline, fresh, args.min_throughput_ratio,
         args.min_sim_throughput_ratio
+    )
+    failures.extend(
+        check_scale(
+            baseline, fresh, args.min_scale_throughput_ratio,
+            args.max_rss_per_proc_bytes
+        )
     )
     label = checkpoint.get("label", "?")
 
