@@ -1,0 +1,186 @@
+#include "core/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/wire.h"
+
+namespace czsync::core {
+
+namespace {
+
+using trace::wire::Reader;
+using trace::wire::put_f64;
+using trace::wire::put_varint;
+
+constexpr char kMagic[4] = {'C', 'Z', 'U', '1'};
+
+// A legitimate StRoundMsg carries at most one signature per processor;
+// anything past a generous multiple of the largest supported cluster is
+// a malicious length prefix trying to make us allocate.
+constexpr std::uint64_t kMaxSignatures = 1u << 20;
+
+void put_id(std::vector<unsigned char>& out, net::ProcId id) {
+  if (id < 0) {
+    throw std::invalid_argument("encode_message: negative processor id");
+  }
+  put_varint(out, static_cast<std::uint64_t>(id));
+}
+
+void put_clock(std::vector<unsigned char>& out, ClockTime c) {
+  put_f64(out, c.sec());
+}
+
+struct BodyEncoder {
+  std::vector<unsigned char>& out;
+
+  void operator()(const net::PingReq& b) const { put_varint(out, b.nonce); }
+  void operator()(const net::PingResp& b) const {
+    put_varint(out, b.nonce);
+    put_clock(out, b.responder_clock);
+  }
+  void operator()(const net::RoundPingReq& b) const {
+    put_varint(out, b.nonce);
+    put_varint(out, b.round);
+  }
+  void operator()(const net::RoundPingResp& b) const {
+    put_varint(out, b.nonce);
+    put_varint(out, b.round);
+    put_clock(out, b.responder_clock);
+  }
+  void operator()(const net::StRoundMsg& b) const {
+    put_varint(out, b.round);
+    put_varint(out, b.sigs.size());
+    for (const auto& sig : b.sigs) {
+      put_id(out, sig.signer);
+      put_varint(out, sig.mac);
+    }
+  }
+  void operator()(const net::RefreshAnnounce& b) const {
+    put_varint(out, b.epoch);
+    put_varint(out, b.share_digest);
+  }
+  void operator()(const net::TimestampReq& b) const {
+    put_varint(out, b.nonce);
+  }
+  void operator()(const net::TimestampResp& b) const {
+    put_varint(out, b.nonce);
+    put_clock(out, b.stamp);
+  }
+};
+
+/// Reads a ProcId in [0, n); flags the reader on failure.
+net::ProcId get_id(Reader& r, int n, bool& ok) {
+  const std::uint64_t v = r.varint();
+  if (!r.ok() || v >= static_cast<std::uint64_t>(n)) {
+    ok = false;
+    return -1;
+  }
+  return static_cast<net::ProcId>(v);
+}
+
+bool decode_body(Reader& r, std::uint64_t kind, int n, net::Body& body) {
+  bool ok = true;
+  switch (kind) {
+    case 0: {  // PingReq
+      net::PingReq b;
+      b.nonce = r.varint();
+      body = b;
+      break;
+    }
+    case 1: {  // PingResp
+      net::PingResp b;
+      b.nonce = r.varint();
+      b.responder_clock = ClockTime(r.f64());
+      body = b;
+      break;
+    }
+    case 2: {  // RoundPingReq
+      net::RoundPingReq b;
+      b.nonce = r.varint();
+      b.round = r.varint();
+      body = b;
+      break;
+    }
+    case 3: {  // RoundPingResp
+      net::RoundPingResp b;
+      b.nonce = r.varint();
+      b.round = r.varint();
+      b.responder_clock = ClockTime(r.f64());
+      body = b;
+      break;
+    }
+    case 4: {  // StRoundMsg
+      net::StRoundMsg b;
+      b.round = r.varint();
+      const std::uint64_t count = r.varint();
+      if (!r.ok() || count > kMaxSignatures) return false;
+      b.sigs.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        net::Signature sig;
+        sig.signer = get_id(r, n, ok);
+        sig.mac = r.varint();
+        if (!ok || !r.ok()) return false;
+        b.sigs.push_back(sig);
+      }
+      body = std::move(b);
+      break;
+    }
+    case 5: {  // RefreshAnnounce
+      net::RefreshAnnounce b;
+      b.epoch = r.varint();
+      b.share_digest = r.varint();
+      body = b;
+      break;
+    }
+    case 6: {  // TimestampReq
+      net::TimestampReq b;
+      b.nonce = r.varint();
+      body = b;
+      break;
+    }
+    case 7: {  // TimestampResp
+      net::TimestampResp b;
+      b.nonce = r.varint();
+      b.stamp = ClockTime(r.f64());
+      body = b;
+      break;
+    }
+    default:
+      return false;
+  }
+  static_assert(net::kBodyAlternatives == 8,
+                "keep decode_body in sync with the Body variant");
+  return ok && r.ok();
+}
+
+}  // namespace
+
+void encode_message(std::vector<unsigned char>& out, const net::Message& m) {
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  put_id(out, m.from);
+  put_id(out, m.to);
+  put_varint(out, m.body.index());
+  std::visit(BodyEncoder{out}, m.body);
+}
+
+std::optional<net::Message> decode_message(const unsigned char* data,
+                                           std::size_t size, int n) {
+  if (n <= 0 || size < sizeof kMagic ||
+      std::memcmp(data, kMagic, sizeof kMagic) != 0) {
+    return std::nullopt;
+  }
+  Reader r(data + sizeof kMagic, size - sizeof kMagic);
+  bool ok = true;
+  net::Message m;
+  m.from = get_id(r, n, ok);
+  m.to = get_id(r, n, ok);
+  if (!ok || m.from == m.to) return std::nullopt;
+  const std::uint64_t kind = r.varint();
+  if (!r.ok()) return std::nullopt;
+  if (!decode_body(r, kind, n, m.body)) return std::nullopt;
+  if (!r.done()) return std::nullopt;  // trailing bytes: not ours
+  return m;
+}
+
+}  // namespace czsync::core

@@ -1,0 +1,47 @@
+// Explicit wire format for protocol messages.
+//
+// Inside the simulator a net::Message travels by value, host-endian and
+// all; a real transport needs defined bytes. The encoding reuses the
+// czsync-trace-v1 primitives (LEB128 varints, bit-exact little-endian
+// IEEE-754 doubles — see trace/wire.h), so a clock value survives the
+// round trip to the last ulp on any host, including ±inf, denormals and
+// NaN payloads.
+//
+// Datagram layout:
+//
+//   magic   "CZU1"                          (4 bytes)
+//   varint  from                            (sender ProcId)
+//   varint  to                              (destination ProcId)
+//   varint  body kind                       (Body variant index)
+//   ...     body fields in declaration order; integers as varints,
+//           ClockTime as a bit-exact f64, vectors as varint length +
+//           elements
+//
+// decode_message() is written for hostile input: every failure mode —
+// short buffer, bad magic, unknown kind, out-of-range ids, oversized
+// signature vector, trailing bytes — returns nullopt instead of
+// touching the variant. The transport authenticates `from` by the
+// source address before the message reaches a handler (§2.2's
+// authenticated-links assumption lives in rt::UdpPort, not here).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace czsync::core {
+
+/// Serializes `m` into `out` (appending). Throws std::invalid_argument
+/// on a negative from/to id — local messages are trusted, but a negative
+/// id means an upstream bug, same contract as the trace encoder.
+void encode_message(std::vector<unsigned char>& out, const net::Message& m);
+
+/// Parses one datagram. `n` is the cluster size; from/to must lie in
+/// [0, n) and differ (the network never delivers self-sends). Returns
+/// nullopt on any malformed input.
+[[nodiscard]] std::optional<net::Message> decode_message(
+    const unsigned char* data, std::size_t size, int n);
+
+}  // namespace czsync::core

@@ -136,6 +136,10 @@ Dur Network::sample_delay(ProcId from, ProcId to) {
 
 void Network::send(ProcId from, ProcId to, Body body) {
   if (!send_precheck(from, to, body)) return;
+  if (remote_) {
+    remote_(Message{from, to, std::move(body)});
+    return;
+  }
   const Dur delay = sample_delay(from, to);
   // Deliveries shard by receiver: the handler runs on the receiver's
   // state, so its events belong to the receiver's pool partition.
@@ -146,6 +150,10 @@ void Network::send(ProcId from, ProcId to, Body body) {
 void Network::fanout_add(Fanout& fo, ProcId to, Body body) {
   assert(!fo.committed_);
   if (!send_precheck(fo.from_, to, body)) return;
+  if (remote_) {
+    remote_(Message{fo.from_, to, std::move(body)});
+    return;
+  }
   const Dur delay = sample_delay(fo.from_, to);
   if (!batched_fanout_) {
     sim_.schedule_after(delay,
@@ -260,6 +268,15 @@ void Network::release_batch(std::uint32_t index) {
   fb.live = false;
   ++fb.gen;  // invalidates outstanding FanoutIds for this slot
   free_batches_.push_back(index);
+}
+
+bool Network::deliver_remote(const Message& msg) {
+  if (msg.from < 0 || msg.from >= topology_.size() || msg.to < 0 ||
+      msg.to >= topology_.size() || msg.from == msg.to) {
+    return false;
+  }
+  deliver(msg);
+  return true;
 }
 
 void Network::deliver(const Message& msg) {

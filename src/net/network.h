@@ -127,6 +127,27 @@ class Network {
   /// Starts a fanout burst from `from`.
   [[nodiscard]] Fanout fanout(ProcId from) { return Fanout(*this, from); }
 
+  /// Routes outbound messages to a real transport instead of the
+  /// simulator. With a transport installed, send()/Fanout::add() still
+  /// run the full precheck (edge/link-fault checks, counters, MsgSend
+  /// trace records) but then hand the surviving message to `transport`
+  /// with NO delay draw — on a real network the wire provides the delay,
+  /// and keeping the RNG out of the remote path means the embedded
+  /// simulator's event stream stays exactly the local one. Inbound
+  /// messages re-enter through deliver_remote().
+  using RemoteTransport = std::function<void(const Message&)>;
+  void set_remote_transport(RemoteTransport transport) {
+    remote_ = std::move(transport);
+  }
+
+  /// Injects a message arriving from a real transport, as if its
+  /// DeliverEvent had just fired: delivered counter, MsgDeliver trace
+  /// record, handler dispatch. Returns false (dropping the message, no
+  /// state touched) on ids outside [0, size()) or a self-send — datagram
+  /// bytes are attacker-controlled, so unlike send() this path must
+  /// never throw or index out of bounds on bad input.
+  bool deliver_remote(const Message& msg);
+
   /// Cancels every undelivered message of a committed fanout train.
   /// False if the train already fully delivered, was cancelled, or never
   /// existed; entries delivered before cancellation stay delivered.
@@ -235,6 +256,7 @@ class Network {
   /// still counts one delay_violation, like the sampled path would.
   bool constant_violation_ = false;
   Rng rng_;
+  RemoteTransport remote_;
   std::vector<Handler> handlers_;
   LinkFaultSet link_faults_;
   bool batched_fanout_ = true;

@@ -1,0 +1,30 @@
+#include "rt/clock.h"
+
+#include <time.h>  // NOLINT(modernize-deprecated-headers): clock_gettime
+
+#include <stdexcept>
+
+namespace czsync::rt {
+
+Clock::Clock(std::int64_t epoch_ns, double rate, Dur offset)
+    : epoch_ns_(epoch_ns), rate_(rate), offset_(offset) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("rt::Clock: rate must be positive");
+  }
+}
+
+std::int64_t Clock::monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // lint: wall-clock
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+RealTime Clock::now() const {
+  return RealTime(static_cast<double>(monotonic_ns() - epoch_ns_) * 1e-9);
+}
+
+std::int64_t Clock::to_monotonic_ns(RealTime t) const {
+  return epoch_ns_ + static_cast<std::int64_t>(t.sec() * 1e9);
+}
+
+}  // namespace czsync::rt

@@ -1,0 +1,91 @@
+// rt::Daemon — one processor of the paper's system, hosted for real.
+//
+// The daemon runs the UNMODIFIED core::SyncProcess: the engine still
+// talks to net::Network, clk::LogicalClock and trace::TracePort exactly
+// as inside the simulator backend. What changes is who drives time and
+// delivery:
+//
+//   * An embedded sim::Simulator is the daemon's timer substrate. Its
+//     tau axis is *aliased to real time*: on every epoll wake the loop
+//     advances the simulator to rt::Clock::now() (advance_to skips quiet
+//     gaps in O(1), step() drains due events), and a timerfd is armed at
+//     the absolute CLOCK_MONOTONIC instant of next_event_time(). Thus a
+//     HardwareClock alarm scheduled "dH from now" fires, on the wall
+//     clock, exactly when the drifted hardware clock crosses its target
+//     — the same alarm semantics the simulator backend provides, now at
+//     real-time pace.
+//   * The hardware clock is the configured perturbation H(tau) =
+//     offset + rate * tau (see rt::Clock): a pinned-rate HardwareClock
+//     seeded with H(tau_start) on the shared axis. Because H is a pure
+//     function of tau, a daemon restarted after SIGKILL resumes the
+//     exact hardware clock the dead instance had.
+//   * Outbound messages leave through Network::set_remote_transport into
+//     rt::UdpPort (shaped loss/delay); inbound datagrams re-enter
+//     through Network::deliver_remote, so traces carry the standard
+//     MsgSend/MsgDeliver records and every existing trace tool works on
+//     live runs unchanged.
+//
+// The trace sink spills incrementally to a LiveTraceWriter, so the
+// capture on disk is a valid czsync-trace-v1 file at every instant — a
+// SIGKILLed daemon leaves behind everything up to its last flush.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.h"
+#include "core/protocol_engine.h"
+#include "rt/udp_port.h"
+#include "util/time_types.h"
+
+namespace czsync::rt {
+
+struct DaemonConfig {
+  net::ProcId id = 0;
+  core::ModelParams model;  ///< n, f, rho, delta
+  Dur sync_int = Dur::seconds(2);
+  /// This node's hardware-clock perturbation: H(tau) = offset + rate*tau.
+  /// rate must lie within the model's drift band [1/(1+rho), 1+rho].
+  double drift_rate = 1.0;
+  Dur clock_offset = Dur::zero();
+  /// Initial logical adjustment adj_p. The crash test restarts a daemon
+  /// with this smashed way off to force a WayOff re-join.
+  Dur initial_adj = Dur::zero();
+  /// CLOCK_MONOTONIC nanoseconds defining tau = 0, shared clusterwide.
+  std::int64_t epoch_ns = 0;
+  /// Stop after this much tau (from startup); <= 0 means run until a
+  /// SIGTERM/SIGINT arrives.
+  Dur duration = Dur::seconds(30);
+  int base_port = 39000;
+  std::uint64_t seed = 1;
+  std::string trace_path;  ///< empty = no capture
+  ShapingConfig shaping;
+  bool random_phase = true;
+};
+
+struct DaemonReport {
+  core::SyncStats sync;
+  UdpStats udp;
+  std::uint64_t loop_eintr_retries = 0;
+  std::uint64_t trace_records = 0;
+  bool interrupted = false;  ///< stopped by signal rather than duration
+  double cpu_sec = 0.0;      ///< user+system CPU consumed by the run
+  double tau_start = 0.0;
+  double tau_end = 0.0;
+};
+
+class Daemon {
+ public:
+  /// Validates the config. Throws std::invalid_argument on bad
+  /// parameters (id/n mismatch, rate outside the drift band, ...).
+  explicit Daemon(DaemonConfig config);
+
+  /// Builds the full stack and runs the event loop to completion.
+  /// Throws std::runtime_error on unrecoverable syscall failure.
+  DaemonReport run();
+
+ private:
+  DaemonConfig config_;
+};
+
+}  // namespace czsync::rt

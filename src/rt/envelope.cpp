@@ -1,0 +1,205 @@
+#include "rt/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/format.h"
+#include "trace/record.h"
+
+namespace czsync::rt {
+
+namespace {
+
+/// One loaded segment: the piecewise-constant adjustment plus windows.
+struct Segment {
+  int id = -1;
+  double rate = 1.0;
+  double offset = 0.0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double t_join = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<double, double>> adj_steps;  ///< (t, adj from t on)
+
+  [[nodiscard]] bool covers(double tau) const {
+    return tau >= t_start && tau <= t_end;
+  }
+
+  /// adj(tau): the last step at or before tau (steps are time-sorted).
+  [[nodiscard]] double adj_at(double tau) const {
+    auto it = std::upper_bound(
+        adj_steps.begin(), adj_steps.end(), tau,
+        [](double t, const std::pair<double, double>& s) { return t < s.first; });
+    return std::prev(it)->second;
+  }
+
+  [[nodiscard]] double clock_at(double tau) const {
+    return offset + rate * tau + adj_at(tau);
+  }
+};
+
+Segment load_segment(const NodeSegment& ns, int n,
+                     std::uint64_t& rounds_total,
+                     std::uint64_t& way_off_rounds) {
+  if (ns.id < 0 || ns.id >= n) {
+    throw std::runtime_error("envelope: segment id " + std::to_string(ns.id) +
+                             " outside [0, " + std::to_string(n) + ")");
+  }
+  const trace::TraceData data = trace::read_trace_file(ns.path);
+  if (data.records.empty()) {
+    throw std::runtime_error("envelope: '" + ns.path + "' holds no records");
+  }
+  Segment seg;
+  seg.id = ns.id;
+  seg.rate = ns.rate;
+  seg.offset = ns.offset_sec;
+  seg.t_start = data.records.front().t;
+  seg.t_end = data.records.front().t;
+  seg.adj_steps.emplace_back(-std::numeric_limits<double>::infinity(),
+                             ns.adj0_sec);
+  for (const auto& r : data.records) {
+    seg.t_start = std::min(seg.t_start, r.t);
+    seg.t_end = std::max(seg.t_end, r.t);
+    switch (r.kind) {
+      case trace::RecordKind::AdjWrite:
+        if (r.p == ns.id) {
+          seg.adj_steps.emplace_back(r.t, r.y);
+          seg.t_join = std::min(seg.t_join, r.t);
+        }
+        break;
+      case trace::RecordKind::RoundClose:
+        if (r.p == ns.id) {
+          ++rounds_total;
+          if ((r.aux & trace::kRoundWayOff) != 0) ++way_off_rounds;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Daemon traces are written in time order, but cheap insurance against
+  // hand-assembled inputs: adj lookup requires sorted steps.
+  std::stable_sort(seg.adj_steps.begin(), seg.adj_steps.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return seg;
+}
+
+std::string fmt_ms(double sec) {
+  std::ostringstream os;
+  os << sec * 1e3 << " ms";
+  return os.str();
+}
+
+}  // namespace
+
+EnvelopeReport check_envelope(const EnvelopeParams& params,
+                              const std::vector<NodeSegment>& segments) {
+  if (segments.empty()) {
+    throw std::runtime_error("envelope: no trace segments given");
+  }
+  const core::ProtocolParams proto =
+      core::ProtocolParams::derive(params.model, params.sync_int);
+  const core::TheoremBounds bounds =
+      core::TheoremBounds::compute(params.model, proto);
+
+  EnvelopeReport report;
+  report.gamma = bounds.max_deviation;
+  report.join_bound = params.join_bound > Dur::zero()
+                          ? params.join_bound
+                          : bounds.T * 3.0;
+  report.max_stable_deviation = Dur::zero();
+  report.max_join_latency = Dur::zero();
+
+  std::vector<Segment> loaded;
+  loaded.reserve(segments.size());
+  double grid_lo = std::numeric_limits<double>::infinity();
+  double grid_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& ns : segments) {
+    loaded.push_back(load_segment(ns, params.model.n, report.rounds_total,
+                                  report.way_off_rounds));
+    grid_lo = std::min(grid_lo, loaded.back().t_start);
+    grid_hi = std::max(grid_hi, loaded.back().t_end);
+  }
+
+  // Re-join check: every segment that lived long enough to be expected
+  // to join must have joined, within the bound, from its start.
+  for (const auto& seg : loaded) {
+    const double lifetime = seg.t_end - seg.t_start;
+    if (std::isinf(seg.t_join)) {
+      if (lifetime > report.join_bound.sec()) {
+        ++report.violations;
+        if (report.first_violation.empty()) {
+          report.first_violation =
+              "node " + std::to_string(seg.id) + ": segment alive " +
+              fmt_ms(lifetime) + " never wrote an adjustment (join bound " +
+              fmt_ms(report.join_bound.sec()) + ")";
+        }
+      }
+      continue;
+    }
+    const double latency = seg.t_join - seg.t_start;
+    report.max_join_latency =
+        std::max(report.max_join_latency, Dur(latency));
+    if (latency > report.join_bound.sec()) {
+      ++report.violations;
+      if (report.first_violation.empty()) {
+        report.first_violation =
+            "node " + std::to_string(seg.id) + ": re-join took " +
+            fmt_ms(latency) + " > bound " + fmt_ms(report.join_bound.sec()) +
+            " (segment start tau=" + std::to_string(seg.t_start) + ")";
+      }
+    }
+  }
+
+  // Envelope check on the sampling grid.
+  const double step = params.sample_period.sec();
+  if (!(step > 0.0)) {
+    throw std::runtime_error("envelope: sample_period must be positive");
+  }
+  for (double tau = grid_lo; tau <= grid_hi; tau += step) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    int lo_id = -1;
+    int hi_id = -1;
+    int joined = 0;
+    for (const auto& seg : loaded) {
+      if (!seg.covers(tau) || tau < seg.t_join) continue;
+      const double c = seg.clock_at(tau);
+      if (c < lo) {
+        lo = c;
+        lo_id = seg.id;
+      }
+      if (c > hi) {
+        hi = c;
+        hi_id = seg.id;
+      }
+      ++joined;
+    }
+    if (joined < 2) continue;
+    ++report.samples;
+    const double dev = hi - lo;
+    report.max_stable_deviation =
+        std::max(report.max_stable_deviation, Dur(dev));
+    if (dev > report.gamma.sec()) {
+      ++report.violations;
+      if (report.first_violation.empty()) {
+        report.first_violation =
+            "tau=" + std::to_string(tau) + ": |C_" + std::to_string(hi_id) +
+            " - C_" + std::to_string(lo_id) + "| = " + fmt_ms(dev) +
+            " > gamma = " + fmt_ms(report.gamma.sec());
+      }
+    }
+  }
+
+  report.pass = report.violations == 0 && report.samples > 0;
+  if (report.pass == false && report.first_violation.empty()) {
+    report.first_violation =
+        "no sample instant had two joined nodes (traces too short or "
+        "nodes never joined)";
+  }
+  return report;
+}
+
+}  // namespace czsync::rt

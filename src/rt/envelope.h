@@ -1,0 +1,76 @@
+// Offline envelope reconstruction for real (rt) runs.
+//
+// The simulator backend can read every logical clock directly; a real
+// cluster cannot — but it doesn't need to. Each daemon's hardware clock
+// is the configured pure function H_p(tau) = offset_p + rate_p * tau
+// (rt::Clock), and its adjustment adj_p is piecewise-constant with every
+// write captured as an AdjWrite trace record (y = adj after the write).
+// So C_p(tau) = offset_p + rate_p * tau + adj_p(tau) is *exactly*
+// reconstructible from the per-node czsync-trace-v1 files plus the
+// launch config — no sampling error, no in-band measurement traffic.
+//
+// A node's run may span several trace segments (a SIGKILLed daemon's
+// capture plus its restarted instance's). Within a segment the node is
+// "joined" from its first AdjWrite onward: before that, a freshly
+// (re)started daemon may carry an arbitrarily smashed adjustment, which
+// is precisely the paper's recovering-processor state — excluded from
+// the deviation envelope but REQUIRED to end within the recovery bound
+// (Theorem 5's re-join guarantee, checked here as join_bound).
+//
+// check_envelope() samples the reconstructed clocks on a fixed tau grid
+// and verifies (i) the pairwise deviation among joined nodes never
+// exceeds gamma = TheoremBounds::max_deviation for the run's parameters,
+// and (ii) every segment joins within join_bound of its start. The
+// returned measured maximum is what the cluster harness differentials
+// against the simulator's measurement for the same parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "util/time_types.h"
+
+namespace czsync::rt {
+
+/// One daemon instance's capture: the node's perturbation config, its
+/// adjustment at process start, and the trace file it wrote.
+struct NodeSegment {
+  int id = -1;
+  double rate = 1.0;
+  double offset_sec = 0.0;
+  double adj0_sec = 0.0;
+  std::string path;
+};
+
+struct EnvelopeParams {
+  core::ModelParams model;
+  Dur sync_int = Dur::seconds(2);
+  /// Max allowed segment-start -> first-AdjWrite latency. Pass zero to
+  /// use the default 3 * T (one full interval to re-arm, one round to
+  /// complete, generous slack for scheduler noise).
+  Dur join_bound = Dur::zero();
+  Dur sample_period = Dur::millis(100);
+};
+
+struct EnvelopeReport {
+  Dur gamma;                  ///< Theorem 5 bound the run was checked against
+  Dur join_bound;             ///< effective re-join bound
+  Dur max_stable_deviation;   ///< worst pairwise deviation among joined nodes
+  Dur max_join_latency;       ///< worst segment-start -> join latency
+  std::uint64_t samples = 0;  ///< grid points with >= 2 joined nodes
+  std::uint64_t rounds_total = 0;  ///< RoundClose records across segments
+  std::uint64_t way_off_rounds = 0;
+  int violations = 0;
+  std::string first_violation;  ///< empty when pass
+  bool pass = false;
+};
+
+/// Reconstructs every node's C(tau) from `segments` and checks the
+/// envelope + re-join bounds. Throws std::runtime_error on unreadable
+/// trace files or segments referencing ids outside [0, n).
+[[nodiscard]] EnvelopeReport check_envelope(
+    const EnvelopeParams& params, const std::vector<NodeSegment>& segments);
+
+}  // namespace czsync::rt

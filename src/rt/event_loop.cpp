@@ -1,0 +1,128 @@
+#include "rt/event_loop.h"
+
+#include <errno.h>   // NOLINT(modernize-deprecated-headers)
+#include <signal.h>  // NOLINT(modernize-deprecated-headers)
+#include <string.h>  // NOLINT(modernize-deprecated-headers): strerror
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace czsync::rt {
+
+namespace {
+
+/// EINTR can only recur while signals keep arriving mid-call; a bounded
+/// retry turns a pathological storm into a diagnosable error instead of
+/// a hang.
+constexpr int kMaxEintrRetries = 64;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) throw_errno("timerfd_create");
+
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (sigprocmask(SIG_BLOCK, &mask, nullptr) < 0) throw_errno("sigprocmask");
+  signal_fd_ = signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (signal_fd_ < 0) throw_errno("signalfd");
+
+  for (const int fd : {timer_fd_, signal_fd_}) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (signal_fd_ >= 0) close(signal_fd_);
+  if (timer_fd_ >= 0) close(timer_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::function<void()> on_readable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  watches_.push_back(Watch{fd, std::move(on_readable)});
+}
+
+void EventLoop::arm_timer_at(std::int64_t monotonic_ns) {
+  itimerspec spec{};
+  if (monotonic_ns > 0) {
+    spec.it_value.tv_sec = monotonic_ns / 1'000'000'000;
+    spec.it_value.tv_nsec = monotonic_ns % 1'000'000'000;
+    // TFD_TIMER_ABSTIME fires immediately for instants already past, so
+    // a deadline that expired between computing it and arming is a wake,
+    // not a lost tick. tv_value == {0,0} would mean "disarm"; clamp to
+    // 1 ns so "fire at epoch exactly" still fires.
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;
+    }
+  }
+  if (timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr) < 0) {
+    throw_errno("timerfd_settime");
+  }
+}
+
+void EventLoop::run(const std::function<void()>& on_wake) {
+  epoll_event events[16];
+  while (!stopped_) {
+    int n = -1;
+    for (int attempt = 0; attempt <= kMaxEintrRetries; ++attempt) {
+      n = epoll_wait(epoll_fd_, events, 16, -1);
+      if (n >= 0 || errno != EINTR) break;
+      ++eintr_retries_;
+    }
+    if (n < 0) throw_errno("epoll_wait");
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == timer_fd_) {
+        std::uint64_t expirations = 0;
+        // Nonblocking; EAGAIN just means another wake consumed the tick.
+        while (read(timer_fd_, &expirations, sizeof expirations) < 0 &&
+               errno == EINTR) {
+          ++eintr_retries_;
+        }
+        continue;  // the tick's work happens in on_wake
+      }
+      if (fd == signal_fd_) {
+        signalfd_siginfo info{};
+        while (read(signal_fd_, &info, sizeof info) < 0 && errno == EINTR) {
+          ++eintr_retries_;
+        }
+        interrupted_ = true;
+        stopped_ = true;
+        continue;
+      }
+      for (auto& w : watches_) {
+        if (w.fd == fd && w.on_readable) w.on_readable();
+      }
+    }
+    on_wake();
+  }
+}
+
+}  // namespace czsync::rt

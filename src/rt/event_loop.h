@@ -1,0 +1,69 @@
+// rt::EventLoop — the daemon's non-blocking epoll loop.
+//
+// Three fd kinds drive a daemon: the UDP socket (peer datagrams), one
+// timerfd (the embedded simulator's next event, armed as an *absolute*
+// CLOCK_MONOTONIC instant so re-arming is race-free), and one signalfd
+// (SIGTERM/SIGINT become ordinary readable events — the loop never takes
+// an async signal handler, so there is no EINTR-vs-handler ambiguity and
+// shutdown always runs the flush path). Every syscall retries EINTR a
+// bounded number of times and surfaces anything else as a
+// std::runtime_error carrying errno text, per the tools' no-silent-
+// failure contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace czsync::rt {
+
+class EventLoop {
+ public:
+  /// Creates the epoll instance, timerfd and signalfd (SIGTERM + SIGINT
+  /// are blocked for the process and routed to the signalfd). Throws
+  /// std::runtime_error on any syscall failure.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watches `fd` for readability; `on_readable` fires once per epoll
+  /// wake reporting it (callers drain the fd themselves — edge cases of
+  /// level-triggered epoll stay out of the callback contract).
+  void add_fd(int fd, std::function<void()> on_readable);
+
+  /// Arms the wake timer at an absolute CLOCK_MONOTONIC instant, in
+  /// nanoseconds; values in the past fire immediately. Pass 0 to disarm.
+  void arm_timer_at(std::int64_t monotonic_ns);
+
+  /// Runs until stop(): waits on epoll, dispatches readable callbacks,
+  /// then invokes `on_wake` — the daemon's "advance the simulator to
+  /// real now" step — after every wait, timer tick or not.
+  void run(const std::function<void()>& on_wake);
+
+  /// Makes run() return after finishing the current dispatch round.
+  void stop() { stopped_ = true; }
+
+  /// True when a SIGTERM/SIGINT arrived (the loop stops itself first).
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+
+  /// EINTR retries absorbed so far (exported as an rt.* metric).
+  [[nodiscard]] std::uint64_t eintr_retries() const { return eintr_retries_; }
+
+ private:
+  struct Watch {
+    int fd;
+    std::function<void()> on_readable;
+  };
+
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  int signal_fd_ = -1;
+  std::vector<Watch> watches_;
+  bool stopped_ = false;
+  bool interrupted_ = false;
+  std::uint64_t eintr_retries_ = 0;
+};
+
+}  // namespace czsync::rt

@@ -1,0 +1,141 @@
+#include "rt/udp_port.h"
+
+#include <arpa/inet.h>
+#include <errno.h>   // NOLINT(modernize-deprecated-headers)
+#include <netinet/in.h>
+#include <string.h>  // NOLINT(modernize-deprecated-headers): strerror
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/wire.h"
+
+namespace czsync::rt {
+
+namespace {
+
+constexpr int kMaxEintrRetries = 64;
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + strerror(errno));
+}
+
+sockaddr_in loopback_addr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpPort::UdpPort(net::ProcId id, int n, int base_port, ShapingConfig shaping,
+                 Rng rng)
+    : id_(id), n_(n), base_port_(base_port), shaping_(shaping), rng_(rng) {
+  if (id < 0 || id >= n) {
+    throw std::invalid_argument("UdpPort: id outside [0, n)");
+  }
+  if (base_port <= 0 || base_port + n > 65536) {
+    throw std::invalid_argument("UdpPort: port range outside [1, 65536)");
+  }
+  fd_ = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const sockaddr_in addr = loopback_addr(base_port + id);
+  if (bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind 127.0.0.1:" + std::to_string(base_port + id));
+  }
+}
+
+UdpPort::~UdpPort() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void UdpPort::send(const net::Message& m) {
+  if (shaping_.loss > 0.0 && rng_.chance(shaping_.loss)) {
+    ++stats_.shaped_drops;
+    return;
+  }
+  std::vector<unsigned char> bytes;
+  core::encode_message(bytes, m);
+  const Dur max = shaping_.extra_delay_max;
+  if (max > Dur::zero() && scheduler_) {
+    const Dur extra = Dur(rng_.uniform(0.0, max.sec()));
+    const net::ProcId to = m.to;
+    scheduler_(extra, [this, bytes = std::move(bytes), to]() {
+      send_bytes(bytes, to);
+    });
+    return;
+  }
+  send_bytes(bytes, m.to);
+}
+
+void UdpPort::send_bytes(const std::vector<unsigned char>& bytes,
+                         net::ProcId to) {
+  const sockaddr_in addr = loopback_addr(base_port_ + to);
+  for (int attempt = 0; attempt <= kMaxEintrRetries; ++attempt) {
+    const ssize_t rc =
+        sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (rc >= 0) {
+      ++stats_.sent;
+      return;
+    }
+    if (errno == EINTR) {
+      ++stats_.eintr_retries;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+      // Full socket buffer or a not-yet-started peer: both are message
+      // loss the protocol is built to tolerate. Count and move on.
+      ++stats_.eagain_drops;
+      return;
+    }
+    throw_errno("sendto");
+  }
+  ++stats_.eagain_drops;  // EINTR storm: treat as loss, don't hang
+}
+
+void UdpPort::drain(const std::function<void(const net::Message&)>& deliver) {
+  unsigned char buf[kMaxDatagram];
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof src;
+    const ssize_t rc = recvfrom(fd_, buf, sizeof buf, 0,
+                                reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        ++stats_.eintr_retries;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      throw_errno("recvfrom");
+    }
+    auto msg = core::decode_message(buf, static_cast<std::size_t>(rc), n_);
+    if (!msg || msg->to != id_) {
+      ++stats_.decode_errors;
+      continue;
+    }
+    // Authenticated links: the kernel-reported source port must be the
+    // claimed sender's bound port (loopback source addresses cannot be
+    // spoofed without raw sockets), so `from` is trustworthy downstream.
+    const int src_port = ntohs(src.sin_port);
+    if (src_port != base_port_ + msg->from ||
+        ntohl(src.sin_addr.s_addr) != INADDR_LOOPBACK) {
+      ++stats_.auth_drops;
+      continue;
+    }
+    ++stats_.received;
+    deliver(*msg);
+  }
+}
+
+}  // namespace czsync::rt

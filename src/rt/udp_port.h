@@ -1,0 +1,94 @@
+// rt::UdpPort — localhost datagram transport for protocol messages.
+//
+// Each processor binds 127.0.0.1:(base_port + id); a message to peer q
+// is one datagram to base_port + q, encoded by core::encode_message.
+// Authentication (§2.2's unforgeable `from`) is enforced by the
+// *receiver*: the datagram's source port must be the claimed sender's
+// bound port, or the message is dropped and counted — on loopback the
+// kernel guarantees source addresses, which stands in for the paper's
+// authenticated links.
+//
+// Outbound shaping makes loopback look like the lossy, reordering
+// network of the model: a loss probability drops datagrams before
+// sendto, and a uniform extra delay holds the encoded bytes in a
+// scheduler callback (the daemon wires it to its embedded simulator) —
+// two delayed sends with crossing delays arrive reordered, so reorder
+// falls out of jitter rather than being a separate knob. Draws come from
+// a forked Rng stream, keeping runs reproducible per seed.
+//
+// Robustness contract (matching the PR 5 tools): EINTR is retried a
+// bounded number of times; EAGAIN on send is counted as a drop (UDP may
+// drop, the protocol tolerates it); EAGAIN on receive ends the drain.
+// Unexpected errno throws std::runtime_error with strerror text.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace czsync::rt {
+
+struct ShapingConfig {
+  double loss = 0.0;                  ///< P(drop) per outbound datagram
+  Dur extra_delay_max = Dur::zero();  ///< uniform [0, max] added delay
+};
+
+struct UdpStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t shaped_drops = 0;   ///< dropped by the loss probability
+  std::uint64_t eagain_drops = 0;   ///< sendto hit a full socket buffer
+  std::uint64_t eintr_retries = 0;
+  std::uint64_t decode_errors = 0;  ///< malformed datagrams (dropped)
+  std::uint64_t auth_drops = 0;     ///< source port != claimed sender
+};
+
+class UdpPort {
+ public:
+  /// Binds 127.0.0.1:(base_port + id) nonblocking. Throws
+  /// std::runtime_error on socket/bind failure (the cluster harness
+  /// retries with a different base port).
+  UdpPort(net::ProcId id, int n, int base_port, ShapingConfig shaping,
+          Rng rng);
+  ~UdpPort();
+
+  UdpPort(const UdpPort&) = delete;
+  UdpPort& operator=(const UdpPort&) = delete;
+
+  /// The socket fd, for EventLoop::add_fd.
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Installs the delayed-send scheduler (the daemon's embedded
+  /// simulator). Without one, shaped delays degrade to immediate sends.
+  void set_delay_scheduler(
+      std::function<void(Dur, std::function<void()>)> scheduler) {
+    scheduler_ = std::move(scheduler);
+  }
+
+  /// Encodes and sends `m` to peer m.to, applying shaping.
+  void send(const net::Message& m);
+
+  /// Receives every queued datagram, decoding + authenticating each and
+  /// handing the survivors to `deliver`. Returns when the socket drains.
+  void drain(const std::function<void(const net::Message&)>& deliver);
+
+  [[nodiscard]] const UdpStats& stats() const { return stats_; }
+
+ private:
+  void send_bytes(const std::vector<unsigned char>& bytes, net::ProcId to);
+
+  net::ProcId id_;
+  int n_;
+  int base_port_;
+  int fd_ = -1;
+  ShapingConfig shaping_;
+  Rng rng_;
+  std::function<void(Dur, std::function<void()>)> scheduler_;
+  UdpStats stats_;
+};
+
+}  // namespace czsync::rt

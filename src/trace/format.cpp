@@ -6,22 +6,23 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
+
+#include "trace/wire.h"
 
 namespace czsync::trace {
 
 namespace {
 
+// Encoders are the buffer-based ones in trace/wire.h (shared with the
+// rt backend's datagram and live-capture paths), flushed through a
+// scratch buffer; byte-for-byte the output is unchanged. Decoders stay
+// stream-based here — file reading wants iostream error handling.
 void put_varint(std::ostream& os, std::uint64_t v) {
-  // LEB128: 7 value bits per byte, high bit = continuation.
-  unsigned char buf[10];
-  std::size_t n = 0;
-  do {
-    unsigned char byte = v & 0x7fu;
-    v >>= 7;
-    if (v != 0) byte |= 0x80u;
-    buf[n++] = byte;
-  } while (v != 0);
-  os.write(reinterpret_cast<const char*>(buf), static_cast<std::streamsize>(n));
+  std::vector<unsigned char> buf;
+  wire::put_varint(buf, v);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
 }
 
 std::uint64_t get_varint(std::istream& is) {
@@ -42,16 +43,6 @@ std::uint64_t get_varint(std::istream& is) {
   }
 }
 
-void put_f64(std::ostream& os, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof bits);
-  unsigned char buf[8];
-  for (int i = 0; i < 8; ++i) {
-    buf[i] = static_cast<unsigned char>(bits >> (8 * i));
-  }
-  os.write(reinterpret_cast<const char*>(buf), 8);
-}
-
 double get_f64(std::istream& is) {
   unsigned char buf[8];
   is.read(reinterpret_cast<char*>(buf), 8);
@@ -67,17 +58,6 @@ double get_f64(std::istream& is) {
   return v;
 }
 
-void put_proc(std::ostream& os, std::int32_t p) {
-  // Processor ids are dense non-negative ints by the net layer's
-  // contract; a negative id in a serialized record is a programming
-  // error upstream, not a format feature.
-  if (p < 0) {
-    throw std::invalid_argument(
-        "czsync-trace-v1: negative processor id in record");
-  }
-  put_varint(os, static_cast<std::uint64_t>(p));
-}
-
 std::int32_t get_proc(std::istream& is) {
   const std::uint64_t v = get_varint(is);
   if (v > 0x7fffffffu) {
@@ -87,55 +67,10 @@ std::int32_t get_proc(std::istream& is) {
 }
 
 void put_record(std::ostream& os, const TraceRecord& r) {
-  const auto kind = static_cast<std::uint8_t>(r.kind);
-  if (kind == 0 || kind > kMaxRecordKind) {
-    throw std::invalid_argument("czsync-trace-v1: invalid record kind");
-  }
-  put_varint(os, kind);
-  put_f64(os, r.t);
-  switch (r.kind) {
-    case RecordKind::EventFire:
-      put_varint(os, r.u);
-      break;
-    case RecordKind::MsgSend:
-    case RecordKind::MsgDeliver:
-      put_proc(os, r.p);
-      put_proc(os, r.q);
-      put_varint(os, r.u);
-      break;
-    case RecordKind::MsgDrop:
-      put_proc(os, r.p);
-      put_proc(os, r.q);
-      put_varint(os, r.aux);
-      put_varint(os, r.u);
-      break;
-    case RecordKind::AdvBreakIn:
-    case RecordKind::AdvLeave:
-      put_proc(os, r.p);
-      break;
-    case RecordKind::AdjWrite:
-      put_proc(os, r.p);
-      put_varint(os, r.aux);
-      put_f64(os, r.x);
-      put_f64(os, r.y);
-      break;
-    case RecordKind::RoundOpen:
-      put_proc(os, r.p);
-      put_varint(os, r.u);
-      break;
-    case RecordKind::RoundClose:
-      put_proc(os, r.p);
-      put_varint(os, r.aux);
-      put_varint(os, r.u);
-      break;
-    case RecordKind::InvariantSample:
-      put_varint(os, r.aux);
-      put_varint(os, r.u);
-      put_f64(os, r.x);
-      break;
-    case RecordKind::Invalid:
-      break;  // unreachable: rejected above
-  }
+  std::vector<unsigned char> buf;
+  wire::put_record(buf, r);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
 }
 
 TraceRecord get_record(std::istream& is) {

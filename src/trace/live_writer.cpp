@@ -1,0 +1,78 @@
+#include "trace/live_writer.h"
+
+#include <stdexcept>
+
+#include "trace/format.h"
+#include "trace/wire.h"
+
+namespace czsync::trace {
+
+namespace {
+
+// 5 padded LEB128 bytes hold counts up to 2^35 - 1; at the daemon's
+// steady-state record rate that is centuries of capture.
+constexpr int kCountWidth = 5;
+constexpr std::size_t kBufHighWater = 1u << 16;
+
+}  // namespace
+
+LiveTraceWriter::LiveTraceWriter(const std::string& path) : path_(path) {
+  out_.open(path, std::ios::binary | std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  std::vector<unsigned char> header;
+  header.insert(header.end(), kTraceMagic, kTraceMagic + sizeof kTraceMagic);
+  wire::put_varint(header, kTraceVersion);
+  wire::put_varint(header, 0);  // flags: live capture is never truncated
+  wire::put_varint(header, 0);  // dropped
+  count_pos_ = static_cast<std::streampos>(header.size());
+  wire::put_varint_padded(header, 0, kCountWidth);
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("write to '" + path + "' failed");
+  }
+}
+
+LiveTraceWriter::~LiveTraceWriter() {
+  try {
+    flush();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor flush is best effort; explicit flush() reports errors.
+  }
+}
+
+void LiveTraceWriter::append(const TraceRecord* records, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::put_record(buf_, records[i]);
+    ++count_;
+  }
+  if (buf_.size() >= kBufHighWater) flush();
+}
+
+void LiveTraceWriter::flush() {
+  if (!buf_.empty()) {
+    out_.write(reinterpret_cast<const char*>(buf_.data()),
+               static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+  write_count_patch();
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("write to '" + path_ + "' failed");
+  }
+}
+
+void LiveTraceWriter::write_count_patch() {
+  std::vector<unsigned char> patch;
+  wire::put_varint_padded(patch, count_, kCountWidth);
+  const std::streampos end = out_.tellp();
+  out_.seekp(count_pos_);
+  out_.write(reinterpret_cast<const char*>(patch.data()),
+             static_cast<std::streamsize>(patch.size()));
+  out_.seekp(end);
+}
+
+}  // namespace czsync::trace

@@ -1,0 +1,58 @@
+// LiveTraceWriter: incremental czsync-trace-v1 capture for long-lived
+// processes.
+//
+// write_trace_file() needs the whole record vector up front, which a
+// daemon that may be SIGKILLed at any moment cannot provide. This writer
+// emits the standard header immediately — with the `count` field encoded
+// as a fixed-width padded LEB128 varint — appends records as they
+// arrive, and patches `count` in place on every flush. A reader (or a
+// post-mortem `czsync_trace dump`) therefore sees a well-formed v1 file
+// reflecting everything up to the last flush, no recovery pass needed;
+// padded varints decode like any other varint, so existing tooling reads
+// these files unchanged.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace czsync::trace {
+
+class LiveTraceWriter {
+ public:
+  /// Opens `path` for writing and emits the v1 header with count = 0.
+  /// Throws std::runtime_error if the file cannot be opened or written.
+  explicit LiveTraceWriter(const std::string& path);
+
+  LiveTraceWriter(const LiveTraceWriter&) = delete;
+  LiveTraceWriter& operator=(const LiveTraceWriter&) = delete;
+
+  /// Flushes on destruction; failures here are swallowed (destructors
+  /// must not throw) — call flush() explicitly where errors matter.
+  ~LiveTraceWriter();
+
+  /// Serializes `n` records into the internal buffer. Cheap; bytes hit
+  /// the file on flush() or when the buffer exceeds its high-water mark.
+  void append(const TraceRecord* records, std::size_t n);
+
+  /// Writes buffered bytes, patches the header count, and flushes the
+  /// stream to the OS. Throws std::runtime_error on I/O failure.
+  void flush();
+
+  /// Records appended so far (buffered + on disk).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  void write_count_patch();
+
+  std::fstream out_;
+  std::string path_;
+  std::vector<unsigned char> buf_;
+  std::streampos count_pos_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace czsync::trace

@@ -12,9 +12,18 @@
 //   * flight recorder: a bounded ring that keeps the newest `capacity`
 //     records and counts what it overwrote — cheap enough to leave on
 //     for every seed of a sweep, dumped only when a run fails.
+//
+// A full-stream sink can additionally carry a spill callback: once the
+// buffer reaches the configured chunk size it is handed out (oldest
+// first) and cleared, bounding memory for arbitrarily long runs. That is
+// how the rt daemon streams czsync-trace-v1 records to disk while
+// running indefinitely; the simulator paths never set it and behave
+// exactly as before.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "trace/record.h"
@@ -34,10 +43,31 @@ class TraceSink {
     return s;
   }
 
+  /// Streams full chunks of `chunk_records` out through `fn` (oldest
+  /// first) instead of accumulating without bound. Full-stream mode
+  /// only: the flight recorder's contract is "newest records, bounded",
+  /// which spilling would silently break.
+  void set_spill(std::size_t chunk_records,
+                 std::function<void(const TraceRecord*, std::size_t)> fn) {
+    assert(capacity_ == 0 && "spill is incompatible with flight-recorder mode");
+    spill_chunk_ = chunk_records == 0 ? 1 : chunk_records;
+    spill_ = std::move(fn);
+  }
+
+  /// Hands any buffered records to the spill callback and clears the
+  /// buffer. No-op without a spill callback.
+  void flush_spill() {
+    if (!spill_ || buf_.empty()) return;
+    spill_(buf_.data(), buf_.size());
+    spilled_ += buf_.size();
+    buf_.clear();
+  }
+
   void record(const TraceRecord& r) {
     ++total_;
     if (capacity_ == 0 || buf_.size() < capacity_) {
       buf_.push_back(r);
+      if (spill_chunk_ != 0 && buf_.size() >= spill_chunk_) flush_spill();
       return;
     }
     buf_[head_] = r;
@@ -49,6 +79,8 @@ class TraceSink {
   [[nodiscard]] std::uint64_t total() const { return total_; }
   /// Records overwritten by the ring (0 in full-stream mode).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Records handed to the spill callback so far.
+  [[nodiscard]] std::uint64_t spilled() const { return spilled_; }
   /// True when the ring wrapped, i.e. the capture is missing its prefix.
   [[nodiscard]] bool truncated() const { return dropped_ > 0; }
   /// Records currently held.
@@ -67,10 +99,13 @@ class TraceSink {
 
  private:
   std::vector<TraceRecord> buf_;
-  std::size_t capacity_ = 0;  ///< 0 = unbounded full-stream capture
-  std::size_t head_ = 0;      ///< next overwrite position once wrapped
+  std::size_t capacity_ = 0;     ///< 0 = unbounded full-stream capture
+  std::size_t head_ = 0;         ///< next overwrite position once wrapped
+  std::size_t spill_chunk_ = 0;  ///< 0 = no spilling
   std::uint64_t total_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t spilled_ = 0;
+  std::function<void(const TraceRecord*, std::size_t)> spill_;
 };
 
 }  // namespace czsync::trace

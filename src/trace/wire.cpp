@@ -1,0 +1,113 @@
+#include "trace/wire.h"
+
+#include <stdexcept>
+
+namespace czsync::trace::wire {
+
+namespace {
+
+void put_proc(std::vector<unsigned char>& out, std::int32_t p) {
+  // Processor ids are dense non-negative ints by the net layer's
+  // contract; a negative id in a serialized record is a programming
+  // error upstream, not a format feature.
+  if (p < 0) {
+    throw std::invalid_argument(
+        "czsync-trace-v1: negative processor id in record");
+  }
+  put_varint(out, static_cast<std::uint64_t>(p));
+}
+
+}  // namespace
+
+void put_varint(std::vector<unsigned char>& out, std::uint64_t v) {
+  // LEB128: 7 value bits per byte, high bit = continuation.
+  do {
+    unsigned char byte = v & 0x7fu;
+    v >>= 7;
+    if (v != 0) byte |= 0x80u;
+    out.push_back(byte);
+  } while (v != 0);
+}
+
+void put_varint_padded(std::vector<unsigned char>& out, std::uint64_t v,
+                       int width) {
+  if (width < 1 || width > 10) {
+    throw std::invalid_argument("put_varint_padded: width out of range");
+  }
+  const std::size_t start = out.size();
+  put_varint(out, v);
+  const auto used = static_cast<int>(out.size() - start);
+  if (used > width) {
+    throw std::invalid_argument(
+        "put_varint_padded: value does not fit the requested width");
+  }
+  if (used < width) {
+    // Redundant continuation bytes carrying zero value bits: decoders
+    // accumulate `0 << shift` and keep going, so the value is unchanged.
+    out.back() |= 0x80u;
+    for (int i = used; i < width - 1; ++i) out.push_back(0x80u);
+    out.push_back(0x00u);
+  }
+}
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(bits >> (8 * i)));
+  }
+}
+
+void put_record(std::vector<unsigned char>& out, const TraceRecord& r) {
+  const auto kind = static_cast<std::uint8_t>(r.kind);
+  if (kind == 0 || kind > kMaxRecordKind) {
+    throw std::invalid_argument("czsync-trace-v1: invalid record kind");
+  }
+  put_varint(out, kind);
+  put_f64(out, r.t);
+  switch (r.kind) {
+    case RecordKind::EventFire:
+      put_varint(out, r.u);
+      break;
+    case RecordKind::MsgSend:
+    case RecordKind::MsgDeliver:
+      put_proc(out, r.p);
+      put_proc(out, r.q);
+      put_varint(out, r.u);
+      break;
+    case RecordKind::MsgDrop:
+      put_proc(out, r.p);
+      put_proc(out, r.q);
+      put_varint(out, r.aux);
+      put_varint(out, r.u);
+      break;
+    case RecordKind::AdvBreakIn:
+    case RecordKind::AdvLeave:
+      put_proc(out, r.p);
+      break;
+    case RecordKind::AdjWrite:
+      put_proc(out, r.p);
+      put_varint(out, r.aux);
+      put_f64(out, r.x);
+      put_f64(out, r.y);
+      break;
+    case RecordKind::RoundOpen:
+      put_proc(out, r.p);
+      put_varint(out, r.u);
+      break;
+    case RecordKind::RoundClose:
+      put_proc(out, r.p);
+      put_varint(out, r.aux);
+      put_varint(out, r.u);
+      break;
+    case RecordKind::InvariantSample:
+      put_varint(out, r.aux);
+      put_varint(out, r.u);
+      put_f64(out, r.x);
+      break;
+    case RecordKind::Invalid:
+      break;  // unreachable: rejected above
+  }
+}
+
+}  // namespace czsync::trace::wire

@@ -1,0 +1,98 @@
+// Buffer-based wire primitives shared by every czsync binary encoding.
+//
+// czsync-trace-v1 (trace/format.cpp) defined the conventions — LEB128
+// varints for integers, raw IEEE-754 bits in 8 little-endian bytes for
+// doubles (bit-exact by construction) — but kept the encoders private to
+// the iostream writer. The rt backend needs the same primitives over
+// byte buffers (UDP datagrams, incremental live-capture files), so they
+// live here and format.cpp reuses them: one encoding, one
+// implementation, stream and buffer callers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace czsync::trace::wire {
+
+/// Appends `v` as a LEB128 varint (7 value bits per byte, high bit =
+/// continuation).
+void put_varint(std::vector<unsigned char>& out, std::uint64_t v);
+
+/// Appends `v` as a LEB128 varint padded with redundant continuation
+/// bytes to exactly `width` bytes (1..10). Decoders read it like any
+/// varint; the fixed width makes the field patchable in place, which is
+/// how the live trace writer keeps its record count current without
+/// rewriting the file. Values needing more than `width` bytes throw
+/// std::invalid_argument.
+void put_varint_padded(std::vector<unsigned char>& out, std::uint64_t v,
+                       int width);
+
+/// Appends the IEEE-754 bit pattern of `v` in 8 little-endian bytes.
+/// Bit-exact: every NaN payload, signed zero and denormal round-trips.
+void put_f64(std::vector<unsigned char>& out, double v);
+
+/// Serializes one czsync-trace-v1 record (kind varint + the kind's field
+/// list) into `out`. Throws std::invalid_argument on an Invalid/unknown
+/// kind. This is THE record encoding — the stream writer in format.cpp
+/// goes through it.
+void put_record(std::vector<unsigned char>& out, const TraceRecord& r);
+
+/// Bounds-checked sequential reader over an immutable byte span. Every
+/// accessor reports failure by flipping ok() to false and returning a
+/// zero value; callers check once at the end (or wherever convenient) —
+/// no exceptions, suitable for hostile datagram bytes.
+class Reader {
+ public:
+  Reader(const unsigned char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool done() const { return p_ == end_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (p_ == end_) return fail_u64();
+      const unsigned char byte = *p_++;
+      if (shift >= 63 && byte > 1) return fail_u64();
+      v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+      if ((byte & 0x80u) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  double f64() {
+    if (remaining() < 8) {
+      fail_u64();
+      return 0.0;
+    }
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    }
+    p_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+ private:
+  std::uint64_t fail_u64() {
+    ok_ = false;
+    p_ = end_;
+    return 0;
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace czsync::trace::wire

@@ -1,0 +1,9 @@
+// Fixture: kernel event/socket syscalls inside src/core must fail the
+// nondet-token rule -- only src/rt/ (the real-sockets runtime) is on the
+// documented exception list. A syscall here would break replay.
+int bad_core_syscalls(int fd, void* ev, void* buf, int len) {
+  int n = epoll_wait(fd, ev, 16, -1);
+  int tfd = timerfd_create(1, 0);
+  long got = recvfrom(fd, buf, len, 0, nullptr, nullptr);
+  return n + tfd + static_cast<int>(got);
+}

@@ -1,0 +1,10 @@
+// Fixture: the same kernel syscalls are allowed inside src/rt -- the
+// documented real-sockets exception (SYSCALL_EXEMPT_DIRS). Wall-clock
+// reads are NOT blanket-exempted and still need a justification line.
+int ok_rt_syscalls(int fd, void* ev, void* buf, int len, void* ts) {
+  int n = epoll_wait(fd, ev, 16, -1);
+  int tfd = timerfd_create(1, 0);
+  long got = recvfrom(fd, buf, len, 0, nullptr, nullptr);
+  int rc = clock_gettime(1, ts);  // lint: wall-clock (rt::Clock fixture)
+  return n + tfd + rc + static_cast<int>(got);
+}

@@ -74,6 +74,12 @@ def main():
         [6, 8, 10, 11, 12],
     )
     expect_findings(
+        "nondet-token syscall in core",
+        fixture("src", "core", "rt_syscall_bad.cpp"),
+        "nondet-token",
+        [5, 6, 7],
+    )
+    expect_findings(
         "unordered-iter",
         fixture("unordered_iter_bad.cpp"),
         "unordered-iter",
@@ -107,6 +113,8 @@ def main():
     print("== clean fixtures: escape hatches and sorted snapshots pass ==")
     expect_clean("nondet-token justified (// lint: wall-clock, ambient-env)",
                  fixture("nondet_token_ok.cpp"))
+    expect_clean("syscalls inside src/rt (documented exception list)",
+                 fixture("src", "rt", "rt_syscall_ok.cpp"))
     expect_clean("unordered-iter sorted snapshot + // lint: order-insensitive",
                  fixture("unordered_iter_ok.cpp"))
     expect_clean("layering within allowed layers",

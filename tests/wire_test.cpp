@@ -1,0 +1,417 @@
+// Wire-format hygiene tests: the explicit encodings that cross process
+// boundaries in the rt backend.
+//
+// Three layers, bottom up: the shared buffer primitives (trace/wire.h --
+// LEB128 varints, padded patchable varints, bit-exact doubles), the
+// datagram message codec (core/wire.h -- every Body alternative, hostile
+// input), and the incremental live capture (trace/live_writer.h -- a
+// well-formed file after every flush). The round-trip sweeps are
+// fuzz-ish by construction: boundary values (+-inf, NaN payloads,
+// denormals, signed zero, max ProcId) plus seeded-random messages
+// re-encoded and compared byte for byte.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/wire.h"
+#include "net/message.h"
+#include "trace/format.h"
+#include "trace/live_writer.h"
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "trace/wire.h"
+#include "util/rng.h"
+
+namespace czsync {
+namespace {
+
+using trace::wire::Reader;
+
+// ---------- trace/wire.h primitives ----------
+
+TEST(WirePrimitives, VarintBoundaryRoundTrip) {
+  const std::uint64_t cases[] = {
+      0,    1,    127,  128,  129,  16383, 16384,
+      (1ull << 32) - 1, 1ull << 32, (1ull << 63) - 1, 1ull << 63,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::vector<unsigned char> buf;
+    trace::wire::put_varint(buf, v);
+    Reader r(buf.data(), buf.size());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WirePrimitives, VarintMinimalLengths) {
+  std::vector<unsigned char> buf;
+  trace::wire::put_varint(buf, 0);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  trace::wire::put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  trace::wire::put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  trace::wire::put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(WirePrimitives, PaddedVarintDecodesLikePlain) {
+  for (const std::uint64_t v : {0ull, 1ull, 127ull, 300ull, 1234567ull}) {
+    std::vector<unsigned char> buf;
+    trace::wire::put_varint_padded(buf, v, 5);
+    EXPECT_EQ(buf.size(), 5u);
+    Reader r(buf.data(), buf.size());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WirePrimitives, PaddedVarintIsPatchable) {
+  // The live writer's count field: re-encoding a bigger value in place
+  // must keep the same width and decode to the new value.
+  std::vector<unsigned char> buf;
+  trace::wire::put_varint_padded(buf, 3, 5);
+  std::vector<unsigned char> patch;
+  trace::wire::put_varint_padded(patch, 9876543, 5);
+  ASSERT_EQ(patch.size(), buf.size());
+  std::memcpy(buf.data(), patch.data(), patch.size());
+  Reader r(buf.data(), buf.size());
+  EXPECT_EQ(r.varint(), 9876543u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WirePrimitives, PaddedVarintOverflowThrows) {
+  std::vector<unsigned char> buf;
+  EXPECT_THROW(trace::wire::put_varint_padded(buf, 1ull << 35, 5),
+               std::invalid_argument);
+}
+
+TEST(WirePrimitives, DoubleBitExactRoundTrip) {
+  const double denormal_min = std::numeric_limits<double>::denorm_min();
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      denormal_min,
+      -denormal_min,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::nan("0xbeef"),  // NaN with a payload: bits must survive
+      1.0 + std::numeric_limits<double>::epsilon(),
+  };
+  for (const double v : cases) {
+    std::vector<unsigned char> buf;
+    trace::wire::put_f64(buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    Reader r(buf.data(), buf.size());
+    const double back = r.f64();
+    EXPECT_TRUE(r.ok());
+    std::uint64_t in_bits = 0;
+    std::uint64_t out_bits = 0;
+    std::memcpy(&in_bits, &v, 8);
+    std::memcpy(&out_bits, &back, 8);
+    EXPECT_EQ(in_bits, out_bits);  // bit-exact, not value-equal
+  }
+}
+
+TEST(WirePrimitives, ReaderFailsClosed) {
+  // Truncated varint: continuation bit set, then the buffer ends.
+  const unsigned char trunc[] = {0x80, 0x80};
+  Reader r1(trunc, sizeof trunc);
+  EXPECT_EQ(r1.varint(), 0u);
+  EXPECT_FALSE(r1.ok());
+  // Overlong varint: more than 64 bits of payload.
+  const unsigned char over[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                0xff, 0xff, 0xff, 0xff, 0x7f};
+  Reader r2(over, sizeof over);
+  (void)r2.varint();
+  EXPECT_FALSE(r2.ok());
+  // Short double.
+  const unsigned char shortf[] = {1, 2, 3};
+  Reader r3(shortf, sizeof shortf);
+  (void)r3.f64();
+  EXPECT_FALSE(r3.ok());
+  // After any failure the reader stays failed.
+  EXPECT_EQ(r3.remaining(), 0u);
+}
+
+// ---------- core/wire.h: message datagrams ----------
+
+std::vector<unsigned char> encode(const net::Message& m) {
+  std::vector<unsigned char> buf;
+  core::encode_message(buf, m);
+  return buf;
+}
+
+void expect_round_trip(const net::Message& m, int n) {
+  const auto buf = encode(m);
+  const auto back = core::decode_message(buf.data(), buf.size(), n);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, m.from);
+  EXPECT_EQ(back->to, m.to);
+  EXPECT_EQ(back->body.index(), m.body.index());
+  // Re-encoding must reproduce the exact bytes: the codec is canonical.
+  EXPECT_EQ(encode(*back), buf);
+}
+
+TEST(MessageWire, EveryBodyAlternativeRoundTrips) {
+  const ClockTime clk = ClockTime(1234.5678901234);
+  expect_round_trip({0, 1, net::PingReq{42}}, 3);
+  expect_round_trip({1, 0, net::PingResp{42, clk}}, 3);
+  expect_round_trip({2, 0, net::RoundPingReq{7, 99}}, 3);
+  expect_round_trip({0, 2, net::RoundPingResp{7, 99, clk}}, 3);
+  expect_round_trip(
+      {1, 2, net::StRoundMsg{5, {{0, 0xdeadbeef}, {2, 0xfeedface}}}}, 3);
+  expect_round_trip({2, 1, net::RefreshAnnounce{11, 0x123456789abcdefull}}, 3);
+  expect_round_trip({0, 1, net::TimestampReq{314}}, 3);
+  expect_round_trip({1, 0, net::TimestampResp{314, clk}}, 3);
+}
+
+TEST(MessageWire, ClockBoundaryValues) {
+  const double denormal = std::numeric_limits<double>::denorm_min();
+  for (const double v : {std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(), denormal,
+                         -denormal, -0.0,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    const net::Message m{0, 1, net::PingResp{99, ClockTime(v)}};
+    const auto buf = encode(m);
+    const auto back = core::decode_message(buf.data(), buf.size(), 2);
+    ASSERT_TRUE(back.has_value());
+    const auto& resp = std::get<net::PingResp>(back->body);
+    std::uint64_t in_bits = 0;
+    std::uint64_t out_bits = 0;
+    const double in_v = v;
+    const double out_v = resp.responder_clock.sec();
+    std::memcpy(&in_bits, &in_v, 8);
+    std::memcpy(&out_bits, &out_v, 8);
+    EXPECT_EQ(in_bits, out_bits);
+  }
+}
+
+TEST(MessageWire, MaxProcIdRoundTrips) {
+  const int n = std::numeric_limits<int>::max();
+  expect_round_trip({n - 1, 0, net::PingReq{1}}, n);
+  expect_round_trip({0, n - 1, net::PingReq{1}}, n);
+}
+
+TEST(MessageWire, NegativeIdThrowsOnEncode) {
+  std::vector<unsigned char> buf;
+  EXPECT_THROW(core::encode_message(buf, {-1, 0, net::PingReq{}}),
+               std::invalid_argument);
+  EXPECT_THROW(core::encode_message(buf, {0, -3, net::PingReq{}}),
+               std::invalid_argument);
+}
+
+TEST(MessageWire, HostileInputNeverDecodes) {
+  const auto good = encode({0, 1, net::PingResp{42, ClockTime(1.5)}});
+  ASSERT_TRUE(core::decode_message(good.data(), good.size(), 3).has_value());
+
+  // Every strict prefix is a truncation and must fail.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(core::decode_message(good.data(), len, 3).has_value())
+        << "prefix length " << len;
+  }
+  // Trailing garbage must fail (a datagram is exactly one message).
+  auto extra = good;
+  extra.push_back(0);
+  EXPECT_FALSE(core::decode_message(extra.data(), extra.size(), 3));
+
+  // Bad magic.
+  auto bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(core::decode_message(bad.data(), bad.size(), 3));
+
+  // Ids out of [0, n): from = 0, to = 1 valid only for n >= 2.
+  EXPECT_FALSE(core::decode_message(good.data(), good.size(), 1));
+
+  // Self-send: from == to.
+  const auto self = encode({1, 1, net::PingReq{}});
+  EXPECT_FALSE(core::decode_message(self.data(), self.size(), 3));
+
+  // Unknown body kind: patch the kind varint (magic 4 + from 1 + to 1).
+  auto unk = encode({0, 1, net::PingReq{0}});
+  unk[6] = 0x7f;
+  EXPECT_FALSE(core::decode_message(unk.data(), unk.size(), 3));
+}
+
+TEST(MessageWire, OversizedSignatureVectorRejected) {
+  // Hand-build an StRoundMsg claiming 2^30 signatures with no payload: a
+  // naive decoder would resize the vector and die before noticing the
+  // buffer is 14 bytes long.
+  std::vector<unsigned char> buf = {'C', 'Z', 'U', '1'};
+  trace::wire::put_varint(buf, 0);              // from
+  trace::wire::put_varint(buf, 1);              // to
+  trace::wire::put_varint(buf, 4);              // StRoundMsg
+  trace::wire::put_varint(buf, 3);              // round
+  trace::wire::put_varint(buf, 1ull << 30);     // sig count, absurd
+  EXPECT_FALSE(core::decode_message(buf.data(), buf.size(), 3).has_value());
+}
+
+TEST(MessageWire, RandomMessagesReEncodeByteIdentical) {
+  Rng rng(0xC0FFEEu);
+  const int n = 1000;
+  for (int i = 0; i < 500; ++i) {
+    net::Message m;
+    m.from = static_cast<int>(rng.uniform_int(0, n - 1));
+    do {
+      m.to = static_cast<int>(rng.uniform_int(0, n - 1));
+    } while (m.to == m.from);
+    switch (rng.uniform_int(0, 7)) {
+      case 0: m.body = net::PingReq{static_cast<std::uint64_t>(
+            rng.uniform_int(0, 1 << 30)) * 977u};
+        break;
+      case 1:
+        m.body = net::PingResp{static_cast<std::uint64_t>(
+                                   rng.uniform_int(0, 1 << 30)),
+                               ClockTime(rng.uniform(-1e9, 1e9))};
+        break;
+      case 2:
+        m.body = net::RoundPingReq{
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20))};
+        break;
+      case 3:
+        m.body = net::RoundPingResp{
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+            ClockTime(rng.uniform(-1e6, 1e6))};
+        break;
+      case 4: {
+        net::StRoundMsg st;
+        st.round = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16));
+        const int sigs = static_cast<int>(rng.uniform_int(0, 5));
+        for (int s = 0; s < sigs; ++s) {
+          st.sigs.push_back(net::Signature{
+              static_cast<int>(rng.uniform_int(0, n - 1)),
+              static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30))});
+        }
+        m.body = std::move(st);
+        break;
+      }
+      case 5:
+        m.body = net::RefreshAnnounce{
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30))};
+        break;
+      case 6:
+        m.body = net::TimestampReq{
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30))};
+        break;
+      default:
+        m.body = net::TimestampResp{
+            static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)),
+            ClockTime(rng.uniform(-1e3, 1e3))};
+        break;
+    }
+    expect_round_trip(m, n);
+  }
+}
+
+// ---------- trace record encoding parity ----------
+
+TEST(TraceWire, RecordEncodingMatchesFileFormat) {
+  // put_record is THE encoding: a file written through write_trace_file
+  // must contain exactly the bytes put_record produces for each record.
+  std::vector<trace::TraceRecord> records;
+  records.push_back(trace::adj_write(1.25, 0, trace::AdjKind::Sync, -0.5, 0.25));
+  records.push_back(trace::round_close(2.0, 1, 7, trace::kRoundWayOff));
+  trace::TraceData data;
+  data.records = records;
+
+  const std::string path =
+      testing::TempDir() + "/wire_parity.cztrace";
+  trace::write_trace_file(path, data);
+  const trace::TraceData back = trace::read_trace_file(path);
+  ASSERT_EQ(back.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::vector<unsigned char> a;
+    std::vector<unsigned char> b;
+    trace::wire::put_record(a, records[i]);
+    trace::wire::put_record(b, back.records[i]);
+    EXPECT_EQ(a, b) << "record " << i;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- trace/live_writer.h: incremental capture ----------
+
+TEST(LiveWriter, FileIsWellFormedAfterEveryFlush) {
+  const std::string path = testing::TempDir() + "/live.cztrace";
+  trace::LiveTraceWriter writer(path);
+
+  // Even before any record: a valid empty trace.
+  writer.flush();
+  EXPECT_EQ(trace::read_trace_file(path).records.size(), 0u);
+
+  std::vector<trace::TraceRecord> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(trace::adj_write(i * 0.5, i % 3, trace::AdjKind::Sync, 0.001 * i, 0.01 * i));
+  }
+  writer.append(batch.data(), 4);
+  writer.flush();
+  EXPECT_EQ(trace::read_trace_file(path).records.size(), 4u);
+
+  writer.append(batch.data() + 4, 6);
+  writer.flush();
+  const trace::TraceData all = trace::read_trace_file(path);
+  ASSERT_EQ(all.records.size(), 10u);
+  EXPECT_EQ(writer.count(), 10u);
+  for (std::size_t i = 0; i < all.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all.records[i].t, 0.5 * static_cast<double>(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LiveWriter, UnflushedTailIsInvisibleNotCorrupting) {
+  // Appended-but-unflushed records must not leave the on-disk file
+  // malformed — this is the SIGKILL story: the file always parses.
+  const std::string path = testing::TempDir() + "/live_tail.cztrace";
+  {
+    trace::LiveTraceWriter writer(path);
+    const auto r = trace::adv_break_in(1.0, 2);
+    writer.append(&r, 1);
+    writer.flush();
+    writer.append(&r, 1);  // buffered only; destructor will flush it
+    EXPECT_EQ(trace::read_trace_file(path).records.size(), 1u);
+  }
+  // Destructor flushed the tail.
+  EXPECT_EQ(trace::read_trace_file(path).records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, SpillKeepsEveryRecordInOrder) {
+  trace::TraceSink sink;  // unbounded mode (no flight-recorder cap)
+  std::vector<trace::TraceRecord> spilled;
+  sink.set_spill(4, [&](const trace::TraceRecord* r, std::size_t count) {
+    spilled.insert(spilled.end(), r, r + count);
+  });
+  for (int i = 0; i < 11; ++i) {
+    sink.record(trace::adv_break_in(i, i));
+  }
+  sink.flush_spill();
+  ASSERT_EQ(spilled.size(), 11u);
+  for (int i = 0; i < 11; ++i) {
+    EXPECT_DOUBLE_EQ(spilled[static_cast<std::size_t>(i)].t, i);
+  }
+  EXPECT_EQ(sink.spilled(), 11u);
+  EXPECT_FALSE(sink.truncated());
+}
+
+}  // namespace
+}  // namespace czsync

@@ -1,0 +1,475 @@
+#!/usr/bin/env python3
+"""Launch and check a real localhost czsync daemon cluster.
+
+Runs N `czsync_daemon` processes over loopback UDP on one shared tau
+axis (a single CLOCK_MONOTONIC epoch), drives a mobile-adversary
+schedule against them, collects their czsync-trace-v1 captures, and
+checks the measured clock-deviation envelope against the Theorem 5
+bound — plus a differential against the simulator backend running the
+same (n, f, drift, delay) parameters via `czsync_cli`.
+
+Modes:
+  smoke     N daemons, no adversary: every daemon must exit cleanly,
+            complete rounds, exchange responses, and pass the envelope
+            check. The ctest `rt_loopback_smoke` gate.
+  envelope  shaped loss/delay plus SIGSTOP/SIGCONT break-in waves (the
+            mobile adversary: at most f daemons suspended at a time);
+            envelope + simulator-differential check. The ctest
+            `rt_envelope_differential` gate.
+  crash     SIGKILL one daemon mid-run, restart it with a smashed
+            adjustment; its second trace segment must re-join within the
+            recovery bound. The ctest `rt_crash_recovery` gate.
+
+Exit codes: 0 pass, 1 check failed (artifacts kept and reported),
+2 usage/infrastructure error (no traceback), 77 sandbox forbids UDP
+sockets (ctest SKIP, mirroring the clang-tidy gate).
+"""
+
+import argparse
+import json
+import os
+import random
+import resource
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+SKIP = 77
+
+
+def die(msg, code=2):
+    print(f"czsync_cluster: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def probe_sockets():
+    """Exit 77 when the sandbox forbids UDP loopback sockets."""
+    try:
+        s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            s.bind(("127.0.0.1", 0))
+        finally:
+            s.close()
+    except OSError as e:
+        print(f"SKIP: sandbox forbids UDP sockets ({e})", file=sys.stderr)
+        sys.exit(SKIP)
+
+
+def pick_base_port(n, rng):
+    """Finds a block of n free consecutive UDP ports, bounded retries."""
+    for _ in range(32):
+        base = rng.randrange(20000, 60000 - n)
+        socks = []
+        try:
+            for i in range(n):
+                s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                s.bind(("127.0.0.1", base + i))
+                socks.append(s)
+            return base
+        except OSError:
+            continue
+        finally:
+            for s in socks:
+                s.close()
+    die("could not find a free UDP port block after 32 attempts")
+
+
+class Node:
+    def __init__(self, node_id, rate, offset_ms):
+        self.id = node_id
+        self.rate = rate
+        self.offset_ms = offset_ms
+        self.proc = None
+        self.segments = []  # trace paths, one per daemon instance
+        self.reports = []   # parsed stats JSON, one per exited instance
+
+
+class Cluster:
+    def __init__(self, args, workdir):
+        self.args = args
+        self.workdir = workdir
+        self.rng = random.Random(args.seed)
+        self.epoch_ns = time.monotonic_ns()
+        self.base_port = pick_base_port(args.n, self.rng)
+        self.nodes = []
+        for i in range(args.n):
+            rate = 1.0 + self.rng.uniform(-args.rho, args.rho) * 0.9
+            offset_ms = self.rng.uniform(-args.offset_spread_ms / 2,
+                                         args.offset_spread_ms / 2)
+            self.nodes.append(Node(i, rate, offset_ms))
+
+    def spawn(self, node, duration_s, adj_ms=0.0):
+        seg = len(node.segments)
+        trace = os.path.join(self.workdir, f"node{node.id}.seg{seg}.cztrace")
+        node.segments.append(trace)
+        cmd = [
+            self.args.daemon,
+            "--id", str(node.id),
+            "--n", str(self.args.n),
+            "--f", str(self.args.f),
+            "--rho", repr(self.args.rho),
+            "--delta-ms", repr(self.args.delta_ms),
+            "--sync-int-ms", repr(self.args.sync_int_ms),
+            "--rate", repr(node.rate),
+            "--offset-ms", repr(node.offset_ms),
+            "--adj-ms", repr(adj_ms),
+            "--duration-s", repr(duration_s),
+            "--base-port", str(self.base_port),
+            "--seed", str(self.args.seed * 1000 + node.id * 10 + seg),
+            "--epoch-ns", str(self.epoch_ns),
+            "--trace", trace,
+        ]
+        if self.args.loss > 0:
+            cmd += ["--loss", repr(self.args.loss)]
+        if self.args.delay_max_ms > 0:
+            cmd += ["--delay-max-ms", repr(self.args.delay_max_ms)]
+        node.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+    def reap(self, node, expect_killed=False):
+        """Waits for a daemon and parses its stats line."""
+        out, err = node.proc.communicate()
+        rc = node.proc.returncode
+        node.proc = None
+        if expect_killed:
+            return None
+        if rc != 0:
+            die(f"daemon {node.id} exited {rc}: {err.strip()[:500]}")
+        try:
+            report = json.loads(out.strip().splitlines()[-1])
+        except (ValueError, IndexError):
+            die(f"daemon {node.id} wrote no stats JSON: {out[:200]!r}")
+        node.reports.append(report)
+        return report
+
+    def kill_all(self):
+        for node in self.nodes:
+            if node.proc is not None and node.proc.poll() is None:
+                try:
+                    node.proc.kill()
+                    node.proc.wait()
+                except OSError:
+                    pass
+                node.proc = None
+
+    def segments_args(self, restart_adj_ms):
+        out = []
+        for node in self.nodes:
+            for seg, path in enumerate(node.segments):
+                adj = restart_adj_ms.get((node.id, seg), 0.0)
+                out += ["--node",
+                        f"{node.id}:{node.rate!r}:{node.offset_ms!r}:"
+                        f"{adj!r}:{path}"]
+        return out
+
+
+def interruptible_sleep(seconds):
+    """time.sleep retried across EINTR (pre-3.5 semantics can't recur,
+    but a paranoid bounded retry costs nothing)."""
+    deadline = time.monotonic() + seconds
+    for _ in range(64):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        try:
+            time.sleep(remaining)
+        except InterruptedError:
+            continue
+    return
+
+
+def run_adversary_waves(cluster, total_s):
+    """SIGSTOP/SIGCONT break-in waves: one victim at a time (<= f), held
+    for stop_s, round-robin across the cluster. The suspended daemon
+    stops answering pings — peers time out, exactly the paper's
+    unannounced fault — then recovers when SIGCONT arrives."""
+    args = cluster.args
+    start = time.monotonic()
+    victim = 0
+    wave = 0
+    while time.monotonic() - start < total_s - args.stop_s - 0.5:
+        interruptible_sleep(args.wave_period_s)
+        node = cluster.nodes[victim % args.n]
+        if node.proc is None or node.proc.poll() is not None:
+            victim += 1
+            continue
+        try:
+            node.proc.send_signal(signal.SIGSTOP)
+            interruptible_sleep(args.stop_s)
+            node.proc.send_signal(signal.SIGCONT)
+        except OSError:
+            pass  # the daemon ended mid-wave; nothing to resume
+        victim += 1
+        wave += 1
+    return wave
+
+
+def run_simulator_differential(args, workdir):
+    """Runs the simulator backend on matching parameters; returns its
+    measured stable deviation in ms."""
+    cfg = os.path.join(workdir, "sim_differential.conf")
+    horizon = max(args.duration_s, 60.0)
+    with open(cfg, "w") as f:
+        f.write(f"""# auto-generated by czsync_cluster for the rt differential
+n = {args.n}
+f = {args.f}
+rho = {args.rho!r}
+delta = {args.delta_ms!r}ms
+sync_int = {args.sync_int_ms!r}ms
+horizon = {horizon!r}s
+warmup = {min(10.0, horizon / 4)!r}s
+initial_spread = {args.offset_spread_ms!r}ms
+seed = {args.seed}
+""")
+    out_json = os.path.join(workdir, "sim_differential.json")
+    try:
+        rc = subprocess.run([args.cli, cfg, "--json", out_json],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True, timeout=120)
+    except subprocess.TimeoutExpired:
+        die("simulator differential run timed out")
+    if rc.returncode != 0:
+        die(f"czsync_cli failed: {rc.stderr.strip()[:500]}")
+    with open(out_json) as f:
+        record = json.load(f)
+    dev = record.get("metrics", {}).get("observer.max_stable_deviation_ms")
+    if dev is None:
+        die("czsync_cli JSON has no metrics.observer.max_stable_deviation_ms")
+    return float(dev)
+
+
+def run_envelope_check(cluster, restart_adj_ms, join_bound_ms=0.0):
+    args = cluster.args
+    out_json = os.path.join(cluster.workdir, "envelope.json")
+    cmd = [args.trace_tool, "envelope",
+           "--n", str(args.n), "--f", str(args.f),
+           "--rho", repr(args.rho), "--delta-ms", repr(args.delta_ms),
+           "--sync-int-ms", repr(args.sync_int_ms),
+           "--json", out_json]
+    if join_bound_ms > 0:
+        cmd += ["--join-bound-ms", repr(join_bound_ms)]
+    cmd += cluster.segments_args(restart_adj_ms)
+    rc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                        stderr=subprocess.STDOUT, text=True)
+    print(rc.stdout, end="")
+    if not os.path.exists(out_json):
+        die(f"envelope check produced no JSON (exit {rc.returncode})")
+    with open(out_json) as f:
+        report = json.load(f)
+    return rc.returncode, report
+
+
+def dump_divergence(cluster, report):
+    """On failure, keep the traces and print the records around the
+    first violation — the live-run analogue of the sweep auto-dump."""
+    keep = os.path.join(os.getcwd(), "rt_divergence_dump")
+    os.makedirs(keep, exist_ok=True)
+    for node in cluster.nodes:
+        for path in node.segments:
+            if os.path.exists(path):
+                shutil.copy(path, keep)
+    print(f"first divergence: {report.get('first_violation', '?')}")
+    print(f"traces kept in {keep}/")
+    for node in cluster.nodes:
+        for path in node.segments:
+            dst = os.path.join(keep, os.path.basename(path))
+            print(f"  inspect: {cluster.args.trace_tool} dump {dst}")
+
+
+def summarize(cluster, env_report, sim_dev_ms, metrics_out):
+    reports = [r for node in cluster.nodes for r in node.reports]
+    rounds = sum(r["rounds_completed"] for r in reports)
+    cpu = sum(r["cpu_sec"] for r in reports)
+    # Include CPU burned by SIGKILLed instances (no report of their own):
+    # getrusage(RUSAGE_CHILDREN) accumulates every reaped child.
+    ru = resource.getrusage(resource.RUSAGE_CHILDREN)
+    child_cpu = ru.ru_utime + ru.ru_stime
+    metrics = {
+        "rt.nodes": cluster.args.n,
+        "rt.rounds_total": rounds,
+        "rt.way_off_rounds": sum(r["way_off_rounds"] for r in reports),
+        "rt.responses_ok": sum(r["responses_ok"] for r in reports),
+        "rt.timeouts": sum(r["timeouts"] for r in reports),
+        "rt.udp_sent": sum(r["udp_sent"] for r in reports),
+        "rt.udp_received": sum(r["udp_received"] for r in reports),
+        "rt.shaped_drops": sum(r["shaped_drops"] for r in reports),
+        "rt.eintr_retries": sum(r["eintr_retries"] for r in reports),
+        "rt.decode_errors": sum(r["decode_errors"] for r in reports),
+        "rt.cpu_sec": round(child_cpu, 6),
+        "rt.cpu_per_round_ms":
+            round(1e3 * cpu / rounds, 6) if rounds else None,
+        "rt.max_stable_deviation_ms": env_report["max_stable_deviation_ms"],
+        "rt.max_join_latency_ms": env_report["max_join_latency_ms"],
+        "rt.gamma_ms": env_report["gamma_ms"],
+        "rt.sim_deviation_ms": sim_dev_ms,
+    }
+    print("cluster metrics:")
+    for k, v in metrics.items():
+        print(f"  {k} = {v}")
+    if metrics_out:
+        with open(metrics_out, "w") as f:
+            json.dump(metrics, f, indent=1, sort_keys=True)
+            f.write("\n")
+    return metrics
+
+
+def check_common(cluster, env_rc, env_report, sim_dev_ms):
+    """The pass/fail verdicts shared by every mode."""
+    failures = []
+    if env_rc == 2:
+        die("envelope checker failed to run")
+    if env_rc != 0:
+        failures.append("envelope/join check failed")
+    if sim_dev_ms is not None:
+        rt_dev = env_report["max_stable_deviation_ms"]
+        # The theorem bound is the hard gate (already checked); the
+        # differential catches the real backend drifting grossly away
+        # from the simulator's behaviour at the same parameters, with
+        # slack for scheduler noise real processes legitimately add.
+        allowed = max(3.0 * sim_dev_ms, sim_dev_ms + 50.0)
+        print(f"differential: rt {rt_dev:.3f} ms vs sim {sim_dev_ms:.3f} ms "
+              f"(allowed {allowed:.3f} ms, gamma {env_report['gamma_ms']:.3f} ms)")
+        if rt_dev > allowed:
+            failures.append(
+                f"rt deviation {rt_dev:.3f} ms exceeds simulator-differential "
+                f"allowance {allowed:.3f} ms")
+    for node in cluster.nodes:
+        for r in node.reports:
+            if r["rounds_completed"] == 0:
+                failures.append(f"node {node.id} completed no rounds")
+            if r["responses_ok"] == 0:
+                failures.append(f"node {node.id} got no valid responses")
+    return failures
+
+
+def mode_smoke(cluster):
+    args = cluster.args
+    for node in cluster.nodes:
+        cluster.spawn(node, args.duration_s)
+    for node in cluster.nodes:
+        cluster.reap(node)
+    env_rc, env_report = run_envelope_check(cluster, {})
+    sim_dev = run_simulator_differential(args, cluster.workdir)
+    return cluster, env_rc, env_report, sim_dev
+
+
+def mode_envelope(cluster):
+    args = cluster.args
+    for node in cluster.nodes:
+        cluster.spawn(node, args.duration_s)
+    waves = run_adversary_waves(cluster, args.duration_s)
+    print(f"adversary: {waves} suspend/resume waves")
+    for node in cluster.nodes:
+        cluster.reap(node)
+    # A suspended daemon misses rounds but its clock reconstruction stays
+    # exact (H is a pure function of tau; adj is frozen), so the standard
+    # envelope check applies across the waves. Join bound is widened by
+    # the stop length: a wave can land exactly on a round boundary.
+    env_rc, env_report = run_envelope_check(
+        cluster, {}, join_bound_ms=args.stop_s * 1e3 + 3e3 * (
+            (1 + args.rho) * args.sync_int_ms / 1e3 + 4 * args.delta_ms / 1e3))
+    sim_dev = run_simulator_differential(args, cluster.workdir)
+    return cluster, env_rc, env_report, sim_dev
+
+
+def mode_crash(cluster):
+    args = cluster.args
+    victim = cluster.nodes[args.n - 1]
+    crash_at = args.duration_s * 0.4
+    restart_gap = 2.0
+    for node in cluster.nodes:
+        cluster.spawn(node, args.duration_s)
+    interruptible_sleep(crash_at)
+    victim.proc.send_signal(signal.SIGKILL)
+    cluster.reap(victim, expect_killed=True)
+    print(f"crash: SIGKILLed node {victim.id} at ~{crash_at:.1f}s, "
+          f"restarting in {restart_gap:.1f}s with adj smashed "
+          f"{args.smash_adj_ms:.0f} ms")
+    interruptible_sleep(restart_gap)
+    remaining = args.duration_s - crash_at - restart_gap
+    cluster.spawn(victim, remaining, adj_ms=args.smash_adj_ms)
+    for node in cluster.nodes:
+        cluster.reap(node)
+    restart_adj = {(victim.id, 1): args.smash_adj_ms}
+    env_rc, env_report = run_envelope_check(cluster, restart_adj)
+    if env_rc == 0 and len(victim.segments) == 2:
+        print(f"recovery: node {victim.id} re-joined within "
+              f"{env_report['max_join_latency_ms']:.1f} ms of restart "
+              f"(bound {env_report['join_bound_ms']:.1f} ms)")
+    return cluster, env_rc, env_report, None
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--mode", choices=["smoke", "envelope", "crash"],
+                   default="smoke")
+    p.add_argument("--build-dir", default="build",
+                   help="build tree holding czsync_daemon/czsync_trace/"
+                        "czsync_cli")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--f", type=int, default=1)
+    p.add_argument("--rho", type=float, default=1e-4)
+    p.add_argument("--delta-ms", type=float, default=50.0)
+    p.add_argument("--sync-int-ms", type=float, default=2000.0)
+    p.add_argument("--duration-s", type=float, default=15.0)
+    p.add_argument("--offset-spread-ms", type=float, default=30.0)
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="outbound datagram loss probability")
+    p.add_argument("--delay-max-ms", type=float, default=0.0,
+                   help="uniform extra outbound delay bound")
+    p.add_argument("--wave-period-s", type=float, default=4.0)
+    p.add_argument("--stop-s", type=float, default=2.0,
+                   help="SIGSTOP hold per adversary wave")
+    p.add_argument("--smash-adj-ms", type=float, default=5000.0,
+                   help="crash mode: restart adjustment (way past WayOff)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", default="", help="write rt.* metrics JSON here")
+    p.add_argument("--keep-traces", action="store_true")
+    args = p.parse_args()
+
+    if args.n < 2 or args.f < 0 or args.f >= args.n:
+        die("need n >= 2 and 0 <= f < n")
+    for tool in ("czsync_daemon", "czsync_trace", "czsync_cli"):
+        path = os.path.join(args.build_dir, "tools", tool)
+        if not os.path.isfile(path) or not os.access(path, os.X_OK):
+            die(f"missing {path} (build the tree first, or pass --build-dir)")
+        setattr(args, {"czsync_daemon": "daemon", "czsync_trace": "trace_tool",
+                       "czsync_cli": "cli"}[tool], path)
+    if args.mode == "envelope" and args.loss == 0.0 and args.delay_max_ms == 0.0:
+        args.loss = 0.05
+        args.delay_max_ms = 10.0
+
+    probe_sockets()
+    workdir = tempfile.mkdtemp(prefix="czsync_cluster.")
+    cluster = Cluster(args, workdir)
+    print(f"cluster: n={args.n} f={args.f} base_port={cluster.base_port} "
+          f"mode={args.mode} duration={args.duration_s}s workdir={workdir}")
+    try:
+        mode_fn = {"smoke": mode_smoke, "envelope": mode_envelope,
+                   "crash": mode_crash}[args.mode]
+        cluster, env_rc, env_report, sim_dev = mode_fn(cluster)
+        failures = check_common(cluster, env_rc, env_report, sim_dev)
+        summarize(cluster, env_report, sim_dev, args.json)
+        if failures:
+            dump_divergence(cluster, env_report)
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            sys.exit(1)
+        print("PASS")
+    finally:
+        cluster.kill_all()
+        if args.keep_traces:
+            print(f"traces kept in {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except KeyboardInterrupt:
+        die("interrupted", 2)

@@ -1,0 +1,175 @@
+// czsync_daemon — one real clock-sync processor on localhost UDP.
+//
+// Runs the unmodified core::SyncProcess behind rt::Daemon: epoll +
+// timerfd drive the protocol's alarms at real-time pace, datagrams carry
+// the protocol messages, and the run is captured as a standard
+// czsync-trace-v1 file (valid on disk at every instant — SIGKILL-safe).
+//
+// A cluster is N of these processes sharing --epoch-ns (one
+// CLOCK_MONOTONIC reading, so all traces live on one tau axis) and a
+// --base-port; processor i binds base_port + i. On exit the daemon
+// prints a single JSON line of run stats to stdout for the harness.
+// tools/czsync_cluster.py launches, schedules adversary faults against,
+// and envelope-checks whole clusters.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "rt/clock.h"
+#include "rt/daemon.h"
+
+using namespace czsync;
+
+namespace {
+
+constexpr const char* kHelp = R"(czsync_daemon [OPTIONS]
+
+Required:
+  --id I              this processor's id, in [0, n)
+  --n N               cluster size
+  --epoch-ns T        CLOCK_MONOTONIC ns that is tau=0 (0 = read now;
+                      a cluster must share ONE value)
+
+Model / protocol:
+  --f F               fault budget (default 1)
+  --rho R             drift bound (default 1e-4)
+  --delta-ms D        delivery bound delta (default 50)
+  --sync-int-ms S     SyncInt in ms (default 2000)
+
+This node's perturbation:
+  --rate R            hardware clock rate, within [1/(1+rho), 1+rho]
+                      (default 1.0)
+  --offset-ms O       hardware clock offset at tau=0 (default 0)
+  --adj-ms A          initial logical adjustment (default 0; the crash
+                      test restarts with this smashed way off)
+
+Run control:
+  --duration-s D      stop after D seconds of tau (default 30; 0 = run
+                      until SIGTERM/SIGINT)
+  --base-port P       cluster port base (default 39000)
+  --seed S            RNG seed (default 1)
+  --trace FILE        write czsync-trace-v1 capture to FILE
+  --loss P            outbound datagram loss probability (default 0)
+  --delay-max-ms D    uniform extra outbound delay in [0, D] (default 0)
+  --fixed-phase       first round exactly SyncInt after start (default:
+                      randomized within [0, SyncInt), like the paper)
+
+Exit: 0 on a clean run, 2 on bad usage or an unrecoverable error.
+)";
+
+int fail(const std::string& why) {
+  std::fprintf(stderr, "czsync_daemon: %s\n", why.c_str());
+  std::fputs("run `czsync_daemon --help` for usage\n", stderr);
+  return 2;
+}
+
+void print_report(const rt::DaemonConfig& config,
+                  const rt::DaemonReport& r) {
+  std::printf(
+      "{\"id\": %d, \"rounds_completed\": %llu, \"rounds_started\": %llu, "
+      "\"way_off_rounds\": %llu, \"responses_ok\": %llu, \"timeouts\": %llu, "
+      "\"udp_sent\": %llu, \"udp_received\": %llu, \"shaped_drops\": %llu, "
+      "\"eagain_drops\": %llu, \"eintr_retries\": %llu, "
+      "\"decode_errors\": %llu, \"auth_drops\": %llu, "
+      "\"trace_records\": %llu, \"interrupted\": %s, \"cpu_sec\": %.6f, "
+      "\"tau_start\": %.6f, \"tau_end\": %.6f}\n",
+      config.id, static_cast<unsigned long long>(r.sync.rounds_completed),
+      static_cast<unsigned long long>(r.sync.rounds_started),
+      static_cast<unsigned long long>(r.sync.way_off_rounds),
+      static_cast<unsigned long long>(r.sync.responses_ok),
+      static_cast<unsigned long long>(r.sync.timeouts),
+      static_cast<unsigned long long>(r.udp.sent),
+      static_cast<unsigned long long>(r.udp.received),
+      static_cast<unsigned long long>(r.udp.shaped_drops),
+      static_cast<unsigned long long>(r.udp.eagain_drops),
+      static_cast<unsigned long long>(r.udp.eintr_retries +
+                                      r.loop_eintr_retries),
+      static_cast<unsigned long long>(r.udp.decode_errors),
+      static_cast<unsigned long long>(r.udp.auth_drops),
+      static_cast<unsigned long long>(r.trace_records),
+      r.interrupted ? "true" : "false", r.cpu_sec, r.tau_start, r.tau_end);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  rt::DaemonConfig config;
+  config.duration = Dur::seconds(30);
+  bool have_id = false;
+  bool have_n = false;
+  bool have_epoch = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    }
+    if (a == "--fixed-phase") {
+      config.random_phase = false;
+      continue;
+    }
+    if (i + 1 >= args.size()) return fail("missing value for " + a);
+    const std::string value = args[++i];
+    try {
+      if (a == "--id") {
+        config.id = std::stoi(value);
+        have_id = true;
+      } else if (a == "--n") {
+        config.model.n = std::stoi(value);
+        have_n = true;
+      } else if (a == "--f") {
+        config.model.f = std::stoi(value);
+      } else if (a == "--rho") {
+        config.model.rho = std::stod(value);
+      } else if (a == "--delta-ms") {
+        config.model.delta = Dur::millis(std::stod(value));
+      } else if (a == "--sync-int-ms") {
+        config.sync_int = Dur::millis(std::stod(value));
+      } else if (a == "--rate") {
+        config.drift_rate = std::stod(value);
+      } else if (a == "--offset-ms") {
+        config.clock_offset = Dur::millis(std::stod(value));
+      } else if (a == "--adj-ms") {
+        config.initial_adj = Dur::millis(std::stod(value));
+      } else if (a == "--duration-s") {
+        config.duration = Dur::seconds(std::stod(value));
+      } else if (a == "--base-port") {
+        config.base_port = std::stoi(value);
+      } else if (a == "--seed") {
+        config.seed = std::stoull(value);
+      } else if (a == "--trace") {
+        config.trace_path = value;
+      } else if (a == "--loss") {
+        config.shaping.loss = std::stod(value);
+      } else if (a == "--delay-max-ms") {
+        config.shaping.extra_delay_max = Dur::millis(std::stod(value));
+      } else if (a == "--epoch-ns") {
+        config.epoch_ns = std::stoll(value);
+        have_epoch = true;
+      } else {
+        return fail("unknown option '" + a + "'");
+      }
+    } catch (const std::exception&) {
+      return fail("bad value '" + value + "' for " + a);
+    }
+  }
+
+  if (!have_id || !have_n || !have_epoch) {
+    return fail("--id, --n and --epoch-ns are required");
+  }
+  if (config.epoch_ns == 0) config.epoch_ns = rt::Clock::monotonic_ns();
+
+  try {
+    rt::Daemon daemon(config);
+    const rt::DaemonReport report = daemon.run();
+    print_report(config, report);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "czsync_daemon: %s\n", e.what());
+    return 2;
+  }
+}

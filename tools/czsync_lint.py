@@ -69,7 +69,42 @@ LAYERS = {
         "adversary", "analysis", "broadcast", "clock", "core", "net",
         "proactive", "sim", "trace", "util",
     },
+    # rt/ is the real-sockets runtime: it hosts the unmodified protocol
+    # stack behind epoll/timerfd/UDP, so it sits at the top of the DAG
+    # next to mc/ and NOTHING may include rt/. It needs sim/ (beyond the
+    # ISSUE's core/clock/net/trace/util floor) because the embedded
+    # simulator is its deterministic timer substrate: HardwareClock and
+    # Network are constructed over sim::Simulator, and rt::Daemon drains
+    # sim events up to real tau between epoll wakeups.
+    "rt": {"clock", "core", "net", "sim", "trace", "util"},
 }
+
+# --------------------------------------------------------------------------
+# Real-kernel exception list. src/rt is the ONLY module that may talk to
+# the kernel's event/socket facilities (that is its whole job); everywhere
+# else these tokens are banned outright -- a syscall in src/core or src/sim
+# would silently break bit-identical replay. Wall-clock tokens are NOT
+# blanket-exempted even here: only rt::Clock should read the OS clock, so
+# rt clock reads still carry per-line `// lint: wall-clock` justifications.
+# --------------------------------------------------------------------------
+SYSCALL_EXEMPT_DIRS = (os.path.join("src", "rt"),)
+
+SYSCALL_TOKENS = [
+    (re.compile(r"\bepoll_(?:create1?|ctl|wait|pwait2?)\b"),
+     "epoll syscall: kernel event readiness is nondeterministic; only "
+     "src/rt/ may host a real event loop"),
+    (re.compile(r"\btimerfd_(?:create|settime|gettime)\b"),
+     "timerfd syscall: real timers belong to src/rt/; simulated code "
+     "schedules via sim::Simulator alarms"),
+    (re.compile(r"\bsignalfd\b|\bsigaction\s*\("),
+     "signal handling: process signals are nondeterministic; only "
+     "src/rt/ may observe them"),
+    (re.compile(r"\b(?:recvfrom|sendto|recvmsg|sendmsg)\s*\("),
+     "socket I/O: datagram timing/loss is nondeterministic; only "
+     "src/rt/ may use real sockets (simulated code goes through net/)"),
+    (re.compile(r"\bsocket\s*\(\s*AF_"),
+     "socket creation: only src/rt/ may open real sockets"),
+]
 
 # Trees scanned by default (relative to --root). tools/bench/tests/examples
 # sit above every src/ module and may include anything; they are still
@@ -269,6 +304,7 @@ def lint_cxx_file(path, root, findings, header_cache):
     in_src = module_of(rel) is not None or f"{os.sep}src{os.sep}" in rel
 
     # ---- nondet-token ----
+    syscall_exempt = any(d in rel for d in SYSCALL_EXEMPT_DIRS)
     for idx, line in enumerate(code):
         for pattern, message in NONDET_TOKENS:
             if not pattern.search(line):
@@ -281,6 +317,11 @@ def lint_cxx_file(path, root, findings, header_cache):
             if has_justification(raw, idx, "lint: wall-clock"):
                 continue
             findings.add(rel, idx + 1, "nondet-token", message)
+        if syscall_exempt:
+            continue  # the documented src/rt exception (see SYSCALL_TOKENS)
+        for pattern, message in SYSCALL_TOKENS:
+            if pattern.search(line):
+                findings.add(rel, idx + 1, "nondet-token", message)
 
     # ---- unordered-iter ----
     names = set(unordered_names(code))

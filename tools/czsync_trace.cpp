@@ -18,10 +18,12 @@
 #include <exception>
 #include <iostream>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/message.h"
+#include "rt/envelope.h"
 #include "trace/diff.h"
 #include "trace/format.h"
 #include "trace/record.h"
@@ -38,6 +40,9 @@ Commands:
   stats FILE            per-kind record counts, drop header, time span
   diff A B              report the first divergent record with context;
                         exit 0 when identical, 1 when not
+  envelope              reconstruct logical clocks from per-daemon rt
+                        traces and check the Theorem 5 envelope + re-join
+                        bounds; exit 0 on pass, 1 on violation
 
 Options (dump/filter):
   --kind K     keep only records of kind K (EventFire, MsgSend,
@@ -49,6 +54,18 @@ Options (dump/filter):
 
 Options (diff):
   --context N  shared records printed before the divergence (default 3)
+
+Options (envelope):
+  --node SPEC  one daemon capture segment, repeatable; SPEC is
+               id:rate:offset_ms:adj_ms:PATH (the launch perturbation of
+               the node plus the trace it wrote; a restarted daemon
+               contributes a second --node with its restart adj)
+  --n N --f F --rho R --delta-ms D --sync-int-ms S
+               the run's (model, protocol) parameters; gamma is computed
+               from them via TheoremBounds
+  --join-bound-ms B   re-join latency bound (default 3*T)
+  --sample-ms P       sampling grid period (default 100 ms)
+  --json FILE         also write the report as JSON
 
 Traces are produced by `czsync_cli --trace`, `czsync_bench --trace`, or
 the sweep flight recorder (failing seeds auto-dump).
@@ -119,6 +136,79 @@ int cmd_diff(const std::string& a_path, const std::string& b_path,
   return trace::print_diff(std::cout, a, b, context, net::body_name) ? 0 : 1;
 }
 
+/// Parses "id:rate:offset_ms:adj_ms:PATH" (PATH may itself contain ':'
+/// only after the fourth separator — it is the tail).
+rt::NodeSegment parse_node_spec(const std::string& spec) {
+  rt::NodeSegment seg;
+  std::size_t pos = 0;
+  const auto next_field = [&]() {
+    const std::size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("--node needs id:rate:offset_ms:adj_ms:PATH");
+    }
+    const std::string field = spec.substr(pos, colon - pos);
+    pos = colon + 1;
+    return field;
+  };
+  seg.id = std::stoi(next_field());
+  seg.rate = std::stod(next_field());
+  seg.offset_sec = std::stod(next_field()) * 1e-3;
+  seg.adj0_sec = std::stod(next_field()) * 1e-3;
+  seg.path = spec.substr(pos);
+  if (seg.path.empty()) {
+    throw std::invalid_argument("--node spec has an empty trace path");
+  }
+  return seg;
+}
+
+struct EnvelopeOptions {
+  rt::EnvelopeParams params;
+  std::vector<rt::NodeSegment> segments;
+  std::string json_path;
+};
+
+int cmd_envelope(const EnvelopeOptions& opt) {
+  const rt::EnvelopeReport report =
+      rt::check_envelope(opt.params, opt.segments);
+  std::printf("gamma:            %.3f ms\n", report.gamma.ms());
+  std::printf("join bound:       %.3f ms\n", report.join_bound.ms());
+  std::printf("max deviation:    %.3f ms (joined nodes, %llu samples)\n",
+              report.max_stable_deviation.ms(),
+              static_cast<unsigned long long>(report.samples));
+  std::printf("max join latency: %.3f ms\n", report.max_join_latency.ms());
+  std::printf("rounds:           %llu (%llu way-off)\n",
+              static_cast<unsigned long long>(report.rounds_total),
+              static_cast<unsigned long long>(report.way_off_rounds));
+  if (!opt.json_path.empty()) {
+    FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "czsync_trace: cannot write '%s'\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        f,
+        "{\"gamma_ms\": %.6f, \"join_bound_ms\": %.6f,\n"
+        " \"max_stable_deviation_ms\": %.6f, \"max_join_latency_ms\": %.6f,\n"
+        " \"samples\": %llu, \"rounds_total\": %llu, \"way_off_rounds\": %llu,\n"
+        " \"violations\": %d, \"pass\": %s}\n",
+        report.gamma.ms(), report.join_bound.ms(),
+        report.max_stable_deviation.ms(), report.max_join_latency.ms(),
+        static_cast<unsigned long long>(report.samples),
+        static_cast<unsigned long long>(report.rounds_total),
+        static_cast<unsigned long long>(report.way_off_rounds),
+        report.violations, report.pass ? "true" : "false");
+    std::fclose(f);
+  }
+  if (!report.pass) {
+    std::printf("FAIL (%d violations): %s\n", report.violations,
+                report.first_violation.c_str());
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +221,7 @@ int main(int argc, char** argv) {
 
   Filter filter;
   std::size_t context = 3;
+  EnvelopeOptions env;
   std::vector<std::string> files;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -164,6 +255,24 @@ int main(int argc, char** argv) {
         filter.to = std::stod(value);
       } else if (take_value("--context", &value)) {
         context = static_cast<std::size_t>(std::stoul(value));
+      } else if (take_value("--node", &value)) {
+        env.segments.push_back(parse_node_spec(value));
+      } else if (take_value("--n", &value)) {
+        env.params.model.n = std::stoi(value);
+      } else if (take_value("--f", &value)) {
+        env.params.model.f = std::stoi(value);
+      } else if (take_value("--rho", &value)) {
+        env.params.model.rho = std::stod(value);
+      } else if (take_value("--delta-ms", &value)) {
+        env.params.model.delta = Dur::millis(std::stod(value));
+      } else if (take_value("--sync-int-ms", &value)) {
+        env.params.sync_int = Dur::millis(std::stod(value));
+      } else if (take_value("--join-bound-ms", &value)) {
+        env.params.join_bound = Dur::millis(std::stod(value));
+      } else if (take_value("--sample-ms", &value)) {
+        env.params.sample_period = Dur::millis(std::stod(value));
+      } else if (take_value("--json", &value)) {
+        env.json_path = value;
       } else if (a.rfind("--", 0) == 0) {
         return fail("unknown option '" + a + "'");
       } else {
@@ -186,6 +295,15 @@ int main(int argc, char** argv) {
     if (cmd == "diff") {
       if (files.size() != 2) return fail("diff needs exactly two files: A B");
       return cmd_diff(files[0], files[1], context);
+    }
+    if (cmd == "envelope") {
+      if (env.segments.empty()) {
+        return fail("envelope needs at least one --node spec");
+      }
+      if (!files.empty()) {
+        return fail("envelope takes traces via --node, not positionally");
+      }
+      return cmd_envelope(env);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "czsync_trace: %s\n", e.what());
