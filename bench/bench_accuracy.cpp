@@ -33,19 +33,19 @@ void register_E5(analysis::ExperimentRegistry& reg) {
                Case{"wander drift, no faults", true, false},
                Case{"wander drift, mobile smash", true, true}}) {
            auto s = wan_scenario(5);
-           s.initial_spread = Dur::millis(20);
-           s.horizon = Dur::hours(10);
-           s.warmup = Dur::hours(1);
+           s.initial_spread = Duration::millis(20);
+           s.horizon = Duration::hours(10);
+           s.warmup = Duration::hours(1);
            if (c.wander) {
              s.drift = analysis::Scenario::DriftKind::Wander;
-             s.wander_interval = Dur::minutes(2);
+             s.wander_interval = Duration::minutes(2);
            }
            if (c.adversary) {
              s.schedule = adversary::Schedule::random_mobile(
-                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-                 Dur::minutes(20), RealTime(8.5 * 3600.0), Rng(55));
+                 s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+                 Duration::minutes(20), SimTau(8.5 * 3600.0), Rng(55));
              s.strategy = "clock-smash-random";
-             s.strategy_scale = Dur::seconds(30);
+             s.strategy_scale = Duration::seconds(30);
            }
            const auto r = ctx.run(s, c.name);
 

@@ -32,14 +32,14 @@ void register_E6(analysis::ExperimentRegistry& reg) {
              auto s = wan_scenario(6);
              s.model.n = n;
              s.model.f = f;
-             s.horizon = Dur::hours(8);
+             s.horizon = Duration::hours(8);
              s.schedule = adversary::Schedule::random_mobile(
-                 n, f, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-                 RealTime(6.5 * 3600.0), Rng(600 + n));
+                 n, f, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+                 SimTau(6.5 * 3600.0), Rng(600 + n));
              s.strategy = strategy;
              s.strategy_scale = std::string(strategy) == "delayed-reply"
-                                    ? Dur::millis(80)
-                                    : Dur::seconds(30);
+                                    ? Duration::millis(80)
+                                    : Duration::seconds(30);
              const auto r = ctx.run(
                  s, "n=" + std::to_string(n) + " " + strategy);
              char pct[32];

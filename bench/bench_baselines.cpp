@@ -17,10 +17,10 @@ namespace czsync::bench {
 namespace {
 
 struct Row {
-  Dur steady_dev;
-  Dur steady_max_adj;
-  Dur recovery;
-  Dur attack_dev;
+  Duration steady_dev;
+  Duration steady_max_adj;
+  Duration recovery;
+  Duration attack_dev;
   bool attack_recovered;
 };
 
@@ -29,9 +29,9 @@ Row run_all(analysis::ExperimentContext& ctx, const std::string& conv) {
   {  // steady state, no faults
     auto s = wan_scenario(8);
     s.convergence = conv;
-    s.initial_spread = Dur::millis(20);
-    s.horizon = Dur::hours(6);
-    s.warmup = Dur::hours(1);
+    s.initial_spread = Duration::millis(20);
+    s.horizon = Duration::hours(6);
+    s.warmup = Duration::hours(1);
     const auto r = ctx.run(s, conv + " steady");
     out.steady_dev = r.max_stable_deviation;
     out.steady_max_adj = r.max_stable_discontinuity;
@@ -39,26 +39,26 @@ Row run_all(analysis::ExperimentContext& ctx, const std::string& conv) {
   {  // recovery from a 10-minute clock smash
     auto s = wan_scenario(8);
     s.convergence = conv;
-    s.initial_spread = Dur::millis(20);
-    s.warmup = Dur::zero();
-    s.horizon = Dur::hours(3);
-    s.sample_period = Dur::seconds(5);
+    s.initial_spread = Duration::millis(20);
+    s.warmup = Duration::zero();
+    s.horizon = Duration::hours(3);
+    s.sample_period = Duration::seconds(5);
     s.schedule =
-        adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+        adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
     s.strategy = "clock-smash";
-    s.strategy_scale = Dur::minutes(10);
+    s.strategy_scale = Duration::minutes(10);
     const auto r = ctx.run(s, conv + " recovery");
-    out.recovery = r.all_recovered() ? r.max_recovery_time() : Dur::infinity();
+    out.recovery = r.all_recovered() ? r.max_recovery_time() : Duration::infinity();
   }
   {  // full mobile two-faced attack
     auto s = wan_scenario(8);
     s.convergence = conv;
-    s.horizon = Dur::hours(8);
+    s.horizon = Duration::hours(8);
     s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(88));
+        s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+        Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(88));
     s.strategy = "two-faced";
-    s.strategy_scale = Dur::seconds(30);
+    s.strategy_scale = Duration::seconds(30);
     const auto r = ctx.run(s, conv + " attack");
     out.attack_dev = r.max_stable_deviation;
     out.attack_recovered = r.all_recovered();

@@ -28,15 +28,15 @@ void register_E9(analysis::ExperimentRegistry& reg) {
                             "measured max dev [ms]", "bound holds"});
            for (int liars = 0; liars <= 4; ++liars) {
              auto s = wan_scenario(9);
-             s.horizon = Dur::hours(2);
-             s.warmup = Dur::zero();
-             s.initial_spread = Dur::millis(20);
+             s.horizon = Duration::hours(2);
+             s.warmup = Duration::zero();
+             s.initial_spread = Duration::millis(20);
              std::vector<adversary::ControlInterval> ivs;
              for (net::ProcId p = 0; p < liars; ++p)
-               ivs.push_back({p, RealTime(600.0), RealTime(2 * 3600.0)});
+               ivs.push_back({p, SimTau(600.0), SimTau(2 * 3600.0)});
              s.schedule = adversary::Schedule(ivs);
              s.strategy = "two-faced";
-             s.strategy_scale = Dur::seconds(30);
+             s.strategy_scale = Duration::seconds(30);
              const auto r = ctx.run(s, "liars=" + std::to_string(liars));
              const bool in_budget = liars <= s.model.f;
              table.row({std::to_string(liars), in_budget ? "yes" : "NO",
@@ -57,9 +57,9 @@ void register_E9(analysis::ExperimentRegistry& reg) {
                             "all recovered"});
            for (double gap : {4000.0, 3600.0, 1800.0, 600.0, 60.0}) {
              auto s = wan_scenario(10);
-             s.horizon = Dur::hours(8);
-             s.warmup = Dur::zero();
-             s.initial_spread = Dur::millis(20);
+             s.horizon = Duration::hours(8);
+             s.warmup = Duration::zero();
+             s.initial_spread = Duration::millis(20);
              // Hand-built sweep: 2 slots, dwell 300 s, rest `gap` between a
              // slot's leave and its next break-in.
              std::vector<adversary::ControlInterval> ivs;
@@ -67,14 +67,14 @@ void register_E9(analysis::ExperimentRegistry& reg) {
                double t = 600.0 + slot * 150.0;
                net::ProcId victim = static_cast<net::ProcId>(slot * 3);
                while (t < 6.5 * 3600.0) {
-                 ivs.push_back({victim, RealTime(t), RealTime(t + 300.0)});
+                 ivs.push_back({victim, SimTau(t), SimTau(t + 300.0)});
                  t += 300.0 + gap;
                  victim = static_cast<net::ProcId>((victim + 1) % s.model.n);
                }
              }
              s.schedule = adversary::Schedule(ivs);
              s.strategy = "clock-smash";
-             s.strategy_scale = Dur::millis(900);  // just under WayOff: slow halving
+             s.strategy_scale = Duration::millis(900);  // just under WayOff: slow halving
              const auto r = ctx.run(s, "gap=" + num(gap));
              table.row({num(gap),
                         s.schedule.is_f_limited(s.model.f,

@@ -36,9 +36,9 @@ analysis::RunResult run(analysis::ExperimentContext& ctx,
   auto s = wan_scenario(seed);
   s.protocol = protocol;
   s.topology = topo;
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::minutes(40);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::minutes(40);
   if (topo == analysis::Scenario::TopologyKind::Ring) s.model.n = 10;
   const std::string label =
       protocol + " f=" + std::to_string(f_actual) +
@@ -59,10 +59,10 @@ analysis::RunResult run(analysis::ExperimentContext& ctx,
       // for the middle two hours (f-limited for f = 3, not for f = 2).
       std::vector<adversary::ControlInterval> ivs;
       for (net::ProcId p = 0; p < f_actual; ++p)
-        ivs.push_back({p, RealTime(3600.0), RealTime(3 * 3600.0)});
+        ivs.push_back({p, SimTau(3600.0), SimTau(3 * 3600.0)});
       s.schedule = adversary::Schedule(ivs);
       s.strategy = strategy;
-      s.strategy_scale = Dur::seconds(30);
+      s.strategy_scale = Duration::seconds(30);
       return ctx.run(s, label);
     }
     if (strategy == std::string("sig-replay")) {
@@ -72,20 +72,20 @@ analysis::RunResult run(analysis::ExperimentContext& ctx,
       double t = 1000.0;
       int p = 0;
       while (t + 900.0 < (s.horizon.sec() - 1800.0)) {
-        ivs.push_back({p % s.model.n, RealTime(t), RealTime(t + 600.0)});
+        ivs.push_back({p % s.model.n, SimTau(t), SimTau(t + 600.0)});
         ivs.push_back(
-            {(p + 3) % s.model.n, RealTime(t + 300.0), RealTime(t + 900.0)});
+            {(p + 3) % s.model.n, SimTau(t + 300.0), SimTau(t + 900.0)});
         t += 900.0 + s.model.delta_period.sec() + 60.0;
         ++p;
       }
       s.schedule = adversary::Schedule(ivs);
     } else {
       s.schedule = adversary::Schedule::random_mobile(
-          s.model.n, f_actual, s.model.delta_period, Dur::minutes(5),
-          Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(seed + 5));
+          s.model.n, f_actual, s.model.delta_period, Duration::minutes(5),
+          Duration::minutes(20), SimTau(4.5 * 3600.0), Rng(seed + 5));
     }
     s.strategy = strategy;
-    s.strategy_scale = Dur::seconds(30);
+    s.strategy_scale = Duration::seconds(30);
   }
   return ctx.run(s, label);
 }

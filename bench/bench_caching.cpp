@@ -26,22 +26,22 @@ namespace czsync::bench {
 namespace {
 
 analysis::RunResult run(analysis::ExperimentContext& ctx, bool cached,
-                        Dur refresh, bool recovery_case, std::uint64_t seed) {
+                        Duration refresh, bool recovery_case, std::uint64_t seed) {
   auto s = wan_scenario(seed);
   s.cached_estimation = cached;
   s.cache_refresh = refresh;
-  s.initial_spread = Dur::millis(50);
+  s.initial_spread = Duration::millis(50);
   if (recovery_case) {
-    s.horizon = Dur::hours(3);
-    s.warmup = Dur::zero();
-    s.sample_period = Dur::seconds(5);
+    s.horizon = Duration::hours(3);
+    s.warmup = Duration::zero();
+    s.sample_period = Duration::seconds(5);
     s.schedule =
-        adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+        adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
     s.strategy = "clock-smash";
-    s.strategy_scale = Dur::minutes(10);
+    s.strategy_scale = Duration::minutes(10);
   } else {
-    s.horizon = Dur::hours(6);
-    s.warmup = Dur::hours(1);
+    s.horizon = Duration::hours(6);
+    s.warmup = Duration::hours(1);
   }
   return ctx.run(s, std::string(cached ? "cached " : "fresh ") +
                         (recovery_case ? "recovery" : "steady"));
@@ -61,14 +61,14 @@ void register_E19(analysis::ExperimentRegistry& reg) {
          struct Case {
            const char* label;
            bool cached;
-           Dur refresh;
+           Duration refresh;
          };
          for (const Case c :
-              {Case{"fresh (the paper)", false, Dur::seconds(1)},
-               Case{"cached, refresh 10 s", true, Dur::seconds(10)},
-               Case{"cached, refresh 30 s", true, Dur::seconds(30)},
-               Case{"cached, refresh 150 s", true, Dur::seconds(150)},
-               Case{"cached, refresh 300 s", true, Dur::seconds(300)}}) {
+              {Case{"fresh (the paper)", false, Duration::seconds(1)},
+               Case{"cached, refresh 10 s", true, Duration::seconds(10)},
+               Case{"cached, refresh 30 s", true, Duration::seconds(30)},
+               Case{"cached, refresh 150 s", true, Duration::seconds(150)},
+               Case{"cached, refresh 300 s", true, Duration::seconds(300)}}) {
            const auto steady = run(ctx, c.cached, c.refresh, false, 19);
            const auto recov = run(ctx, c.cached, c.refresh, true, 19);
            // Each oscillation bounce is a WayOff-branch jump: with fresh

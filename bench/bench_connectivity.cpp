@@ -76,12 +76,12 @@ void register_E16(analysis::ExperimentRegistry& reg) {
            s.model.f = f;
            s.topology = analysis::Scenario::TopologyKind::Custom;
            s.custom_topology = topo;
-           s.horizon = Dur::hours(8);
+           s.horizon = Duration::hours(8);
            s.schedule = adversary::Schedule::random_mobile(
-               s.model.n, f, s.model.delta_period, Dur::minutes(5),
-               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(171));
+               s.model.n, f, s.model.delta_period, Duration::minutes(5),
+               Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(171));
            s.strategy = "two-faced";
-           s.strategy_scale = Dur::seconds(30);
+           s.strategy_scale = Duration::seconds(30);
            scenarios.push_back(std::move(s));
          }
 

@@ -22,10 +22,10 @@ void register_E2(analysis::ExperimentRegistry& reg) {
          // D0 just inside WayOff (~0.96 s): every round takes the normal
          // branch, so the series shows the pure Lemma-7 contraction. (The
          // escape branch for spreads beyond WayOff is exercised by E3.)
-         s.initial_spread = Dur::millis(800);
-         s.horizon = Dur::hours(2);
-         s.warmup = Dur::zero();
-         s.sample_period = Dur::seconds(15);
+         s.initial_spread = Duration::millis(800);
+         s.horizon = Duration::hours(2);
+         s.warmup = Duration::zero();
+         s.sample_period = Duration::seconds(15);
          s.record_series = true;
          const auto r = ctx.run(s);
 
@@ -37,7 +37,7 @@ void register_E2(analysis::ExperimentRegistry& reg) {
            const double target = static_cast<double>(k) * T;
            const analysis::Sample* pick = nullptr;
            for (const auto& smp : r.series) {
-             if (smp.t.sec() >= target) {
+             if (smp.t.raw() >= target) {
                pick = &smp;
                break;
              }
@@ -54,7 +54,7 @@ void register_E2(analysis::ExperimentRegistry& reg) {
            }
            char tt[16];
            std::snprintf(tt, sizeof tt, "%zu", k);
-           table.row({tt, ms(Dur::seconds(spread)), ratio});
+           table.row({tt, ms(Duration::seconds(spread)), ratio});
            prev = spread;
            if (k >= 20) break;
          }

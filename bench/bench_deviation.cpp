@@ -28,12 +28,12 @@ void register_E1(analysis::ExperimentRegistry& reg) {
            auto s = wan_scenario(/*seed=*/n);
            s.model.n = n;
            s.model.f = core::ModelParams::max_f(n);
-           s.horizon = Dur::hours(8);
+           s.horizon = Duration::hours(8);
            s.schedule = adversary::Schedule::random_mobile(
-               n, s.model.f, s.model.delta_period, Dur::minutes(5),
-               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(1000 + n));
+               n, s.model.f, s.model.delta_period, Duration::minutes(5),
+               Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(1000 + n));
            s.strategy = "clock-smash-random";
-           s.strategy_scale = Dur::minutes(10);
+           s.strategy_scale = Duration::minutes(10);
            const auto r = ctx.run(s, "n=" + std::to_string(n));
 
            char margin[32];
@@ -42,7 +42,7 @@ void register_E1(analysis::ExperimentRegistry& reg) {
            table.row({std::to_string(n), std::to_string(s.model.f),
                       ms(r.bounds.max_deviation), ms(r.max_stable_deviation),
                       ms(r.mean_stable_deviation),
-                      ms(Dur::seconds(r.final_stable_deviation)), margin,
+                      ms(Duration::seconds(r.final_stable_deviation)), margin,
                       std::to_string(r.break_ins),
                       r.all_recovered() ? "all" : "NO"});
          }

@@ -26,13 +26,13 @@ analysis::RunResult run(analysis::ExperimentContext& ctx, double rho,
   auto s = wan_scenario(seed);
   s.model.rho = rho;
   s.rate_discipline = discipline;
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(8);
-  s.warmup = Dur::hours(1);
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(8);
+  s.warmup = Duration::hours(1);
   if (attack) {
     s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed + 131));
+        s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+        Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(seed + 131));
     s.strategy = "max-pull";
   }
   return ctx.run(s, "rho=" + num(rho) +
@@ -60,7 +60,7 @@ void register_E13(analysis::ExperimentRegistry& reg) {
              std::snprintf(imp, sizeof imp, "%.2fx",
                            off.max_stable_deviation /
                                std::max(on.max_stable_deviation,
-                                        Dur::micros(1)));
+                                        Duration::micros(1)));
              table.row({num(rho), attack ? "max-pull" : "-",
                         ms(off.max_stable_deviation),
                         ms(on.max_stable_deviation), imp,

@@ -38,7 +38,7 @@ PingStats measure(const net::DelayModel& dm, int rounds, int best_of_k,
   const double rho = 1e-4;
   clk::HardwareClock hw_p(sim, clk::make_constant_drift(rho), Rng(seed));
   clk::HardwareClock hw_q(sim, clk::make_constant_drift(rho), Rng(seed + 1),
-                          ClockTime(3.0));  // true offset ~3 s
+                          HwTime(3.0));  // true offset ~3 s
   clk::LogicalClock cp(hw_p), cq(hw_q);
   Rng rng(seed + 2);
 
@@ -46,22 +46,22 @@ PingStats measure(const net::DelayModel& dm, int rounds, int best_of_k,
   for (int i = 0; i < rounds; ++i) {
     core::Estimate best = core::Estimate::timeout();
     for (int k = 0; k < best_of_k; ++k) {
-      const ClockTime s_local = cp.read();
-      const Dur fwd = dm.sample(rng, 0, 1);
+      const LogicalTime s_local = cp.read();
+      const Duration fwd = dm.sample(rng, 0, 1);
       sim.run_until(sim.now() + fwd);
-      const ClockTime c_remote = cq.read();
-      const Dur back = dm.sample(rng, 1, 0);
+      const LogicalTime c_remote = cq.read();
+      const Duration back = dm.sample(rng, 1, 0);
       sim.run_until(sim.now() + back);
-      const ClockTime r_local = cp.read();
+      const LogicalTime r_local = cp.read();
       const auto e = core::estimate_from_ping(s_local, c_remote, r_local);
       if (e.a < best.a) best = e;
     }
-    const double truth = cq.read().sec() - cp.read().sec();
+    const double truth = cq.read().raw() - cp.read().raw();
     const double err = std::abs(best.d.sec() - truth);
     out.err.add(err * 1e3);
     out.bound.add(best.a.sec() * 1e3);
     if (err > best.a.sec() + 1e-9) ++out.violations;
-    sim.run_until(sim.now() + Dur::seconds(rng.uniform(0.5, 2.0)));
+    sim.run_until(sim.now() + Duration::seconds(rng.uniform(0.5, 2.0)));
   }
   return out;
 }
@@ -75,8 +75,8 @@ void register_E11(analysis::ExperimentRegistry& reg) {
        "[d-a, d+a] and a <= eps = delta(1+rho); best-of-k pings "
        "shrink the error at the cost of timeliness",
        [](analysis::ExperimentContext& ctx) {
-         const Dur delta = Dur::millis(50);
-         const Dur eps = core::reading_error_bound(1e-4, delta);
+         const Duration delta = Duration::millis(50);
+         const Duration eps = core::reading_error_bound(1e-4, delta);
          std::printf("delta = %s ms, eps = %s ms\n\n", ms(delta).c_str(),
                      ms(eps).c_str());
 

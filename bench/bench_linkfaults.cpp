@@ -40,14 +40,14 @@ void register_E14(analysis::ExperimentRegistry& reg) {
                             "bound holds"});
            for (int k = 0; k <= 6; ++k) {
              auto s = wan_scenario(14);
-             s.initial_spread = Dur::millis(20);
-             s.horizon = Dur::hours(4);
-             s.warmup = Dur::zero();
+             s.initial_spread = Duration::millis(20);
+             s.horizon = Duration::hours(4);
+             s.warmup = Duration::zero();
              s.record_series = true;
              std::vector<net::ProcId> peers;
              for (int q = 1; q <= k; ++q) peers.push_back(q);
              s.link_faults = net::LinkFaultSet::isolate_partially(
-                 0, peers, RealTime(600.0), RealTime(4 * 3600.0));
+                 0, peers, SimTau(600.0), SimTau(4 * 3600.0));
              const auto r = ctx.run(s, "cut=" + std::to_string(k));
              // Processor 0's distance from the median of the others at the end.
              const auto& last = r.series.back();
@@ -60,7 +60,7 @@ void register_E14(analysis::ExperimentRegistry& reg) {
              // f+1 finite overestimates: self + (6-k) peers >= f+1  <=>  k <= 4.
              const bool enough = (s.model.n - 1 - k) + 1 >= s.model.f + 1;
              table.row({std::to_string(k), enough ? "yes" : "NO",
-                        ms(r.max_stable_deviation), ms(Dur::seconds(p0_err)),
+                        ms(r.max_stable_deviation), ms(Duration::seconds(p0_err)),
                         r.max_stable_deviation < r.bounds.max_deviation
                             ? "yes"
                             : "BROKEN"});
@@ -75,16 +75,16 @@ void register_E14(analysis::ExperimentRegistry& reg) {
                             "link drops", "all recovered", "bound holds"});
            for (int flaps : {0, 1, 2, 4, 8}) {
              auto s = wan_scenario(15);
-             s.horizon = Dur::hours(8);
+             s.horizon = Duration::hours(8);
              s.schedule = adversary::Schedule::random_mobile(
-                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-                 Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(151));
+                 s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+                 Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(151));
              s.strategy = "clock-smash-random";
-             s.strategy_scale = Dur::minutes(5);
+             s.strategy_scale = Duration::minutes(5);
              if (flaps > 0) {
                s.link_faults = net::LinkFaultSet::random_flapping(
-                   s.model.n, flaps, Dur::minutes(2), Dur::minutes(10),
-                   Dur::minutes(5), RealTime(8 * 3600.0), Rng(152));
+                   s.model.n, flaps, Duration::minutes(2), Duration::minutes(10),
+                   Duration::minutes(5), SimTau(8 * 3600.0), Rng(152));
              }
              const auto r = ctx.run(s, "flaps=" + std::to_string(flaps));
              table.row({std::to_string(flaps), ms(r.max_stable_deviation),

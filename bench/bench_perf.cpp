@@ -32,7 +32,7 @@ struct ChainEvent {
   long* count;
   long limit;
   void operator()() const {
-    if (++*count < limit) sim->schedule_after(Dur::millis(1), *this);
+    if (++*count < limit) sim->schedule_after(Duration::millis(1), *this);
   }
 };
 
@@ -41,8 +41,8 @@ void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
     long n = 0;
-    sim.schedule_after(Dur::millis(1), ChainEvent{&sim, &n, state.range(0)});
-    sim.run_until(RealTime::infinity());
+    sim.schedule_after(Duration::millis(1), ChainEvent{&sim, &n, state.range(0)});
+    sim.run_until(SimTau::infinity());
     benchmark::DoNotOptimize(n);
     inline_actions = sim.queue_stats().inline_actions;
     fallback_allocs = sim.queue_stats().fallback_allocs;
@@ -67,15 +67,15 @@ void BM_EventQueueChurnCancel(benchmark::State& state) {
     for (long i = 0; i < n; ++i) {
       auto& slot = timer[i & 63];
       if (slot != sim::kNoEvent) q.cancel(slot);
-      slot = q.push(RealTime(static_cast<double>(i)),
+      slot = q.push(SimTau(static_cast<double>(i)),
                     [&fired] { ++fired; });
       if ((i & 7) == 0 && !q.empty()) {
-        RealTime t{};
+        SimTau t{};
         q.pop(t)();
       }
     }
     while (!q.empty()) {
-      RealTime t{};
+      SimTau t{};
       q.pop(t)();
     }
     benchmark::DoNotOptimize(fired);
@@ -106,7 +106,7 @@ void BM_MessageFanout(benchmark::State& state) {
   // Simulated time simply keeps advancing across iterations.
   sim::Simulator sim;
   net::Network network(sim, net::Topology::full_mesh(n),
-                       net::make_uniform_delay(Dur::millis(50)), Rng(42));
+                       net::make_uniform_delay(Duration::millis(50)), Rng(42));
   for (net::ProcId p = 0; p < n; ++p) {
     network.register_handler(p, [&delivered](const net::Message&) {
       ++delivered;
@@ -120,7 +120,7 @@ void BM_MessageFanout(benchmark::State& state) {
       }
       fo.commit();
     }
-    sim.run_until(RealTime::infinity());
+    sim.run_until(SimTau::infinity());
     benchmark::DoNotOptimize(delivered);
   }
   const std::uint64_t fallback_allocs = sim.queue_stats().fallback_allocs;
@@ -155,12 +155,12 @@ void BM_ConvergenceFunction(benchmark::State& state) {
   Rng rng(7);
   for (std::size_t i = 0; i < n; ++i) {
     const double d = rng.uniform(-0.1, 0.1);
-    est.push_back({Dur::seconds(d + 0.05), Dur::seconds(d - 0.05)});
+    est.push_back({Duration::seconds(d + 0.05), Duration::seconds(d - 0.05)});
   }
   core::BhhnConvergence fn;
   const int f = (static_cast<int>(n) - 1) / 3;
   for (auto _ : state)
-    benchmark::DoNotOptimize(fn.apply(est, f, Dur::seconds(1)));
+    benchmark::DoNotOptimize(fn.apply(est, f, Duration::seconds(1)));
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ConvergenceFunction)->Arg(7)->Arg(31)->Arg(101);
@@ -173,11 +173,11 @@ void BM_SimulatedHour(benchmark::State& state) {
     s.model.n = n;
     s.model.f = core::ModelParams::max_f(n);
     s.model.rho = 1e-4;
-    s.model.delta = Dur::millis(50);
-    s.model.delta_period = Dur::hours(1);
-    s.sync_int = Dur::minutes(1);
-    s.horizon = Dur::hours(1);
-    s.sample_period = Dur::minutes(1);
+    s.model.delta = Duration::millis(50);
+    s.model.delta_period = Duration::hours(1);
+    s.sync_int = Duration::minutes(1);
+    s.horizon = Duration::hours(1);
+    s.sample_period = Duration::minutes(1);
     s.seed = 1;
     const auto r = analysis::run_scenario(s);
     events = r.events_executed;
@@ -203,11 +203,11 @@ void BM_WholeSweep(benchmark::State& state) {
           s.model.n = 7;
           s.model.f = 2;
           s.model.rho = 1e-4;
-          s.model.delta = Dur::millis(50);
-          s.model.delta_period = Dur::hours(1);
-          s.sync_int = Dur::minutes(1);
-          s.horizon = Dur::minutes(30);
-          s.sample_period = Dur::minutes(1);
+          s.model.delta = Duration::millis(50);
+          s.model.delta_period = Duration::hours(1);
+          s.sync_int = Duration::minutes(1);
+          s.horizon = Duration::minutes(30);
+          s.sample_period = Duration::minutes(1);
           s.seed = seed;
           return s;
         },

@@ -32,24 +32,24 @@ struct Outcome {
   int worst_exposure = 0;
   bool compromised = false;
   std::uint64_t refreshes = 0;
-  Dur max_dev;
+  Duration max_dev;
 };
 
-Outcome run(const std::string& convergence, Dur smash, std::uint64_t seed) {
+Outcome run(const std::string& convergence, Duration smash, std::uint64_t seed) {
   analysis::Scenario s;
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.convergence = convergence;
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::hours(12);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::hours(12);
   s.seed = seed;
   s.schedule = adversary::Schedule::round_robin_sweep(
-      7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
-      RealTime(600.0), RealTime(11.0 * 3600.0));
+      7, 2, s.model.delta_period, Duration::minutes(10), Duration::minutes(1),
+      SimTau(600.0), SimTau(11.0 * 3600.0));
   s.strategy = "clock-smash";
   s.strategy_scale = smash;
 
@@ -97,13 +97,13 @@ void register_E10(analysis::ExperimentRegistry& reg) {
          struct Case {
            const char* label;
            const char* conv;
-           Dur smash;
+           Duration smash;
          };
          for (const Case c :
-              {Case{"BHHN Sync", "bhhn", Dur::minutes(-130)},
-               Case{"BHHN Sync (mild faults)", "bhhn", Dur::minutes(-10)},
-               Case{"no sync", "none", Dur::minutes(-130)},
-               Case{"no sync (mild faults)", "none", Dur::minutes(-10)}}) {
+              {Case{"BHHN Sync", "bhhn", Duration::minutes(-130)},
+               Case{"BHHN Sync (mild faults)", "bhhn", Duration::minutes(-10)},
+               Case{"no sync", "none", Duration::minutes(-130)},
+               Case{"no sync (mild faults)", "none", Duration::minutes(-10)}}) {
            // Runs the World directly (it wires in the proactive layer), so
            // the seed-base shift is applied by hand here.
            const Outcome o = run(c.conv, c.smash, 33 + ctx.seed_base());

@@ -19,20 +19,20 @@
 namespace czsync::bench {
 namespace {
 
-Dur recovery_for(analysis::ExperimentContext& ctx,
+Duration recovery_for(analysis::ExperimentContext& ctx,
                  const std::string& convergence, double offset_s) {
   auto s = wan_scenario(3);
   s.convergence = convergence;
-  s.capped_correction_cap = Dur::millis(100);
-  s.initial_spread = Dur::millis(20);
-  s.warmup = Dur::zero();
-  s.horizon = Dur::hours(3);
-  s.sample_period = Dur::seconds(5);
-  s.schedule = adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+  s.capped_correction_cap = Duration::millis(100);
+  s.initial_spread = Duration::millis(20);
+  s.warmup = Duration::zero();
+  s.horizon = Duration::hours(3);
+  s.sample_period = Duration::seconds(5);
+  s.schedule = adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::seconds(offset_s);
+  s.strategy_scale = Duration::seconds(offset_s);
   const auto r = ctx.run(s, convergence + " offset=" + std::to_string(offset_s));
-  if (!r.all_recovered()) return Dur::infinity();
+  if (!r.all_recovered()) return Duration::infinity();
   return r.max_recovery_time();
 }
 
@@ -48,7 +48,7 @@ void register_E3(analysis::ExperimentRegistry& reg) {
          const auto bounds = core::TheoremBounds::compute(
              wan_scenario().model,
              core::ProtocolParams::derive(wan_scenario().model,
-                                          Dur::minutes(1)));
+                                          Duration::minutes(1)));
          std::printf(
              "gamma = %s ms, WayOff ~ %s ms, T = %.1f s, Delta = 3600 s\n\n",
              ms(bounds.max_deviation).c_str(),

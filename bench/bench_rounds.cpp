@@ -32,14 +32,14 @@ analysis::RunResult run(analysis::ExperimentContext& ctx,
                         std::uint64_t seed) {
   auto s = wan_scenario(seed);
   s.protocol = protocol;
-  s.horizon = Dur::hours(8);
-  s.initial_spread = Dur::millis(50);
+  s.horizon = Duration::hours(8);
+  s.initial_spread = Duration::millis(50);
   if (faults) {
     s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-        Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed + 3));
+        s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+        Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(seed + 3));
     s.strategy = strategy;
-    s.strategy_scale = Dur::minutes(5);
+    s.strategy_scale = Duration::minutes(5);
   }
   return ctx.run(s, protocol + (faults ? " " + strategy : " fault-free"));
 }

@@ -95,10 +95,10 @@ void register_E23(analysis::ExperimentRegistry& reg) {
              s.model.n = n;
              s.model.f = 0;  // scale runs are fault-free: cost, not accuracy
              s.model.rho = 1e-4;
-             s.model.delta = Dur::millis(50);
-             s.sync_int = Dur::minutes(1);
-             s.horizon = Dur::seconds(150);
-             s.sample_period = Dur::seconds(30);
+             s.model.delta = Duration::millis(50);
+             s.sync_int = Duration::minutes(1);
+             s.horizon = Duration::seconds(150);
+             s.sample_period = Duration::seconds(30);
              s.delay = analysis::Scenario::DelayKind::Fixed;
              s.drift = analysis::Scenario::DriftKind::Constant;
              s.topology = t.kind;

@@ -31,12 +31,12 @@ void register_E18(analysis::ExperimentRegistry& reg) {
                "max-pull", "random-lie"}) {
            auto make = [strategy](std::uint64_t seed) {
              auto s = wan_scenario(seed);
-             s.horizon = Dur::hours(8);
+             s.horizon = Duration::hours(8);
              s.schedule = adversary::Schedule::random_mobile(
-                 s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-                 Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(seed * 31 + 7));
+                 s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+                 Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(seed * 31 + 7));
              s.strategy = strategy;
-             s.strategy_scale = Dur::seconds(30);
+             s.strategy_scale = Duration::seconds(30);
              return s;
            };
            const auto sweep = ctx.sweep(make, 100, kSeeds, strategy);
@@ -60,7 +60,7 @@ void register_E18(analysis::ExperimentRegistry& reg) {
          const auto bounds = core::TheoremBounds::compute(
              wan_scenario().model,
              core::ProtocolParams::derive(wan_scenario().model,
-                                          Dur::minutes(1)));
+                                          Duration::minutes(1)));
          std::printf(
              "\ngamma = %.1f ms, Delta = 3600 s. Expected shape: zero "
              "violations\nand zero unrecovered runs in every row; "

@@ -26,17 +26,17 @@ namespace {
 
 /// First sample time at which the stable deviation drops below gamma and
 /// stays below it to the end of the run.
-Dur settle_time(const analysis::RunResult& r) {
+Duration settle_time(const analysis::RunResult& r) {
   const double gamma = r.bounds.max_deviation.sec();
   double settled_at = -1.0;
   for (const auto& s : r.series) {
     if (s.stable_deviation <= gamma) {
-      if (settled_at < 0) settled_at = s.t.sec();
+      if (settled_at < 0) settled_at = s.t.raw();
     } else {
       settled_at = -1.0;
     }
   }
-  return settled_at < 0 ? Dur::infinity() : Dur::seconds(settled_at);
+  return settled_at < 0 ? Duration::infinity() : Duration::seconds(settled_at);
 }
 
 }  // namespace
@@ -54,17 +54,17 @@ void register_E15(analysis::ExperimentRegistry& reg) {
          for (double spread_s : spreads) {
            for (int attack = 0; attack < 2; ++attack) {
              auto s = wan_scenario(16);
-             s.initial_spread = Dur::seconds(spread_s);
-             s.horizon = Dur::hours(6);
-             s.warmup = Dur::zero();
-             s.sample_period = Dur::seconds(15);
+             s.initial_spread = Duration::seconds(spread_s);
+             s.horizon = Duration::hours(6);
+             s.warmup = Duration::zero();
+             s.sample_period = Duration::seconds(15);
              s.record_series = true;
              if (attack) {
                s.schedule = adversary::Schedule::random_mobile(
-                   s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-                   Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(161));
+                   s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+                   Duration::minutes(20), SimTau(4.5 * 3600.0), Rng(161));
                s.strategy = "two-faced";
-               s.strategy_scale = Dur::seconds(30);
+               s.strategy_scale = Duration::seconds(30);
              }
              scenarios.push_back(std::move(s));
            }
@@ -77,9 +77,9 @@ void register_E15(analysis::ExperimentRegistry& reg) {
                           "log2(spread/gamma)"});
          for (std::size_t row = 0; row < spreads.size(); ++row) {
            const double spread_s = spreads[row];
-           const Dur settle_plain = settle_time(results[2 * row]);
-           const Dur settle_attack = settle_time(results[2 * row + 1]);
-           const Dur sync_int = scenarios[2 * row].sync_int;
+           const Duration settle_plain = settle_time(results[2 * row]);
+           const Duration settle_attack = settle_time(results[2 * row + 1]);
+           const Duration sync_int = scenarios[2 * row].sync_int;
            const std::uint64_t rounds_needed =
                settle_plain.is_finite()
                    ? static_cast<std::uint64_t>(
@@ -89,7 +89,7 @@ void register_E15(analysis::ExperimentRegistry& reg) {
                core::TheoremBounds::compute(
                    wan_scenario().model,
                    core::ProtocolParams::derive(wan_scenario().model,
-                                                Dur::minutes(1)))
+                                                Duration::minutes(1)))
                    .max_deviation.sec();
            char logr[32];
            std::snprintf(logr, sizeof logr, "%.1f",

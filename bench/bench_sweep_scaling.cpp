@@ -21,12 +21,12 @@ namespace {
 
 analysis::Scenario family(std::uint64_t seed) {
   auto s = wan_scenario(seed);
-  s.horizon = Dur::hours(4);
+  s.horizon = Duration::hours(4);
   s.schedule = adversary::Schedule::random_mobile(
-      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-      Dur::minutes(20), RealTime(3.0 * 3600.0), Rng(seed * 31 + 7));
+      s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+      Duration::minutes(20), SimTau(3.0 * 3600.0), Rng(seed * 31 + 7));
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   return s;
 }
 

@@ -30,12 +30,12 @@ void register_E4(analysis::ExperimentRegistry& reg) {
            auto s = wan_scenario(4);
            const auto proto = core::ProtocolParams::derive_for_k(s.model, k);
            s.sync_int = proto.sync_int;
-           s.horizon = Dur::hours(8);
+           s.horizon = Duration::hours(8);
            s.schedule = adversary::Schedule::random_mobile(
-               s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-               Dur::minutes(20), RealTime(6.5 * 3600.0), Rng(40 + k));
+               s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+               Duration::minutes(20), SimTau(6.5 * 3600.0), Rng(40 + k));
            s.strategy = "clock-smash-random";
-           s.strategy_scale = Dur::minutes(2);
+           s.strategy_scale = Duration::minutes(2);
            const auto r = ctx.run(s, "K=" + std::to_string(k));
 
            const double hours = s.horizon.sec() / 3600.0;

@@ -30,15 +30,15 @@ CliqueTrace run(analysis::ExperimentContext& ctx, int f,
   s.model.n = 6 * f + 2;
   s.model.f = f;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = topo;
   s.drift = analysis::Scenario::DriftKind::OpposedHalves;
-  s.initial_spread = Dur::zero();
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::zero();
-  s.sample_period = Dur::minutes(1);
+  s.initial_spread = Duration::zero();
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::zero();
+  s.sample_period = Duration::minutes(1);
   s.record_series = true;
   s.seed = 7;
   const auto r = ctx.run(
@@ -48,7 +48,7 @@ CliqueTrace run(analysis::ExperimentContext& ctx, int f,
   CliqueTrace out;
   const int half = s.model.n / 2;
   for (const auto& smp : r.series) {
-    const double th = smp.t.sec() / 3600.0;
+    const double th = smp.t.raw() / 3600.0;
     if (std::fmod(th, 1.0) > 1e-9) continue;  // hourly rows
     double a_lo = 1e18, a_hi = -1e18, b_lo = 1e18, b_hi = -1e18;
     for (int p = 0; p < half; ++p) {

@@ -22,11 +22,11 @@ namespace czsync::bench {
 namespace {
 
 struct Row {
-  Dur steady_dev;
+  Duration steady_dev;
   std::uint64_t steady_escapes = 0;
-  Dur recovery_small;  // offset 5 s (inside large WayOffs)
-  Dur recovery_large;  // offset 10 min (beyond every WayOff in the sweep)
-  Dur attack_dev;
+  Duration recovery_small;  // offset 5 s (inside large WayOffs)
+  Duration recovery_large;  // offset 10 min (beyond every WayOff in the sweep)
+  Duration attack_dev;
 };
 
 Row run_scale(analysis::ExperimentContext& ctx, double scale) {
@@ -35,38 +35,38 @@ Row run_scale(analysis::ExperimentContext& ctx, double scale) {
   {  // steady state
     auto s = wan_scenario(21);
     s.way_off_scale = scale;
-    s.initial_spread = Dur::millis(20);
-    s.horizon = Dur::hours(6);
-    s.warmup = Dur::hours(1);
+    s.initial_spread = Duration::millis(20);
+    s.horizon = Duration::hours(6);
+    s.warmup = Duration::hours(1);
     const auto r = ctx.run(s, tag + " steady");
     out.steady_dev = r.max_stable_deviation;
     out.steady_escapes = r.way_off_rounds;
   }
-  auto recovery = [&](Dur offset) {
+  auto recovery = [&](Duration offset) {
     auto s = wan_scenario(21);
     s.way_off_scale = scale;
-    s.initial_spread = Dur::millis(20);
-    s.warmup = Dur::zero();
-    s.horizon = Dur::hours(3);
-    s.sample_period = Dur::seconds(5);
+    s.initial_spread = Duration::millis(20);
+    s.warmup = Duration::zero();
+    s.horizon = Duration::hours(3);
+    s.sample_period = Duration::seconds(5);
     s.schedule =
-        adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+        adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
     s.strategy = "clock-smash";
     s.strategy_scale = offset;
     const auto r = ctx.run(s, tag + " recovery " + secs(offset) + "s");
-    return r.all_recovered() ? r.max_recovery_time() : Dur::infinity();
+    return r.all_recovered() ? r.max_recovery_time() : Duration::infinity();
   };
-  out.recovery_small = recovery(Dur::seconds(5));
-  out.recovery_large = recovery(Dur::minutes(10));
+  out.recovery_small = recovery(Duration::seconds(5));
+  out.recovery_large = recovery(Duration::minutes(10));
   {  // full mobile two-faced attack
     auto s = wan_scenario(21);
     s.way_off_scale = scale;
-    s.horizon = Dur::hours(6);
+    s.horizon = Duration::hours(6);
     s.schedule = adversary::Schedule::random_mobile(
-        s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-        Dur::minutes(20), RealTime(4.5 * 3600.0), Rng(210));
+        s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+        Duration::minutes(20), SimTau(4.5 * 3600.0), Rng(210));
     s.strategy = "two-faced";
-    s.strategy_scale = Dur::seconds(30);
+    s.strategy_scale = Duration::seconds(30);
     const auto r = ctx.run(s, tag + " attack");
     out.attack_dev = r.max_stable_deviation;
   }
@@ -84,7 +84,7 @@ void register_E21(analysis::ExperimentRegistry& reg) {
        [](analysis::ExperimentContext& ctx) {
          const auto model = wan_scenario().model;
          const auto proto =
-             core::ProtocolParams::derive(model, Dur::minutes(1));
+             core::ProtocolParams::derive(model, Duration::minutes(1));
          std::printf(
              "derived WayOff = %.0f ms (eps = %.0f ms, gamma = %.0f ms)\n\n",
              proto.way_off.ms(),

@@ -25,25 +25,25 @@ inline analysis::Scenario wan_scenario(std::uint64_t seed = 1) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::minutes(30);
-  s.sample_period = Dur::seconds(15);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::minutes(30);
+  s.sample_period = Duration::seconds(15);
   s.seed = seed;
   return s;
 }
 
-inline std::string ms(Dur d) {
-  if (!d.is_finite()) return d > Dur::zero() ? "inf" : "-inf";
+inline std::string ms(Duration d) {
+  if (!d.is_finite()) return d > Duration::zero() ? "inf" : "-inf";
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.2f", d.ms());
   return buf;
 }
 
-inline std::string secs(Dur d) {
+inline std::string secs(Duration d) {
   if (!d.is_finite()) return "never";
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.1f", d.sec());

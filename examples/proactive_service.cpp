@@ -26,17 +26,17 @@ int main() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);  // = share-refresh period
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::hours(12);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);  // = share-refresh period
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::hours(12);
   s.seed = 5;
   s.schedule = adversary::Schedule::round_robin_sweep(
-      7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
-      RealTime(600.0), RealTime(11.0 * 3600.0));
+      7, 2, s.model.delta_period, Duration::minutes(10), Duration::minutes(1),
+      SimTau(600.0), SimTau(11.0 * 3600.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::hours(-2);
+  s.strategy_scale = Duration::hours(-2);
 
   analysis::World world(s);
   proactive::ShareStore store(7, /*secret_seed=*/0xc0ffeeULL);
@@ -51,7 +51,7 @@ int main() {
     node.app_resume = [rp = refreshers.back().get()] { rp->resume(); };
     refreshers.back()->on_refresh = [p, &world](std::uint64_t epoch) {
       std::printf("  t=%7.0fs  proc %d refreshed its share for epoch %llu\n",
-                  world.simulator().now().sec(), p,
+                  world.simulator().now().raw(), p,
                   static_cast<unsigned long long>(epoch));
     };
   }
@@ -60,7 +60,7 @@ int main() {
       const auto& sh = store.share(iv.proc);
       std::printf("! t=%7.0fs  ADVERSARY captures proc %d's share (epoch %llu) "
                   "and smashes its clock -2h\n",
-                  world.simulator().now().sec(), iv.proc,
+                  world.simulator().now().raw(), iv.proc,
                   static_cast<unsigned long long>(sh.epoch));
       auditor.capture(iv.proc);
     });

@@ -17,18 +17,18 @@ int main() {
   s.model.n = 4;                         // processors
   s.model.f = 1;                         // faults per period (n >= 3f+1)
   s.model.rho = 1e-4;                    // hardware drift bound
-  s.model.delta = Dur::millis(50);       // message delivery bound
-  s.model.delta_period = Dur::hours(1);  // the adversary's period Delta
-  s.sync_int = Dur::minutes(1);          // Sync cadence
-  s.initial_spread = Dur::millis(200);   // initial clock disagreement
-  s.horizon = Dur::hours(2);
+  s.model.delta = Duration::millis(50);       // message delivery bound
+  s.model.delta_period = Duration::hours(1);  // the adversary's period Delta
+  s.sync_int = Duration::minutes(1);          // Sync cadence
+  s.initial_spread = Duration::millis(200);   // initial clock disagreement
+  s.horizon = Duration::hours(2);
   s.record_series = true;
 
   // One break-in at t = 40 min for 10 min; the attacker sets the victim's
   // clock 5 minutes ahead and answers estimation pings with it.
-  s.schedule = adversary::Schedule::single(2, RealTime(2400.0), RealTime(3000.0));
+  s.schedule = adversary::Schedule::single(2, SimTau(2400.0), SimTau(3000.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(5);
+  s.strategy_scale = Duration::minutes(5);
 
   // 2. Run.
   const auto r = analysis::run_scenario(s);
@@ -38,8 +38,8 @@ int main() {
               r.bounds.summary().c_str());
   std::printf("%8s  %12s  %s\n", "t [min]", "max dev [ms]", "biases [ms]");
   for (const auto& smp : r.series) {
-    const auto minute = static_cast<long>(smp.t.sec()) / 60;
-    if (minute % 10 != 0 || static_cast<long>(smp.t.sec()) % 60 != 0) continue;
+    const auto minute = static_cast<long>(smp.t.raw()) / 60;
+    if (minute % 10 != 0 || static_cast<long>(smp.t.raw()) % 60 != 0) continue;
     std::printf("%8ld  %12.2f  [", minute, smp.stable_deviation * 1e3);
     for (std::size_t p = 0; p < smp.bias.size(); ++p) {
       const char* mark =

@@ -21,18 +21,18 @@ int main() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(50);
-  s.horizon = Dur::hours(1);
-  s.schedule = adversary::Schedule::single(3, RealTime(1800.0), RealTime(1860.0));
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(50);
+  s.horizon = Duration::hours(1);
+  s.schedule = adversary::Schedule::single(3, SimTau(1800.0), SimTau(1860.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::hours(1);
+  s.strategy_scale = Duration::hours(1);
   s.seed = 4;
 
   analysis::World world(s);
-  const Dur way_off = world.protocol_params().way_off;
+  const Duration way_off = world.protocol_params().way_off;
   std::printf("gamma = %.0f ms, WayOff = %.0f ms, SyncInt = %.0f s\n",
               world.bounds().max_deviation.ms(), way_off.ms(),
               s.sync_int.sec());
@@ -42,7 +42,7 @@ int main() {
   // Narrate processor 3's sync rounds around the incident.
   auto& victim = world.node(3);
   victim.sync().on_sync_complete = [&](const core::ConvergenceResult& r) {
-    const double t = world.simulator().now().sec();
+    const double t = world.simulator().now().raw();
     if (t < 1700 || t > 2300) return;
     std::printf("  t=%6.1fs  proc 3 Sync: adj %+10.3f s  branch=%s  bias now "
                 "%+8.3f s\n",
@@ -52,7 +52,7 @@ int main() {
 
   // Periodic wide-angle shots.
   std::function<void()> report = [&] {
-    const double t = world.simulator().now().sec();
+    const double t = world.simulator().now().raw();
     std::printf("t=%6.0fs  biases[ms]: ", t);
     for (int p = 0; p < 7; ++p) {
       const double b = world.node(p).bias().sec() * 1e3;
@@ -64,9 +64,9 @@ int main() {
     }
     std::printf("\n");
     if (t + 600 <= s.horizon.sec())
-      world.simulator().schedule_after(Dur::minutes(10), report);
+      world.simulator().schedule_after(Duration::minutes(10), report);
   };
-  world.simulator().schedule_after(Dur::minutes(10), report);
+  world.simulator().schedule_after(Duration::minutes(10), report);
 
   world.run();
 

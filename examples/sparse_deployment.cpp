@@ -25,20 +25,20 @@ analysis::RunResult run_on(analysis::Scenario::TopologyKind kind,
   s.model.n = 16;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = kind;
   s.custom_topology = std::move(topo);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(8);
-  s.warmup = Dur::minutes(30);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(8);
+  s.warmup = Duration::minutes(30);
   s.seed = 12;
   s.schedule = adversary::Schedule::random_mobile(
-      16, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(6.5 * 3600.0), Rng(120));
+      16, 2, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(6.5 * 3600.0), Rng(120));
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   return analysis::run_scenario(s);
 }
 

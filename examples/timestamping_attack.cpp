@@ -47,18 +47,18 @@ int main() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::hours(2);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::hours(2);
   s.seed = 9;
   // Servers 0 and 1 are controlled for the middle hour and lie +10 min.
   s.schedule = adversary::Schedule(
-      {{0, RealTime(1800.0), RealTime(5400.0)},
-       {1, RealTime(1800.0), RealTime(5400.0)}});
+      {{0, SimTau(1800.0), SimTau(5400.0)},
+       {1, SimTau(1800.0), SimTau(5400.0)}});
   s.strategy = "constant-lie";
-  s.strategy_scale = Dur::minutes(10);
+  s.strategy_scale = Duration::minutes(10);
 
   analysis::World world(s);
 
@@ -86,7 +86,7 @@ int main() {
   client_node.app_handler = [&](const net::Message& m) {
     if (const auto* resp = std::get_if<net::TimestampResp>(&m.body)) {
       if (active != nullptr) {
-        active->stamps[static_cast<std::size_t>(m.from)] = resp->stamp.sec();
+        active->stamps[static_cast<std::size_t>(m.from)] = resp->stamp.raw();
         active->answered[static_cast<std::size_t>(m.from)] = true;
       }
       return;
@@ -97,19 +97,19 @@ int main() {
   std::function<void()> stamp_round = [&] {
     rounds.push_back(StampRound{});
     active = &rounds.back();
-    active->real_time = world.simulator().now().sec();
+    active->real_time = world.simulator().now().raw();
     active->stamps.assign(7, 0.0);
     active->answered.assign(7, false);
     for (int p = 0; p < 6; ++p) {
       client_node.send(p, net::TimestampReq{next_nonce++});
     }
     // The client's own server also stamps (it is server 6).
-    active->stamps[6] = client_node.clock().read().sec();
+    active->stamps[6] = client_node.clock().read().raw();
     active->answered[6] = true;
-    if (world.simulator().now().sec() + 600 < s.horizon.sec())
-      world.simulator().schedule_after(Dur::minutes(10), stamp_round);
+    if (world.simulator().now().raw() + 600 < s.horizon.sec())
+      world.simulator().schedule_after(Duration::minutes(10), stamp_round);
   };
-  world.simulator().schedule_after(Dur::minutes(5), stamp_round);
+  world.simulator().schedule_after(Duration::minutes(5), stamp_round);
 
   world.run();
 

@@ -47,20 +47,20 @@ void Adversary::break_in(net::ProcId p) {
   CZ_DEBUG << "adversary breaks into " << p << " at " << sim_.now();
   auto& proc = *procs_[static_cast<std::size_t>(p)];
   trace::TraceSink* ts = sim_.trace_sink();
-  if (ts != nullptr) ts->record(trace::adv_break_in(sim_.now().sec(), p));
+  if (ts != nullptr) ts->record(trace::adv_break_in(sim_.now(), p));
   proc.suspend_protocol();
-  const Dur adj_before = proc.clock().adjustment();
+  const Duration adj_before = proc.clock().adjustment();
   auto ctx = context();
   strategy_->on_break_in(ctx, proc);
   // Strategies smash adj_p through their ControlledProcess handle; the
   // engine observes the before/after delta so the trace shows what the
   // break-in actually did to the clock.
   if (ts != nullptr) {
-    const Dur adj_after = proc.clock().adjustment();
+    const Duration adj_after = proc.clock().adjustment();
     if (adj_after != adj_before) {
-      ts->record(trace::adj_write(sim_.now().sec(), p, trace::AdjKind::Smash,
-                                  (adj_after - adj_before).sec(),
-                                  adj_after.sec()));
+      ts->record(trace::adj_write(sim_.now(), p, trace::AdjKind::Smash,
+                                  adj_after - adj_before,
+                                  adj_after));
     }
   }
 }
@@ -73,17 +73,17 @@ void Adversary::leave(net::ProcId p) {
   CZ_DEBUG << "adversary leaves " << p << " at " << sim_.now();
   auto& proc = *procs_[static_cast<std::size_t>(p)];
   trace::TraceSink* ts = sim_.trace_sink();
-  const Dur adj_before = proc.clock().adjustment();
+  const Duration adj_before = proc.clock().adjustment();
   auto ctx = context();
   strategy_->on_leave(ctx, proc);
   if (ts != nullptr) {
-    const Dur adj_after = proc.clock().adjustment();
+    const Duration adj_after = proc.clock().adjustment();
     if (adj_after != adj_before) {
-      ts->record(trace::adj_write(sim_.now().sec(), p, trace::AdjKind::Smash,
-                                  (adj_after - adj_before).sec(),
-                                  adj_after.sec()));
+      ts->record(trace::adj_write(sim_.now(), p, trace::AdjKind::Smash,
+                                  adj_after - adj_before,
+                                  adj_after));
     }
-    ts->record(trace::adv_leave(sim_.now().sec(), p));
+    ts->record(trace::adv_leave(sim_.now(), p));
   }
   proc.resume_protocol();
 }

@@ -53,9 +53,9 @@ class ControlledProcess {
 struct WorldSpy {
   int n = 0;
   int f = 0;
-  Dur way_off = Dur::zero();
+  Duration way_off = Duration::zero();
   /// Reads processor q's logical clock right now.
-  std::function<ClockTime(net::ProcId)> read_clock;
+  std::function<LogicalTime(net::ProcId)> read_clock;
   /// Whether q is currently under adversary control.
   std::function<bool(net::ProcId)> is_controlled;
 };

@@ -19,7 +19,7 @@ Schedule::Schedule(std::vector<ControlInterval> intervals)
             });
 }
 
-bool Schedule::controlled_at(net::ProcId p, RealTime t) const {
+bool Schedule::controlled_at(net::ProcId p, SimTau t) const {
   for (const auto& iv : intervals_) {
     if (iv.start > t) break;
     if (iv.proc == p && t >= iv.start && t < iv.end) return true;
@@ -27,7 +27,7 @@ bool Schedule::controlled_at(net::ProcId p, RealTime t) const {
   return false;
 }
 
-bool Schedule::controlled_within(net::ProcId p, RealTime t1, RealTime t2) const {
+bool Schedule::controlled_within(net::ProcId p, SimTau t1, SimTau t2) const {
   assert(t1 <= t2);
   for (const auto& iv : intervals_) {
     if (iv.start > t2) break;
@@ -36,7 +36,7 @@ bool Schedule::controlled_within(net::ProcId p, RealTime t1, RealTime t2) const 
   return false;
 }
 
-int Schedule::max_overlap(Dur delta_period) const {
+int Schedule::max_overlap(Duration delta_period) const {
   // The count of distinct controlled processors in a window [tau,
   // tau+Delta] changes only when the window boundary crosses an interval
   // endpoint. It suffices to evaluate windows whose *left* edge sits just
@@ -48,15 +48,16 @@ int Schedule::max_overlap(Dur delta_period) const {
   std::vector<double> candidates;
   candidates.reserve(intervals_.size() * 2);
   for (const auto& iv : intervals_) {
-    candidates.push_back(iv.start.sec());
-    candidates.push_back(iv.end.sec());
-    // Window ending exactly at this start: left edge = start - Delta.
-    candidates.push_back(iv.start.sec() - delta_period.sec());
+    // time: candidate window edges collected as raw tau seconds
+    candidates.push_back(iv.start.raw());
+    candidates.push_back(iv.end.raw());  // time: raw tau window edge
+    // time: window ending exactly at this start: left edge = start - Delta
+    candidates.push_back(iv.start.raw() - delta_period.sec());
   }
   int worst = 0;
   for (double left : candidates) {
-    const RealTime lo(left);
-    const RealTime hi(left + delta_period.sec());
+    const SimTau lo(left);
+    const SimTau hi(left + delta_period.sec());
     std::set<net::ProcId> procs;
     for (const auto& iv : intervals_) {
       // Interval [start, end) intersects window [lo, hi] (closed window:
@@ -68,7 +69,7 @@ int Schedule::max_overlap(Dur delta_period) const {
   return worst;
 }
 
-bool Schedule::is_f_limited(int f, Dur delta_period) const {
+bool Schedule::is_f_limited(int f, Duration delta_period) const {
   return max_overlap(delta_period) <= f;
 }
 
@@ -81,16 +82,16 @@ std::vector<ControlInterval> Schedule::by_end_time() const {
   return out;
 }
 
-Schedule Schedule::round_robin_sweep(int n, int f, Dur delta_period, Dur dwell,
-                                     Dur slack, RealTime first_break,
-                                     RealTime horizon) {
+Schedule Schedule::round_robin_sweep(int n, int f, Duration delta_period, Duration dwell,
+                                     Duration slack, SimTau first_break,
+                                     SimTau horizon) {
   assert(n >= 1 && f >= 1 && f <= n);
-  assert(dwell > Dur::zero() && slack >= Dur::zero());
+  assert(dwell > Duration::zero() && slack >= Duration::zero());
   std::vector<ControlInterval> out;
-  RealTime t = first_break;
+  SimTau t = first_break;
   int next = 0;
   while (t < horizon) {
-    const RealTime end = t + dwell;
+    const SimTau end = t + dwell;
     for (int k = 0; k < f; ++k) {
       out.push_back({(next + k) % n, t, end});
     }
@@ -104,28 +105,28 @@ Schedule Schedule::round_robin_sweep(int n, int f, Dur delta_period, Dur dwell,
   return Schedule(std::move(out));
 }
 
-Schedule Schedule::random_mobile(int n, int f, Dur delta_period, Dur min_dwell,
-                                 Dur max_dwell, RealTime horizon, Rng rng) {
+Schedule Schedule::random_mobile(int n, int f, Duration delta_period, Duration min_dwell,
+                                 Duration max_dwell, SimTau horizon, Rng rng) {
   assert(n >= 1 && f >= 1 && f <= n);
-  assert(Dur::zero() < min_dwell && min_dwell <= max_dwell);
+  assert(Duration::zero() < min_dwell && min_dwell <= max_dwell);
   std::vector<ControlInterval> out;
   for (int slot = 0; slot < f; ++slot) {
     // Stagger slot phases so break-ins are not synchronized.
-    RealTime t = RealTime(rng.uniform(0.0, (max_dwell + delta_period).sec()));
+    SimTau t = SimTau(rng.uniform(0.0, (max_dwell + delta_period).sec()));
     while (t < horizon) {
       const auto victim = static_cast<net::ProcId>(rng.uniform_int(0, n - 1));
-      const Dur dwell =
-          Dur::seconds(rng.uniform(min_dwell.sec(), max_dwell.sec()));
-      const RealTime end = t + dwell;
+      const Duration dwell =
+          Duration::seconds(rng.uniform(min_dwell.sec(), max_dwell.sec()));
+      const SimTau end = t + dwell;
       out.push_back({victim, t, end});
       // Rest a full Delta plus jitter before this slot's next victim.
-      t = end + delta_period + Dur::seconds(rng.uniform(0.0, delta_period.sec() * 0.25));
+      t = end + delta_period + Duration::seconds(rng.uniform(0.0, delta_period.sec() * 0.25));
     }
   }
   return Schedule(std::move(out));
 }
 
-Schedule Schedule::single(net::ProcId p, RealTime start, RealTime end) {
+Schedule Schedule::single(net::ProcId p, SimTau start, SimTau end) {
   return Schedule({ControlInterval{p, start, end}});
 }
 

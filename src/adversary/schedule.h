@@ -12,14 +12,14 @@
 
 #include "net/message.h"
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::adversary {
 
 struct ControlInterval {
   net::ProcId proc = -1;
-  RealTime start;
-  RealTime end;  ///< exclusive; the processor is correct again from `end`
+  SimTau start;
+  SimTau end;  ///< exclusive; the processor is correct again from `end`
 };
 
 class Schedule {
@@ -33,20 +33,20 @@ class Schedule {
   [[nodiscard]] bool empty() const { return intervals_.empty(); }
 
   /// True if `p` is controlled at time `t`.
-  [[nodiscard]] bool controlled_at(net::ProcId p, RealTime t) const;
+  [[nodiscard]] bool controlled_at(net::ProcId p, SimTau t) const;
 
   /// True if `p` is controlled at any point of [t1, t2] — i.e. NOT
   /// "non-faulty during [t1, t2]" in the paper's wording.
-  [[nodiscard]] bool controlled_within(net::ProcId p, RealTime t1,
-                                       RealTime t2) const;
+  [[nodiscard]] bool controlled_within(net::ProcId p, SimTau t1,
+                                       SimTau t2) const;
 
   /// Definition 2: at most f distinct processors are controlled within
   /// any window [tau, tau+Delta]. Exact check over all critical windows.
-  [[nodiscard]] bool is_f_limited(int f, Dur delta_period) const;
+  [[nodiscard]] bool is_f_limited(int f, Duration delta_period) const;
 
   /// Maximum over all Delta-windows of the number of distinct controlled
   /// processors (so is_f_limited(f, D) == (max_overlap(D) <= f)).
-  [[nodiscard]] int max_overlap(Dur delta_period) const;
+  [[nodiscard]] int max_overlap(Duration delta_period) const;
 
   /// Leave events, ascending by time — the recovery clock starts here.
   [[nodiscard]] std::vector<ControlInterval> by_end_time() const;
@@ -58,21 +58,21 @@ class Schedule {
   /// adversary rests `delta_period` (plus slack) before the next group,
   /// which keeps any Delta-window at <= f processors. Repeats until
   /// `horizon`.
-  [[nodiscard]] static Schedule round_robin_sweep(int n, int f, Dur delta_period,
-                                                  Dur dwell, Dur slack,
-                                                  RealTime first_break,
-                                                  RealTime horizon);
+  [[nodiscard]] static Schedule round_robin_sweep(int n, int f, Duration delta_period,
+                                                  Duration dwell, Duration slack,
+                                                  SimTau first_break,
+                                                  SimTau horizon);
 
   /// Random mobile adversary: f independent "slots"; each slot controls a
   /// random processor for a random dwell in [min_dwell, max_dwell], then
   /// rests >= delta_period before its next victim.
-  [[nodiscard]] static Schedule random_mobile(int n, int f, Dur delta_period,
-                                              Dur min_dwell, Dur max_dwell,
-                                              RealTime horizon, Rng rng);
+  [[nodiscard]] static Schedule random_mobile(int n, int f, Duration delta_period,
+                                              Duration min_dwell, Duration max_dwell,
+                                              SimTau horizon, Rng rng);
 
   /// A single break-in (for recovery experiments).
-  [[nodiscard]] static Schedule single(net::ProcId p, RealTime start,
-                                       RealTime end);
+  [[nodiscard]] static Schedule single(net::ProcId p, SimTau start,
+                                       SimTau end);
 
  private:
   std::vector<ControlInterval> intervals_;  // sorted by start

@@ -5,7 +5,7 @@
 
 namespace czsync::adversary {
 
-SigReplayStrategy::SigReplayStrategy(std::size_t max_stored, Dur spam_period)
+SigReplayStrategy::SigReplayStrategy(std::size_t max_stored, Duration spam_period)
     : max_stored_(max_stored), spam_period_(spam_period) {}
 
 void SigReplayStrategy::spam(ControlledProcess& self, int f) {

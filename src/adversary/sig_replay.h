@@ -22,7 +22,7 @@ class SigReplayStrategy final : public Strategy {
   /// Keeps at most `max_stored` of the oldest observed rounds and spams
   /// the oldest one from every controlled processor every `spam_period`.
   explicit SigReplayStrategy(std::size_t max_stored = 16,
-                             Dur spam_period = Dur::seconds(2));
+                             Duration spam_period = Duration::seconds(2));
 
   [[nodiscard]] std::string_view name() const override { return "sig-replay"; }
   void on_break_in(AdvContext& ctx,
@@ -41,7 +41,7 @@ class SigReplayStrategy final : public Strategy {
   void arm_spam(AdvContext& ctx, ControlledProcess& self);
 
   std::size_t max_stored_;
-  Dur spam_period_;
+  Duration spam_period_;
   /// round -> union of observed signatures, deduped by signer: the
   /// "collected bad signatures" of assumption A4.
   std::map<std::uint64_t, std::map<net::ProcId, net::Signature>> stored_;

@@ -11,7 +11,7 @@ namespace {
 /// this with an offset. Clock-bearing requests (sync pings and the
 /// application-level timestamp requests) are both answered; everything
 /// else is ignored.
-void reply_ping(ControlledProcess& self, const net::Message& msg, Dur lie) {
+void reply_ping(ControlledProcess& self, const net::Message& msg, Duration lie) {
   if (const auto* req = std::get_if<net::PingReq>(&msg.body)) {
     self.send(msg.from,
               net::PingResp{req->nonce, self.clock().read() + lie});
@@ -28,24 +28,24 @@ void reply_ping(ControlledProcess& self, const net::Message& msg, Dur lie) {
 
 }  // namespace
 
-ClockSmashStrategy::ClockSmashStrategy(Dur offset, bool randomize)
+ClockSmashStrategy::ClockSmashStrategy(Duration offset, bool randomize)
     : offset_(offset), randomize_(randomize) {}
 
 void ClockSmashStrategy::on_break_in(AdvContext& ctx, ControlledProcess& self) {
-  Dur off = offset_;
+  Duration off = offset_;
   if (randomize_) {
     const double a = offset_.abs().sec();
-    off = Dur::seconds(ctx.rng.uniform(-a, a));
+    off = Duration::seconds(ctx.rng.uniform(-a, a));
   }
   self.clock().adversary_set_clock(self.clock().read() + off);
 }
 
 void ClockSmashStrategy::on_message(AdvContext&, ControlledProcess& self,
                                     const net::Message& msg) {
-  reply_ping(self, msg, Dur::zero());  // honest reply from a broken clock
+  reply_ping(self, msg, Duration::zero());  // honest reply from a broken clock
 }
 
-ConstantLieStrategy::ConstantLieStrategy(Dur lie_offset)
+ConstantLieStrategy::ConstantLieStrategy(Duration lie_offset)
     : lie_offset_(lie_offset) {}
 
 void ConstantLieStrategy::on_message(AdvContext&, ControlledProcess& self,
@@ -53,11 +53,11 @@ void ConstantLieStrategy::on_message(AdvContext&, ControlledProcess& self,
   reply_ping(self, msg, lie_offset_);
 }
 
-TwoFacedStrategy::TwoFacedStrategy(Dur spread) : spread_(spread) {}
+TwoFacedStrategy::TwoFacedStrategy(Duration spread) : spread_(spread) {}
 
 void TwoFacedStrategy::on_message(AdvContext&, ControlledProcess& self,
                                   const net::Message& msg) {
-  const Dur lie = (msg.from % 2 == 0) ? spread_ : -spread_;
+  const Duration lie = (msg.from % 2 == 0) ? spread_ : -spread_;
   reply_ping(self, msg, lie);
 }
 
@@ -71,7 +71,7 @@ void MaxPullStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
   const auto* rreq = std::get_if<net::RoundPingReq>(&msg.body);
   if (!req && !rreq) return;
   // Highest correct clock right now.
-  ClockTime target = self.clock().read();
+  LogicalTime target = self.clock().read();
   for (net::ProcId q = 0; q < ctx.spy.n; ++q) {
     if (ctx.spy.is_controlled(q)) continue;
     target = std::max(target, ctx.spy.read_clock(q));
@@ -84,15 +84,15 @@ void MaxPullStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
   }
 }
 
-RandomLieStrategy::RandomLieStrategy(Dur spread) : spread_(spread) {}
+RandomLieStrategy::RandomLieStrategy(Duration spread) : spread_(spread) {}
 
 void RandomLieStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
                                    const net::Message& msg) {
   const double s = spread_.sec();
-  reply_ping(self, msg, Dur::seconds(ctx.rng.uniform(-s, s)));
+  reply_ping(self, msg, Duration::seconds(ctx.rng.uniform(-s, s)));
 }
 
-DelayedReplyStrategy::DelayedReplyStrategy(Dur hold_back, Dur lie_offset)
+DelayedReplyStrategy::DelayedReplyStrategy(Duration hold_back, Duration lie_offset)
     : hold_back_(hold_back), lie_offset_(lie_offset) {}
 
 void DelayedReplyStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
@@ -116,7 +116,7 @@ void DelayedReplyStrategy::on_message(AdvContext& ctx, ControlledProcess& self,
 }
 
 RoundInflationStrategy::RoundInflationStrategy(std::uint64_t round_boost,
-                                               Dur lie_offset)
+                                               Duration lie_offset)
     : round_boost_(round_boost), lie_offset_(lie_offset) {}
 
 void RoundInflationStrategy::on_message(AdvContext&, ControlledProcess& self,
@@ -130,7 +130,7 @@ void RoundInflationStrategy::on_message(AdvContext&, ControlledProcess& self,
   reply_ping(self, msg, lie_offset_);
 }
 
-std::shared_ptr<Strategy> make_strategy(const std::string& name, Dur scale) {
+std::shared_ptr<Strategy> make_strategy(const std::string& name, Duration scale) {
   if (name == "silent") return std::make_shared<SilentStrategy>();
   if (name == "clock-smash") return std::make_shared<ClockSmashStrategy>(scale);
   if (name == "clock-smash-random")

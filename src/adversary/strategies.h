@@ -49,27 +49,27 @@ class ClockSmashStrategy final : public Strategy {
  public:
   /// `offset` may be negative. If `randomize`, each break-in draws
   /// uniformly from [-|offset|, |offset|] instead.
-  explicit ClockSmashStrategy(Dur offset, bool randomize = false);
+  explicit ClockSmashStrategy(Duration offset, bool randomize = false);
 
   [[nodiscard]] std::string_view name() const override { return "clock-smash"; }
   void on_break_in(AdvContext&, ControlledProcess&) override;
   void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
 
  private:
-  Dur offset_;
+  Duration offset_;
   bool randomize_;
 };
 
 /// Answers every ping with clock + lie_offset (consistent lie).
 class ConstantLieStrategy final : public Strategy {
  public:
-  explicit ConstantLieStrategy(Dur lie_offset);
+  explicit ConstantLieStrategy(Duration lie_offset);
 
   [[nodiscard]] std::string_view name() const override { return "constant-lie"; }
   void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
 
  private:
-  Dur lie_offset_;
+  Duration lie_offset_;
 };
 
 /// Classic two-faced Byzantine behaviour: reports clock + spread to peers
@@ -77,13 +77,13 @@ class ConstantLieStrategy final : public Strategy {
 /// network.
 class TwoFacedStrategy final : public Strategy {
  public:
-  explicit TwoFacedStrategy(Dur spread);
+  explicit TwoFacedStrategy(Duration spread);
 
   [[nodiscard]] std::string_view name() const override { return "two-faced"; }
   void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
 
  private:
-  Dur spread_;
+  Duration spread_;
 };
 
 /// Adaptive worst-case pull: reads the currently fastest correct clock
@@ -104,13 +104,13 @@ class MaxPullStrategy final : public Strategy {
 /// Uniform random lie in [-spread, spread] per reply (inconsistent noise).
 class RandomLieStrategy final : public Strategy {
  public:
-  explicit RandomLieStrategy(Dur spread);
+  explicit RandomLieStrategy(Duration spread);
 
   [[nodiscard]] std::string_view name() const override { return "random-lie"; }
   void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
 
  private:
-  Dur spread_;
+  Duration spread_;
 };
 
 /// Replies as late as possible (just inside the requester's MaxWait) with
@@ -119,14 +119,14 @@ class RandomLieStrategy final : public Strategy {
 /// inbound delay.
 class DelayedReplyStrategy final : public Strategy {
  public:
-  DelayedReplyStrategy(Dur hold_back, Dur lie_offset);
+  DelayedReplyStrategy(Duration hold_back, Duration lie_offset);
 
   [[nodiscard]] std::string_view name() const override { return "delayed-reply"; }
   void on_message(AdvContext&, ControlledProcess&, const net::Message&) override;
 
  private:
-  Dur hold_back_;
-  Dur lie_offset_;
+  Duration hold_back_;
+  Duration lie_offset_;
 };
 
 /// Attack specific to round-based protocols (the §3.3 ablation): answers
@@ -135,7 +135,7 @@ class DelayedReplyStrategy final : public Strategy {
 /// make its replies maximally confusing. Plain pings get the clock lie.
 class RoundInflationStrategy final : public Strategy {
  public:
-  RoundInflationStrategy(std::uint64_t round_boost, Dur lie_offset);
+  RoundInflationStrategy(std::uint64_t round_boost, Duration lie_offset);
 
   [[nodiscard]] std::string_view name() const override {
     return "round-inflation";
@@ -144,11 +144,11 @@ class RoundInflationStrategy final : public Strategy {
 
  private:
   std::uint64_t round_boost_;
-  Dur lie_offset_;
+  Duration lie_offset_;
 };
 
 /// Factory by name (used by scenario configs and benches).
 [[nodiscard]] std::shared_ptr<Strategy> make_strategy(const std::string& name,
-                                                      Dur scale);
+                                                      Duration scale);
 
 }  // namespace czsync::adversary

@@ -6,8 +6,8 @@
 
 namespace czsync::analysis {
 
-Dur RunResult::max_recovery_time() const {
-  Dur worst = Dur::zero();
+Duration RunResult::max_recovery_time() const {
+  Duration worst = Duration::zero();
   for (const auto& ev : recoveries) {
     if (ev.preempted || !ev.judgeable) continue;
     worst = std::max(worst, ev.duration);
@@ -35,7 +35,7 @@ RunResult run_scenario(const Scenario& scenario, trace::TraceSink* sink) {
   r.bounds = world.bounds();
   auto& obs = world.observer();
   r.max_stable_deviation = obs.max_stable_deviation();
-  r.mean_stable_deviation = Dur::seconds(obs.deviation_stats().mean());
+  r.mean_stable_deviation = Duration::seconds(obs.deviation_stats().mean());
   r.final_stable_deviation = obs.last_stable_deviation();
   r.max_stable_discontinuity = obs.max_stable_discontinuity();
   r.max_rate_excess = obs.max_rate_excess();

@@ -21,18 +21,18 @@ struct RunResult {
   core::TheoremBounds bounds;
 
   // Measured synchronization (Def. 3 i), over stable processors.
-  Dur max_stable_deviation;
-  Dur mean_stable_deviation;
+  Duration max_stable_deviation;
+  Duration mean_stable_deviation;
   double final_stable_deviation = 0.0;  // seconds, at the last sample
 
   // Measured accuracy (Def. 3 ii).
-  Dur max_stable_discontinuity;   ///< largest single adjustment (vs psi)
+  Duration max_stable_discontinuity;   ///< largest single adjustment (vs psi)
   double max_rate_excess = 0.0;   ///< worst |segment rate - 1| (vs rho~)
 
   // Recoveries (Def. 3 iii): one entry per adversary leave event that was
   // not preempted by a new break-in.
   std::vector<RecoveryEvent> recoveries;
-  [[nodiscard]] Dur max_recovery_time() const;
+  [[nodiscard]] Duration max_recovery_time() const;
   [[nodiscard]] bool all_recovered() const;
 
   // Run accounting.

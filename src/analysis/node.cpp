@@ -4,13 +4,17 @@ namespace czsync::analysis {
 
 Node::Node(sim::Simulator& sim, net::Network& network,
            std::shared_ptr<const clk::DriftModel> drift,
-           core::SyncConfig config, net::ProcId id, Rng rng, Dur initial_bias,
+           core::SyncConfig config, net::ProcId id, Rng rng, Duration initial_bias,
            EngineKind engine, const EngineFactory& factory)
     : sim_(sim),
       network_(network),
       id_(id),
+      // time: clock-model boundary - the initial hardware reading is
+      // "current tau plus the configured bias" by scenario construction
       hw_(sim, std::move(drift), rng.fork("hw-clock"),
-          ClockTime(sim.now().sec()) + initial_bias, sim.shard_of(id)),
+          HwTime::from_tau_unsafe(sim.now())  // time: see comment above
+              + initial_bias,
+          sim.shard_of(id)),
       logical_(hw_) {
   if (factory) {
     engine_ = factory(sim, network, logical_, id, rng.fork("sync"));
@@ -87,8 +91,10 @@ bool Node::controlled() const {
   return adversary_ != nullptr && adversary_->is_controlled(id_);
 }
 
-Dur Node::bias() const {
-  return logical_.read() - ClockTime(sim_.now().sec());
+Duration Node::bias() const {
+  // An observer-only measurement across domains that no processor can
+  // time: perform (section 2's model): bias B_p(tau) = C_p(tau) - tau
+  return Duration(logical_.read().raw() - sim_.now().raw());
 }
 
 void Node::on_message(const net::Message& msg) {

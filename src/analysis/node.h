@@ -39,7 +39,7 @@ class Node final : public adversary::ControlledProcess {
   /// initial_bias.
   Node(sim::Simulator& sim, net::Network& network,
        std::shared_ptr<const clk::DriftModel> drift, core::SyncConfig config,
-       net::ProcId id, Rng rng, Dur initial_bias,
+       net::ProcId id, Rng rng, Duration initial_bias,
        EngineKind engine = EngineKind::NoRounds,
        const EngineFactory& factory = nullptr);
 
@@ -80,7 +80,7 @@ class Node final : public adversary::ControlledProcess {
   [[nodiscard]] const clk::LogicalClock& logical() const { return logical_; }
 
   /// Bias B_p(now) = C_p(now) - now (Eq. 4). Analysis-only.
-  [[nodiscard]] Dur bias() const;
+  [[nodiscard]] Duration bias() const;
   [[nodiscard]] bool controlled() const;
 
  private:

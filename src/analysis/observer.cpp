@@ -8,8 +8,8 @@
 namespace czsync::analysis {
 
 Observer::Observer(sim::Simulator& sim, std::vector<Node*> nodes,
-                   const adversary::Schedule& schedule, Dur delta_period,
-                   Dur sample_period, Dur recovery_threshold,
+                   const adversary::Schedule& schedule, Duration delta_period,
+                   Duration sample_period, Duration recovery_threshold,
                    bool record_series)
     : sim_(sim),
       nodes_(std::move(nodes)),
@@ -23,7 +23,7 @@ Observer::Observer(sim::Simulator& sim, std::vector<Node*> nodes,
   segments_.resize(nodes_.size());
 }
 
-void Observer::start(RealTime horizon) {
+void Observer::start(SimTau horizon) {
   horizon_ = horizon;
   // Track discontinuities of *currently correct* processors at the moment
   // each sync round completes. (A controlled processor's sync never runs,
@@ -53,10 +53,10 @@ void Observer::start(RealTime horizon) {
   sim_.schedule_after(sample_period_, [this] { sample(); });
 }
 
-ProcStatus Observer::classify(net::ProcId p, RealTime t) const {
+ProcStatus Observer::classify(net::ProcId p, SimTau t) const {
   if (schedule_.controlled_at(p, t)) return ProcStatus::Faulty;
-  const RealTime lo =
-      t - delta_period_ < RealTime::zero() ? RealTime::zero() : t - delta_period_;
+  const SimTau lo =
+      t - delta_period_ < SimTau::zero() ? SimTau::zero() : t - delta_period_;
   if (schedule_.controlled_within(p, lo, t)) return ProcStatus::Recovering;
   return ProcStatus::Stable;
 }
@@ -71,7 +71,7 @@ void Observer::finalize() {
 }
 
 void Observer::sample() {
-  const RealTime t = sim_.now();
+  const SimTau t = sim_.now();
   ++samples_;
 
   Sample s;
@@ -96,8 +96,8 @@ void Observer::sample() {
   const bool have_stable = stable_min <= stable_max;
   if (trace::TraceSink* ts = sim_.trace_sink()) {
     ts->record(trace::invariant_sample(
-        t.sec(), stable_count, have_stable,
-        have_stable ? stable_max - stable_min : 0.0));
+        t, stable_count, have_stable,
+        Duration(have_stable ? stable_max - stable_min : 0.0)));
   }
   const bool past_warmup = t >= warmup_;
   if (have_stable) {
@@ -117,14 +117,14 @@ void Observer::sample() {
       seg.active = false;
       continue;
     }
-    const ClockTime c = nodes_[i]->logical().read();
+    const LogicalTime c = nodes_[i]->logical().read();
     if (!seg.active) {
       seg.active = true;
       seg.start = t;
       seg.clock_at_start = c;
       continue;
     }
-    const Dur span = t - seg.start;
+    const Duration span = t - seg.start;
     if (span >= min_rate_window_) {
       const double rate = (c - seg.clock_at_start) / span;
       max_rate_excess_ =
@@ -155,7 +155,7 @@ void Observer::sample() {
 
   if (record_series_) series_.push_back(std::move(s));
 
-  const RealTime next = t + sample_period_;
+  const SimTau next = t + sample_period_;
   if (next <= horizon_) {
     sim_.schedule_after(sample_period_, [this] { sample(); });
   }
@@ -169,7 +169,7 @@ void Observer::export_metrics(util::MetricRegistry::Scope scope) const {
   scope.gauge("max_stable_discontinuity_ms", max_discontinuity_.ms());
   scope.gauge("max_rate_excess", max_rate_excess_);
   std::uint64_t recovered = 0, preempted = 0, unjudgeable = 0;
-  Dur worst = Dur::zero();
+  Duration worst = Duration::zero();
   for (const auto& ev : recoveries_) {
     if (ev.preempted) {
       ++preempted;

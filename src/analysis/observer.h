@@ -21,14 +21,14 @@
 #include "sim/simulator.h"
 #include "util/metrics.h"
 #include "util/stats.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::analysis {
 
 enum class ProcStatus : std::uint8_t { Stable, Recovering, Faulty };
 
 struct Sample {
-  RealTime t;
+  SimTau t;
   std::vector<double> bias;        ///< B_p(t) in seconds, all processors
   std::vector<ProcStatus> status;
   double stable_deviation = 0.0;   ///< max |B_p - B_q| over stable pairs
@@ -41,13 +41,13 @@ struct RecoveryEvent {
   /// -1 sentinel) so a default-constructed event can't be cast to an
   /// index by accident.
   std::optional<net::ProcId> proc;
-  RealTime left_at;
+  SimTau left_at;
   bool recovered = false;
   bool preempted = false;  ///< broken into again before recovering
   /// False when the run ended too soon after the leave to judge the
   /// recovery either way (left_at + Delta > horizon).
   bool judgeable = true;
-  Dur duration = Dur::infinity();
+  Duration duration = Duration::infinity();
 };
 
 class Observer {
@@ -55,27 +55,27 @@ class Observer {
   /// `recovery_threshold` is the deviation bound gamma used to decide
   /// when a recovering clock counts as back in the pack.
   Observer(sim::Simulator& sim, std::vector<Node*> nodes,
-           const adversary::Schedule& schedule, Dur delta_period,
-           Dur sample_period, Dur recovery_threshold, bool record_series);
+           const adversary::Schedule& schedule, Duration delta_period,
+           Duration sample_period, Duration recovery_threshold, bool record_series);
 
   /// Schedules sampling every sample_period up to `horizon` and hooks the
   /// per-node sync-completion callbacks. Call once before running.
-  void start(RealTime horizon);
+  void start(SimTau horizon);
 
   /// Post-run bookkeeping: marks recovery events that the run ended too
   /// early to judge. Called by World::run().
   void finalize();
 
   /// Steady-state metrics ignore samples before `warmup`.
-  void set_warmup(RealTime warmup) { warmup_ = warmup; }
+  void set_warmup(SimTau warmup) { warmup_ = warmup; }
 
   // --- results (valid after the run) ---
-  [[nodiscard]] Dur max_stable_deviation() const {
-    return Dur::seconds(deviation_.max());
+  [[nodiscard]] Duration max_stable_deviation() const {
+    return Duration::seconds(deviation_.max());
   }
   [[nodiscard]] const RunningStats& deviation_stats() const { return deviation_; }
   [[nodiscard]] double last_stable_deviation() const { return last_deviation_; }
-  [[nodiscard]] Dur max_stable_discontinuity() const {
+  [[nodiscard]] Duration max_stable_discontinuity() const {
     return max_discontinuity_;
   }
   /// Worst observed |rate - 1| of a stable processor's logical clock over
@@ -89,7 +89,7 @@ class Observer {
 
   /// Minimum segment length before a rate estimate counts (default 10
   /// sample periods); avoids quantizing noise on tiny windows.
-  void set_min_rate_window(Dur w) { min_rate_window_ = w; }
+  void set_min_rate_window(Duration w) { min_rate_window_ = w; }
 
   /// Snapshot of the observer-layer metrics (deviation, discontinuity,
   /// rate excess, recovery tallies) into `scope` for RunRecord emission.
@@ -97,31 +97,31 @@ class Observer {
 
  private:
   void sample();
-  [[nodiscard]] ProcStatus classify(net::ProcId p, RealTime t) const;
+  [[nodiscard]] ProcStatus classify(net::ProcId p, SimTau t) const;
 
   sim::Simulator& sim_;
   std::vector<Node*> nodes_;
   const adversary::Schedule& schedule_;
-  Dur delta_period_;
-  Dur sample_period_;
-  Dur recovery_threshold_;
+  Duration delta_period_;
+  Duration sample_period_;
+  Duration recovery_threshold_;
   bool record_series_;
-  RealTime horizon_;
-  RealTime warmup_ = RealTime::zero();
+  SimTau horizon_;
+  SimTau warmup_ = SimTau::zero();
 
   RunningStats deviation_;
   double last_deviation_ = 0.0;
-  Dur max_discontinuity_ = Dur::zero();
+  Duration max_discontinuity_ = Duration::zero();
   double max_rate_excess_ = 0.0;
-  Dur min_rate_window_;
+  Duration min_rate_window_;
   std::vector<Sample> series_;
   std::size_t samples_ = 0;
 
   // Rate segments: start point of the current all-stable stretch.
   struct Segment {
     bool active = false;
-    RealTime start;
-    ClockTime clock_at_start;
+    SimTau start;
+    LogicalTime clock_at_start;
   };
   std::vector<Segment> segments_;
 

@@ -12,7 +12,7 @@
 #include "core/params.h"
 #include "net/link_faults.h"
 #include "net/topology.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::analysis {
 
@@ -21,11 +21,11 @@ struct Scenario {
 
   /// Protocol knobs. sync_int feeds ProtocolParams::derive; the rest of
   /// the protocol parameters (MaxWait, WayOff) are derived per the paper.
-  Dur sync_int = Dur::minutes(1);
+  Duration sync_int = Duration::minutes(1);
 
   /// Convergence function: "bhhn", "midpoint", "capped-correction", "none".
   std::string convergence = "bhhn";
-  Dur capped_correction_cap = Dur::millis(100);
+  Duration capped_correction_cap = Duration::millis(100);
 
   /// Protocol engine: the paper's no-rounds Sync ("sync") or the
   /// round-based comparator of the §3.3 discussion ("round").
@@ -39,7 +39,7 @@ struct Scenario {
   /// consumes cached values without staleness compensation — breaks
   /// Definition 4 exactly as the paper warns (experiment E19).
   bool cached_estimation = false;
-  Dur cache_refresh = Dur::seconds(20);
+  Duration cache_refresh = Duration::seconds(20);
 
   /// Ablation knob (E21): multiplies the derived WayOff threshold. 1.0 =
   /// the paper's setting (Appendix A.2). Values != 1 void Theorem 5 —
@@ -52,7 +52,7 @@ struct Scenario {
   /// analysis still applies with rho' = 2 rho in the worst case.
   bool rate_discipline = false;
   double discipline_gain = 0.125;
-  Dur discipline_slew_interval = Dur::seconds(5);
+  Duration discipline_slew_interval = Duration::seconds(5);
 
   /// Constant: one random rate per clock. Wander: bounded random walk.
   /// Sinusoidal: thermal/diurnal cycle, random phase per clock.
@@ -61,8 +61,8 @@ struct Scenario {
   /// counterexample (E7), where each clique free-runs at its own rate.
   enum class DriftKind { Constant, Wander, Sinusoidal, OpposedHalves };
   DriftKind drift = DriftKind::Constant;
-  Dur wander_interval = Dur::minutes(5);
-  Dur sinusoid_cycle = Dur::hours(2);
+  Duration wander_interval = Duration::minutes(5);
+  Duration sinusoid_cycle = Duration::hours(2);
 
   enum class DelayKind { Fixed, Uniform, Asymmetric, Jitter };
   DelayKind delay = DelayKind::Uniform;
@@ -93,14 +93,14 @@ struct Scenario {
 
   /// Initial logical-clock biases drawn uniformly from
   /// [-initial_spread/2, +initial_spread/2].
-  Dur initial_spread = Dur::millis(100);
+  Duration initial_spread = Duration::millis(100);
 
-  Dur horizon = Dur::hours(6);
-  Dur sample_period = Dur::seconds(10);
+  Duration horizon = Duration::hours(6);
+  Duration sample_period = Duration::seconds(10);
   /// Steady-state metrics (deviation, discontinuity, rate) ignore samples
   /// before this instant, excluding the initial convergence transient
   /// (the paper's guarantees assume a correctly initialized system).
-  Dur warmup = Dur::zero();
+  Duration warmup = Duration::zero();
   std::uint64_t seed = 1;
 
   /// Link faults (§1.2 probe): messages on a cut link are dropped.
@@ -111,7 +111,7 @@ struct Scenario {
   /// Strategy name (see adversary::make_strategy) and its scale knob
   /// (smash offset / lie magnitude / hold-back, depending on strategy).
   std::string strategy = "silent";
-  Dur strategy_scale = Dur::seconds(10);
+  Duration strategy_scale = Duration::seconds(10);
 
   /// Keep the full per-sample trace in the result (costs memory; benches
   /// that plot series set this).

@@ -38,8 +38,8 @@ void accumulate(SweepResult& out, const RunResult& r) {
   out.max_rate_excess.add(r.max_rate_excess);
   if (r.max_stable_deviation >= r.bounds.max_deviation) ++out.bound_violations;
   if (!r.all_recovered()) ++out.unrecovered_runs;
-  const Dur rec = r.max_recovery_time();
-  if (rec.is_finite() && rec > Dur::zero()) out.max_recovery.add(rec.sec());
+  const Duration rec = r.max_recovery_time();
+  if (rec.is_finite() && rec > Duration::zero()) out.max_recovery.add(rec.sec());
 }
 
 int resolve_jobs(int jobs) {

@@ -34,7 +34,7 @@ struct SweepResult {
   /// such run increments bound_mismatches instead of silently
   /// overwriting `bound` (the pre-fix behavior kept only the last
   /// run's bound, hiding mixed-bound families).
-  Dur bound;
+  Duration bound;
   int bound_mismatches = 0;
   /// Wall-clock spent inside the sweep call (seconds). Informational
   /// only — NOT part of the serial/parallel equivalence contract.

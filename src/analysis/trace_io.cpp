@@ -33,7 +33,8 @@ void write_series_csv(std::ostream& os, const RunResult& result) {
   }
   CsvWriter w(os, cols);
   for (const auto& s : result.series) {
-    std::vector<std::string> row = {fmt_num(s.t.sec()),
+    // time: CSV export serializes raw tau seconds
+    std::vector<std::string> row = {fmt_num(s.t.raw()),
                                     fmt_num(s.stable_deviation)};
     for (std::size_t p = 0; p < n; ++p) {
       row.push_back(fmt_num(s.bias[p]));
@@ -48,7 +49,7 @@ void write_recoveries_csv(std::ostream& os, const RunResult& result) {
                    "duration"});
   for (const auto& ev : result.recoveries) {
     w.row({ev.proc ? std::to_string(*ev.proc) : "?",
-           fmt_num(ev.left_at.sec()),
+           fmt_num(ev.left_at.raw()),  // time: CSV export of raw tau
            ev.recovered ? "1" : "0", ev.preempted ? "1" : "0",
            ev.judgeable ? "1" : "0", fmt_num(ev.duration.sec())});
   }
@@ -174,21 +175,21 @@ Scenario scenario_from_config(const Config& c) {
   } else if (adv == "single") {
     s.schedule = adversary::Schedule::single(
         static_cast<net::ProcId>(c.get_int("victim", 0)),
-        RealTime(c.get_duration("break_at", Dur::hours(1)).sec()),
-        RealTime(c.get_duration("leave_at", Dur::hours(1) + Dur::minutes(10)).sec()));
+        SimTau(c.get_duration("break_at", Duration::hours(1)).sec()),
+        SimTau(c.get_duration("leave_at", Duration::hours(1) + Duration::minutes(10)).sec()));
   } else if (adv == "mobile") {
-    const Dur sched_end = c.get_duration("schedule_end", s.horizon * 0.8);
+    const Duration sched_end = c.get_duration("schedule_end", s.horizon * 0.8);
     s.schedule = adversary::Schedule::random_mobile(
         s.model.n, s.model.f, s.model.delta_period,
-        c.get_duration("min_dwell", Dur::minutes(5)),
-        c.get_duration("max_dwell", Dur::minutes(20)),
-        RealTime(sched_end.sec()), Rng(s.seed ^ 0x5eedULL));
+        c.get_duration("min_dwell", Duration::minutes(5)),
+        c.get_duration("max_dwell", Duration::minutes(20)),
+        SimTau(sched_end.sec()), Rng(s.seed ^ 0x5eedULL));
   } else if (adv == "sweep") {
     s.schedule = adversary::Schedule::round_robin_sweep(
         s.model.n, s.model.f, s.model.delta_period,
-        c.get_duration("dwell", Dur::minutes(10)),
-        c.get_duration("slack", Dur::minutes(1)), RealTime(600.0),
-        RealTime((s.horizon * 0.9).sec()));
+        c.get_duration("dwell", Duration::minutes(10)),
+        c.get_duration("slack", Duration::minutes(1)), SimTau(600.0),
+        SimTau((s.horizon * 0.9).sec()));
   } else {
     throw std::invalid_argument("unknown adversary kind: " + adv);
   }

@@ -46,7 +46,7 @@ net::Topology build_topology(const Scenario& s, const Rng& master) {
 }
 
 std::unique_ptr<net::DelayModel> build_delay(const Scenario& s) {
-  const Dur d = s.model.delta;
+  const Duration d = s.model.delta;
   switch (s.delay) {
     case Scenario::DelayKind::Fixed:
       return net::make_fixed_delay(d);
@@ -142,8 +142,8 @@ World::World(Scenario scenario)
     cfg.cache_refresh = s.cache_refresh;
     // Entries survive three refresh periods (missed refreshes happen when
     // peers are faulty) but at least two minutes.
-    cfg.max_cache_age = std::max(s.cache_refresh * 3.0, Dur::minutes(2));
-    const Dur bias = Dur::seconds(bias_rng.uniform(
+    cfg.max_cache_age = std::max(s.cache_refresh * 3.0, Duration::minutes(2));
+    const Duration bias = Duration::seconds(bias_rng.uniform(
         -s.initial_spread.sec() / 2.0, s.initial_spread.sec() / 2.0));
     nodes_.push_back(std::make_unique<Node>(sim_, *network_, build_drift(s, p),
                                             cfg, p, master.fork(1000 + p),
@@ -195,10 +195,10 @@ World::World(Scenario scenario)
 }
 
 void World::run() {
-  observer_->set_warmup(RealTime::zero() + scenario_.warmup);
-  observer_->start(RealTime::zero() + scenario_.horizon);
+  observer_->set_warmup(SimTau::zero() + scenario_.warmup);
+  observer_->start(SimTau::zero() + scenario_.horizon);
   for (auto& n : nodes_) n->start();
-  sim_.run_until(RealTime::zero() + scenario_.horizon);
+  sim_.run_until(SimTau::zero() + scenario_.horizon);
   observer_->finalize();
 }
 

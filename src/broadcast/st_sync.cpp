@@ -18,7 +18,7 @@ StSyncProcess::StSyncProcess(net::Network& network,
       config_(std::move(config)),
       auth_(std::move(auth)) {
   assert(auth_ != nullptr);
-  assert(config_.period > Dur::zero());
+  assert(config_.period > Duration::zero());
   assert(config_.f >= 0);
 }
 
@@ -33,9 +33,9 @@ void StSyncProcess::arm_ready() {
   // runs on the hardware clock; on_ready re-validates against the
   // logical clock (which acceptance may have moved).
   const std::uint64_t next = last_accepted_ + 1;
-  const ClockTime target(static_cast<double>(next) * config_.period.sec());
-  Dur wait = target - clock_.read();
-  if (wait < Dur::zero()) wait = Dur::zero();
+  const LogicalTime target(static_cast<double>(next) * config_.period.sec());
+  Duration wait = target - clock_.read();
+  if (wait < Duration::zero()) wait = Duration::zero();
   ready_alarm_ = clock_.hardware().set_alarm_after(wait, [this] {
     ready_alarm_ = clk::kNoAlarm;
     on_ready();
@@ -44,7 +44,7 @@ void StSyncProcess::arm_ready() {
 
 void StSyncProcess::on_ready() {
   const std::uint64_t next = last_accepted_ + 1;
-  const ClockTime target(static_cast<double>(next) * config_.period.sec());
+  const LogicalTime target(static_cast<double>(next) * config_.period.sec());
   if (clock_.read() < target) {
     // The clock was adjusted backwards since arming: not ready yet.
     arm_ready();
@@ -101,9 +101,9 @@ void StSyncProcess::accept(std::uint64_t round) {
   assert(round > last_accepted_);
   // Detect replay damage: accepting a round whose time target is far
   // BELOW our current clock means a stale bundle dragged us backwards.
-  const ClockTime target(static_cast<double>(round) * config_.period.sec() +
+  const LogicalTime target(static_cast<double>(round) * config_.period.sec() +
                          config_.skew_allowance.sec());
-  const Dur correction = target - clock_.read();
+  const Duration correction = target - clock_.read();
   if (correction < -1.5 * config_.period) ++stats_.replays_accepted;
 
   last_accepted_ = round;

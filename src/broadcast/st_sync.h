@@ -36,8 +36,8 @@
 namespace czsync::broadcast {
 
 struct StConfig {
-  Dur period = Dur::minutes(1);        ///< P: logical time between rounds
-  Dur skew_allowance = Dur::millis(100);  ///< added to T_k on accept
+  Duration period = Duration::minutes(1);        ///< P: logical time between rounds
+  Duration skew_allowance = Duration::millis(100);  ///< added to T_k on accept
   int f = 1;                           ///< tolerated faults (n > 2f)
 };
 

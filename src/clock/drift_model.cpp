@@ -24,15 +24,15 @@ double ConstantDrift::initial_rate(Rng& rng) const {
   return rng.uniform(min_rate(), max_rate());
 }
 
-Dur ConstantDrift::next_change_after(Rng&) const { return Dur::infinity(); }
+Duration ConstantDrift::next_change_after(Rng&) const { return Duration::infinity(); }
 
 double ConstantDrift::next_rate(double current, Rng&) const { return current; }
 
-WanderDrift::WanderDrift(double rho, Dur mean_interval, double step_fraction)
+WanderDrift::WanderDrift(double rho, Duration mean_interval, double step_fraction)
     : DriftModel(rho),
       mean_interval_(mean_interval),
       step_fraction_(step_fraction) {
-  assert(mean_interval > Dur::zero());
+  assert(mean_interval > Duration::zero());
   assert(step_fraction > 0.0);
 }
 
@@ -40,11 +40,11 @@ double WanderDrift::initial_rate(Rng& rng) const {
   return rng.uniform(min_rate(), max_rate());
 }
 
-Dur WanderDrift::next_change_after(Rng& rng) const {
+Duration WanderDrift::next_change_after(Rng& rng) const {
   // Exponential with the configured mean; floor keeps event counts sane.
   const double u = std::max(rng.uniform01(), 1e-12);
   const double span = -std::log(u) * mean_interval_.sec();
-  return Dur::seconds(std::max(span, mean_interval_.sec() * 0.01));
+  return Duration::seconds(std::max(span, mean_interval_.sec() * 0.01));
 }
 
 double WanderDrift::next_rate(double current, Rng& rng) const {
@@ -56,13 +56,13 @@ double WanderDrift::next_rate(double current, Rng& rng) const {
   return clamp_rate(candidate);
 }
 
-SinusoidalDrift::SinusoidalDrift(double rho, Dur cycle, int steps_per_cycle,
+SinusoidalDrift::SinusoidalDrift(double rho, Duration cycle, int steps_per_cycle,
                                  double amplitude_fraction)
     : DriftModel(rho),
       cycle_(cycle),
       steps_per_cycle_(steps_per_cycle),
       amplitude_fraction_(amplitude_fraction) {
-  assert(cycle > Dur::zero());
+  assert(cycle > Duration::zero());
   assert(steps_per_cycle >= 4);
   assert(amplitude_fraction > 0.0 && amplitude_fraction <= 1.0);
 }
@@ -79,7 +79,7 @@ double SinusoidalDrift::initial_rate(Rng& rng) const {
   return rate_at_phase(phase01_);
 }
 
-Dur SinusoidalDrift::next_change_after(Rng&) const {
+Duration SinusoidalDrift::next_change_after(Rng&) const {
   return cycle_ / static_cast<double>(steps_per_cycle_);
 }
 
@@ -98,13 +98,13 @@ std::shared_ptr<const DriftModel> make_pinned_drift(double rho, double rate) {
 }
 
 std::shared_ptr<const DriftModel> make_wander_drift(double rho,
-                                                    Dur mean_interval,
+                                                    Duration mean_interval,
                                                     double step_fraction) {
   return std::make_shared<WanderDrift>(rho, mean_interval, step_fraction);
 }
 
 std::shared_ptr<const DriftModel> make_sinusoidal_drift(
-    double rho, Dur cycle, int steps_per_cycle, double amplitude_fraction) {
+    double rho, Duration cycle, int steps_per_cycle, double amplitude_fraction) {
   return std::make_shared<SinusoidalDrift>(rho, cycle, steps_per_cycle,
                                            amplitude_fraction);
 }

@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::clk {
 
@@ -32,9 +32,9 @@ class DriftModel {
   /// Rate at time zero for a fresh clock.
   [[nodiscard]] virtual double initial_rate(Rng& rng) const = 0;
 
-  /// Real-time span until the next rate change; Dur::infinity() means the
+  /// Real-time span until the next rate change; Duration::infinity() means the
   /// rate never changes again.
-  [[nodiscard]] virtual Dur next_change_after(Rng& rng) const = 0;
+  [[nodiscard]] virtual Duration next_change_after(Rng& rng) const = 0;
 
   /// The new rate, given the current one. Only called when
   /// next_change_after returned a finite duration.
@@ -58,7 +58,7 @@ class ConstantDrift final : public DriftModel {
   ConstantDrift(double rho, double pinned_rate);
 
   [[nodiscard]] double initial_rate(Rng& rng) const override;
-  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] Duration next_change_after(Rng& rng) const override;
   [[nodiscard]] double next_rate(double current, Rng& rng) const override;
 
  private:
@@ -71,14 +71,14 @@ class ConstantDrift final : public DriftModel {
 /// reflected into the legal band.
 class WanderDrift final : public DriftModel {
  public:
-  WanderDrift(double rho, Dur mean_interval, double step_fraction = 0.25);
+  WanderDrift(double rho, Duration mean_interval, double step_fraction = 0.25);
 
   [[nodiscard]] double initial_rate(Rng& rng) const override;
-  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] Duration next_change_after(Rng& rng) const override;
   [[nodiscard]] double next_rate(double current, Rng& rng) const override;
 
  private:
-  Dur mean_interval_;
+  Duration mean_interval_;
   double step_fraction_;
 };
 
@@ -93,17 +93,17 @@ class WanderDrift final : public DriftModel {
 /// one per node. (Sharing one instance would interleave the phases.)
 class SinusoidalDrift final : public DriftModel {
  public:
-  SinusoidalDrift(double rho, Dur cycle, int steps_per_cycle = 48,
+  SinusoidalDrift(double rho, Duration cycle, int steps_per_cycle = 48,
                   double amplitude_fraction = 1.0);
 
   [[nodiscard]] double initial_rate(Rng& rng) const override;
-  [[nodiscard]] Dur next_change_after(Rng& rng) const override;
+  [[nodiscard]] Duration next_change_after(Rng& rng) const override;
   [[nodiscard]] double next_rate(double current, Rng& rng) const override;
 
  private:
   [[nodiscard]] double rate_at_phase(double phase01) const;
 
-  Dur cycle_;
+  Duration cycle_;
   int steps_per_cycle_;
   double amplitude_fraction_;
   mutable double phase01_ = 0.0;  // per-clock wave phase, see NOTE
@@ -115,9 +115,9 @@ class SinusoidalDrift final : public DriftModel {
 [[nodiscard]] std::shared_ptr<const DriftModel> make_pinned_drift(double rho,
                                                                   double rate);
 [[nodiscard]] std::shared_ptr<const DriftModel> make_wander_drift(
-    double rho, Dur mean_interval, double step_fraction = 0.25);
+    double rho, Duration mean_interval, double step_fraction = 0.25);
 [[nodiscard]] std::shared_ptr<const DriftModel> make_sinusoidal_drift(
-    double rho, Dur cycle, int steps_per_cycle = 48,
+    double rho, Duration cycle, int steps_per_cycle = 48,
     double amplitude_fraction = 1.0);
 
 }  // namespace czsync::clk

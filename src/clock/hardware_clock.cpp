@@ -8,7 +8,7 @@ namespace czsync::clk {
 
 HardwareClock::HardwareClock(sim::Simulator& sim,
                              std::shared_ptr<const DriftModel> model, Rng rng,
-                             ClockTime initial, std::uint32_t event_shard)
+                             HwTime initial, std::uint32_t event_shard)
     : sim_(sim),
       model_(std::move(model)),
       rng_(rng),
@@ -25,8 +25,8 @@ HardwareClock::~HardwareClock() {
   if (drift_event_ != sim::kNoEvent) sim_.cancel(drift_event_);
 }
 
-ClockTime HardwareClock::read() const {
-  const Dur elapsed = sim_.now() - tau0_;
+HwTime HardwareClock::read() const {
+  const Duration elapsed = sim_.now() - tau0_;
   return h0_ + elapsed * rate_;
 }
 
@@ -35,14 +35,14 @@ void HardwareClock::fold() {
   tau0_ = sim_.now();
 }
 
-RealTime HardwareClock::eta(ClockTime target) const {
-  const Dur remaining = target - read();
-  if (remaining <= Dur::zero()) return sim_.now();
+SimTau HardwareClock::eta(HwTime target) const {
+  const Duration remaining = target - read();
+  if (remaining <= Duration::zero()) return sim_.now();
   return sim_.now() + remaining / rate_;
 }
 
 void HardwareClock::schedule_drift_change() {
-  const Dur span = model_->next_change_after(rng_);
+  const Duration span = model_->next_change_after(rng_);
   if (!span.is_finite()) {
     drift_event_ = sim::kNoEvent;
     return;
@@ -74,9 +74,9 @@ void HardwareClock::arm(AlarmId id) {
       eta(it->second.target), [this, id] { fire(id); }, event_shard_);
 }
 
-AlarmId HardwareClock::set_alarm_after(Dur dh, std::function<void()> fn) {
+AlarmId HardwareClock::set_alarm_after(Duration dh, std::function<void()> fn) {
   assert(dh.is_finite());
-  if (dh < Dur::zero()) dh = Dur::zero();
+  if (dh < Duration::zero()) dh = Duration::zero();
   const AlarmId id = next_alarm_++;
   alarms_.emplace(id, Alarm{read() + dh, std::move(fn), sim::kNoEvent});
   arm(id);

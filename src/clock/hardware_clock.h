@@ -21,7 +21,7 @@
 #include "clock/drift_model.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::clk {
 
@@ -38,7 +38,7 @@ class HardwareClock {
   /// processor's pool partition when sharding is configured — pass
   /// Simulator::shard_of(owner); 0 is always valid.
   HardwareClock(sim::Simulator& sim, std::shared_ptr<const DriftModel> model,
-                Rng rng, ClockTime initial = ClockTime::zero(),
+                Rng rng, HwTime initial = HwTime::zero(),
                 std::uint32_t event_shard = 0);
 
   ~HardwareClock();
@@ -46,7 +46,7 @@ class HardwareClock {
   HardwareClock& operator=(const HardwareClock&) = delete;
 
   /// Current hardware time H_p(now). Monotone, smooth, unresettable.
-  [[nodiscard]] ClockTime read() const;
+  [[nodiscard]] HwTime read() const;
 
   /// Current instantaneous rate dH/dtau (in [1/(1+rho), 1+rho]).
   [[nodiscard]] double rate() const { return rate_; }
@@ -54,7 +54,7 @@ class HardwareClock {
 
   /// Sets an alarm firing when the hardware clock has advanced by `dh`
   /// (> 0) from its current reading. One-shot.
-  AlarmId set_alarm_after(Dur dh, std::function<void()> fn);
+  AlarmId set_alarm_after(Duration dh, std::function<void()> fn);
 
   /// Cancels a pending alarm; false if it already fired or is unknown.
   bool cancel_alarm(AlarmId id);
@@ -66,10 +66,10 @@ class HardwareClock {
   /// creation order. Together with read(), rate() and the logical
   /// adjustment this pins down the clock stack's entire future-relevant
   /// state; the model checker hashes it to deduplicate barrier states.
-  [[nodiscard]] std::vector<Dur> pending_alarm_offsets() const {
-    std::vector<Dur> out;
+  [[nodiscard]] std::vector<Duration> pending_alarm_offsets() const {
+    std::vector<Duration> out;
     out.reserve(alarms_.size());
-    const ClockTime h = read();
+    const HwTime h = read();
     for (const auto& [id, a] : alarms_) out.push_back(a.target - h);
     return out;
   }
@@ -79,7 +79,7 @@ class HardwareClock {
 
  private:
   struct Alarm {
-    ClockTime target;  // fire when H reaches this value
+    HwTime target;  // fire when H reaches this value
     std::function<void()> fn;
     sim::EventId event;
   };
@@ -87,7 +87,7 @@ class HardwareClock {
   /// Moves the fold point to the current simulator time.
   void fold();
   /// Real time at which H will reach `target` at the current rate.
-  [[nodiscard]] RealTime eta(ClockTime target) const;
+  [[nodiscard]] SimTau eta(HwTime target) const;
   void schedule_drift_change();
   void apply_drift_change();
   void arm(AlarmId id);
@@ -97,8 +97,8 @@ class HardwareClock {
   std::shared_ptr<const DriftModel> model_;
   Rng rng_;
 
-  RealTime tau0_;   // fold point, real time
-  ClockTime h0_;    // fold point, hardware time
+  SimTau tau0_;   // fold point, real time
+  HwTime h0_;    // fold point, hardware time
   double rate_;
 
   std::map<AlarmId, Alarm> alarms_;

@@ -11,24 +11,26 @@
 #include <cstdint>
 
 #include "clock/hardware_clock.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::clk {
 
 class LogicalClock {
  public:
-  explicit LogicalClock(HardwareClock& hw, Dur initial_adjustment = Dur::zero())
+  explicit LogicalClock(HardwareClock& hw, Duration initial_adjustment = Duration::zero())
       : hw_(hw), adj_(initial_adjustment) {}
 
   LogicalClock(const LogicalClock&) = delete;
   LogicalClock& operator=(const LogicalClock&) = delete;
 
   /// C_p(now) = H_p(now) + adj_p.
-  [[nodiscard]] ClockTime read() const { return hw_.read() + adj_; }
+  [[nodiscard]] LogicalTime read() const {
+    return LogicalTime::from_hw(hw_.read(), adj_);
+  }
 
   /// Current adjustment variable (analysis/tests only; the protocol never
   /// inspects it).
-  [[nodiscard]] Dur adjustment() const { return adj_; }
+  [[nodiscard]] Duration adjustment() const { return adj_; }
 
   /// The underlying hardware clock (for alarms).
   [[nodiscard]] HardwareClock& hardware() { return hw_; }
@@ -36,32 +38,32 @@ class LogicalClock {
 
   /// adj_p += delta. The per-call magnitude is the "discontinuity" of
   /// Definition 3(ii); callers can query last_adjustment() to audit it.
-  void adjust(Dur delta) {
+  void adjust(Duration delta) {
     adj_ += delta;
     last_delta_ = delta;
     ++adjust_count_;
   }
 
   /// Adversary action: sets adj_p so that C_p(now) == value.
-  void adversary_set_clock(ClockTime value) {
-    adj_ = value - hw_.read();
+  void adversary_set_clock(LogicalTime value) {
+    adj_ = value.minus_hw(hw_.read());
     ++smash_count_;
   }
 
   /// Adversary action: directly overwrites adj_p.
-  void adversary_set_adjustment(Dur adj) {
+  void adversary_set_adjustment(Duration adj) {
     adj_ = adj;
     ++smash_count_;
   }
 
-  [[nodiscard]] Dur last_adjustment() const { return last_delta_; }
+  [[nodiscard]] Duration last_adjustment() const { return last_delta_; }
   [[nodiscard]] std::uint64_t adjust_count() const { return adjust_count_; }
   [[nodiscard]] std::uint64_t smash_count() const { return smash_count_; }
 
  private:
   HardwareClock& hw_;
-  Dur adj_;
-  Dur last_delta_ = Dur::zero();
+  Duration adj_;
+  Duration last_delta_ = Duration::zero();
   std::uint64_t adjust_count_ = 0;
   std::uint64_t smash_count_ = 0;
 };

@@ -40,38 +40,38 @@ double nth_under(std::span<const PeerEstimate> estimates, int f,
 /// Both order statistics through the caller's scratch (or a throwaway
 /// local when none was provided — identical bits either way).
 struct Selected {
-  Dur m;
-  Dur big_m;
+  Duration m;
+  Duration big_m;
 };
 
 Selected select(std::span<const PeerEstimate> estimates, int f,
                 ConvergenceScratch* scratch) {
   ConvergenceScratch local;
   ConvergenceScratch& s = scratch != nullptr ? *scratch : local;
-  return Selected{Dur::seconds(nth_over(estimates, f, s.overs)),
-                  Dur::seconds(nth_under(estimates, f, s.unders))};
+  return Selected{Duration::seconds(nth_over(estimates, f, s.overs)),
+                  Duration::seconds(nth_under(estimates, f, s.unders))};
 }
 
 /// With at most f liars and at most f timeouts among >= 3f+1 entries both
 /// order statistics are finite; outside the model's budget (breakdown
 /// experiments) they may be infinite — then no information is usable and
 /// the processor keeps its clock.
-bool usable(Dur m, Dur big_m) { return m.is_finite() && big_m.is_finite(); }
+bool usable(Duration m, Duration big_m) { return m.is_finite() && big_m.is_finite(); }
 
 }  // namespace
 
-Dur select_low(std::span<const PeerEstimate> estimates, int f) {
+Duration select_low(std::span<const PeerEstimate> estimates, int f) {
   std::vector<double> buf;
-  return Dur::seconds(nth_over(estimates, f, buf));
+  return Duration::seconds(nth_over(estimates, f, buf));
 }
 
-Dur select_high(std::span<const PeerEstimate> estimates, int f) {
+Duration select_high(std::span<const PeerEstimate> estimates, int f) {
   std::vector<double> buf;
-  return Dur::seconds(nth_under(estimates, f, buf));
+  return Duration::seconds(nth_under(estimates, f, buf));
 }
 
 ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates,
-                                         int f, Dur way_off,
+                                         int f, Duration way_off,
                                          ConvergenceScratch* scratch) const {
   const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
@@ -79,7 +79,7 @@ ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates
   // Figure 1, step 10: with at most f liars and at most f timeouts among
   // >= 3f+1 entries, both m and M are finite; defensive clamp regardless.
   if (m >= -way_off && big_m <= way_off) {
-    r.adjustment = (std::min(m, Dur::zero()) + std::max(big_m, Dur::zero())) / 2.0;
+    r.adjustment = (std::min(m, Duration::zero()) + std::max(big_m, Duration::zero())) / 2.0;
     r.way_off_branch = false;
   } else {
     r.adjustment = (m + big_m) / 2.0;
@@ -89,34 +89,34 @@ ConvergenceResult BhhnConvergence::apply(std::span<const PeerEstimate> estimates
 }
 
 ConvergenceResult MidpointConvergence::apply(
-    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/,
+    std::span<const PeerEstimate> estimates, int f, Duration /*way_off*/,
     ConvergenceScratch* scratch) const {
   const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
   return ConvergenceResult{(m + big_m) / 2.0, true};
 }
 
-CappedCorrectionConvergence::CappedCorrectionConvergence(Dur cap) : cap_(cap) {
-  assert(cap > Dur::zero());
+CappedCorrectionConvergence::CappedCorrectionConvergence(Duration cap) : cap_(cap) {
+  assert(cap > Duration::zero());
 }
 
 ConvergenceResult CappedCorrectionConvergence::apply(
-    std::span<const PeerEstimate> estimates, int f, Dur /*way_off*/,
+    std::span<const PeerEstimate> estimates, int f, Duration /*way_off*/,
     ConvergenceScratch* scratch) const {
   const auto [m, big_m] = select(estimates, f, scratch);
   if (!usable(m, big_m)) return ConvergenceResult{};
-  const Dur raw =
-      (std::min(m, Dur::zero()) + std::max(big_m, Dur::zero())) / 2.0;
+  const Duration raw =
+      (std::min(m, Duration::zero()) + std::max(big_m, Duration::zero())) / 2.0;
   return ConvergenceResult{std::clamp(raw, -cap_, cap_), false};
 }
 
 ConvergenceResult NullConvergence::apply(std::span<const PeerEstimate>, int,
-                                         Dur, ConvergenceScratch*) const {
+                                         Duration, ConvergenceScratch*) const {
   return ConvergenceResult{};
 }
 
 std::shared_ptr<const ConvergenceFunction> make_convergence(
-    std::string_view name, Dur cap) {
+    std::string_view name, Duration cap) {
   if (name == "bhhn") return std::make_shared<BhhnConvergence>();
   if (name == "midpoint") return std::make_shared<MidpointConvergence>();
   if (name == "capped-correction")

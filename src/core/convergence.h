@@ -22,15 +22,15 @@
 #include <vector>
 
 #include "core/estimate.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
 /// One row of Figure 1 steps 6-7: overestimate and underestimate of the
 /// peer's clock minus ours. Timeouts are (+inf, -inf).
 struct PeerEstimate {
-  Dur over;
-  Dur under;
+  Duration over;
+  Duration under;
 
   [[nodiscard]] static PeerEstimate from(const Estimate& e) {
     return PeerEstimate{e.over(), e.under()};
@@ -40,12 +40,12 @@ struct PeerEstimate {
 /// Outcome of one convergence evaluation, for metrics: the adjustment and
 /// whether the WayOff escape branch fired (Figure 1, step 12).
 struct ConvergenceResult {
-  Dur adjustment = Dur::zero();
+  Duration adjustment = Duration::zero();
   bool way_off_branch = false;
 };
 
 /// Reusable flat buffers for the (f+1)-trim order statistics: the
-/// selection runs nth_element over plain double arrays (SoA, no Dur
+/// selection runs nth_element over plain double arrays (SoA, no Duration
 /// wrappers, no per-round vector allocation). Protocol engines keep one
 /// per process and pass it to apply(); steady-state rounds then allocate
 /// nothing. Purely scratch — carries no state between calls.
@@ -65,7 +65,7 @@ class ConvergenceFunction {
   /// (optional) makes the call allocation-free in steady state; the
   /// result is bit-identical with or without it.
   [[nodiscard]] virtual ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const PeerEstimate> estimates, int f, Duration way_off,
       ConvergenceScratch* scratch = nullptr) const = 0;
 };
 
@@ -77,7 +77,7 @@ class BhhnConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "bhhn"; }
   [[nodiscard]] ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const PeerEstimate> estimates, int f, Duration way_off,
       ConvergenceScratch* scratch = nullptr) const override;
 };
 
@@ -86,7 +86,7 @@ class MidpointConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "midpoint"; }
   [[nodiscard]] ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const PeerEstimate> estimates, int f, Duration way_off,
       ConvergenceScratch* scratch = nullptr) const override;
 };
 
@@ -95,18 +95,18 @@ class MidpointConvergence final : public ConvergenceFunction {
 /// from a far-off clock is slow or never completes.
 class CappedCorrectionConvergence final : public ConvergenceFunction {
  public:
-  explicit CappedCorrectionConvergence(Dur cap);
+  explicit CappedCorrectionConvergence(Duration cap);
 
   [[nodiscard]] std::string_view name() const override {
     return "capped-correction";
   }
   [[nodiscard]] ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const PeerEstimate> estimates, int f, Duration way_off,
       ConvergenceScratch* scratch = nullptr) const override;
-  [[nodiscard]] Dur cap() const { return cap_; }
+  [[nodiscard]] Duration cap() const { return cap_; }
 
  private:
-  Dur cap_;
+  Duration cap_;
 };
 
 /// Never adjusts: free-running hardware clocks.
@@ -114,19 +114,19 @@ class NullConvergence final : public ConvergenceFunction {
  public:
   [[nodiscard]] std::string_view name() const override { return "none"; }
   [[nodiscard]] ConvergenceResult apply(
-      std::span<const PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const PeerEstimate> estimates, int f, Duration way_off,
       ConvergenceScratch* scratch = nullptr) const override;
 };
 
 /// Selection helpers shared by the implementations (exposed for tests).
 /// (f+1)-st smallest overestimate m (Figure 1, step 8).
-[[nodiscard]] Dur select_low(std::span<const PeerEstimate> estimates, int f);
+[[nodiscard]] Duration select_low(std::span<const PeerEstimate> estimates, int f);
 /// (f+1)-st largest underestimate M (Figure 1, step 9).
-[[nodiscard]] Dur select_high(std::span<const PeerEstimate> estimates, int f);
+[[nodiscard]] Duration select_high(std::span<const PeerEstimate> estimates, int f);
 
 /// Factory by name: "bhhn", "midpoint", "capped-correction", "none".
 /// `cap` is only used by capped-correction.
 [[nodiscard]] std::shared_ptr<const ConvergenceFunction> make_convergence(
-    std::string_view name, Dur cap = Dur::millis(100));
+    std::string_view name, Duration cap = Duration::millis(100));
 
 }  // namespace czsync::core

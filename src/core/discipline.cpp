@@ -10,21 +10,21 @@ RateDiscipline::RateDiscipline(clk::LogicalClock& clock,
     : clock_(clock), config_(config) {
   assert(config_.gain > 0.0 && config_.gain <= 1.0);
   assert(config_.max_rate > 0.0);
-  assert(config_.slew_interval > Dur::zero());
+  assert(config_.slew_interval > Duration::zero());
   last_observe_ = clock_.read();
   last_slew_ = last_observe_;
 }
 
-void RateDiscipline::observe(Dur adjustment) {
-  const ClockTime now = clock_.read();
+void RateDiscipline::observe(Duration adjustment) {
+  const LogicalTime now = clock_.read();
   if (!has_last_observe_) {
     has_last_observe_ = true;
     last_observe_ = now;
     return;
   }
-  const Dur span = now - last_observe_;
+  const Duration span = now - last_observe_;
   last_observe_ = now;
-  if (span <= Dur::zero()) return;
+  if (span <= Duration::zero()) return;
   ++samples_;
   // Anything the ensemble just corrected must not be slewed again: fold
   // the slew origin to the post-adjustment reading.
@@ -42,11 +42,11 @@ void RateDiscipline::observe(Dur adjustment) {
 }
 
 void RateDiscipline::slew() {
-  const ClockTime now = clock_.read();
-  const Dur span = now - last_slew_;
+  const LogicalTime now = clock_.read();
+  const Duration span = now - last_slew_;
   last_slew_ = now;
-  if (span <= Dur::zero() || rate_ == 0.0) return;
-  const Dur correction = span * rate_;
+  if (span <= Duration::zero() || rate_ == 0.0) return;
+  const Duration correction = span * rate_;
   clock_.adjust(correction);
   total_slewed_ += correction;
   // The adjust just moved the clock; fold it into the slew origin so the
@@ -60,7 +60,7 @@ void RateDiscipline::reset() {
   has_last_observe_ = false;
   last_observe_ = clock_.read();
   last_slew_ = last_observe_;
-  total_slewed_ = Dur::zero();
+  total_slewed_ = Duration::zero();
 }
 
 }  // namespace czsync::core

@@ -29,7 +29,7 @@
 #include <cstdint>
 
 #include "clock/logical_clock.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
@@ -41,7 +41,7 @@ struct DisciplineConfig {
   /// (set by the caller); compensation can never exceed it.
   double max_rate = 1e-4;
   /// Local time between slew micro-adjustments.
-  Dur slew_interval = Dur::seconds(5);
+  Duration slew_interval = Duration::seconds(5);
   /// Samples to skip before compensating (the first adjustments reflect
   /// initial offset, not rate).
   int warmup_samples = 3;
@@ -58,7 +58,7 @@ class RateDiscipline {
   /// Feeds one completed Sync: `adjustment` as applied to the clock.
   /// Internally converts to a rate sample using the local time elapsed
   /// since the previous call.
-  void observe(Dur adjustment);
+  void observe(Duration adjustment);
 
   /// Applies one slew tick: adjusts the clock by rate() * elapsed local
   /// time since the last tick (or since the last observe, whichever is
@@ -69,7 +69,7 @@ class RateDiscipline {
   /// so we slew forward). Clamped to [-max_rate, +max_rate].
   [[nodiscard]] double rate() const { return rate_; }
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
-  [[nodiscard]] Dur total_slewed() const { return total_slewed_; }
+  [[nodiscard]] Duration total_slewed() const { return total_slewed_; }
 
   /// Break-in handling: the adversary may have poisoned the estimator's
   /// state; recovery resets it (the estimate re-learns within a few
@@ -84,9 +84,9 @@ class RateDiscipline {
   double rate_ = 0.0;
   std::uint64_t samples_ = 0;
   bool has_last_observe_ = false;
-  ClockTime last_observe_;
-  ClockTime last_slew_;
-  Dur total_slewed_ = Dur::zero();
+  LogicalTime last_observe_;
+  LogicalTime last_slew_;
+  Duration total_slewed_ = Duration::zero();
 };
 
 }  // namespace czsync::core

@@ -4,32 +4,32 @@
 
 namespace czsync::core {
 
-Envelope::Envelope(RealTime tau0, BiasInterval at_tau0, double rho)
+Envelope::Envelope(SimTau tau0, BiasInterval at_tau0, double rho)
     : tau0_(tau0), base_(at_tau0), rho_(rho) {
   assert(at_tau0.lo <= at_tau0.hi);
   assert(rho >= 0.0);
 }
 
-BiasInterval Envelope::at(RealTime tau) const {
+BiasInterval Envelope::at(SimTau tau) const {
   assert(tau >= tau0_);
-  const Dur spread = (tau - tau0_) * rho_;
+  const Duration spread = (tau - tau0_) * rho_;
   return BiasInterval{base_.lo - spread, base_.hi + spread};
 }
 
-bool Envelope::contains(RealTime tau, Dur beta) const {
+bool Envelope::contains(SimTau tau, Duration beta) const {
   return at(tau).contains(beta);
 }
 
-bool Envelope::not_above(RealTime tau, Dur beta) const {
+bool Envelope::not_above(SimTau tau, Duration beta) const {
   return beta <= at(tau).hi;
 }
 
-bool Envelope::not_below(RealTime tau, Dur beta) const {
+bool Envelope::not_below(SimTau tau, Duration beta) const {
   return beta >= at(tau).lo;
 }
 
-Envelope Envelope::widen(Dur c) const {
-  assert(c >= Dur::zero());
+Envelope Envelope::widen(Duration c) const {
+  assert(c >= Duration::zero());
   return Envelope(tau0_, BiasInterval{base_.lo - c, base_.hi + c}, rho_);
 }
 
@@ -42,7 +42,7 @@ Envelope Envelope::average(const Envelope& e1, const Envelope& e2) {
                   e1.rho_);
 }
 
-Envelope Envelope::rebase(RealTime tau) const {
+Envelope Envelope::rebase(SimTau tau) const {
   return Envelope(tau, at(tau), rho_);
 }
 

@@ -8,52 +8,52 @@
 // can check the lemma's *shape* against simulation traces.
 #pragma once
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
 /// Closed interval on the bias axis.
 struct BiasInterval {
-  Dur lo;
-  Dur hi;
+  Duration lo;
+  Duration hi;
 
-  [[nodiscard]] Dur width() const { return hi - lo; }
-  [[nodiscard]] Dur mid() const { return (lo + hi) / 2.0; }
-  [[nodiscard]] bool contains(Dur b) const { return b >= lo && b <= hi; }
+  [[nodiscard]] Duration width() const { return hi - lo; }
+  [[nodiscard]] Duration mid() const { return (lo + hi) / 2.0; }
+  [[nodiscard]] bool contains(Duration b) const { return b >= lo && b <= hi; }
 };
 
 class Envelope {
  public:
   /// Env{tau0, [a, b]} with drift bound rho.
-  Envelope(RealTime tau0, BiasInterval at_tau0, double rho);
+  Envelope(SimTau tau0, BiasInterval at_tau0, double rho);
 
-  [[nodiscard]] RealTime tau0() const { return tau0_; }
+  [[nodiscard]] SimTau tau0() const { return tau0_; }
   [[nodiscard]] double rho() const { return rho_; }
 
   /// E(tau): the bias interval at time tau (>= tau0).
-  [[nodiscard]] BiasInterval at(RealTime tau) const;
+  [[nodiscard]] BiasInterval at(SimTau tau) const;
 
   /// |E(tau)|.
-  [[nodiscard]] Dur width_at(RealTime tau) const { return at(tau).width(); }
+  [[nodiscard]] Duration width_at(SimTau tau) const { return at(tau).width(); }
 
   /// Membership: bias beta is inside E at time tau.
-  [[nodiscard]] bool contains(RealTime tau, Dur beta) const;
+  [[nodiscard]] bool contains(SimTau tau, Duration beta) const;
   /// "not above E" / "not below E" (Appendix A.1).
-  [[nodiscard]] bool not_above(RealTime tau, Dur beta) const;
-  [[nodiscard]] bool not_below(RealTime tau, Dur beta) const;
+  [[nodiscard]] bool not_above(SimTau tau, Duration beta) const;
+  [[nodiscard]] bool not_below(SimTau tau, Duration beta) const;
 
   /// E + c: widen by c on both sides (c >= 0).
-  [[nodiscard]] Envelope widen(Dur c) const;
+  [[nodiscard]] Envelope widen(Duration c) const;
 
   /// avg(E, E'): averages the defining intervals; requires equal tau0 and
   /// rho (as in the appendix, where both are re-based first).
   [[nodiscard]] static Envelope average(const Envelope& e1, const Envelope& e2);
 
   /// Re-bases the envelope at a later instant: Env{tau, E(tau)}.
-  [[nodiscard]] Envelope rebase(RealTime tau) const;
+  [[nodiscard]] Envelope rebase(SimTau tau) const;
 
  private:
-  RealTime tau0_;
+  SimTau tau0_;
   BiasInterval base_;
   double rho_;
 };

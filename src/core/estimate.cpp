@@ -4,13 +4,13 @@
 
 namespace czsync::core {
 
-Estimate estimate_from_ping(ClockTime send_local, ClockTime responder_clock,
-                            ClockTime recv_local) {
+Estimate estimate_from_ping(LogicalTime send_local, LogicalTime responder_clock,
+                            LogicalTime recv_local) {
   assert(recv_local >= send_local);
   // Midpoint of the local send/receive instants; if the path were
   // symmetric, the responder's clock was read exactly then.
-  const Dur half_rtt = (recv_local - send_local) / 2.0;
-  const ClockTime midpoint = send_local + half_rtt;
+  const Duration half_rtt = (recv_local - send_local) / 2.0;
+  const LogicalTime midpoint = send_local + half_rtt;
   return Estimate{responder_clock - midpoint, half_rtt};
 }
 

@@ -11,32 +11,32 @@
 
 #include <initializer_list>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
 /// One peer's offset estimate. `d` is the estimated C_q - C_p; `a` the
 /// error bound. A timed-out estimate has a = +infinity.
 struct Estimate {
-  Dur d = Dur::zero();
-  Dur a = Dur::infinity();
+  Duration d = Duration::zero();
+  Duration a = Duration::infinity();
 
   [[nodiscard]] bool timed_out() const { return !a.is_finite(); }
   /// Overestimate d + a (Figure 1, step 6); +infinity when timed out.
-  [[nodiscard]] Dur over() const { return d + a; }
+  [[nodiscard]] Duration over() const { return d + a; }
   /// Underestimate d - a (Figure 1, step 7); -infinity when timed out.
-  [[nodiscard]] Dur under() const { return d - a; }
+  [[nodiscard]] Duration under() const { return d - a; }
 
   [[nodiscard]] static Estimate timeout() { return Estimate{}; }
   /// The trivial self-estimate: a processor knows its own clock exactly.
-  [[nodiscard]] static Estimate self() { return Estimate{Dur::zero(), Dur::zero()}; }
+  [[nodiscard]] static Estimate self() { return Estimate{Duration::zero(), Duration::zero()}; }
 };
 
 /// Computes the estimate from one completed ping exchange.
 /// Preconditions: R >= S (a reply cannot precede its request).
-[[nodiscard]] Estimate estimate_from_ping(ClockTime send_local,
-                                          ClockTime responder_clock,
-                                          ClockTime recv_local);
+[[nodiscard]] Estimate estimate_from_ping(LogicalTime send_local,
+                                          LogicalTime responder_clock,
+                                          LogicalTime recv_local);
 
 /// Combines k repeated pings by keeping the one with the smallest error
 /// bound (the NTP trick mentioned in §3.1: choose the estimation from the

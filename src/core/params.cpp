@@ -6,25 +6,25 @@
 
 namespace czsync::core {
 
-Dur reading_error_bound(double rho, Dur delta) {
+Duration reading_error_bound(double rho, Duration delta) {
   return delta * (1.0 + rho);
 }
 
 namespace {
 
-Dur interval_t(const ModelParams& m, Dur sync_int, Dur max_wait) {
+Duration interval_t(const ModelParams& m, Duration sync_int, Duration max_wait) {
   return sync_int * (1.0 + m.rho) + 2.0 * max_wait;
 }
 
 }  // namespace
 
-ProtocolParams ProtocolParams::derive(const ModelParams& m, Dur sync_int) {
-  assert(sync_int > Dur::zero());
+ProtocolParams ProtocolParams::derive(const ModelParams& m, Duration sync_int) {
+  assert(sync_int > Duration::zero());
   ProtocolParams p;
   p.sync_int = sync_int;
   p.max_wait = 2.0 * m.delta;
-  const Dur t = interval_t(m, p.sync_int, p.max_wait);
-  const Dur eps = reading_error_bound(m.rho, m.delta);
+  const Duration t = interval_t(m, p.sync_int, p.max_wait);
+  const Duration eps = reading_error_bound(m.rho, m.delta);
   // Appendix A.2: WayOff = 16 eps + 18 rho T + eps.
   p.way_off = 16.0 * eps + 18.0 * m.rho * t + eps;
   return p;
@@ -32,11 +32,11 @@ ProtocolParams ProtocolParams::derive(const ModelParams& m, Dur sync_int) {
 
 ProtocolParams ProtocolParams::derive_for_k(const ModelParams& m, int k) {
   assert(k >= 1);
-  const Dur max_wait = 2.0 * m.delta;
+  const Duration max_wait = 2.0 * m.delta;
   // T = Delta / k  =>  SyncInt = (T - 2 MaxWait) / (1 + rho).
-  const Dur t = m.delta_period / static_cast<double>(k);
-  Dur sync_int = (t - 2.0 * max_wait) / (1.0 + m.rho);
-  if (sync_int <= Dur::zero()) sync_int = Dur::millis(1);
+  const Duration t = m.delta_period / static_cast<double>(k);
+  Duration sync_int = (t - 2.0 * max_wait) / (1.0 + m.rho);
+  if (sync_int <= Duration::zero()) sync_int = Duration::millis(1);
   return derive(m, sync_int);
 }
 
@@ -47,7 +47,7 @@ TheoremBounds TheoremBounds::compute(const ModelParams& m,
   b.K = static_cast<int>(std::floor(m.delta_period / b.T));
   b.epsilon = reading_error_bound(m.rho, m.delta);
   b.k_precondition_ok = b.K >= 5;
-  const Dur base = 17.0 * b.epsilon + 18.0 * m.rho * b.T;
+  const Duration base = 17.0 * b.epsilon + 18.0 * m.rho * b.T;
   // C = (17 eps + 18 rho T) / 2^(K-3); for K < 3 the exponent would
   // inflate C, which is fine — the theorem requires K >= 5 anyway and the
   // flag above records violations.

@@ -18,7 +18,7 @@
 
 #include <string>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
@@ -27,8 +27,8 @@ struct ModelParams {
   int n = 4;                        ///< number of processors
   int f = 1;                        ///< faults per period (Def. 2)
   double rho = 1e-4;                ///< hardware drift bound (Eq. 2)
-  Dur delta = Dur::millis(50);      ///< message delivery bound
-  Dur delta_period = Dur::hours(1); ///< the period Delta of Def. 2
+  Duration delta = Duration::millis(50);      ///< message delivery bound
+  Duration delta_period = Duration::hours(1); ///< the period Delta of Def. 2
 
   /// n >= 3f+1 (assumed throughout §2.2).
   [[nodiscard]] bool byzantine_quorum_ok() const { return n >= 3 * f + 1; }
@@ -39,14 +39,14 @@ struct ModelParams {
 /// The knobs of Figure 1. §3.3 stresses these may safely *overestimate*
 /// the model values; derive() uses the tight settings from the analysis.
 struct ProtocolParams {
-  Dur sync_int = Dur::minutes(1);  ///< local time between Syncs
-  Dur max_wait = Dur::millis(100); ///< estimation timeout (= 2 delta)
-  Dur way_off = Dur::seconds(1);   ///< "very far" threshold (§3.2)
+  Duration sync_int = Duration::minutes(1);  ///< local time between Syncs
+  Duration max_wait = Duration::millis(100); ///< estimation timeout (= 2 delta)
+  Duration way_off = Duration::seconds(1);   ///< "very far" threshold (§3.2)
 
   /// Derives the paper's settings from the model:
   ///   MaxWait = 2 delta,  SyncInt as given,
   ///   WayOff  = 16 eps + 18 rho T + eps   (Appendix A.2: gamma_hat + eps).
-  [[nodiscard]] static ProtocolParams derive(const ModelParams& m, Dur sync_int);
+  [[nodiscard]] static ProtocolParams derive(const ModelParams& m, Duration sync_int);
 
   /// Derives settings that hit a target K = floor(Delta/T): picks SyncInt
   /// from T = Delta/K (useful for the K-sweep of experiment E4).
@@ -55,14 +55,14 @@ struct ProtocolParams {
 
 /// All quantities of Theorem 5 for a given (model, protocol) pair.
 struct TheoremBounds {
-  Dur T;                  ///< interval length (§4)
+  Duration T;                  ///< interval length (§4)
   int K = 0;              ///< floor(Delta / T)
-  Dur epsilon;            ///< reading error bound of the §3.1 estimator
-  Dur C;                  ///< the 2^-(K-3) penalty term
-  Dur envelope_d;         ///< D = 8 eps + 8 rho T + 2C (Appendix A.3)
-  Dur max_deviation;      ///< gamma (Thm. 5 i)
+  Duration epsilon;            ///< reading error bound of the §3.1 estimator
+  Duration C;                  ///< the 2^-(K-3) penalty term
+  Duration envelope_d;         ///< D = 8 eps + 8 rho T + 2C (Appendix A.3)
+  Duration max_deviation;      ///< gamma (Thm. 5 i)
   double logical_drift = 0.0;  ///< rho~ (Thm. 5 ii)
-  Dur discontinuity;      ///< psi (Thm. 5 ii)
+  Duration discontinuity;      ///< psi (Thm. 5 ii)
   bool k_precondition_ok = false;  ///< K >= 5
 
   [[nodiscard]] static TheoremBounds compute(const ModelParams& m,
@@ -75,6 +75,6 @@ struct TheoremBounds {
 /// Reading error of the ping estimator under (rho, delta): the round trip
 /// takes at most 2*delta real time, i.e. at most 2*delta*(1+rho) on the
 /// requester's clock, so a = (R-S)/2 <= delta*(1+rho).
-[[nodiscard]] Dur reading_error_bound(double rho, Dur delta);
+[[nodiscard]] Duration reading_error_bound(double rho, Duration delta);
 
 }  // namespace czsync::core

@@ -13,7 +13,7 @@
 #include "core/convergence.h"
 #include "net/message.h"
 #include "util/metrics.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::core {
 
@@ -24,8 +24,8 @@ struct SyncStats {
   std::uint64_t responses_ok = 0;
   std::uint64_t responses_stale = 0;
   std::uint64_t timeouts = 0;        ///< peer estimates that timed out
-  Dur max_abs_adjustment = Dur::zero();
-  Dur last_adjustment = Dur::zero();
+  Duration max_abs_adjustment = Duration::zero();
+  Duration last_adjustment = Duration::zero();
   // Round-protocol extras (zero for the no-rounds engine):
   std::uint64_t round_mismatch_discards = 0;  ///< replies from other rounds
   std::uint64_t joins = 0;                    ///< round re-acquisitions

@@ -28,14 +28,14 @@ RoundSyncProcess::RoundSyncProcess(trace::TracePort trace, net::Network& network
 void RoundSyncProcess::start() {
   assert(!started_);
   started_ = true;
-  Dur phase = Dur::zero();
+  Duration phase = Duration::zero();
   if (config_.random_phase) {
-    phase = Dur::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
+    phase = Duration::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
   }
   arm_next(phase);
 }
 
-void RoundSyncProcess::arm_next(Dur in_local_time) {
+void RoundSyncProcess::arm_next(Duration in_local_time) {
   sync_alarm_ = clock_.hardware().set_alarm_after(in_local_time, [this] {
     sync_alarm_ = clk::kNoAlarm;
     begin_round();
@@ -63,7 +63,7 @@ void RoundSyncProcess::resume() {
   // round_ is whatever survived the break-in — typically several rounds
   // stale. The first post-recovery round will detect the mismatch and
   // run the join protocol.
-  arm_next(Dur::zero());
+  arm_next(Duration::zero());
 }
 
 void RoundSyncProcess::begin_round() {
@@ -71,7 +71,7 @@ void RoundSyncProcess::begin_round() {
   round_active_ = true;
   ++stats_.rounds_started;
   if (trace::TraceSink* ts = trace_.sink()) {
-    ts->record(trace::round_open(trace_.now_sec(), id_, round_));
+    ts->record(trace::round_open(trace_.now(), id_, round_));
   }
   std::fill(replies_.begin(), replies_.end(), Reply{});
   round_send_time_ = clock_.read();
@@ -130,7 +130,7 @@ void RoundSyncProcess::handle_message(const net::Message& msg) {
   const std::uint64_t lo = round_ > 0 ? round_ - 1 : 0;
   reply.mismatched = resp->round < lo || resp->round > round_ + 1;
   // RTT on the (monotone) hardware clock — the logical clock is not.
-  const Dur rtt = clock_.hardware().read() - round_send_hw_;
+  const Duration rtt = clock_.hardware().read() - round_send_hw_;
   const Estimate fresh = estimate_from_ping(
       round_send_time_, resp->responder_clock, round_send_time_ + rtt);
   if (reply.mismatched) {
@@ -184,10 +184,10 @@ void RoundSyncProcess::finish_round() {
     stats_.max_abs_adjustment =
         std::max(stats_.max_abs_adjustment, result.adjustment.abs());
     if (trace::TraceSink* ts = trace_.sink()) {
-      const double t = trace_.now_sec();
+      const SimTau t = trace_.now();
       ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
-                                  result.adjustment.sec(),
-                                  clock_.adjustment().sec()));
+                                  result.adjustment,
+                                  clock_.adjustment()));
       ts->record(trace::round_close(
           t, id_, round_, result.way_off_branch ? trace::kRoundWayOff : 0u));
     }
@@ -225,10 +225,10 @@ void RoundSyncProcess::join(const std::vector<Reply>& replies) {
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
   if (trace::TraceSink* ts = trace_.sink()) {
-    const double t = trace_.now_sec();
+    const SimTau t = trace_.now();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Join,
-                                result.adjustment.sec(),
-                                clock_.adjustment().sec()));
+                                result.adjustment,
+                                clock_.adjustment()));
     ts->record(trace::round_close(t, id_, round_, trace::kRoundJoin));
   }
   if (on_sync_complete) on_sync_complete(result);

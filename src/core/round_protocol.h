@@ -67,7 +67,7 @@ class RoundSyncProcess final : public ProtocolEngine {
     bool answered = false;  ///< false = never replied (true timeout)
   };
 
-  void arm_next(Dur in_local_time);
+  void arm_next(Duration in_local_time);
   void begin_round();
   void finish_round();
   void join(const std::vector<Reply>& replies);
@@ -87,8 +87,8 @@ class RoundSyncProcess final : public ProtocolEngine {
   clk::AlarmId timeout_alarm_ = clk::kNoAlarm;
 
   bool round_active_ = false;
-  ClockTime round_send_time_;  // S on the logical clock
-  ClockTime round_send_hw_;    // send instant on the monotone hw clock
+  LogicalTime round_send_time_;  // S on the logical clock
+  HwTime round_send_hw_;         // send instant on the monotone hw clock
 
   /// Sender -> dense peer slot via binary search over the sorted,
   /// degree-sized peers_ list (-1 for non-neighbors). Keeps per-process

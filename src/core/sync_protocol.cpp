@@ -42,9 +42,9 @@ void SyncProcess::clear_round_state() {
 void SyncProcess::start() {
   assert(!started_);
   started_ = true;
-  Dur phase = Dur::zero();
+  Duration phase = Duration::zero();
   if (config_.random_phase) {
-    phase = Dur::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
+    phase = Duration::seconds(rng_.uniform(0.0, config_.params.sync_int.sec()));
   }
   arm_next(phase);
   if (config_.cached_estimation) cache_tick();
@@ -69,7 +69,7 @@ void SyncProcess::cache_tick() {
       });
 }
 
-void SyncProcess::arm_next(Dur in_local_time) {
+void SyncProcess::arm_next(Duration in_local_time) {
   sync_alarm_ = clock_.hardware().set_alarm_after(in_local_time, [this] {
     sync_alarm_ = clk::kNoAlarm;
     begin_round();
@@ -106,7 +106,7 @@ void SyncProcess::resume() {
   // counting down the recovery envelope. (The cache restarts empty: its
   // first few syncs see only timeouts, an extra recovery penalty of the
   // cached design.)
-  arm_next(Dur::zero());
+  arm_next(Duration::zero());
   if (config_.cached_estimation) cache_tick();
 }
 
@@ -116,7 +116,7 @@ void SyncProcess::begin_round() {
   round_active_ = true;
   ++stats_.rounds_started;
   if (trace::TraceSink* ts = trace_.sink()) {
-    ts->record(trace::round_open(trace_.now_sec(), id_, stats_.rounds_started));
+    ts->record(trace::round_open(trace_.now(), id_, stats_.rounds_started));
   }
   if (config_.cached_estimation) {
     // The §3.1 caveat variant: no fresh pings — consume whatever the
@@ -172,11 +172,11 @@ void SyncProcess::handle_message(const net::Message& msg) {
         ++stats_.responses_stale;
         return;
       }
-      const ClockTime now = clock_.read();
+      const LogicalTime now = clock_.read();
       auto sent = cache_sent_at_.find(peer);
       if (sent == cache_sent_at_.end()) return;
       // RTT on the (monotone) hardware clock; see round_send_hw_.
-      const Dur rtt = clock_.hardware().read() - sent->second.hw;
+      const Duration rtt = clock_.hardware().read() - sent->second.hw;
       cache_[peer] = CacheEntry{
           estimate_from_ping(sent->second.logical, resp->responder_clock,
                              sent->second.logical + rtt),
@@ -213,7 +213,7 @@ void SyncProcess::handle_message(const net::Message& msg) {
     nonce_live_[hit] = 0;  // each nonce is redeemable exactly once
     // RTT on the (monotone) hardware clock; the logical clock may have
     // been slewed mid-flight.
-    const Dur rtt = clock_.hardware().read() - round_send_hw_;
+    const Duration rtt = clock_.hardware().read() - round_send_hw_;
     const Estimate e = estimate_from_ping(
         round_send_time_, resp->responder_clock, round_send_time_ + rtt);
     // Keep the best (smallest error bound) of this peer's k replies.
@@ -235,7 +235,7 @@ void SyncProcess::finish_from_cache() {
   round_active_ = false;
   estimates_.clear();
   estimates_.push_back(PeerEstimate::from(Estimate::self()));
-  const ClockTime now = clock_.read();
+  const LogicalTime now = clock_.read();
   for (net::ProcId q : peers_) {
     auto it = cache_.find(q);
     if (it == cache_.end() ||
@@ -259,10 +259,10 @@ void SyncProcess::finish_from_cache() {
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
   if (trace::TraceSink* ts = trace_.sink()) {
-    const double t = trace_.now_sec();
+    const SimTau t = trace_.now();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
-                                result.adjustment.sec(),
-                                clock_.adjustment().sec()));
+                                result.adjustment,
+                                clock_.adjustment()));
     std::uint32_t flags = trace::kRoundFromCache;
     if (result.way_off_branch) flags |= trace::kRoundWayOff;
     ts->record(trace::round_close(t, id_, stats_.rounds_completed, flags));
@@ -304,10 +304,10 @@ void SyncProcess::finish_round() {
   stats_.max_abs_adjustment =
       std::max(stats_.max_abs_adjustment, result.adjustment.abs());
   if (trace::TraceSink* ts = trace_.sink()) {
-    const double t = trace_.now_sec();
+    const SimTau t = trace_.now();
     ts->record(trace::adj_write(t, id_, trace::AdjKind::Sync,
-                                result.adjustment.sec(),
-                                clock_.adjustment().sec()));
+                                result.adjustment,
+                                clock_.adjustment()));
     ts->record(trace::round_close(
         t, id_, stats_.rounds_completed,
         result.way_off_branch ? trace::kRoundWayOff : 0u));

@@ -58,9 +58,9 @@ struct SyncConfig {
   /// measure exactly how Definition 4 breaks.
   bool cached_estimation = false;
   /// Background refresh cadence (local time) when cached_estimation.
-  Dur cache_refresh = Dur::seconds(20);
+  Duration cache_refresh = Duration::seconds(20);
   /// Entries older than this (local time) count as timeouts.
-  Dur max_cache_age = Dur::minutes(2);
+  Duration max_cache_age = Duration::minutes(2);
 
   /// Test-only: pre-reserve the unordered nonce/cache tables to this many
   /// buckets. Perturbs hash-table geometry — and thus the iteration order
@@ -102,7 +102,7 @@ class SyncProcess final : public ProtocolEngine {
   void begin_round();
   void finish_round();
   void clear_round_state();
-  void arm_next(Dur in_local_time);
+  void arm_next(Duration in_local_time);
   void cache_tick();
   void finish_from_cache();
 
@@ -138,8 +138,8 @@ class SyncProcess final : public ProtocolEngine {
   // owns pings_per_peer consecutive entries of round_nonces_/nonce_live_,
   // and collected_[slot] holds the best estimate iff reply_count_[slot]>0.
   bool round_active_ = false;
-  ClockTime round_send_time_;     // S on the logical clock (same for all)
-  ClockTime round_send_hw_;       // send instant on the hardware clock:
+  LogicalTime round_send_time_;     // S on the logical clock (same for all)
+  HwTime round_send_hw_;            // send instant on the hardware clock:
                                   // the RTT is measured on it because the
                                   // logical clock may be adjusted (e.g. a
                                   // negative discipline slew) mid-flight
@@ -159,11 +159,11 @@ class SyncProcess final : public ProtocolEngine {
   // Cached-estimation mode (§3.1 caveat).
   struct CacheEntry {
     Estimate estimate;
-    ClockTime measured_at;  // local clock when the reply landed
+    LogicalTime measured_at;  // local clock when the reply landed
   };
   struct CacheSentAt {
-    ClockTime logical;
-    ClockTime hw;
+    LogicalTime logical;
+    HwTime hw;
   };
   clk::AlarmId cache_alarm_ = clk::kNoAlarm;
   std::unordered_map<std::uint64_t, net::ProcId> cache_nonce_to_peer_;

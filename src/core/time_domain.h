@@ -1,0 +1,15 @@
+// Facade: the strong time-domain types for protocol-layer code.
+//
+// ISSUE and DESIGN.md §4.14 name core/ as the home of the time-domain
+// vocabulary, but the types themselves must live below sim/ in the
+// layering DAG (sim stamps events with SimTau yet must never include
+// core/). The definitions therefore sit in util/time_domain.h; this
+// header is the sanctioned spelling for core/broadcast/proactive and
+// everything above them, and is where any future protocol-level time
+// aliases (round deadlines, epoch stamps) would be declared.
+//
+// Nothing may be defined here that sim/ or clock/ would need — add such
+// types to util/time_domain.h instead.
+#pragma once
+
+#include "util/time_domain.h"  // SimTau, HwTime, LogicalTime, Duration

@@ -27,8 +27,9 @@ void put_id(std::vector<unsigned char>& out, net::ProcId id) {
   put_varint(out, static_cast<std::uint64_t>(id));
 }
 
-void put_clock(std::vector<unsigned char>& out, ClockTime c) {
-  put_f64(out, c.sec());
+void put_clock(std::vector<unsigned char>& out, LogicalTime c) {
+  // time: CZU1 wire format carries clock readings as bit-exact f64
+  put_f64(out, c.raw());
 }
 
 struct BodyEncoder {
@@ -91,7 +92,7 @@ bool decode_body(Reader& r, std::uint64_t kind, int n, net::Body& body) {
     case 1: {  // PingResp
       net::PingResp b;
       b.nonce = r.varint();
-      b.responder_clock = ClockTime(r.f64());
+      b.responder_clock = LogicalTime(r.f64());
       body = b;
       break;
     }
@@ -106,7 +107,7 @@ bool decode_body(Reader& r, std::uint64_t kind, int n, net::Body& body) {
       net::RoundPingResp b;
       b.nonce = r.varint();
       b.round = r.varint();
-      b.responder_clock = ClockTime(r.f64());
+      b.responder_clock = LogicalTime(r.f64());
       body = b;
       break;
     }
@@ -142,7 +143,7 @@ bool decode_body(Reader& r, std::uint64_t kind, int n, net::Body& body) {
     case 7: {  // TimestampResp
       net::TimestampResp b;
       b.nonce = r.varint();
-      b.stamp = ClockTime(r.f64());
+      b.stamp = LogicalTime(r.f64());
       body = b;
       break;
     }

@@ -14,7 +14,7 @@
 //   varint  to                              (destination ProcId)
 //   varint  body kind                       (Body variant index)
 //   ...     body fields in declaration order; integers as varints,
-//           ClockTime as a bit-exact f64, vectors as varint length +
+//           LogicalTime as a bit-exact f64, vectors as varint length +
 //           elements
 //
 // decode_message() is written for hostile input: every failure mode —

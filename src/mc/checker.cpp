@@ -56,7 +56,7 @@ Checker::RunOutcome Checker::run_one(ChoiceTrail& trail,
     return false;
   };
 
-  const RealTime limit = RealTime::zero() + opt_.horizon;
+  const SimTau limit = SimTau::zero() + opt_.horizon;
   bool pruned = world.at_barrier() && barrier();
 
   while (!pruned && !mon.pending()) {

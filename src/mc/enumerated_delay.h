@@ -28,22 +28,22 @@ namespace czsync::mc {
 
 class EnumeratedDelay final : public net::DelayModel {
  public:
-  EnumeratedDelay(Dur bound, int k, ChoiceTrail* trail)
+  EnumeratedDelay(Duration bound, int k, ChoiceTrail* trail)
       : net::DelayModel(bound), k_(k < 1 ? 1 : k), trail_(trail) {}
 
-  [[nodiscard]] Dur sample(Rng& /*rng*/, net::ProcId /*from*/,
+  [[nodiscard]] Duration sample(Rng& /*rng*/, net::ProcId /*from*/,
                            net::ProcId /*to*/) const override {
     const int i = trail_->choose(k_);
     return grid_point(i);
   }
 
-  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+  [[nodiscard]] std::optional<Duration> constant_delay() const override {
     if (k_ == 1) return grid_point(0);
     return std::nullopt;
   }
 
   [[nodiscard]] int points() const { return k_; }
-  [[nodiscard]] Dur grid_point(int i) const {
+  [[nodiscard]] Duration grid_point(int i) const {
     if (k_ == 1) return bound() * 0.5;
     return bound() * (static_cast<double>(i + 1) / static_cast<double>(k_));
   }

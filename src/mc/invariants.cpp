@@ -45,11 +45,11 @@ InvariantMonitor::InvariantMonitor(McWorld& world, const McOptions& opt)
       rho_(opt.rho),
       open_(static_cast<std::size_t>(world.n())) {}
 
-bool InvariantMonitor::controlled_within(int p, RealTime t1, RealTime t2) const {
+bool InvariantMonitor::controlled_within(int p, SimTau t1, SimTau t2) const {
   return w_.adv_case().schedule.controlled_within(p, t1, t2);
 }
 
-bool InvariantMonitor::stable(int p, RealTime t) const {
+bool InvariantMonitor::stable(int p, SimTau t) const {
   // The paper's guarantee covers processors non-faulty for a full
   // Delta-period; same classification as analysis::Observer.
   return !controlled_within(p, t - delta_period_, t);
@@ -70,7 +70,7 @@ void InvariantMonitor::on_round_complete(int p) {
   OpenRound& o = open_[static_cast<std::size_t>(p)];
   if (!o.open) return;  // e.g. completed before the poll ever saw it open
   o.open = false;
-  const RealTime now = w_.sim().now();
+  const SimTau now = w_.sim().now();
   // The trim argument needs p correct for the whole round and at most f
   // faulty participants; outside that precondition Lemma 7 says nothing.
   if (controlled_within(p, o.t, now)) return;
@@ -104,7 +104,7 @@ void InvariantMonitor::on_round_complete(int p) {
   if (b < hull_lo - slack || b > hull_hi + slack) {
     Violation v;
     v.kind = Violation::Kind::Containment;
-    v.t = now.sec();
+    v.t = now.raw();  // time: violation reports carry raw tau
     v.proc = p;
     v.observed = b;
     v.bound = b < hull_lo - slack ? hull_lo - slack : hull_hi + slack;
@@ -116,7 +116,7 @@ void InvariantMonitor::on_round_complete(int p) {
 
 void InvariantMonitor::after_event() {
   if (pending_) return;
-  const RealTime now = w_.sim().now();
+  const SimTau now = w_.sim().now();
   for (int p = 0; p < w_.n(); ++p) {
     if (!stable(p, now)) continue;
     for (int q = p + 1; q < w_.n(); ++q) {
@@ -125,7 +125,7 @@ void InvariantMonitor::after_event() {
       if (dev > envelope_.sec() + kTiny) {
         Violation v;
         v.kind = Violation::Kind::Envelope;
-        v.t = now.sec();
+        v.t = now.raw();  // time: violation reports carry raw tau
         v.proc = p;
         v.observed = dev;
         v.bound = envelope_.sec();
@@ -139,7 +139,7 @@ void InvariantMonitor::after_event() {
 }
 
 void InvariantMonitor::at_barrier() {
-  const RealTime now = w_.sim().now();
+  const SimTau now = w_.sim().now();
 
   // Trace hook: one InvariantSample per barrier so captured
   // counterexamples carry the checker's own observations.
@@ -154,9 +154,9 @@ void InvariantMonitor::at_barrier() {
         max_dev = std::max(max_dev, std::abs(w_.bias(p) - w_.bias(q)));
       }
     }
-    ts->record(trace::invariant_sample(now.sec(),
+    ts->record(trace::invariant_sample(now,
                                        static_cast<std::uint64_t>(stable_count),
-                                       stable_count > 0, max_dev));
+                                       stable_count > 0, Duration(max_dev)));
   }
 
   if (pending_) return;
@@ -185,7 +185,7 @@ void InvariantMonitor::at_barrier() {
       if (width > bound) {
         Violation v;
         v.kind = Violation::Kind::Contraction;
-        v.t = now.sec();
+        v.t = now.raw();  // time: violation reports carry raw tau
         v.observed = width;
         v.bound = bound;
         v.detail = describe("width %g exceeds half the previous barrier's "

@@ -75,25 +75,25 @@ class InvariantMonitor {
   }
 
  private:
-  [[nodiscard]] bool stable(int p, RealTime t) const;
-  [[nodiscard]] bool controlled_within(int p, RealTime t1, RealTime t2) const;
+  [[nodiscard]] bool stable(int p, SimTau t) const;
+  [[nodiscard]] bool controlled_within(int p, SimTau t1, SimTau t2) const;
 
   McWorld& w_;
-  Dur eps_;
-  Dur envelope_;
+  Duration eps_;
+  Duration envelope_;
   bool check_containment_;
-  Dur delta_period_;
+  Duration delta_period_;
   double rho_;
 
   struct OpenRound {
     bool open = false;
-    RealTime t;
+    SimTau t;
     std::vector<double> biases;  ///< all processors' biases at open
   };
   std::vector<OpenRound> open_;
 
   bool have_ref_ = false;
-  RealTime ref_t_;
+  SimTau ref_t_;
   double ref_width_ = 0.0;
   std::vector<std::uint64_t> ref_rounds_;
 

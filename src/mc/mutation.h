@@ -23,7 +23,7 @@ class MutatedBhhnConvergence final : public core::ConvergenceFunction {
   }
 
   [[nodiscard]] core::ConvergenceResult apply(
-      std::span<const core::PeerEstimate> estimates, int f, Dur way_off,
+      std::span<const core::PeerEstimate> estimates, int f, Duration way_off,
       core::ConvergenceScratch* scratch = nullptr) const override {
     const int mutated_f = f > 0 ? f - 1 : 0;
     return inner_.apply(estimates, mutated_f, way_off, scratch);

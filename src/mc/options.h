@@ -16,7 +16,7 @@
 #include "adversary/schedule.h"
 #include "core/convergence.h"
 #include "core/params.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::mc {
 
@@ -26,7 +26,7 @@ namespace czsync::mc {
 struct AdvCase {
   adversary::Schedule schedule;  ///< empty = fault-free
   std::string strategy = "silent";
-  Dur scale = Dur::zero();
+  Duration scale = Duration::zero();
   std::string label = "fault-free";
 };
 
@@ -35,11 +35,11 @@ struct McOptions {
   /// Trim depth / fault budget; -1 = ModelParams::max_f(n).
   int f = -1;
   double rho = 1e-4;
-  Dur delta = Dur::millis(50);        ///< delivery bound delta
-  Dur delta_period = Dur::hours(1);   ///< Definition-2 period Delta
-  Dur sync_int = Dur::minutes(1);
-  Dur horizon = Dur::seconds(45);     ///< explored real-time window
-  Dur initial_spread = Dur::millis(20);
+  Duration delta = Duration::millis(50);        ///< delivery bound delta
+  Duration delta_period = Duration::hours(1);   ///< Definition-2 period Delta
+  Duration sync_int = Duration::minutes(1);
+  Duration horizon = Duration::seconds(45);     ///< explored real-time window
+  Duration initial_spread = Duration::millis(20);
 
   /// Grid sizes. delay_choices discretizes (0, delta] per message;
   /// bias_choices spans [-spread/2, +spread/2] per processor;

@@ -40,13 +40,13 @@ std::vector<AdvCase> enumerate_adversary_cases(
   const int dwells = opt.adv_dwell_choices < 1 ? 1 : opt.adv_dwell_choices;
   for (int victim = 0; victim < opt.n; ++victim) {
     for (int j = 0; j < starts; ++j) {
-      const RealTime start =
-          RealTime::zero() + opt.horizon * (static_cast<double>(j) / starts);
+      const SimTau start =
+          SimTau::zero() + opt.horizon * (static_cast<double>(j) / starts);
       for (int l = 0; l < dwells; ++l) {
         // Leave strictly inside the horizon: every schedule exercises a
         // recovery, and the enumeration over l is the enumeration of
         // recovery timings the tentpole calls for.
-        const Dur dwell = (opt.horizon - (start - RealTime::zero())) *
+        const Duration dwell = (opt.horizon - (start - SimTau::zero())) *
                           (static_cast<double>(l + 1) / (dwells + 1));
         for (double s : scales) {
           AdvCase c;
@@ -58,7 +58,8 @@ std::vector<AdvCase> enumerate_adversary_cases(
           c.scale = proto.way_off * s;
           char label[96];
           std::snprintf(label, sizeof(label), "%s p%d @%.3fs..%.3fs %+.2fxWayOff",
-                        strat, victim, start.sec(), (start + dwell).sec(), s);
+                        strat, victim, start.raw(),  // time: label text
+                        (start + dwell).raw(), s);
           c.label = label;
           cases.push_back(std::move(c));
         }

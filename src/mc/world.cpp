@@ -67,8 +67,8 @@ McWorld::McWorld(const McOptions& opt, const std::vector<AdvCase>& cases,
   nodes_.reserve(static_cast<std::size_t>(opt_.n));
   for (int p = 0; p < opt_.n; ++p) {
     const int bi = bias_k > 1 ? trail.choose(bias_k) : 0;
-    const Dur bias =
-        Dur::seconds(grid_value(bi, bias_k, -spread / 2.0, spread / 2.0));
+    const Duration bias =
+        Duration::seconds(grid_value(bi, bias_k, -spread / 2.0, spread / 2.0));
     const int ri = rate_k > 1 ? trail.choose(rate_k) : 0;
     const double rate = rate_k > 1
                             ? grid_value(ri, rate_k, 1.0 / (1.0 + model_.rho),
@@ -135,7 +135,7 @@ bool McWorld::at_barrier() const {
 std::uint64_t McWorld::state_hash() const {
   std::uint64_t h = kFnvOffset;
   mix(h, static_cast<std::uint64_t>(case_idx_));
-  mix(h, sim_.now().sec());
+  mix(h, sim_.now().raw());  // time: hash folds the raw tau bits
   double bias_min = bias(0);
   for (int p = 1; p < opt_.n; ++p) {
     if (bias(p) < bias_min) bias_min = bias(p);
@@ -156,7 +156,7 @@ std::uint64_t McWorld::state_hash() const {
     if (const auto* rounds = dynamic_cast<const core::RoundSyncProcess*>(&eng)) {
       mix(h, rounds->round());
     }
-    for (Dur off : node.hardware().pending_alarm_offsets()) {
+    for (Duration off : node.hardware().pending_alarm_offsets()) {
       mix(h, off.sec());
     }
     mix(h, std::uint64_t{0x5eed});  // per-processor separator

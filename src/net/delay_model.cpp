@@ -6,32 +6,32 @@
 
 namespace czsync::net {
 
-DelayModel::DelayModel(Dur bound) : bound_(bound) {
-  assert(bound > Dur::zero() && bound.is_finite());
+DelayModel::DelayModel(Duration bound) : bound_(bound) {
+  assert(bound > Duration::zero() && bound.is_finite());
 }
 
-Dur DelayModel::clamp(Dur d) const {
+Duration DelayModel::clamp(Duration d) const {
   // Delivery takes strictly positive time and never exceeds the bound.
-  const Dur floor = bound_ * 1e-6;
+  const Duration floor = bound_ * 1e-6;
   return std::clamp(d, floor, bound_);
 }
 
-FixedDelay::FixedDelay(Dur bound, double fraction)
+FixedDelay::FixedDelay(Duration bound, double fraction)
     : DelayModel(bound), value_(clamp(bound * fraction)) {
   assert(fraction > 0.0 && fraction <= 1.0);
 }
 
-Dur FixedDelay::sample(Rng&, ProcId, ProcId) const { return value_; }
+Duration FixedDelay::sample(Rng&, ProcId, ProcId) const { return value_; }
 
-UniformDelay::UniformDelay(Dur bound, Dur lo) : DelayModel(bound), lo_(lo) {
-  assert(lo >= Dur::zero() && lo < bound);
+UniformDelay::UniformDelay(Duration bound, Duration lo) : DelayModel(bound), lo_(lo) {
+  assert(lo >= Duration::zero() && lo < bound);
 }
 
-Dur UniformDelay::sample(Rng& rng, ProcId, ProcId) const {
-  return clamp(Dur::seconds(rng.uniform(lo_.sec(), bound().sec())));
+Duration UniformDelay::sample(Rng& rng, ProcId, ProcId) const {
+  return clamp(Duration::seconds(rng.uniform(lo_.sec(), bound().sec())));
 }
 
-AsymmetricDelay::AsymmetricDelay(Dur bound, double lo_fraction,
+AsymmetricDelay::AsymmetricDelay(Duration bound, double lo_fraction,
                                  double hi_fraction, double jitter_fraction)
     : DelayModel(bound),
       lo_fraction_(lo_fraction),
@@ -40,38 +40,38 @@ AsymmetricDelay::AsymmetricDelay(Dur bound, double lo_fraction,
   assert(lo_fraction > 0.0 && hi_fraction <= 1.0 && lo_fraction <= hi_fraction);
 }
 
-Dur AsymmetricDelay::sample(Rng& rng, ProcId from, ProcId to) const {
+Duration AsymmetricDelay::sample(Rng& rng, ProcId from, ProcId to) const {
   const double base = from < to ? hi_fraction_ : lo_fraction_;
   const double jitter = rng.uniform(-jitter_fraction_, jitter_fraction_);
   return clamp(bound() * (base + jitter));
 }
 
-JitterDelay::JitterDelay(Dur bound, Dur base, Dur jitter_mean)
+JitterDelay::JitterDelay(Duration bound, Duration base, Duration jitter_mean)
     : DelayModel(bound), base_(base), jitter_mean_(jitter_mean) {
-  assert(base > Dur::zero() && base < bound);
-  assert(jitter_mean > Dur::zero());
+  assert(base > Duration::zero() && base < bound);
+  assert(jitter_mean > Duration::zero());
 }
 
-Dur JitterDelay::sample(Rng& rng, ProcId, ProcId) const {
+Duration JitterDelay::sample(Rng& rng, ProcId, ProcId) const {
   const double u = std::max(rng.uniform01(), 1e-12);
-  const Dur jitter = Dur::seconds(-std::log(u) * jitter_mean_.sec());
+  const Duration jitter = Duration::seconds(-std::log(u) * jitter_mean_.sec());
   return clamp(base_ + jitter);
 }
 
-std::unique_ptr<DelayModel> make_fixed_delay(Dur bound, double fraction) {
+std::unique_ptr<DelayModel> make_fixed_delay(Duration bound, double fraction) {
   return std::make_unique<FixedDelay>(bound, fraction);
 }
 
-std::unique_ptr<DelayModel> make_uniform_delay(Dur bound, Dur lo) {
+std::unique_ptr<DelayModel> make_uniform_delay(Duration bound, Duration lo) {
   return std::make_unique<UniformDelay>(bound, lo);
 }
 
-std::unique_ptr<DelayModel> make_asymmetric_delay(Dur bound) {
+std::unique_ptr<DelayModel> make_asymmetric_delay(Duration bound) {
   return std::make_unique<AsymmetricDelay>(bound);
 }
 
-std::unique_ptr<DelayModel> make_jitter_delay(Dur bound, Dur base,
-                                              Dur jitter_mean) {
+std::unique_ptr<DelayModel> make_jitter_delay(Duration bound, Duration base,
+                                              Duration jitter_mean) {
   return std::make_unique<JitterDelay>(bound, base, jitter_mean);
 }
 

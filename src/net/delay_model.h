@@ -12,7 +12,7 @@
 
 #include "net/message.h"
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::net {
 
@@ -23,50 +23,50 @@ class DelayModel {
   virtual ~DelayModel() = default;
 
   /// The delivery bound delta the model never exceeds.
-  [[nodiscard]] Dur bound() const { return bound_; }
+  [[nodiscard]] Duration bound() const { return bound_; }
 
   /// One-way delay for a message from `from` to `to`.
-  [[nodiscard]] virtual Dur sample(Rng& rng, ProcId from, ProcId to) const = 0;
+  [[nodiscard]] virtual Duration sample(Rng& rng, ProcId from, ProcId to) const = 0;
 
   /// Deterministic models return their fixed per-message value so the
   /// network can skip the virtual sample() call on every send. Models
   /// that draw from the RNG must return nullopt: their per-message draw
   /// sequence is part of the run's bit-reproducible behaviour and may not
   /// be batched or skipped.
-  [[nodiscard]] virtual std::optional<Dur> constant_delay() const {
+  [[nodiscard]] virtual std::optional<Duration> constant_delay() const {
     return std::nullopt;
   }
 
  protected:
-  explicit DelayModel(Dur bound);
-  [[nodiscard]] Dur clamp(Dur d) const;
+  explicit DelayModel(Duration bound);
+  [[nodiscard]] Duration clamp(Duration d) const;
 
  private:
-  Dur bound_;
+  Duration bound_;
 };
 
 /// Deterministic constant delay (bound * fraction); perfectly symmetric,
 /// so clock estimates are exact up to drift during the round trip.
 class FixedDelay final : public DelayModel {
  public:
-  FixedDelay(Dur bound, double fraction = 0.5);
-  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
-  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+  FixedDelay(Duration bound, double fraction = 0.5);
+  [[nodiscard]] Duration sample(Rng& rng, ProcId from, ProcId to) const override;
+  [[nodiscard]] std::optional<Duration> constant_delay() const override {
     return value_;
   }
 
  private:
-  Dur value_;
+  Duration value_;
 };
 
 /// Uniform in [lo, bound].
 class UniformDelay final : public DelayModel {
  public:
-  UniformDelay(Dur bound, Dur lo = Dur::zero());
-  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+  UniformDelay(Duration bound, Duration lo = Duration::zero());
+  [[nodiscard]] Duration sample(Rng& rng, ProcId from, ProcId to) const override;
 
  private:
-  Dur lo_;
+  Duration lo_;
 };
 
 /// Direction-skewed: messages from lower to higher ids take ~hi_fraction
@@ -74,9 +74,9 @@ class UniformDelay final : public DelayModel {
 /// Worst case for the midpoint estimator of §3.1.
 class AsymmetricDelay final : public DelayModel {
  public:
-  AsymmetricDelay(Dur bound, double lo_fraction = 0.1, double hi_fraction = 0.9,
+  AsymmetricDelay(Duration bound, double lo_fraction = 0.1, double hi_fraction = 0.9,
                   double jitter_fraction = 0.05);
-  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+  [[nodiscard]] Duration sample(Rng& rng, ProcId from, ProcId to) const override;
 
  private:
   double lo_fraction_, hi_fraction_, jitter_fraction_;
@@ -86,19 +86,19 @@ class AsymmetricDelay final : public DelayModel {
 /// messages fast, a tail up to the bound).
 class JitterDelay final : public DelayModel {
  public:
-  JitterDelay(Dur bound, Dur base, Dur jitter_mean);
-  [[nodiscard]] Dur sample(Rng& rng, ProcId from, ProcId to) const override;
+  JitterDelay(Duration bound, Duration base, Duration jitter_mean);
+  [[nodiscard]] Duration sample(Rng& rng, ProcId from, ProcId to) const override;
 
  private:
-  Dur base_, jitter_mean_;
+  Duration base_, jitter_mean_;
 };
 
-[[nodiscard]] std::unique_ptr<DelayModel> make_fixed_delay(Dur bound,
+[[nodiscard]] std::unique_ptr<DelayModel> make_fixed_delay(Duration bound,
                                                            double fraction = 0.5);
 [[nodiscard]] std::unique_ptr<DelayModel> make_uniform_delay(
-    Dur bound, Dur lo = Dur::zero());
-[[nodiscard]] std::unique_ptr<DelayModel> make_asymmetric_delay(Dur bound);
-[[nodiscard]] std::unique_ptr<DelayModel> make_jitter_delay(Dur bound, Dur base,
-                                                            Dur jitter_mean);
+    Duration bound, Duration lo = Duration::zero());
+[[nodiscard]] std::unique_ptr<DelayModel> make_asymmetric_delay(Duration bound);
+[[nodiscard]] std::unique_ptr<DelayModel> make_jitter_delay(Duration bound, Duration base,
+                                                            Duration jitter_mean);
 
 }  // namespace czsync::net

@@ -20,7 +20,7 @@ LinkFaultSet::LinkFaultSet(std::vector<LinkFault> faults)
             });
 }
 
-bool LinkFaultSet::cut_at(ProcId a, ProcId b, RealTime t) const {
+bool LinkFaultSet::cut_at(ProcId a, ProcId b, SimTau t) const {
   if (a > b) std::swap(a, b);
   for (const auto& f : faults_) {
     if (f.start > t) break;
@@ -48,26 +48,26 @@ int LinkFaultSet::max_cut_degree() const {
 
 LinkFaultSet LinkFaultSet::isolate_partially(ProcId center,
                                              const std::vector<ProcId>& peers,
-                                             RealTime start, RealTime end) {
+                                             SimTau start, SimTau end) {
   std::vector<LinkFault> out;
   out.reserve(peers.size());
   for (ProcId q : peers) out.push_back({center, q, start, end});
   return LinkFaultSet(std::move(out));
 }
 
-LinkFaultSet LinkFaultSet::random_flapping(int n, int concurrent, Dur min_cut,
-                                           Dur max_cut, Dur rest,
-                                           RealTime horizon, Rng rng) {
+LinkFaultSet LinkFaultSet::random_flapping(int n, int concurrent, Duration min_cut,
+                                           Duration max_cut, Duration rest,
+                                           SimTau horizon, Rng rng) {
   assert(n >= 2 && concurrent >= 1);
-  assert(Dur::zero() < min_cut && min_cut <= max_cut);
+  assert(Duration::zero() < min_cut && min_cut <= max_cut);
   std::vector<LinkFault> out;
   for (int slot = 0; slot < concurrent; ++slot) {
-    RealTime t = RealTime(rng.uniform(0.0, (max_cut + rest).sec()));
+    SimTau t = SimTau(rng.uniform(0.0, (max_cut + rest).sec()));
     while (t < horizon) {
       const auto a = static_cast<ProcId>(rng.uniform_int(0, n - 1));
       auto b = static_cast<ProcId>(rng.uniform_int(0, n - 2));
       if (b >= a) b = static_cast<ProcId>(b + 1);
-      const Dur cut = Dur::seconds(rng.uniform(min_cut.sec(), max_cut.sec()));
+      const Duration cut = Duration::seconds(rng.uniform(min_cut.sec(), max_cut.sec()));
       out.push_back({a, b, t, t + cut});
       t = t + cut + rest;
     }

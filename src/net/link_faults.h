@@ -17,15 +17,15 @@
 
 #include "net/message.h"
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::net {
 
 struct LinkFault {
   ProcId a = -1;
   ProcId b = -1;  ///< undirected: both directions are cut
-  RealTime start;
-  RealTime end;   ///< exclusive
+  SimTau start;
+  SimTau end;   ///< exclusive
 };
 
 class LinkFaultSet {
@@ -37,7 +37,7 @@ class LinkFaultSet {
   [[nodiscard]] const std::vector<LinkFault>& faults() const { return faults_; }
 
   /// True when the (undirected) link a-b is cut at time t.
-  [[nodiscard]] bool cut_at(ProcId a, ProcId b, RealTime t) const;
+  [[nodiscard]] bool cut_at(ProcId a, ProcId b, SimTau t) const;
 
   /// Largest number of cut links incident to any single processor at any
   /// instant — the quantity the f-trimming must absorb.
@@ -45,15 +45,15 @@ class LinkFaultSet {
 
   /// Cuts the links from `center` to each of `peers` during [start, end).
   [[nodiscard]] static LinkFaultSet isolate_partially(
-      ProcId center, const std::vector<ProcId>& peers, RealTime start,
-      RealTime end);
+      ProcId center, const std::vector<ProcId>& peers, SimTau start,
+      SimTau end);
 
   /// Random flapping: `concurrent` independent slots; each slot cuts a
   /// random link for a duration in [min_cut, max_cut], rests `rest`,
   /// repeats until `horizon`.
   [[nodiscard]] static LinkFaultSet random_flapping(int n, int concurrent,
-                                                    Dur min_cut, Dur max_cut,
-                                                    Dur rest, RealTime horizon,
+                                                    Duration min_cut, Duration max_cut,
+                                                    Duration rest, SimTau horizon,
                                                     Rng rng);
 
  private:

@@ -13,7 +13,7 @@
 #include <variant>
 #include <vector>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::net {
 
@@ -29,7 +29,7 @@ struct PingReq {
 /// Clock-estimation reply: the responder's logical clock at send time.
 struct PingResp {
   std::uint64_t nonce = 0;
-  ClockTime responder_clock;
+  LogicalTime responder_clock;
 };
 
 /// Round-tagged estimation messages, used only by the round-based
@@ -43,7 +43,7 @@ struct RoundPingReq {
 struct RoundPingResp {
   std::uint64_t nonce = 0;
   std::uint64_t round = 0;  ///< responder's current round
-  ClockTime responder_clock;
+  LogicalTime responder_clock;
 };
 
 /// A signature over a broadcast payload (src/broadcast). The mac is
@@ -80,7 +80,7 @@ struct TimestampReq {
 };
 struct TimestampResp {
   std::uint64_t nonce = 0;
-  ClockTime stamp;
+  LogicalTime stamp;
 };
 
 using Body = std::variant<PingReq, PingResp, RoundPingReq, RoundPingResp,

@@ -63,8 +63,8 @@ Network::Network(sim::Simulator& sim, Topology topology,
     // the same constant on every send: a misbehaving model is clamped
     // back into (0, delta] and the verdict cached so the per-message
     // delay_violations accounting matches the sampled path exactly.
-    const Dur bound = delay_->bound();
-    if (*constant_delay_ <= Dur::zero() || *constant_delay_ > bound) {
+    const Duration bound = delay_->bound();
+    if (*constant_delay_ <= Duration::zero() || *constant_delay_ > bound) {
       constant_violation_ = true;
       constant_delay_ = std::clamp(*constant_delay_, bound * 1e-6, bound);
     }
@@ -94,12 +94,12 @@ bool Network::send_precheck(ProcId from, ProcId to, const Body& body) {
   ++stats_.sent_by_body[body.index()];
   trace::TraceSink* ts = sim_.trace_sink();
   if (ts != nullptr) {
-    ts->record(trace::msg_send(sim_.now().sec(), from, to, body.index()));
+    ts->record(trace::msg_send(sim_.now(), from, to, body.index()));
   }
   if (!topology_.has_edge(from, to)) {
     ++stats_.dropped_no_edge;
     if (ts != nullptr) {
-      ts->record(trace::msg_drop(sim_.now().sec(), from, to, body.index(),
+      ts->record(trace::msg_drop(sim_.now(), from, to, body.index(),
                                  trace::DropReason::NoEdge));
     }
     CZ_DEBUG << "drop (no edge) " << from << "->" << to;
@@ -108,7 +108,7 @@ bool Network::send_precheck(ProcId from, ProcId to, const Body& body) {
   if (!link_faults_.empty() && link_faults_.cut_at(from, to, sim_.now())) {
     ++stats_.dropped_link_fault;
     if (ts != nullptr) {
-      ts->record(trace::msg_drop(sim_.now().sec(), from, to, body.index(),
+      ts->record(trace::msg_drop(sim_.now(), from, to, body.index(),
                                  trace::DropReason::LinkFault));
     }
     CZ_DEBUG << "drop (link fault) " << from << "->" << to;
@@ -117,17 +117,17 @@ bool Network::send_precheck(ProcId from, ProcId to, const Body& body) {
   return true;
 }
 
-Dur Network::sample_delay(ProcId from, ProcId to) {
+Duration Network::sample_delay(ProcId from, ProcId to) {
   if (constant_delay_) {
     if (constant_violation_) ++stats_.delay_violations;
     return *constant_delay_;
   }
-  Dur delay = delay_->sample(rng_, from, to);
+  Duration delay = delay_->sample(rng_, from, to);
   // Enforce the delivery contract in every build type: a misbehaving
   // model (delay <= 0 or > delta) is clamped back into (0, delta] and
   // counted, instead of silently skewing the run.
-  const Dur bound = delay_->bound();
-  if (delay <= Dur::zero() || delay > bound) {
+  const Duration bound = delay_->bound();
+  if (delay <= Duration::zero() || delay > bound) {
     ++stats_.delay_violations;
     delay = std::clamp(delay, bound * 1e-6, bound);
   }
@@ -140,7 +140,7 @@ void Network::send(ProcId from, ProcId to, Body body) {
     remote_(Message{from, to, std::move(body)});
     return;
   }
-  const Dur delay = sample_delay(from, to);
+  const Duration delay = sample_delay(from, to);
   // Deliveries shard by receiver: the handler runs on the receiver's
   // state, so its events belong to the receiver's pool partition.
   sim_.schedule_after(delay, DeliverEvent{this, {from, to, std::move(body)}},
@@ -154,7 +154,7 @@ void Network::fanout_add(Fanout& fo, ProcId to, Body body) {
     remote_(Message{fo.from_, to, std::move(body)});
     return;
   }
-  const Dur delay = sample_delay(fo.from_, to);
+  const Duration delay = sample_delay(fo.from_, to);
   if (!batched_fanout_) {
     sim_.schedule_after(delay,
                         DeliverEvent{this, {fo.from_, to, std::move(body)}},
@@ -187,7 +187,8 @@ FanoutId Network::fanout_commit(Fanout& fo) {
   const auto count = static_cast<std::uint32_t>(fb.pending.size());
   fb.keys.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const double sec = fb.pending[i].t.sec();
+    // time: integer sort key on the IEEE-754 bit pattern of tau
+    const double sec = fb.pending[i].t.raw();
     assert(sec >= 0.0);
     fb.keys[i] = FanoutKey{std::bit_cast<std::uint64_t>(sec), i};
   }
@@ -285,7 +286,7 @@ void Network::deliver(const Message& msg) {
   if (!handler) {
     ++stats_.dropped_no_handler;
     if (ts != nullptr) {
-      ts->record(trace::msg_drop(sim_.now().sec(), msg.from, msg.to,
+      ts->record(trace::msg_drop(sim_.now(), msg.from, msg.to,
                                  msg.body.index(),
                                  trace::DropReason::NoHandler));
     }
@@ -293,7 +294,7 @@ void Network::deliver(const Message& msg) {
   }
   ++stats_.delivered;
   if (ts != nullptr) {
-    ts->record(trace::msg_deliver(sim_.now().sec(), msg.from, msg.to,
+    ts->record(trace::msg_deliver(sim_.now(), msg.from, msg.to,
                                   msg.body.index()));
   }
   handler(msg);

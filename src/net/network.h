@@ -162,7 +162,7 @@ class Network {
   [[nodiscard]] bool batched_fanout() const { return batched_fanout_; }
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
-  [[nodiscard]] Dur delay_bound() const { return delay_->bound(); }
+  [[nodiscard]] Duration delay_bound() const { return delay_->bound(); }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] int size() const { return topology_.size(); }
 
@@ -190,7 +190,7 @@ class Network {
   /// One queued message of a burst: its delivery instant, the FIFO rank
   /// reserved at add() time, and the payload.
   struct PendingSend {
-    RealTime t;
+    SimTau t;
     std::uint64_t seq = 0;
     Message msg;
   };
@@ -234,7 +234,7 @@ class Network {
   /// Per-message delay draw: the validated constant on the fast path
   /// (violation verdict cached from construction, accounting identical
   /// to the sampled path), else one RNG sample clamped into (0, bound].
-  Dur sample_delay(ProcId from, ProcId to);
+  Duration sample_delay(ProcId from, ProcId to);
 
   void fanout_add(Fanout& fo, ProcId to, Body body);
   FanoutId fanout_commit(Fanout& fo);
@@ -251,7 +251,7 @@ class Network {
   /// once at construction: deterministic models skip the per-message
   /// virtual call AND the per-message range check (provably
   /// RNG-sequence-neutral — such models never draw).
-  std::optional<Dur> constant_delay_;
+  std::optional<Duration> constant_delay_;
   /// The cached constant violated (0, bound] and was clamped; every send
   /// still counts one delay_violation, like the sampled path would.
   bool constant_violation_ = false;

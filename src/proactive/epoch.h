@@ -11,24 +11,25 @@
 #include <cmath>
 #include <cstdint>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::proactive {
 
 /// Epoch index of clock value `c` with period `len`: floor(C / len).
 /// Clock values are nonnegative in our scenarios; negative values (a
 /// badly smashed clock) map to epoch 0 so indices stay unsigned.
-[[nodiscard]] inline std::uint64_t epoch_of(ClockTime c, Dur len) {
-  const double e = std::floor(c.sec() / len.sec());
+[[nodiscard]] inline std::uint64_t epoch_of(LogicalTime c, Duration len) {
+  // time: epoch index floors the raw clock reading by the period
+  const double e = std::floor(c.raw() / len.sec());
   return e <= 0.0 ? 0 : static_cast<std::uint64_t>(e);
 }
 
 /// Local-clock time remaining until the next epoch boundary.
-[[nodiscard]] inline Dur until_next_epoch(ClockTime c, Dur len) {
+[[nodiscard]] inline Duration until_next_epoch(LogicalTime c, Duration len) {
   const auto e = epoch_of(c, len);
-  const ClockTime boundary(static_cast<double>(e + 1) * len.sec());
-  Dur left = boundary - c;
-  if (left <= Dur::zero()) left = Dur::seconds(1e-9);
+  const LogicalTime boundary(static_cast<double>(e + 1) * len.sec());
+  Duration left = boundary - c;
+  if (left <= Duration::zero()) left = Duration::seconds(1e-9);
   return left;
 }
 

@@ -5,7 +5,7 @@
 namespace czsync::proactive {
 
 RefreshProcess::RefreshProcess(clk::LogicalClock& clock, net::Network& network,
-                               net::ProcId id, ShareStore& store, Dur epoch_len,
+                               net::ProcId id, ShareStore& store, Duration epoch_len,
                                bool announce)
     : clock_(clock),
       network_(network),
@@ -13,7 +13,7 @@ RefreshProcess::RefreshProcess(clk::LogicalClock& clock, net::Network& network,
       store_(store),
       epoch_len_(epoch_len),
       announce_(announce) {
-  assert(epoch_len > Dur::zero());
+  assert(epoch_len > Duration::zero());
 }
 
 void RefreshProcess::start() { arm(); }
@@ -23,7 +23,7 @@ void RefreshProcess::arm() {
   // the boundary equals the hardware distance as long as adj is stable.
   // on_alarm() re-validates against the logical clock, so Sync
   // adjustments between now and then merely cause a re-arm.
-  const Dur wait = until_next_epoch(clock_.read(), epoch_len_);
+  const Duration wait = until_next_epoch(clock_.read(), epoch_len_);
   alarm_ = clock_.hardware().set_alarm_after(wait, [this] {
     alarm_ = clk::kNoAlarm;
     on_alarm();

@@ -21,7 +21,7 @@ namespace czsync::proactive {
 class RefreshProcess {
  public:
   RefreshProcess(clk::LogicalClock& clock, net::Network& network,
-                 net::ProcId id, ShareStore& store, Dur epoch_len,
+                 net::ProcId id, ShareStore& store, Duration epoch_len,
                  bool announce = true);
 
   /// Arms the first boundary alarm. Call once.
@@ -49,7 +49,7 @@ class RefreshProcess {
   net::Network& network_;
   net::ProcId id_;
   ShareStore& store_;
-  Dur epoch_len_;
+  Duration epoch_len_;
   bool announce_;
 
   bool suspended_ = false;

@@ -6,7 +6,7 @@
 
 namespace czsync::rt {
 
-Clock::Clock(std::int64_t epoch_ns, double rate, Dur offset)
+Clock::Clock(std::int64_t epoch_ns, double rate, Duration offset)
     : epoch_ns_(epoch_ns), rate_(rate), offset_(offset) {
   if (!(rate > 0.0)) {
     throw std::invalid_argument("rt::Clock: rate must be positive");
@@ -19,12 +19,13 @@ std::int64_t Clock::monotonic_ns() {
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
-RealTime Clock::now() const {
-  return RealTime(static_cast<double>(monotonic_ns() - epoch_ns_) * 1e-9);
+SimTau Clock::now() const {
+  return SimTau(static_cast<double>(monotonic_ns() - epoch_ns_) * 1e-9);
 }
 
-std::int64_t Clock::to_monotonic_ns(RealTime t) const {
-  return epoch_ns_ + static_cast<std::int64_t>(t.sec() * 1e9);
+std::int64_t Clock::to_monotonic_ns(SimTau t) const {
+  // time: tau -> absolute CLOCK_MONOTONIC ns for timerfd arming
+  return epoch_ns_ + static_cast<std::int64_t>(t.raw() * 1e9);
 }
 
 }  // namespace czsync::rt

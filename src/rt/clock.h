@@ -17,7 +17,7 @@
 
 #include <cstdint>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::rt {
 
@@ -26,30 +26,31 @@ class Clock {
   /// `epoch_ns`: the CLOCK_MONOTONIC reading that is tau = 0 (shared
   /// across the cluster). `rate`/`offset` define this node's perturbed
   /// hardware clock H(tau) = offset + rate * tau; rate must be positive.
-  Clock(std::int64_t epoch_ns, double rate = 1.0, Dur offset = Dur::zero());
+  Clock(std::int64_t epoch_ns, double rate = 1.0, Duration offset = Duration::zero());
 
-  /// Raw CLOCK_MONOTONIC in nanoseconds. // lint: wall-clock
+  /// Raw CLOCK_MONOTONIC in nanoseconds.
   [[nodiscard]] static std::int64_t monotonic_ns();
 
   /// Current tau.
-  [[nodiscard]] RealTime now() const;
+  [[nodiscard]] SimTau now() const;
 
   /// tau -> absolute CLOCK_MONOTONIC nanoseconds (for timerfd arming).
-  [[nodiscard]] std::int64_t to_monotonic_ns(RealTime t) const;
+  [[nodiscard]] std::int64_t to_monotonic_ns(SimTau t) const;
 
   /// The perturbed hardware clock at `t`: offset + rate * t.
-  [[nodiscard]] ClockTime hardware_at(RealTime t) const {
-    return ClockTime(offset_.sec() + rate_ * t.sec());
+  [[nodiscard]] HwTime hardware_at(SimTau t) const {
+    // time: clock model evaluating H(tau) = offset + rate * tau
+    return HwTime(offset_.sec() + rate_ * t.raw());
   }
 
   [[nodiscard]] std::int64_t epoch_ns() const { return epoch_ns_; }
   [[nodiscard]] double rate() const { return rate_; }
-  [[nodiscard]] Dur offset() const { return offset_; }
+  [[nodiscard]] Duration offset() const { return offset_; }
 
  private:
   std::int64_t epoch_ns_;
   double rate_;
-  Dur offset_;
+  Duration offset_;
 };
 
 }  // namespace czsync::rt

@@ -48,7 +48,7 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
     throw std::invalid_argument(
         "Daemon: drift_rate outside the model band [1/(1+rho), 1+rho]");
   }
-  if (config_.sync_int <= Dur::zero() || m.delta <= Dur::zero()) {
+  if (config_.sync_int <= Duration::zero() || m.delta <= Duration::zero()) {
     throw std::invalid_argument("Daemon: sync_int and delta must be positive");
   }
   if (config_.epoch_ns <= 0) {
@@ -63,7 +63,7 @@ DaemonReport Daemon::run() {
   Rng master(config_.seed);
 
   Clock clock(config_.epoch_ns, config_.drift_rate, config_.clock_offset);
-  const RealTime tau_start = clock.now();
+  const SimTau tau_start = clock.now();
 
   // The embedded simulator: pure timer substrate, its tau aliased to
   // rt::Clock's. Nothing is scheduled yet, so the initial jump to
@@ -94,7 +94,7 @@ DaemonReport Daemon::run() {
                        net::make_fixed_delay(m.delta), master.fork("net"));
   UdpPort port(config_.id, m.n, config_.base_port, config_.shaping,
                master.fork("shaping"));
-  port.set_delay_scheduler([&sim](Dur d, std::function<void()> fn) {
+  port.set_delay_scheduler([&sim](Duration d, std::function<void()> fn) {
     sim.schedule_after(d, std::move(fn));
   });
   network.set_remote_transport(
@@ -116,13 +116,13 @@ DaemonReport Daemon::run() {
 
   // Runs every simulator event due at or before tau, then jumps now() to
   // tau — the daemon's "time passed for real" step.
-  const auto drain_sim_to = [&sim](RealTime tau) {
+  const auto drain_sim_to = [&sim](SimTau tau) {
     while (!sim.advance_to(tau)) sim.step();
   };
 
-  const RealTime tau_end = config_.duration > Dur::zero()
+  const SimTau tau_end = config_.duration > Duration::zero()
                                ? tau_start + config_.duration
-                               : RealTime::infinity();
+                               : SimTau::infinity();
 
   loop.add_fd(port.fd(), [&]() {
     // Advance to the arrival instant first so MsgDeliver records and the
@@ -136,7 +136,7 @@ DaemonReport Daemon::run() {
   engine.start();
 
   const auto on_wake = [&]() {
-    const RealTime tau = clock.now();
+    const SimTau tau = clock.now();
     drain_sim_to(tau);
     if (writer) {
       sink.flush_spill();
@@ -146,12 +146,12 @@ DaemonReport Daemon::run() {
       loop.stop();
       return;
     }
-    RealTime next = sim.next_event_time();
+    SimTau next = sim.next_event_time();
     if (tau_end < next) next = tau_end;
-    if (next == RealTime::infinity()) {  // lint: exact-time (sentinel)
+    if (next == SimTau::infinity()) {  // lint: exact-time (sentinel)
       // Idle with no horizon (duration <= 0, engine quiescent): tick at
       // 1 Hz so signals/teardown conditions are still observed promptly.
-      next = tau + Dur::seconds(1);
+      next = tau + Duration::seconds(1);
     }
     loop.arm_timer_at(clock.to_monotonic_ns(next));
   };
@@ -173,8 +173,8 @@ DaemonReport Daemon::run() {
   report.trace_records = sink.total();
   report.interrupted = loop.interrupted();
   report.cpu_sec = self_cpu_sec() - cpu0;
-  report.tau_start = tau_start.sec();
-  report.tau_end = clock.now().sec();
+  report.tau_start = tau_start.raw();  // time: report fields are raw tau
+  report.tau_end = clock.now().raw();  // time: report fields are raw tau
   return report;
 }
 

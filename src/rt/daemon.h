@@ -36,26 +36,26 @@
 #include "core/params.h"
 #include "core/protocol_engine.h"
 #include "rt/udp_port.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::rt {
 
 struct DaemonConfig {
   net::ProcId id = 0;
   core::ModelParams model;  ///< n, f, rho, delta
-  Dur sync_int = Dur::seconds(2);
+  Duration sync_int = Duration::seconds(2);
   /// This node's hardware-clock perturbation: H(tau) = offset + rate*tau.
   /// rate must lie within the model's drift band [1/(1+rho), 1+rho].
   double drift_rate = 1.0;
-  Dur clock_offset = Dur::zero();
+  Duration clock_offset = Duration::zero();
   /// Initial logical adjustment adj_p. The crash test restarts a daemon
   /// with this smashed way off to force a WayOff re-join.
-  Dur initial_adj = Dur::zero();
+  Duration initial_adj = Duration::zero();
   /// CLOCK_MONOTONIC nanoseconds defining tau = 0, shared clusterwide.
   std::int64_t epoch_ns = 0;
   /// Stop after this much tau (from startup); <= 0 means run until a
   /// SIGTERM/SIGINT arrives.
-  Dur duration = Dur::seconds(30);
+  Duration duration = Duration::seconds(30);
   int base_port = 39000;
   std::uint64_t seed = 1;
   std::string trace_path;  ///< empty = no capture
@@ -70,8 +70,8 @@ struct DaemonReport {
   std::uint64_t trace_records = 0;
   bool interrupted = false;  ///< stopped by signal rather than duration
   double cpu_sec = 0.0;      ///< user+system CPU consumed by the run
-  double tau_start = 0.0;
-  double tau_end = 0.0;
+  double tau_start = 0.0;  // time: report fields are raw tau seconds
+  double tau_end = 0.0;    // time: report fields are raw tau seconds
 };
 
 class Daemon {

@@ -23,11 +23,13 @@ struct Segment {
   double t_join = std::numeric_limits<double>::infinity();
   std::vector<std::pair<double, double>> adj_steps;  ///< (t, adj from t on)
 
+  // time: reconstruction evaluates segments on the raw tau axis
   [[nodiscard]] bool covers(double tau) const {
     return tau >= t_start && tau <= t_end;
   }
 
   /// adj(tau): the last step at or before tau (steps are time-sorted).
+  // time: reconstruction evaluates segments on the raw tau axis
   [[nodiscard]] double adj_at(double tau) const {
     auto it = std::upper_bound(
         adj_steps.begin(), adj_steps.end(), tau,
@@ -35,6 +37,7 @@ struct Segment {
     return std::prev(it)->second;
   }
 
+  // time: reconstruction evaluates segments on the raw tau axis
   [[nodiscard]] double clock_at(double tau) const {
     return offset + rate * tau + adj_at(tau);
   }
@@ -106,11 +109,11 @@ EnvelopeReport check_envelope(const EnvelopeParams& params,
 
   EnvelopeReport report;
   report.gamma = bounds.max_deviation;
-  report.join_bound = params.join_bound > Dur::zero()
+  report.join_bound = params.join_bound > Duration::zero()
                           ? params.join_bound
                           : bounds.T * 3.0;
-  report.max_stable_deviation = Dur::zero();
-  report.max_join_latency = Dur::zero();
+  report.max_stable_deviation = Duration::zero();
+  report.max_join_latency = Duration::zero();
 
   std::vector<Segment> loaded;
   loaded.reserve(segments.size());
@@ -141,7 +144,7 @@ EnvelopeReport check_envelope(const EnvelopeParams& params,
     }
     const double latency = seg.t_join - seg.t_start;
     report.max_join_latency =
-        std::max(report.max_join_latency, Dur(latency));
+        std::max(report.max_join_latency, Duration(latency));
     if (latency > report.join_bound.sec()) {
       ++report.violations;
       if (report.first_violation.empty()) {
@@ -153,12 +156,28 @@ EnvelopeReport check_envelope(const EnvelopeParams& params,
     }
   }
 
-  // Envelope check on the sampling grid.
+  // Envelope check on the sampling grid. The grid is integer-indexed:
+  // accumulating `tau += step` compounds one rounding error per
+  // iteration, which on long runs drifts the sample instants and can
+  // drop the final grid point (or sample past grid_hi). `lo + i * step`
+  // keeps every instant exact to a single rounding, and the last index
+  // is widened by one ulp-tolerance so an exact-dividing span still
+  // includes its endpoint.
   const double step = params.sample_period.sec();
   if (!(step > 0.0)) {
     throw std::runtime_error("envelope: sample_period must be positive");
   }
-  for (double tau = grid_lo; tau <= grid_hi; tau += step) {
+  const double span = grid_hi - grid_lo;
+  // A span that is an exact multiple of step mathematically may divide
+  // to one rounding below the integer (10 / 0.1 < 100 in doubles); the
+  // step-relative tolerance keeps that endpoint on the grid, and the
+  // clamp keeps the recovered instant from overshooting grid_hi by the
+  // same rounding in the other direction.
+  const auto last = static_cast<std::int64_t>((span + step * 1e-9) / step);
+  for (std::int64_t i = 0; i <= last; ++i) {
+    // time: envelope reconstruction samples segments on the raw tau grid
+    const double tau =
+        std::min(grid_lo + static_cast<double>(i) * step, grid_hi);
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
     int lo_id = -1;
@@ -181,7 +200,7 @@ EnvelopeReport check_envelope(const EnvelopeParams& params,
     ++report.samples;
     const double dev = hi - lo;
     report.max_stable_deviation =
-        std::max(report.max_stable_deviation, Dur(dev));
+        std::max(report.max_stable_deviation, Duration(dev));
     if (dev > report.gamma.sec()) {
       ++report.violations;
       if (report.first_violation.empty()) {

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "core/params.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::rt {
 
@@ -46,19 +46,19 @@ struct NodeSegment {
 
 struct EnvelopeParams {
   core::ModelParams model;
-  Dur sync_int = Dur::seconds(2);
+  Duration sync_int = Duration::seconds(2);
   /// Max allowed segment-start -> first-AdjWrite latency. Pass zero to
   /// use the default 3 * T (one full interval to re-arm, one round to
   /// complete, generous slack for scheduler noise).
-  Dur join_bound = Dur::zero();
-  Dur sample_period = Dur::millis(100);
+  Duration join_bound = Duration::zero();
+  Duration sample_period = Duration::millis(100);
 };
 
 struct EnvelopeReport {
-  Dur gamma;                  ///< Theorem 5 bound the run was checked against
-  Dur join_bound;             ///< effective re-join bound
-  Dur max_stable_deviation;   ///< worst pairwise deviation among joined nodes
-  Dur max_join_latency;       ///< worst segment-start -> join latency
+  Duration gamma;                  ///< Theorem 5 bound the run was checked against
+  Duration join_bound;             ///< effective re-join bound
+  Duration max_stable_deviation;   ///< worst pairwise deviation among joined nodes
+  Duration max_join_latency;       ///< worst segment-start -> join latency
   std::uint64_t samples = 0;  ///< grid points with >= 2 joined nodes
   std::uint64_t rounds_total = 0;  ///< RoundClose records across segments
   std::uint64_t way_off_rounds = 0;

@@ -66,9 +66,9 @@ void UdpPort::send(const net::Message& m) {
   }
   std::vector<unsigned char> bytes;
   core::encode_message(bytes, m);
-  const Dur max = shaping_.extra_delay_max;
-  if (max > Dur::zero() && scheduler_) {
-    const Dur extra = Dur(rng_.uniform(0.0, max.sec()));
+  const Duration max = shaping_.extra_delay_max;
+  if (max > Duration::zero() && scheduler_) {
+    const Duration extra = Duration(rng_.uniform(0.0, max.sec()));
     const net::ProcId to = m.to;
     scheduler_(extra, [this, bytes = std::move(bytes), to]() {
       send_bytes(bytes, to);

@@ -28,13 +28,13 @@
 
 #include "net/message.h"
 #include "util/rng.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::rt {
 
 struct ShapingConfig {
   double loss = 0.0;                  ///< P(drop) per outbound datagram
-  Dur extra_delay_max = Dur::zero();  ///< uniform [0, max] added delay
+  Duration extra_delay_max = Duration::zero();  ///< uniform [0, max] added delay
 };
 
 struct UdpStats {
@@ -65,7 +65,7 @@ class UdpPort {
   /// Installs the delayed-send scheduler (the daemon's embedded
   /// simulator). Without one, shaped delays degrade to immediate sends.
   void set_delay_scheduler(
-      std::function<void(Dur, std::function<void()>)> scheduler) {
+      std::function<void(Duration, std::function<void()>)> scheduler) {
     scheduler_ = std::move(scheduler);
   }
 
@@ -87,7 +87,7 @@ class UdpPort {
   int fd_ = -1;
   ShapingConfig shaping_;
   Rng rng_;
-  std::function<void(Dur, std::function<void()>)> scheduler_;
+  std::function<void(Duration, std::function<void()>)> scheduler_;
   UdpStats stats_;
 };
 

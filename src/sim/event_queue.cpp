@@ -40,7 +40,7 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-EventQueue::Action EventQueue::pop(RealTime& t) {
+EventQueue::Action EventQueue::pop(SimTau& t) {
   [[maybe_unused]] const Entry* top = peek_entry();
   assert(top != nullptr);
   ShardState& sh = shards_[min_shard_];

@@ -46,7 +46,7 @@
 
 #include "util/metrics.h"
 #include "util/small_fn.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::sim {
 
@@ -63,7 +63,7 @@ inline constexpr EventId kNoEvent = 0;
 /// all events at equal times. Stamp arrays handed to push_train must be
 /// sorted by fire order and outlive the train.
 struct BatchStamp {
-  RealTime t;
+  SimTau t;
   std::uint64_t seq = 0;
 };
 
@@ -109,7 +109,7 @@ class EventQueue {
   /// `shard` picks the heap partition (out-of-range routes to shard 0);
   /// shard choice never affects fire order, only pool bookkeeping.
   template <class F>
-  EventId push(RealTime t, F&& fn, std::uint32_t shard = 0) {
+  EventId push(SimTau t, F&& fn, std::uint32_t shard = 0) {
     const std::uint32_t index = acquire_slot();
     Slot& s = slots_[index];
     s.fn.emplace(std::forward<F>(fn));
@@ -184,7 +184,7 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return peek_entry() == nullptr; }
 
   /// Time of the earliest live event. Precondition: !empty().
-  [[nodiscard]] RealTime next_time() const {
+  [[nodiscard]] SimTau next_time() const {
     const Entry* e = peek_entry();
     assert(e != nullptr);
     return e->t;
@@ -193,7 +193,7 @@ class EventQueue {
   /// Time of the earliest live event, or nullptr when the queue is empty.
   /// One stale-skip pass covering the empty()/next_time()/fire_top()
   /// triple in the simulator's step loop.
-  [[nodiscard]] const RealTime* peek_time() const {
+  [[nodiscard]] const SimTau* peek_time() const {
     const Entry* e = peek_entry();
     return e == nullptr ? nullptr : &e->t;
   }
@@ -203,7 +203,7 @@ class EventQueue {
   /// action may re-schedule into it. Precondition: !empty() and the
   /// earliest event is not a fanout train (trains are fired in place via
   /// fire_top()). Sets `t` to the event's time.
-  Action pop(RealTime& t);
+  Action pop(SimTau& t);
 
   /// Fires the earliest live event in place: invokes the action after
   /// releasing (plain event) or re-arming (train entry) its slot, fusing
@@ -234,8 +234,8 @@ class EventQueue {
 
   /// Convenience for drains outside the simulator: fires the earliest
   /// live event (if any) and reports its time. False when empty.
-  bool fire_next(RealTime* t = nullptr) {
-    const RealTime* next = peek_time();
+  bool fire_next(SimTau* t = nullptr) {
+    const SimTau* next = peek_time();
     if (next == nullptr) return false;
     if (t != nullptr) *t = *next;
     fire_top();
@@ -272,13 +272,13 @@ class EventQueue {
   };
 
   struct Entry {
-    RealTime t;
+    SimTau t;
     std::uint64_t seq;  ///< global push order: FIFO tie-break at equal t
     std::uint32_t slot;
     std::uint32_t gen;
     // Heap entries are compared so that the smallest time (then smallest
     // seq, i.e. FIFO) is on top of the max-heap-by-default priority_queue.
-    // Ordering is RealTime's own comparison, not raw double access.
+    // Ordering is SimTau's own comparison, not raw double access.
     bool operator<(const Entry& o) const {
       if (t != o.t) return o.t < t;
       return seq > o.seq;

@@ -2,15 +2,15 @@
 
 namespace czsync::sim {
 
-bool Simulator::step(RealTime limit) {
-  const RealTime* next = queue_.peek_time();
+bool Simulator::step(SimTau limit) {
+  const SimTau* next = queue_.peek_time();
   if (next == nullptr || *next > limit) return false;
-  const RealTime t = *next;
+  const SimTau t = *next;
   assert(t >= now_);
   now_ = t;
   ++executed_;
   if (trace_ != nullptr) {
-    trace_->record(trace::event_fire(t.sec(), executed_));
+    trace_->record(trace::event_fire(t, executed_));
   }
   // Fused fire: the queue invokes the action in place of the peeked
   // entry, skipping the SmallFn relocation a pop()-then-call pays.
@@ -18,24 +18,24 @@ bool Simulator::step(RealTime limit) {
   return true;
 }
 
-RealTime Simulator::next_event_time() const {
-  const RealTime* next = queue_.peek_time();
-  return next == nullptr ? RealTime::infinity() : *next;
+SimTau Simulator::next_event_time() const {
+  const SimTau* next = queue_.peek_time();
+  return next == nullptr ? SimTau::infinity() : *next;
 }
 
-bool Simulator::advance_to(RealTime t) {
-  assert(t < RealTime::infinity());
+bool Simulator::advance_to(SimTau t) {
+  assert(t < SimTau::infinity());
   if (t <= now_) return true;
-  const RealTime* next = queue_.peek_time();
+  const SimTau* next = queue_.peek_time();
   if (next != nullptr && *next <= t) return false;
   now_ = t;
   return true;
 }
 
-void Simulator::run_until(RealTime limit) {
+void Simulator::run_until(SimTau limit) {
   while (step(limit)) {
   }
-  if (limit > now_ && limit < RealTime::infinity()) now_ = limit;
+  if (limit > now_ && limit < SimTau::infinity()) now_ = limit;
 }
 
 void Simulator::export_metrics(util::MetricRegistry::Scope scope) const {

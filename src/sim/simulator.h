@@ -14,14 +14,14 @@
 #include "trace/port.h"
 #include "trace/record.h"
 #include "trace/sink.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::sim {
 
 class Simulator {
  public:
   /// Current virtual real time tau.
-  [[nodiscard]] RealTime now() const { return now_; }
+  [[nodiscard]] SimTau now() const { return now_; }
 
   /// Partitions the event pool into `count` shards keyed by processor id
   /// (see EventQueue::set_shard_count). Call once, before anything
@@ -55,7 +55,7 @@ class Simulator {
   /// currently-pending events at `now()`). `shard` picks the pool
   /// partition (use shard_of(owner) when sharding is configured).
   template <class F>
-  EventId schedule_at(RealTime t, F&& fn, std::uint32_t shard = 0) {
+  EventId schedule_at(SimTau t, F&& fn, std::uint32_t shard = 0) {
     if (t < now_) t = now_;
     return queue_.push(t, std::forward<F>(fn), shard);
   }
@@ -63,9 +63,9 @@ class Simulator {
   /// Schedules `fn` to fire `d` from now. `d` must be finite; negative
   /// delays clamp to zero.
   template <class F>
-  EventId schedule_after(Dur d, F&& fn, std::uint32_t shard = 0) {
+  EventId schedule_after(Duration d, F&& fn, std::uint32_t shard = 0) {
     assert(d.is_finite());
-    if (d < Dur::zero()) d = Dur::zero();
+    if (d < Duration::zero()) d = Duration::zero();
     return queue_.push(now_ + d, std::forward<F>(fn), shard);
   }
 
@@ -92,19 +92,19 @@ class Simulator {
   /// Runs events until the queue is exhausted or `limit` is reached;
   /// `now()` ends at min(limit, last event time). Events exactly at
   /// `limit` are executed.
-  void run_until(RealTime limit);
+  void run_until(SimTau limit);
 
   /// Runs for a span of virtual time from the current instant.
-  void run_for(Dur d) { run_until(now_ + d); }
+  void run_for(Duration d) { run_until(now_ + d); }
 
   /// Executes exactly one event if any exists before `limit`.
   /// Returns false when nothing was executed.
-  bool step(RealTime limit = RealTime::infinity());
+  bool step(SimTau limit = SimTau::infinity());
 
-  /// Time of the earliest pending event, or RealTime::infinity() when
+  /// Time of the earliest pending event, or SimTau::infinity() when
   /// idle. The peek shares the step loop's stale-skip pass, so calling
   /// it between steps costs O(1).
-  [[nodiscard]] RealTime next_event_time() const;
+  [[nodiscard]] SimTau next_event_time() const;
 
   /// Quiet-interval batch-step: advances now() straight to `t` iff no
   /// event is due at or before `t` — one comparison, no per-event heap
@@ -114,7 +114,7 @@ class Simulator {
   /// finite. Time-driven drivers (fixed-tick loops, the MC stepper, a
   /// future daemon loop) use this to skip idle regions in O(1) instead
   /// of spinning the event loop.
-  bool advance_to(RealTime t);
+  bool advance_to(SimTau t);
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
@@ -145,7 +145,7 @@ class Simulator {
 
  private:
   EventQueue queue_;
-  RealTime now_ = RealTime::zero();
+  SimTau now_ = SimTau::zero();
   std::uint64_t executed_ = 0;
   int num_procs_ = 0;  ///< ensemble size behind shard_of (0 = unconfigured)
   trace::TraceSink* trace_ = nullptr;

@@ -11,25 +11,25 @@
 #pragma once
 
 #include "trace/sink.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync::trace {
 
 class TracePort {
  public:
-  TracePort(TraceSink* const* sink_slot, const RealTime* now)
+  TracePort(TraceSink* const* sink_slot, const SimTau* now)
       : sink_slot_(sink_slot), now_(now) {}
 
   /// Installed sink, nullptr when the run is untraced. Re-read on every
   /// call: the host may attach or detach a sink mid-run.
   [[nodiscard]] TraceSink* sink() const { return *sink_slot_; }
 
-  /// Current real time in seconds, used only to stamp trace records.
-  [[nodiscard]] double now_sec() const { return now_->sec(); }
+  /// Current real time, used only to stamp trace records.
+  [[nodiscard]] SimTau now() const { return *now_; }
 
  private:
   TraceSink* const* sink_slot_;
-  const RealTime* now_;
+  const SimTau* now_;
 };
 
 }  // namespace czsync::trace

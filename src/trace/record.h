@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/time_domain.h"
+
 namespace czsync::trace {
 
 enum class RecordKind : std::uint8_t {
@@ -66,41 +68,41 @@ struct TraceRecord {
 
 // --- factory helpers (keep unused fields defaulted) ---
 
-inline TraceRecord event_fire(double t, std::uint64_t ordinal) {
+inline TraceRecord event_fire(SimTau t, std::uint64_t ordinal) {
   TraceRecord r;
   r.kind = RecordKind::EventFire;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.u = ordinal;
   return r;
 }
 
-inline TraceRecord msg_send(double t, std::int32_t from, std::int32_t to,
+inline TraceRecord msg_send(SimTau t, std::int32_t from, std::int32_t to,
                             std::uint64_t body_index) {
   TraceRecord r;
   r.kind = RecordKind::MsgSend;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = from;
   r.q = to;
   r.u = body_index;
   return r;
 }
 
-inline TraceRecord msg_deliver(double t, std::int32_t from, std::int32_t to,
+inline TraceRecord msg_deliver(SimTau t, std::int32_t from, std::int32_t to,
                                std::uint64_t body_index) {
   TraceRecord r;
   r.kind = RecordKind::MsgDeliver;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = from;
   r.q = to;
   r.u = body_index;
   return r;
 }
 
-inline TraceRecord msg_drop(double t, std::int32_t from, std::int32_t to,
+inline TraceRecord msg_drop(SimTau t, std::int32_t from, std::int32_t to,
                             std::uint64_t body_index, DropReason reason) {
   TraceRecord r;
   r.kind = RecordKind::MsgDrop;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = from;
   r.q = to;
   r.u = body_index;
@@ -108,63 +110,63 @@ inline TraceRecord msg_drop(double t, std::int32_t from, std::int32_t to,
   return r;
 }
 
-inline TraceRecord adv_break_in(double t, std::int32_t proc) {
+inline TraceRecord adv_break_in(SimTau t, std::int32_t proc) {
   TraceRecord r;
   r.kind = RecordKind::AdvBreakIn;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = proc;
   return r;
 }
 
-inline TraceRecord adv_leave(double t, std::int32_t proc) {
+inline TraceRecord adv_leave(SimTau t, std::int32_t proc) {
   TraceRecord r;
   r.kind = RecordKind::AdvLeave;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = proc;
   return r;
 }
 
-inline TraceRecord adj_write(double t, std::int32_t proc, AdjKind kind,
-                             double delta, double adj_after) {
+inline TraceRecord adj_write(SimTau t, std::int32_t proc, AdjKind kind,
+                             Duration delta, Duration adj_after) {
   TraceRecord r;
   r.kind = RecordKind::AdjWrite;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = proc;
   r.aux = static_cast<std::uint32_t>(kind);
-  r.x = delta;
-  r.y = adj_after;
+  r.x = delta.sec();
+  r.y = adj_after.sec();
   return r;
 }
 
-inline TraceRecord round_open(double t, std::int32_t proc,
+inline TraceRecord round_open(SimTau t, std::int32_t proc,
                               std::uint64_t round) {
   TraceRecord r;
   r.kind = RecordKind::RoundOpen;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = proc;
   r.u = round;
   return r;
 }
 
-inline TraceRecord round_close(double t, std::int32_t proc,
+inline TraceRecord round_close(SimTau t, std::int32_t proc,
                                std::uint64_t round, std::uint32_t flags) {
   TraceRecord r;
   r.kind = RecordKind::RoundClose;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.p = proc;
   r.u = round;
   r.aux = flags;
   return r;
 }
 
-inline TraceRecord invariant_sample(double t, std::uint64_t stable_count,
-                                    bool have_stable, double deviation) {
+inline TraceRecord invariant_sample(SimTau t, std::uint64_t stable_count,
+                                    bool have_stable, Duration deviation) {
   TraceRecord r;
   r.kind = RecordKind::InvariantSample;
-  r.t = t;
+  r.t = t.raw();  // time: czsync-trace-v1 stamps are raw f64 tau seconds
   r.u = stable_count;
   r.aux = have_stable ? 1u : 0u;
-  r.x = deviation;
+  r.x = deviation.sec();
   return r;
 }
 

@@ -19,7 +19,7 @@ std::string trim(const std::string& s) {
 
 }  // namespace
 
-std::optional<Dur> parse_duration(const std::string& text) {
+std::optional<Duration> parse_duration(const std::string& text) {
   const std::string t = trim(text);
   if (t.empty()) return std::nullopt;
   // Split number prefix from unit suffix.
@@ -38,11 +38,11 @@ std::optional<Dur> parse_duration(const std::string& text) {
   char* end = nullptr;
   const double v = std::strtod(num.c_str(), &end);
   if (num.empty() || end != num.c_str() + num.size()) return std::nullopt;
-  if (unit.empty() || unit == "s") return Dur::seconds(v);
-  if (unit == "us") return Dur::micros(v);
-  if (unit == "ms") return Dur::millis(v);
-  if (unit == "m" || unit == "min") return Dur::minutes(v);
-  if (unit == "h") return Dur::hours(v);
+  if (unit.empty() || unit == "s") return Duration::seconds(v);
+  if (unit == "us") return Duration::micros(v);
+  if (unit == "ms") return Duration::millis(v);
+  if (unit == "m" || unit == "min") return Duration::minutes(v);
+  if (unit == "h") return Duration::hours(v);
   return std::nullopt;
 }
 
@@ -131,7 +131,7 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   throw std::invalid_argument("config key '" + key + "': not a bool: " + v);
 }
 
-Dur Config::get_duration(const std::string& key, Dur fallback) const {
+Duration Config::get_duration(const std::string& key, Duration fallback) const {
   if (!has(key)) return fallback;
   const std::string& v = raw(key);
   const auto d = parse_duration(v);

@@ -10,13 +10,13 @@
 #include <string>
 #include <vector>
 
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync {
 
 /// Parses "123us" / "50ms" / "2.5s" / "10m" / "1h" / bare seconds.
 /// Returns nullopt on malformed input.
-[[nodiscard]] std::optional<Dur> parse_duration(const std::string& text);
+[[nodiscard]] std::optional<Duration> parse_duration(const std::string& text);
 
 class Config {
  public:
@@ -38,7 +38,7 @@ class Config {
   [[nodiscard]] long get_int(const std::string& key, long fallback) const;
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
-  [[nodiscard]] Dur get_duration(const std::string& key, Dur fallback) const;
+  [[nodiscard]] Duration get_duration(const std::string& key, Duration fallback) const;
 
  private:
   const std::string& raw(const std::string& key) const;

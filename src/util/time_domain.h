@@ -1,0 +1,240 @@
+// Strong time-domain types used throughout the library (DESIGN.md §4.14).
+//
+// The paper's correctness argument rests on keeping three time axes
+// straight, and a tau-vs-H confusion would compile silently if all three
+// were raw doubles. They are therefore distinct wrapper types:
+//
+//   * real time tau                      -> czsync::SimTau
+//   * hardware clocks H_p(tau) (Def. 1)  -> czsync::HwTime
+//   * logical clocks C_p = H_p + adj_p   -> czsync::LogicalTime
+//   * spans / delays / offsets / bounds  -> czsync::Duration
+//
+// Only physically meaningful operations exist:
+//   point - point  = Duration,   within ONE domain;
+//   point +- Duration            stays in-domain;
+//   cross-domain comparison, arithmetic and implicit conversion are
+//   compile errors (tests/compile_fail/ proves each one fails to build).
+//
+// Every legitimate domain crossing is a named, greppable cast:
+//   * HwTime::from_tau_unsafe(tau)       clock models evaluating
+//                                        H(tau) on the real-time axis;
+//   * LogicalTime::from_hw(h, adj)       the definitional C = H + adj
+//     / LogicalTime::minus_hw(h)         and its inverse (adj = C - H);
+//   * .raw() / explicit X(double)        serialization (trace/wire
+//                                        formats), envelope
+//                                        reconstruction, and analysis
+//                                        code that measures bias C - tau
+//                                        (which no processor may do).
+// czsync-lint rule `unsafe-cast-audit` requires a `// time: <why>`
+// justification at every `_unsafe`/`.raw()` call site under src/.
+//
+// All four types are trivially copyable doubles with identical codegen
+// to the raw value (static_asserts below); serializing `.raw()` writes
+// the very same f64 the old code wrote, so trace bytes are unchanged.
+//
+// This header lives in util/ because every layer of the DAG — including
+// sim/, which must not see core/ — speaks these types; protocol-layer
+// code includes the core/time_domain.h facade instead.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace czsync {
+
+/// A span of time in seconds. Used for delays, drift-scaled intervals,
+/// clock offsets/biases and error bounds. May be negative (offsets) or
+/// +infinity (estimation timeout, Def. 4). Durations are domain-free:
+/// "3 seconds" means the same on every axis, so reading .sec() is not a
+/// domain escape (unlike a point type's .raw()).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : s_(seconds) {}
+
+  /// Value in seconds.
+  [[nodiscard]] constexpr double sec() const { return s_; }
+  /// Value in milliseconds (convenience for reporting).
+  [[nodiscard]] constexpr double ms() const { return s_ * 1e3; }
+
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration(s);
+  }
+  [[nodiscard]] static constexpr Duration millis(double ms) {
+    return Duration(ms * 1e-3);
+  }
+  [[nodiscard]] static constexpr Duration micros(double us) {
+    return Duration(us * 1e-6);
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) {
+    return Duration(m * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration hours(double h) {
+    return Duration(h * 3600.0);
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0.0); }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(s_); }
+  [[nodiscard]] constexpr Duration abs() const {
+    return Duration(s_ < 0 ? -s_ : s_);
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(s_ + o.s_); }
+  constexpr Duration operator-(Duration o) const { return Duration(s_ - o.s_); }
+  constexpr Duration operator-() const { return Duration(-s_); }
+  constexpr Duration operator*(double k) const { return Duration(s_ * k); }
+  constexpr Duration operator/(double k) const { return Duration(s_ / k); }
+  /// Ratio of two durations (dimensionless).
+  constexpr double operator/(Duration o) const { return s_ / o.s_; }
+  constexpr Duration& operator+=(Duration o) { s_ += o.s_; return *this; }
+  constexpr Duration& operator-=(Duration o) { s_ -= o.s_; return *this; }
+
+ private:
+  double s_ = 0.0;
+};
+
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+namespace detail {
+
+/// CRTP base of the three point-on-an-axis types. Each derived type gets
+/// the full in-domain algebra; nothing here is templated over TWO point
+/// types, so every cross-domain expression fails overload resolution at
+/// compile time (there is no candidate to reject — and no implicit
+/// conversion path, because construction from double is explicit and
+/// construction from a sibling domain does not exist).
+template <class D>
+class TimePointBase {
+ public:
+  constexpr TimePointBase() = default;
+
+  /// Raw value on this axis, in seconds. Reading it erases the domain:
+  /// call sites under src/ carry a `// time: <why>` justification,
+  /// enforced by czsync-lint rule `unsafe-cast-audit`.
+  [[nodiscard]] constexpr double raw() const { return s_; }
+
+  [[nodiscard]] static constexpr D zero() { return D(0.0); }
+  [[nodiscard]] static constexpr D infinity() {
+    return D(std::numeric_limits<double>::infinity());
+  }
+
+  friend constexpr bool operator==(D a, D b) { return a.s_ == b.s_; }
+  friend constexpr auto operator<=>(D a, D b) { return a.s_ <=> b.s_; }
+
+  friend constexpr D operator+(D p, Duration d) { return D(p.s_ + d.sec()); }
+  friend constexpr D operator-(D p, Duration d) { return D(p.s_ - d.sec()); }
+  friend constexpr Duration operator-(D a, D b) { return Duration(a.s_ - b.s_); }
+  constexpr D& operator+=(Duration d) {
+    s_ += d.sec();
+    return static_cast<D&>(*this);
+  }
+  constexpr D& operator-=(Duration d) {
+    s_ -= d.sec();
+    return static_cast<D&>(*this);
+  }
+
+ protected:
+  constexpr explicit TimePointBase(double seconds) : s_(seconds) {}
+  double s_ = 0.0;
+};
+
+}  // namespace detail
+
+/// An instant on the one true real-time axis (the tau of the paper):
+/// virtual simulator time in sim builds, the shared CLOCK_MONOTONIC
+/// epoch axis in rt builds. Protocol engines never hold one — by
+/// construction they can only read clocks.
+class SimTau : public detail::TimePointBase<SimTau> {
+ public:
+  constexpr SimTau() = default;
+  constexpr explicit SimTau(double seconds) : TimePointBase(seconds) {}
+};
+
+/// A reading of some processor's hardware clock H_p (Definition 1):
+/// monotone, drift-bounded, unresettable. RTTs and alarm targets are
+/// measured on this axis because the logical clock may be adjusted
+/// backwards mid-interval.
+class HwTime : public detail::TimePointBase<HwTime> {
+ public:
+  constexpr HwTime() = default;
+  constexpr explicit HwTime(double seconds) : TimePointBase(seconds) {}
+
+  /// Clock-model boundary: reinterprets a real-time instant as a
+  /// hardware reading with the same numeric value. Only clock models
+  /// evaluating H(tau) = offset + rate * tau (clk::HardwareClock's fold
+  /// point, rt::Clock's configured perturbation) may cross this way;
+  /// call sites carry a `// time:` justification (lint-enforced).
+  [[nodiscard]] static constexpr HwTime from_tau_unsafe(SimTau t) {
+    return HwTime(t.raw());
+  }
+};
+
+/// A reading of some processor's logical clock C_p = H_p + adj_p
+/// (Definition 1) — the value the protocol exchanges, adjusts and
+/// ultimately synchronizes.
+class LogicalTime : public detail::TimePointBase<LogicalTime> {
+ public:
+  constexpr LogicalTime() = default;
+  constexpr explicit LogicalTime(double seconds) : TimePointBase(seconds) {}
+
+  /// The definitional crossing C = H + adj (clk::LogicalClock::read and
+  /// the offline envelope reconstruction). Named rather than an
+  /// operator so hardware readings never silently become logical ones.
+  [[nodiscard]] static constexpr LogicalTime from_hw(HwTime h, Duration adj) {
+    return LogicalTime(h.raw() + adj.sec());
+  }
+
+  /// Inverse of from_hw: the adjustment that makes this logical value
+  /// out of hardware reading `h` (adversary clock smash, Lemma 7
+  /// bookkeeping).
+  [[nodiscard]] constexpr Duration minus_hw(HwTime h) const {
+    return Duration(raw() - h.raw());
+  }
+};
+
+/// True for the point-on-an-axis types (not Duration). The compile-fail
+/// harness and generic trace plumbing key on this.
+template <class T>
+inline constexpr bool is_time_point_v =
+    std::is_base_of_v<detail::TimePointBase<T>, T>;
+
+// Zero-overhead claim, enforced: each type is layout-identical to the
+// double it wraps, trivially copyable and passable in registers, so
+// strong typing compiles to the same codegen as raw doubles (the bench
+// floors in tools/check_bench_regression.py hold this to account).
+static_assert(sizeof(Duration) == sizeof(double));
+static_assert(sizeof(SimTau) == sizeof(double));
+static_assert(sizeof(HwTime) == sizeof(double));
+static_assert(sizeof(LogicalTime) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Duration> &&
+              std::is_trivially_copyable_v<SimTau> &&
+              std::is_trivially_copyable_v<HwTime> &&
+              std::is_trivially_copyable_v<LogicalTime>);
+static_assert(std::is_standard_layout_v<SimTau> &&
+              std::is_standard_layout_v<HwTime> &&
+              std::is_standard_layout_v<LogicalTime>);
+static_assert(is_time_point_v<SimTau> && is_time_point_v<HwTime> &&
+              is_time_point_v<LogicalTime> && !is_time_point_v<Duration>);
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.sec() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTau t) {
+  return os << "tau=" << t.raw();  // time: rendering for humans
+}
+inline std::ostream& operator<<(std::ostream& os, HwTime t) {
+  return os << "H=" << t.raw();  // time: rendering for humans
+}
+inline std::ostream& operator<<(std::ostream& os, LogicalTime t) {
+  return os << "C=" << t.raw();  // time: rendering for humans
+}
+
+}  // namespace czsync

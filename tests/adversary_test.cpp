@@ -15,7 +15,7 @@
 namespace czsync::adversary {
 namespace {
 
-RealTime rt(double s) { return RealTime(s); }
+SimTau rt(double s) { return SimTau(s); }
 
 // ---------- schedule semantics ----------
 
@@ -23,8 +23,8 @@ TEST(ScheduleTest, EmptySchedule) {
   Schedule s;
   EXPECT_TRUE(s.empty());
   EXPECT_FALSE(s.controlled_at(0, rt(1.0)));
-  EXPECT_EQ(s.max_overlap(Dur::seconds(10)), 0);
-  EXPECT_TRUE(s.is_f_limited(0, Dur::seconds(10)));
+  EXPECT_EQ(s.max_overlap(Duration::seconds(10)), 0);
+  EXPECT_TRUE(s.is_f_limited(0, Duration::seconds(10)));
 }
 
 TEST(ScheduleTest, ControlledAtHalfOpenSemantics) {
@@ -48,34 +48,34 @@ TEST(ScheduleTest, ControlledWithin) {
 
 TEST(ScheduleTest, MaxOverlapSimultaneous) {
   Schedule s({{0, rt(0.0), rt(10.0)}, {1, rt(5.0), rt(15.0)}});
-  EXPECT_EQ(s.max_overlap(Dur::seconds(1)), 2);
-  EXPECT_FALSE(s.is_f_limited(1, Dur::seconds(1)));
-  EXPECT_TRUE(s.is_f_limited(2, Dur::seconds(1)));
+  EXPECT_EQ(s.max_overlap(Duration::seconds(1)), 2);
+  EXPECT_FALSE(s.is_f_limited(1, Duration::seconds(1)));
+  EXPECT_TRUE(s.is_f_limited(2, Duration::seconds(1)));
 }
 
 TEST(ScheduleTest, MaxOverlapWindowStraddle) {
   // Two sequential intervals, 5s apart: a 10s window catches both, a 1s
   // window catches only one at a time.
   Schedule s({{0, rt(0.0), rt(10.0)}, {1, rt(15.0), rt(25.0)}});
-  EXPECT_EQ(s.max_overlap(Dur::seconds(1)), 1);
-  EXPECT_EQ(s.max_overlap(Dur::seconds(10)), 2);
-  EXPECT_TRUE(s.is_f_limited(1, Dur::seconds(1)));
-  EXPECT_FALSE(s.is_f_limited(1, Dur::seconds(10)));
+  EXPECT_EQ(s.max_overlap(Duration::seconds(1)), 1);
+  EXPECT_EQ(s.max_overlap(Duration::seconds(10)), 2);
+  EXPECT_TRUE(s.is_f_limited(1, Duration::seconds(1)));
+  EXPECT_FALSE(s.is_f_limited(1, Duration::seconds(10)));
 }
 
 TEST(ScheduleTest, SameProcessorTwiceCountsOnce) {
   Schedule s({{3, rt(0.0), rt(10.0)}, {3, rt(12.0), rt(20.0)}});
-  EXPECT_EQ(s.max_overlap(Dur::seconds(100)), 1);
-  EXPECT_TRUE(s.is_f_limited(1, Dur::seconds(100)));
+  EXPECT_EQ(s.max_overlap(Duration::seconds(100)), 1);
+  EXPECT_TRUE(s.is_f_limited(1, Duration::seconds(100)));
 }
 
 TEST(ScheduleTest, Definition2GapRule) {
   // Def. 2 consequence: leaving p and breaking into q less than Delta
   // later puts both in one Delta-window.
   Schedule tight({{0, rt(0.0), rt(10.0)}, {1, rt(10.0 + 5.0), rt(30.0)}});
-  EXPECT_FALSE(tight.is_f_limited(1, Dur::seconds(10)));  // gap 5 < Delta 10
+  EXPECT_FALSE(tight.is_f_limited(1, Duration::seconds(10)));  // gap 5 < Delta 10
   Schedule ok({{0, rt(0.0), rt(10.0)}, {1, rt(10.0 + 10.5), rt(30.0)}});
-  EXPECT_TRUE(ok.is_f_limited(1, Dur::seconds(10)));  // gap 10.5 > Delta
+  EXPECT_TRUE(ok.is_f_limited(1, Duration::seconds(10)));  // gap 10.5 > Delta
 }
 
 TEST(ScheduleTest, ByEndTimeSorted) {
@@ -89,9 +89,9 @@ TEST(ScheduleTest, ByEndTimeSorted) {
 // ---------- generators ----------
 
 TEST(ScheduleGenTest, RoundRobinIsFLimited) {
-  const Dur delta = Dur::minutes(30);
-  const auto s = Schedule::round_robin_sweep(7, 2, delta, Dur::minutes(10),
-                                             Dur::minutes(1), rt(60.0),
+  const Duration delta = Duration::minutes(30);
+  const auto s = Schedule::round_robin_sweep(7, 2, delta, Duration::minutes(10),
+                                             Duration::minutes(1), rt(60.0),
                                              rt(24 * 3600.0));
   EXPECT_FALSE(s.empty());
   EXPECT_TRUE(s.is_f_limited(2, delta));
@@ -99,8 +99,8 @@ TEST(ScheduleGenTest, RoundRobinIsFLimited) {
 }
 
 TEST(ScheduleGenTest, RoundRobinCoversAllProcessors) {
-  const auto s = Schedule::round_robin_sweep(5, 1, Dur::seconds(100),
-                                             Dur::seconds(10), Dur::zero(),
+  const auto s = Schedule::round_robin_sweep(5, 1, Duration::seconds(100),
+                                             Duration::seconds(10), Duration::zero(),
                                              rt(0.0), rt(2000.0));
   std::vector<bool> hit(5, false);
   for (const auto& iv : s.intervals()) hit[static_cast<std::size_t>(iv.proc)] = true;
@@ -108,18 +108,18 @@ TEST(ScheduleGenTest, RoundRobinCoversAllProcessors) {
 }
 
 TEST(ScheduleGenTest, RandomMobileIsFLimited) {
-  const Dur delta = Dur::minutes(20);
+  const Duration delta = Duration::minutes(20);
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     const auto s =
-        Schedule::random_mobile(10, 3, delta, Dur::minutes(2), Dur::minutes(15),
+        Schedule::random_mobile(10, 3, delta, Duration::minutes(2), Duration::minutes(15),
                                 rt(12 * 3600.0), Rng(seed));
     EXPECT_TRUE(s.is_f_limited(3, delta)) << "seed " << seed;
   }
 }
 
 TEST(ScheduleGenTest, RandomMobileRespectsHorizon) {
-  const auto s = Schedule::random_mobile(5, 2, Dur::minutes(10), Dur::minutes(1),
-                                         Dur::minutes(5), rt(3600.0), Rng(3));
+  const auto s = Schedule::random_mobile(5, 2, Duration::minutes(10), Duration::minutes(1),
+                                         Duration::minutes(5), rt(3600.0), Rng(3));
   for (const auto& iv : s.intervals()) EXPECT_LT(iv.start, rt(3600.0));
 }
 
@@ -160,7 +160,7 @@ class EngineTest : public ::testing::Test {
     WorldSpy spy;
     spy.n = 3;
     spy.f = 1;
-    spy.way_off = Dur::seconds(1);
+    spy.way_off = Duration::seconds(1);
     spy.read_clock = [this](net::ProcId q) {
       return procs[static_cast<std::size_t>(q)]->clock().read();
     };
@@ -211,53 +211,53 @@ TEST_F(EngineTest, SilentStrategyDropsMessages) {
 
 TEST_F(EngineTest, ClockSmashSetsOffsetAndRepliesHonestly) {
   build(Schedule::single(0, rt(5.0), rt(50.0)),
-        std::make_shared<ClockSmashStrategy>(Dur::seconds(30)));
+        std::make_shared<ClockSmashStrategy>(Duration::seconds(30)));
   sim.run_until(rt(6.0));
   // Clock was +30s at break-in time 5.0.
-  EXPECT_NEAR(procs[0]->clock().read().sec(), 6.0 + 30.0, 1e-6);
+  EXPECT_NEAR(procs[0]->clock().read().raw(), 6.0 + 30.0, 1e-6);
   adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{7}});
   ASSERT_EQ(procs[0]->sent.size(), 1u);
   const auto& resp = std::get<net::PingResp>(procs[0]->sent[0].body);
   EXPECT_EQ(resp.nonce, 7u);
-  EXPECT_NEAR(resp.responder_clock.sec(), 36.0, 1e-6);
+  EXPECT_NEAR(resp.responder_clock.raw(), 36.0, 1e-6);
   EXPECT_EQ(procs[0]->sent[0].to, 1);
 }
 
 TEST_F(EngineTest, ConstantLieOffsetsReplies) {
   build(Schedule::single(0, rt(0.0), rt(50.0)),
-        std::make_shared<ConstantLieStrategy>(Dur::seconds(-5)));
+        std::make_shared<ConstantLieStrategy>(Duration::seconds(-5)));
   sim.run_until(rt(10.0));
   adv->deliver_to_strategy(*procs[0], net::Message{2, 0, net::PingReq{1}});
   const auto& resp = std::get<net::PingResp>(procs[0]->sent.at(0).body);
-  EXPECT_NEAR(resp.responder_clock.sec(), 10.0 - 5.0, 1e-6);
+  EXPECT_NEAR(resp.responder_clock.raw(), 10.0 - 5.0, 1e-6);
 }
 
 TEST_F(EngineTest, TwoFacedLiesByParity) {
   build(Schedule::single(0, rt(0.0), rt(50.0)),
-        std::make_shared<TwoFacedStrategy>(Dur::seconds(2)));
+        std::make_shared<TwoFacedStrategy>(Duration::seconds(2)));
   sim.run_until(rt(10.0));
   adv->deliver_to_strategy(*procs[0], net::Message{2, 0, net::PingReq{1}});
   adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{2}});
   const auto& to_even = std::get<net::PingResp>(procs[0]->sent.at(0).body);
   const auto& to_odd = std::get<net::PingResp>(procs[0]->sent.at(1).body);
-  EXPECT_NEAR(to_even.responder_clock.sec(), 12.0, 1e-6);
-  EXPECT_NEAR(to_odd.responder_clock.sec(), 8.0, 1e-6);
+  EXPECT_NEAR(to_even.responder_clock.raw(), 12.0, 1e-6);
+  EXPECT_NEAR(to_odd.responder_clock.raw(), 8.0, 1e-6);
 }
 
 TEST_F(EngineTest, MaxPullReportsAboveHighestCorrectClock) {
   build(Schedule::single(0, rt(0.0), rt(50.0)),
         std::make_shared<MaxPullStrategy>(0.5));
-  procs[1]->clock().adjust(Dur::seconds(3));  // highest correct clock
+  procs[1]->clock().adjust(Duration::seconds(3));  // highest correct clock
   sim.run_until(rt(10.0));
   adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
   const auto& resp = std::get<net::PingResp>(procs[0]->sent.at(0).body);
   // target = max correct clock (13.0) + 0.5 * way_off (1s).
-  EXPECT_NEAR(resp.responder_clock.sec(), 13.5, 1e-6);
+  EXPECT_NEAR(resp.responder_clock.raw(), 13.5, 1e-6);
 }
 
 TEST_F(EngineTest, RandomLieWithinSpread) {
   build(Schedule::single(0, rt(0.0), rt(50.0)),
-        std::make_shared<RandomLieStrategy>(Dur::seconds(4)));
+        std::make_shared<RandomLieStrategy>(Duration::seconds(4)));
   sim.run_until(rt(10.0));
   for (int i = 0; i < 50; ++i) {
     adv->deliver_to_strategy(*procs[0],
@@ -265,26 +265,26 @@ TEST_F(EngineTest, RandomLieWithinSpread) {
   }
   for (const auto& m : procs[0]->sent) {
     const auto& resp = std::get<net::PingResp>(m.body);
-    EXPECT_GE(resp.responder_clock.sec(), 6.0 - 1e-9);
-    EXPECT_LE(resp.responder_clock.sec(), 14.0 + 1e-9);
+    EXPECT_GE(resp.responder_clock.raw(), 6.0 - 1e-9);
+    EXPECT_LE(resp.responder_clock.raw(), 14.0 + 1e-9);
   }
 }
 
 TEST_F(EngineTest, DelayedReplyHeldBack) {
   build(Schedule::single(0, rt(0.0), rt(50.0)),
-        std::make_shared<DelayedReplyStrategy>(Dur::seconds(3), Dur::seconds(1)));
+        std::make_shared<DelayedReplyStrategy>(Duration::seconds(3), Duration::seconds(1)));
   sim.run_until(rt(10.0));
   adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
   EXPECT_TRUE(procs[0]->sent.empty());  // not yet
   sim.run_until(rt(13.5));
   ASSERT_EQ(procs[0]->sent.size(), 1u);
   const auto& resp = std::get<net::PingResp>(procs[0]->sent[0].body);
-  EXPECT_NEAR(resp.responder_clock.sec(), 13.0 + 1.0, 1e-6);
+  EXPECT_NEAR(resp.responder_clock.raw(), 13.0 + 1.0, 1e-6);
 }
 
 TEST_F(EngineTest, DelayedReplySuppressedAfterLeave) {
   build(Schedule::single(0, rt(0.0), rt(11.0)),
-        std::make_shared<DelayedReplyStrategy>(Dur::seconds(3), Dur::seconds(1)));
+        std::make_shared<DelayedReplyStrategy>(Duration::seconds(3), Duration::seconds(1)));
   sim.run_until(rt(10.0));
   adv->deliver_to_strategy(*procs[0], net::Message{1, 0, net::PingReq{1}});
   sim.run_until(rt(20.0));  // reply would fire at 13, after leave at 11
@@ -295,12 +295,12 @@ TEST(StrategyFactoryTest, AllNamesConstruct) {
   for (const char* name :
        {"silent", "clock-smash", "clock-smash-random", "constant-lie",
         "two-faced", "max-pull", "random-lie", "delayed-reply"}) {
-    EXPECT_NE(make_strategy(name, Dur::seconds(1)), nullptr) << name;
+    EXPECT_NE(make_strategy(name, Duration::seconds(1)), nullptr) << name;
   }
 }
 
 TEST(StrategyFactoryTest, UnknownNameThrows) {
-  EXPECT_THROW(make_strategy("nope", Dur::seconds(1)), std::invalid_argument);
+  EXPECT_THROW(make_strategy("nope", Duration::seconds(1)), std::invalid_argument);
 }
 
 }  // namespace

@@ -17,11 +17,11 @@ Scenario small(std::uint64_t seed = 1) {
   s.model.n = 4;
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.horizon = Dur::hours(2);
-  s.sample_period = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.horizon = Duration::hours(2);
+  s.sample_period = Duration::minutes(1);
   s.record_series = true;
   s.seed = seed;
   return s;
@@ -31,12 +31,12 @@ Scenario small(std::uint64_t seed = 1) {
 
 TEST(ObserverClassification, FaultyDuringControl) {
   auto s = small();
-  s.schedule = adversary::Schedule::single(2, RealTime(1800.0), RealTime(2400.0));
+  s.schedule = adversary::Schedule::single(2, SimTau(1800.0), SimTau(2400.0));
   s.strategy = "silent";
   const auto r = run_scenario(s);
   for (const auto& smp : r.series) {
     const auto st = smp.status[2];
-    const double t = smp.t.sec();
+    const double t = smp.t.raw();
     if (t >= 1800.0 && t < 2400.0) {
       EXPECT_EQ(st, ProcStatus::Faulty) << t;
     } else if (t >= 2400.0 && t < 2400.0 + 3600.0) {
@@ -55,12 +55,12 @@ TEST(ObserverClassification, FaultyDuringControl) {
 
 TEST(ObserverClassification, StableDeviationExcludesNonStable) {
   auto s = small(2);
-  s.schedule = adversary::Schedule::single(0, RealTime(1800.0), RealTime(2400.0));
+  s.schedule = adversary::Schedule::single(0, SimTau(1800.0), SimTau(2400.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(30);  // a huge bias on the victim
+  s.strategy_scale = Duration::minutes(30);  // a huge bias on the victim
   const auto r = run_scenario(s);
   for (const auto& smp : r.series) {
-    const double t = smp.t.sec();
+    const double t = smp.t.raw();
     if (t >= 1800.0 && t < 2400.0 + 60.0) {
       // While the smashed clock is excluded, the deviation of the three
       // stable processors stays tiny.
@@ -72,13 +72,13 @@ TEST(ObserverClassification, StableDeviationExcludesNonStable) {
 
 TEST(ObserverClassification, RecoveryEventRecorded) {
   auto s = small(3);
-  s.schedule = adversary::Schedule::single(1, RealTime(1800.0), RealTime(1860.0));
+  s.schedule = adversary::Schedule::single(1, SimTau(1800.0), SimTau(1860.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(5);
+  s.strategy_scale = Duration::minutes(5);
   const auto r = run_scenario(s);
   ASSERT_EQ(r.recoveries.size(), 1u);
   EXPECT_EQ(r.recoveries[0].proc, 1);
-  EXPECT_DOUBLE_EQ(r.recoveries[0].left_at.sec(), 1860.0);
+  EXPECT_DOUBLE_EQ(r.recoveries[0].left_at.raw(), 1860.0);
   EXPECT_TRUE(r.recoveries[0].recovered);
   EXPECT_TRUE(r.recoveries[0].judgeable);
   EXPECT_GT(r.recoveries[0].duration.sec(), 0.0);
@@ -87,9 +87,9 @@ TEST(ObserverClassification, RecoveryEventRecorded) {
 TEST(ObserverClassification, LateLeaveIsUnjudgeable) {
   auto s = small(4);
   // Leave 10 minutes before the horizon: less than Delta of budget left.
-  s.schedule = adversary::Schedule::single(1, RealTime(6000.0), RealTime(6600.0));
+  s.schedule = adversary::Schedule::single(1, SimTau(6000.0), SimTau(6600.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::hours(2);
+  s.strategy_scale = Duration::hours(2);
   const auto r = run_scenario(s);
   ASSERT_EQ(r.recoveries.size(), 1u);
   // It may well have recovered (WayOff is fast); but if it did not, it
@@ -107,8 +107,8 @@ TEST(ObserverClassification, PreemptedRecoverySkipped) {
   // Def. 2 for f=1 — here we deliberately test observer bookkeeping, not
   // the protocol guarantee.
   s.schedule = adversary::Schedule(
-      {{1, RealTime(1800.0), RealTime(1860.0)},
-       {1, RealTime(1900.0), RealTime(2000.0)}});
+      {{1, SimTau(1800.0), SimTau(1860.0)},
+       {1, SimTau(1900.0), SimTau(2000.0)}});
   s.strategy = "silent";
   const auto r = run_scenario(s);
   ASSERT_EQ(r.recoveries.size(), 2u);
@@ -127,13 +127,13 @@ TEST(NodeDispatch, AppHandlerReceivesNonSyncMessages) {
     if (std::holds_alternative<net::TimestampReq>(m.body)) ++got;
   };
   world.node(0).send(1, net::TimestampReq{7});
-  world.simulator().run_until(RealTime(1.0));
+  world.simulator().run_until(SimTau(1.0));
   EXPECT_EQ(got, 1);
 }
 
 TEST(NodeDispatch, AppSuspendResumeHooksFire) {
   auto s = small(7);
-  s.schedule = adversary::Schedule::single(2, RealTime(600.0), RealTime(1200.0));
+  s.schedule = adversary::Schedule::single(2, SimTau(600.0), SimTau(1200.0));
   s.strategy = "silent";
   World world(s);
   int suspends = 0, resumes = 0;
@@ -147,8 +147,8 @@ TEST(NodeDispatch, AppSuspendResumeHooksFire) {
 TEST(NodeDispatch, BiasMatchesClockMinusRealTime) {
   World world(small(8));
   auto& node = world.node(0);
-  world.simulator().run_until(RealTime(100.0));
-  const double expect = node.logical().read().sec() - 100.0;
+  world.simulator().run_until(SimTau(100.0));
+  const double expect = node.logical().read().raw() - 100.0;
   EXPECT_NEAR(node.bias().sec(), expect, 1e-12);
 }
 
@@ -174,7 +174,7 @@ TEST(WorldBuild, WayOffScaleMultipliesThreshold) {
 
 TEST(WorldBuild, TinyWayOffCausesSteadyEscapes) {
   auto s = small(14);
-  s.horizon = Dur::hours(3);
+  s.horizon = Duration::hours(3);
   s.way_off_scale = 0.02;  // below the reading error: step 10 misfires
   const auto r = run_scenario(s);
   EXPECT_GT(r.way_off_rounds, 10u);
@@ -186,11 +186,11 @@ TEST(WorldBuild, TinyWayOffCausesSteadyEscapes) {
 
 TEST(WorldBuild, LargeWayOffSlowsMidRangeRecovery) {
   auto s = small(15);
-  s.horizon = Dur::hours(3);
-  s.sample_period = Dur::seconds(5);
-  s.schedule = adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+  s.horizon = Duration::hours(3);
+  s.sample_period = Duration::seconds(5);
+  s.schedule = adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::seconds(5);
+  s.strategy_scale = Duration::seconds(5);
   const auto fast = run_scenario(s);
   auto s2 = s;
   s2.way_off_scale = 32.0;  // 5 s now falls inside WayOff: halving only
@@ -214,10 +214,10 @@ TEST(WorldBuild, NoAdversaryMeansNullEngine) {
 
 TEST(WorldBuild, AdversaryAttachedWhenScheduled) {
   auto s = small(12);
-  s.schedule = adversary::Schedule::single(0, RealTime(10.0), RealTime(20.0));
+  s.schedule = adversary::Schedule::single(0, SimTau(10.0), SimTau(20.0));
   World world(s);
   ASSERT_NE(world.adversary(), nullptr);
-  world.simulator().run_until(RealTime(15.0));
+  world.simulator().run_until(SimTau(15.0));
   EXPECT_TRUE(world.adversary()->is_controlled(0));
   EXPECT_TRUE(world.node(0).controlled());
   EXPECT_FALSE(world.node(1).controlled());
@@ -229,13 +229,13 @@ TEST(RunResultTest, MaxRecoverySkipsPreemptedAndUnjudgeable) {
   RunResult r;
   RecoveryEvent a;
   a.recovered = true;
-  a.duration = Dur::seconds(10);
+  a.duration = Duration::seconds(10);
   RecoveryEvent b;
   b.preempted = true;
-  b.duration = Dur::infinity();
+  b.duration = Duration::infinity();
   RecoveryEvent c;
   c.judgeable = false;
-  c.duration = Dur::infinity();
+  c.duration = Duration::infinity();
   r.recoveries = {a, b, c};
   EXPECT_DOUBLE_EQ(r.max_recovery_time().sec(), 10.0);
   EXPECT_TRUE(r.all_recovered());
@@ -254,9 +254,9 @@ TEST(RecoveryEventTest, ProcDefaultsToEmptyOptional) {
 TEST(RunResultTest, CarriesUnifiedMetricsSnapshot) {
   auto s = small(9);
   s.schedule =
-      adversary::Schedule::single(1, RealTime(1800.0), RealTime(1860.0));
+      adversary::Schedule::single(1, SimTau(1800.0), SimTau(1860.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(5);
+  s.strategy_scale = Duration::minutes(5);
   const auto r = run_scenario(s);
   // One snapshot spanning every layer (the four legacy stats structs).
   for (const char* key :

@@ -72,9 +72,9 @@ TEST(AuthTest, CountValidDedupesSigners) {
 struct StNode {
   StNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
          const StConfig& cfg, std::shared_ptr<const Authenticator> auth,
-         Dur initial_bias)
+         Duration initial_bias)
       : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
-           ClockTime(sim.now().sec()) + initial_bias),
+           HwTime(sim.now().raw()) + initial_bias),
         clock(hw),
         proto(net, clock, id, cfg, std::move(auth)) {
     net.register_handler(id, [this](const net::Message& m) {
@@ -90,15 +90,15 @@ class StSyncTest : public ::testing::Test {
  protected:
   void build(int n, int f, net::Topology topo, const std::vector<double>& biases) {
     net = std::make_unique<net::Network>(
-        sim, std::move(topo), net::make_fixed_delay(Dur::millis(10)), Rng(7));
+        sim, std::move(topo), net::make_fixed_delay(Duration::millis(10)), Rng(7));
     auth = std::make_shared<Authenticator>(99);
-    cfg.period = Dur::seconds(60);
-    cfg.skew_allowance = Dur::millis(100);
+    cfg.period = Duration::seconds(60);
+    cfg.skew_allowance = Duration::millis(100);
     cfg.f = f;
     for (int p = 0; p < n; ++p) {
       nodes.push_back(std::make_unique<StNode>(
           sim, *net, p, cfg, auth,
-          Dur::seconds(biases[static_cast<std::size_t>(p)])));
+          Duration::seconds(biases[static_cast<std::size_t>(p)])));
     }
     for (auto& nd : nodes) nd->proto.start();
   }
@@ -112,7 +112,7 @@ class StSyncTest : public ::testing::Test {
 
 TEST_F(StSyncTest, AcceptsRoundsAndSynchronizes) {
   build(4, 1, net::Topology::full_mesh(4), {-0.2, -0.1, 0.1, 0.2});
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   for (auto& nd : nodes) {
     EXPECT_GE(nd->proto.last_accepted(), 3u);
     EXPECT_EQ(nd->proto.replays_accepted(), 0u);
@@ -121,8 +121,8 @@ TEST_F(StSyncTest, AcceptsRoundsAndSynchronizes) {
   // drift apart by rho * P.
   double lo = 1e18, hi = -1e18;
   for (auto& nd : nodes) {
-    lo = std::min(lo, nd->clock.read().sec());
-    hi = std::max(hi, nd->clock.read().sec());
+    lo = std::min(lo, nd->clock.read().raw());
+    hi = std::max(hi, nd->clock.read().raw());
   }
   EXPECT_LT(hi - lo, 0.05);
 }
@@ -131,29 +131,29 @@ TEST_F(StSyncTest, NeedsFPlusOneSigners) {
   // n = 3, f = 2: only 3 potential signers, acceptance needs 3 — all of
   // them. Kill one (never start it) and nobody ever accepts.
   net = std::make_unique<net::Network>(sim, net::Topology::full_mesh(3),
-                                       net::make_fixed_delay(Dur::millis(10)),
+                                       net::make_fixed_delay(Duration::millis(10)),
                                        Rng(7));
   auth = std::make_shared<Authenticator>(99);
-  cfg.period = Dur::seconds(60);
+  cfg.period = Duration::seconds(60);
   cfg.f = 2;
   for (int p = 0; p < 3; ++p) {
-    nodes.push_back(std::make_unique<StNode>(sim, *net, p, cfg, auth, Dur::zero()));
+    nodes.push_back(std::make_unique<StNode>(sim, *net, p, cfg, auth, Duration::zero()));
   }
   nodes[0]->proto.start();
   nodes[1]->proto.start();  // node 2 stays silent
-  sim.run_until(RealTime(500.0));
+  sim.run_until(SimTau(500.0));
   EXPECT_EQ(nodes[0]->proto.last_accepted(), 0u);
   EXPECT_EQ(nodes[1]->proto.last_accepted(), 0u);
 }
 
 TEST_F(StSyncTest, MultiHopPropagationOnRing) {
   build(8, 1, net::Topology::ring(8), std::vector<double>(8, 0.0));
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   for (auto& nd : nodes) EXPECT_GE(nd->proto.last_accepted(), 2u);
   double lo = 1e18, hi = -1e18;
   for (auto& nd : nodes) {
-    lo = std::min(lo, nd->clock.read().sec());
-    hi = std::max(hi, nd->clock.read().sec());
+    lo = std::min(lo, nd->clock.read().raw());
+    hi = std::max(hi, nd->clock.read().raw());
   }
   // Spread bounded by the relay depth (diameter * delivery).
   EXPECT_LT(hi - lo, 0.2);
@@ -161,24 +161,24 @@ TEST_F(StSyncTest, MultiHopPropagationOnRing) {
 
 TEST_F(StSyncTest, StaleBundleRejectedByCorrectProcessor) {
   build(4, 1, net::Topology::full_mesh(4), {0.0, 0.0, 0.0, 0.0});
-  sim.run_until(RealTime(200.0));  // everyone past round 3
+  sim.run_until(SimTau(200.0));  // everyone past round 3
   const auto before = nodes[0]->proto.last_accepted();
   ASSERT_GE(before, 3u);
   // Replay a genuine round-1 bundle at node 0.
   std::vector<net::Signature> sigs = {auth->sign(1, 1), auth->sign(2, 1)};
   net->send(1, 0, net::StRoundMsg{1, sigs});
-  sim.run_until(RealTime(201.0));
+  sim.run_until(SimTau(201.0));
   EXPECT_EQ(nodes[0]->proto.last_accepted(), before);
   EXPECT_EQ(nodes[0]->proto.replays_accepted(), 0u);
 }
 
 TEST_F(StSyncTest, ForgedBundleIgnored) {
   build(4, 1, net::Topology::full_mesh(4), {0.0, 0.0, 0.0, 0.0});
-  sim.run_until(RealTime(30.0));  // before round 1 (at t=60)
+  sim.run_until(SimTau(30.0));  // before round 1 (at t=60)
   // Garbage signatures for a huge round: must not be accepted.
   std::vector<net::Signature> junk = {{1, 123}, {2, 456}};
   net->send(1, 0, net::StRoundMsg{50, junk});
-  sim.run_until(RealTime(35.0));
+  sim.run_until(SimTau(35.0));
   EXPECT_EQ(nodes[0]->proto.last_accepted(), 0u);
 }
 
@@ -187,19 +187,19 @@ TEST_F(StSyncTest, RecoveredProcessorAcceptsReplay) {
   // then fed a genuine stale bundle — it accepts and its clock snaps to
   // the stale round's time.
   build(4, 1, net::Topology::full_mesh(4), {0.0, 0.0, 0.0, 0.0});
-  sim.run_until(RealTime(400.0));  // past round 6
+  sim.run_until(SimTau(400.0));  // past round 6
   ASSERT_GE(nodes[0]->proto.last_accepted(), 5u);
   nodes[0]->proto.suspend();
-  sim.run_until(RealTime(405.0));
+  sim.run_until(SimTau(405.0));
   nodes[0]->proto.resume();  // last_accepted reset to 0
   std::vector<net::Signature> sigs = {auth->sign(1, 1), auth->sign(2, 1)};
   net->send(1, 0, net::StRoundMsg{1, sigs});
-  sim.run_until(RealTime(406.0));
+  sim.run_until(SimTau(406.0));
   EXPECT_EQ(nodes[0]->proto.last_accepted(), 1u);
   EXPECT_EQ(nodes[0]->proto.replays_accepted(), 1u);
-  EXPECT_NEAR(nodes[0]->clock.read().sec(), 60.0 + 0.1, 1.0);  // yanked back
+  EXPECT_NEAR(nodes[0]->clock.read().raw(), 60.0 + 0.1, 1.0);  // yanked back
   // The next honest round pulls it forward again.
-  sim.run_until(RealTime(500.0));
+  sim.run_until(SimTau(500.0));
   EXPECT_GT(nodes[0]->proto.last_accepted(), 6u);
 }
 
@@ -224,7 +224,7 @@ class ControlledStNode final : public adversary::ControlledProcess {
       : net_(net),
         id_(id),
         hw_(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
-            ClockTime(sim.now().sec())),
+            HwTime(sim.now().raw())),
         clock_(hw_),
         proto(net, clock_, id, cfg, std::move(auth)) {
     net.register_handler(id, [this](const net::Message& m) {
@@ -266,11 +266,11 @@ class ControlledStNode final : public adversary::ControlledProcess {
 TEST(CaptureReplayRecoveryTest, RecoveryWindowCaptureFeedsAuditAndReplay) {
   sim::Simulator sim;
   net::Network net(sim, net::Topology::full_mesh(4),
-                   net::make_fixed_delay(Dur::millis(10)), Rng(7));
+                   net::make_fixed_delay(Duration::millis(10)), Rng(7));
   auto auth = std::make_shared<Authenticator>(99);
   StConfig cfg;
-  cfg.period = Dur::seconds(60);
-  cfg.skew_allowance = Dur::millis(100);
+  cfg.period = Duration::seconds(60);
+  cfg.skew_allowance = Duration::millis(100);
   cfg.f = 1;
   std::vector<std::unique_ptr<ControlledStNode>> nodes;
   for (int p = 0; p < 4; ++p) {
@@ -288,7 +288,7 @@ TEST(CaptureReplayRecoveryTest, RecoveryWindowCaptureFeedsAuditAndReplay) {
   adversary::WorldSpy spy;
   spy.n = 4;
   spy.f = 1;
-  spy.way_off = Dur::seconds(1);
+  spy.way_off = Duration::seconds(1);
   spy.read_clock = [&nodes](net::ProcId q) {
     return nodes[static_cast<std::size_t>(q)]->clock().read();
   };
@@ -299,9 +299,9 @@ TEST(CaptureReplayRecoveryTest, RecoveryWindowCaptureFeedsAuditAndReplay) {
   // that is the attack class assumption A4 exists to rule out.
   adversary::Adversary adv(
       sim,
-      adversary::Schedule({{3, RealTime(50.0), RealTime(200.0)},
-                           {1, RealTime(130.0), RealTime(190.0)},
-                           {1, RealTime(205.0), RealTime(235.0)}}),
+      adversary::Schedule({{3, SimTau(50.0), SimTau(200.0)},
+                           {1, SimTau(130.0), SimTau(190.0)},
+                           {1, SimTau(205.0), SimTau(235.0)}}),
       capturing, std::move(spy), Rng(5));
   std::vector<adversary::ControlledProcess*> raw;
   for (auto& nd : nodes) {
@@ -310,7 +310,7 @@ TEST(CaptureReplayRecoveryTest, RecoveryWindowCaptureFeedsAuditAndReplay) {
   }
   adv.attach(std::move(raw));
   for (auto& nd : nodes) nd->proto.start();
-  sim.run_until(RealTime(500.0));
+  sim.run_until(SimTau(500.0));
 
   // Delegation reached the inner strategy: bundles were harvested while
   // controlled and the freshly recovered processor 1 accepted a stale
@@ -342,13 +342,13 @@ analysis::Scenario st_scenario(std::uint64_t seed) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.protocol = "st-broadcast";
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::hours(4);
-  s.warmup = Dur::minutes(30);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::hours(4);
+  s.warmup = Duration::minutes(30);
   s.seed = seed;
   return s;
 }
@@ -365,12 +365,12 @@ TEST(StScenarioTest, SurvivesMinorityFaultsBeyondThird) {
   // needs only 4 = f+1 correct signers.
   auto s = st_scenario(22);
   s.model.f = 3;
-  s.horizon = Dur::hours(6);
+  s.horizon = Duration::hours(6);
   s.schedule = adversary::Schedule::random_mobile(
-      7, 3, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(4.5 * 3600.0), Rng(221));
+      7, 3, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(4.5 * 3600.0), Rng(221));
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   const auto r = analysis::run_scenario(s);
   EXPECT_LT(r.max_stable_deviation.sec(), 0.5);
 }
@@ -385,8 +385,8 @@ TEST(StScenarioTest, SynchronizesRing) {
 
 TEST(StScenarioTest, ReplayAdversaryScoresHits) {
   auto s = st_scenario(24);
-  s.horizon = Dur::hours(8);
-  s.warmup = Dur::minutes(40);
+  s.horizon = Duration::hours(8);
+  s.warmup = Duration::minutes(40);
   // Interleaved pairs: when the first victim of a pair recovers, the
   // second is still controlled and spamming stale bundles. Still
   // f-limited for f = 2 (pairs are Delta apart).
@@ -394,8 +394,8 @@ TEST(StScenarioTest, ReplayAdversaryScoresHits) {
   double t = 1000.0;
   int p = 0;
   while (t + 900.0 < 7.5 * 3600.0) {
-    ivs.push_back({p % 7, RealTime(t), RealTime(t + 600.0)});
-    ivs.push_back({(p + 3) % 7, RealTime(t + 300.0), RealTime(t + 900.0)});
+    ivs.push_back({p % 7, SimTau(t), SimTau(t + 600.0)});
+    ivs.push_back({(p + 3) % 7, SimTau(t + 300.0), SimTau(t + 900.0)});
     t += 900.0 + s.model.delta_period.sec() + 60.0;
     ++p;
   }

@@ -19,9 +19,9 @@ namespace {
 
 struct CacheNode {
   CacheNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
-            const SyncConfig& cfg, Dur initial_bias)
+            const SyncConfig& cfg, Duration initial_bias)
       : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
-           ClockTime(sim.now().sec()) + initial_bias),
+           HwTime(sim.now().raw()) + initial_bias),
         clock(hw),
         sync(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
     net.register_handler(id, [this](const net::Message& m) {
@@ -35,14 +35,14 @@ struct CacheNode {
 
 class CachedEstimationTest : public ::testing::Test {
  protected:
-  void build(const std::vector<double>& biases, Dur refresh, Dur max_age) {
+  void build(const std::vector<double>& biases, Duration refresh, Duration max_age) {
     const int n = static_cast<int>(biases.size());
     net = std::make_unique<net::Network>(
         sim, net::Topology::full_mesh(n),
-        net::make_fixed_delay(Dur::millis(10)), Rng(7));
-    cfg.params.sync_int = Dur::seconds(60);
-    cfg.params.max_wait = Dur::millis(20);
-    cfg.params.way_off = Dur::seconds(1);
+        net::make_fixed_delay(Duration::millis(10)), Rng(7));
+    cfg.params.sync_int = Duration::seconds(60);
+    cfg.params.max_wait = Duration::millis(20);
+    cfg.params.way_off = Duration::seconds(1);
     cfg.f = 0;
     cfg.convergence = make_convergence("bhhn");
     cfg.random_phase = false;
@@ -51,7 +51,7 @@ class CachedEstimationTest : public ::testing::Test {
     cfg.max_cache_age = max_age;
     for (int p = 0; p < n; ++p) {
       nodes.push_back(std::make_unique<CacheNode>(
-          sim, *net, p, cfg, Dur::seconds(biases[static_cast<std::size_t>(p)])));
+          sim, *net, p, cfg, Duration::seconds(biases[static_cast<std::size_t>(p)])));
     }
     for (auto& nd : nodes) nd->sync.start();
   }
@@ -63,18 +63,18 @@ class CachedEstimationTest : public ::testing::Test {
 };
 
 TEST_F(CachedEstimationTest, FirstRoundSeesEmptyCache) {
-  build({0.0, 0.3}, Dur::seconds(20), Dur::minutes(2));
+  build({0.0, 0.3}, Duration::seconds(20), Duration::minutes(2));
   // Sync alarm and the first cache pings both fire at t=0; the cache has
   // no replies yet, so round 1 is all timeouts and adjusts nothing.
-  sim.run_until(RealTime(0.5));
+  sim.run_until(SimTau(0.5));
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
   EXPECT_GE(nodes[0]->sync.stats().timeouts, 1u);
   EXPECT_DOUBLE_EQ(nodes[0]->clock.adjustment().sec(), 0.0);
 }
 
 TEST_F(CachedEstimationTest, SecondRoundUsesCache) {
-  build({0.0, 0.3}, Dur::seconds(20), Dur::minutes(2));
-  sim.run_until(RealTime(65.0));  // round 2 at t=60, cache filled at ~0.01
+  build({0.0, 0.3}, Duration::seconds(20), Duration::minutes(2));
+  sim.run_until(SimTau(65.0));  // round 2 at t=60, cache filled at ~0.01
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 2u);
   // BHHN with estimates {self 0, +0.3}: adjust by ~0.15.
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), 0.15, 0.02);
@@ -84,10 +84,10 @@ TEST_F(CachedEstimationTest, StaleCacheNeverConverges) {
   // Refresh far beyond the horizon: every sync re-applies the ORIGINAL
   // +-0.3 view. Fresh estimation converges geometrically; the stale
   // cache oscillates and never settles — the Definition-4 violation.
-  build({-0.15, 0.15}, Dur::hours(10), Dur::hours(20));
-  sim.run_until(RealTime(20 * 60.0));
+  build({-0.15, 0.15}, Duration::hours(10), Duration::hours(20));
+  sim.run_until(SimTau(20 * 60.0));
   const double offset =
-      nodes[1]->clock.read().sec() - nodes[0]->clock.read().sec();
+      nodes[1]->clock.read().raw() - nodes[0]->clock.read().raw();
   EXPECT_GT(std::abs(nodes[0]->clock.adjustment().sec()) +
                 std::abs(nodes[1]->clock.adjustment().sec()),
             0.25);                    // they did keep correcting
@@ -96,18 +96,18 @@ TEST_F(CachedEstimationTest, StaleCacheNeverConverges) {
 
 TEST_F(CachedEstimationTest, FreshCacheTracksConvergence) {
   // Refresh faster than SyncInt: close to the fresh protocol.
-  build({-0.15, 0.15}, Dur::seconds(10), Dur::seconds(30));
-  sim.run_until(RealTime(20 * 60.0));
+  build({-0.15, 0.15}, Duration::seconds(10), Duration::seconds(30));
+  sim.run_until(SimTau(20 * 60.0));
   const double offset =
-      nodes[1]->clock.read().sec() - nodes[0]->clock.read().sec();
+      nodes[1]->clock.read().raw() - nodes[0]->clock.read().raw();
   EXPECT_LT(std::abs(offset), 0.05);
 }
 
 TEST_F(CachedEstimationTest, EntriesAgeOut) {
-  build({0.0, 0.3}, Dur::hours(10), Dur::seconds(90));
+  build({0.0, 0.3}, Duration::hours(10), Duration::seconds(90));
   // Cache filled at ~0; by t=120 the entries exceed max_cache_age, so
   // round 3 (t=120) is timeouts again.
-  sim.run_until(RealTime(125.0));
+  sim.run_until(SimTau(125.0));
   EXPECT_GE(nodes[0]->sync.stats().timeouts, 2u);
 }
 
@@ -116,23 +116,23 @@ TEST(CachedScenarioTest, RecoveryOscillatesWhenRefreshExceedsSyncInt) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(50);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(50);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
   s.seed = 19;
-  s.schedule = adversary::Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+  s.schedule = adversary::Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(10);
+  s.strategy_scale = Duration::minutes(10);
 
   auto fresh = s;
   const auto rf = analysis::run_scenario(fresh);
   EXPECT_EQ(rf.way_off_rounds, 1u);  // one clean jump
 
   s.cached_estimation = true;
-  s.cache_refresh = Dur::seconds(300);
+  s.cache_refresh = Duration::seconds(300);
   const auto rc = analysis::run_scenario(s);
   EXPECT_GT(rc.way_off_rounds, 2u);  // the stale-cache bounce
 }
@@ -142,13 +142,13 @@ TEST(CachedScenarioTest, SteadyStateStillBoundedWithFastRefresh) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.cached_estimation = true;
-  s.cache_refresh = Dur::seconds(15);
-  s.horizon = Dur::hours(4);
-  s.warmup = Dur::minutes(30);
+  s.cache_refresh = Duration::seconds(15);
+  s.horizon = Duration::hours(4);
+  s.warmup = Duration::minutes(30);
   s.seed = 20;
   const auto r = analysis::run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);

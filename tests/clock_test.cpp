@@ -48,7 +48,7 @@ TEST(ConstantDriftTest, PinnedRate) {
 }
 
 TEST(WanderDriftTest, StepsStayWithinBand) {
-  WanderDrift m(kRho, Dur::minutes(1));
+  WanderDrift m(kRho, Duration::minutes(1));
   Rng rng(3);
   double r = m.initial_rate(rng);
   for (int i = 0; i < 5000; ++i) {
@@ -59,17 +59,17 @@ TEST(WanderDriftTest, StepsStayWithinBand) {
 }
 
 TEST(WanderDriftTest, ChangeIntervalsPositiveFinite) {
-  WanderDrift m(kRho, Dur::minutes(1));
+  WanderDrift m(kRho, Duration::minutes(1));
   Rng rng(4);
   for (int i = 0; i < 100; ++i) {
-    const Dur d = m.next_change_after(rng);
+    const Duration d = m.next_change_after(rng);
     EXPECT_TRUE(d.is_finite());
-    EXPECT_GT(d, Dur::zero());
+    EXPECT_GT(d, Duration::zero());
   }
 }
 
 TEST(WanderDriftTest, RatesActuallyMove) {
-  WanderDrift m(kRho, Dur::minutes(1));
+  WanderDrift m(kRho, Duration::minutes(1));
   Rng rng(5);
   const double r0 = m.initial_rate(rng);
   double r = r0;
@@ -82,7 +82,7 @@ TEST(WanderDriftTest, RatesActuallyMove) {
 }
 
 TEST(SinusoidalDriftTest, RatesTraceTheBandAndStayLegal) {
-  SinusoidalDrift m(kRho, Dur::hours(1), 48);
+  SinusoidalDrift m(kRho, Duration::hours(1), 48);
   Rng rng(6);
   double r = m.initial_rate(rng);
   double lo = r, hi = r;
@@ -99,27 +99,27 @@ TEST(SinusoidalDriftTest, RatesTraceTheBandAndStayLegal) {
 }
 
 TEST(SinusoidalDriftTest, StepCadenceIsCycleFraction) {
-  SinusoidalDrift m(kRho, Dur::hours(1), 48);
+  SinusoidalDrift m(kRho, Duration::hours(1), 48);
   Rng rng(7);
   EXPECT_DOUBLE_EQ(m.next_change_after(rng).sec(), 3600.0 / 48);
 }
 
 TEST(SinusoidalDriftTest, RandomPhasesDecorrelateClocks) {
-  SinusoidalDrift m(kRho, Dur::hours(1));
+  SinusoidalDrift m(kRho, Duration::hours(1));
   Rng a(1), b(2);
   // Separate instances (one per clock) with different rngs start at
   // different phases almost surely.
-  SinusoidalDrift m2(kRho, Dur::hours(1));
+  SinusoidalDrift m2(kRho, Duration::hours(1));
   EXPECT_NE(m.initial_rate(a), m2.initial_rate(b));
 }
 
 TEST(SinusoidalDriftTest, HardwareClockHonorsEq2) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_sinusoidal_drift(1e-3, Dur::minutes(10)), Rng(8));
-  double prev_h = hw.read().sec(), prev_t = 0.0;
+  HardwareClock hw(sim, make_sinusoidal_drift(1e-3, Duration::minutes(10)), Rng(8));
+  double prev_h = hw.read().raw(), prev_t = 0.0;
   for (int i = 1; i <= 120; ++i) {
-    sim.run_until(RealTime(i * 30.0));
-    const double h = hw.read().sec(), t = sim.now().sec();
+    sim.run_until(SimTau(i * 30.0));
+    const double h = hw.read().raw(), t = sim.now().raw();
     EXPECT_GE(h - prev_h, (t - prev_t) / (1.0 + 1e-3) - 1e-9);
     EXPECT_LE(h - prev_h, (t - prev_t) * (1.0 + 1e-3) + 1e-9);
     prev_h = h;
@@ -131,36 +131,36 @@ TEST(SinusoidalDriftTest, HardwareClockHonorsEq2) {
 TEST(DriftFactoriesTest, Construct) {
   EXPECT_NE(make_constant_drift(kRho), nullptr);
   EXPECT_NE(make_pinned_drift(kRho, 1.0), nullptr);
-  EXPECT_NE(make_wander_drift(kRho, Dur::minutes(5)), nullptr);
-  EXPECT_NE(make_sinusoidal_drift(kRho, Dur::hours(1)), nullptr);
+  EXPECT_NE(make_wander_drift(kRho, Duration::minutes(5)), nullptr);
+  EXPECT_NE(make_sinusoidal_drift(kRho, Duration::hours(1)), nullptr);
 }
 
 // ---------- hardware clock ----------
 
 TEST(HardwareClockTest, InitialValue) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(42.0));
-  EXPECT_DOUBLE_EQ(hw.read().sec(), 42.0);
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), HwTime(42.0));
+  EXPECT_DOUBLE_EQ(hw.read().raw(), 42.0);
 }
 
 TEST(HardwareClockTest, AdvancesAtPinnedRate) {
   sim::Simulator sim;
   const double rate = 1.0 + kRho;
   HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
-  sim.run_until(RealTime(1000.0));
-  EXPECT_NEAR(hw.read().sec(), 1000.0 * rate, 1e-9);
+  sim.run_until(SimTau(1000.0));
+  EXPECT_NEAR(hw.read().raw(), 1000.0 * rate, 1e-9);
   EXPECT_DOUBLE_EQ(hw.rate(), rate);
 }
 
 TEST(HardwareClockTest, Eq2InvariantUnderWander) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_wander_drift(kRho, Dur::seconds(10)), Rng(7));
-  double prev_h = hw.read().sec();
+  HardwareClock hw(sim, make_wander_drift(kRho, Duration::seconds(10)), Rng(7));
+  double prev_h = hw.read().raw();
   double prev_t = 0.0;
   for (int step = 1; step <= 500; ++step) {
-    sim.run_until(RealTime(step * 5.0));
-    const double h = hw.read().sec();
-    const double t = sim.now().sec();
+    sim.run_until(SimTau(step * 5.0));
+    const double h = hw.read().raw();
+    const double t = sim.now().raw();
     const double dh = h - prev_h;
     const double dt = t - prev_t;
     // Eq. 2 with a drop of slack for float rounding.
@@ -178,8 +178,8 @@ TEST(HardwareClockTest, AlarmFiresAtHardwareTarget) {
   const double rate = 1.0 / (1.0 + kRho);  // slow clock
   HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
   double fired_at = -1.0;
-  hw.set_alarm_after(Dur::seconds(100), [&] { fired_at = sim.now().sec(); });
-  sim.run_until(RealTime(1000.0));
+  hw.set_alarm_after(Duration::seconds(100), [&] { fired_at = sim.now().raw(); });
+  sim.run_until(SimTau(1000.0));
   // 100 hardware-seconds take 100/rate real seconds.
   EXPECT_NEAR(fired_at, 100.0 / rate, 1e-6);
 }
@@ -188,11 +188,11 @@ TEST(HardwareClockTest, AlarmCancel) {
   sim::Simulator sim;
   HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
   bool fired = false;
-  const AlarmId id = hw.set_alarm_after(Dur::seconds(5), [&] { fired = true; });
+  const AlarmId id = hw.set_alarm_after(Duration::seconds(5), [&] { fired = true; });
   EXPECT_EQ(hw.pending_alarms(), 1u);
   EXPECT_TRUE(hw.cancel_alarm(id));
   EXPECT_EQ(hw.pending_alarms(), 0u);
-  sim.run_until(RealTime(10.0));
+  sim.run_until(SimTau(10.0));
   EXPECT_FALSE(fired);
   EXPECT_FALSE(hw.cancel_alarm(id));
 }
@@ -201,10 +201,10 @@ TEST(HardwareClockTest, MultipleAlarmsOrdered) {
   sim::Simulator sim;
   HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
   std::vector<int> order;
-  hw.set_alarm_after(Dur::seconds(3), [&] { order.push_back(3); });
-  hw.set_alarm_after(Dur::seconds(1), [&] { order.push_back(1); });
-  hw.set_alarm_after(Dur::seconds(2), [&] { order.push_back(2); });
-  sim.run_until(RealTime(10.0));
+  hw.set_alarm_after(Duration::seconds(3), [&] { order.push_back(3); });
+  hw.set_alarm_after(Duration::seconds(1), [&] { order.push_back(1); });
+  hw.set_alarm_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run_until(SimTau(10.0));
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -212,12 +212,12 @@ TEST(HardwareClockTest, AlarmSurvivesRateChanges) {
   // A wander clock re-targets pending alarms on every rate change; the
   // alarm must fire when H crosses the target, regardless.
   sim::Simulator sim;
-  HardwareClock hw(sim, make_wander_drift(kRho, Dur::seconds(2)), Rng(11));
-  const ClockTime target = hw.read() + Dur::seconds(100);
+  HardwareClock hw(sim, make_wander_drift(kRho, Duration::seconds(2)), Rng(11));
+  const HwTime target = hw.read() + Duration::seconds(100);
   double fired_h = -1.0;
-  hw.set_alarm_after(Dur::seconds(100), [&] { fired_h = hw.read().sec(); });
-  sim.run_until(RealTime(200.0));
-  EXPECT_NEAR(fired_h, target.sec(), 1e-6);
+  hw.set_alarm_after(Duration::seconds(100), [&] { fired_h = hw.read().raw(); });
+  sim.run_until(SimTau(200.0));
+  EXPECT_NEAR(fired_h, target.raw(), 1e-6);
   EXPECT_GT(hw.rate_changes(), 5u);
 }
 
@@ -225,8 +225,8 @@ TEST(HardwareClockTest, ZeroDelayAlarmFiresImmediately) {
   sim::Simulator sim;
   HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
   bool fired = false;
-  hw.set_alarm_after(Dur::zero(), [&] { fired = true; });
-  sim.run_until(RealTime(0.0));
+  hw.set_alarm_after(Duration::zero(), [&] { fired = true; });
+  sim.run_until(SimTau(0.0));
   EXPECT_TRUE(fired);
 }
 
@@ -235,11 +235,11 @@ TEST(HardwareClockTest, AlarmSetInsideAlarm) {
   HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
   std::vector<double> fires;
   std::function<void()> rearm = [&] {
-    fires.push_back(sim.now().sec());
-    if (fires.size() < 3) hw.set_alarm_after(Dur::seconds(10), rearm);
+    fires.push_back(sim.now().raw());
+    if (fires.size() < 3) hw.set_alarm_after(Duration::seconds(10), rearm);
   };
-  hw.set_alarm_after(Dur::seconds(10), rearm);
-  sim.run_until(RealTime(100.0));
+  hw.set_alarm_after(Duration::seconds(10), rearm);
+  sim.run_until(SimTau(100.0));
   ASSERT_EQ(fires.size(), 3u);
   EXPECT_NEAR(fires[0], 10.0, 1e-9);
   EXPECT_NEAR(fires[1], 20.0, 1e-9);
@@ -250,43 +250,43 @@ TEST(HardwareClockTest, AlarmSetInsideAlarm) {
 
 TEST(LogicalClockTest, ReadIsHardwarePlusAdjustment) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(100.0));
-  LogicalClock lc(hw, Dur::seconds(5));
-  EXPECT_DOUBLE_EQ(lc.read().sec(), 105.0);
-  sim.schedule_after(Dur::seconds(10), [] {});
-  sim.run_until(RealTime(10.0));
-  EXPECT_DOUBLE_EQ(lc.read().sec(), 115.0);
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), HwTime(100.0));
+  LogicalClock lc(hw, Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(lc.read().raw(), 105.0);
+  sim.schedule_after(Duration::seconds(10), [] {});
+  sim.run_until(SimTau(10.0));
+  EXPECT_DOUBLE_EQ(lc.read().raw(), 115.0);
 }
 
 TEST(LogicalClockTest, AdjustAccumulates) {
   sim::Simulator sim;
   HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1));
   LogicalClock lc(hw);
-  lc.adjust(Dur::seconds(2));
-  lc.adjust(Dur::seconds(-0.5));
+  lc.adjust(Duration::seconds(2));
+  lc.adjust(Duration::seconds(-0.5));
   EXPECT_DOUBLE_EQ(lc.adjustment().sec(), 1.5);
-  EXPECT_DOUBLE_EQ(lc.read().sec(), 1.5);
+  EXPECT_DOUBLE_EQ(lc.read().raw(), 1.5);
   EXPECT_EQ(lc.adjust_count(), 2u);
   EXPECT_DOUBLE_EQ(lc.last_adjustment().sec(), -0.5);
 }
 
 TEST(LogicalClockTest, AdversarySetClock) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(50.0));
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), HwTime(50.0));
   LogicalClock lc(hw);
-  lc.adversary_set_clock(ClockTime(1000.0));
-  EXPECT_DOUBLE_EQ(lc.read().sec(), 1000.0);
+  lc.adversary_set_clock(LogicalTime(1000.0));
+  EXPECT_DOUBLE_EQ(lc.read().raw(), 1000.0);
   EXPECT_EQ(lc.smash_count(), 1u);
   // Hardware clock unaffected — only adj moved.
-  EXPECT_DOUBLE_EQ(hw.read().sec(), 50.0);
+  EXPECT_DOUBLE_EQ(hw.read().raw(), 50.0);
 }
 
 TEST(LogicalClockTest, AdversarySetAdjustment) {
   sim::Simulator sim;
-  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), ClockTime(7.0));
+  HardwareClock hw(sim, make_pinned_drift(kRho, 1.0), Rng(1), HwTime(7.0));
   LogicalClock lc(hw);
-  lc.adversary_set_adjustment(Dur::seconds(-3));
-  EXPECT_DOUBLE_EQ(lc.read().sec(), 4.0);
+  lc.adversary_set_adjustment(Duration::seconds(-3));
+  EXPECT_DOUBLE_EQ(lc.read().raw(), 4.0);
 }
 
 TEST(LogicalClockTest, BiasEvolvesWithDriftOnly) {
@@ -296,8 +296,8 @@ TEST(LogicalClockTest, BiasEvolvesWithDriftOnly) {
   const double rate = 1.0 + kRho;
   HardwareClock hw(sim, make_pinned_drift(kRho, rate), Rng(1));
   LogicalClock lc(hw);
-  sim.run_until(RealTime(10000.0));
-  const double bias = lc.read().sec() - sim.now().sec();
+  sim.run_until(SimTau(10000.0));
+  const double bias = lc.read().raw() - sim.now().raw();
   EXPECT_NEAR(bias, 10000.0 * kRho, 1e-6);
 }
 

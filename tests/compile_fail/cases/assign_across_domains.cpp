@@ -1,0 +1,6 @@
+// compile-fail: a hardware reading is not a logical clock value (use from_hw).
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+LogicalTime trigger(HwTime h) { return h; }

@@ -1,0 +1,6 @@
+// compile-fail: two points cannot be added, least of all across domains.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+auto trigger(HwTime h, LogicalTime c) { return h + c; }

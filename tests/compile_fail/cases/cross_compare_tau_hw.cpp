@@ -1,0 +1,6 @@
+// compile-fail: real time and a hardware reading live on different axes.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+bool trigger(SimTau t, HwTime h) { return t == h; }

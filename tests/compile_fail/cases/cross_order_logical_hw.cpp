@@ -1,0 +1,6 @@
+// compile-fail: ordering across domains would silently compare different axes.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+bool trigger(LogicalTime c, HwTime h) { return c < h; }

@@ -1,0 +1,6 @@
+// compile-fail: tau minus H is not a Duration on any axis.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+Duration trigger(SimTau t, HwTime h) { return t - h; }

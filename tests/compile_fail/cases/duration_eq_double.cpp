@@ -1,0 +1,6 @@
+// compile-fail: a span compares to a span, not to a unitless scalar.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+bool trigger(Duration d) { return d == 1.0; }

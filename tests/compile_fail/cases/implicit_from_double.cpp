@@ -1,0 +1,7 @@
+// compile-fail: a raw double must not implicitly become a time point.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+void take(SimTau t);
+void trigger() { take(1.0); }

@@ -1,0 +1,6 @@
+// compile-fail: a time point must not implicitly decay to double (use .raw()).
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+double trigger(SimTau t) { return t; }

@@ -1,0 +1,6 @@
+// compile-fail: even within one domain, instant + instant is meaningless.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+auto trigger(SimTau a, SimTau b) { return a + b; }

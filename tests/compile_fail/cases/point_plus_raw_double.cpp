@@ -1,0 +1,6 @@
+// compile-fail: shifting a point needs a Duration, not a bare scalar.
+#include "util/time_domain.h"
+
+using namespace czsync;
+
+SimTau trigger(SimTau t) { return t + 2.0; }

@@ -1,0 +1,26 @@
+// Control: the legal time-domain algebra MUST compile — if this file
+// fails, every "rejected" case result is meaningless (the harness would
+// be measuring a broken include path, not the type system).
+//
+// Includes the core/ facade rather than util/time_domain.h directly so
+// the harness also proves the facade re-exports everything.
+#include "core/time_domain.h"
+
+using namespace czsync;
+
+double legal() {
+  SimTau t = SimTau(1.5);
+  t += Duration::seconds(1);
+  const Duration since_epoch = t - SimTau::zero();
+
+  HwTime h = HwTime::from_tau_unsafe(t) + since_epoch;
+  h -= Duration::millis(2);
+  const Duration rtt = h - HwTime::zero();
+
+  const LogicalTime c = LogicalTime::from_hw(h, Duration::millis(3));
+  const Duration adj = c.minus_hw(h);
+
+  const bool ordered = c > LogicalTime::zero() && rtt < Duration::infinity();
+  static_assert(is_time_point_v<SimTau> && !is_time_point_v<Duration>);
+  return c.raw() + adj.sec() + (ordered ? 1.0 : 0.0);
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""ctest runner for the time-domain compile-fail harness.
+
+Configures tests/compile_fail/ as a throwaway CMake project (which
+try_compiles every cases/*.cpp expecting failure, plus control.cpp
+expecting success) and turns the result into a test verdict:
+
+  exit 0  every illegal expression was rejected AND the control built
+  exit 1  some case compiled, the control failed, or < 8 cases ran
+
+Run via `ctest -R compile_fail` or directly:
+  python3 tests/compile_fail/run_compile_fail.py \
+      --source-dir . --build-dir build
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--source-dir", required=True,
+                    help="repo root (holds tests/compile_fail/)")
+    ap.add_argument("--build-dir", required=True,
+                    help="main build dir; the harness configures into "
+                         "<build-dir>/compile_fail_check")
+    ap.add_argument("--cmake", default="cmake")
+    ap.add_argument("--cxx-compiler", default=None,
+                    help="compiler of the main build, so rejections match "
+                         "what a developer building the tree would see")
+    args = ap.parse_args()
+
+    # try_compile runs in its own temp dir, so a relative include path
+    # would silently break every case (missing header != illegal code).
+    source_dir = os.path.abspath(args.source_dir)
+    work = f"{os.path.abspath(args.build_dir)}/compile_fail_check"
+    shutil.rmtree(work, ignore_errors=True)
+    cmd = [
+        args.cmake,
+        "-S", f"{source_dir}/tests/compile_fail",
+        "-B", work,
+        f"-DCZSYNC_SOURCE_DIR={source_dir}",
+    ]
+    if args.cxx_compiler:
+        cmd.append(f"-DCMAKE_CXX_COMPILER={args.cxx_compiler}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(proc.stdout)
+
+    rejected = len(re.findall(r"compile-fail OK: \S+ rejected", proc.stdout))
+    control_ok = "compile-fail OK: control" in proc.stdout
+    print(f"compile-fail: {rejected} illegal expression(s) rejected, "
+          f"control {'ok' if control_ok else 'BROKEN'}")
+    if proc.returncode != 0:
+        print("compile-fail: configure reported errors (see above)")
+        return 1
+    if rejected < 8 or not control_ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

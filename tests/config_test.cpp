@@ -66,9 +66,9 @@ TEST(ConfigTest, Booleans) {
 
 TEST(ConfigTest, Durations) {
   const auto c = Config::parse("horizon = 6h\nsync = 60s\n");
-  EXPECT_DOUBLE_EQ(c.get_duration("horizon", Dur::zero()).sec(), 21600.0);
-  EXPECT_DOUBLE_EQ(c.get_duration("sync", Dur::zero()).sec(), 60.0);
-  EXPECT_DOUBLE_EQ(c.get_duration("absent", Dur::millis(5)).sec(), 0.005);
+  EXPECT_DOUBLE_EQ(c.get_duration("horizon", Duration::zero()).sec(), 21600.0);
+  EXPECT_DOUBLE_EQ(c.get_duration("sync", Duration::zero()).sec(), 60.0);
+  EXPECT_DOUBLE_EQ(c.get_duration("absent", Duration::millis(5)).sec(), 0.005);
 }
 
 TEST(ConfigTest, MalformedLineThrows) {
@@ -80,7 +80,7 @@ TEST(ConfigTest, MalformedValuesThrow) {
   const auto c = Config::parse("n = seven\nb = maybe\nd = soon\n");
   EXPECT_THROW((void)c.get_int("n", 0), std::invalid_argument);
   EXPECT_THROW((void)c.get_bool("b", false), std::invalid_argument);
-  EXPECT_THROW((void)c.get_duration("d", Dur::zero()), std::invalid_argument);
+  EXPECT_THROW((void)c.get_duration("d", Duration::zero()), std::invalid_argument);
 }
 
 TEST(ConfigTest, UnusedKeysTracked) {
@@ -134,8 +134,8 @@ TEST(ScenarioFromConfigTest, SingleAdversary) {
       "strategy = clock-smash\nstrategy_scale = 5m\n"));
   ASSERT_EQ(s.schedule.intervals().size(), 1u);
   EXPECT_EQ(s.schedule.intervals()[0].proc, 3);
-  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].start.sec(), 3600.0);
-  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].end.sec(), 4200.0);
+  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].start.raw(), 3600.0);
+  EXPECT_DOUBLE_EQ(s.schedule.intervals()[0].end.raw(), 4200.0);
   EXPECT_EQ(s.strategy, "clock-smash");
   EXPECT_DOUBLE_EQ(s.strategy_scale.sec(), 300.0);
 }
@@ -168,8 +168,8 @@ TEST_P(ShippedConfigTest, ParsesBuildsAndRuns) {
   const auto cfg = Config::load(path);
   auto s = scenario_from_config(cfg);
   // Keep the regression fast: trim the horizon, keep everything else.
-  s.horizon = Dur::minutes(30);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::minutes(30);
+  s.warmup = Duration::zero();
   if (!s.schedule.empty()) {
     EXPECT_TRUE(s.schedule.is_f_limited(s.model.f, s.model.delta_period))
         << GetParam();
@@ -197,12 +197,12 @@ RunResult small_run(bool series) {
   Scenario s;
   s.model.n = 4;
   s.model.f = 1;
-  s.horizon = Dur::minutes(30);
-  s.sample_period = Dur::minutes(1);
+  s.horizon = Duration::minutes(30);
+  s.sample_period = Duration::minutes(1);
   s.record_series = series;
-  s.schedule = adversary::Schedule::single(1, RealTime(300.0), RealTime(360.0));
+  s.schedule = adversary::Schedule::single(1, SimTau(300.0), SimTau(360.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::seconds(5);
+  s.strategy_scale = Duration::seconds(5);
   return run_scenario(s);
 }
 

@@ -32,9 +32,9 @@ TEST(ModelParamsTest, ByzantineQuorum) {
 TEST(ProtocolParamsTest, DeriveMatchesPaperFormulas) {
   ModelParams m;
   m.rho = 1e-4;
-  m.delta = Dur::millis(50);
-  m.delta_period = Dur::hours(1);
-  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  m.delta = Duration::millis(50);
+  m.delta_period = Duration::hours(1);
+  const auto p = ProtocolParams::derive(m, Duration::minutes(1));
   EXPECT_DOUBLE_EQ(p.max_wait.sec(), 0.1);  // 2 delta
   const double T = 60.0 * (1.0 + 1e-4) + 0.2;
   const double eps = 0.05 * (1.0 + 1e-4);
@@ -44,9 +44,9 @@ TEST(ProtocolParamsTest, DeriveMatchesPaperFormulas) {
 TEST(TheoremBoundsTest, MatchesClosedForms) {
   ModelParams m;
   m.rho = 1e-4;
-  m.delta = Dur::millis(50);
-  m.delta_period = Dur::hours(1);
-  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  m.delta = Duration::millis(50);
+  m.delta_period = Duration::hours(1);
+  const auto p = ProtocolParams::derive(m, Duration::minutes(1));
   const auto b = TheoremBounds::compute(m, p);
 
   const double T = 60.0 * 1.0001 + 0.2;
@@ -69,8 +69,8 @@ TEST(TheoremBoundsTest, MatchesClosedForms) {
 TEST(TheoremBoundsTest, PenaltyVanishesAsKGrows) {
   ModelParams m;
   m.rho = 1e-4;
-  m.delta = Dur::millis(50);
-  m.delta_period = Dur::hours(1);
+  m.delta = Duration::millis(50);
+  m.delta_period = Duration::hours(1);
   double prev_c = 1e18;
   for (int k : {5, 10, 20, 40}) {
     const auto p = ProtocolParams::derive_for_k(m, k);
@@ -86,8 +86,8 @@ TEST(TheoremBoundsTest, PenaltyVanishesAsKGrows) {
 
 TEST(TheoremBoundsTest, KPreconditionFlag) {
   ModelParams m;
-  m.delta_period = Dur::minutes(2);
-  const auto p = ProtocolParams::derive(m, Dur::minutes(1));
+  m.delta_period = Duration::minutes(2);
+  const auto p = ProtocolParams::derive(m, Duration::minutes(1));
   const auto b = TheoremBounds::compute(m, p);
   EXPECT_LT(b.K, 5);
   EXPECT_FALSE(b.k_precondition_ok);
@@ -95,66 +95,66 @@ TEST(TheoremBoundsTest, KPreconditionFlag) {
 }
 
 TEST(ReadingErrorTest, Bound) {
-  EXPECT_NEAR(reading_error_bound(1e-4, Dur::millis(50)).sec(),
+  EXPECT_NEAR(reading_error_bound(1e-4, Duration::millis(50)).sec(),
               0.05 * 1.0001, 1e-12);
 }
 
 // ---------- envelope (Definition 6) ----------
 
 TEST(EnvelopeTest, WidensWithDrift) {
-  Envelope e(RealTime(100.0), {Dur::seconds(-1), Dur::seconds(1)}, 1e-3);
-  const auto at0 = e.at(RealTime(100.0));
+  Envelope e(SimTau(100.0), {Duration::seconds(-1), Duration::seconds(1)}, 1e-3);
+  const auto at0 = e.at(SimTau(100.0));
   EXPECT_DOUBLE_EQ(at0.lo.sec(), -1.0);
   EXPECT_DOUBLE_EQ(at0.hi.sec(), 1.0);
   EXPECT_DOUBLE_EQ(at0.width().sec(), 2.0);
-  const auto at1k = e.at(RealTime(1100.0));
+  const auto at1k = e.at(SimTau(1100.0));
   EXPECT_DOUBLE_EQ(at1k.lo.sec(), -2.0);
   EXPECT_DOUBLE_EQ(at1k.hi.sec(), 2.0);
-  EXPECT_DOUBLE_EQ(e.width_at(RealTime(1100.0)).sec(), 4.0);
+  EXPECT_DOUBLE_EQ(e.width_at(SimTau(1100.0)).sec(), 4.0);
 }
 
 TEST(EnvelopeTest, Membership) {
-  Envelope e(RealTime(0.0), {Dur::seconds(0), Dur::seconds(1)}, 1e-3);
-  EXPECT_TRUE(e.contains(RealTime(0.0), Dur::seconds(0.5)));
-  EXPECT_FALSE(e.contains(RealTime(0.0), Dur::seconds(1.5)));
-  EXPECT_TRUE(e.contains(RealTime(1000.0), Dur::seconds(1.5)));  // widened
-  EXPECT_TRUE(e.not_above(RealTime(0.0), Dur::seconds(-5)));
-  EXPECT_FALSE(e.not_above(RealTime(0.0), Dur::seconds(5)));
-  EXPECT_TRUE(e.not_below(RealTime(0.0), Dur::seconds(5)));
-  EXPECT_FALSE(e.not_below(RealTime(0.0), Dur::seconds(-5)));
+  Envelope e(SimTau(0.0), {Duration::seconds(0), Duration::seconds(1)}, 1e-3);
+  EXPECT_TRUE(e.contains(SimTau(0.0), Duration::seconds(0.5)));
+  EXPECT_FALSE(e.contains(SimTau(0.0), Duration::seconds(1.5)));
+  EXPECT_TRUE(e.contains(SimTau(1000.0), Duration::seconds(1.5)));  // widened
+  EXPECT_TRUE(e.not_above(SimTau(0.0), Duration::seconds(-5)));
+  EXPECT_FALSE(e.not_above(SimTau(0.0), Duration::seconds(5)));
+  EXPECT_TRUE(e.not_below(SimTau(0.0), Duration::seconds(5)));
+  EXPECT_FALSE(e.not_below(SimTau(0.0), Duration::seconds(-5)));
 }
 
 TEST(EnvelopeTest, WidenByConstant) {
-  Envelope e(RealTime(0.0), {Dur::seconds(-1), Dur::seconds(1)}, 0.0);
-  const auto w = e.widen(Dur::seconds(0.5));
-  EXPECT_DOUBLE_EQ(w.at(RealTime(0.0)).lo.sec(), -1.5);
-  EXPECT_DOUBLE_EQ(w.at(RealTime(0.0)).hi.sec(), 1.5);
+  Envelope e(SimTau(0.0), {Duration::seconds(-1), Duration::seconds(1)}, 0.0);
+  const auto w = e.widen(Duration::seconds(0.5));
+  EXPECT_DOUBLE_EQ(w.at(SimTau(0.0)).lo.sec(), -1.5);
+  EXPECT_DOUBLE_EQ(w.at(SimTau(0.0)).hi.sec(), 1.5);
 }
 
 TEST(EnvelopeTest, AverageOfEnvelopes) {
-  Envelope a(RealTime(0.0), {Dur::seconds(0), Dur::seconds(2)}, 1e-3);
-  Envelope b(RealTime(0.0), {Dur::seconds(-2), Dur::seconds(0)}, 1e-3);
+  Envelope a(SimTau(0.0), {Duration::seconds(0), Duration::seconds(2)}, 1e-3);
+  Envelope b(SimTau(0.0), {Duration::seconds(-2), Duration::seconds(0)}, 1e-3);
   const auto avg = Envelope::average(a, b);
-  EXPECT_DOUBLE_EQ(avg.at(RealTime(0.0)).lo.sec(), -1.0);
-  EXPECT_DOUBLE_EQ(avg.at(RealTime(0.0)).hi.sec(), 1.0);
+  EXPECT_DOUBLE_EQ(avg.at(SimTau(0.0)).lo.sec(), -1.0);
+  EXPECT_DOUBLE_EQ(avg.at(SimTau(0.0)).hi.sec(), 1.0);
 }
 
 TEST(EnvelopeTest, RebaseFreezesWidth) {
-  Envelope e(RealTime(0.0), {Dur::seconds(-1), Dur::seconds(1)}, 1e-3);
-  const auto r = e.rebase(RealTime(1000.0));
-  EXPECT_EQ(r.tau0(), RealTime(1000.0));
-  EXPECT_DOUBLE_EQ(r.width_at(RealTime(1000.0)).sec(),
-                   e.width_at(RealTime(1000.0)).sec());
+  Envelope e(SimTau(0.0), {Duration::seconds(-1), Duration::seconds(1)}, 1e-3);
+  const auto r = e.rebase(SimTau(1000.0));
+  EXPECT_EQ(r.tau0(), SimTau(1000.0));
+  EXPECT_DOUBLE_EQ(r.width_at(SimTau(1000.0)).sec(),
+                   e.width_at(SimTau(1000.0)).sec());
 }
 
 TEST(EnvelopeTest, DriftBoundPropertyOnClockTrace) {
   // A bias trajectory with |slope| <= rho starting inside E stays in E.
   const double rho = 1e-3;
-  Envelope e(RealTime(0.0), {Dur::seconds(-0.5), Dur::seconds(0.5)}, rho);
+  Envelope e(SimTau(0.0), {Duration::seconds(-0.5), Duration::seconds(0.5)}, rho);
   double bias = 0.4;
   for (int i = 1; i <= 1000; ++i) {
     bias += ((i % 2) ? rho : -rho) * 0.9;  // wiggle within the drift bound
-    EXPECT_TRUE(e.contains(RealTime(static_cast<double>(i)), Dur::seconds(bias)));
+    EXPECT_TRUE(e.contains(SimTau(static_cast<double>(i)), Duration::seconds(bias)));
   }
 }
 
@@ -162,8 +162,8 @@ TEST(EnvelopeTest, DriftBoundPropertyOnClockTrace) {
 
 TEST(EstimateTest, SymmetricPathExact) {
   // S = 10, R = 10.1; responder read 20.05 at the midpoint: d = 10.
-  const auto e = estimate_from_ping(ClockTime(10.0), ClockTime(20.05),
-                                    ClockTime(10.1));
+  const auto e = estimate_from_ping(LogicalTime(10.0), LogicalTime(20.05),
+                                    LogicalTime(10.1));
   EXPECT_NEAR(e.d.sec(), 10.0, 1e-12);
   EXPECT_NEAR(e.a.sec(), 0.05, 1e-12);
   EXPECT_FALSE(e.timed_out());
@@ -172,8 +172,8 @@ TEST(EstimateTest, SymmetricPathExact) {
 }
 
 TEST(EstimateTest, ErrorBoundIsHalfRtt) {
-  const auto e = estimate_from_ping(ClockTime(0.0), ClockTime(5.0),
-                                    ClockTime(0.08));
+  const auto e = estimate_from_ping(LogicalTime(0.0), LogicalTime(5.0),
+                                    LogicalTime(0.08));
   EXPECT_DOUBLE_EQ(e.a.sec(), 0.04);
 }
 
@@ -188,8 +188,8 @@ TEST(EstimateTest, Definition4Contract) {
         const double respond_at = S + fd;           // requester-clock time
         const double R = respond_at + bd;
         const double C = respond_at + off;          // responder's clock
-        const auto e = estimate_from_ping(ClockTime(S), ClockTime(C),
-                                          ClockTime(R));
+        const auto e = estimate_from_ping(LogicalTime(S), LogicalTime(C),
+                                          LogicalTime(R));
         EXPECT_LE(e.under().sec(), off + 1e-12);
         EXPECT_GE(e.over().sec(), off - 1e-12);
       }
@@ -202,8 +202,8 @@ TEST(EstimateTest, TimeoutSentinel) {
   EXPECT_TRUE(t.timed_out());
   EXPECT_FALSE(t.over().is_finite());
   EXPECT_FALSE(t.under().is_finite());
-  EXPECT_GT(t.over(), Dur::zero());
-  EXPECT_LT(t.under(), Dur::zero());
+  EXPECT_GT(t.over(), Duration::zero());
+  EXPECT_LT(t.under(), Duration::zero());
 }
 
 TEST(EstimateTest, SelfEstimateExact) {
@@ -213,8 +213,8 @@ TEST(EstimateTest, SelfEstimateExact) {
 }
 
 TEST(EstimateTest, BestOfPicksSmallestError) {
-  const Estimate e1{Dur::seconds(1.0), Dur::seconds(0.05)};
-  const Estimate e2{Dur::seconds(1.1), Dur::seconds(0.01)};
+  const Estimate e1{Duration::seconds(1.0), Duration::seconds(0.05)};
+  const Estimate e2{Duration::seconds(1.1), Duration::seconds(0.01)};
   const auto best = best_of({e1, Estimate::timeout(), e2});
   EXPECT_DOUBLE_EQ(best.d.sec(), 1.1);
   EXPECT_DOUBLE_EQ(best.a.sec(), 0.01);
@@ -225,7 +225,7 @@ TEST(EstimateTest, BestOfPicksSmallestError) {
 
 std::vector<PeerEstimate> exact(std::initializer_list<double> offsets) {
   std::vector<PeerEstimate> v;
-  for (double d : offsets) v.push_back({Dur::seconds(d), Dur::seconds(d)});
+  for (double d : offsets) v.push_back({Duration::seconds(d), Duration::seconds(d)});
   return v;
 }
 
@@ -252,7 +252,7 @@ TEST(SelectionTest, TimeoutsSortToExtremes) {
 TEST(BhhnTest, InsideRangeAveragesTrimmedEndpoints) {
   // Estimates straddle zero: m = min(...)=-2 (f=0), M = 3.
   BhhnConvergence fn;
-  const auto r = fn.apply(exact({-2, 0, 3}), 0, Dur::seconds(100));
+  const auto r = fn.apply(exact({-2, 0, 3}), 0, Duration::seconds(100));
   EXPECT_FALSE(r.way_off_branch);
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), (-2.0 + 3.0) / 2);
 }
@@ -261,7 +261,7 @@ TEST(BhhnTest, OwnClockPreservedWhenExtreme) {
   // All peers are ahead (m, M > 0): the clock moves only M/2 toward them
   // — "half-way" per §3.2 — because min(m,0) = 0.
   BhhnConvergence fn;
-  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Dur::seconds(100));
+  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Duration::seconds(100));
   EXPECT_FALSE(r.way_off_branch);
   // self-estimate 0 included: m = 0, M = 6 -> (0 + 6)/2 = 3.
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
@@ -270,7 +270,7 @@ TEST(BhhnTest, OwnClockPreservedWhenExtreme) {
 TEST(BhhnTest, BehindPeersWithoutSelfZero) {
   BhhnConvergence fn;
   // All estimates positive (clock behind): m=4 > 0 so min(m,0)=0, M=6.
-  const auto r = fn.apply(exact({4, 5, 6}), 0, Dur::seconds(100));
+  const auto r = fn.apply(exact({4, 5, 6}), 0, Duration::seconds(100));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
 }
 
@@ -278,14 +278,14 @@ TEST(BhhnTest, WayOffBranchJumpsToMidrange) {
   BhhnConvergence fn;
   // m = 50 > WayOff triggers... m >= -WayOff holds; M = 60 > WayOff=10
   // violates step 10 -> escape branch: (m + M) / 2.
-  const auto r = fn.apply(exact({50, 55, 60}), 0, Dur::seconds(10));
+  const auto r = fn.apply(exact({50, 55, 60}), 0, Duration::seconds(10));
   EXPECT_TRUE(r.way_off_branch);
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 55.0);
 }
 
 TEST(BhhnTest, WayOffBranchNegativeSide) {
   BhhnConvergence fn;
-  const auto r = fn.apply(exact({-50, -55, -60}), 0, Dur::seconds(10));
+  const auto r = fn.apply(exact({-50, -55, -60}), 0, Duration::seconds(10));
   EXPECT_TRUE(r.way_off_branch);
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), -55.0);
 }
@@ -296,7 +296,7 @@ TEST(BhhnTest, TrimsFByzantineExtremes) {
   // them entirely.
   const auto r =
       fn.apply(exact({-1000, -0.01, 0, 0.01, 0.02, 0.03, 1000}), 2,
-               Dur::seconds(1));
+               Duration::seconds(1));
   EXPECT_FALSE(r.way_off_branch);
   // m = 3rd smallest over = 0, M = 3rd largest under = 0.02 (the +1000
   // liar and the honest 0.03 are both above it).
@@ -307,7 +307,7 @@ TEST(BhhnTest, ToleratesFTimeouts) {
   BhhnConvergence fn;
   std::vector<PeerEstimate> est = exact({-0.02, 0, 0.02, 0.04});
   est.push_back(PeerEstimate::from(Estimate::timeout()));
-  const auto r = fn.apply(est, 1, Dur::seconds(1));
+  const auto r = fn.apply(est, 1, Duration::seconds(1));
   EXPECT_TRUE(r.adjustment.is_finite());
   EXPECT_FALSE(r.way_off_branch);
 }
@@ -317,7 +317,7 @@ TEST(BhhnTest, TooManyTimeoutsNoAdjustment) {
   std::vector<PeerEstimate> est;
   est.push_back(PeerEstimate::from(Estimate::self()));
   for (int i = 0; i < 4; ++i) est.push_back(PeerEstimate::from(Estimate::timeout()));
-  const auto r = fn.apply(est, 1, Dur::seconds(1));
+  const auto r = fn.apply(est, 1, Duration::seconds(1));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.0);
 }
 
@@ -327,37 +327,37 @@ TEST(BhhnTest, ErrorBoundsWidenSelection) {
   // and M up conservatively.
   std::vector<PeerEstimate> est = {
       PeerEstimate::from(Estimate::self()),
-      PeerEstimate::from(Estimate{Dur::seconds(1.0), Dur::seconds(0.5)}),
+      PeerEstimate::from(Estimate{Duration::seconds(1.0), Duration::seconds(0.5)}),
   };
-  const auto r = fn.apply(est, 0, Dur::seconds(100));
+  const auto r = fn.apply(est, 0, Duration::seconds(100));
   // overs = {0, 1.5}, unders = {0, 0.5}: m = 0, M = 0.5.
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.25);
 }
 
 TEST(MidpointTest, AlwaysJumpsToMidrange) {
   MidpointConvergence fn;
-  const auto r = fn.apply(exact({0, 4, 6}), 0, Dur::seconds(100));
+  const auto r = fn.apply(exact({0, 4, 6}), 0, Duration::seconds(100));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 3.0);
 }
 
 TEST(CappedTest, ClampsCorrection) {
-  CappedCorrectionConvergence fn(Dur::millis(100));
+  CappedCorrectionConvergence fn(Duration::millis(100));
   // Raw BHHN normal-branch delta would be 3.0; cap clamps to 0.1.
-  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Dur::seconds(100));
+  const auto r = fn.apply(exact({0, 4, 5, 6}), 0, Duration::seconds(100));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.1);
-  const auto rn = fn.apply(exact({0, -4, -5, -6}), 0, Dur::seconds(100));
+  const auto rn = fn.apply(exact({0, -4, -5, -6}), 0, Duration::seconds(100));
   EXPECT_DOUBLE_EQ(rn.adjustment.sec(), -0.1);
 }
 
 TEST(CappedTest, SmallCorrectionsPassThrough) {
-  CappedCorrectionConvergence fn(Dur::millis(100));
-  const auto r = fn.apply(exact({-0.01, 0, 0.03}), 0, Dur::seconds(100));
+  CappedCorrectionConvergence fn(Duration::millis(100));
+  const auto r = fn.apply(exact({-0.01, 0, 0.03}), 0, Duration::seconds(100));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.01);
 }
 
 TEST(NullTest, NeverAdjusts) {
   NullConvergence fn;
-  const auto r = fn.apply(exact({100, 200}), 0, Dur::seconds(1));
+  const auto r = fn.apply(exact({100, 200}), 0, Duration::seconds(1));
   EXPECT_DOUBLE_EQ(r.adjustment.sec(), 0.0);
   EXPECT_FALSE(r.way_off_branch);
 }
@@ -383,9 +383,9 @@ TEST(BhhnTest, SimultaneousApplicationContracts) {
       std::vector<PeerEstimate> est;
       for (double bq : bias) {
         const double d = bq - bias[p];
-        est.push_back({Dur::seconds(d), Dur::seconds(d)});
+        est.push_back({Duration::seconds(d), Duration::seconds(d)});
       }
-      next[p] = bias[p] + fn.apply(est, 1, Dur::seconds(100)).adjustment.sec();
+      next[p] = bias[p] + fn.apply(est, 1, Duration::seconds(100)).adjustment.sec();
     }
     bias = next;
     const auto [mn, mx] = std::minmax_element(bias.begin(), bias.end());

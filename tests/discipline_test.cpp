@@ -44,8 +44,8 @@ TEST_F(DisciplineTest, LearnsConsistentRateError) {
   // back by 0.06 s per 60 s span. The integral controller accumulates
   // toward the clamp at -1e-3 (the true error).
   for (int i = 0; i < 40; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + 60.0));
-    d.observe(Dur::seconds(-0.06));
+    sim.run_until(SimTau(sim.now().raw() + 60.0));
+    d.observe(Duration::seconds(-0.06));
   }
   EXPECT_NEAR(d.rate(), -1e-3, 1e-4);
 }
@@ -55,8 +55,8 @@ TEST_F(DisciplineTest, WarmupSamplesSkipped) {
   c.warmup_samples = 5;
   RateDiscipline d(clock, c);
   for (int i = 0; i < 5; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + 60.0));
-    d.observe(Dur::seconds(-0.06));
+    sim.run_until(SimTau(sim.now().raw() + 60.0));
+    d.observe(Duration::seconds(-0.06));
   }
   // First observe only set the baseline; 4 more are inside warmup.
   EXPECT_DOUBLE_EQ(d.rate(), 0.0);
@@ -65,8 +65,8 @@ TEST_F(DisciplineTest, WarmupSamplesSkipped) {
 TEST_F(DisciplineTest, RateClampedToMaxRate) {
   RateDiscipline d(clock, config(/*max_rate=*/1e-4));
   for (int i = 0; i < 50; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + 60.0));
-    d.observe(Dur::seconds(-30.0));  // absurd "rate" of -0.5
+    sim.run_until(SimTau(sim.now().raw() + 60.0));
+    d.observe(Duration::seconds(-30.0));  // absurd "rate" of -0.5
   }
   EXPECT_GE(d.rate(), -1e-4);
   EXPECT_LE(d.rate(), 1e-4);
@@ -76,12 +76,12 @@ TEST_F(DisciplineTest, SlewAppliesRateTimesSpan) {
   RateDiscipline d(clock, config());
   // Teach it -1e-3.
   for (int i = 0; i < 40; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + 60.0));
-    d.observe(Dur::seconds(-0.06));
+    sim.run_until(SimTau(sim.now().raw() + 60.0));
+    d.observe(Duration::seconds(-0.06));
   }
   const double rate = d.rate();
-  const Dur adj_before = clock.adjustment();
-  sim.run_until(RealTime(sim.now().sec() + 10.0));
+  const Duration adj_before = clock.adjustment();
+  sim.run_until(SimTau(sim.now().raw() + 10.0));
   d.slew();
   const double applied = (clock.adjustment() - adj_before).sec();
   // 10 s of local time at `rate`; local ~ real here up to 1e-3.
@@ -91,8 +91,8 @@ TEST_F(DisciplineTest, SlewAppliesRateTimesSpan) {
 
 TEST_F(DisciplineTest, SlewNoopWhenNeutral) {
   RateDiscipline d(clock, config());
-  sim.run_until(RealTime(100.0));
-  const Dur before = clock.adjustment();
+  sim.run_until(SimTau(100.0));
+  const Duration before = clock.adjustment();
   d.slew();
   EXPECT_EQ(clock.adjustment(), before);
 }
@@ -100,14 +100,14 @@ TEST_F(DisciplineTest, SlewNoopWhenNeutral) {
 TEST_F(DisciplineTest, ResetForgetsEverything) {
   RateDiscipline d(clock, config());
   for (int i = 0; i < 10; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + 60.0));
-    d.observe(Dur::seconds(-0.06));
+    sim.run_until(SimTau(sim.now().raw() + 60.0));
+    d.observe(Duration::seconds(-0.06));
   }
   EXPECT_NE(d.rate(), 0.0);
   d.reset();
   EXPECT_DOUBLE_EQ(d.rate(), 0.0);
   EXPECT_EQ(d.samples(), 0u);
-  EXPECT_EQ(d.total_slewed(), Dur::zero());
+  EXPECT_EQ(d.total_slewed(), Duration::zero());
 }
 
 TEST_F(DisciplineTest, CompensationCancelsDrift) {
@@ -119,17 +119,17 @@ TEST_F(DisciplineTest, CompensationCancelsDrift) {
   double corrected_total = 0.0;
   for (int round = 0; round < 60; ++round) {
     for (int tick = 0; tick < 12; ++tick) {
-      sim.run_until(RealTime(sim.now().sec() + 5.0));
+      sim.run_until(SimTau(sim.now().raw() + 5.0));
       d.slew();
     }
-    const double bias = clock.read().sec() - sim.now().sec();
-    clock.adjust(Dur::seconds(-bias));  // the ensemble pulls us to truth
+    const double bias = clock.read().raw() - sim.now().raw();
+    clock.adjust(Duration::seconds(-bias));  // the ensemble pulls us to truth
     corrected_total += std::abs(bias);
-    d.observe(Dur::seconds(-bias));
+    d.observe(Duration::seconds(-bias));
   }
   // After convergence the per-round correction is tiny compared to the
   // uncompensated drift of 60 s * 1e-3 = 60 ms.
-  const double bias_final = std::abs(clock.read().sec() - sim.now().sec());
+  const double bias_final = std::abs(clock.read().raw() - sim.now().raw());
   EXPECT_LT(bias_final, 0.005);
   EXPECT_NEAR(d.rate(), -1e-3, 2e-4);
 }
@@ -141,12 +141,12 @@ TEST(DisciplineIntegration, ReducesDeviationAtHighDrift) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-3;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(5);
-  s.warmup = Dur::hours(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(5);
+  s.warmup = Duration::hours(1);
   s.seed = 3;
   const auto off = analysis::run_scenario(s);
   s.rate_discipline = true;
@@ -160,16 +160,16 @@ TEST(DisciplineIntegration, SafeUnderByzantineAttack) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.rate_discipline = true;
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::minutes(30);
   s.seed = 5;
   s.schedule = adversary::Schedule::random_mobile(
-      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(4.5 * 3600.0), Rng(55));
+      7, 2, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(4.5 * 3600.0), Rng(55));
   s.strategy = "max-pull";
   const auto r = analysis::run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
@@ -184,20 +184,20 @@ TEST(DisciplineIntegration, RecoveryStillFastAfterSmash) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.rate_discipline = true;
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
   s.seed = 6;
-  s.schedule = adversary::Schedule::single(2, RealTime(3600.0), RealTime(3660.0));
+  s.schedule = adversary::Schedule::single(2, SimTau(3600.0), SimTau(3660.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(30);
+  s.strategy_scale = Duration::minutes(30);
   const auto r = analysis::run_scenario(s);
   EXPECT_TRUE(r.all_recovered());
-  EXPECT_LT(r.max_recovery_time(), Dur::minutes(5));
+  EXPECT_LT(r.max_recovery_time(), Duration::minutes(5));
 }
 
 }  // namespace

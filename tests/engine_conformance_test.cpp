@@ -30,14 +30,14 @@ class EngineConformance : public ::testing::TestWithParam<EngineParam> {
     s.model.n = 7;
     s.model.f = 2;
     s.model.rho = 1e-4;
-    s.model.delta = Dur::millis(50);
-    s.model.delta_period = Dur::hours(1);
-    s.sync_int = Dur::minutes(1);
+    s.model.delta = Duration::millis(50);
+    s.model.delta_period = Duration::hours(1);
+    s.sync_int = Duration::minutes(1);
     s.protocol = GetParam().protocol;
     s.rate_discipline = GetParam().discipline;
-    s.initial_spread = Dur::millis(100);
-    s.horizon = Dur::hours(4);
-    s.warmup = Dur::minutes(30);
+    s.initial_spread = Duration::millis(100);
+    s.horizon = Duration::hours(4);
+    s.warmup = Duration::minutes(30);
     s.seed = seed;
     return s;
   }
@@ -51,12 +51,12 @@ TEST_P(EngineConformance, FaultFreeSynchronizes) {
 
 TEST_P(EngineConformance, RecoversFromSmashWithinDelta) {
   auto s = base(32);
-  s.warmup = Dur::zero();
-  s.horizon = Dur::hours(3);
-  s.sample_period = Dur::seconds(10);
-  s.schedule = adversary::Schedule::single(2, RealTime(3600.0), RealTime(3900.0));
+  s.warmup = Duration::zero();
+  s.horizon = Duration::hours(3);
+  s.sample_period = Duration::seconds(10);
+  s.schedule = adversary::Schedule::single(2, SimTau(3600.0), SimTau(3900.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(10);
+  s.strategy_scale = Duration::minutes(10);
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.all_recovered());
   EXPECT_LT(r.max_recovery_time(), s.model.delta_period);
@@ -64,10 +64,10 @@ TEST_P(EngineConformance, RecoversFromSmashWithinDelta) {
 
 TEST_P(EngineConformance, SurvivesRepeatedBreakInLifecycles) {
   auto s = base(33);
-  s.horizon = Dur::hours(8);
+  s.horizon = Duration::hours(8);
   s.schedule = adversary::Schedule::round_robin_sweep(
-      7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
-      RealTime(600.0), RealTime(7.0 * 3600.0));
+      7, 2, s.model.delta_period, Duration::minutes(10), Duration::minutes(1),
+      SimTau(600.0), SimTau(7.0 * 3600.0));
   s.strategy = "silent";
   const auto r = run_scenario(s);
   EXPECT_GT(r.break_ins, 5u);

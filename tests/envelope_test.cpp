@@ -1,0 +1,151 @@
+// Unit tests for rt::check_envelope against synthetic trace segments.
+//
+// The rt cluster gates (rt_envelope_differential etc.) exercise the
+// reconstruction end-to-end but SKIP in sandboxes without UDP; these
+// tests pin the checker itself with hand-built AdjWrite segments whose
+// reconstructed clocks are known in closed form: pass/fail straddling
+// the Theorem 5 gamma, the re-join bound, and the sampling-grid
+// boundary discipline (the integer-indexed grid must include an
+// exact-dividing endpoint and must never sample off-grid instants).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "rt/envelope.h"
+#include "trace/format.h"
+#include "trace/record.h"
+#include "util/time_domain.h"
+
+namespace czsync::rt {
+namespace {
+
+class EnvelopeCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "czsync_envelope_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    params_.model.n = 4;
+    params_.sync_int = Duration::seconds(2);
+    const core::ProtocolParams proto =
+        core::ProtocolParams::derive(params_.model, params_.sync_int);
+    gamma_ = core::TheoremBounds::compute(params_.model, proto).max_deviation;
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes a trace for node `id` spanning [0, t_end]: an AdjWrite at
+  /// each (t, adj) step plus EventFire markers pinning the span. With
+  /// rate 1 and offset `offset`, the reconstructed clock is
+  /// C(tau) = offset + tau + adj(tau), joined from the first step.
+  NodeSegment segment(int id, double offset, double t_end,
+                      const std::vector<std::pair<double, double>>& steps) {
+    trace::TraceData data;
+    data.records.push_back(trace::event_fire(SimTau(0.0), 0));
+    for (const auto& [t, adj] : steps) {
+      data.records.push_back(trace::adj_write(
+          SimTau(t), id, trace::AdjKind::Sync, Duration(adj), Duration(adj)));
+    }
+    data.records.push_back(trace::event_fire(SimTau(t_end), 1));
+    const std::string path =
+        (dir_ / ("node" + std::to_string(id) + "_" +
+                 std::to_string(serial_++) + ".cztrace"))
+            .string();
+    trace::write_trace_file(path, data);
+    NodeSegment ns;
+    ns.id = id;
+    ns.rate = 1.0;
+    ns.offset_sec = offset;
+    ns.adj0_sec = 0.0;
+    ns.path = path;
+    return ns;
+  }
+
+  std::filesystem::path dir_;
+  EnvelopeParams params_;
+  Duration gamma_;
+  int serial_ = 0;
+};
+
+TEST_F(EnvelopeCheckTest, PassesWhenDeviationStaysInsideGamma) {
+  const double d = gamma_.sec() * 0.5;
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(1, d, 10.0, {{0.0, 0.0}})});
+  EXPECT_TRUE(report.pass) << report.first_violation;
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_NEAR(report.max_stable_deviation.sec(), d, 1e-12);
+  EXPECT_EQ(report.gamma.sec(), gamma_.sec());
+}
+
+TEST_F(EnvelopeCheckTest, FailsWhenDeviationExceedsGamma) {
+  const double d = gamma_.sec() * 2.0;
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(1, d, 10.0, {{0.0, 0.0}})});
+  EXPECT_FALSE(report.pass);
+  EXPECT_GT(report.violations, 0);
+  EXPECT_FALSE(report.first_violation.empty());
+  EXPECT_NEAR(report.max_stable_deviation.sec(), d, 1e-12);
+}
+
+TEST_F(EnvelopeCheckTest, SegmentThatNeverJoinsPastBoundIsAViolation) {
+  // Node 2 writes no adjustment for its whole (long) segment; the other
+  // two stay tight so the only violation is the missed re-join.
+  params_.join_bound = Duration::seconds(5);
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(1, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(2, 0.0, 10.0, {})});
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.violations, 1);
+  EXPECT_NE(report.first_violation.find("never wrote an adjustment"),
+            std::string::npos)
+      << report.first_violation;
+}
+
+TEST_F(EnvelopeCheckTest, LateJoinInsideBoundReportsLatency) {
+  params_.join_bound = Duration::seconds(5);
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(1, 0.0, 10.0, {{3.0, 0.0}})});
+  EXPECT_TRUE(report.pass) << report.first_violation;
+  EXPECT_NEAR(report.max_join_latency.sec(), 3.0, 1e-12);
+}
+
+TEST_F(EnvelopeCheckTest, ExactBoundaryGridPointIsSampled) {
+  // Span 10 s at the default 100 ms period divides exactly: 101 grid
+  // points, and the deviation blows past gamma ONLY at tau = 10.0 (the
+  // final AdjWrite smashes node 1 at the very last instant). A grid
+  // loop that accumulates floating error — or floors 10/0.1 to 99 —
+  // misses the endpoint and wrongly passes.
+  const double smash = gamma_.sec() * 4.0;
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.0, {{0.0, 0.0}}),
+                segment(1, 0.0, 10.0, {{0.0, 0.0}, {10.0, smash}})});
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.violations, 1);
+  EXPECT_EQ(report.samples, 101u);
+  EXPECT_NE(report.first_violation.find("tau=10"), std::string::npos)
+      << report.first_violation;
+}
+
+TEST_F(EnvelopeCheckTest, StepNotDividingSpanNeverSamplesOffGrid) {
+  // Span 10.05 s / 100 ms period: the last grid point is 10.0, not the
+  // segment end. The smash lands at 10.05 — off-grid — so the checker
+  // must neither sample past the last multiple nor invent an instant at
+  // grid_hi: still 101 samples, still a pass.
+  const double smash = gamma_.sec() * 4.0;
+  const auto report = check_envelope(
+      params_, {segment(0, 0.0, 10.05, {{0.0, 0.0}}),
+                segment(1, 0.0, 10.05, {{0.0, 0.0}, {10.05, smash}})});
+  EXPECT_TRUE(report.pass) << report.first_violation;
+  EXPECT_EQ(report.samples, 101u);
+  EXPECT_EQ(report.violations, 0);
+}
+
+}  // namespace
+}  // namespace czsync::rt

@@ -87,12 +87,12 @@ TEST(SmallFnTest, DestroysCaptureExactlyOnce) {
 
 TEST(SmallFnTest, QueueCountsInlineVsFallbackStorage) {
   EventQueue q;
-  q.push(RealTime(1.0), [] {});
+  q.push(SimTau(1.0), [] {});
   std::array<char, 2 * SmallFn::kInlineCapacity> big{};
-  q.push(RealTime(2.0), [big] { (void)big; });
+  q.push(SimTau(2.0), [big] { (void)big; });
   EXPECT_EQ(q.stats().inline_actions, 1u);
   EXPECT_EQ(q.stats().fallback_allocs, 1u);
-  RealTime t{};
+  SimTau t{};
   while (!q.empty()) q.pop(t)();
 }
 
@@ -112,11 +112,11 @@ TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
   int next_marker = 0;
 
   const auto pop_one = [&] {
-    RealTime t{};
+    SimTau t{};
     q.pop(t)();
     ASSERT_FALSE(ref.empty());
     expected.push_back(ref.begin()->second);
-    EXPECT_EQ(t.sec(), ref.begin()->first);
+    EXPECT_EQ(t.raw(), ref.begin()->first);
     std::erase_if(live, [&](const auto& e) { return e.second == ref.begin(); });
     ref.erase(ref.begin());
   };
@@ -127,7 +127,7 @@ TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
       const double t = static_cast<double>(rng.uniform_int(0, 9));
       const int marker = next_marker++;
       const EventId id =
-          q.push(RealTime(t), [&fired, marker] { fired.push_back(marker); });
+          q.push(SimTau(t), [&fired, marker] { fired.push_back(marker); });
       live.emplace_back(id, ref.emplace(t, marker));
     } else if (p < 0.7) {
       if (live.empty()) continue;
@@ -144,7 +144,7 @@ TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
     ASSERT_EQ(q.size(), ref.size());
     ASSERT_EQ(q.empty(), ref.empty());
     if (!ref.empty()) {
-      ASSERT_EQ(q.next_time().sec(), ref.begin()->first);
+      ASSERT_EQ(q.next_time().raw(), ref.begin()->first);
     }
   }
   while (!q.empty()) pop_one();
@@ -155,8 +155,8 @@ TEST(EventPoolStressTest, ChurnMatchesReferenceModel) {
 TEST(EventPoolStressTest, SlotsAreReusedInSteadyState) {
   EventQueue q;
   for (int i = 0; i < 10000; ++i) {
-    q.push(RealTime(static_cast<double>(i)), [] {});
-    RealTime t{};
+    q.push(SimTau(static_cast<double>(i)), [] {});
+    SimTau t{};
     q.pop(t)();
   }
   // One event in flight at a time -> the pool never grows past one slot.
@@ -168,9 +168,9 @@ TEST(EventPoolStressTest, BoundedConcurrencyBoundsThePool) {
   EventQueue q;
   constexpr int kWindow = 37;
   for (int i = 0; i < 5000; ++i) {
-    q.push(RealTime(static_cast<double>(i)), [] {});
+    q.push(SimTau(static_cast<double>(i)), [] {});
     if (q.size() > kWindow) {
-      RealTime t{};
+      SimTau t{};
       q.pop(t)();
     }
   }
@@ -179,16 +179,16 @@ TEST(EventPoolStressTest, BoundedConcurrencyBoundsThePool) {
 
 TEST(EventPoolStressTest, GenerationCheckRejectsStaleIdsAfterReuse) {
   EventQueue q;
-  const EventId a = q.push(RealTime(1.0), [] {});
-  RealTime t{};
+  const EventId a = q.push(SimTau(1.0), [] {});
+  SimTau t{};
   q.pop(t);  // frees a's slot
-  const EventId b = q.push(RealTime(2.0), [] {});  // reuses the slot
+  const EventId b = q.push(SimTau(2.0), [] {});  // reuses the slot
   EXPECT_NE(a, b);
   EXPECT_FALSE(q.cancel(a));  // stale handle must not cancel b
   EXPECT_EQ(q.size(), 1u);
   EXPECT_TRUE(q.cancel(b));
   // Reuse after a cancel-driven free, likewise.
-  const EventId c = q.push(RealTime(3.0), [] {});
+  const EventId c = q.push(SimTau(3.0), [] {});
   EXPECT_NE(b, c);
   EXPECT_FALSE(q.cancel(b));
   EXPECT_TRUE(q.cancel(c));
@@ -204,18 +204,18 @@ TEST(EventPoolTrainTest, TrainEntriesInterleaveInGlobalFifoOrder) {
   EventQueue q;
   std::vector<int> fired;
   std::vector<BatchStamp> stamps;
-  q.push(RealTime(1.0), [&] { fired.push_back(10); });
-  stamps.push_back({RealTime(1.0), q.reserve_seq()});  // after marker 10
-  q.push(RealTime(1.0), [&] { fired.push_back(11); });
-  stamps.push_back({RealTime(2.0), q.reserve_seq()});
-  q.push(RealTime(2.0), [&] { fired.push_back(12); });  // after 2nd entry
-  stamps.push_back({RealTime(3.0), q.reserve_seq()});
+  q.push(SimTau(1.0), [&] { fired.push_back(10); });
+  stamps.push_back({SimTau(1.0), q.reserve_seq()});  // after marker 10
+  q.push(SimTau(1.0), [&] { fired.push_back(11); });
+  stamps.push_back({SimTau(2.0), q.reserve_seq()});
+  q.push(SimTau(2.0), [&] { fired.push_back(12); });  // after 2nd entry
+  stamps.push_back({SimTau(3.0), q.reserve_seq()});
   int entry = 0;
   q.push_train(stamps.data(), 3, [&] { fired.push_back(entry++); });
 
-  RealTime t{};
+  SimTau t{};
   std::vector<double> times;
-  while (q.fire_next(&t)) times.push_back(t.sec());
+  while (q.fire_next(&t)) times.push_back(t.raw());
   EXPECT_EQ(fired, (std::vector<int>{10, 0, 11, 1, 12, 2}));
   EXPECT_EQ(times, (std::vector<double>{1.0, 1.0, 1.0, 2.0, 2.0, 3.0}));
   EXPECT_EQ(q.stats().fanout_batches, 1u);
@@ -227,7 +227,7 @@ TEST(EventPoolTrainTest, TrainCountsAsOneEventUntilFullyDelivered) {
   EventQueue q;
   std::vector<BatchStamp> stamps;
   for (int i = 0; i < 4; ++i)
-    stamps.push_back({RealTime(1.0 + i), q.reserve_seq()});
+    stamps.push_back({SimTau(1.0 + i), q.reserve_seq()});
   q.push_train(stamps.data(), 4, [] {});
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.stats().peak_slots, 1u);
@@ -250,7 +250,7 @@ TEST(EventPoolTrainTest, CancelMidFlightDropsUndeliveredEntries) {
   int delivered = 0;
   std::vector<BatchStamp> stamps;
   for (int i = 0; i < 5; ++i)
-    stamps.push_back({RealTime(1.0 + i), q.reserve_seq()});
+    stamps.push_back({SimTau(1.0 + i), q.reserve_seq()});
   const EventId train = q.push_train(stamps.data(), 5, [&] { ++delivered; });
   ASSERT_TRUE(q.fire_next());
   ASSERT_TRUE(q.fire_next());
@@ -269,7 +269,7 @@ TEST(EventPoolTrainTest, CancelMidFlightDropsUndeliveredEntries) {
 
   // The freed slot is reusable and the stale train handle cannot touch
   // its new occupant.
-  const EventId next = q.push(RealTime(9.0), [] {});
+  const EventId next = q.push(SimTau(9.0), [] {});
   EXPECT_NE(train, next);
   EXPECT_FALSE(q.cancel(train));
   EXPECT_EQ(q.size(), 1u);
@@ -285,7 +285,7 @@ TEST(EventPoolTrainTest, CancelFromInsideTrainCallbackIsSafe) {
   EventId train = kNoEvent;
   std::vector<BatchStamp> stamps;
   for (int i = 0; i < 3; ++i)
-    stamps.push_back({RealTime(1.0 + i), q.reserve_seq()});
+    stamps.push_back({SimTau(1.0 + i), q.reserve_seq()});
   train = q.push_train(stamps.data(), 3, [&] {
     if (++delivered == 2) EXPECT_TRUE(q.cancel(train));
   });
@@ -302,12 +302,12 @@ TEST(EventPoolStressTest, CancelledHeadEntriesAreSkippedViaGeneration) {
   EventQueue q;
   std::vector<EventId> ids;
   for (int i = 0; i < 100; ++i) {
-    ids.push_back(q.push(RealTime(1.0 + i), [] {}));
+    ids.push_back(q.push(SimTau(1.0 + i), [] {}));
   }
   for (int i = 0; i < 99; ++i) EXPECT_TRUE(q.cancel(ids[i]));
   EXPECT_EQ(q.size(), 1u);
-  EXPECT_EQ(q.next_time(), RealTime(100.0));
-  RealTime t{};
+  EXPECT_EQ(q.next_time(), SimTau(100.0));
+  SimTau t{};
   q.pop(t);
   EXPECT_TRUE(q.empty());
   // ids[0] was the cached-min entry when cancelled, so cancel()

@@ -22,11 +22,11 @@ Scenario tiny(std::uint64_t seed = 1) {
   s.model.n = 4;
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.horizon = Dur::minutes(30);
-  s.sample_period = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.horizon = Duration::minutes(30);
+  s.sample_period = Duration::minutes(1);
   s.seed = seed;
   return s;
 }

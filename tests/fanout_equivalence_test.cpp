@@ -80,12 +80,12 @@ analysis::Scenario base_scenario() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::minutes(10);
-  s.sample_period = Dur::seconds(15);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::minutes(10);
+  s.sample_period = Duration::seconds(15);
   s.seed = 21;
   return s;
 }
@@ -95,10 +95,10 @@ TEST(FanoutEquivalence, NoRoundsEngine) { expect_equivalent(base_scenario()); }
 TEST(FanoutEquivalence, NoRoundsEngineUnderAdversary) {
   analysis::Scenario s = base_scenario();
   s.schedule = adversary::Schedule::random_mobile(
-      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(1),
-      Dur::minutes(3), RealTime(0.75 * 600.0), Rng(1007));
+      s.model.n, s.model.f, s.model.delta_period, Duration::minutes(1),
+      Duration::minutes(3), SimTau(0.75 * 600.0), Rng(1007));
   s.strategy = "clock-smash-random";
-  s.strategy_scale = Dur::minutes(10);
+  s.strategy_scale = Duration::minutes(10);
   expect_equivalent(s);
 }
 
@@ -122,8 +122,8 @@ TEST(FanoutEquivalence, MultiPingWithLinkFaults) {
   analysis::Scenario s = base_scenario();
   s.pings_per_peer = 3;
   s.link_faults = net::LinkFaultSet(
-      {{0, 1, RealTime(0.0), RealTime(300.0)},
-       {2, 3, RealTime(120.0), RealTime(480.0)}});
+      {{0, 1, SimTau(0.0), SimTau(300.0)},
+       {2, 3, SimTau(120.0), SimTau(480.0)}});
   s.seed = 24;
   expect_equivalent(s);
 }

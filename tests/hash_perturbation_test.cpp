@@ -48,9 +48,9 @@ std::string serialize(const trace::TraceSink& sink) {
 
 core::SyncConfig base_config(int f, std::size_t reserve) {
   core::SyncConfig cfg;
-  cfg.params.sync_int = Dur::seconds(60);
-  cfg.params.max_wait = Dur::millis(30);
-  cfg.params.way_off = Dur::seconds(1);
+  cfg.params.sync_int = Duration::seconds(60);
+  cfg.params.max_wait = Duration::millis(30);
+  cfg.params.way_off = Duration::seconds(1);
   cfg.f = f;
   cfg.convergence = core::make_convergence("bhhn");
   cfg.random_phase = false;
@@ -67,18 +67,18 @@ std::string run_cached_sync(std::size_t reserve) {
   sim.set_trace_sink(&sink);
   const int n = 5;
   net::Network net(sim, net::Topology::full_mesh(n),
-                   net::make_uniform_delay(Dur::millis(40), Dur::millis(5)),
+                   net::make_uniform_delay(Duration::millis(40), Duration::millis(5)),
                    Rng(7));
   core::SyncConfig cfg = base_config(/*f=*/1, reserve);
   cfg.cached_estimation = true;
-  cfg.cache_refresh = Dur::seconds(20);
-  cfg.max_cache_age = Dur::minutes(2);
+  cfg.cache_refresh = Duration::seconds(20);
+  cfg.max_cache_age = Duration::minutes(2);
 
   struct Node {
     Node(sim::Simulator& sim, net::Network& net, net::ProcId id,
-         const core::SyncConfig& cfg, Dur bias)
+         const core::SyncConfig& cfg, Duration bias)
         : hw(sim, clk::make_pinned_drift(1e-5, 1.0), Rng(100 + id),
-             ClockTime(sim.now().sec()) + bias),
+             HwTime(sim.now().raw()) + bias),
           clock(hw),
           sync(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
       net.register_handler(id, [this](const net::Message& m) {
@@ -92,10 +92,10 @@ std::string run_cached_sync(std::size_t reserve) {
   std::vector<std::unique_ptr<Node>> nodes;
   for (int p = 0; p < n; ++p) {
     nodes.push_back(std::make_unique<Node>(sim, net, p, cfg,
-                                           Dur::millis(37 * (p + 1))));
+                                           Duration::millis(37 * (p + 1))));
   }
   for (auto& nd : nodes) nd->sync.start();
-  sim.run_until(RealTime(300.0));
+  sim.run_until(SimTau(300.0));
   return serialize(sink);
 }
 
@@ -107,15 +107,15 @@ std::string run_round_sync(std::size_t reserve) {
   sim.set_trace_sink(&sink);
   const int n = 5;
   net::Network net(sim, net::Topology::full_mesh(n),
-                   net::make_uniform_delay(Dur::millis(40), Dur::millis(5)),
+                   net::make_uniform_delay(Duration::millis(40), Duration::millis(5)),
                    Rng(11));
   const core::SyncConfig cfg = base_config(/*f=*/1, reserve);
 
   struct Node {
     Node(sim::Simulator& sim, net::Network& net, net::ProcId id,
-         const core::SyncConfig& cfg, Dur bias)
+         const core::SyncConfig& cfg, Duration bias)
         : hw(sim, clk::make_pinned_drift(1e-5, 1.0), Rng(100 + id),
-             ClockTime(sim.now().sec()) + bias),
+             HwTime(sim.now().raw()) + bias),
           clock(hw),
           proto(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
       net.register_handler(id, [this](const net::Message& m) {
@@ -129,10 +129,10 @@ std::string run_round_sync(std::size_t reserve) {
   std::vector<std::unique_ptr<Node>> nodes;
   for (int p = 0; p < n; ++p) {
     nodes.push_back(std::make_unique<Node>(sim, net, p, cfg,
-                                           Dur::millis(53 * (p + 1))));
+                                           Duration::millis(53 * (p + 1))));
   }
   for (auto& nd : nodes) nd->proto.start();
-  sim.run_until(RealTime(300.0));
+  sim.run_until(SimTau(300.0));
   return serialize(sink);
 }
 
@@ -198,20 +198,20 @@ TEST(CapturingStrategyTest, RecordsOneCapturePerBreakInAndDelegates) {
   adversary::WorldSpy spy;
   spy.n = 3;
   spy.f = 1;
-  spy.way_off = Dur::seconds(1);
+  spy.way_off = Duration::seconds(1);
   spy.read_clock = [&procs](net::ProcId q) {
     return procs[static_cast<std::size_t>(q)]->clock().read();
   };
   adversary::Adversary adv(
       sim,
-      adversary::Schedule({{1, RealTime(10.0), RealTime(20.0)},
-                           {2, RealTime(30.0), RealTime(40.0)}}),
+      adversary::Schedule({{1, SimTau(10.0), SimTau(20.0)},
+                           {2, SimTau(30.0), SimTau(40.0)}}),
       capturing, std::move(spy), Rng(5));
   std::vector<adversary::ControlledProcess*> raw;
   for (auto& p : procs) raw.push_back(p.get());
   adv.attach(std::move(raw));
 
-  sim.run_until(RealTime(50.0));
+  sim.run_until(SimTau(50.0));
   // One capture per break-in, attributed to the right victims.
   EXPECT_EQ(auditor.captures(), 2u);
   EXPECT_EQ(auditor.worst_epoch_exposure(), 2);

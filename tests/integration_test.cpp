@@ -22,13 +22,13 @@ Scenario base_scenario() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(4);
-  s.warmup = Dur::minutes(30);
-  s.sample_period = Dur::seconds(15);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(4);
+  s.warmup = Duration::minutes(30);
+  s.sample_period = Duration::seconds(15);
   s.seed = 1;
   return s;
 }
@@ -57,7 +57,7 @@ TEST(FaultFree, NoWayOffRoundsInSteadyState) {
 
 TEST(FaultFree, AccuracyDiscontinuityAndRate) {
   auto s = base_scenario();
-  s.initial_spread = Dur::millis(20);  // start synchronized
+  s.initial_spread = Duration::millis(20);  // start synchronized
   const auto r = run_scenario(s);
   // Discontinuity (largest single adjustment) vs psi = eps + C/2. The
   // bound is per-Sync; the measured value should be comfortably inside.
@@ -73,7 +73,7 @@ TEST(FaultFree, AccuracyDiscontinuityAndRate) {
 TEST(FaultFree, WanderDriftStillWithinBound) {
   auto s = base_scenario();
   s.drift = Scenario::DriftKind::Wander;
-  s.wander_interval = Dur::minutes(2);
+  s.wander_interval = Duration::minutes(2);
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
@@ -83,7 +83,7 @@ TEST(FaultFree, SinusoidalDriftWithinBound) {
   // because clocks swing between the band edges within hours.
   auto s = base_scenario();
   s.drift = Scenario::DriftKind::Sinusoidal;
-  s.sinusoid_cycle = Dur::hours(1);
+  s.sinusoid_cycle = Duration::hours(1);
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
@@ -104,8 +104,8 @@ TEST(FaultFree, JitterDelaysWithinBound) {
 
 TEST(FaultFree, DeterministicGivenSeed) {
   auto s = base_scenario();
-  s.horizon = Dur::hours(1);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::hours(1);
+  s.warmup = Duration::zero();
   const auto r1 = run_scenario(s);
   const auto r2 = run_scenario(s);
   EXPECT_EQ(r1.max_stable_deviation.sec(), r2.max_stable_deviation.sec());
@@ -123,18 +123,18 @@ TEST(FaultFree, DeterministicGivenSeed) {
 
 TEST(Recovery, FarOffClockJumpsViaWayOff) {
   auto s = base_scenario();
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
-  s.initial_spread = Dur::millis(20);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
+  s.initial_spread = Duration::millis(20);
   // One break-in at t=1h for 10 min; the clock is smashed +1 hour.
-  s.schedule = Schedule::single(3, RealTime(3600.0), RealTime(4200.0));
+  s.schedule = Schedule::single(3, SimTau(3600.0), SimTau(4200.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::hours(1);
+  s.strategy_scale = Duration::hours(1);
   const auto r = run_scenario(s);
   ASSERT_EQ(r.recoveries.size(), 1u);
   EXPECT_TRUE(r.all_recovered());
   // The WayOff escape recovers in O(SyncInt), far inside Delta.
-  EXPECT_LT(r.max_recovery_time(), Dur::minutes(5));
+  EXPECT_LT(r.max_recovery_time(), Duration::minutes(5));
   EXPECT_GE(r.way_off_rounds, 1u);
   // The stable majority must not have been dragged.
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
@@ -142,14 +142,14 @@ TEST(Recovery, FarOffClockJumpsViaWayOff) {
 
 TEST(Recovery, ModeratelyOffClockHalvesBackWithinDelta) {
   auto s = base_scenario();
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
-  s.initial_spread = Dur::millis(20);
-  s.schedule = Schedule::single(2, RealTime(3600.0), RealTime(3900.0));
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
+  s.initial_spread = Duration::millis(20);
+  s.schedule = Schedule::single(2, SimTau(3600.0), SimTau(3900.0));
   s.strategy = "clock-smash";
   // Just below WayOff (~0.96s): the normal branch must walk it back by
   // halving (Lemma 7 iii).
-  s.strategy_scale = Dur::millis(800);
+  s.strategy_scale = Duration::millis(800);
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.all_recovered());
   EXPECT_LT(r.max_recovery_time(), s.model.delta_period);
@@ -157,14 +157,14 @@ TEST(Recovery, ModeratelyOffClockHalvesBackWithinDelta) {
 
 TEST(Recovery, NegativeSmashAlsoRecovers) {
   auto s = base_scenario();
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
-  s.schedule = Schedule::single(5, RealTime(3600.0), RealTime(4200.0));
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
+  s.schedule = Schedule::single(5, SimTau(3600.0), SimTau(4200.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::seconds(-300);
+  s.strategy_scale = Duration::seconds(-300);
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.all_recovered());
-  EXPECT_LT(r.max_recovery_time(), Dur::minutes(5));
+  EXPECT_LT(r.max_recovery_time(), Duration::minutes(5));
 }
 
 TEST(Recovery, CappedCorrectionBaselineFailsToRecoverInTime) {
@@ -173,12 +173,12 @@ TEST(Recovery, CappedCorrectionBaselineFailsToRecoverInTime) {
   // rounds = 25 days; within our horizon it must NOT recover...
   auto s = base_scenario();
   s.convergence = "capped-correction";
-  s.capped_correction_cap = Dur::millis(100);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
-  s.schedule = Schedule::single(3, RealTime(3600.0), RealTime(4200.0));
+  s.capped_correction_cap = Duration::millis(100);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
+  s.schedule = Schedule::single(3, SimTau(3600.0), SimTau(4200.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::hours(1);
+  s.strategy_scale = Duration::hours(1);
   const auto r = run_scenario(s);
   ASSERT_EQ(r.recoveries.size(), 1u);
   EXPECT_FALSE(r.recoveries[0].recovered);
@@ -187,27 +187,27 @@ TEST(Recovery, CappedCorrectionBaselineFailsToRecoverInTime) {
   s2.convergence = "bhhn";
   const auto r2 = run_scenario(s2);
   EXPECT_TRUE(r2.all_recovered());
-  EXPECT_LT(r2.max_recovery_time(), Dur::minutes(5));
+  EXPECT_LT(r2.max_recovery_time(), Duration::minutes(5));
 }
 
 // ---------- mobile Byzantine adversary at full budget ----------
 
-Scenario adversarial_scenario(const std::string& strategy, Dur scale,
+Scenario adversarial_scenario(const std::string& strategy, Duration scale,
                               std::uint64_t seed = 11) {
   auto s = base_scenario();
-  s.horizon = Dur::hours(8);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(8);
+  s.warmup = Duration::minutes(30);
   s.seed = seed;
   s.schedule = Schedule::random_mobile(
-      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-      Dur::minutes(20), RealTime((8.0 - 1.5) * 3600.0), Rng(seed * 7 + 1));
+      s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+      Duration::minutes(20), SimTau((8.0 - 1.5) * 3600.0), Rng(seed * 7 + 1));
   s.strategy = strategy;
   s.strategy_scale = scale;
   return s;
 }
 
 TEST(MobileAdversary, SilentFaultsWithinBound) {
-  const auto r = run_scenario(adversarial_scenario("silent", Dur::zero()));
+  const auto r = run_scenario(adversarial_scenario("silent", Duration::zero()));
   EXPECT_GT(r.break_ins, 3u);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());
@@ -215,7 +215,7 @@ TEST(MobileAdversary, SilentFaultsWithinBound) {
 
 TEST(MobileAdversary, ClockSmashWithinBoundAndRecovers) {
   const auto r = run_scenario(
-      adversarial_scenario("clock-smash-random", Dur::minutes(10)));
+      adversarial_scenario("clock-smash-random", Duration::minutes(10)));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());
   EXPECT_LT(r.max_recovery_time(), r.bounds.T * 10.0);
@@ -223,24 +223,24 @@ TEST(MobileAdversary, ClockSmashWithinBoundAndRecovers) {
 
 TEST(MobileAdversary, ConstantLieWithinBound) {
   const auto r =
-      run_scenario(adversarial_scenario("constant-lie", Dur::seconds(30)));
+      run_scenario(adversarial_scenario("constant-lie", Duration::seconds(30)));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
 
 TEST(MobileAdversary, TwoFacedWithinBound) {
   const auto r =
-      run_scenario(adversarial_scenario("two-faced", Dur::seconds(30)));
+      run_scenario(adversarial_scenario("two-faced", Duration::seconds(30)));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
 
 TEST(MobileAdversary, MaxPullWithinBound) {
-  const auto r = run_scenario(adversarial_scenario("max-pull", Dur::zero()));
+  const auto r = run_scenario(adversarial_scenario("max-pull", Duration::zero()));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
 
 TEST(MobileAdversary, RandomLieWithinBound) {
   const auto r =
-      run_scenario(adversarial_scenario("random-lie", Dur::seconds(60)));
+      run_scenario(adversarial_scenario("random-lie", Duration::seconds(60)));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
 
@@ -248,29 +248,29 @@ TEST(MobileAdversary, DelayedReplyWithinBound) {
   // Hold-back just under MaxWait (100ms) maximizes the reading error the
   // attacker can inject while still being counted.
   const auto r =
-      run_scenario(adversarial_scenario("delayed-reply", Dur::millis(80)));
+      run_scenario(adversarial_scenario("delayed-reply", Duration::millis(80)));
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
 
 TEST(MobileAdversary, LargerNetworkN10F3) {
-  auto s = adversarial_scenario("two-faced", Dur::seconds(30));
+  auto s = adversarial_scenario("two-faced", Duration::seconds(30));
   s.model.n = 10;
   s.model.f = 3;
   s.schedule = Schedule::random_mobile(10, 3, s.model.delta_period,
-                                       Dur::minutes(5), Dur::minutes(20),
-                                       RealTime(6.5 * 3600.0), Rng(5));
+                                       Duration::minutes(5), Duration::minutes(20),
+                                       SimTau(6.5 * 3600.0), Rng(5));
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());
 }
 
 TEST(MobileAdversary, MinimumQuorumN4F1) {
-  auto s = adversarial_scenario("two-faced", Dur::seconds(30));
+  auto s = adversarial_scenario("two-faced", Duration::seconds(30));
   s.model.n = 4;
   s.model.f = 1;
   s.schedule = Schedule::random_mobile(4, 1, s.model.delta_period,
-                                       Dur::minutes(5), Dur::minutes(20),
-                                       RealTime(6.5 * 3600.0), Rng(6));
+                                       Duration::minutes(5), Duration::minutes(20),
+                                       SimTau(6.5 * 3600.0), Rng(6));
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
@@ -281,14 +281,14 @@ TEST(Breakdown, MoreThanFConcurrentByzantineBreaksDeviation) {
   // 4 two-faced liars among n=7 while the protocol trims only f=2: the
   // liars control both order statistics and split the correct clocks.
   auto s = base_scenario();
-  s.horizon = Dur::hours(2);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::hours(2);
+  s.warmup = Duration::zero();
   std::vector<adversary::ControlInterval> ivs;
   for (net::ProcId p = 0; p < 4; ++p)
-    ivs.push_back({p, RealTime(600.0), RealTime(2 * 3600.0)});
+    ivs.push_back({p, SimTau(600.0), SimTau(2 * 3600.0)});
   s.schedule = Schedule(ivs);
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   // NOTE: this schedule is NOT f-limited for f=2 — that is the point.
   EXPECT_FALSE(s.schedule.is_f_limited(s.model.f, s.model.delta_period));
   const auto r = run_scenario(s);
@@ -298,14 +298,14 @@ TEST(Breakdown, MoreThanFConcurrentByzantineBreaksDeviation) {
 TEST(Breakdown, AtExactBudgetStillFine) {
   // Control: the same attack with only f=2 concurrent liars stays bounded.
   auto s = base_scenario();
-  s.horizon = Dur::hours(2);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::hours(2);
+  s.warmup = Duration::zero();
   std::vector<adversary::ControlInterval> ivs;
   for (net::ProcId p = 0; p < 2; ++p)
-    ivs.push_back({p, RealTime(600.0), RealTime(2 * 3600.0)});
+    ivs.push_back({p, SimTau(600.0), SimTau(2 * 3600.0)});
   s.schedule = Schedule(ivs);
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
 }
@@ -317,14 +317,14 @@ TEST(TwoCliques, CliquesDriftApartDespiteConnectivity) {
   s.model.n = 8;  // 6f+2 with f=1
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = Scenario::TopologyKind::TwoCliques;
   s.drift = Scenario::DriftKind::OpposedHalves;  // clique A fast, B slow
-  s.initial_spread = Dur::zero();
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::zero();
+  s.initial_spread = Duration::zero();
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::zero();
   s.record_series = true;
   s.seed = 3;
   const auto r = run_scenario(s);
@@ -353,14 +353,14 @@ TEST(TwoCliques, FullMeshControlStaysTogether) {
   s.model.n = 8;
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = Scenario::TopologyKind::FullMesh;
   s.drift = Scenario::DriftKind::OpposedHalves;
-  s.initial_spread = Dur::zero();
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::zero();
+  s.initial_spread = Duration::zero();
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::zero();
   s.seed = 3;
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);

@@ -10,7 +10,7 @@
 namespace czsync::net {
 namespace {
 
-RealTime rt(double s) { return RealTime(s); }
+SimTau rt(double s) { return SimTau(s); }
 
 TEST(LinkFaultSetTest, EmptyCutsNothing) {
   LinkFaultSet s;
@@ -53,7 +53,7 @@ TEST(LinkFaultSetTest, IsolatePartially) {
 
 TEST(LinkFaultSetTest, RandomFlappingBounds) {
   const auto s = LinkFaultSet::random_flapping(
-      8, 3, Dur::seconds(10), Dur::seconds(60), Dur::seconds(30),
+      8, 3, Duration::seconds(10), Duration::seconds(60), Duration::seconds(30),
       rt(3600.0), Rng(5));
   EXPECT_FALSE(s.empty());
   for (const auto& f : s.faults()) {
@@ -68,7 +68,7 @@ TEST(LinkFaultSetTest, RandomFlappingBounds) {
 
 TEST(LinkFaultNetworkTest, DropsOnlyDuringCut) {
   sim::Simulator sim;
-  Network net(sim, Topology::full_mesh(3), make_fixed_delay(Dur::millis(10)),
+  Network net(sim, Topology::full_mesh(3), make_fixed_delay(Duration::millis(10)),
               Rng(1));
   net.set_link_faults(LinkFaultSet({{0, 1, rt(1.0), rt(2.0)}}));
   int got = 0;
@@ -95,18 +95,18 @@ Scenario link_scenario(int cut_links) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
   s.seed = 7;
   s.record_series = true;
   std::vector<net::ProcId> peers;
   for (int q = 1; q <= cut_links; ++q) peers.push_back(q);
   s.link_faults = net::LinkFaultSet::isolate_partially(
-      0, peers, RealTime(600.0), RealTime(3 * 3600.0));
+      0, peers, SimTau(600.0), SimTau(3 * 3600.0));
   return s;
 }
 
@@ -135,15 +135,15 @@ TEST(LinkFaultProtocolTest, FreeRunsWhenTooFewFiniteEstimates) {
 
 TEST(LinkFaultProtocolTest, FlappingPlusProcessorFaultsWithinBound) {
   auto s = link_scenario(0);
-  s.horizon = Dur::hours(6);
+  s.horizon = Duration::hours(6);
   s.link_faults = net::LinkFaultSet::random_flapping(
-      7, 2, Dur::minutes(2), Dur::minutes(10), Dur::minutes(5),
-      RealTime(6 * 3600.0), Rng(9));
+      7, 2, Duration::minutes(2), Duration::minutes(10), Duration::minutes(5),
+      SimTau(6 * 3600.0), Rng(9));
   s.schedule = adversary::Schedule::random_mobile(
-      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(4.5 * 3600.0), Rng(10));
+      7, 2, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(4.5 * 3600.0), Rng(10));
   s.strategy = "clock-smash-random";
-  s.strategy_scale = Dur::minutes(2);
+  s.strategy_scale = Duration::minutes(2);
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());

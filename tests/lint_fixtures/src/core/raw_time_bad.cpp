@@ -1,0 +1,16 @@
+// Fixture: raw-double-time must fire on every floating declaration whose
+// name says it holds a time value (*tau*, *now*, *deadline*, *delay*).
+namespace czsync::core {
+
+struct Plan {
+  double fire_tau = 0.0;
+  float retry_delay_s = 0.0f;
+};
+
+inline double helper(double now_sec) {
+  double deadline = now_sec + 1.0;
+  double known = 2.0;  // embedded 'now' is not a word segment: clean
+  return deadline + known;
+}
+
+}  // namespace czsync::core

@@ -1,0 +1,18 @@
+// Fixture: strong time types and justified raw boundaries pass
+// raw-double-time.
+#include "util/time_domain.h"
+
+namespace czsync::core {
+
+struct Plan {
+  SimTau fire_at;
+  Duration retry_delay;
+};
+
+inline Duration helper(SimTau now) {
+  // time: CSV export writes the raw tau column for plotting scripts
+  double tau_csv = now.raw();
+  return Duration(tau_csv) - Duration::zero();
+}
+
+}  // namespace czsync::core

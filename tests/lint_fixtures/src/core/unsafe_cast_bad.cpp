@@ -1,0 +1,16 @@
+// Fixture: unsafe-cast-audit fires on every time-domain escape --
+// .raw() reads and _unsafe casts -- lacking a `// time: <why>`
+// justification on the line or the line above.
+struct Tau {
+  // time: fixture stand-in for the strong point types
+  double raw() const;
+  static Tau from_tau_unsafe(Tau t);  // time: fixture decl, not a call
+};
+
+inline double bad_read(Tau t) {
+  return t.raw();
+}
+
+inline Tau bad_cast(Tau t) {
+  return Tau::from_tau_unsafe(t);
+}

@@ -1,0 +1,15 @@
+// Fixture: justified time-domain escapes pass unsafe-cast-audit.
+struct Tau {
+  // time: fixture stand-in for the strong point types
+  double raw() const;
+  static Tau from_tau_unsafe(Tau t);  // time: fixture decl, not a call
+};
+
+inline double ok_read(Tau t) {
+  // time: wire format serializes the bit-exact f64
+  return t.raw();
+}
+
+inline Tau ok_cast(Tau t) {
+  return Tau::from_tau_unsafe(t);  // time: clock model evaluates H(tau)
+}

@@ -1,0 +1,13 @@
+// Fixture: src/trace is the serialization layer -- czsync-trace-v1
+// fields are raw f64 by format contract, so raw-double-time is exempt
+// here even without per-line justifications.
+namespace czsync::trace {
+
+struct WireStamp {
+  double t_tau = 0.0;
+  double deadline = 0.0;
+};
+
+inline double pack_delay(double delay_sec) { return delay_sec; }
+
+}  // namespace czsync::trace

@@ -1,0 +1,11 @@
+// Fixture: stale-suppression -- hatches whose line (and the line below)
+// no longer triggers the suppressed rule must be reported.
+inline int stale() {
+  int x = 1;  // lint: order-insensitive
+  // lint: wall-clock
+  int y = 2;
+  // NOLINT(readability-magic-numbers)
+  int z = 3;
+  return x + y + z;
+}
+// NOLINTNEXTLINE(bugprone-branch-clone)

@@ -1,0 +1,16 @@
+// Fixture: hatches that suppress a live finding are consumed, not stale.
+#include <chrono>
+#include <unordered_set>
+
+inline long long wall_metric() {
+  // lint: wall-clock
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+inline int total() {
+  std::unordered_set<int> bag = {1, 2, 3};
+  int sum = 0;
+  // lint: order-insensitive
+  for (int v : bag) sum += v;
+  return sum;
+}

@@ -104,6 +104,30 @@ def main():
         [1, 4],
     )
     expect_findings(
+        "raw-double-time",
+        fixture("src", "core", "raw_time_bad.cpp"),
+        "raw-double-time",
+        [6, 7, 10, 11],
+    )
+    expect_findings(
+        "unsafe-cast-audit",
+        fixture("src", "core", "unsafe_cast_bad.cpp"),
+        "unsafe-cast-audit",
+        [11, 15],
+    )
+    expect_findings(
+        "stale-suppression",
+        fixture("stale_suppression_bad.cpp"),
+        "stale-suppression",
+        [4, 5, 7, 11],
+    )
+    expect_findings(
+        "layering-cmake",
+        fixture("cmake_bad", "src", "sim", "CMakeLists.txt"),
+        "layering-cmake",
+        [5, 6, 7],
+    )
+    expect_findings(
         "py-style", fixture("py_style_bad.py"), "py-style", [7]
     )
     code, out = run_lint(fixture("py_syntax_bad.py"))
@@ -122,6 +146,16 @@ def main():
     expect_clean("float compare with tolerance / // lint: exact-time",
                  fixture("src", "core", "float_eq_ok.cpp"))
     expect_clean("hygienic header", fixture("header_ok.h"))
+    expect_clean("strong time types / justified raw boundary",
+                 fixture("src", "core", "raw_time_ok.cpp"))
+    expect_clean("raw f64 fields inside src/trace (serialization exempt)",
+                 fixture("src", "trace", "raw_time_serial_ok.cpp"))
+    expect_clean("justified .raw()/_unsafe call sites",
+                 fixture("src", "core", "unsafe_cast_ok.cpp"))
+    expect_clean("consumed hatches are not stale",
+                 fixture("stale_suppression_ok.cpp"))
+    expect_clean("link line mirroring the DAG (incl. czsync_tracing)",
+                 fixture("cmake_ok", "src", "core", "CMakeLists.txt"))
     expect_clean("clean python", fixture("py_ok.py"))
 
     print("== exit-code contract ==")
@@ -134,6 +168,9 @@ def main():
     code, out = run_lint("--root", REPO, "--py")
     check("tree run: exit 0", code == 0, f"exit={code}\n{out}")
     check("tree run: reports clean", "clean" in out, out)
+    code, out = run_lint("--cmake-only", "--root", REPO)
+    check("cmake-only run: exit 0", code == 0, f"exit={code}\n{out}")
+    check("cmake-only run: scans CMake files", "CMake file(s)" in out, out)
 
     if _failures:
         print(f"\nlint_test: {len(_failures)} check(s) FAILED")

@@ -83,7 +83,7 @@ TEST(ChoiceTrail, AdvanceTruncatesExhaustedTail) {
 
 TEST(EnumeratedDelay, SinglePointGridIsTheConstantMidpoint) {
   mc::ChoiceTrail trail;
-  mc::EnumeratedDelay d(Dur::millis(50), 1, &trail);
+  mc::EnumeratedDelay d(Duration::millis(50), 1, &trail);
   ASSERT_TRUE(d.constant_delay().has_value());
   EXPECT_DOUBLE_EQ(d.constant_delay()->sec(), 0.025);
   // The constant path must not consume trail positions.
@@ -92,7 +92,7 @@ TEST(EnumeratedDelay, SinglePointGridIsTheConstantMidpoint) {
 
 TEST(EnumeratedDelay, GridSpansTheHalfOpenIntervalUpToTheBound) {
   mc::ChoiceTrail trail;
-  mc::EnumeratedDelay d(Dur::millis(60), 3, &trail);
+  mc::EnumeratedDelay d(Duration::millis(60), 3, &trail);
   EXPECT_FALSE(d.constant_delay().has_value());
   EXPECT_DOUBLE_EQ(d.grid_point(0).sec(), 0.020);
   EXPECT_DOUBLE_EQ(d.grid_point(1).sec(), 0.040);
@@ -138,7 +138,7 @@ TEST(ScheduleEnum, EnumeratesVictimsStartsDwellsAndScales) {
     // Every schedule recovers strictly inside the horizon, so each case
     // exercises the resume path, and stays within the Definition-2
     // budget.
-    EXPECT_LT(ivs[0].end, RealTime::zero() + opt.horizon);
+    EXPECT_LT(ivs[0].end, SimTau::zero() + opt.horizon);
     EXPECT_TRUE(
         cases[i].schedule.is_f_limited(opt.resolved_f(), opt.delta_period));
     EXPECT_EQ(cases[i].strategy, "clock-smash");
@@ -177,7 +177,7 @@ TEST(Checker, FaultFreeSpaceIsExhaustivelyClean) {
 TEST(Checker, SmashRecoverySpaceIsCleanAndExercisesWayOff) {
   mc::McOptions opt;
   opt.n = 4;
-  opt.horizon = Dur::seconds(30);
+  opt.horizon = Duration::seconds(30);
   opt.delay_choices = 1;
   opt.adversary = mc::McOptions::AdversaryMode::Smash;
   mc::Checker ck(opt);
@@ -203,7 +203,7 @@ mc::McOptions mutation_scenario() {
   mc::McOptions opt;
   opt.n = 4;
   opt.f = 1;
-  opt.horizon = Dur::seconds(30);
+  opt.horizon = Duration::seconds(30);
   opt.delay_choices = 1;
   opt.bias_choices = 1;
   opt.adversary = mc::McOptions::AdversaryMode::Lie;

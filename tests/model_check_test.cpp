@@ -32,7 +32,7 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
       const double t = rng.uniform(0.0, 100.0);
       const int value = payload++;
       const sim::EventId id =
-          q.push(RealTime(t), [&popped_q, value] { popped_q.push_back(value); });
+          q.push(SimTau(t), [&popped_q, value] { popped_q.push_back(value); });
       live.emplace(id, ref.emplace(std::make_pair(t, id), value));
     } else if (roll < 0.75) {  // cancel a random live event
       if (live.empty()) continue;
@@ -46,10 +46,10 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
     } else {  // pop
       ASSERT_EQ(q.empty(), ref.empty());
       if (ref.empty()) continue;
-      RealTime t{};
+      SimTau t{};
       q.pop(t)();
       auto first = ref.begin();
-      EXPECT_DOUBLE_EQ(t.sec(), first->first.first);
+      EXPECT_DOUBLE_EQ(t.raw(), first->first.first);
       popped_ref.push_back(first->second);
       live.erase(first->first.second);
       ref.erase(first);
@@ -60,7 +60,7 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
   }
   // Drain completely and compare the full pop order.
   while (!q.empty()) {
-    RealTime t{};
+    SimTau t{};
     q.pop(t)();
     popped_ref.push_back(ref.begin()->second);
     ref.erase(ref.begin());
@@ -77,8 +77,8 @@ std::vector<core::PeerEstimate> shifted(
     const std::vector<core::PeerEstimate>& est, double c) {
   auto out = est;
   for (auto& e : out) {
-    e.over += Dur::seconds(c);
-    e.under += Dur::seconds(c);
+    e.over += Duration::seconds(c);
+    e.under += Duration::seconds(c);
   }
   return out;
 }
@@ -90,7 +90,7 @@ std::vector<core::PeerEstimate> random_estimates(Rng& rng, int n,
   for (int i = 1; i < n; ++i) {
     const double d = rng.uniform(-spread, spread);
     const double a = rng.uniform(0.0, spread / 10);
-    est.push_back({Dur::seconds(d + a), Dur::seconds(d - a)});
+    est.push_back({Duration::seconds(d + a), Duration::seconds(d - a)});
   }
   return est;
 }
@@ -127,7 +127,7 @@ TEST_P(ConvergenceAlgebra, AdjustmentStaysWithinEstimateHull) {
       lo = std::min(lo, e.under.sec());
       hi = std::max(hi, e.over.sec());
     }
-    const auto r = fn.apply(est, 2, Dur::seconds(1));
+    const auto r = fn.apply(est, 2, Duration::seconds(1));
     EXPECT_GE(r.adjustment.sec(), lo - 1e-12);
     EXPECT_LE(r.adjustment.sec(), hi + 1e-12);
   }
@@ -139,11 +139,11 @@ TEST_P(ConvergenceAlgebra, MonotoneInEachEstimate) {
   core::BhhnConvergence fn;
   for (int trial = 0; trial < 100; ++trial) {
     auto est = random_estimates(rng, 7, 1.0);
-    const auto base = fn.apply(est, 2, Dur::seconds(100));
+    const auto base = fn.apply(est, 2, Duration::seconds(100));
     const auto idx = static_cast<std::size_t>(rng.uniform_int(1, 6));
-    est[idx].over += Dur::seconds(0.5);
-    est[idx].under += Dur::seconds(0.5);
-    const auto raised = fn.apply(est, 2, Dur::seconds(100));
+    est[idx].over += Duration::seconds(0.5);
+    est[idx].under += Duration::seconds(0.5);
+    const auto raised = fn.apply(est, 2, Duration::seconds(100));
     EXPECT_GE(raised.adjustment.sec(), base.adjustment.sec() - 1e-12);
   }
 }
@@ -169,7 +169,7 @@ TEST_P(ConvergenceAlgebra, FLiarsCannotEscapeHonestHull) {
     for (std::size_t i : {1u, 2u}) {
       const double a = rng.uniform(-1e6, 1e6);
       const double b = rng.uniform(-1e6, 1e6);
-      est[i] = {Dur::seconds(std::max(a, b)), Dur::seconds(std::min(a, b))};
+      est[i] = {Duration::seconds(std::max(a, b)), Duration::seconds(std::min(a, b))};
     }
     const double m = core::select_low(est, 2).sec();
     const double big_m = core::select_high(est, 2).sec();

@@ -108,24 +108,24 @@ TEST(TopologyTest, TwoCliquesEdgeCount) {
 // ---------- delay models ----------
 
 TEST(DelayModelTest, FixedDelayIsConstant) {
-  FixedDelay m(Dur::millis(50), 0.4);
+  FixedDelay m(Duration::millis(50), 0.4);
   Rng rng(1);
   for (int i = 0; i < 10; ++i)
     EXPECT_DOUBLE_EQ(m.sample(rng, 0, 1).sec(), 0.02);
 }
 
 TEST(DelayModelTest, UniformDelayWithinBounds) {
-  UniformDelay m(Dur::millis(50), Dur::millis(5));
+  UniformDelay m(Duration::millis(50), Duration::millis(5));
   Rng rng(2);
   for (int i = 0; i < 5000; ++i) {
-    const Dur d = m.sample(rng, 0, 1);
-    EXPECT_GE(d, Dur::millis(5));
-    EXPECT_LE(d, Dur::millis(50));
+    const Duration d = m.sample(rng, 0, 1);
+    EXPECT_GE(d, Duration::millis(5));
+    EXPECT_LE(d, Duration::millis(50));
   }
 }
 
 TEST(DelayModelTest, AsymmetricDirectionality) {
-  AsymmetricDelay m(Dur::millis(100), 0.1, 0.9, 0.05);
+  AsymmetricDelay m(Duration::millis(100), 0.1, 0.9, 0.05);
   Rng rng(3);
   RunningStats fwd, back;
   for (int i = 0; i < 1000; ++i) {
@@ -137,13 +137,13 @@ TEST(DelayModelTest, AsymmetricDirectionality) {
 }
 
 TEST(DelayModelTest, JitterDelayBounded) {
-  JitterDelay m(Dur::millis(50), Dur::millis(10), Dur::millis(15));
+  JitterDelay m(Duration::millis(50), Duration::millis(10), Duration::millis(15));
   Rng rng(4);
   RunningStats st;
   for (int i = 0; i < 5000; ++i) {
-    const Dur d = m.sample(rng, 0, 1);
-    EXPECT_GE(d, Dur::millis(10));
-    EXPECT_LE(d, Dur::millis(50));
+    const Duration d = m.sample(rng, 0, 1);
+    EXPECT_GE(d, Duration::millis(10));
+    EXPECT_LE(d, Duration::millis(50));
     st.add(d.sec());
   }
   // Tail must actually hit the clamp occasionally.
@@ -153,13 +153,13 @@ TEST(DelayModelTest, JitterDelayBounded) {
 TEST(DelayModelTest, FactoriesRespectBound) {
   Rng rng(5);
   for (auto& m :
-       {make_fixed_delay(Dur::millis(20)), make_uniform_delay(Dur::millis(20)),
-        make_asymmetric_delay(Dur::millis(20)),
-        make_jitter_delay(Dur::millis(20), Dur::millis(2), Dur::millis(5))}) {
+       {make_fixed_delay(Duration::millis(20)), make_uniform_delay(Duration::millis(20)),
+        make_asymmetric_delay(Duration::millis(20)),
+        make_jitter_delay(Duration::millis(20), Duration::millis(2), Duration::millis(5))}) {
     EXPECT_DOUBLE_EQ(m->bound().sec(), 0.02);
     for (int i = 0; i < 200; ++i) {
-      const Dur d = m->sample(rng, 0, 1);
-      EXPECT_GT(d, Dur::zero());
+      const Duration d = m->sample(rng, 0, 1);
+      EXPECT_GT(d, Duration::zero());
       EXPECT_LE(d, m->bound());
     }
   }
@@ -170,7 +170,7 @@ TEST(DelayModelTest, FactoriesRespectBound) {
 class NetworkTest : public ::testing::Test {
  protected:
   sim::Simulator sim;
-  Network net{sim, Topology::full_mesh(3), make_fixed_delay(Dur::millis(10)),
+  Network net{sim, Topology::full_mesh(3), make_fixed_delay(Duration::millis(10)),
               Rng(1)};
 };
 
@@ -178,7 +178,7 @@ TEST_F(NetworkTest, DeliversWithinBound) {
   std::vector<Message> got;
   net.register_handler(1, [&](const Message& m) { got.push_back(m); });
   net.send(0, 1, PingReq{42});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].from, 0);
   EXPECT_EQ(got[0].to, 1);
@@ -188,9 +188,9 @@ TEST_F(NetworkTest, DeliversWithinBound) {
 
 TEST_F(NetworkTest, DeliveryTimeMatchesDelayModel) {
   double delivered_at = -1.0;
-  net.register_handler(2, [&](const Message&) { delivered_at = sim.now().sec(); });
+  net.register_handler(2, [&](const Message&) { delivered_at = sim.now().raw(); });
   net.send(0, 2, PingReq{1});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_NEAR(delivered_at, 0.005, 1e-12);  // fixed model: bound * 0.5
 }
 
@@ -198,26 +198,26 @@ TEST_F(NetworkTest, AuthenticatedSender) {
   // The network stamps the true sender; there is no API to forge it.
   Message got;
   net.register_handler(2, [&](const Message& m) { got = m; });
-  net.send(1, 2, PingResp{7, ClockTime(3.0)});
-  sim.run_until(RealTime(1.0));
+  net.send(1, 2, PingResp{7, LogicalTime(3.0)});
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(got.from, 1);
 }
 
 TEST_F(NetworkTest, NoHandlerCountsDrop) {
   net.send(0, 1, PingReq{1});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(net.stats().dropped_no_handler, 1u);
   EXPECT_EQ(net.stats().delivered, 0u);
 }
 
 TEST(NetworkTopologyTest, NonEdgeDrops) {
   sim::Simulator sim;
-  Network net(sim, Topology::ring(4), make_fixed_delay(Dur::millis(10)), Rng(1));
+  Network net(sim, Topology::ring(4), make_fixed_delay(Duration::millis(10)), Rng(1));
   int got = 0;
   net.register_handler(2, [&](const Message&) { ++got; });
   net.send(0, 2, PingReq{1});  // 0-2 is not a ring edge
   net.send(1, 2, PingReq{2});  // 1-2 is
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(got, 1);
   EXPECT_EQ(net.stats().dropped_no_edge, 1u);
   EXPECT_EQ(net.stats().sent, 2u);
@@ -227,13 +227,13 @@ TEST(NetworkTopologyTest, NonEdgeDrops) {
 // it is told, including values outside the (0, bound] contract.
 class BrokenDelay final : public DelayModel {
  public:
-  BrokenDelay(Dur bound, Dur ret) : DelayModel(bound), ret_(ret) {}
-  [[nodiscard]] Dur sample(Rng&, ProcId, ProcId) const override {
+  BrokenDelay(Duration bound, Duration ret) : DelayModel(bound), ret_(ret) {}
+  [[nodiscard]] Duration sample(Rng&, ProcId, ProcId) const override {
     return ret_;
   }
 
  private:
-  Dur ret_;
+  Duration ret_;
 };
 
 TEST(NetworkDelayViolationTest, NonPositiveDelayIsClampedAndCounted) {
@@ -241,14 +241,14 @@ TEST(NetworkDelayViolationTest, NonPositiveDelayIsClampedAndCounted) {
   // delay <= 0 passed silently in builds without asserts.
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(2),
-              std::make_unique<BrokenDelay>(Dur::millis(50), Dur::zero()),
+              std::make_unique<BrokenDelay>(Duration::millis(50), Duration::zero()),
               Rng(1));
   double delivered_at = -1.0;
   net.register_handler(1,
-                       [&](const Message&) { delivered_at = sim.now().sec(); });
+                       [&](const Message&) { delivered_at = sim.now().raw(); });
   net.send(0, 1, PingReq{1});
   EXPECT_EQ(net.stats().delay_violations, 1u);
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   // Clamped into (0, bound]: delivery still happens, at a positive time.
   EXPECT_GT(delivered_at, 0.0);
   EXPECT_LE(delivered_at, 0.05);
@@ -258,14 +258,14 @@ TEST(NetworkDelayViolationTest, NonPositiveDelayIsClampedAndCounted) {
 TEST(NetworkDelayViolationTest, OverBoundDelayIsClampedToBound) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(2),
-              std::make_unique<BrokenDelay>(Dur::millis(50), Dur::millis(200)),
+              std::make_unique<BrokenDelay>(Duration::millis(50), Duration::millis(200)),
               Rng(1));
   double delivered_at = -1.0;
   net.register_handler(1,
-                       [&](const Message&) { delivered_at = sim.now().sec(); });
+                       [&](const Message&) { delivered_at = sim.now().raw(); });
   net.send(0, 1, PingReq{1});
   EXPECT_EQ(net.stats().delay_violations, 1u);
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_NEAR(delivered_at, 0.05, 1e-12);  // exactly the bound
 }
 
@@ -277,11 +277,11 @@ TEST(NetworkFanoutTest, FanoutDeliversLikeIndependentSends) {
   const auto run = [](bool use_fanout) {
     sim::Simulator sim;
     Network net(sim, Topology::full_mesh(4),
-                make_uniform_delay(Dur::millis(40), Dur::millis(5)), Rng(9));
+                make_uniform_delay(Duration::millis(40), Duration::millis(5)), Rng(9));
     std::vector<std::pair<double, ProcId>> deliveries;
     for (ProcId p = 1; p < 4; ++p) {
       net.register_handler(p, [&deliveries, p, &sim](const Message&) {
-        deliveries.emplace_back(sim.now().sec(), p);
+        deliveries.emplace_back(sim.now().raw(), p);
       });
     }
     if (use_fanout) {
@@ -291,7 +291,7 @@ TEST(NetworkFanoutTest, FanoutDeliversLikeIndependentSends) {
     } else {
       for (ProcId p = 1; p < 4; ++p) net.send(0, p, PingReq{7});
     }
-    sim.run_until(RealTime(1.0));
+    sim.run_until(SimTau(1.0));
     return deliveries;
   };
   EXPECT_EQ(run(true), run(false));
@@ -300,7 +300,7 @@ TEST(NetworkFanoutTest, FanoutDeliversLikeIndependentSends) {
 TEST(NetworkFanoutTest, CancelFanoutDropsUndeliveredMessages) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(4),
-              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(9));
+              std::make_unique<FixedDelay>(Duration::millis(50)), Rng(9));
   int delivered = 0;
   for (ProcId p = 1; p < 4; ++p) {
     net.register_handler(p, [&delivered](const Message&) { ++delivered; });
@@ -311,7 +311,7 @@ TEST(NetworkFanoutTest, CancelFanoutDropsUndeliveredMessages) {
   ASSERT_NE(id, kNoFanout);
   EXPECT_TRUE(net.cancel_fanout(id));
   EXPECT_FALSE(net.cancel_fanout(id));  // second cancel must fail
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(delivered, 0);
   EXPECT_EQ(net.stats().sent, 3u);  // counted at add() time, like send()
   EXPECT_EQ(sim.queue_stats().fanout_cancelled, 1u);
@@ -320,7 +320,7 @@ TEST(NetworkFanoutTest, CancelFanoutDropsUndeliveredMessages) {
 TEST(NetworkFanoutTest, EmptyFanoutCommitsToNothing) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(2),
-              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(9));
+              std::make_unique<FixedDelay>(Duration::millis(50)), Rng(9));
   auto fo = net.fanout(0);
   EXPECT_EQ(fo.commit(), kNoFanout);
   EXPECT_FALSE(net.cancel_fanout(kNoFanout));
@@ -331,16 +331,16 @@ TEST(NetworkFanoutTest, EmptyFanoutCommitsToNothing) {
 // the constant-delay fast path's violation accounting.
 class BrokenConstantDelay final : public DelayModel {
  public:
-  BrokenConstantDelay(Dur bound, Dur ret) : DelayModel(bound), ret_(ret) {}
-  [[nodiscard]] Dur sample(Rng&, ProcId, ProcId) const override {
+  BrokenConstantDelay(Duration bound, Duration ret) : DelayModel(bound), ret_(ret) {}
+  [[nodiscard]] Duration sample(Rng&, ProcId, ProcId) const override {
     return ret_;
   }
-  [[nodiscard]] std::optional<Dur> constant_delay() const override {
+  [[nodiscard]] std::optional<Duration> constant_delay() const override {
     return ret_;
   }
 
  private:
-  Dur ret_;
+  Duration ret_;
 };
 
 TEST(NetworkDelayViolationTest, ConstantFastPathCountsPerMessageViolations) {
@@ -350,15 +350,15 @@ TEST(NetworkDelayViolationTest, ConstantFastPathCountsPerMessageViolations) {
   // counted every send. Both paths must now account identically.
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(2),
-              std::make_unique<BrokenConstantDelay>(Dur::millis(50),
-                                                    Dur::millis(200)),
+              std::make_unique<BrokenConstantDelay>(Duration::millis(50),
+                                                    Duration::millis(200)),
               Rng(1));
   double delivered_at = -1.0;
   net.register_handler(1,
-                       [&](const Message&) { delivered_at = sim.now().sec(); });
+                       [&](const Message&) { delivered_at = sim.now().raw(); });
   for (int i = 0; i < 3; ++i) net.send(0, 1, PingReq{1});
   EXPECT_EQ(net.stats().delay_violations, 3u);  // one per message
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_NEAR(delivered_at, 0.05, 1e-12);  // clamped to the bound
   EXPECT_EQ(net.stats().delivered, 3u);
 }
@@ -366,10 +366,10 @@ TEST(NetworkDelayViolationTest, ConstantFastPathCountsPerMessageViolations) {
 TEST(NetworkDelayViolationTest, ConformingConstantFastPathCountsNone) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(2),
-              std::make_unique<FixedDelay>(Dur::millis(50)), Rng(1));
+              std::make_unique<FixedDelay>(Duration::millis(50)), Rng(1));
   net.register_handler(1, [](const Message&) {});
   for (int i = 0; i < 100; ++i) net.send(0, 1, PingReq{1});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(net.stats().delay_violations, 0u);
   EXPECT_EQ(net.stats().delivered, 100u);
 }
@@ -377,14 +377,14 @@ TEST(NetworkDelayViolationTest, ConformingConstantFastPathCountsNone) {
 TEST_F(NetworkTest, WellBehavedModelNeverCountsViolations) {
   net.register_handler(1, [](const Message&) {});
   for (int i = 0; i < 100; ++i) net.send(0, 1, PingReq{1});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(net.stats().delay_violations, 0u);
 }
 
 TEST_F(NetworkTest, CountsSendsByBodyAlternative) {
   net.send(0, 1, PingReq{1});
   net.send(0, 1, PingReq{2});
-  net.send(0, 2, PingResp{1, ClockTime(0.0)});
+  net.send(0, 2, PingResp{1, LogicalTime(0.0)});
   net.send(1, 2, RefreshAnnounce{1, 2});
   const auto& by_body = net.stats().sent_by_body;
   EXPECT_EQ(by_body[Body{PingReq{}}.index()], 2u);
@@ -398,14 +398,14 @@ TEST_F(NetworkTest, CountsSendsByBodyAlternative) {
 TEST(NetworkOrderTest, ConcurrentMessagesAllArrive) {
   sim::Simulator sim;
   Network net(sim, Topology::full_mesh(5),
-              make_uniform_delay(Dur::millis(50)), Rng(9));
+              make_uniform_delay(Duration::millis(50)), Rng(9));
   std::map<int, int> received;
   for (int p = 0; p < 5; ++p)
     net.register_handler(p, [&received, p](const Message&) { ++received[p]; });
   for (int a = 0; a < 5; ++a)
     for (int b = 0; b < 5; ++b)
       if (a != b) net.send(a, b, PingReq{static_cast<std::uint64_t>(a * 10 + b)});
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   for (int p = 0; p < 5; ++p) EXPECT_EQ(received[p], 4) << "proc " << p;
   EXPECT_EQ(net.stats().delivered, 20u);
 }

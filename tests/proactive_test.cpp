@@ -25,21 +25,21 @@ namespace {
 // ---------- epoch arithmetic ----------
 
 TEST(EpochTest, EpochOf) {
-  const Dur len = Dur::seconds(100);
-  EXPECT_EQ(epoch_of(ClockTime(0.0), len), 0u);
-  EXPECT_EQ(epoch_of(ClockTime(99.9), len), 0u);
-  EXPECT_EQ(epoch_of(ClockTime(100.0), len), 1u);
-  EXPECT_EQ(epoch_of(ClockTime(250.0), len), 2u);
-  EXPECT_EQ(epoch_of(ClockTime(-50.0), len), 0u);  // smashed-negative clamps
+  const Duration len = Duration::seconds(100);
+  EXPECT_EQ(epoch_of(LogicalTime(0.0), len), 0u);
+  EXPECT_EQ(epoch_of(LogicalTime(99.9), len), 0u);
+  EXPECT_EQ(epoch_of(LogicalTime(100.0), len), 1u);
+  EXPECT_EQ(epoch_of(LogicalTime(250.0), len), 2u);
+  EXPECT_EQ(epoch_of(LogicalTime(-50.0), len), 0u);  // smashed-negative clamps
 }
 
 TEST(EpochTest, UntilNextEpoch) {
-  const Dur len = Dur::seconds(100);
-  EXPECT_NEAR(until_next_epoch(ClockTime(30.0), len).sec(), 70.0, 1e-9);
-  EXPECT_NEAR(until_next_epoch(ClockTime(199.0), len).sec(), 1.0, 1e-9);
+  const Duration len = Duration::seconds(100);
+  EXPECT_NEAR(until_next_epoch(LogicalTime(30.0), len).sec(), 70.0, 1e-9);
+  EXPECT_NEAR(until_next_epoch(LogicalTime(199.0), len).sec(), 1.0, 1e-9);
   // At an exact boundary the next boundary is a full period away.
-  EXPECT_NEAR(until_next_epoch(ClockTime(100.0), len).sec(), 100.0, 1e-9);
-  EXPECT_GT(until_next_epoch(ClockTime(0.0), len), Dur::zero());
+  EXPECT_NEAR(until_next_epoch(LogicalTime(100.0), len).sec(), 100.0, 1e-9);
+  EXPECT_GT(until_next_epoch(LogicalTime(0.0), len), Duration::zero());
 }
 
 // ---------- shares ----------
@@ -107,16 +107,16 @@ class RefreshTest : public ::testing::Test {
  protected:
   sim::Simulator sim;
   net::Network net{sim, net::Topology::full_mesh(2),
-                   net::make_fixed_delay(Dur::millis(10)), Rng(1)};
+                   net::make_fixed_delay(Duration::millis(10)), Rng(1)};
   clk::HardwareClock hw{sim, clk::make_pinned_drift(1e-6, 1.0), Rng(2)};
   clk::LogicalClock clock{hw};
   ShareStore store{2, 99};
 };
 
 TEST_F(RefreshTest, FiresAtEveryBoundary) {
-  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), /*announce=*/false);
+  RefreshProcess rp(clock, net, 0, store, Duration::seconds(100), /*announce=*/false);
   rp.start();
-  sim.run_until(RealTime(350.0));
+  sim.run_until(SimTau(350.0));
   EXPECT_EQ(rp.refreshes_done(), 3u);  // epochs 1, 2, 3
   EXPECT_EQ(rp.last_epoch(), 3u);
   EXPECT_EQ(store.share(0).epoch, 3u);
@@ -127,42 +127,42 @@ TEST_F(RefreshTest, AnnouncesToPeers) {
   net.register_handler(1, [&](const net::Message& m) {
     if (std::holds_alternative<net::RefreshAnnounce>(m.body)) ++announces;
   });
-  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100));
+  RefreshProcess rp(clock, net, 0, store, Duration::seconds(100));
   rp.start();
-  sim.run_until(RealTime(250.0));
+  sim.run_until(SimTau(250.0));
   EXPECT_EQ(announces, 2);
 }
 
 TEST_F(RefreshTest, ClockJumpForwardSkipsToCurrentEpoch) {
-  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  RefreshProcess rp(clock, net, 0, store, Duration::seconds(100), false);
   rp.start();
-  sim.run_until(RealTime(50.0));
-  clock.adjust(Dur::seconds(500));  // jump from epoch 0 into epoch 5
-  sim.run_until(RealTime(120.0));   // next boundary alarm revalidates
+  sim.run_until(SimTau(50.0));
+  clock.adjust(Duration::seconds(500));  // jump from epoch 0 into epoch 5
+  sim.run_until(SimTau(120.0));   // next boundary alarm revalidates
   EXPECT_GE(rp.last_epoch(), 5u);
 }
 
 TEST_F(RefreshTest, ClockSetBackRearmsWithoutDoubleRefresh) {
-  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  RefreshProcess rp(clock, net, 0, store, Duration::seconds(100), false);
   rp.start();
-  sim.run_until(RealTime(150.0));
+  sim.run_until(SimTau(150.0));
   EXPECT_EQ(rp.last_epoch(), 1u);
-  clock.adjust(Dur::seconds(-60));  // back inside epoch 0
-  sim.run_until(RealTime(500.0));
+  clock.adjust(Duration::seconds(-60));  // back inside epoch 0
+  sim.run_until(SimTau(500.0));
   // Re-derived alarms; refreshes continue monotonically, no duplicates.
-  EXPECT_EQ(rp.last_epoch(), epoch_of(clock.read(), Dur::seconds(100)));
+  EXPECT_EQ(rp.last_epoch(), epoch_of(clock.read(), Duration::seconds(100)));
 }
 
 TEST_F(RefreshTest, SuspendResumeLifecycle) {
-  RefreshProcess rp(clock, net, 0, store, Dur::seconds(100), false);
+  RefreshProcess rp(clock, net, 0, store, Duration::seconds(100), false);
   rp.start();
-  sim.run_until(RealTime(150.0));
+  sim.run_until(SimTau(150.0));
   rp.suspend();
   EXPECT_TRUE(rp.suspended());
-  sim.run_until(RealTime(450.0));
+  sim.run_until(SimTau(450.0));
   EXPECT_EQ(rp.refreshes_done(), 1u);  // nothing while suspended
   rp.resume();
-  sim.run_until(RealTime(520.0));
+  sim.run_until(SimTau(520.0));
   // Catches up at the next boundary with the current epoch (5).
   EXPECT_EQ(rp.last_epoch(), 5u);
 }
@@ -174,23 +174,23 @@ TEST_F(RefreshTest, SuspendResumeLifecycle) {
 // stays <= f; with convergence "none" and a smashed (stuck) clock the
 // stale share lets exposure exceed f.
 struct ProactiveWorld {
-  explicit ProactiveWorld(const std::string& convergence, Dur smash,
+  explicit ProactiveWorld(const std::string& convergence, Duration smash,
                           std::uint64_t seed) {
     analysis::Scenario s;
     s.model.n = 7;
     s.model.f = 2;
     s.model.rho = 1e-4;
-    s.model.delta = Dur::millis(50);
-    s.model.delta_period = Dur::hours(1);
-    s.sync_int = Dur::minutes(1);
+    s.model.delta = Duration::millis(50);
+    s.model.delta_period = Duration::hours(1);
+    s.sync_int = Duration::minutes(1);
     s.convergence = convergence;
-    s.initial_spread = Dur::millis(100);
-    s.horizon = Dur::hours(10);
+    s.initial_spread = Duration::millis(100);
+    s.horizon = Duration::hours(10);
     s.seed = seed;
     // Sweeping adversary: every period it holds a fresh pair of victims.
     s.schedule = adversary::Schedule::round_robin_sweep(
-        7, 2, s.model.delta_period, Dur::minutes(10), Dur::minutes(1),
-        RealTime(600.0), RealTime(9.0 * 3600.0));
+        7, 2, s.model.delta_period, Duration::minutes(10), Duration::minutes(1),
+        SimTau(600.0), SimTau(9.0 * 3600.0));
     s.strategy = "clock-smash";
     s.strategy_scale = smash;
     world = std::make_unique<analysis::World>(s);
@@ -226,7 +226,7 @@ struct ProactiveWorld {
 };
 
 TEST(ProactiveEndToEnd, SynchronizedClocksKeepExposureAtF) {
-  ProactiveWorld pw("bhhn", Dur::minutes(30), 21);
+  ProactiveWorld pw("bhhn", Duration::minutes(30), 21);
   pw.run();
   EXPECT_GT(pw.auditor->captures(), 10u);
   // f+1 = 3 shares of one epoch would reconstruct the secret.
@@ -238,7 +238,7 @@ TEST(ProactiveEndToEnd, UnsynchronizedClocksGetCompromised) {
   // Without clock sync, a -2h smash leaves each victim's clock (and so
   // its epoch counter) far behind; its share goes stale and the adversary
   // accumulates >= f+1 shares of one epoch across periods.
-  ProactiveWorld pw("none", Dur::hours(-2), 21);
+  ProactiveWorld pw("none", Duration::hours(-2), 21);
   pw.run();
   EXPECT_TRUE(pw.auditor->compromised(3));
 }

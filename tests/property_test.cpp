@@ -21,13 +21,13 @@ using adversary::Schedule;
 Scenario sweep_base(std::uint64_t seed) {
   Scenario s;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::minutes(30);
-  s.sample_period = Dur::seconds(20);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::minutes(30);
+  s.sample_period = Duration::seconds(20);
   s.seed = seed;
   return s;
 }
@@ -67,13 +67,13 @@ TEST_P(StrategySweep, ByzantineBoundHoldsAtFullBudget) {
   auto s = sweep_base(seed);
   s.model.n = 7;
   s.model.f = 2;
-  s.horizon = Dur::hours(6);
+  s.horizon = Duration::hours(6);
   s.schedule = Schedule::random_mobile(7, 2, s.model.delta_period,
-                                       Dur::minutes(5), Dur::minutes(20),
-                                       RealTime(4.5 * 3600.0), Rng(seed + 77));
+                                       Duration::minutes(5), Duration::minutes(20),
+                                       SimTau(4.5 * 3600.0), Rng(seed + 77));
   s.strategy = strategy;
   s.strategy_scale =
-      strategy == "delayed-reply" ? Dur::millis(80) : Dur::seconds(20);
+      strategy == "delayed-reply" ? Duration::millis(80) : Duration::seconds(20);
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation)
       << strategy << " seed=" << seed;
@@ -103,12 +103,12 @@ TEST_P(RecoverySweep, RecoversWithinDelta) {
   auto s = sweep_base(5);
   s.model.n = 7;
   s.model.f = 2;
-  s.warmup = Dur::zero();
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(3);
-  s.schedule = Schedule::single(1, RealTime(3600.0), RealTime(3660.0));
+  s.warmup = Duration::zero();
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(3);
+  s.schedule = Schedule::single(1, SimTau(3600.0), SimTau(3660.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::seconds(offset_s);
+  s.strategy_scale = Duration::seconds(offset_s);
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.all_recovered()) << "offset " << offset_s;
   EXPECT_LT(r.max_recovery_time(), s.model.delta_period) << offset_s;
@@ -185,8 +185,8 @@ TEST_P(EstimatorContractSweep, IntervalBracketsTruthAndErrorBounded) {
   s.model.n = 4;
   s.model.f = 1;
   s.delay = static_cast<Scenario::DelayKind>(GetParam());
-  s.horizon = Dur::hours(1);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::hours(1);
+  s.warmup = Duration::zero();
   const auto r = run_scenario(s);
   // The run asserts internally (delay bound, monotone clocks). Check the
   // externally visible consequence: deviation never exceeds the bound
@@ -204,13 +204,13 @@ class ClockPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ClockPropertySweep, Eq2HoldsOverRandomWanderTraces) {
   const double rho = 5e-4;
   sim::Simulator sim;
-  clk::HardwareClock hw(sim, clk::make_wander_drift(rho, Dur::seconds(30)),
+  clk::HardwareClock hw(sim, clk::make_wander_drift(rho, Duration::seconds(30)),
                         Rng(GetParam()));
-  double h0 = hw.read().sec(), t0 = 0.0;
+  double h0 = hw.read().raw(), t0 = 0.0;
   Rng step_rng(GetParam() ^ 0xabcdef);
   for (int i = 0; i < 300; ++i) {
-    sim.run_until(RealTime(sim.now().sec() + step_rng.uniform(1.0, 120.0)));
-    const double h = hw.read().sec(), t = sim.now().sec();
+    sim.run_until(SimTau(sim.now().raw() + step_rng.uniform(1.0, 120.0)));
+    const double h = hw.read().raw(), t = sim.now().raw();
     EXPECT_GE(h - h0, (t - t0) / (1.0 + rho) - 1e-9);
     EXPECT_LE(h - h0, (t - t0) * (1.0 + rho) + 1e-9);
   }
@@ -226,10 +226,10 @@ class ScheduleGenSweep
 
 TEST_P(ScheduleGenSweep, RandomMobileAlwaysFLimited) {
   const auto [n, f, seed] = GetParam();
-  const Dur delta = Dur::minutes(15);
+  const Duration delta = Duration::minutes(15);
   const auto sched =
-      Schedule::random_mobile(n, f, delta, Dur::minutes(1), Dur::minutes(10),
-                              RealTime(24 * 3600.0), Rng(seed));
+      Schedule::random_mobile(n, f, delta, Duration::minutes(1), Duration::minutes(10),
+                              SimTau(24 * 3600.0), Rng(seed));
   EXPECT_TRUE(sched.is_f_limited(f, delta));
 }
 

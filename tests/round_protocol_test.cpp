@@ -19,9 +19,9 @@ namespace {
 
 struct RoundNode {
   RoundNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
-            const SyncConfig& cfg, Dur initial_bias)
+            const SyncConfig& cfg, Duration initial_bias)
       : hw(sim, clk::make_pinned_drift(1e-6, 1.0), Rng(100 + id),
-           ClockTime(sim.now().sec()) + initial_bias),
+           HwTime(sim.now().raw()) + initial_bias),
         clock(hw),
         proto(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
     net.register_handler(id, [this](const net::Message& m) {
@@ -39,16 +39,16 @@ class RoundProtocolTest : public ::testing::Test {
     const int n = static_cast<int>(biases.size());
     net = std::make_unique<net::Network>(
         sim, net::Topology::full_mesh(n),
-        net::make_fixed_delay(Dur::millis(10)), Rng(7));
-    cfg.params.sync_int = Dur::seconds(60);
-    cfg.params.max_wait = Dur::millis(20);
-    cfg.params.way_off = Dur::seconds(1);
+        net::make_fixed_delay(Duration::millis(10)), Rng(7));
+    cfg.params.sync_int = Duration::seconds(60);
+    cfg.params.max_wait = Duration::millis(20);
+    cfg.params.way_off = Duration::seconds(1);
     cfg.f = f;
     cfg.convergence = make_convergence("bhhn");
     cfg.random_phase = false;
     for (int p = 0; p < n; ++p) {
       nodes.push_back(std::make_unique<RoundNode>(
-          sim, *net, p, cfg, Dur::seconds(biases[static_cast<std::size_t>(p)])));
+          sim, *net, p, cfg, Duration::seconds(biases[static_cast<std::size_t>(p)])));
     }
   }
   void start_all() {
@@ -64,7 +64,7 @@ class RoundProtocolTest : public ::testing::Test {
 TEST_F(RoundProtocolTest, RoundsAdvanceInLockstep) {
   build({0.0, 0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   // Rounds at ~0, 60, 120, 180 -> counter at 5 (started at 1).
   for (auto& n : nodes) {
     EXPECT_EQ(n->proto.round(), 5u);
@@ -77,20 +77,20 @@ TEST_F(RoundProtocolTest, RoundsAdvanceInLockstep) {
 TEST_F(RoundProtocolTest, ConvergesLikeNoRounds) {
   build({-0.2, 0.0, 0.2}, 0);
   start_all();
-  sim.run_until(RealTime(600.0));
-  const double dev = nodes[2]->clock.read().sec() - nodes[0]->clock.read().sec();
+  sim.run_until(SimTau(600.0));
+  const double dev = nodes[2]->clock.read().raw() - nodes[0]->clock.read().raw();
   EXPECT_LT(std::abs(dev), 0.05);
 }
 
 TEST_F(RoundProtocolTest, StaleRoundRepliesDiscardedByPeers) {
   build({0.0, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   // Desynchronize node 3's round counter by suspending it for 3 rounds.
   nodes[3]->proto.suspend();
-  sim.run_until(RealTime(400.0));
+  sim.run_until(SimTau(400.0));
   nodes[3]->proto.resume();
-  sim.run_until(RealTime(401.0));
+  sim.run_until(SimTau(401.0));
   // Node 3 rejoined at its first post-resume round...
   EXPECT_EQ(nodes[3]->proto.stats().joins, 1u);
   EXPECT_NEAR(static_cast<double>(nodes[3]->proto.round()),
@@ -104,15 +104,15 @@ TEST_F(RoundProtocolTest, StaleRoundRepliesDiscardedByPeers) {
 TEST_F(RoundProtocolTest, JoinRestoresClockToo) {
   build({0.0, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   nodes[3]->proto.suspend();
-  nodes[3]->clock.adversary_set_clock(nodes[3]->clock.read() + Dur::seconds(50));
-  sim.run_until(RealTime(500.0));
+  nodes[3]->clock.adversary_set_clock(nodes[3]->clock.read() + Duration::seconds(50));
+  sim.run_until(SimTau(500.0));
   nodes[3]->proto.resume();
-  sim.run_until(RealTime(502.0));
+  sim.run_until(SimTau(502.0));
   // The join's trimmed-midpoint jump pulled the clock back.
   const double err =
-      std::abs(nodes[3]->clock.read().sec() - nodes[0]->clock.read().sec());
+      std::abs(nodes[3]->clock.read().raw() - nodes[0]->clock.read().raw());
   EXPECT_LT(err, 0.2);
 }
 
@@ -125,15 +125,15 @@ TEST_F(RoundProtocolTest, ResponderSideMismatchBurden) {
   // node 3 with everyone, then suspend it across 3 rounds and resume it
   // just before the others' next round.
   start_all();
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   nodes[3]->proto.suspend();
-  sim.run_until(RealTime(419.0));
+  sim.run_until(SimTau(419.0));
   nodes[3]->proto.resume();  // its join round begins at 419
   // Peers' round at 420 queries node 3; its reply is tagged stale only
   // if it answers before adopting — with the fixed 5 ms delay its join
   // completes within ~10 ms, so race outcomes vary; accept either a
   // peer-side discard or a clean join, but the join must have happened.
-  sim.run_until(RealTime(425.0));
+  sim.run_until(SimTau(425.0));
   EXPECT_EQ(nodes[3]->proto.stats().joins, 1u);
 }
 
@@ -142,11 +142,11 @@ TEST(RoundScenarioTest, SteadyStateParityWithSync) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.horizon = Dur::hours(4);
-  s.warmup = Dur::minutes(30);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.horizon = Duration::hours(4);
+  s.warmup = Duration::minutes(30);
   s.seed = 11;
   auto base = analysis::run_scenario(s);
   s.protocol = "round";
@@ -162,18 +162,18 @@ TEST(RoundScenarioTest, MobileAdversaryStillBounded) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.protocol = "round";
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::minutes(30);
   s.seed = 12;
   s.schedule = adversary::Schedule::random_mobile(
-      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(4.5 * 3600.0), Rng(121));
+      7, 2, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(4.5 * 3600.0), Rng(121));
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   const auto r = analysis::run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());
@@ -188,18 +188,18 @@ TEST(RoundScenarioTest, RoundInflationAttackResisted) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.protocol = "round";
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::minutes(30);
   s.seed = 14;
   s.schedule = adversary::Schedule::random_mobile(
-      7, 2, s.model.delta_period, Dur::minutes(5), Dur::minutes(20),
-      RealTime(4.5 * 3600.0), Rng(141));
+      7, 2, s.model.delta_period, Duration::minutes(5), Duration::minutes(20),
+      SimTau(4.5 * 3600.0), Rng(141));
   s.strategy = "round-inflation";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   const auto r = analysis::run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
   EXPECT_TRUE(r.all_recovered());
@@ -211,18 +211,18 @@ TEST(RoundScenarioTest, RecoveryNeedsJoin) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.protocol = "round";
-  s.initial_spread = Dur::millis(20);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::zero();
+  s.initial_spread = Duration::millis(20);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::zero();
   s.seed = 13;
   // 10-minute control: the victim's round counter goes ~10 rounds stale.
-  s.schedule = adversary::Schedule::single(2, RealTime(3600.0), RealTime(4200.0));
+  s.schedule = adversary::Schedule::single(2, SimTau(3600.0), SimTau(4200.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(20);
+  s.strategy_scale = Duration::minutes(20);
   const auto r = analysis::run_scenario(s);
   EXPECT_TRUE(r.all_recovered());
   EXPECT_LT(r.max_recovery_time(), s.model.delta_period);

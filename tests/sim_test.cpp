@@ -21,11 +21,11 @@ TEST(EventQueueTest, EmptyInitially) {
 TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.push(RealTime(3.0), [&] { order.push_back(3); });
-  q.push(RealTime(1.0), [&] { order.push_back(1); });
-  q.push(RealTime(2.0), [&] { order.push_back(2); });
+  q.push(SimTau(3.0), [&] { order.push_back(3); });
+  q.push(SimTau(1.0), [&] { order.push_back(1); });
+  q.push(SimTau(2.0), [&] { order.push_back(2); });
   while (!q.empty()) {
-    RealTime t{};
+    SimTau t{};
     q.pop(t)();
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
@@ -35,10 +35,10 @@ TEST(EventQueueTest, FifoAtEqualTimes) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    q.push(RealTime(1.0), [&order, i] { order.push_back(i); });
+    q.push(SimTau(1.0), [&order, i] { order.push_back(i); });
   }
   while (!q.empty()) {
-    RealTime t{};
+    SimTau t{};
     q.pop(t)();
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -47,7 +47,7 @@ TEST(EventQueueTest, FifoAtEqualTimes) {
 TEST(EventQueueTest, CancelPendingEvent) {
   EventQueue q;
   bool fired = false;
-  const EventId id = q.push(RealTime(1.0), [&] { fired = true; });
+  const EventId id = q.push(SimTau(1.0), [&] { fired = true; });
   EXPECT_EQ(q.size(), 1u);
   EXPECT_TRUE(q.cancel(id));
   EXPECT_TRUE(q.empty());
@@ -56,7 +56,7 @@ TEST(EventQueueTest, CancelPendingEvent) {
 
 TEST(EventQueueTest, CancelTwiceFails) {
   EventQueue q;
-  const EventId id = q.push(RealTime(1.0), [] {});
+  const EventId id = q.push(SimTau(1.0), [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
@@ -70,12 +70,12 @@ TEST(EventQueueTest, CancelUnknownFails) {
 TEST(EventQueueTest, CancelledHeadIsSkipped) {
   EventQueue q;
   std::vector<int> order;
-  const EventId first = q.push(RealTime(1.0), [&] { order.push_back(1); });
-  q.push(RealTime(2.0), [&] { order.push_back(2); });
+  const EventId first = q.push(SimTau(1.0), [&] { order.push_back(1); });
+  q.push(SimTau(2.0), [&] { order.push_back(2); });
   q.cancel(first);
   EXPECT_FALSE(q.empty());
-  EXPECT_EQ(q.next_time(), RealTime(2.0));
-  RealTime t{};
+  EXPECT_EQ(q.next_time(), SimTau(2.0));
+  SimTau t{};
   q.pop(t)();
   EXPECT_EQ(order, std::vector<int>{2});
 }
@@ -83,23 +83,23 @@ TEST(EventQueueTest, CancelledHeadIsSkipped) {
 TEST(EventQueueTest, FifoAtEqualTimesSurvivesInterleavedCancellations) {
   // FIFO order among equal-time events must hold even when cancellations
   // and same-time pushes are interleaved with pops (the ordering is
-  // (RealTime, push sequence), not anything dependent on slot indices,
+  // (SimTau, push sequence), not anything dependent on slot indices,
   // which cancellation recycles).
   EventQueue q;
   std::vector<int> order;
   std::vector<EventId> ids;
   for (int i = 0; i < 8; ++i) {
-    ids.push_back(q.push(RealTime(1.0), [&order, i] { order.push_back(i); }));
+    ids.push_back(q.push(SimTau(1.0), [&order, i] { order.push_back(i); }));
   }
   EXPECT_TRUE(q.cancel(ids[0]));
   EXPECT_TRUE(q.cancel(ids[3]));
-  RealTime t{};
+  SimTau t{};
   q.pop(t)();  // fires 1 (0 was cancelled)
-  EXPECT_EQ(t, RealTime(1.0));
+  EXPECT_EQ(t, SimTau(1.0));
   EXPECT_TRUE(q.cancel(ids[2]));
   // A same-time push lands after every earlier same-time event, even
   // though it likely reuses a cancelled event's slot.
-  q.push(RealTime(1.0), [&order] { order.push_back(8); });
+  q.push(SimTau(1.0), [&order] { order.push_back(8); });
   q.pop(t)();  // fires 4 (2 and 3 cancelled)
   EXPECT_TRUE(q.cancel(ids[5]));
   while (!q.empty()) q.pop(t)();
@@ -107,16 +107,16 @@ TEST(EventQueueTest, FifoAtEqualTimesSurvivesInterleavedCancellations) {
 }
 
 TEST(EventQueueTest, EqualTimeOrderingIsExactForNegativeAndTinyTimes) {
-  // The comparator goes through RealTime's ordering; exercise exact
+  // The comparator goes through SimTau's ordering; exercise exact
   // equality at a negative instant and distinctness one ulp apart.
   EventQueue q;
   std::vector<int> order;
   const double base = -3.5;
-  q.push(RealTime(std::nextafter(base, 0.0)), [&] { order.push_back(2); });
-  q.push(RealTime(base), [&] { order.push_back(0); });
-  q.push(RealTime(base), [&] { order.push_back(1); });
+  q.push(SimTau(std::nextafter(base, 0.0)), [&] { order.push_back(2); });
+  q.push(SimTau(base), [&] { order.push_back(0); });
+  q.push(SimTau(base), [&] { order.push_back(1); });
   while (!q.empty()) {
-    RealTime t{};
+    SimTau t{};
     q.pop(t)();
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
@@ -124,20 +124,20 @@ TEST(EventQueueTest, EqualTimeOrderingIsExactForNegativeAndTinyTimes) {
 
 TEST(EventQueueTest, CancelAfterFireFails) {
   EventQueue q;
-  const EventId id = q.push(RealTime(1.0), [] {});
-  RealTime t{};
+  const EventId id = q.push(SimTau(1.0), [] {});
+  SimTau t{};
   q.pop(t);
   EXPECT_FALSE(q.cancel(id));
 }
 
 TEST(EventQueueTest, SizeTracksLiveEvents) {
   EventQueue q;
-  const EventId a = q.push(RealTime(1.0), [] {});
-  q.push(RealTime(2.0), [] {});
+  const EventId a = q.push(SimTau(1.0), [] {});
+  q.push(SimTau(2.0), [] {});
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
-  RealTime t{};
+  SimTau t{};
   q.pop(t);
   EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(q.total_pushed(), 2u);
@@ -147,83 +147,83 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
 
 TEST(SimulatorTest, StartsAtZero) {
   Simulator sim;
-  EXPECT_EQ(sim.now(), RealTime::zero());
+  EXPECT_EQ(sim.now(), SimTau::zero());
   EXPECT_TRUE(sim.idle());
 }
 
 TEST(SimulatorTest, AdvancesTimeToEvents) {
   Simulator sim;
   std::vector<double> fire_times;
-  sim.schedule_after(Dur::seconds(5), [&] { fire_times.push_back(sim.now().sec()); });
-  sim.schedule_after(Dur::seconds(2), [&] { fire_times.push_back(sim.now().sec()); });
-  sim.run_until(RealTime(10.0));
+  sim.schedule_after(Duration::seconds(5), [&] { fire_times.push_back(sim.now().raw()); });
+  sim.schedule_after(Duration::seconds(2), [&] { fire_times.push_back(sim.now().raw()); });
+  sim.run_until(SimTau(10.0));
   EXPECT_EQ(fire_times, (std::vector<double>{2.0, 5.0}));
-  EXPECT_DOUBLE_EQ(sim.now().sec(), 10.0);  // clamps to limit
+  EXPECT_DOUBLE_EQ(sim.now().raw(), 10.0);  // clamps to limit
 }
 
 TEST(SimulatorTest, RunUntilExecutesEventsExactlyAtLimit) {
   Simulator sim;
   bool fired = false;
-  sim.schedule_at(RealTime(10.0), [&] { fired = true; });
-  sim.run_until(RealTime(10.0));
+  sim.schedule_at(SimTau(10.0), [&] { fired = true; });
+  sim.run_until(SimTau(10.0));
   EXPECT_TRUE(fired);
 }
 
 TEST(SimulatorTest, EventsBeyondLimitStayPending) {
   Simulator sim;
   bool fired = false;
-  sim.schedule_at(RealTime(11.0), [&] { fired = true; });
-  sim.run_until(RealTime(10.0));
+  sim.schedule_at(SimTau(11.0), [&] { fired = true; });
+  sim.run_until(SimTau(10.0));
   EXPECT_FALSE(fired);
   EXPECT_EQ(sim.pending_events(), 1u);
-  sim.run_until(RealTime(12.0));
+  sim.run_until(SimTau(12.0));
   EXPECT_TRUE(fired);
 }
 
 TEST(SimulatorTest, NestedScheduling) {
   Simulator sim;
   std::vector<double> times;
-  sim.schedule_after(Dur::seconds(1), [&] {
-    times.push_back(sim.now().sec());
-    sim.schedule_after(Dur::seconds(1), [&] { times.push_back(sim.now().sec()); });
+  sim.schedule_after(Duration::seconds(1), [&] {
+    times.push_back(sim.now().raw());
+    sim.schedule_after(Duration::seconds(1), [&] { times.push_back(sim.now().raw()); });
   });
-  sim.run_until(RealTime(5.0));
+  sim.run_until(SimTau(5.0));
   EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
 }
 
 TEST(SimulatorTest, PastSchedulesClampToNow) {
   Simulator sim;
-  sim.schedule_after(Dur::seconds(5), [] {});
-  sim.run_until(RealTime(5.0));
+  sim.schedule_after(Duration::seconds(5), [] {});
+  sim.run_until(SimTau(5.0));
   bool fired = false;
-  sim.schedule_at(RealTime(1.0), [&] { fired = true; });  // in the past
-  sim.run_until(RealTime(5.0));
+  sim.schedule_at(SimTau(1.0), [&] { fired = true; });  // in the past
+  sim.run_until(SimTau(5.0));
   EXPECT_TRUE(fired);
-  EXPECT_DOUBLE_EQ(sim.now().sec(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().raw(), 5.0);
 }
 
 TEST(SimulatorTest, NegativeDelayClampsToZero) {
   Simulator sim;
   bool fired = false;
-  sim.schedule_after(Dur::seconds(-3), [&] { fired = true; });
-  sim.run_until(RealTime(0.0));
+  sim.schedule_after(Duration::seconds(-3), [&] { fired = true; });
+  sim.run_until(SimTau(0.0));
   EXPECT_TRUE(fired);
 }
 
 TEST(SimulatorTest, CancelPreventsExecution) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.schedule_after(Dur::seconds(1), [&] { fired = true; });
+  const EventId id = sim.schedule_after(Duration::seconds(1), [&] { fired = true; });
   EXPECT_TRUE(sim.cancel(id));
-  sim.run_until(RealTime(2.0));
+  sim.run_until(SimTau(2.0));
   EXPECT_FALSE(fired);
 }
 
 TEST(SimulatorTest, StepExecutesOne) {
   Simulator sim;
   int count = 0;
-  sim.schedule_after(Dur::seconds(1), [&] { ++count; });
-  sim.schedule_after(Dur::seconds(2), [&] { ++count; });
+  sim.schedule_after(Duration::seconds(1), [&] { ++count; });
+  sim.schedule_after(Duration::seconds(2), [&] { ++count; });
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(sim.step());
@@ -233,15 +233,15 @@ TEST(SimulatorTest, StepExecutesOne) {
 
 TEST(SimulatorTest, StepRespectsLimit) {
   Simulator sim;
-  sim.schedule_after(Dur::seconds(5), [] {});
-  EXPECT_FALSE(sim.step(RealTime(1.0)));
-  EXPECT_TRUE(sim.step(RealTime(5.0)));
+  sim.schedule_after(Duration::seconds(5), [] {});
+  EXPECT_FALSE(sim.step(SimTau(1.0)));
+  EXPECT_TRUE(sim.step(SimTau(5.0)));
 }
 
 TEST(SimulatorTest, ExecutedEventsCounter) {
   Simulator sim;
-  for (int i = 0; i < 10; ++i) sim.schedule_after(Dur::seconds(i), [] {});
-  sim.run_until(RealTime(100.0));
+  for (int i = 0; i < 10; ++i) sim.schedule_after(Duration::seconds(i), [] {});
+  sim.run_until(SimTau(100.0));
   EXPECT_EQ(sim.executed_events(), 10u);
 }
 
@@ -250,21 +250,21 @@ TEST(SimulatorTest, MillionEventsThroughput) {
   Simulator sim;
   long counter = 0;
   std::function<void()> chain = [&] {
-    if (++counter < 200000) sim.schedule_after(Dur::millis(1), chain);
+    if (++counter < 200000) sim.schedule_after(Duration::millis(1), chain);
   };
-  sim.schedule_after(Dur::millis(1), chain);
-  sim.run_until(RealTime::infinity());
+  sim.schedule_after(Duration::millis(1), chain);
+  sim.run_until(SimTau::infinity());
   EXPECT_EQ(counter, 200000);
 }
 
 TEST(SimulatorTest, NextEventTimeReportsEarliestDueEvent) {
   Simulator sim;
-  EXPECT_EQ(sim.next_event_time(), RealTime::infinity());
-  sim.schedule_after(Dur::seconds(5), [] {});
-  const EventId early = sim.schedule_after(Dur::seconds(2), [] {});
-  EXPECT_EQ(sim.next_event_time(), RealTime(2.0));
+  EXPECT_EQ(sim.next_event_time(), SimTau::infinity());
+  sim.schedule_after(Duration::seconds(5), [] {});
+  const EventId early = sim.schedule_after(Duration::seconds(2), [] {});
+  EXPECT_EQ(sim.next_event_time(), SimTau(2.0));
   sim.cancel(early);
-  EXPECT_EQ(sim.next_event_time(), RealTime(5.0));
+  EXPECT_EQ(sim.next_event_time(), SimTau(5.0));
 }
 
 TEST(SimulatorTest, AdvanceToSkipsQuietIntervalsInOneStep) {
@@ -273,33 +273,33 @@ TEST(SimulatorTest, AdvanceToSkipsQuietIntervalsInOneStep) {
   // refused (time and events untouched) whenever an event is due first.
   Simulator sim;
   int fired = 0;
-  sim.schedule_after(Dur::seconds(10), [&fired] { ++fired; });
+  sim.schedule_after(Duration::seconds(10), [&fired] { ++fired; });
 
-  EXPECT_TRUE(sim.advance_to(RealTime(7.5)));  // quiet: jump succeeds
-  EXPECT_EQ(sim.now(), RealTime(7.5));
+  EXPECT_TRUE(sim.advance_to(SimTau(7.5)));  // quiet: jump succeeds
+  EXPECT_EQ(sim.now(), SimTau(7.5));
   EXPECT_EQ(fired, 0);
 
-  EXPECT_FALSE(sim.advance_to(RealTime(30.0)));  // event at 10 is due first
-  EXPECT_EQ(sim.now(), RealTime(7.5));           // refused: now unchanged
+  EXPECT_FALSE(sim.advance_to(SimTau(30.0)));  // event at 10 is due first
+  EXPECT_EQ(sim.now(), SimTau(7.5));           // refused: now unchanged
   EXPECT_EQ(fired, 0);
 
-  EXPECT_TRUE(sim.step(RealTime(30.0)));
+  EXPECT_TRUE(sim.step(SimTau(30.0)));
   EXPECT_EQ(fired, 1);
-  EXPECT_TRUE(sim.advance_to(RealTime(30.0)));  // queue empty: always quiet
-  EXPECT_EQ(sim.now(), RealTime(30.0));
-  EXPECT_TRUE(sim.advance_to(RealTime(30.0)));  // t <= now trivially succeeds
-  EXPECT_TRUE(sim.advance_to(RealTime(5.0)));
-  EXPECT_EQ(sim.now(), RealTime(30.0));  // never moves backwards
+  EXPECT_TRUE(sim.advance_to(SimTau(30.0)));  // queue empty: always quiet
+  EXPECT_EQ(sim.now(), SimTau(30.0));
+  EXPECT_TRUE(sim.advance_to(SimTau(30.0)));  // t <= now trivially succeeds
+  EXPECT_TRUE(sim.advance_to(SimTau(5.0)));
+  EXPECT_EQ(sim.now(), SimTau(30.0));  // never moves backwards
 }
 
 TEST(SimulatorTest, AdvanceToBoundaryEventCounts) {
   // An event exactly at the target instant blocks the jump: "no due
   // events <= t" is inclusive, so the caller steps it first and retries.
   Simulator sim;
-  sim.schedule_after(Dur::seconds(3), [] {});
-  EXPECT_FALSE(sim.advance_to(RealTime(3.0)));
-  EXPECT_TRUE(sim.step(RealTime::infinity()));
-  EXPECT_TRUE(sim.advance_to(RealTime(3.0)));
+  sim.schedule_after(Duration::seconds(3), [] {});
+  EXPECT_FALSE(sim.advance_to(SimTau(3.0)));
+  EXPECT_TRUE(sim.step(SimTau::infinity()));
+  EXPECT_TRUE(sim.advance_to(SimTau(3.0)));
 }
 
 TEST(SimulatorTest, DeterministicInterleaving) {
@@ -308,11 +308,11 @@ TEST(SimulatorTest, DeterministicInterleaving) {
     Simulator sim;
     std::vector<double> times;
     for (int i = 0; i < 100; ++i) {
-      sim.schedule_after(Dur::seconds((i * 37) % 11), [&times, &sim] {
-        times.push_back(sim.now().sec());
+      sim.schedule_after(Duration::seconds((i * 37) % 11), [&times, &sim] {
+        times.push_back(sim.now().raw());
       });
     }
-    sim.run_until(RealTime(20.0));
+    sim.run_until(SimTau(20.0));
     return times;
   };
   EXPECT_EQ(run(), run());

@@ -26,19 +26,19 @@ Scenario wan_family(std::uint64_t seed) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(2);
-  s.warmup = Dur::minutes(30);
-  s.sample_period = Dur::seconds(30);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(2);
+  s.warmup = Duration::minutes(30);
+  s.sample_period = Duration::seconds(30);
   s.seed = seed;
   s.schedule = adversary::Schedule::random_mobile(
-      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-      Dur::minutes(20), RealTime(1.5 * 3600.0), Rng(seed * 31 + 7));
+      s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+      Duration::minutes(20), SimTau(1.5 * 3600.0), Rng(seed * 31 + 7));
   s.strategy = "two-faced";
-  s.strategy_scale = Dur::seconds(30);
+  s.strategy_scale = Duration::seconds(30);
   return s;
 }
 
@@ -54,18 +54,18 @@ Scenario failing_family(std::uint64_t seed) {
   s.model.n = 5;
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.horizon = Dur::hours(3);
-  s.sample_period = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.horizon = Duration::hours(3);
+  s.sample_period = Duration::minutes(1);
   s.seed = seed;
   s.schedule =
-      adversary::Schedule::single(2, RealTime(1800.0), RealTime(1860.0));
+      adversary::Schedule::single(2, SimTau(1800.0), SimTau(1860.0));
   s.strategy = "clock-smash";
-  s.strategy_scale = Dur::minutes(30);
+  s.strategy_scale = Duration::minutes(30);
   s.link_faults = net::LinkFaultSet::isolate_partially(
-      2, {0, 1, 3, 4}, RealTime(1800.0), RealTime(3600.0 * 3));
+      2, {0, 1, 3, 4}, SimTau(1800.0), SimTau(3600.0 * 3));
   return s;
 }
 
@@ -126,13 +126,13 @@ TEST(SweepParallelTest, MixedBoundFamilyCountsMismatches) {
   auto make = [](std::uint64_t seed) {
     auto s = wan_family(seed);
     s.schedule = adversary::Schedule();
-    s.horizon = Dur::hours(1);
-    s.warmup = Dur::zero();
-    s.sync_int = seed % 2 == 0 ? Dur::minutes(1) : Dur::minutes(2);
+    s.horizon = Duration::hours(1);
+    s.warmup = Duration::zero();
+    s.sync_int = seed % 2 == 0 ? Duration::minutes(1) : Duration::minutes(2);
     return s;
   };
   const auto serial = run_sweep(make, 2, 4);  // seeds 2,3,4,5 -> alternating
-  const Dur first_bound = run_scenario(make(2)).bounds.max_deviation;
+  const Duration first_bound = run_scenario(make(2)).bounds.max_deviation;
   EXPECT_EQ(serial.bound.sec(), first_bound.sec());
   EXPECT_EQ(serial.bound_mismatches, 2);
   const auto parallel = run_sweep_parallel(make, 2, 4, 2);
@@ -144,8 +144,8 @@ TEST(SweepParallelTest, JobsDefaultAndClampBehave) {
   auto make = [](std::uint64_t seed) {
     auto s = wan_family(seed);
     s.schedule = adversary::Schedule();
-    s.horizon = Dur::hours(1);
-    s.warmup = Dur::zero();
+    s.horizon = Duration::hours(1);
+    s.warmup = Duration::zero();
     return s;
   };
   const auto serial = run_sweep(make, 7, 2);
@@ -158,7 +158,7 @@ TEST(SweepParallelTest, PropagatesFactoryExceptions) {
     if (seed == 11) throw std::runtime_error("bad seed");
     auto s = wan_family(seed);
     s.schedule = adversary::Schedule();
-    s.horizon = Dur::hours(1);
+    s.horizon = Duration::hours(1);
     return s;
   };
   EXPECT_THROW((void)run_sweep_parallel(make, 10, 4, 2), std::runtime_error);
@@ -168,8 +168,8 @@ TEST(SweepParallelTest, ReportsWallClockAndThroughput) {
   auto make = [](std::uint64_t seed) {
     auto s = wan_family(seed);
     s.schedule = adversary::Schedule();
-    s.horizon = Dur::hours(1);
-    s.warmup = Dur::zero();
+    s.horizon = Duration::hours(1);
+    s.warmup = Duration::zero();
     return s;
   };
   const auto r = run_sweep_parallel(make, 1, 2, 2);
@@ -182,8 +182,8 @@ TEST(SweepParallelTest, RunScenariosParallelPreservesInputOrder) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     auto s = wan_family(seed);
     s.schedule = adversary::Schedule();
-    s.horizon = Dur::hours(1);
-    s.warmup = Dur::zero();
+    s.horizon = Duration::hours(1);
+    s.warmup = Duration::zero();
     scenarios.push_back(s);
   }
   const auto serial = run_scenarios_parallel(scenarios, 1);

@@ -12,11 +12,11 @@ Scenario quick_scenario(std::uint64_t seed) {
   s.model.n = 4;
   s.model.f = 1;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.horizon = Dur::hours(1);
-  s.sample_period = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.horizon = Duration::hours(1);
+  s.sample_period = Duration::minutes(1);
   s.seed = seed;
   return s;
 }
@@ -36,11 +36,11 @@ TEST(SweepTest, AggregatesAcrossSeeds) {
 TEST(SweepTest, RecoveryStatsOnlyFromRecoveredRuns) {
   auto make = [](std::uint64_t seed) {
     auto s = quick_scenario(seed);
-    s.horizon = Dur::hours(3);
-    s.schedule = adversary::Schedule::single(1, RealTime(1800.0),
-                                             RealTime(1860.0));
+    s.horizon = Duration::hours(3);
+    s.schedule = adversary::Schedule::single(1, SimTau(1800.0),
+                                             SimTau(1860.0));
     s.strategy = "clock-smash";
-    s.strategy_scale = Dur::minutes(5);
+    s.strategy_scale = Duration::minutes(5);
     return s;
   };
   const auto r = run_sweep(make, 10, 3);
@@ -59,12 +59,12 @@ TEST(SweepTest, MixedBoundsAreCountedNotTruncated) {
     // Seeds 1..4 -> SyncInt 60 s, 120 s, 180 s, 240 s: four distinct
     // gammas; the last one differs from the first, which the old
     // last-wins behavior would have reported as THE bound.
-    s.sync_int = Dur::minutes(static_cast<double>(seed));
+    s.sync_int = Duration::minutes(static_cast<double>(seed));
     return s;
   };
   const auto r = run_sweep(make, 1, 4);
-  const Dur first = run_scenario(make(1)).bounds.max_deviation;
-  const Dur last = run_scenario(make(4)).bounds.max_deviation;
+  const Duration first = run_scenario(make(1)).bounds.max_deviation;
+  const Duration last = run_scenario(make(4)).bounds.max_deviation;
   EXPECT_NE(first.sec(), last.sec());
   EXPECT_EQ(r.bound.sec(), first.sec());
   EXPECT_EQ(r.bound_mismatches, 3);
@@ -85,7 +85,7 @@ TEST(SweepTest, DetectsViolations) {
     s.model.n = 8;
     s.model.rho = 1e-3;
     s.topology = Scenario::TopologyKind::Ring;
-    s.horizon = Dur::hours(6);
+    s.horizon = Duration::hours(6);
     return s;
   };
   const auto r = run_sweep(make, 1, 2);

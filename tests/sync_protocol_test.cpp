@@ -24,9 +24,9 @@ constexpr double kRho = 1e-6;
 
 struct TestNode {
   TestNode(sim::Simulator& sim, net::Network& net, net::ProcId id,
-           const SyncConfig& cfg, Dur initial_bias)
+           const SyncConfig& cfg, Duration initial_bias)
       : hw(sim, clk::make_pinned_drift(kRho, 1.0), Rng(100 + id),
-           ClockTime(sim.now().sec()) + initial_bias),
+           HwTime(sim.now().raw()) + initial_bias),
         clock(hw),
         sync(sim.trace_port(), net, clock, id, cfg, Rng(200 + id)) {
     net.register_handler(id, [this](const net::Message& m) {
@@ -44,20 +44,20 @@ class SyncProtocolTest : public ::testing::Test {
  protected:
   /// Builds n nodes with the given initial biases.
   void build(const std::vector<double>& biases, int f,
-             Dur way_off = Dur::seconds(1)) {
+             Duration way_off = Duration::seconds(1)) {
     const int n = static_cast<int>(biases.size());
     net = std::make_unique<net::Network>(
         sim, net::Topology::full_mesh(n),
-        net::make_fixed_delay(Dur::millis(10)), Rng(7));
-    cfg.params.sync_int = Dur::seconds(60);
-    cfg.params.max_wait = Dur::millis(20);
+        net::make_fixed_delay(Duration::millis(10)), Rng(7));
+    cfg.params.sync_int = Duration::seconds(60);
+    cfg.params.max_wait = Duration::millis(20);
     cfg.params.way_off = way_off;
     cfg.f = f;
     cfg.convergence = make_convergence("bhhn");
     cfg.random_phase = false;
     for (int p = 0; p < n; ++p) {
       nodes.push_back(std::make_unique<TestNode>(
-          sim, *net, p, cfg, Dur::seconds(biases[static_cast<std::size_t>(p)])));
+          sim, *net, p, cfg, Duration::seconds(biases[static_cast<std::size_t>(p)])));
     }
   }
 
@@ -76,7 +76,7 @@ TEST_F(SyncProtocolTest, FirstRoundFiresAtPhaseZero) {
   start_all();
   // random_phase=false: the first alarm is at local time +0 -> fires at
   // tau = 0 (plus nothing); rounds complete after one RTT.
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   for (auto& n : nodes) {
     EXPECT_EQ(n->sync.stats().rounds_started, 1u);
     EXPECT_EQ(n->sync.stats().rounds_completed, 1u);
@@ -87,7 +87,7 @@ TEST_F(SyncProtocolTest, RoundCompletesEarlyWhenAllReply) {
   build({0.0, 0.0, 0.0}, 0);
   start_all();
   // Fixed delay 5ms each way: all replies by 10ms << MaxWait 20ms.
-  sim.run_until(RealTime(0.015));
+  sim.run_until(SimTau(0.015));
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
   EXPECT_EQ(nodes[0]->sync.stats().responses_ok, 2u);
   EXPECT_EQ(nodes[0]->sync.stats().timeouts, 0u);
@@ -96,7 +96,7 @@ TEST_F(SyncProtocolTest, RoundCompletesEarlyWhenAllReply) {
 TEST_F(SyncProtocolTest, ConvergesTowardPeers) {
   build({0.0, 0.3, 0.3}, 0);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   // Node 0 (behind by 0.3): estimates ~{0, .3, .3}; m=0, M~.3 -> +0.15.
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), 0.15, 0.02);
 }
@@ -105,7 +105,7 @@ TEST_F(SyncProtocolTest, SilentPeerCountsTimeout) {
   build({0.0, 0.0, 0.0, 0.0}, 1);
   nodes[3]->drop_all = true;
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(nodes[0]->sync.stats().timeouts, 1u);
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
   // With f = 1 the timeout is trimmed; adjustment stays tiny.
@@ -116,9 +116,9 @@ TEST_F(SyncProtocolTest, TimeoutRoundTakesMaxWait) {
   build({0.0, 0.0}, 0);
   nodes[1]->drop_all = true;
   start_all();
-  sim.run_until(RealTime(0.015));
+  sim.run_until(SimTau(0.015));
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 0u);  // still waiting
-  sim.run_until(RealTime(0.025));                          // MaxWait = 20ms
+  sim.run_until(SimTau(0.025));                          // MaxWait = 20ms
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
   EXPECT_EQ(nodes[0]->sync.stats().timeouts, 1u);
 }
@@ -129,13 +129,13 @@ TEST_F(SyncProtocolTest, LateResponseIsStale) {
   build({0.0, 0.0}, 0);
   // Raise latency beyond MaxWait by using a slow network.
   net = std::make_unique<net::Network>(sim, net::Topology::full_mesh(2),
-                                       net::make_fixed_delay(Dur::millis(30)),
+                                       net::make_fixed_delay(Duration::millis(30)),
                                        Rng(7));
   nodes.clear();
-  nodes.push_back(std::make_unique<TestNode>(sim, *net, 0, cfg, Dur::zero()));
-  nodes.push_back(std::make_unique<TestNode>(sim, *net, 1, cfg, Dur::zero()));
+  nodes.push_back(std::make_unique<TestNode>(sim, *net, 0, cfg, Duration::zero()));
+  nodes.push_back(std::make_unique<TestNode>(sim, *net, 1, cfg, Duration::zero()));
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_GE(nodes[0]->sync.stats().responses_stale, 1u);
   EXPECT_EQ(nodes[0]->sync.stats().responses_ok, 0u);
 }
@@ -145,10 +145,10 @@ TEST_F(SyncProtocolTest, ForgedNonceRejected) {
   start_all();
   // Inject a response with a bogus nonce from node 2 to node 0 while the
   // round is in flight.
-  sim.run_until(RealTime(0.002));
+  sim.run_until(SimTau(0.002));
   ASSERT_TRUE(nodes[0]->sync.round_active());
-  net->send(2, 0, net::PingResp{0xdeadbeef, ClockTime(999.0)});
-  sim.run_until(RealTime(1.0));
+  net->send(2, 0, net::PingResp{0xdeadbeef, LogicalTime(999.0)});
+  sim.run_until(SimTau(1.0));
   EXPECT_GE(nodes[0]->sync.stats().responses_stale, 1u);
   // The bogus clock value must not have poisoned the adjustment.
   EXPECT_LT(nodes[0]->clock.adjustment().abs().sec(), 0.001);
@@ -157,7 +157,7 @@ TEST_F(SyncProtocolTest, ForgedNonceRejected) {
 TEST_F(SyncProtocolTest, DuplicateResponseRejected) {
   build({0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   const auto ok = nodes[0]->sync.stats().responses_ok;
   EXPECT_EQ(ok, 1u);  // exactly one per peer per round
 }
@@ -166,7 +166,7 @@ TEST_F(SyncProtocolTest, PingAnsweredOutsideOwnRound) {
   build({0.0, 5.0}, 0);
   // Only node 0 runs rounds; node 1 still answers pings (§3.3 no-rounds).
   nodes[0]->sync.start();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(nodes[0]->sync.stats().responses_ok, 1u);
   EXPECT_EQ(nodes[1]->sync.stats().rounds_started, 0u);
 }
@@ -174,7 +174,7 @@ TEST_F(SyncProtocolTest, PingAnsweredOutsideOwnRound) {
 TEST_F(SyncProtocolTest, PeriodicRounds) {
   build({0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   // Rounds at ~0, ~60, ~120, ~180.
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 4u);
 }
@@ -182,12 +182,12 @@ TEST_F(SyncProtocolTest, PeriodicRounds) {
 TEST_F(SyncProtocolTest, SuspendKillsRoundAndCadence) {
   build({0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(0.002));
+  sim.run_until(SimTau(0.002));
   ASSERT_TRUE(nodes[0]->sync.round_active());
   nodes[0]->sync.suspend();
   EXPECT_FALSE(nodes[0]->sync.round_active());
   EXPECT_TRUE(nodes[0]->sync.suspended());
-  sim.run_until(RealTime(200.0));
+  sim.run_until(SimTau(200.0));
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 0u);
   // In-flight replies that arrive post-suspend count as stale, harmless.
   EXPECT_GE(nodes[0]->sync.stats().responses_stale, 0u);
@@ -196,11 +196,11 @@ TEST_F(SyncProtocolTest, SuspendKillsRoundAndCadence) {
 TEST_F(SyncProtocolTest, ResumeRestartsImmediately) {
   build({0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(10.0));
+  sim.run_until(SimTau(10.0));
   nodes[0]->sync.suspend();
-  sim.run_until(RealTime(30.0));
+  sim.run_until(SimTau(30.0));
   nodes[0]->sync.resume();
-  sim.run_until(RealTime(31.0));
+  sim.run_until(SimTau(31.0));
   // Resume schedules a fresh round at once (not SyncInt later).
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 2u);
 }
@@ -210,7 +210,7 @@ TEST_F(SyncProtocolTest, WayOffBranchJumpsFarClock) {
   // escape branch and jump nearly the whole way.
   build({-100.0, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(nodes[0]->sync.stats().way_off_rounds, 1u);
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), 100.0, 0.5);
   // The correct nodes do NOT follow the bad clock: with f=1 they trim it.
@@ -221,28 +221,28 @@ TEST_F(SyncProtocolTest, WayOffBranchJumpsFarClock) {
 TEST_F(SyncProtocolTest, NormalRoundsDoNotUseWayOff) {
   build({-0.05, 0.0, 0.05}, 0);
   start_all();
-  sim.run_until(RealTime(300.0));
+  sim.run_until(SimTau(300.0));
   EXPECT_EQ(nodes[1]->sync.stats().way_off_rounds, 0u);
 }
 
 TEST_F(SyncProtocolTest, OnSyncCompleteHook) {
   build({0.0, 0.2}, 0);
   int calls = 0;
-  Dur last = Dur::zero();
+  Duration last = Duration::zero();
   nodes[0]->sync.on_sync_complete = [&](const ConvergenceResult& r) {
     ++calls;
     last = r.adjustment;
   };
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(calls, 1);
   EXPECT_GT(last.sec(), 0.05);
 }
 
 TEST_F(SyncProtocolTest, MaxAbsAdjustmentTracked) {
-  build({-10.0, 0.0, 0.0, 0.0}, 1, /*way_off=*/Dur::seconds(1));
+  build({-10.0, 0.0, 0.0, 0.0}, 1, /*way_off=*/Duration::seconds(1));
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_GT(nodes[0]->sync.stats().max_abs_adjustment.sec(), 5.0);
 }
 
@@ -250,7 +250,7 @@ TEST_F(SyncProtocolTest, BestOfKPingsAllCounted) {
   cfg.pings_per_peer = 3;
   build({0.0, 0.0, 0.0}, 0);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   // 2 peers x 3 pings each answered.
   EXPECT_EQ(nodes[0]->sync.stats().responses_ok, 6u);
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
@@ -261,7 +261,7 @@ TEST_F(SyncProtocolTest, BestOfKStillConverges) {
   cfg.pings_per_peer = 4;
   build({0.0, 0.3, 0.3}, 0);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), 0.15, 0.02);
 }
 
@@ -271,12 +271,12 @@ TEST(BestOfKScenario, ReducesDeviationUnderJitter) {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-5;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.delay = analysis::Scenario::DelayKind::Jitter;
-  s.horizon = Dur::hours(4);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(4);
+  s.warmup = Duration::minutes(30);
   s.seed = 77;
   const auto k1 = analysis::run_scenario(s);
   s.pings_per_peer = 5;
@@ -291,9 +291,9 @@ TEST(BestOfKScenario, ReducesDeviationUnderJitter) {
 TEST_F(SyncProtocolTest, TwoNodesMutualConvergence) {
   build({-0.2, 0.2}, 0);
   start_all();
-  sim.run_until(RealTime(600.0));
-  const double dev = std::abs(nodes[0]->clock.read().sec() -
-                              nodes[1]->clock.read().sec());
+  sim.run_until(SimTau(600.0));
+  const double dev = std::abs(nodes[0]->clock.read().raw() -
+                              nodes[1]->clock.read().raw());
   EXPECT_LT(dev, 0.03);
 }
 
@@ -303,7 +303,7 @@ TEST_F(SyncProtocolTest, WayOffBoundaryJustInsideStaysNormal) {
   // branch and moves only halfway (min(m,0)+max(M,0))/2 ~ -0.45.
   build({0.9, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(nodes[0]->sync.stats().rounds_completed, 1u);
   EXPECT_EQ(nodes[0]->sync.stats().way_off_rounds, 0u);
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), -0.45, 0.05);
@@ -315,7 +315,7 @@ TEST_F(SyncProtocolTest, WayOffBoundaryJustOutsideTakesEscapeBranch) {
   // correct nodes trim the outlier and stay put either way.
   build({1.1, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(1.0));
+  sim.run_until(SimTau(1.0));
   EXPECT_EQ(nodes[0]->sync.stats().way_off_rounds, 1u);
   EXPECT_NEAR(nodes[0]->clock.adjustment().sec(), -1.1, 0.05);
   for (int p = 1; p < 4; ++p) {
@@ -334,15 +334,15 @@ TEST_F(SyncProtocolTest, SimultaneousRecoveryRoundsAnswerEachOther) {
   // adjustments stay bounded by the honest spread.
   build({0.0, 0.0, 0.0, 0.0}, 1);
   start_all();
-  sim.run_until(RealTime(10.0));
+  sim.run_until(SimTau(10.0));
   nodes[0]->sync.suspend();
   nodes[1]->sync.suspend();
-  sim.run_until(RealTime(30.0));
+  sim.run_until(SimTau(30.0));
   const std::uint64_t done0 = nodes[0]->sync.stats().rounds_completed;
   const std::uint64_t done1 = nodes[1]->sync.stats().rounds_completed;
   nodes[0]->sync.resume();
   nodes[1]->sync.resume();
-  sim.run_until(RealTime(31.0));
+  sim.run_until(SimTau(31.0));
   for (int p : {0, 1}) {
     auto& node = *nodes[static_cast<std::size_t>(p)];
     EXPECT_FALSE(node.sync.suspended());

@@ -78,13 +78,13 @@ TEST(CustomTopologyScenarioTest, ProtocolRunsOnRandomGraph) {
   s.model.n = 13;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = Scenario::TopologyKind::Custom;
   s.custom_topology = net::Topology::random_regular(13, 8, rng);
-  s.horizon = Dur::hours(3);
-  s.warmup = Dur::minutes(30);
+  s.horizon = Duration::hours(3);
+  s.warmup = Duration::minutes(30);
   s.seed = 8;
   const auto r = run_scenario(s);
   EXPECT_LT(r.max_stable_deviation, r.bounds.max_deviation);
@@ -98,12 +98,12 @@ TEST(CustomTopologyScenarioTest, RingTooSparseForTrimming) {
   s.model.n = 10;
   s.model.f = 2;
   s.model.rho = 1e-3;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
   s.topology = Scenario::TopologyKind::Ring;
-  s.horizon = Dur::hours(6);
-  s.warmup = Dur::zero();
+  s.horizon = Duration::hours(6);
+  s.warmup = Duration::zero();
   s.seed = 9;
   const auto r = run_scenario(s);
   // With only 3 estimates and f=2, select_low picks index 2 (the max!)

@@ -44,18 +44,18 @@ analysis::Scenario golden_scenario() {
   s.model.n = 7;
   s.model.f = 2;
   s.model.rho = 1e-4;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::hours(1);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(200);
-  s.horizon = Dur::hours(1);
-  s.sample_period = Dur::seconds(15);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::hours(1);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(200);
+  s.horizon = Duration::hours(1);
+  s.sample_period = Duration::seconds(15);
   s.seed = 7;
   s.schedule = adversary::Schedule::random_mobile(
-      s.model.n, s.model.f, s.model.delta_period, Dur::minutes(5),
-      Dur::minutes(20), RealTime(0.75 * 3600.0), Rng(1007));
+      s.model.n, s.model.f, s.model.delta_period, Duration::minutes(5),
+      Duration::minutes(20), SimTau(0.75 * 3600.0), Rng(1007));
   s.strategy = "clock-smash-random";
-  s.strategy_scale = Dur::minutes(10);
+  s.strategy_scale = Duration::minutes(10);
   s.record_series = true;
   return s;
 }

@@ -27,16 +27,16 @@ namespace {
 
 std::vector<TraceRecord> one_of_each() {
   return {
-      event_fire(0.25, 17),
-      msg_send(1.5, 0, 3, 1),
-      msg_deliver(1.5 + 0.017, 0, 3, 1),
-      msg_drop(2.0, 4, 2, 0, DropReason::LinkFault),
-      adv_break_in(3600.0, 5),
-      adv_leave(4200.0, 5),
-      adj_write(4200.5, 5, AdjKind::Smash, -1.25, 9.5),
-      round_open(4260.0, 1, 71),
-      round_close(4260.1, 1, 71, kRoundWayOff | kRoundJoin),
-      invariant_sample(4270.0, 5, true, 3.125e-3),
+      event_fire(SimTau(0.25), 17),
+      msg_send(SimTau(1.5), 0, 3, 1),
+      msg_deliver(SimTau(1.5 + 0.017), 0, 3, 1),
+      msg_drop(SimTau(2.0), 4, 2, 0, DropReason::LinkFault),
+      adv_break_in(SimTau(3600.0), 5),
+      adv_leave(SimTau(4200.0), 5),
+      adj_write(SimTau(4200.5), 5, AdjKind::Smash, Duration(-1.25), Duration(9.5)),
+      round_open(SimTau(4260.0), 1, 71),
+      round_close(SimTau(4260.1), 1, 71, kRoundWayOff | kRoundJoin),
+      invariant_sample(SimTau(4270.0), 5, true, Duration(3.125e-3)),
   };
 }
 
@@ -75,7 +75,7 @@ TEST(TraceFormatTest, DoublesAreBitExact) {
                            std::numeric_limits<double>::max()};
   TraceData data;
   for (double v : uglies) {
-    data.records.push_back(adj_write(v, 0, AdjKind::Sync, v, -v));
+    data.records.push_back(adj_write(SimTau(v), 0, AdjKind::Sync, Duration(v), Duration(-v)));
   }
   const TraceData back = from_bytes(to_bytes(data));
   ASSERT_EQ(back.records.size(), data.records.size());
@@ -91,7 +91,7 @@ TEST(TraceFormatTest, VarintBoundaryValuesRoundTrip) {
         std::uint64_t{16383}, std::uint64_t{16384},
         std::uint64_t{0xffffffffULL},
         std::numeric_limits<std::uint64_t>::max()}) {
-    data.records.push_back(event_fire(0.0, u));
+    data.records.push_back(event_fire(SimTau(0.0), u));
   }
   const TraceData back = from_bytes(to_bytes(data));
   ASSERT_EQ(back.records.size(), data.records.size());
@@ -146,7 +146,7 @@ TEST(TraceFormatTest, HostileRecordCountDoesNotPreallocate) {
 TEST(TraceSinkTest, UnboundedSinkKeepsEverything) {
   TraceSink sink;
   for (int i = 0; i < 1000; ++i) {
-    sink.record(event_fire(static_cast<double>(i),
+    sink.record(event_fire(SimTau(static_cast<double>(i)),
                            static_cast<std::uint64_t>(i)));
   }
   EXPECT_EQ(sink.total(), 1000u);
@@ -162,7 +162,7 @@ TEST(TraceSinkTest, UnboundedSinkKeepsEverything) {
 TEST(TraceSinkTest, FlightRecorderWrapsAndReportsTruncation) {
   TraceSink sink = TraceSink::flight_recorder(16);
   for (int i = 0; i < 100; ++i) {
-    sink.record(event_fire(static_cast<double>(i),
+    sink.record(event_fire(SimTau(static_cast<double>(i)),
                            static_cast<std::uint64_t>(i)));
   }
   EXPECT_EQ(sink.total(), 100u);
@@ -187,7 +187,7 @@ TEST(TraceSinkTest, FlightRecorderWrapsAndReportsTruncation) {
 
 TEST(TraceSinkTest, FlightRecorderBelowCapacityIsNotTruncated) {
   TraceSink sink = TraceSink::flight_recorder(64);
-  for (int i = 0; i < 10; ++i) sink.record(event_fire(0.0, 1));
+  for (int i = 0; i < 10; ++i) sink.record(event_fire(SimTau(0.0), 1));
   EXPECT_FALSE(sink.truncated());
   EXPECT_EQ(sink.snapshot().size(), 10u);
 }
@@ -204,7 +204,7 @@ TEST(TraceDiffTest, IdenticalAndPrefixAndDivergent) {
   EXPECT_EQ(d.first_divergence, b.records.size());
 
   b = a;
-  b.records[4] = adv_break_in(3600.0, 6);  // same kind, different proc
+  b.records[4] = adv_break_in(SimTau(3600.0), 6);  // same kind, different proc
   d = diff_traces(a, b);
   EXPECT_FALSE(d.identical);
   EXPECT_EQ(d.first_divergence, 4u);
@@ -222,18 +222,18 @@ analysis::Scenario small_scenario(std::uint64_t seed, net::ProcId victim = 0) {
   analysis::Scenario s;
   s.model.n = 5;
   s.model.f = 1;
-  s.model.delta = Dur::millis(50);
-  s.model.delta_period = Dur::minutes(10);
-  s.sync_int = Dur::minutes(1);
-  s.initial_spread = Dur::millis(100);
-  s.horizon = Dur::minutes(40);
-  s.sample_period = Dur::seconds(30);
+  s.model.delta = Duration::millis(50);
+  s.model.delta_period = Duration::minutes(10);
+  s.sync_int = Duration::minutes(1);
+  s.initial_spread = Duration::millis(100);
+  s.horizon = Duration::minutes(40);
+  s.sample_period = Duration::seconds(30);
   s.seed = seed;
   // One pinned break-in: tests perturb the schedule by moving the victim.
-  s.schedule = adversary::Schedule::single(victim, RealTime(600.0),
-                                           RealTime(900.0));
+  s.schedule = adversary::Schedule::single(victim, SimTau(600.0),
+                                           SimTau(900.0));
   s.strategy = "clock-smash-random";
-  s.strategy_scale = Dur::minutes(5);
+  s.strategy_scale = Duration::minutes(5);
   return s;
 }
 

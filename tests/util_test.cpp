@@ -16,7 +16,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "util/time_types.h"
+#include "util/time_domain.h"
 
 namespace czsync {
 namespace {
@@ -24,16 +24,16 @@ namespace {
 // ---------- time types ----------
 
 TEST(DurTest, ConstructionAndConversions) {
-  EXPECT_DOUBLE_EQ(Dur::seconds(1.5).sec(), 1.5);
-  EXPECT_DOUBLE_EQ(Dur::millis(250).sec(), 0.25);
-  EXPECT_DOUBLE_EQ(Dur::micros(500).sec(), 5e-4);
-  EXPECT_DOUBLE_EQ(Dur::minutes(2).sec(), 120.0);
-  EXPECT_DOUBLE_EQ(Dur::hours(1).sec(), 3600.0);
-  EXPECT_DOUBLE_EQ(Dur::seconds(0.5).ms(), 500.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).sec(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::micros(500).sec(), 5e-4);
+  EXPECT_DOUBLE_EQ(Duration::minutes(2).sec(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(1).sec(), 3600.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(0.5).ms(), 500.0);
 }
 
 TEST(DurTest, Arithmetic) {
-  const Dur a = Dur::seconds(3), b = Dur::seconds(1);
+  const Duration a = Duration::seconds(3), b = Duration::seconds(1);
   EXPECT_DOUBLE_EQ((a + b).sec(), 4.0);
   EXPECT_DOUBLE_EQ((a - b).sec(), 2.0);
   EXPECT_DOUBLE_EQ((-a).sec(), -3.0);
@@ -41,44 +41,44 @@ TEST(DurTest, Arithmetic) {
   EXPECT_DOUBLE_EQ((2.0 * a).sec(), 6.0);
   EXPECT_DOUBLE_EQ((a / 2.0).sec(), 1.5);
   EXPECT_DOUBLE_EQ(a / b, 3.0);
-  Dur c = a;
+  Duration c = a;
   c += b;
   EXPECT_DOUBLE_EQ(c.sec(), 4.0);
-  c -= Dur::seconds(2);
+  c -= Duration::seconds(2);
   EXPECT_DOUBLE_EQ(c.sec(), 2.0);
 }
 
 TEST(DurTest, ComparisonAndAbs) {
-  EXPECT_LT(Dur::seconds(1), Dur::seconds(2));
-  EXPECT_GE(Dur::seconds(2), Dur::seconds(2));
-  EXPECT_EQ(Dur::seconds(-3).abs(), Dur::seconds(3));
-  EXPECT_EQ(Dur::seconds(3).abs(), Dur::seconds(3));
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_GE(Duration::seconds(2), Duration::seconds(2));
+  EXPECT_EQ(Duration::seconds(-3).abs(), Duration::seconds(3));
+  EXPECT_EQ(Duration::seconds(3).abs(), Duration::seconds(3));
 }
 
 TEST(DurTest, Infinity) {
-  EXPECT_FALSE(Dur::infinity().is_finite());
-  EXPECT_TRUE(Dur::seconds(1e12).is_finite());
-  EXPECT_GT(Dur::infinity(), Dur::seconds(1e300));
-  EXPECT_LT(-Dur::infinity(), Dur::seconds(-1e300));
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_TRUE(Duration::seconds(1e12).is_finite());
+  EXPECT_GT(Duration::infinity(), Duration::seconds(1e300));
+  EXPECT_LT(-Duration::infinity(), Duration::seconds(-1e300));
 }
 
 TEST(RealTimeTest, Arithmetic) {
-  const RealTime t0(100.0);
-  EXPECT_DOUBLE_EQ((t0 + Dur::seconds(5)).sec(), 105.0);
-  EXPECT_DOUBLE_EQ((t0 - Dur::seconds(5)).sec(), 95.0);
-  EXPECT_DOUBLE_EQ((RealTime(130.0) - t0).sec(), 30.0);
-  EXPECT_LT(t0, RealTime(100.5));
+  const SimTau t0(100.0);
+  EXPECT_DOUBLE_EQ((t0 + Duration::seconds(5)).raw(), 105.0);
+  EXPECT_DOUBLE_EQ((t0 - Duration::seconds(5)).raw(), 95.0);
+  EXPECT_DOUBLE_EQ((SimTau(130.0) - t0).sec(), 30.0);
+  EXPECT_LT(t0, SimTau(100.5));
 }
 
 TEST(ClockTimeTest, Arithmetic) {
-  const ClockTime c0(50.0);
-  EXPECT_DOUBLE_EQ((c0 + Dur::seconds(2)).sec(), 52.0);
-  EXPECT_DOUBLE_EQ((ClockTime(55.0) - c0).sec(), 5.0);
+  const LogicalTime c0(50.0);
+  EXPECT_DOUBLE_EQ((c0 + Duration::seconds(2)).raw(), 52.0);
+  EXPECT_DOUBLE_EQ((LogicalTime(55.0) - c0).sec(), 5.0);
 }
 
 TEST(TimeTypesTest, StreamOutput) {
   std::ostringstream os;
-  os << Dur::seconds(2) << " " << RealTime(3.0) << " " << ClockTime(4.0);
+  os << Duration::seconds(2) << " " << SimTau(3.0) << " " << LogicalTime(4.0);
   EXPECT_EQ(os.str(), "2s tau=3 C=4");
 }
 

@@ -171,7 +171,7 @@ void expect_round_trip(const net::Message& m, int n) {
 }
 
 TEST(MessageWire, EveryBodyAlternativeRoundTrips) {
-  const ClockTime clk = ClockTime(1234.5678901234);
+  const LogicalTime clk = LogicalTime(1234.5678901234);
   expect_round_trip({0, 1, net::PingReq{42}}, 3);
   expect_round_trip({1, 0, net::PingResp{42, clk}}, 3);
   expect_round_trip({2, 0, net::RoundPingReq{7, 99}}, 3);
@@ -189,7 +189,7 @@ TEST(MessageWire, ClockBoundaryValues) {
                          -std::numeric_limits<double>::infinity(), denormal,
                          -denormal, -0.0,
                          std::numeric_limits<double>::quiet_NaN()}) {
-    const net::Message m{0, 1, net::PingResp{99, ClockTime(v)}};
+    const net::Message m{0, 1, net::PingResp{99, LogicalTime(v)}};
     const auto buf = encode(m);
     const auto back = core::decode_message(buf.data(), buf.size(), 2);
     ASSERT_TRUE(back.has_value());
@@ -197,7 +197,7 @@ TEST(MessageWire, ClockBoundaryValues) {
     std::uint64_t in_bits = 0;
     std::uint64_t out_bits = 0;
     const double in_v = v;
-    const double out_v = resp.responder_clock.sec();
+    const double out_v = resp.responder_clock.raw();
     std::memcpy(&in_bits, &in_v, 8);
     std::memcpy(&out_bits, &out_v, 8);
     EXPECT_EQ(in_bits, out_bits);
@@ -219,7 +219,7 @@ TEST(MessageWire, NegativeIdThrowsOnEncode) {
 }
 
 TEST(MessageWire, HostileInputNeverDecodes) {
-  const auto good = encode({0, 1, net::PingResp{42, ClockTime(1.5)}});
+  const auto good = encode({0, 1, net::PingResp{42, LogicalTime(1.5)}});
   ASSERT_TRUE(core::decode_message(good.data(), good.size(), 3).has_value());
 
   // Every strict prefix is a truncation and must fail.
@@ -279,7 +279,7 @@ TEST(MessageWire, RandomMessagesReEncodeByteIdentical) {
       case 1:
         m.body = net::PingResp{static_cast<std::uint64_t>(
                                    rng.uniform_int(0, 1 << 30)),
-                               ClockTime(rng.uniform(-1e9, 1e9))};
+                               LogicalTime(rng.uniform(-1e9, 1e9))};
         break;
       case 2:
         m.body = net::RoundPingReq{
@@ -290,7 +290,7 @@ TEST(MessageWire, RandomMessagesReEncodeByteIdentical) {
         m.body = net::RoundPingResp{
             static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
             static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)),
-            ClockTime(rng.uniform(-1e6, 1e6))};
+            LogicalTime(rng.uniform(-1e6, 1e6))};
         break;
       case 4: {
         net::StRoundMsg st;
@@ -316,7 +316,7 @@ TEST(MessageWire, RandomMessagesReEncodeByteIdentical) {
       default:
         m.body = net::TimestampResp{
             static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)),
-            ClockTime(rng.uniform(-1e3, 1e3))};
+            LogicalTime(rng.uniform(-1e3, 1e3))};
         break;
     }
     expect_round_trip(m, n);
@@ -329,8 +329,8 @@ TEST(TraceWire, RecordEncodingMatchesFileFormat) {
   // put_record is THE encoding: a file written through write_trace_file
   // must contain exactly the bytes put_record produces for each record.
   std::vector<trace::TraceRecord> records;
-  records.push_back(trace::adj_write(1.25, 0, trace::AdjKind::Sync, -0.5, 0.25));
-  records.push_back(trace::round_close(2.0, 1, 7, trace::kRoundWayOff));
+  records.push_back(trace::adj_write(SimTau(1.25), 0, trace::AdjKind::Sync, Duration(-0.5), Duration(0.25)));
+  records.push_back(trace::round_close(SimTau(2.0), 1, 7, trace::kRoundWayOff));
   trace::TraceData data;
   data.records = records;
 
@@ -361,7 +361,7 @@ TEST(LiveWriter, FileIsWellFormedAfterEveryFlush) {
 
   std::vector<trace::TraceRecord> batch;
   for (int i = 0; i < 10; ++i) {
-    batch.push_back(trace::adj_write(i * 0.5, i % 3, trace::AdjKind::Sync, 0.001 * i, 0.01 * i));
+    batch.push_back(trace::adj_write(SimTau(i * 0.5), i % 3, trace::AdjKind::Sync, Duration(0.001 * i), Duration(0.01 * i)));
   }
   writer.append(batch.data(), 4);
   writer.flush();
@@ -384,7 +384,7 @@ TEST(LiveWriter, UnflushedTailIsInvisibleNotCorrupting) {
   const std::string path = testing::TempDir() + "/live_tail.cztrace";
   {
     trace::LiveTraceWriter writer(path);
-    const auto r = trace::adv_break_in(1.0, 2);
+    const auto r = trace::adv_break_in(SimTau(1.0), 2);
     writer.append(&r, 1);
     writer.flush();
     writer.append(&r, 1);  // buffered only; destructor will flush it
@@ -402,7 +402,7 @@ TEST(TraceSink, SpillKeepsEveryRecordInOrder) {
     spilled.insert(spilled.end(), r, r + count);
   });
   for (int i = 0; i < 11; ++i) {
-    sink.record(trace::adv_break_in(i, i));
+    sink.record(trace::adv_break_in(SimTau(i), i));
   }
   sink.flush_spill();
   ASSERT_EQ(spilled.size(), 11u);

@@ -97,7 +97,7 @@ void print_report(const rt::DaemonConfig& config,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   rt::DaemonConfig config;
-  config.duration = Dur::seconds(30);
+  config.duration = Duration::seconds(30);
   bool have_id = false;
   bool have_n = false;
   bool have_epoch = false;
@@ -126,17 +126,17 @@ int main(int argc, char** argv) {
       } else if (a == "--rho") {
         config.model.rho = std::stod(value);
       } else if (a == "--delta-ms") {
-        config.model.delta = Dur::millis(std::stod(value));
+        config.model.delta = Duration::millis(std::stod(value));
       } else if (a == "--sync-int-ms") {
-        config.sync_int = Dur::millis(std::stod(value));
+        config.sync_int = Duration::millis(std::stod(value));
       } else if (a == "--rate") {
         config.drift_rate = std::stod(value);
       } else if (a == "--offset-ms") {
-        config.clock_offset = Dur::millis(std::stod(value));
+        config.clock_offset = Duration::millis(std::stod(value));
       } else if (a == "--adj-ms") {
-        config.initial_adj = Dur::millis(std::stod(value));
+        config.initial_adj = Duration::millis(std::stod(value));
       } else if (a == "--duration-s") {
-        config.duration = Dur::seconds(std::stod(value));
+        config.duration = Duration::seconds(std::stod(value));
       } else if (a == "--base-port") {
         config.base_port = std::stoi(value);
       } else if (a == "--seed") {
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
       } else if (a == "--loss") {
         config.shaping.loss = std::stod(value);
       } else if (a == "--delay-max-ms") {
-        config.shaping.extra_delay_max = Dur::millis(std::stod(value));
+        config.shaping.extra_delay_max = Duration::millis(std::stod(value));
       } else if (a == "--epoch-ns") {
         config.epoch_ns = std::stoll(value);
         have_epoch = true;

@@ -19,9 +19,28 @@ them statically, before runtime:
   layering         #include edges must follow the module DAG documented
                    in DESIGN.md section 4.9 (LAYERS below is the
                    authoritative copy; new modules must be added to both).
-  float-time-eq    == / != on time-typed expressions (Dur, RealTime,
-                   ClockTime, .sec()) inside src/. Exact comparisons that
-                   are intentional carry `// lint: exact-time`.
+  float-time-eq    == / != on time-typed expressions (Duration, SimTau,
+                   HwTime, LogicalTime, .sec(), .raw()) inside src/.
+                   Exact comparisons that are intentional carry
+                   `// lint: exact-time`.
+  raw-double-time  a raw double/float declaration whose name says it is
+                   a time value (*tau*, *now*, *deadline*, *delay*)
+                   inside src/: use the strong types of
+                   util/time_domain.h (DESIGN.md section 4.14). The
+                   serialization layer src/trace/ is exempt; elsewhere a
+                   deliberate raw value carries `// time: <why>`.
+  unsafe-cast-audit  every time-domain escape (`.raw()` or a `_unsafe`
+                   cast) inside src/ must carry a `// time: <why>`
+                   justification on the line or the line above. The
+                   time_domain.h headers defining the types are exempt.
+  stale-suppression  a `// lint: <tag>` hatch (or a comment-only NOLINT)
+                   whose line no longer triggers the suppressed rule:
+                   dead hatches rot into licenses for future bugs and
+                   must be deleted.
+  layering-cmake   target_link_libraries edges in src/*/CMakeLists.txt
+                   must mirror the same DAG the #include rule enforces:
+                   czsync_<module> may only link the modules LAYERS
+                   allows it to include.
   header-hygiene   every header has `#pragma once`; no `using namespace`
                    at header scope.
   py-compile,      (--py) the repo's Python tools must byte-compile and
@@ -149,19 +168,86 @@ UNORDERED_DECL = re.compile(
 RANGE_FOR = re.compile(r"for\s*\([^;()]*:\s*&?(\w+)\s*\)")
 ITER_FOR = re.compile(r"for\s*\([^;]*=\s*(\w+)\s*\.\s*(?:c?begin)\s*\(")
 TIME_EQ = re.compile(r"(?<![=!<>])(==|!=)(?!=)")
-TIME_TYPED = re.compile(r"\.sec\s*\(\s*\)|\bDur\b|\bRealTime\b|\bClockTime\b")
+TIME_TYPED = re.compile(
+    r"\.sec\s*\(\s*\)|\.raw\s*\(\s*\)"
+    r"|\bDuration\b|\bSimTau\b|\bHwTime\b|\bLogicalTime\b")
+
+# ---- raw-double-time ----
+# A floating declaration whose identifier names a time quantity. The
+# identifier match is segment-wise (underscore-delimited) so `known` or
+# `shownow` never trip on the embedded `now`.
+RAW_TIME_DECL = re.compile(r"\b(?:double|float)\s+(?:const\s+)?(\w+)")
+RAW_TIME_NAME = re.compile(r"(?:^|_)(?:tau|now|deadline|delay)(?:_|\d|s)?(?:$|_)")
+# src/trace is the serialization layer: czsync-trace-v1 records ARE raw
+# f64 fields by format contract, so the rule does not apply there.
+RAW_TIME_EXEMPT_DIRS = (os.path.join("src", "trace"),)
+
+# ---- unsafe-cast-audit ----
+UNSAFE_CAST = re.compile(r"\.raw\s*\(|_unsafe\s*\(")
+# The headers DEFINING the strong types are the domain boundary itself;
+# auditing their internal .raw() plumbing would be justifying the
+# definition with itself.
+TIME_DOMAIN_HEADERS = (
+    os.path.join("src", "util", "time_domain.h"),
+    os.path.join("src", "core", "time_domain.h"),
+)
+
+# ---- stale-suppression ----
+# Hatch form: a `// lint: <tag>` comment ENDING the line. Prose mentions
+# of a hatch (like this file's docstring) have trailing text and are not
+# hatches. NOLINT is clang-tidy's mechanism; the only statically
+# checkable staleness is a NOLINT that cannot apply to any code at all
+# (comment-only line, or NOLINTNEXTLINE followed by no code).
+LINT_TAGS = ("wall-clock", "order-insensitive", "exact-time", "ambient-env")
+HATCH_RE = re.compile(r"//\s*lint:\s*([\w-]+)\s*$")
+NOLINT_RE = re.compile(r"//.*\bNOLINT(NEXTLINE)?\b")
+
+# ---- layering-cmake ----
+# Library target -> module directory, for the targets whose name is not
+# czsync_<dir>. Everything else strips the czsync_ prefix.
+CMAKE_TARGET_MODULES = {
+    "czsync_tracing": "trace",
+    "czsync_modelcheck": "mc",
+}
+CMAKE_LINK_OPEN = re.compile(r"target_link_libraries\s*\(\s*(\w+)")
+CMAKE_LIB_TOKEN = re.compile(r"\bczsync_\w+")
+
+
+def target_module(target):
+    """Module directory a czsync_* library target lives in, or None."""
+    if target in CMAKE_TARGET_MODULES:
+        return CMAKE_TARGET_MODULES[target]
+    if target.startswith("czsync_"):
+        return target[len("czsync_"):]
+    return None
 
 
 def time_typed_comparison(line):
     """True when some ==/!= on the line has a time-typed operand.
 
-    Operands are scoped to the nearest enclosing bracket/logical-operator
+    Operands are scoped to the nearest ENCLOSING bracket/logical-operator
     boundary so `ts != nullptr` on a line that also stamps `.sec()` does
-    not trip the rule.
+    not trip the rule. The scan matches parens in both directions: a
+    call like `a.sec()` inside the left operand must not clip the
+    boundary at its own `(` (that blind spot let `x.sec() == 0.0`
+    through unflagged).
     """
     for m in TIME_EQ.finditer(line):
-        left_stop = max(line.rfind(b, 0, m.start())
-                        for b in ("(", "||", "&&", ",", ";", "{", "?"))
+        left_stop = -1
+        depth = 0
+        for i in range(m.start() - 1, -1, -1):
+            c = line[i]
+            if c == ")":
+                depth += 1
+            elif c == "(":
+                if depth == 0:
+                    left_stop = i
+                    break
+                depth -= 1
+            elif depth == 0 and (c in ",;{?" or
+                                 line.startswith(("||", "&&"), i)):
+                left_stop = i
+                break
         right = line[m.end():]
         cut = len(right)
         depth = 0
@@ -238,11 +324,24 @@ def strip_code(lines):
     return out
 
 
-def has_justification(lines, idx, tag):
-    """True when line idx (0-based) or the line above carries the tag."""
-    here = lines[idx]
-    above = lines[idx - 1] if idx > 0 else ""
-    return tag in here or tag in above
+def has_justification(lines, idx, tag, used=None):
+    """True when line idx (0-based) or the line above carries the tag.
+
+    When `used` (a set) is given, the 0-based line index that supplied
+    the justification is recorded in it, keyed with the bare tag — the
+    stale-suppression rule reports every hatch line that no rule ever
+    consumed this way.
+    """
+    bare = tag.removeprefix("lint: ")
+    if tag in lines[idx]:
+        if used is not None:
+            used.add((idx, bare))
+        return True
+    if idx > 0 and tag in lines[idx - 1]:
+        if used is not None:
+            used.add((idx - 1, bare))
+        return True
+    return False
 
 
 def module_of(path):
@@ -302,6 +401,7 @@ def lint_cxx_file(path, root, findings, header_cache):
     code = strip_code(raw)
     rel = os.path.relpath(path, root)
     in_src = module_of(rel) is not None or f"{os.sep}src{os.sep}" in rel
+    used = set()  # (0-based hatch line, tag) pairs consumed by some rule
 
     # ---- nondet-token ----
     syscall_exempt = any(d in rel for d in SYSCALL_EXEMPT_DIRS)
@@ -312,9 +412,9 @@ def lint_cxx_file(path, root, findings, header_cache):
             if "getenv" in pattern.pattern:
                 if f"src{os.sep}util" in rel:
                     continue  # util/ owns ambient-environment access
-                if has_justification(raw, idx, "lint: ambient-env"):
+                if has_justification(raw, idx, "lint: ambient-env", used):
                     continue
-            if has_justification(raw, idx, "lint: wall-clock"):
+            if has_justification(raw, idx, "lint: wall-clock", used):
                 continue
             findings.add(rel, idx + 1, "nondet-token", message)
         if syscall_exempt:
@@ -342,7 +442,7 @@ def lint_cxx_file(path, root, findings, header_cache):
             for pattern in (RANGE_FOR, ITER_FOR):
                 m = pattern.search(line)
                 if m and m.group(1) in names:
-                    if has_justification(raw, idx, "lint: order-insensitive"):
+                    if has_justification(raw, idx, "lint: order-insensitive", used):
                         continue
                     findings.add(
                         rel, idx + 1, "unordered-iter",
@@ -377,12 +477,64 @@ def lint_cxx_file(path, root, findings, header_cache):
             if "operator" in line or "static_assert" in line:
                 continue
             if time_typed_comparison(line):
-                if has_justification(raw, idx, "lint: exact-time"):
+                if has_justification(raw, idx, "lint: exact-time", used):
                     continue
                 findings.add(
                     rel, idx + 1, "float-time-eq",
                     "==/!= on a time-typed expression: compare with a "
                     "tolerance, or justify with `// lint: exact-time`")
+
+    # ---- raw-double-time ----
+    if in_src and not any(d in rel for d in RAW_TIME_EXEMPT_DIRS):
+        for idx, line in enumerate(code):
+            for m in RAW_TIME_DECL.finditer(line):
+                if not RAW_TIME_NAME.search(m.group(1)):
+                    continue
+                if has_justification(raw, idx, "time:"):
+                    continue
+                findings.add(
+                    rel, idx + 1, "raw-double-time",
+                    f"raw floating declaration '{m.group(1)}' holds a time "
+                    f"value: use Duration/SimTau/HwTime/LogicalTime "
+                    f"(util/time_domain.h), or justify the boundary with "
+                    f"`// time: <why>`")
+
+    # ---- unsafe-cast-audit ----
+    if in_src and not any(rel.endswith(h) for h in TIME_DOMAIN_HEADERS):
+        for idx, line in enumerate(code):
+            if not UNSAFE_CAST.search(line):
+                continue
+            if has_justification(raw, idx, "time:"):
+                continue
+            findings.add(
+                rel, idx + 1, "unsafe-cast-audit",
+                "time-domain escape (.raw()/_unsafe cast) without a "
+                "`// time: <why>` justification on this line or the one "
+                "above")
+
+    # ---- stale-suppression ----
+    for idx, line in enumerate(raw):
+        hm = HATCH_RE.search(line)
+        if hm and hm.group(1) in LINT_TAGS and (idx, hm.group(1)) not in used:
+            findings.add(
+                rel, idx + 1, "stale-suppression",
+                f"`// lint: {hm.group(1)}` suppresses nothing: neither this "
+                f"line nor the one below triggers the rule; delete the "
+                f"hatch")
+        nm = NOLINT_RE.search(line)
+        if nm is None:
+            continue
+        if nm.group(1) is None and not code[idx].strip():
+            findings.add(
+                rel, idx + 1, "stale-suppression",
+                "NOLINT on a comment-only line suppresses nothing "
+                "(NOLINT applies to code on its own line)")
+        elif nm.group(1) is not None and (
+                idx + 1 >= len(code) or not code[idx + 1].strip()):
+            findings.add(
+                rel, idx + 1, "stale-suppression",
+                "NOLINTNEXTLINE with no code on the next line suppresses "
+                "nothing")
 
     # ---- header-hygiene ----
     if path.endswith((".h", ".hpp")):
@@ -394,6 +546,60 @@ def lint_cxx_file(path, root, findings, header_cache):
                     rel, idx + 1, "header-hygiene",
                     "using-namespace at header scope leaks into every "
                     "includer")
+
+
+def lint_cmake_file(path, root, findings):
+    """Rule layering-cmake: link edges must mirror the LAYERS DAG.
+
+    Applies to CMakeLists.txt files under src/<module>/. Every
+    czsync_* library named in a target_link_libraries() call for that
+    module's target must map (via target_module) to the module itself
+    or to a module LAYERS allows it to include.
+    """
+    rel = os.path.relpath(path, root)
+    mod = module_of(rel)
+    if mod is None:
+        return  # top-level / tests CMake files carry no layering contract
+    allowed = LAYERS.get(mod)
+    if allowed is None:
+        findings.add(
+            rel, 1, "layering-cmake",
+            f"module '{mod}' is not in the layering map; add it to LAYERS "
+            f"in tools/czsync_lint.py and DESIGN.md section 4.9")
+        return
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        findings.add(rel, 0, "io", f"unreadable: {e}")
+        return
+    target = None  # inside a target_link_libraries(...) block when set
+    for idx, line in enumerate(lines):
+        line = line.split("#", 1)[0]
+        start = 0
+        if target is None:
+            m = CMAKE_LINK_OPEN.search(line)
+            if not m:
+                continue
+            target = m.group(1)
+            start = m.end()
+        for lm in CMAKE_LIB_TOKEN.finditer(line, start):
+            dep = target_module(lm.group(0))
+            if dep is None or dep == mod:
+                continue
+            if dep not in LAYERS:
+                findings.add(
+                    rel, idx + 1, "layering-cmake",
+                    f"{lm.group(0)} does not name a module in the layering "
+                    f"map (LAYERS in tools/czsync_lint.py)")
+            elif dep not in allowed:
+                findings.add(
+                    rel, idx + 1, "layering-cmake",
+                    f"czsync_{mod} must not link {lm.group(0)}: {mod}/ may "
+                    f"not depend on {dep}/ "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'none'})")
+        if ")" in line:
+            target = None
 
 
 def lint_py_file(path, root, findings):
@@ -423,11 +629,13 @@ def lint_py_file(path, root, findings):
 
 
 def collect_files(root, paths, want_py):
-    cxx, py = [], []
+    cxx, py, cmake = [], [], []
     for p in paths:
         full = p if os.path.isabs(p) else os.path.join(root, p)
         if os.path.isfile(full):
-            if full.endswith(CXX_EXTENSIONS):
+            if os.path.basename(full) == "CMakeLists.txt":
+                cmake.append(full)
+            elif full.endswith(CXX_EXTENSIONS):
                 cxx.append(full)
             elif full.endswith(".py"):
                 py.append(full)
@@ -438,11 +646,13 @@ def collect_files(root, paths, want_py):
             dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
             for name in sorted(filenames):
                 f = os.path.join(dirpath, name)
-                if name.endswith(CXX_EXTENSIONS):
+                if name == "CMakeLists.txt":
+                    cmake.append(f)
+                elif name.endswith(CXX_EXTENSIONS):
                     cxx.append(f)
                 elif name.endswith(".py") and want_py:
                     py.append(f)
-    return cxx, py
+    return cxx, py, cmake
 
 
 class SystemExit2(Exception):
@@ -458,6 +668,9 @@ def main(argv=None):
                     help="repository root (default: parent of tools/)")
     ap.add_argument("--py", action="store_true",
                     help="also lint Python tools (py_compile + style)")
+    ap.add_argument("--cmake-only", action="store_true",
+                    help="run only the layering-cmake rule over the "
+                         "collected CMakeLists.txt files")
     ap.add_argument("paths", nargs="*",
                     help=f"files or directories to lint "
                          f"(default: {' '.join(DEFAULT_TREES)})")
@@ -477,10 +690,12 @@ def main(argv=None):
     paths = args.paths or [t for t in DEFAULT_TREES
                            if os.path.isdir(os.path.join(root, t))]
     try:
-        cxx, py = collect_files(root, paths, want_py=args.py)
+        cxx, py, cmake = collect_files(root, paths, want_py=args.py)
     except SystemExit2 as e:
         sys.stderr.write(str(e) + "\n")
         return 2
+    if args.cmake_only:
+        cxx, py = [], []
 
     findings = Findings()
     header_cache = {}
@@ -488,14 +703,17 @@ def main(argv=None):
         lint_cxx_file(f, root, findings, header_cache)
     for f in py:
         lint_py_file(f, root, findings)
+    for f in cmake:
+        lint_cmake_file(f, root, findings)
 
     count = findings.report(sys.stdout)
     if count:
         print(f"czsync-lint: {count} finding(s) in "
-              f"{len(cxx) + len(py)} file(s)")
+              f"{len(cxx) + len(py) + len(cmake)} file(s)")
         return 1
     print(f"czsync-lint: clean ({len(cxx)} C++ file(s)"
-          + (f", {len(py)} Python file(s)" if args.py else "") + ")")
+          + (f", {len(py)} Python file(s)" if args.py else "")
+          + (f", {len(cmake)} CMake file(s)" if cmake else "") + ")")
     return 0
 
 

@@ -183,7 +183,7 @@ int run_mutation_selftest(const std::string& emit_path) {
   mc::McOptions opt;
   opt.n = 4;
   opt.f = 1;
-  opt.horizon = Dur::seconds(30);
+  opt.horizon = Duration::seconds(30);
   opt.delay_choices = 1;
   opt.bias_choices = 1;
   opt.adversary = mc::McOptions::AdversaryMode::Lie;
@@ -271,13 +271,13 @@ int main(int argc, char** argv) {
       } else if (take_value("--rho", &value)) {
         opt.rho = std::stod(value);
       } else if (take_value("--delta", &value)) {
-        opt.delta = Dur::seconds(std::stod(value));
+        opt.delta = Duration::seconds(std::stod(value));
       } else if (take_value("--sync-int", &value)) {
-        opt.sync_int = Dur::seconds(std::stod(value));
+        opt.sync_int = Duration::seconds(std::stod(value));
       } else if (take_value("--horizon", &value)) {
-        opt.horizon = Dur::seconds(std::stod(value));
+        opt.horizon = Duration::seconds(std::stod(value));
       } else if (take_value("--spread", &value)) {
-        opt.initial_spread = Dur::seconds(std::stod(value));
+        opt.initial_spread = Duration::seconds(std::stod(value));
       } else if (take_value("--protocol", &value)) {
         opt.protocol = value;
       } else if (take_value("--delays", &value)) {

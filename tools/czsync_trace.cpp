@@ -264,13 +264,13 @@ int main(int argc, char** argv) {
       } else if (take_value("--rho", &value)) {
         env.params.model.rho = std::stod(value);
       } else if (take_value("--delta-ms", &value)) {
-        env.params.model.delta = Dur::millis(std::stod(value));
+        env.params.model.delta = Duration::millis(std::stod(value));
       } else if (take_value("--sync-int-ms", &value)) {
-        env.params.sync_int = Dur::millis(std::stod(value));
+        env.params.sync_int = Duration::millis(std::stod(value));
       } else if (take_value("--join-bound-ms", &value)) {
-        env.params.join_bound = Dur::millis(std::stod(value));
+        env.params.join_bound = Duration::millis(std::stod(value));
       } else if (take_value("--sample-ms", &value)) {
-        env.params.sample_period = Dur::millis(std::stod(value));
+        env.params.sample_period = Duration::millis(std::stod(value));
       } else if (take_value("--json", &value)) {
         env.json_path = value;
       } else if (a.rfind("--", 0) == 0) {
